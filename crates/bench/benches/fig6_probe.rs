@@ -1,0 +1,36 @@
+//! Figure 6: probe-phase speedup over the CPU baseline (log scale in the
+//! paper), per operator, for NMP-rand, NMP-seq and Mondrian.
+//!
+//! Paper shape: Scan — NMP ≈ 2.4×, Mondrian ≈ 2.6× over NMP; Sort — the
+//! NMP/Mondrian gaps grow; Group-by/Join — NMP-rand beats NMP-seq (the
+//! log n algorithmic surcharge outweighs sequentiality without SIMD), and
+//! Mondrian absorbs it, peaking at 22× vs CPU.
+
+use mondrian_bench::{header, run, speedup};
+use mondrian_core::{OperatorKind, SystemKind};
+
+fn main() {
+    header("Figure 6: probe speedup vs CPU", "Fig. 6 (§7.1)");
+    let systems = [SystemKind::NmpRand, SystemKind::NmpSeq, SystemKind::Mondrian];
+    println!(
+        "{:<10} {:>14} {:>12} {:>12} {:>12}",
+        "Operator", "CPU probe µs", "NMP-rand", "NMP-seq", "Mondrian"
+    );
+    for op in OperatorKind::ALL {
+        let cpu = run(op, SystemKind::Cpu).probe_time();
+        let mut cells = Vec::new();
+        for &system in &systems {
+            let probe = run(op, system).probe_time();
+            cells.push(speedup(cpu, probe));
+        }
+        println!(
+            "{:<10} {:>14.3} {:>12} {:>12} {:>12}",
+            op.name(),
+            cpu as f64 / 1e6,
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+    println!("\n(Scan has no rand/seq distinction: both NMP columns run the same scan code.)");
+}

@@ -1,0 +1,32 @@
+//! Figure 7: overall (partition + probe) speedup over the CPU baseline for
+//! NMP, NMP-perm and Mondrian.
+//!
+//! Paper shape: Mondrian peaks at 49× vs CPU and 5× vs the best NMP
+//! baseline (NMP-perm partitioning + NMP-rand probe).
+
+use mondrian_bench::{header, run, speedup};
+use mondrian_core::{OperatorKind, SystemKind};
+
+fn main() {
+    header("Figure 7: overall speedup vs CPU", "Fig. 7 (§7.1)");
+    let systems = [SystemKind::Nmp, SystemKind::NmpPerm, SystemKind::Mondrian];
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "Operator", "CPU µs", "NMP", "NMP-perm", "Mondrian"
+    );
+    for op in OperatorKind::ALL {
+        let cpu = run(op, SystemKind::Cpu).runtime_ps;
+        let mut cells = Vec::new();
+        for &system in &systems {
+            cells.push(speedup(cpu, run(op, system).runtime_ps));
+        }
+        println!(
+            "{:<10} {:>12.3} {:>12} {:>12} {:>12}",
+            op.name(),
+            cpu as f64 / 1e6,
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+}

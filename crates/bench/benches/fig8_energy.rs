@@ -1,0 +1,37 @@
+//! Figure 8: energy breakdown per system and operator, in the paper's four
+//! categories — DRAM dynamic, DRAM static, cores (incl. caches), and
+//! SerDes + NoC.
+//!
+//! Paper shape: the CPU's energy is dominated by its cores; the NMP
+//! systems by DRAM static and SerDes; Mondrian's static share shrinks
+//! because it finishes sooner at higher utilization.
+
+use mondrian_bench::{header, run};
+use mondrian_core::{OperatorKind, SystemKind};
+
+fn main() {
+    header("Figure 8: energy breakdown", "Fig. 8 (§7.2)");
+    let systems =
+        [SystemKind::Cpu, SystemKind::Nmp, SystemKind::NmpPerm, SystemKind::Mondrian];
+    println!(
+        "{:<10} {:<12} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "Operator", "System", "DRAM dyn", "DRAM stat", "cores", "SerDes+NoC", "total µJ"
+    );
+    for op in OperatorKind::ALL {
+        for &system in &systems {
+            let report = run(op, system);
+            let shares = report.energy.fig8_shares();
+            println!(
+                "{:<10} {:<12} {:>9.1}% {:>9.1}% {:>9.1}% {:>11.1}% {:>12.3}",
+                op.name(),
+                system.name(),
+                shares[0] * 100.0,
+                shares[1] * 100.0,
+                shares[2] * 100.0,
+                shares[3] * 100.0,
+                report.energy.total_j() * 1e6
+            );
+        }
+        println!();
+    }
+}

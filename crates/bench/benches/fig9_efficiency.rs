@@ -1,0 +1,23 @@
+//! Figure 9: efficiency (performance per energy) improvement over the CPU
+//! baseline, log scale, for NMP, NMP-perm and Mondrian.
+//!
+//! Paper shape: efficiency follows the performance trends but with smaller
+//! gains (Mondrian draws more dynamic power for its higher utilization):
+//! Mondrian peaks at 28× vs CPU and ~5× vs the best NMP.
+
+use mondrian_bench::{header, run};
+use mondrian_core::{OperatorKind, SystemKind};
+
+fn main() {
+    header("Figure 9: efficiency improvement vs CPU", "Fig. 9 (§7.2)");
+    let systems = [SystemKind::Nmp, SystemKind::NmpPerm, SystemKind::Mondrian];
+    println!("{:<10} {:>12} {:>12} {:>12}", "Operator", "NMP", "NMP-perm", "Mondrian");
+    for op in OperatorKind::ALL {
+        let cpu = run(op, SystemKind::Cpu).perf_per_joule();
+        let mut cells = Vec::new();
+        for &system in &systems {
+            cells.push(format!("{:.1}x", run(op, system).perf_per_joule() / cpu));
+        }
+        println!("{:<10} {:>12} {:>12} {:>12}", op.name(), cells[0], cells[1], cells[2]);
+    }
+}

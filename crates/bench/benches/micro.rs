@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks of the substrate models themselves: how fast
+//! the simulator simulates. These guard against performance regressions in
+//! the hot paths (vault scheduling, mesh routing, functional operators).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mondrian_mem::{drain, AccessKind, DramRequest, VaultConfig, VaultController};
+use mondrian_noc::{Mesh, MeshConfig};
+use mondrian_ops::sort::{mergesort, BITONIC_RUN};
+use mondrian_ops::{join, PartitionScheme};
+use mondrian_workloads::{foreign_key_pair, uniform_relation};
+
+fn bench_vault(c: &mut Criterion) {
+    c.bench_function("vault_4k_random_writes", |b| {
+        b.iter(|| {
+            let mut cfg = VaultConfig::hmc();
+            cfg.capacity = 1 << 20;
+            let mut v = VaultController::new(cfg, 0);
+            for i in 0..4096u64 {
+                v.enqueue(
+                    DramRequest {
+                        id: i,
+                        addr: (i * 2048) % (1 << 20),
+                        bytes: 16,
+                        kind: AccessKind::Write,
+                    },
+                    0,
+                )
+                .expect("enqueue");
+            }
+            black_box(drain(&mut v).len())
+        })
+    });
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    c.bench_function("mesh_10k_messages", |b| {
+        b.iter(|| {
+            let mut mesh = Mesh::new(MeshConfig::hmc_4x4());
+            let mut last = 0;
+            for i in 0..10_000u64 {
+                last = mesh.send((i % 16) as u32, ((i * 7) % 16) as u32, 16, i * 2_000);
+            }
+            black_box(last)
+        })
+    });
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let rel = uniform_relation(1 << 14, 1 << 14, 42);
+    c.bench_function("mergesort_16k", |b| {
+        b.iter(|| black_box(mergesort(&rel, BITONIC_RUN).0.len()))
+    });
+    let (r, s) = foreign_key_pair(1 << 12, 1 << 14, 43);
+    c.bench_function("hash_join_16k", |b| {
+        b.iter(|| {
+            let idx = join::build_index(&r, 11);
+            black_box(join::probe_index(&idx, &s).len())
+        })
+    });
+    let scheme = PartitionScheme::LowBits { bits: 6 };
+    c.bench_function("partition_16k", |b| {
+        b.iter(|| black_box(mondrian_ops::partition::partition_tuples(&rel, scheme).len()))
+    });
+}
+
+criterion_group!(benches, bench_vault, bench_mesh, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Table 5: partition-phase speedup over the CPU baseline.
+//!
+//! Paper values: NMP 58×, NMP-perm 98×, Mondrian-noperm 142×, Mondrian 273×.
+//! The partition phase is nearly identical across operators, so — like the
+//! paper — we report it for Join.
+
+use mondrian_bench::{header, run, speedup};
+use mondrian_core::{OperatorKind, SystemKind};
+
+fn main() {
+    header("Table 5: partition speedup vs CPU", "Table 5 (§7.1)");
+    let systems = [
+        SystemKind::Cpu,
+        SystemKind::Nmp,
+        SystemKind::NmpPerm,
+        SystemKind::MondrianNoperm,
+        SystemKind::Mondrian,
+    ];
+    let paper = ["1x", "58x", "98x", "142x", "273x"];
+    let reports: Vec<_> = systems.iter().map(|&s| run(OperatorKind::Join, s)).collect();
+    let cpu = reports[0].partition_time();
+    println!("{:<18} {:>12} {:>10} {:>10}", "System", "partition µs", "measured", "paper");
+    for ((report, system), paper) in reports.iter().zip(&systems).zip(&paper) {
+        println!(
+            "{:<18} {:>12.3} {:>10} {:>10}",
+            system.name(),
+            report.partition_time() as f64 / 1e6,
+            speedup(cpu, report.partition_time()),
+            paper
+        );
+    }
+}

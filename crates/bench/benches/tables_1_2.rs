@@ -1,0 +1,53 @@
+//! Tables 1 and 2: the static operator characterization, regenerated from
+//! the code (the mapping and phase metadata are unit-tested in
+//! `mondrian-ops`; this bench renders them as the paper prints them).
+
+use mondrian_ops::phases::{OperatorKind, PhaseInfo};
+use mondrian_ops::spark::SparkOp;
+
+fn main() {
+    println!("\n=== Table 1: characterization of Spark operators ===\n");
+    println!("{:<12} {}", "Basic op", "Spark operators");
+    for basic in OperatorKind::ALL {
+        let spark: Vec<&str> = SparkOp::ALL
+            .iter()
+            .filter(|s| s.basic_operator() == basic)
+            .map(|s| match s {
+                SparkOp::Filter => "Filter",
+                SparkOp::Union => "Union",
+                SparkOp::LookupKey => "LookupKey",
+                SparkOp::Map => "Map",
+                SparkOp::FlatMap => "FlatMap",
+                SparkOp::MapValues => "MapValues",
+                SparkOp::GroupByKey => "GroupByKey",
+                SparkOp::Cogroup => "Cogroup",
+                SparkOp::ReduceByKey => "ReduceByKey",
+                SparkOp::Reduce => "Reduce",
+                SparkOp::CountByKey => "CountByKey",
+                SparkOp::AggregateByKey => "AggregateByKey",
+                SparkOp::Join => "Join",
+                SparkOp::SortByKey => "SortByKey",
+            })
+            .collect();
+        println!("{:<12} {}", basic.name(), spark.join(", "));
+    }
+
+    println!("\n=== Table 2: phases of basic data operators ===\n");
+    println!(
+        "{:<10} {:<32} {:<20} {:<20} {}",
+        "Operator", "Histogram build", "Distribution", "Hash table build", "Operation"
+    );
+    for op in [OperatorKind::Scan, OperatorKind::Join, OperatorKind::GroupBy, OperatorKind::Sort]
+    {
+        let p = PhaseInfo::of(op);
+        println!(
+            "{:<10} {:<32} {:<20} {:<20} {}",
+            op.name(),
+            p.histogram.unwrap_or("-"),
+            p.distribution.unwrap_or("-"),
+            p.hash_table_build.unwrap_or("-"),
+            p.operation
+        );
+    }
+    println!();
+}

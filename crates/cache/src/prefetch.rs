@@ -1,0 +1,75 @@
+//! Next-line prefetcher.
+//!
+//! Table 3: "Both the CPU and the NMP baseline systems feature a next-line
+//! prefetcher, capable of issuing prefetches for up to three next cache
+//! lines." The prefetcher reacts to demand misses; the engine filters the
+//! candidates against cache contents and MSHR availability before issuing
+//! fills.
+
+/// A next-N-line prefetcher.
+///
+/// # Example
+///
+/// ```
+/// use mondrian_cache::NextLinePrefetcher;
+/// let pf = NextLinePrefetcher::new(3, 64);
+/// assert_eq!(pf.candidates(0x1000), vec![0x1040, 0x1080, 0x10c0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NextLinePrefetcher {
+    depth: u32,
+    line_bytes: u32,
+}
+
+impl NextLinePrefetcher {
+    /// Creates a prefetcher fetching up to `depth` lines ahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is zero.
+    pub fn new(depth: u32, line_bytes: u32) -> Self {
+        assert!(line_bytes > 0, "line size must be non-zero");
+        Self { depth, line_bytes }
+    }
+
+    /// The paper's configuration: three lines ahead, 64 B lines.
+    pub fn table3() -> Self {
+        Self::new(3, 64)
+    }
+
+    /// Prefetch depth.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Line addresses to prefetch after a demand miss on the line containing
+    /// `miss_addr`.
+    pub fn candidates(&self, miss_addr: u64) -> Vec<u64> {
+        let line = miss_addr / self.line_bytes as u64 * self.line_bytes as u64;
+        (1..=self.depth as u64).map(|i| line + i * self.line_bytes as u64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_are_next_lines() {
+        let pf = NextLinePrefetcher::table3();
+        assert_eq!(pf.candidates(130), vec![192, 256, 320]);
+    }
+
+    #[test]
+    fn zero_depth_is_disabled() {
+        let pf = NextLinePrefetcher::new(0, 64);
+        assert!(pf.candidates(0).is_empty());
+    }
+
+    #[test]
+    fn unaligned_addresses_align_to_line() {
+        let pf = NextLinePrefetcher::new(1, 64);
+        assert_eq!(pf.candidates(63), vec![64]);
+        assert_eq!(pf.candidates(64), vec![128]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the cache model.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use mondrian_cache::{Cache, CacheConfig, Lookup};
+
+/// Reference model for a direct-mapped cache: one tag per set.
+#[derive(Default)]
+struct DirectMappedRef {
+    sets: HashMap<u64, (u64, bool)>, // set -> (tag, dirty)
+    line_bytes: u64,
+    set_count: u64,
+}
+
+impl DirectMappedRef {
+    fn new(cfg: &CacheConfig) -> Self {
+        Self {
+            sets: HashMap::new(),
+            line_bytes: cfg.line_bytes as u64,
+            set_count: cfg.sets(),
+        }
+    }
+
+    /// Returns (hit, writeback address).
+    fn access(&mut self, addr: u64, write: bool) -> (bool, Option<u64>) {
+        let line = addr / self.line_bytes;
+        let set = line % self.set_count;
+        let tag = line / self.set_count;
+        match self.sets.get_mut(&set) {
+            Some((t, dirty)) if *t == tag => {
+                *dirty |= write;
+                (true, None)
+            }
+            Some((t, dirty)) => {
+                let wb = dirty.then(|| (*t * self.set_count + set) * self.line_bytes);
+                *t = tag;
+                *dirty = write;
+                (false, wb)
+            }
+            None => {
+                self.sets.insert(set, (tag, write));
+                (false, None)
+            }
+        }
+    }
+}
+
+fn small_cfg() -> CacheConfig {
+    CacheConfig { capacity: 1024, ways: 1, line_bytes: 64, mshrs: 4 }
+}
+
+proptest! {
+    /// A direct-mapped instance of the general model must agree exactly with
+    /// the naive reference on hits, misses and writebacks when fills
+    /// complete synchronously.
+    #[test]
+    fn direct_mapped_matches_reference(
+        accesses in prop::collection::vec((0u64..8192, any::<bool>()), 1..500)
+    ) {
+        let cfg = small_cfg();
+        let mut dut = Cache::new(cfg);
+        let mut reference = DirectMappedRef::new(&cfg);
+        for &(addr, write) in &accesses {
+            let (ref_hit, ref_wb) = reference.access(addr, write);
+            match dut.lookup(addr, write) {
+                Lookup::Hit => prop_assert!(ref_hit, "dut hit, ref miss @{addr:#x}"),
+                Lookup::Miss => {
+                    prop_assert!(!ref_hit, "dut miss, ref hit @{addr:#x}");
+                    let out = dut.begin_fill(addr, false);
+                    prop_assert_eq!(out.writeback, ref_wb);
+                    dut.complete_fill(addr);
+                    if write {
+                        dut.mark_dirty(addr);
+                    }
+                }
+                Lookup::PendingMiss => prop_assert!(false, "no fills outstanding"),
+            }
+        }
+    }
+
+    /// The cache never holds more valid lines than its capacity allows, and
+    /// every access after a synchronous fill hits.
+    #[test]
+    fn fills_make_lines_resident(
+        addrs in prop::collection::vec(0u64..65536, 1..200)
+    ) {
+        let mut c = Cache::new(CacheConfig { capacity: 2048, ways: 4, line_bytes: 64, mshrs: 8 });
+        for &addr in &addrs {
+            if c.lookup(addr, false) == Lookup::Miss {
+                c.begin_fill(addr, false);
+                c.complete_fill(addr);
+            }
+            prop_assert!(c.probe(addr), "line must be resident after fill");
+        }
+        // Re-touching the most recent line always hits.
+        let last = *addrs.last().unwrap();
+        prop_assert_eq!(c.lookup(last, false), Lookup::Hit);
+    }
+
+    /// Outstanding fills never exceed the MSHR budget and always settle to
+    /// zero after completion.
+    #[test]
+    fn mshr_budget_respected(lines in prop::collection::vec(0u64..64, 1..64)) {
+        let mut c = Cache::new(CacheConfig { capacity: 8192, ways: 2, line_bytes: 64, mshrs: 4 });
+        let mut in_flight: Vec<u64> = Vec::new();
+        for &l in &lines {
+            let addr = l * 64;
+            if in_flight.contains(&addr) || c.probe(addr) {
+                continue;
+            }
+            if !c.mshr_available() {
+                // Drain one.
+                let done = in_flight.remove(0);
+                c.complete_fill(done);
+            }
+            if c.lookup(addr, false) == Lookup::Miss {
+                c.begin_fill(addr, false);
+                in_flight.push(addr);
+            }
+            prop_assert!(c.outstanding_fills() <= 4);
+        }
+        for addr in in_flight {
+            c.complete_fill(addr);
+        }
+        prop_assert_eq!(c.outstanding_fills(), 0);
+    }
+}

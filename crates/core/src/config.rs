@@ -1,0 +1,307 @@
+//! System configurations: the six evaluated machines (§6, Table 3).
+
+use mondrian_cache::CacheConfig;
+use mondrian_cores::CoreConfig;
+use mondrian_mem::{AddressMap, VaultConfig};
+use mondrian_noc::{MeshConfig, SerDesConfig};
+use mondrian_sim::{Time, PS_PER_NS};
+
+/// The evaluated system configurations (§6, "Evaluated configurations").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// CPU-centric baseline: 16 OoO cores, cache hierarchy, passive HMCs in
+    /// a star (Fig. 5).
+    Cpu,
+    /// NMP baseline: one Krait400-class OoO core per vault, conventional
+    /// partitioning, best probe algorithm (hash-based).
+    Nmp,
+    /// NMP baseline + permutable partitioning.
+    NmpPerm,
+    /// NMP baseline running the hash-based (random-access) probe.
+    NmpRand,
+    /// NMP baseline running the sort-based (sequential) probe.
+    NmpSeq,
+    /// Mondrian compute units (SIMD + streams) without permutability.
+    MondrianNoperm,
+    /// The full Mondrian Data Engine.
+    Mondrian,
+}
+
+impl SystemKind {
+    /// All configurations.
+    pub const ALL: [SystemKind; 7] = [
+        SystemKind::Cpu,
+        SystemKind::Nmp,
+        SystemKind::NmpPerm,
+        SystemKind::NmpRand,
+        SystemKind::NmpSeq,
+        SystemKind::MondrianNoperm,
+        SystemKind::Mondrian,
+    ];
+
+    /// Figure label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SystemKind::Cpu => "CPU",
+            SystemKind::Nmp => "NMP",
+            SystemKind::NmpPerm => "NMP-perm",
+            SystemKind::NmpRand => "NMP-rand",
+            SystemKind::NmpSeq => "NMP-seq",
+            SystemKind::MondrianNoperm => "Mondrian-noperm",
+            SystemKind::Mondrian => "Mondrian",
+        }
+    }
+
+    /// Whether compute sits in the vaults (all but the CPU baseline).
+    pub fn is_nmp(&self) -> bool {
+        !matches!(self, SystemKind::Cpu)
+    }
+
+    /// Whether the partitioning phase uses permutable stores.
+    pub fn uses_permutability(&self) -> bool {
+        matches!(self, SystemKind::NmpPerm | SystemKind::Mondrian)
+    }
+
+    /// Whether the cores have SIMD + stream buffers (Mondrian units).
+    pub fn is_mondrian(&self) -> bool {
+        matches!(self, SystemKind::Mondrian | SystemKind::MondrianNoperm)
+    }
+
+    /// Whether the probe phase uses the sort-based (sequential) algorithms.
+    pub fn probe_is_sorted(&self) -> bool {
+        matches!(
+            self,
+            SystemKind::NmpSeq | SystemKind::Mondrian | SystemKind::MondrianNoperm
+        )
+    }
+
+    /// The core model for this system.
+    pub fn core_config(&self) -> CoreConfig {
+        match self {
+            SystemKind::Cpu => CoreConfig::cortex_a57(),
+            SystemKind::Nmp | SystemKind::NmpPerm | SystemKind::NmpRand | SystemKind::NmpSeq => {
+                CoreConfig::krait400()
+            }
+            SystemKind::Mondrian | SystemKind::MondrianNoperm => CoreConfig::mondrian_a35(),
+        }
+    }
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full machine + workload-scale configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Which evaluated system.
+    pub kind: SystemKind,
+    /// HMC devices (4 × 8 GB in the paper).
+    pub hmcs: u32,
+    /// Vaults per HMC (16 × 512 MB modeled vaults).
+    pub vaults_per_hmc: u32,
+    /// CPU cores (16, Cloudera's 2 GB/core provisioning rule, §6).
+    pub cpu_cores: u32,
+    /// Vault memory model.
+    pub vault: VaultConfig,
+    /// Intra-HMC mesh.
+    pub mesh: MeshConfig,
+    /// Inter-device links.
+    pub serdes: SerDesConfig,
+    /// L1 cache of CPU/NMP cores.
+    pub l1: CacheConfig,
+    /// Shared LLC (CPU system only).
+    pub llc: CacheConfig,
+    /// L1 hit latency in core cycles (Table 3: 2 cycles).
+    pub l1_hit_cycles: u64,
+    /// Average LLC hit latency in CPU cycles (NUCA bank + on-chip hops).
+    pub llc_hit_cycles: u64,
+    /// Tuples per vault of the large relation (S); scaled down from the
+    /// paper's 32M/vault, see DESIGN.md §2.4.
+    pub tuples_per_vault: usize,
+    /// |R| as a fraction denominator: |R| = |S| / r_divisor.
+    pub r_divisor: usize,
+    /// CPU radix bits for Join/Group-by partitioning (16 in the paper).
+    pub cpu_radix_bits: u32,
+    /// Fixed cost of the shuffle_begin/shuffle_end MSI barrier per phase
+    /// boundary (§5.4's all-to-all notification).
+    pub barrier: Time,
+    /// RNG seed for dataset generation.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The paper's topology at a laptop-scale dataset size.
+    ///
+    /// Vault capacity is shrunk (with proportionally scaled data) so that
+    /// whole-system discrete-event simulation stays tractable; all
+    /// *relative* quantities the evaluation depends on are preserved.
+    pub fn scaled(kind: SystemKind) -> Self {
+        let mut vault = VaultConfig::hmc();
+        vault.capacity = 16 << 20; // 16 MB modeled vaults
+        Self {
+            kind,
+            hmcs: 4,
+            vaults_per_hmc: 16,
+            cpu_cores: 16,
+            vault,
+            mesh: MeshConfig::hmc_4x4(),
+            serdes: SerDesConfig::table3(),
+            l1: CacheConfig::l1d(),
+            llc: CacheConfig::llc(),
+            l1_hit_cycles: 2,
+            llc_hit_cycles: 20,
+            tuples_per_vault: 8192,
+            r_divisor: 1,
+            cpu_radix_bits: 16,
+            barrier: 200 * PS_PER_NS,
+            seed: 0x6d6f6e64, // "mond"
+        }
+    }
+
+    /// A minimal configuration for fast tests: 1 HMC, 4 vaults, 2 CPU
+    /// cores, tiny relations.
+    pub fn tiny(kind: SystemKind) -> Self {
+        let mut cfg = Self::scaled(kind);
+        cfg.hmcs = 1;
+        cfg.vaults_per_hmc = 4;
+        cfg.mesh = MeshConfig::square_for(4);
+        cfg.cpu_cores = 2;
+        cfg.tuples_per_vault = 256;
+        cfg.cpu_radix_bits = 8;
+        cfg
+    }
+
+    /// Total vault count.
+    pub fn total_vaults(&self) -> u32 {
+        self.hmcs * self.vaults_per_hmc
+    }
+
+    /// Number of compute units in this system.
+    pub fn compute_units(&self) -> u32 {
+        if self.kind.is_nmp() {
+            self.total_vaults()
+        } else {
+            self.cpu_cores
+        }
+    }
+
+    /// Radix bits used by the partitioning phase on this system: 16 on the
+    /// CPU (cache-tuned), log2(vaults) on NMP systems (§6).
+    pub fn partition_bits(&self) -> u32 {
+        if self.kind.is_nmp() {
+            self.total_vaults().trailing_zeros()
+        } else {
+            self.cpu_radix_bits
+        }
+    }
+
+    /// The flat physical address map (§5.1).
+    pub fn address_map(&self) -> AddressMap {
+        AddressMap::new(
+            self.hmcs,
+            self.vaults_per_hmc,
+            self.vault.capacity,
+            self.vault.row_bytes,
+            self.vault.banks,
+        )
+    }
+
+    /// Validates consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is inconsistent (mesh too small, vault count
+    /// not a power of two, CPU cores not dividing the vault count, ...).
+    pub fn validate(&self) {
+        assert!(self.total_vaults().is_power_of_two(), "vault count must be a power of two");
+        assert!(self.mesh.tiles() >= self.vaults_per_hmc, "mesh must seat every vault");
+        assert!(self.cpu_cores > 0 && self.total_vaults() % self.cpu_cores == 0,
+            "CPU cores must evenly split the vaults");
+        assert!(self.tuples_per_vault >= 16, "need at least one SIMD group per vault");
+        assert!(self.r_divisor >= 1);
+        self.vault.validate();
+    }
+
+    /// Renders the Table 3 style parameter sheet.
+    pub fn table3_sheet(&self) -> String {
+        let core = self.kind.core_config();
+        format!(
+            "{kind}: {units} compute units ({ghz:.1} GHz, {width}-wide, {window}-entry window)\n\
+             DRAM: {hmcs} HMC × {vph} vaults × {cap} MB, {row} B rows, {banks} banks\n\
+             NoC: {mw}×{mh} mesh, {link} B links, {hops} cycles/hop\n\
+             SerDes: {gbps:.0} Gb/s per direction\n\
+             Workload: {tpv} tuples/vault, partition bits {bits}",
+            kind = self.kind,
+            units = self.compute_units(),
+            ghz = core.clock.ghz(),
+            width = core.width,
+            window = core.window,
+            hmcs = self.hmcs,
+            vph = self.vaults_per_hmc,
+            cap = self.vault.capacity >> 20,
+            row = self.vault.row_bytes,
+            banks = self.vault.banks,
+            mw = self.mesh.width,
+            mh = self.mesh.height,
+            link = self.mesh.link_bytes_per_cycle,
+            hops = self.mesh.hop_cycles,
+            gbps = self.serdes.bytes_per_ns * 8.0,
+            tpv = self.tuples_per_vault,
+            bits = self.partition_bits(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_matches_paper_topology() {
+        let cfg = SystemConfig::scaled(SystemKind::Mondrian);
+        cfg.validate();
+        assert_eq!(cfg.total_vaults(), 64);
+        assert_eq!(cfg.compute_units(), 64);
+        assert_eq!(cfg.partition_bits(), 6, "6 bits = 64 vaults (§6)");
+        let cpu = SystemConfig::scaled(SystemKind::Cpu);
+        assert_eq!(cpu.compute_units(), 16);
+        assert_eq!(cpu.partition_bits(), 16, "16 low-order bits on the CPU (§6)");
+    }
+
+    #[test]
+    fn core_configs_match_table3() {
+        assert_eq!(SystemKind::Cpu.core_config().window, 128);
+        assert_eq!(SystemKind::Nmp.core_config().window, 48);
+        assert!(SystemKind::Mondrian.core_config().simd);
+        assert!(!SystemKind::NmpSeq.core_config().simd);
+    }
+
+    #[test]
+    fn config_flags() {
+        assert!(SystemKind::NmpPerm.uses_permutability());
+        assert!(SystemKind::Mondrian.uses_permutability());
+        assert!(!SystemKind::MondrianNoperm.uses_permutability());
+        assert!(SystemKind::NmpSeq.probe_is_sorted());
+        assert!(!SystemKind::NmpRand.probe_is_sorted());
+        assert!(SystemKind::Mondrian.probe_is_sorted());
+        assert!(!SystemKind::Cpu.is_nmp());
+    }
+
+    #[test]
+    fn tiny_is_valid() {
+        for kind in SystemKind::ALL {
+            SystemConfig::tiny(kind).validate();
+        }
+    }
+
+    #[test]
+    fn table3_sheet_mentions_key_parameters() {
+        let sheet = SystemConfig::scaled(SystemKind::Mondrian).table3_sheet();
+        assert!(sheet.contains("64 compute units"));
+        assert!(sheet.contains("256 B rows"));
+        assert!(sheet.contains("160 Gb/s"));
+    }
+}

@@ -1,0 +1,1085 @@
+//! The experiment driver: runs one operator on one evaluated system,
+//! end to end — dataset generation, partitioning, probe, verification and
+//! energy accounting.
+//!
+//! This module encodes §6's "Evaluated operators" and "Evaluated
+//! configurations": per (operator × system) it assembles the right kernels
+//! (hash-based vs sort-based, scalar vs SIMD, conventional vs permutable
+//! shuffles), runs each phase on the [`Machine`], commits the functional
+//! data transformation between phases, and verifies the final result
+//! against reference implementations.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use mondrian_cores::{Kernel, StoreKind};
+use mondrian_energy::{
+    compute_energy, CoreActivity, CoreClass, EnergyBreakdown, EnergyParams, SystemActivity,
+};
+use mondrian_mem::PermutableRegion;
+use mondrian_ops::groupby::{HashAggKernel, SimdSortedAggKernel, SortedAggKernel};
+use mondrian_ops::join::{
+    build_index, merge_join, probe_index, HashProbeKernel, MergeJoinKernel, SimdMergeJoinKernel,
+};
+use mondrian_ops::partition::{
+    exclusive_prefix, histogram, scatter_addresses, HistogramKernel,
+    PermutableScatterKernel, ScatterKernel, SimdHistogramKernel, SimdPermutableScatterKernel,
+    SimdScatterKernel,
+};
+use mondrian_ops::scan::{scan_matches, ScalarScanKernel, SimdScanKernel};
+use mondrian_ops::sort::{
+    bitonic_runs, merge_pass, BitonicRunKernel, QuicksortKernel, ScalarMergePassKernel,
+    SimdMergePassKernel, BITONIC_RUN,
+};
+use mondrian_ops::{reference, Aggregates, ChainKernel, OperatorKind, PartitionScheme};
+use mondrian_sim::{Stats, Time};
+use mondrian_workloads::{foreign_key_pair, uniform_relation, zipfian_relation, Tuple, TUPLE_BYTES};
+
+use crate::config::{SystemConfig, SystemKind};
+use crate::layout::{Layout, Region};
+use crate::system::{Machine, PhaseOutcome};
+
+/// Key distribution of the generated datasets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Uniform keys — the paper's evaluation setting (§6).
+    Uniform,
+    /// Zipfian keys with the given skew — the future-work extension (§5.4).
+    Zipf(f64),
+}
+
+/// Builder for one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentBuilder {
+    op: OperatorKind,
+    cfg: SystemConfig,
+    dist: KeyDist,
+    /// Deliberately undersize permutable regions by this factor (failure
+    /// injection for the §5.4 overflow/retry path).
+    underprovision: Option<f64>,
+}
+
+impl ExperimentBuilder {
+    /// Starts from the scaled paper topology on the Mondrian system.
+    pub fn new(op: OperatorKind) -> Self {
+        Self {
+            op,
+            cfg: SystemConfig::scaled(SystemKind::Mondrian),
+            dist: KeyDist::Uniform,
+            underprovision: None,
+        }
+    }
+
+    /// Selects the evaluated system.
+    pub fn system(mut self, kind: SystemKind) -> Self {
+        let tpv = self.cfg.tuples_per_vault;
+        let seed = self.cfg.seed;
+        let hmcs = self.cfg.hmcs;
+        let vph = self.cfg.vaults_per_hmc;
+        let mut cfg = if hmcs == 1 && vph <= 4 {
+            SystemConfig::tiny(kind)
+        } else {
+            SystemConfig::scaled(kind)
+        };
+        cfg.tuples_per_vault = tpv;
+        cfg.seed = seed;
+        self.cfg = cfg;
+        self
+    }
+
+    /// Uses the minimal test topology (1 HMC × 4 vaults).
+    pub fn tiny(mut self) -> Self {
+        let kind = self.cfg.kind;
+        let tpv = self.cfg.tuples_per_vault.min(512);
+        self.cfg = SystemConfig::tiny(kind);
+        self.cfg.tuples_per_vault = tpv;
+        self
+    }
+
+    /// Tuples of the (large) relation per vault.
+    pub fn tuples_per_vault(mut self, n: usize) -> Self {
+        self.cfg.tuples_per_vault = n;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Key distribution.
+    pub fn key_distribution(mut self, dist: KeyDist) -> Self {
+        self.dist = dist;
+        self
+    }
+
+    /// Replaces the whole configuration.
+    pub fn config(mut self, cfg: SystemConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Failure injection: size permutable regions at `factor` × the needed
+    /// bytes (< 1.0 forces the overflow exception and the retry round).
+    pub fn underprovision_permutable(mut self, factor: f64) -> Self {
+        self.underprovision = Some(factor);
+        self
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or verification fails.
+    pub fn run(self) -> Report {
+        Experiment::new(self).run()
+    }
+}
+
+/// Results of one experiment.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Operator evaluated.
+    pub op: OperatorKind,
+    /// System evaluated.
+    pub system: SystemKind,
+    /// Per-phase outcomes, in execution order.
+    pub phases: Vec<PhaseOutcome>,
+    /// End-to-end runtime.
+    pub runtime_ps: Time,
+    /// Instructions retired across all compute units.
+    pub instructions: u64,
+    /// Energy breakdown (Table 4 model).
+    pub energy: EnergyBreakdown,
+    /// All hardware statistics.
+    pub stats: Stats,
+    /// Whether the functional output matched the reference.
+    pub verified: bool,
+    /// Number of shuffle retry rounds taken (§5.4 overflow handling).
+    pub shuffle_retries: u32,
+    /// Human-readable result summary (match counts, group counts, ...).
+    pub summary: String,
+}
+
+impl Report {
+    /// Total time of partitioning phases.
+    pub fn partition_time(&self) -> Time {
+        self.phases
+            .iter()
+            .filter(|p| p.label.starts_with("partition."))
+            .map(PhaseOutcome::duration)
+            .sum()
+    }
+
+    /// Total time of probe phases.
+    pub fn probe_time(&self) -> Time {
+        self.phases
+            .iter()
+            .filter(|p| p.label.starts_with("probe."))
+            .map(PhaseOutcome::duration)
+            .sum()
+    }
+
+    /// Aggregate IPC across compute units (instructions / unit-cycles).
+    pub fn ipc(&self) -> f64 {
+        let core = self.system.core_config();
+        let cycles = core.clock.ps_to_cycles_ceil(self.runtime_ps.max(1));
+        let units = self.phases.first().map_or(1, |p| p.core_busy.len()) as u64;
+        self.instructions as f64 / (cycles * units) as f64
+    }
+
+    /// Performance per joule, the paper's efficiency metric (Fig. 9).
+    pub fn perf_per_joule(&self) -> f64 {
+        1.0 / (self.runtime_ps as f64 * 1e-12 * self.energy.total_j())
+    }
+}
+
+/// Per-compute-unit kernels for one phase.
+type KernelSet = Vec<Option<Box<dyn Kernel>>>;
+
+struct Experiment {
+    op: OperatorKind,
+    cfg: SystemConfig,
+    dist: KeyDist,
+    underprovision: Option<f64>,
+    layout: Layout,
+    machine: Machine,
+    phases: Vec<PhaseOutcome>,
+    shuffle_retries: u32,
+}
+
+impl Experiment {
+    fn new(b: ExperimentBuilder) -> Self {
+        b.cfg.validate();
+        let layout = Layout::new(b.cfg.vault.capacity);
+        assert!(
+            b.cfg.tuples_per_vault * 2 <= layout.region_tuples(),
+            "tuples_per_vault too large for the region layout"
+        );
+        let machine = Machine::new(b.cfg.clone());
+        Self {
+            op: b.op,
+            cfg: b.cfg,
+            dist: b.dist,
+            underprovision: b.underprovision,
+            layout,
+            machine,
+            phases: Vec::new(),
+            shuffle_retries: 0,
+        }
+    }
+
+    fn vaults(&self) -> usize {
+        self.cfg.total_vaults() as usize
+    }
+
+    fn units(&self) -> usize {
+        self.cfg.compute_units() as usize
+    }
+
+    /// Vaults owned by compute unit `u` (NMP: itself; CPU: a contiguous
+    /// slice).
+    fn vaults_of_unit(&self, u: usize) -> std::ops::Range<usize> {
+        if self.cfg.kind.is_nmp() {
+            u..u + 1
+        } else {
+            let per = self.vaults() / self.units();
+            u * per..(u + 1) * per
+        }
+    }
+
+    /// The vault whose Meta/scratch regions unit `u` uses.
+    fn home_vault(&self, u: usize) -> u32 {
+        self.vaults_of_unit(u).start as u32
+    }
+
+    fn run_phase(&mut self, kernels: KernelSet, label: &str) -> Result<PhaseOutcome, u64> {
+        let outcome = self.machine.run_phase(kernels, label)?;
+        self.phases.push(outcome.clone());
+        self.machine.advance_time(self.cfg.barrier);
+        Ok(outcome)
+    }
+
+    fn run_phase_ok(&mut self, kernels: KernelSet, label: &str) {
+        self.run_phase(kernels, label)
+            .unwrap_or_else(|n| panic!("phase {label}: {n} unexpected permutable overflows"));
+    }
+
+    fn generate_single(&self) -> Vec<Arc<Vec<Tuple>>> {
+        let n = self.cfg.tuples_per_vault;
+        let total = n * self.vaults();
+        let key_bound = match self.op {
+            OperatorKind::GroupBy => (total as u64 / 4).max(1), // avg group size 4 (§6)
+            _ => total as u64,
+        };
+        let all = match self.dist {
+            KeyDist::Uniform => uniform_relation(total, key_bound, self.cfg.seed),
+            KeyDist::Zipf(theta) => zipfian_relation(total, key_bound, theta, self.cfg.seed),
+        };
+        all.chunks(n).map(|c| Arc::new(c.to_vec())).collect()
+    }
+
+    fn generate_join(&self) -> (Vec<Arc<Vec<Tuple>>>, Vec<Arc<Vec<Tuple>>>) {
+        let s_per_vault = self.cfg.tuples_per_vault;
+        let r_per_vault = (s_per_vault / self.cfg.r_divisor).max(1);
+        let (r, s) =
+            foreign_key_pair(r_per_vault * self.vaults(), s_per_vault * self.vaults(), self.cfg.seed);
+        (
+            r.chunks(r_per_vault).map(|c| Arc::new(c.to_vec())).collect(),
+            s.chunks(s_per_vault).map(|c| Arc::new(c.to_vec())).collect(),
+        )
+    }
+
+    /// Key upper bound of the whole dataset (for range partitioning).
+    fn key_bound(&self) -> u64 {
+        let total = (self.cfg.tuples_per_vault * self.vaults()) as u64;
+        match self.op {
+            OperatorKind::GroupBy => (total / 4).max(1),
+            _ => total,
+        }
+    }
+
+    fn partition_scheme(&self) -> PartitionScheme {
+        let bits = self.cfg.partition_bits();
+        match self.op {
+            OperatorKind::Sort => {
+                PartitionScheme::Range { parts: 1 << bits, key_bound: self.key_bound() }
+            }
+            _ => PartitionScheme::LowBits { bits },
+        }
+    }
+
+    /// Base address of global destination slot `slot` in `region` (CPU
+    /// buckets span the region across all vaults).
+    fn global_out_addr(&self, region: Region, slot: u64) -> u64 {
+        let per = self.layout.region_tuples() as u64;
+        self.layout.tuple_addr((slot / per) as u32, region, (slot % per) as usize)
+    }
+
+    // ----- phase builders ------------------------------------------------
+
+    /// Histogram kernels over `input` arrays located in `region`.
+    /// `meta_slot` offsets the counter array in each unit's Meta region.
+    fn histogram_kernels(
+        &self,
+        input: &[Arc<Vec<Tuple>>],
+        region: Region,
+        scheme: PartitionScheme,
+        meta_slot: usize,
+    ) -> KernelSet {
+        let simd = self.cfg.kind.is_mondrian();
+        (0..self.units())
+            .map(|u| {
+                let counter_base = self.layout.meta_addr(self.home_vault(u), meta_slot);
+                let parts: Vec<Box<dyn Kernel>> = self
+                    .vaults_of_unit(u)
+                    .map(|v| {
+                        let base = self.layout.region_base(v as u32, region);
+                        let data = input[v].clone();
+                        if simd {
+                            Box::new(SimdHistogramKernel::new(data, base, counter_base, scheme))
+                                as Box<dyn Kernel>
+                        } else {
+                            Box::new(HistogramKernel::new(data, base, counter_base, scheme))
+                        }
+                    })
+                    .collect();
+                Some(Box::new(ChainKernel::new(parts)) as Box<dyn Kernel>)
+            })
+            .collect()
+    }
+
+    /// Conventional scatter: returns kernels plus the functional
+    /// destination contents (per destination partition, in cursor order).
+    fn conventional_scatter(
+        &self,
+        input: &[Arc<Vec<Tuple>>],
+        in_region: Region,
+        out_region: Region,
+        scheme: PartitionScheme,
+        cursor_slot: usize,
+    ) -> (KernelSet, Vec<Vec<Tuple>>) {
+        let parts = scheme.parts() as usize;
+        // Per-source bucket counts; sources ordered by vault index (units
+        // process their vaults in order).
+        let per_source: Vec<Vec<u64>> =
+            input.iter().map(|d| histogram(d, scheme).counts).collect();
+        let mut totals = vec![0u64; parts];
+        for counts in &per_source {
+            for (t, c) in totals.iter_mut().zip(counts) {
+                *t += c;
+            }
+        }
+        // Destination start slots.
+        let starts: Vec<u64> = if self.cfg.kind.is_nmp() {
+            // One partition per vault, each at the base of its out region.
+            (0..parts as u64).map(|p| p * self.layout.region_tuples() as u64).collect()
+        } else {
+            // Global bucket space across the out regions of all vaults.
+            exclusive_prefix(&totals)
+        };
+        // Walk sources in vault order, advancing per-destination slots.
+        let mut next_in_dest: Vec<u64> = vec![0; parts];
+        let mut dest_content: Vec<Vec<Tuple>> = vec![Vec::new(); parts];
+        let mut source_addrs: Vec<Vec<u64>> = Vec::with_capacity(input.len());
+        for (v, data) in input.iter().enumerate() {
+            let mut cursors: Vec<u64> = (0..parts)
+                .map(|p| {
+                    if self.cfg.kind.is_nmp() {
+                        self.layout.tuple_addr(
+                            p as u32,
+                            out_region,
+                            next_in_dest[p] as usize,
+                        )
+                    } else {
+                        self.global_out_addr(out_region, starts[p] + next_in_dest[p])
+                    }
+                })
+                .collect();
+            let addrs = scatter_addresses(data, scheme, &mut cursors);
+            source_addrs.push(addrs);
+            for (p, c) in next_in_dest.iter_mut().zip(&per_source[v]) {
+                *p += c;
+            }
+            for t in data.iter() {
+                dest_content[scheme.bucket(t.key) as usize].push(*t);
+            }
+            // dest_content built in source order == cursor order because
+            // sources run their tuples sequentially and cursor ranges are
+            // disjoint per source.
+        }
+        let store_kind = if self.cfg.kind.is_nmp() {
+            StoreKind::Streaming
+        } else {
+            StoreKind::Cached
+        };
+        let simd = self.cfg.kind.is_mondrian();
+        let kernels = (0..self.units())
+            .map(|u| {
+                let cursor_base = self.layout.meta_addr(self.home_vault(u), cursor_slot);
+                let chain: Vec<Box<dyn Kernel>> = self
+                    .vaults_of_unit(u)
+                    .map(|v| {
+                        let base = self.layout.region_base(v as u32, in_region);
+                        let data = input[v].clone();
+                        let addrs = source_addrs[v].clone();
+                        if simd {
+                            Box::new(SimdScatterKernel::new(data, base, cursor_base, addrs, scheme))
+                                as Box<dyn Kernel>
+                        } else {
+                            Box::new(ScatterKernel::new(
+                                data, base, cursor_base, addrs, store_kind, scheme,
+                            ))
+                        }
+                    })
+                    .collect();
+                Some(Box::new(ChainKernel::new(chain)) as Box<dyn Kernel>)
+            })
+            .collect();
+        (kernels, dest_content)
+    }
+
+    /// Permutable scatter kernels (destination = vault = bucket).
+    fn permutable_scatter_kernels(
+        &self,
+        input: &[Arc<Vec<Tuple>>],
+        in_region: Region,
+        scheme: PartitionScheme,
+    ) -> KernelSet {
+        assert!(self.cfg.kind.is_nmp());
+        let simd = self.cfg.kind.is_mondrian();
+        (0..self.units())
+            .map(|u| {
+                let v = u; // NMP: one vault per unit
+                let base = self.layout.region_base(v as u32, in_region);
+                let data = input[v].clone();
+                let dsts: Vec<u32> = data.iter().map(|t| scheme.bucket(t.key)).collect();
+                let k: Box<dyn Kernel> = if simd {
+                    Box::new(SimdPermutableScatterKernel::new(data, base, dsts))
+                } else {
+                    Box::new(PermutableScatterKernel::new(data, base, dsts))
+                };
+                Some(k)
+            })
+            .collect()
+    }
+
+    /// Runs a permutable shuffle of `input` into `out_region`, handling the
+    /// overflow/retry exception path. Returns the per-vault received
+    /// contents in hardware arrival order.
+    fn run_permutable_shuffle(
+        &mut self,
+        input: &[Arc<Vec<Tuple>>],
+        in_region: Region,
+        out_region: Region,
+        scheme: PartitionScheme,
+        label: &str,
+    ) -> Vec<Vec<Tuple>> {
+        let parts = scheme.parts() as usize;
+        let mut inbound = vec![0u64; parts];
+        for data in input {
+            for (i, c) in histogram(data, scheme).counts.iter().enumerate() {
+                inbound[i] += c;
+            }
+        }
+        let mut factor = self.underprovision.unwrap_or(1.0);
+        loop {
+            let regions: Vec<PermutableRegion> = (0..parts)
+                .map(|v| {
+                    let exact = inbound[v] * TUPLE_BYTES as u64;
+                    let size = ((exact as f64 * factor) as u64)
+                        .div_ceil(256)
+                        .max(1)
+                        * 256;
+                    PermutableRegion {
+                        base: self.layout.region_base(v as u32, out_region),
+                        size,
+                        object_bytes: TUPLE_BYTES,
+                    }
+                })
+                .collect();
+            self.machine.shuffle_begin(regions);
+            let kernels = self.permutable_scatter_kernels(input, in_region, scheme);
+            match self.run_phase(kernels, label) {
+                Ok(_) => break,
+                Err(_) => {
+                    // §5.4: overflow raises an exception to the CPU, which
+                    // re-provisions and re-runs the shuffle.
+                    self.shuffle_retries += 1;
+                    factor = 1.0;
+                    assert!(
+                        self.shuffle_retries < 4,
+                        "shuffle keeps overflowing with exact sizing"
+                    );
+                }
+            }
+        }
+        let arrivals = self.machine.shuffle_end();
+        (0..parts as u32)
+            .map(|v| {
+                arrivals
+                    .get(&v)
+                    .map(|log| {
+                        log.iter().map(|&(core, seq)| input[core][seq as usize]).collect()
+                    })
+                    .unwrap_or_default()
+            })
+            .collect()
+    }
+
+    /// Partitions one relation on whatever machinery this system has.
+    /// Returns per-destination contents.
+    fn shuffle_relation(
+        &mut self,
+        input: &[Arc<Vec<Tuple>>],
+        in_region: Region,
+        out_region: Region,
+        scheme: PartitionScheme,
+        cursor_slot: usize,
+        label: &str,
+    ) -> Vec<Vec<Tuple>> {
+        if self.cfg.kind.uses_permutability() {
+            self.run_permutable_shuffle(input, in_region, out_region, scheme, label)
+        } else {
+            let (kernels, dest) =
+                self.conventional_scatter(input, in_region, out_region, scheme, cursor_slot);
+            self.run_phase_ok(kernels, label);
+            dest
+        }
+    }
+
+    // ----- operators ------------------------------------------------------
+
+    fn run(mut self) -> Report {
+        let (verified, summary) = match self.op {
+            OperatorKind::Scan => self.run_scan(),
+            OperatorKind::Sort => self.run_sort(),
+            OperatorKind::GroupBy => self.run_groupby(),
+            OperatorKind::Join => self.run_join(),
+        };
+        self.finish(verified, summary)
+    }
+
+    fn run_scan(&mut self) -> (bool, String) {
+        let input = self.generate_single();
+        let needle = input[0].first().map_or(0, |t| t.key);
+        let expect: usize = input.iter().map(|d| scan_matches(d, needle).len()).sum();
+        let simd = self.cfg.kind.is_mondrian();
+        let kernels: KernelSet = (0..self.units())
+            .map(|u| {
+                let chain: Vec<Box<dyn Kernel>> = self
+                    .vaults_of_unit(u)
+                    .map(|v| {
+                        let base = self.layout.region_base(v as u32, Region::InputA);
+                        let out = self.layout.region_base(v as u32, Region::Result);
+                        let data = input[v].clone();
+                        if simd {
+                            Box::new(SimdScanKernel::new(data, base, out, needle))
+                                as Box<dyn Kernel>
+                        } else {
+                            Box::new(ScalarScanKernel::new(
+                                data,
+                                base,
+                                out,
+                                needle,
+                                StoreKind::Cached,
+                            ))
+                        }
+                    })
+                    .collect();
+                Some(Box::new(ChainKernel::new(chain)) as Box<dyn Kernel>)
+            })
+            .collect();
+        self.run_phase_ok(kernels, "probe.scan");
+        (true, format!("scan: {expect} matches of key {needle}"))
+    }
+
+    /// Sorts each destination partition with the system's sort and returns
+    /// the per-vault sorted data (for verification) plus phase bookkeeping.
+    fn local_sort(&mut self, mut parts: Vec<Vec<Tuple>>, ping: Region, pong: Region, tag: &str)
+        -> Vec<Vec<Tuple>>
+    {
+        let kind = self.cfg.kind;
+        if !kind.is_nmp() {
+            // CPU: quicksort per bucket, chained per core. Buckets live in
+            // the global out space.
+            let starts = {
+                let counts: Vec<u64> = parts.iter().map(|p| p.len() as u64).collect();
+                exclusive_prefix(&counts)
+            };
+            let buckets_per_unit = parts.len() / self.units();
+            let kernels: KernelSet = (0..self.units())
+                .map(|u| {
+                    let mut chain: Vec<Box<dyn Kernel>> = Vec::new();
+                    for b in u * buckets_per_unit..(u + 1) * buckets_per_unit {
+                        if parts[b].is_empty() {
+                            continue;
+                        }
+                        let base = self.global_out_addr(ping, starts[b]);
+                        chain.push(Box::new(QuicksortKernel::new(&parts[b], base)));
+                    }
+                    Some(Box::new(ChainKernel::new(chain)) as Box<dyn Kernel>)
+                })
+                .collect();
+            self.run_phase_ok(kernels, &format!("probe.sort.{tag}"));
+            for p in &mut parts {
+                p.sort_unstable();
+            }
+            return parts;
+        }
+        // NMP systems: mergesort. Mondrian opens with the SIMD bitonic pass.
+        let simd = kind.is_mondrian();
+        let mut run: Vec<usize> = vec![1; parts.len()];
+        let mut cur: Vec<Region> = vec![ping; parts.len()];
+        if simd {
+            let kernels: KernelSet = (0..self.units())
+                .map(|v| {
+                    let data = Arc::new(parts[v].clone());
+                    let in_base = self.layout.region_base(v as u32, ping);
+                    let out_base = self.layout.region_base(v as u32, pong);
+                    Some(Box::new(BitonicRunKernel::new(data, in_base, out_base))
+                        as Box<dyn Kernel>)
+                })
+                .collect();
+            self.run_phase_ok(kernels, &format!("probe.bitonic.{tag}"));
+            for (v, p) in parts.iter_mut().enumerate() {
+                *p = bitonic_runs(p, BITONIC_RUN);
+                run[v] = BITONIC_RUN;
+                cur[v] = pong;
+            }
+        }
+        // Merge passes until every vault is sorted.
+        let mut pass = 0u32;
+        loop {
+            let active: Vec<usize> =
+                (0..parts.len()).filter(|&v| run[v] < parts[v].len().max(1)).collect();
+            if active.is_empty() {
+                break;
+            }
+            let kernels: KernelSet = (0..self.units())
+                .map(|v| {
+                    if !active.contains(&v) {
+                        return None;
+                    }
+                    let data = Arc::new(parts[v].clone());
+                    let (src, dst) = if cur[v] == ping { (ping, pong) } else { (pong, ping) };
+                    let in_base = self.layout.region_base(v as u32, src);
+                    let out_base = self.layout.region_base(v as u32, dst);
+                    let k: Box<dyn Kernel> = if simd {
+                        Box::new(SimdMergePassKernel::new(data, run[v], in_base, out_base))
+                    } else {
+                        Box::new(ScalarMergePassKernel::new(data, run[v], in_base, out_base))
+                    };
+                    Some(k)
+                })
+                .collect();
+            self.run_phase_ok(kernels, &format!("probe.merge.{tag}.{pass}"));
+            for &v in &active {
+                parts[v] = merge_pass(&parts[v], run[v]);
+                run[v] *= 2;
+                cur[v] = if cur[v] == ping { pong } else { ping };
+            }
+            pass += 1;
+        }
+        parts
+    }
+
+    fn run_sort(&mut self) -> (bool, String) {
+        let input = self.generate_single();
+        let scheme = self.partition_scheme();
+        let kernels =
+            self.histogram_kernels(&input, Region::InputA, scheme, 0);
+        self.run_phase_ok(kernels, "partition.histogram");
+        let parts = self.shuffle_relation(
+            &input,
+            Region::InputA,
+            Region::OutA,
+            scheme,
+            scheme.parts() as usize,
+            "partition.scatter",
+        );
+        let sorted_parts = self.local_sort(parts, Region::OutA, Region::PongA, "local");
+        // Verify: concatenation in partition order is the sorted dataset.
+        let mut combined: Vec<Tuple> = Vec::new();
+        for p in &sorted_parts {
+            combined.extend_from_slice(p);
+        }
+        let mut expect: Vec<Tuple> = input.iter().flat_map(|d| d.iter().copied()).collect();
+        expect.sort_unstable();
+        let ok = combined == expect;
+        (ok, format!("sort: {} tuples totally ordered", combined.len()))
+    }
+
+    fn run_groupby(&mut self) -> (bool, String) {
+        let input = self.generate_single();
+        let scheme = self.partition_scheme();
+        let kernels = self.histogram_kernels(&input, Region::InputA, scheme, 0);
+        self.run_phase_ok(kernels, "partition.histogram");
+        let parts = self.shuffle_relation(
+            &input,
+            Region::InputA,
+            Region::OutA,
+            scheme,
+            scheme.parts() as usize,
+            "partition.scatter",
+        );
+        let mut got: BTreeMap<u64, Aggregates> = BTreeMap::new();
+        if self.cfg.kind.probe_is_sorted() {
+            let sorted_parts = self.local_sort(parts, Region::OutA, Region::PongA, "groupby");
+            let simd = self.cfg.kind.is_mondrian();
+            let kernels: KernelSet = (0..self.units())
+                .map(|v| {
+                    let data = Arc::new(sorted_parts[v].clone());
+                    // The sorted copy lives in whichever buffer the last
+                    // merge pass targeted; the base only affects addresses,
+                    // use OutA consistently (ping/pong tracked in
+                    // local_sort's phases).
+                    let base = self.layout.region_base(v as u32, Region::OutA);
+                    let out = self.layout.region_base(v as u32, Region::Result);
+                    let k: Box<dyn Kernel> = if simd {
+                        Box::new(SimdSortedAggKernel::new(data, base, out))
+                    } else {
+                        Box::new(SortedAggKernel::new(data, base, out))
+                    };
+                    Some(k)
+                })
+                .collect();
+            self.run_phase_ok(kernels, "probe.aggregate");
+            for p in &sorted_parts {
+                for (k, a) in mondrian_ops::groupby::sorted_group(p) {
+                    got.entry(k).or_default().merge(&a);
+                }
+            }
+        } else if self.cfg.kind.is_nmp() {
+            // NMP-rand: hash aggregation per vault.
+            let kernels: KernelSet = (0..self.units())
+                .map(|v| {
+                    let data = Arc::new(parts[v].clone());
+                    let bits = table_bits(parts[v].len().max(4) / 2);
+                    let base = self.layout.region_base(v as u32, Region::OutA);
+                    let table = self.layout.table_addr(v as u32, 0);
+                    Some(Box::new(HashAggKernel::new(data, base, table, bits))
+                        as Box<dyn Kernel>)
+                })
+                .collect();
+            self.run_phase_ok(kernels, "probe.aggregate");
+            for (v, p) in parts.iter().enumerate() {
+                let bits = table_bits(p.len().max(4) / 2);
+                for (k, a) in mondrian_ops::groupby::hash_group(p, bits) {
+                    got.entry(k).or_default().merge(&a);
+                }
+                let _ = v;
+            }
+        } else {
+            // CPU: per-bucket hash aggregation, cache-resident scratch.
+            let starts = {
+                let counts: Vec<u64> = parts.iter().map(|p| p.len() as u64).collect();
+                exclusive_prefix(&counts)
+            };
+            let buckets_per_unit = parts.len() / self.units();
+            let kernels: KernelSet = (0..self.units())
+                .map(|u| {
+                    let table = self.layout.table_addr(self.home_vault(u), 0);
+                    let mut chain: Vec<Box<dyn Kernel>> = Vec::new();
+                    for b in u * buckets_per_unit..(u + 1) * buckets_per_unit {
+                        if parts[b].is_empty() {
+                            continue;
+                        }
+                        let base = self.global_out_addr(Region::OutA, starts[b]);
+                        let bits = table_bits(parts[b].len());
+                        chain.push(Box::new(HashAggKernel::new(
+                            Arc::new(parts[b].clone()),
+                            base,
+                            table,
+                            bits,
+                        )));
+                    }
+                    Some(Box::new(ChainKernel::new(chain)) as Box<dyn Kernel>)
+                })
+                .collect();
+            self.run_phase_ok(kernels, "probe.aggregate");
+            for p in &parts {
+                if p.is_empty() {
+                    continue;
+                }
+                for (k, a) in mondrian_ops::groupby::hash_group(p, table_bits(p.len())) {
+                    got.entry(k).or_default().merge(&a);
+                }
+            }
+        }
+        let mut expect: BTreeMap<u64, Aggregates> = BTreeMap::new();
+        for d in &input {
+            for (k, a) in reference::grouped(d) {
+                expect.entry(k).or_default().merge(&a);
+            }
+        }
+        let ok = got == expect;
+        (ok, format!("group by: {} groups aggregated", got.len()))
+    }
+
+    fn run_join(&mut self) -> (bool, String) {
+        let (r_in, s_in) = self.generate_join();
+        let scheme = self.partition_scheme();
+        let parts_n = scheme.parts() as usize;
+        // Histograms for both relations (separate counter arrays).
+        let kernels = self.histogram_kernels(&r_in, Region::InputA, scheme, 0);
+        self.run_phase_ok(kernels, "partition.histogram");
+        let kernels = self.histogram_kernels(&s_in, Region::InputB, scheme, parts_n * 2);
+        self.run_phase_ok(kernels, "partition.histogram.s");
+        let r_parts = self.shuffle_relation(
+            &r_in,
+            Region::InputA,
+            Region::OutA,
+            scheme,
+            parts_n,
+            "partition.scatter",
+        );
+        let s_parts = self.shuffle_relation(
+            &s_in,
+            Region::InputB,
+            Region::OutB,
+            scheme,
+            parts_n * 3,
+            "partition.scatter.s",
+        );
+        let mut matches = 0usize;
+        if self.cfg.kind.probe_is_sorted() {
+            let r_sorted = self.local_sort(r_parts, Region::OutA, Region::PongA, "r");
+            let s_sorted = self.local_sort(s_parts, Region::OutB, Region::PongB, "s");
+            let simd = self.cfg.kind.is_mondrian();
+            let kernels: KernelSet = (0..self.units())
+                .map(|v| {
+                    let r = Arc::new(r_sorted[v].clone());
+                    let s = Arc::new(s_sorted[v].clone());
+                    let rb = self.layout.region_base(v as u32, Region::OutA);
+                    let sb = self.layout.region_base(v as u32, Region::OutB);
+                    let out = self.layout.region_base(v as u32, Region::Result);
+                    let k: Box<dyn Kernel> = if simd {
+                        Box::new(SimdMergeJoinKernel::new(r, s, rb, sb, out))
+                    } else {
+                        Box::new(MergeJoinKernel::new(r, s, rb, sb, out, StoreKind::Streaming))
+                    };
+                    Some(k)
+                })
+                .collect();
+            self.run_phase_ok(kernels, "probe.mergejoin");
+            for v in 0..self.vaults() {
+                matches += merge_join(&r_sorted[v], &s_sorted[v]).len();
+            }
+        } else if self.cfg.kind.is_nmp() {
+            // NMP-rand: per-vault index build (histogram + reorder) + probe.
+            let kernels: KernelSet = (0..self.units())
+                .map(|v| {
+                    let r = Arc::new(r_parts[v].clone());
+                    let s = Arc::new(s_parts[v].clone());
+                    let bits = index_bits(r.len());
+                    let idx = Arc::new(build_index(&r, bits));
+                    let rb = self.layout.region_base(v as u32, Region::OutA);
+                    let reordered = self.layout.region_base(v as u32, Region::PongA);
+                    let sb = self.layout.region_base(v as u32, Region::OutB);
+                    let out = self.layout.region_base(v as u32, Region::Result);
+                    let counter = self.layout.meta_addr(v as u32, 0);
+                    let build_scheme = PartitionScheme::HashBits { bits };
+                    let mut cursors: Vec<u64> = idx
+                        .offsets[..idx.offsets.len() - 1]
+                        .iter()
+                        .map(|&o| reordered + o as u64 * TUPLE_BYTES as u64)
+                        .collect();
+                    let addrs = scatter_addresses(&r, build_scheme, &mut cursors);
+                    let chain: Vec<Box<dyn Kernel>> = vec![
+                        Box::new(HistogramKernel::new(r.clone(), rb, counter, build_scheme)),
+                        Box::new(ScatterKernel::new(
+                            r.clone(),
+                            rb,
+                            counter,
+                            addrs,
+                            StoreKind::Streaming,
+                            build_scheme,
+                        )),
+                        Box::new(HashProbeKernel::new(
+                            s,
+                            idx,
+                            sb,
+                            reordered,
+                            out,
+                            StoreKind::Streaming,
+                        )),
+                    ];
+                    Some(Box::new(ChainKernel::new(chain)) as Box<dyn Kernel>)
+                })
+                .collect();
+            self.run_phase_ok(kernels, "probe.hashjoin");
+            for v in 0..self.vaults() {
+                let idx = build_index(&r_parts[v], index_bits(r_parts[v].len()));
+                matches += probe_index(&idx, &s_parts[v]).len();
+            }
+        } else {
+            // CPU: per-bucket hash join over cache-resident buckets.
+            let r_starts = {
+                let counts: Vec<u64> = r_parts.iter().map(|p| p.len() as u64).collect();
+                exclusive_prefix(&counts)
+            };
+            let s_starts = {
+                let counts: Vec<u64> = s_parts.iter().map(|p| p.len() as u64).collect();
+                exclusive_prefix(&counts)
+            };
+            let buckets_per_unit = parts_n / self.units();
+            let kernels: KernelSet = (0..self.units())
+                .map(|u| {
+                    let hv = self.home_vault(u);
+                    let counter = self.layout.meta_addr(hv, 0);
+                    let scratch = self.layout.region_base(hv, Region::PongA);
+                    let out = self.layout.region_base(hv, Region::Result);
+                    let mut chain: Vec<Box<dyn Kernel>> = Vec::new();
+                    for b in u * buckets_per_unit..(u + 1) * buckets_per_unit {
+                        if s_parts[b].is_empty() {
+                            continue;
+                        }
+                        let r = Arc::new(r_parts[b].clone());
+                        let s = Arc::new(s_parts[b].clone());
+                        let rb = self.global_out_addr(Region::OutA, r_starts[b]);
+                        let sb = self.global_out_addr(Region::OutB, s_starts[b]);
+                        let bits = index_bits(r.len().max(2));
+                        let idx = Arc::new(build_index(&r, bits));
+                        let build_scheme = PartitionScheme::HashBits { bits };
+                        let mut cursors: Vec<u64> = idx
+                            .offsets[..idx.offsets.len() - 1]
+                            .iter()
+                            .map(|&o| scratch + o as u64 * TUPLE_BYTES as u64)
+                            .collect();
+                        let addrs = scatter_addresses(&r, build_scheme, &mut cursors);
+                        chain.push(Box::new(HistogramKernel::new(
+                            r.clone(),
+                            rb,
+                            counter,
+                            build_scheme,
+                        )));
+                        chain.push(Box::new(ScatterKernel::new(
+                            r.clone(),
+                            rb,
+                            counter,
+                            addrs,
+                            StoreKind::Cached,
+                            build_scheme,
+                        )));
+                        chain.push(Box::new(HashProbeKernel::new(
+                            s,
+                            idx,
+                            sb,
+                            scratch,
+                            out,
+                            StoreKind::Cached,
+                        )));
+                    }
+                    Some(Box::new(ChainKernel::new(chain)) as Box<dyn Kernel>)
+                })
+                .collect();
+            self.run_phase_ok(kernels, "probe.hashjoin");
+            for b in 0..parts_n {
+                if s_parts[b].is_empty() {
+                    continue;
+                }
+                let idx = build_index(&r_parts[b], index_bits(r_parts[b].len().max(2)));
+                matches += probe_index(&idx, &s_parts[b]).len();
+            }
+        }
+        // FK join: every S tuple matches exactly once.
+        let expect: usize = s_in.iter().map(|s| s.len()).sum();
+        let ok = matches == expect;
+        (ok, format!("join: {matches} matched rows (expected {expect})"))
+    }
+
+    fn finish(mut self, verified: bool, summary: String) -> Report {
+        let runtime = self.machine.now();
+        let stats = self.machine.export_stats();
+        // Weighted per-core busy fractions across phases.
+        let units = self.units();
+        let mut busy = vec![0.0f64; units];
+        let mut total_dur = 0u128;
+        for p in &self.phases {
+            let d = p.duration() as u128;
+            total_dur += d;
+            for (b, pb) in busy.iter_mut().zip(&p.core_busy) {
+                *b += pb * d as f64;
+            }
+        }
+        if total_dur > 0 {
+            for b in &mut busy {
+                *b /= total_dur as f64;
+            }
+        }
+        let class = match self.cfg.kind {
+            SystemKind::Cpu => CoreClass::Cpu,
+            SystemKind::Mondrian | SystemKind::MondrianNoperm => CoreClass::Mondrian,
+            _ => CoreClass::Nmp,
+        };
+        let dram_bits = (stats.sum_by_suffix("read_bytes") + stats.sum_by_suffix("write_bytes"))
+            * 8.0;
+        let serdes_bits = stats.sum_by_prefix("serdes.");
+        // serdes busy bits: sum only the busy_bits entries.
+        let serdes_busy: f64 = stats
+            .iter()
+            .filter(|(k, _)| k.starts_with("serdes.") && k.ends_with("busy_bits"))
+            .map(|(_, s)| s.as_f64())
+            .sum();
+        let _ = serdes_bits;
+        let llc_accesses = stats.count("llc.hits")
+            + stats.count("llc.misses")
+            + stats.count("llc.pending_hits");
+        let activity = SystemActivity {
+            runtime_ps: runtime.max(1),
+            cores: busy
+                .iter()
+                .map(|&b| CoreActivity { class, busy_fraction: b })
+                .collect(),
+            row_activations: stats.sum_by_suffix("activations") as u64,
+            dram_bits_accessed: dram_bits as u64,
+            hmc_cubes: self.cfg.hmcs,
+            serdes_directions: self.machine.serdes_directions(),
+            serdes_busy_bits: serdes_busy as u64,
+            noc_bit_mm: stats.sum_by_suffix("bit_mm"),
+            noc_meshes: self.cfg.hmcs,
+            llc_accesses,
+            has_llc: !self.cfg.kind.is_nmp(),
+        };
+        let energy = compute_energy(&EnergyParams::table4(), &activity);
+        let instructions = self.phases.iter().map(|p| p.instructions).sum();
+        Report {
+            op: self.op,
+            system: self.cfg.kind,
+            phases: std::mem::take(&mut self.phases),
+            runtime_ps: runtime,
+            instructions,
+            energy,
+            stats,
+            verified,
+            shuffle_retries: self.shuffle_retries,
+            summary,
+        }
+    }
+}
+
+/// Hash-table bits for roughly 2× occupancy over `entries` (group tables).
+fn table_bits(entries: usize) -> u32 {
+    (entries.max(2) * 2).next_power_of_two().trailing_zeros()
+}
+
+/// Join-index bits: ~2 R tuples per index range, the radix-join
+/// convention — probes walk a short dependence chain.
+fn index_bits(r_len: usize) -> u32 {
+    (r_len.max(4) / 2).next_power_of_two().trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_bits_gives_headroom() {
+        assert_eq!(table_bits(2), 2);
+        assert_eq!(table_bits(4), 3);
+        assert_eq!(table_bits(100), 8);
+        assert!(1usize << table_bits(1000) >= 2000);
+    }
+}

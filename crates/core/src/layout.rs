@@ -1,0 +1,157 @@
+//! Per-vault memory layout used by the operators.
+//!
+//! Each vault's contiguous partition is carved into eight equal regions.
+//! Operators place their arrays at fixed region offsets, which keeps every
+//! address computation explicit and lets kernels on different systems share
+//! the same layout.
+
+use mondrian_workloads::TUPLE_BYTES;
+
+/// The eight fixed regions of a vault partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Primary input (R for joins, the relation otherwise).
+    InputA,
+    /// Secondary input (S for joins).
+    InputB,
+    /// Partition-phase destination for A / sort ping buffer.
+    OutA,
+    /// Partition-phase destination for B.
+    OutB,
+    /// Sort/merge pong buffer for A.
+    PongA,
+    /// Sort/merge pong buffer for B.
+    PongB,
+    /// Metadata: histogram counters, cursors, hash/group tables.
+    Meta,
+    /// Final results (join output, group aggregates, scan matches).
+    Result,
+}
+
+impl Region {
+    const ALL: [Region; 8] = [
+        Region::InputA,
+        Region::InputB,
+        Region::OutA,
+        Region::OutB,
+        Region::PongA,
+        Region::PongB,
+        Region::Meta,
+        Region::Result,
+    ];
+
+    fn index(self) -> u64 {
+        Region::ALL.iter().position(|r| *r == self).expect("region listed") as u64
+    }
+}
+
+/// Address calculator over the flat physical space.
+#[derive(Debug, Clone, Copy)]
+pub struct Layout {
+    vault_capacity: u64,
+    region_bytes: u64,
+}
+
+impl Layout {
+    /// Creates the layout for vaults of `vault_capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity does not split into eight row-aligned
+    /// regions.
+    pub fn new(vault_capacity: u64) -> Self {
+        assert_eq!(vault_capacity % 8, 0);
+        let region_bytes = vault_capacity / 8;
+        assert_eq!(region_bytes % 256, 0, "regions must be row-aligned");
+        Self { vault_capacity, region_bytes }
+    }
+
+    /// Bytes per region.
+    pub fn region_bytes(&self) -> u64 {
+        self.region_bytes
+    }
+
+    /// Tuple capacity of one region.
+    pub fn region_tuples(&self) -> usize {
+        (self.region_bytes / TUPLE_BYTES as u64) as usize
+    }
+
+    /// Base address of `region` in `vault`.
+    pub fn region_base(&self, vault: u32, region: Region) -> u64 {
+        vault as u64 * self.vault_capacity + region.index() * self.region_bytes
+    }
+
+    /// Address of tuple `idx` in `region` of `vault`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index exceeds the region capacity.
+    pub fn tuple_addr(&self, vault: u32, region: Region, idx: usize) -> u64 {
+        assert!(idx <= self.region_tuples(), "region overflow: tuple {idx}");
+        self.region_base(vault, region) + idx as u64 * TUPLE_BYTES as u64
+    }
+
+    /// Address of 8-byte metadata slot `idx` (cursors, counters) in the
+    /// Meta region of `vault`.
+    pub fn meta_addr(&self, vault: u32, idx: usize) -> u64 {
+        let addr = self.region_base(vault, Region::Meta) + idx as u64 * 8;
+        assert!(
+            addr < self.region_base(vault, Region::Meta) + self.region_bytes,
+            "meta overflow: slot {idx}"
+        );
+        addr
+    }
+
+    /// Address of 64-byte table entry `idx` in the Meta region of `vault`,
+    /// offset to the region's second half so entries don't collide with
+    /// counters.
+    pub fn table_addr(&self, vault: u32, idx: usize) -> u64 {
+        let base = self.region_base(vault, Region::Meta) + self.region_bytes / 2;
+        let addr = base + idx as u64 * 64;
+        assert!(
+            addr + 64 <= self.region_base(vault, Region::Meta) + self.region_bytes,
+            "table overflow: entry {idx}"
+        );
+        addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_cover_vault() {
+        let l = Layout::new(16 << 20);
+        let mut bases: Vec<u64> = Region::ALL.iter().map(|&r| l.region_base(3, r)).collect();
+        bases.sort_unstable();
+        for w in bases.windows(2) {
+            assert_eq!(w[1] - w[0], l.region_bytes());
+        }
+        assert_eq!(bases[0], 3 * (16 << 20));
+        assert_eq!(bases[7] + l.region_bytes(), 4 * (16 << 20));
+    }
+
+    #[test]
+    fn tuple_addresses_walk_sequentially() {
+        let l = Layout::new(16 << 20);
+        let a0 = l.tuple_addr(0, Region::InputA, 0);
+        let a1 = l.tuple_addr(0, Region::InputA, 1);
+        assert_eq!(a1 - a0, 16);
+    }
+
+    #[test]
+    fn meta_and_table_do_not_overlap() {
+        let l = Layout::new(16 << 20);
+        let meta_last = l.meta_addr(0, 1000);
+        let table_first = l.table_addr(0, 0);
+        assert!(meta_last < table_first);
+    }
+
+    #[test]
+    #[should_panic(expected = "region overflow")]
+    fn region_overflow_panics() {
+        let l = Layout::new(4096 * 8);
+        l.tuple_addr(0, Region::InputA, 1000);
+    }
+}

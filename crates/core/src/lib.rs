@@ -1,0 +1,41 @@
+//! # mondrian-core — the Mondrian Data Engine
+//!
+//! The paper's primary contribution, assembled from the substrate crates:
+//! a near-memory-processing data-analytics engine co-designed with its
+//! hardware —
+//!
+//! * [`config`] — the six evaluated system configurations (Table 3),
+//! * [`layout`] — the flat physical address space carved into per-vault
+//!   regions,
+//! * [`system`] — the machine model: cores, caches, meshes, SerDes links
+//!   and vault controllers in one deterministic event loop, including the
+//!   permutability handshake (`shuffle_begin`/`shuffle_end`, §5.3–§5.4),
+//! * [`experiment`] — the end-to-end driver running Scan/Sort/Group-by/Join
+//!   on any system and verifying results against reference implementations.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mondrian_core::{ExperimentBuilder, OperatorKind, SystemKind};
+//!
+//! let report = ExperimentBuilder::new(OperatorKind::Scan)
+//!     .system(SystemKind::Mondrian)
+//!     .tiny()
+//!     .tuples_per_vault(256)
+//!     .run();
+//! assert!(report.verified);
+//! assert!(report.runtime_ps > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiment;
+pub mod layout;
+pub mod system;
+
+pub use config::{SystemConfig, SystemKind};
+pub use experiment::{ExperimentBuilder, KeyDist, Report};
+pub use layout::{Layout, Region};
+pub use mondrian_ops::OperatorKind;
+pub use system::{Machine, PhaseOutcome};

@@ -1,0 +1,850 @@
+//! The simulated machine: cores, caches, networks and vaults wired into one
+//! discrete-event loop.
+//!
+//! A [`Machine`] owns the hardware state of one evaluated system (Fig. 3a /
+//! Fig. 5) and executes operator *phases*: the engine hands every compute
+//! unit a kernel, the event loop routes the resulting memory traffic
+//! through caches, meshes, SerDes links and vault controllers, and the
+//! phase ends when all cores have finished and all in-flight memory (the
+//! shuffle barrier of §5.4) has drained.
+
+use std::collections::{HashMap, VecDeque};
+
+use mondrian_cache::{Cache, Lookup, NextLinePrefetcher};
+use mondrian_cores::{Core, CoreStatus, Kernel, MemKind, MemRequest, StoreKind};
+use mondrian_mem::{
+    AccessKind, AddressMap, DramRequest, PermutableRegion, VaultController,
+};
+use mondrian_noc::{Mesh, SerDesLink};
+use mondrian_sim::{EventQueue, Stats, Time, PS_PER_NS};
+
+use crate::config::SystemConfig;
+
+/// Outcome of one executed phase.
+#[derive(Debug, Clone)]
+pub struct PhaseOutcome {
+    /// Phase label (for reports).
+    pub label: String,
+    /// Phase start time.
+    pub start: Time,
+    /// Phase end time (cores drained *and* memory quiesced).
+    pub end: Time,
+    /// Instructions retired across all compute units.
+    pub instructions: u64,
+    /// SIMD operations retired.
+    pub simd_ops: u64,
+    /// Per-core busy fraction (achieved IPC / peak) for the energy model.
+    pub core_busy: Vec<f64>,
+    /// Permutable writes dropped due to destination-buffer overflow (the
+    /// §5.4 exception path; non-zero values fail the phase).
+    pub overflows: u64,
+}
+
+impl PhaseOutcome {
+    /// Phase duration.
+    pub fn duration(&self) -> Time {
+        self.end - self.start
+    }
+}
+
+/// Where a memory request originates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ep {
+    /// The CPU chip (CPU-centric system).
+    Cpu,
+    /// A vault's logic-layer tile.
+    Vault(u32),
+}
+
+#[derive(Debug)]
+struct Pending {
+    core: usize,
+    req: MemRequest,
+}
+
+/// Continuation attached to each DRAM request.
+#[derive(Debug, Clone, Copy)]
+enum VaultOp {
+    /// Stream-buffer fill: respond to the local core.
+    StreamFill { pending: usize },
+    /// 64 B line fill headed to core `core`'s L1.
+    L1Fill { core: usize, line: u64 },
+    /// 64 B line fill headed to the shared LLC.
+    LlcFill { line: u64 },
+    /// Fire-and-forget (writebacks, permutable writes).
+    Fire,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Advance(usize),
+    VaultTick(u32),
+    MemDone { pending: usize, done: Time },
+    L1FillDone { core: usize, line: u64 },
+    LlcFillDone { line: u64 },
+}
+
+/// One evaluated system's hardware.
+pub struct Machine {
+    cfg: SystemConfig,
+    map: AddressMap,
+    vaults: Vec<VaultController>,
+    meshes: Vec<Mesh>,
+    /// Per HMC: (CPU→HMC, HMC→CPU).
+    cpu_links: Vec<(SerDesLink, SerDesLink)>,
+    /// Directional inter-HMC links (NMP fully-connected network).
+    hmc_links: HashMap<(u32, u32), SerDesLink>,
+    l1s: Vec<Cache>,
+    llc: Option<Cache>,
+    prefetcher: NextLinePrefetcher,
+    now: Time,
+    /// Permutable region base per vault while a shuffle is active.
+    perm_bases: HashMap<u32, u64>,
+    /// Arrival metadata from the last shuffle: per vault, `(core, seq)` in
+    /// arrival order.
+    perm_arrivals: HashMap<u32, Vec<(usize, u64)>>,
+    stats: Stats,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("kind", &self.cfg.kind)
+            .field("vaults", &self.vaults.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Builds the machine for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: SystemConfig) -> Self {
+        cfg.validate();
+        let map = cfg.address_map();
+        let vaults = (0..cfg.total_vaults())
+            .map(|v| VaultController::new(cfg.vault, map.vault_base(v)))
+            .collect();
+        let meshes = (0..cfg.hmcs).map(|_| Mesh::new(cfg.mesh)).collect();
+        let cpu_links = (0..cfg.hmcs)
+            .map(|_| (SerDesLink::new(cfg.serdes), SerDesLink::new(cfg.serdes)))
+            .collect();
+        let mut hmc_links = HashMap::new();
+        if cfg.kind.is_nmp() {
+            for a in 0..cfg.hmcs {
+                for b in 0..cfg.hmcs {
+                    if a != b {
+                        hmc_links.insert((a, b), SerDesLink::new(cfg.serdes));
+                    }
+                }
+            }
+        }
+        let units = cfg.compute_units() as usize;
+        let l1_cfg = if cfg.kind.is_mondrian() {
+            mondrian_cache::CacheConfig::mondrian_l1()
+        } else {
+            cfg.l1
+        };
+        let l1s = (0..units).map(|_| Cache::new(l1_cfg)).collect();
+        let llc = (!cfg.kind.is_nmp()).then(|| Cache::new(cfg.llc));
+        Self {
+            map,
+            vaults,
+            meshes,
+            cpu_links,
+            hmc_links,
+            l1s,
+            llc,
+            prefetcher: NextLinePrefetcher::table3(),
+            now: 0,
+            perm_bases: HashMap::new(),
+            perm_arrivals: HashMap::new(),
+            stats: Stats::new(),
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Advances the clock by `delta` without doing work — used for fixed
+    /// synchronization costs such as the shuffle_begin/shuffle_end MSI
+    /// barriers (§5.4).
+    pub fn advance_time(&mut self, delta: Time) {
+        self.now += delta;
+    }
+
+    /// The flat address map.
+    pub fn address_map(&self) -> &AddressMap {
+        &self.map
+    }
+
+    /// Installs per-vault permutable destination regions — the hardware
+    /// half of `shuffle_begin` (§5.4). `regions[v]` applies to vault `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if region count mismatches the vault count.
+    pub fn shuffle_begin(&mut self, regions: Vec<PermutableRegion>) {
+        assert_eq!(regions.len(), self.vaults.len());
+        self.perm_bases.clear();
+        self.perm_arrivals.clear();
+        for (v, region) in regions.into_iter().enumerate() {
+            self.perm_bases.insert(v as u32, region.base);
+            self.vaults[v].set_permutable_region(region);
+        }
+    }
+
+    /// Tears down permutable regions and collects the arrival logs — the
+    /// hardware half of `shuffle_end`.
+    pub fn shuffle_end(&mut self) -> HashMap<u32, Vec<(usize, u64)>> {
+        for v in self.vaults.iter_mut() {
+            v.clear_permutable_region();
+        }
+        self.perm_bases.clear();
+        std::mem::take(&mut self.perm_arrivals)
+    }
+
+    fn tile_of(&self, vault: u32) -> u32 {
+        vault % self.cfg.vaults_per_hmc
+    }
+
+    fn hmc_of(&self, vault: u32) -> u32 {
+        vault / self.cfg.vaults_per_hmc
+    }
+
+    /// Network-interface tile on a mesh for external link `peer_slot`.
+    fn ni_tile(&self, slot: u32) -> u32 {
+        let w = self.cfg.mesh.width;
+        let h = self.cfg.mesh.height;
+        let corners = [0, w - 1, (h - 1) * w, h * w - 1];
+        corners[(slot % 4) as usize]
+    }
+
+    /// Routes `bytes` of payload from `from` to vault `to`; returns the
+    /// arrival time.
+    fn route_to_vault(&mut self, from: Ep, to: u32, bytes: u32, t: Time) -> Time {
+        let dst_hmc = self.hmc_of(to);
+        let dst_tile = self.tile_of(to);
+        match from {
+            Ep::Cpu => {
+                let t1 = self.cpu_links[dst_hmc as usize].0.send(bytes, t);
+                let ni = self.ni_tile(0);
+                self.meshes[dst_hmc as usize].send_unreserved(ni, dst_tile, bytes, t1)
+            }
+            Ep::Vault(src) => {
+                let src_hmc = self.hmc_of(src);
+                let src_tile = self.tile_of(src);
+                if src_hmc == dst_hmc {
+                    self.meshes[src_hmc as usize].send(src_tile, dst_tile, bytes, t)
+                } else {
+                    let ni_out = self.ni_tile(dst_hmc);
+                    let t1 = self.meshes[src_hmc as usize]
+                        .send_unreserved(src_tile, ni_out, bytes, t);
+                    let t2 = self
+                        .hmc_links
+                        .get_mut(&(src_hmc, dst_hmc))
+                        .expect("fully-connected NMP network")
+                        .send(bytes, t1);
+                    let ni_in = self.ni_tile(src_hmc);
+                    self.meshes[dst_hmc as usize].send_unreserved(ni_in, dst_tile, bytes, t2)
+                }
+            }
+        }
+    }
+
+    /// Routes a response from vault `from` back to `to`.
+    fn route_from_vault(&mut self, from: u32, to: Ep, bytes: u32, t: Time) -> Time {
+        let src_hmc = self.hmc_of(from);
+        let src_tile = self.tile_of(from);
+        match to {
+            Ep::Cpu => {
+                let ni = self.ni_tile(0);
+                let t1 = self.meshes[src_hmc as usize].send_unreserved(src_tile, ni, bytes, t);
+                self.cpu_links[src_hmc as usize].1.send(bytes, t1)
+            }
+            Ep::Vault(dst) => {
+                // Symmetric to route_to_vault.
+                let dst_hmc = self.hmc_of(dst);
+                if src_hmc == dst_hmc {
+                    let dt = self.tile_of(dst);
+                    self.meshes[src_hmc as usize].send(src_tile, dt, bytes, t)
+                } else {
+                    let ni_out = self.ni_tile(dst_hmc);
+                    let t1 = self.meshes[src_hmc as usize]
+                        .send_unreserved(src_tile, ni_out, bytes, t);
+                    let t2 = self
+                        .hmc_links
+                        .get_mut(&(src_hmc, dst_hmc))
+                        .expect("fully-connected NMP network")
+                        .send(bytes, t1);
+                    let ni_in = self.ni_tile(src_hmc);
+                    let dt = self.tile_of(dst);
+                    self.meshes[dst_hmc as usize].send_unreserved(ni_in, dt, bytes, t2)
+                }
+            }
+        }
+    }
+
+    fn endpoint(&self, core: usize) -> Ep {
+        if self.cfg.kind.is_nmp() {
+            Ep::Vault(core as u32)
+        } else {
+            Ep::Cpu
+        }
+    }
+
+    /// Runs one phase: `kernels[i]` executes on compute unit `i` (`None`
+    /// idles the unit).
+    ///
+    /// # Errors
+    ///
+    /// Returns the number of dropped permutable writes if any destination
+    /// buffer overflowed — the exception the CPU must handle by resizing
+    /// and re-running the shuffle (§5.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics on kernel/machine mismatches (wrong kernel count, SIMD on
+    /// non-SIMD cores, deadlock).
+    pub fn run_phase(
+        &mut self,
+        kernels: Vec<Option<Box<dyn Kernel>>>,
+        label: &str,
+    ) -> Result<PhaseOutcome, u64> {
+        assert_eq!(kernels.len(), self.l1s.len(), "one kernel slot per compute unit");
+        let start = self.now;
+        let core_cfg = self.cfg.kind.core_config();
+        let mut cores: Vec<Option<Core>> = kernels
+            .into_iter()
+            .map(|k| {
+                k.map(|kernel| {
+                    let mut c = Core::new(core_cfg, kernel);
+                    c.set_start(start);
+                    c
+                })
+            })
+            .collect();
+
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        let mut pending: Vec<Pending> = Vec::new();
+        let mut vault_ops: HashMap<u64, VaultOp> = HashMap::new();
+        let mut vault_tick: Vec<Option<Time>> = vec![None; self.vaults.len()];
+        let mut l1_waiters: Vec<HashMap<u64, Vec<usize>>> =
+            (0..self.l1s.len()).map(|_| HashMap::new()).collect();
+        let mut llc_waiters: HashMap<u64, Vec<(usize, u64)>> = HashMap::new();
+        let mut stalls: Vec<VecDeque<usize>> = (0..self.l1s.len()).map(|_| VecDeque::new()).collect();
+        let mut overflows: u64 = 0;
+        let mut next_dram_id: u64 = 0;
+        let mut end = start;
+
+        for (i, c) in cores.iter().enumerate() {
+            if c.is_some() {
+                queue.schedule(start, Ev::Advance(i));
+            }
+        }
+
+        // The borrow checker forbids neat closures over `self` here; the
+        // loop body is written out imperatively instead.
+        macro_rules! sched_vault {
+            ($q:expr, $vt:expr, $v:expr) => {{
+                let v = $v as usize;
+                if let Some(t) = self.vaults[v].next_event_time() {
+                    if $vt[v].is_none_or(|cur| t < cur) {
+                        $vt[v] = Some(t);
+                        $q.schedule(t, Ev::VaultTick($v as u32));
+                    }
+                }
+            }};
+        }
+
+        let mut handle_reqs: VecDeque<(usize, MemRequest)> = VecDeque::new();
+        let mut out_buf: Vec<MemRequest> = Vec::new();
+
+        macro_rules! advance_core {
+            ($i:expr) => {{
+                let i = $i;
+                if let Some(core) = cores[i].as_mut() {
+                    out_buf.clear();
+                    let status = core.advance(&mut out_buf);
+                    for r in out_buf.drain(..) {
+                        handle_reqs.push_back((i, r));
+                    }
+                    if let CoreStatus::Finished(at) = status {
+                        end = end.max(at);
+                    }
+                }
+            }};
+        }
+
+        // Main event loop.
+        let mut guard: u64 = 0;
+        loop {
+            // Drain newly emitted core requests first (they carry their own
+            // issue timestamps).
+            if !handle_reqs.is_empty() {
+                while let Some((i, req)) = handle_reqs.pop_front() {
+                    self.issue_request(
+                        i,
+                        req,
+                        &mut queue,
+                        &mut pending,
+                        &mut vault_ops,
+                        &mut l1_waiters,
+                        &mut llc_waiters,
+                        &mut stalls,
+                        &mut overflows,
+                        &mut next_dram_id,
+                    );
+                }
+                // Vault state may have changed.
+                for v in 0..self.vaults.len() {
+                    sched_vault!(queue, vault_tick, v);
+                }
+            }
+            let Some((t, ev)) = queue.pop() else {
+                break;
+            };
+            self.now = self.now.max(t);
+            end = end.max(t);
+            guard += 1;
+            assert!(guard < 2_000_000_000, "event-loop runaway in phase {label}");
+            match ev {
+                Ev::Advance(i) => advance_core!(i),
+                Ev::VaultTick(v) => {
+                    vault_tick[v as usize] = None;
+                    let done = self.vaults[v as usize].poll(t);
+                    for c in done {
+                        let op = vault_ops.remove(&c.id).expect("continuation registered");
+                        match op {
+                            VaultOp::Fire => {}
+                            VaultOp::StreamFill { pending: p } => {
+                                let done_at = c.finish + PS_PER_NS;
+                                queue.schedule(done_at, Ev::MemDone { pending: p, done: done_at });
+                            }
+                            VaultOp::L1Fill { core, line } => {
+                                let back = self.route_from_vault(
+                                    v,
+                                    self.endpoint(core),
+                                    self.l1s[core].config().line_bytes,
+                                    c.finish,
+                                );
+                                queue.schedule(back, Ev::L1FillDone { core, line });
+                            }
+                            VaultOp::LlcFill { line } => {
+                                let bytes = self.cfg.llc.line_bytes;
+                                let back = self.route_from_vault(v, Ep::Cpu, bytes, c.finish);
+                                queue.schedule(back, Ev::LlcFillDone { line });
+                            }
+                        }
+                    }
+                    sched_vault!(queue, vault_tick, v);
+                }
+                Ev::MemDone { pending: p, done } => {
+                    let core_id = pending[p].core;
+                    let req = pending[p].req;
+                    if let Some(core) = cores[core_id].as_mut() {
+                        out_buf.clear();
+                        core.complete_mem(&req, done, &mut out_buf);
+                        for r in out_buf.drain(..) {
+                            handle_reqs.push_back((core_id, r));
+                        }
+                    }
+                    queue.schedule(done, Ev::Advance(core_id));
+                }
+                Ev::L1FillDone { core, line } => {
+                    self.l1s[core].complete_fill(line);
+                    if let Some(waiters) = l1_waiters[core].remove(&line) {
+                        for p in waiters {
+                            let req = pending[p].req;
+                            if matches!(req.kind, MemKind::Store(_)) {
+                                self.l1s[core].mark_dirty(req.addr);
+                            }
+                            queue.schedule(t, Ev::MemDone { pending: p, done: t });
+                        }
+                    }
+                    // Retry accesses stalled on MSHRs (they re-enter
+                    // issue_request with fresh pending slots; the stalled
+                    // slot itself is abandoned).
+                    while let Some(p) = stalls[core].pop_front() {
+                        if !self.l1s[core].mshr_available() {
+                            stalls[core].push_front(p);
+                            break;
+                        }
+                        let mut retry = pending[p].req;
+                        retry.issue_at = t;
+                        handle_reqs.push_back((core, retry));
+                    }
+                    queue.schedule(t, Ev::Advance(core));
+                }
+                Ev::LlcFillDone { line } => {
+                    let llc = self.llc.as_mut().expect("LLC fills only on the CPU system");
+                    llc.complete_fill(line);
+                    if let Some(waiters) = llc_waiters.remove(&line) {
+                        for (core, l1_line) in waiters {
+                            queue.schedule(
+                                t + PS_PER_NS,
+                                Ev::L1FillDone { core, line: l1_line },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // All cores must have finished; otherwise we deadlocked.
+        let mut instructions = 0;
+        let mut simd_ops = 0;
+        let mut core_busy = Vec::with_capacity(cores.len());
+        for (i, c) in cores.iter().enumerate() {
+            let Some(core) = c else {
+                core_busy.push(0.0);
+                continue;
+            };
+            assert!(
+                core.finished(),
+                "compute unit {i} deadlocked in phase {label} (window stuck)"
+            );
+            instructions += core.stats().instructions;
+            simd_ops += core.stats().simd_ops;
+            let cycles = core
+                .config()
+                .clock
+                .ps_to_cycles_ceil((end - start).max(1));
+            let ipc = core.stats().instructions as f64 / cycles as f64;
+            core_busy.push((ipc / core.config().width as f64).min(1.0));
+        }
+        self.now = end;
+        let outcome = PhaseOutcome {
+            label: label.to_owned(),
+            start,
+            end,
+            instructions,
+            simd_ops,
+            core_busy,
+            overflows,
+        };
+        if overflows > 0 {
+            return Err(overflows);
+        }
+        Ok(outcome)
+    }
+
+    /// Issues one core memory request into caches/network/vaults.
+    #[allow(clippy::too_many_arguments)]
+    fn issue_request(
+        &mut self,
+        core: usize,
+        req: MemRequest,
+        queue: &mut EventQueue<Ev>,
+        pending: &mut Vec<Pending>,
+        vault_ops: &mut HashMap<u64, VaultOp>,
+        l1_waiters: &mut [HashMap<u64, Vec<usize>>],
+        llc_waiters: &mut HashMap<u64, Vec<(usize, u64)>>,
+        stalls: &mut [VecDeque<usize>],
+        overflows: &mut u64,
+        next_dram_id: &mut u64,
+    ) {
+        let t = req.issue_at;
+        match req.kind {
+            MemKind::Load | MemKind::Store(StoreKind::Cached) => {
+                let p = pending.len();
+                pending.push(Pending { core, req });
+                self.cached_access(
+                    core, p, req, queue, vault_ops, l1_waiters, llc_waiters, stalls,
+                    next_dram_id,
+                );
+            }
+            MemKind::Store(StoreKind::Streaming) => {
+                let p = pending.len();
+                pending.push(Pending { core, req });
+                let vault = self.map.vault_of(req.addr);
+                let arr = self.route_to_vault(self.endpoint(core), vault, req.bytes, t);
+                // Posted write: the store queue entry frees once the network
+                // has accepted the message (link back-pressure applies via
+                // the reservation in `arr`); the DRAM write itself still
+                // holds the phase open until it drains.
+                queue.schedule(arr, Ev::MemDone { pending: p, done: arr });
+                // Split at DRAM row boundaries (the HMC protocol would carry
+                // this as one packet; the controller issues per-row column
+                // commands).
+                let row_bytes = self.cfg.vault.row_bytes as u64;
+                let mut addr = req.addr;
+                let end = req.addr + req.bytes as u64;
+                while addr < end {
+                    let row_end = (addr / row_bytes + 1) * row_bytes;
+                    let chunk = end.min(row_end) - addr;
+                    let id = *next_dram_id;
+                    *next_dram_id += 1;
+                    let dreq = DramRequest {
+                        id,
+                        addr,
+                        bytes: chunk as u32,
+                        kind: AccessKind::Write,
+                    };
+                    self.vaults[vault as usize]
+                        .enqueue(dreq, arr)
+                        .expect("plain writes cannot overflow");
+                    vault_ops.insert(id, VaultOp::Fire);
+                    addr += chunk;
+                }
+            }
+            MemKind::Store(StoreKind::Permutable { dst_vault }) => {
+                // The request's address field carries the object emission
+                // sequence (see the core model).
+                let seq = req.addr;
+                let arr = self.route_to_vault(self.endpoint(core), dst_vault, req.bytes, t);
+                let id = *next_dram_id;
+                *next_dram_id += 1;
+                let base = *self
+                    .perm_bases
+                    .get(&dst_vault)
+                    .expect("permutable store outside an active shuffle");
+                let dreq = DramRequest {
+                    id,
+                    addr: base,
+                    bytes: req.bytes,
+                    kind: AccessKind::PermutableWrite,
+                };
+                match self.vaults[dst_vault as usize].enqueue(dreq, arr) {
+                    Ok(()) => {
+                        vault_ops.insert(id, VaultOp::Fire);
+                        self.perm_arrivals.entry(dst_vault).or_default().push((core, seq));
+                    }
+                    Err(_) => *overflows += 1,
+                }
+            }
+            MemKind::StreamFill { .. } => {
+                let p = pending.len();
+                pending.push(Pending { core, req });
+                let vault = self.map.vault_of(req.addr);
+                debug_assert_eq!(
+                    vault, core as u32,
+                    "stream buffers prefetch from the local vault only"
+                );
+                let id = *next_dram_id;
+                *next_dram_id += 1;
+                let dreq =
+                    DramRequest { id, addr: req.addr, bytes: req.bytes, kind: AccessKind::Read };
+                match self.vaults[vault as usize].enqueue(dreq, t + PS_PER_NS) {
+                    Ok(()) => {
+                        vault_ops.insert(id, VaultOp::StreamFill { pending: p });
+                    }
+                    Err(_) => unreachable!("reads cannot overflow"),
+                }
+            }
+        }
+    }
+
+    /// A cacheable load/store works its way through L1 (and the LLC on the
+    /// CPU system).
+    #[allow(clippy::too_many_arguments)]
+    fn cached_access(
+        &mut self,
+        core: usize,
+        p: usize,
+        req: MemRequest,
+        queue: &mut EventQueue<Ev>,
+        vault_ops: &mut HashMap<u64, VaultOp>,
+        l1_waiters: &mut [HashMap<u64, Vec<usize>>],
+        llc_waiters: &mut HashMap<u64, Vec<(usize, u64)>>,
+        stalls: &mut [VecDeque<usize>],
+        next_dram_id: &mut u64,
+    ) {
+        let is_write = matches!(req.kind, MemKind::Store(_));
+        let core_period = self.cfg.kind.core_config().clock.period_ps();
+        let t_hit = req.issue_at + self.cfg.l1_hit_cycles * core_period;
+        let line = self.cfg.l1.line_of(req.addr);
+        match self.l1s[core].lookup(req.addr, is_write) {
+            Lookup::Hit => {
+                queue.schedule(t_hit, Ev::MemDone { pending: p, done: t_hit });
+            }
+            Lookup::PendingMiss => {
+                l1_waiters[core].entry(line).or_default().push(p);
+            }
+            Lookup::Miss => {
+                if !self.l1s[core].can_begin_fill(line) {
+                    stalls[core].push_back(p);
+                    return;
+                }
+                l1_waiters[core].entry(line).or_default().push(p);
+                self.start_l1_fill(
+                    core, line, t_hit, false, queue, vault_ops, llc_waiters, next_dram_id,
+                );
+                // Next-line prefetcher reacts to the demand miss.
+                for cand in self.prefetcher.candidates(req.addr) {
+                    if self.l1s[core].can_begin_fill(cand) {
+                        self.start_l1_fill(
+                            core, cand, t_hit, true, queue, vault_ops, llc_waiters, next_dram_id,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Starts an L1 line fill (demand or prefetch) and pushes it down the
+    /// hierarchy.
+    #[allow(clippy::too_many_arguments)]
+    fn start_l1_fill(
+        &mut self,
+        core: usize,
+        line: u64,
+        t: Time,
+        prefetch: bool,
+        queue: &mut EventQueue<Ev>,
+        vault_ops: &mut HashMap<u64, VaultOp>,
+        llc_waiters: &mut HashMap<u64, Vec<(usize, u64)>>,
+        next_dram_id: &mut u64,
+    ) {
+        let line_bytes = self.l1s[core].config().line_bytes;
+        let fill = self.l1s[core].begin_fill(line, prefetch);
+        if let Some(wb) = fill.writeback {
+            self.writeback(core, wb, line_bytes, t, vault_ops, next_dram_id);
+        }
+        if self.llc.is_some() {
+            // CPU system: consult the shared LLC.
+            let cpu_period = self.cfg.kind.core_config().clock.period_ps();
+            let t_llc = t + self.cfg.llc_hit_cycles * cpu_period;
+            let llc = self.llc.as_mut().expect("checked");
+            match llc.lookup(line, false) {
+                Lookup::Hit => {
+                    queue.schedule(t_llc, Ev::L1FillDone { core, line });
+                }
+                Lookup::PendingMiss => {
+                    llc_waiters.entry(line).or_default().push((core, line));
+                }
+                Lookup::Miss => {
+                    // When the LLC cannot accept another fill (MSHR pool or
+                    // set exhausted), fetch the line from memory directly
+                    // without allocating it in the LLC.
+                    if !llc.can_begin_fill(line) {
+                        self.memory_read_for_l1(core, line, t_llc, vault_ops, next_dram_id);
+                        return;
+                    }
+                    let fill = llc.begin_fill(line, false);
+                    llc_waiters.entry(line).or_default().push((core, line));
+                    if let Some(wb) = fill.writeback {
+                        let bytes = self.cfg.llc.line_bytes;
+                        self.writeback_from_cpu(wb, bytes, t_llc, vault_ops, next_dram_id);
+                    }
+                    let vault = self.map.vault_of(line);
+                    let arr = self.route_to_vault(Ep::Cpu, vault, 8, t_llc);
+                    let id = *next_dram_id;
+                    *next_dram_id += 1;
+                    let bytes = self.cfg.llc.line_bytes;
+                    let dreq = DramRequest { id, addr: line, bytes, kind: AccessKind::Read };
+                    self.vaults[vault as usize]
+                        .enqueue(dreq, arr)
+                        .expect("reads cannot overflow");
+                    vault_ops.insert(id, VaultOp::LlcFill { line });
+                }
+            }
+        } else {
+            // NMP systems: L1 misses go straight to DRAM.
+            self.memory_read_for_l1(core, line, t, vault_ops, next_dram_id);
+        }
+    }
+
+    fn memory_read_for_l1(
+        &mut self,
+        core: usize,
+        line: u64,
+        t: Time,
+        vault_ops: &mut HashMap<u64, VaultOp>,
+        next_dram_id: &mut u64,
+    ) {
+        let vault = self.map.vault_of(line);
+        let arr = self.route_to_vault(self.endpoint(core), vault, 8, t);
+        let id = *next_dram_id;
+        *next_dram_id += 1;
+        let bytes = self.l1s[core].config().line_bytes;
+        let dreq = DramRequest { id, addr: line, bytes, kind: AccessKind::Read };
+        self.vaults[vault as usize].enqueue(dreq, arr).expect("reads cannot overflow");
+        vault_ops.insert(id, VaultOp::L1Fill { core, line });
+    }
+
+    fn writeback(
+        &mut self,
+        core: usize,
+        addr: u64,
+        bytes: u32,
+        t: Time,
+        vault_ops: &mut HashMap<u64, VaultOp>,
+        next_dram_id: &mut u64,
+    ) {
+        if let Some(llc) = self.llc.as_mut() {
+            // CPU: L1 writebacks land in the LLC when it holds the line.
+            if let Lookup::Hit = llc.lookup(addr, true) {
+                return;
+            }
+            self.writeback_from_cpu(addr, bytes, t, vault_ops, next_dram_id);
+        } else {
+            let vault = self.map.vault_of(addr);
+            let arr = self.route_to_vault(self.endpoint(core), vault, bytes, t);
+            let id = *next_dram_id;
+            *next_dram_id += 1;
+            let dreq = DramRequest { id, addr, bytes, kind: AccessKind::Write };
+            self.vaults[vault as usize].enqueue(dreq, arr).expect("writes fit");
+            vault_ops.insert(id, VaultOp::Fire);
+        }
+    }
+
+    fn writeback_from_cpu(
+        &mut self,
+        addr: u64,
+        bytes: u32,
+        t: Time,
+        vault_ops: &mut HashMap<u64, VaultOp>,
+        next_dram_id: &mut u64,
+    ) {
+        let vault = self.map.vault_of(addr);
+        let arr = self.route_to_vault(Ep::Cpu, vault, bytes, t);
+        let id = *next_dram_id;
+        *next_dram_id += 1;
+        let dreq = DramRequest { id, addr, bytes, kind: AccessKind::Write };
+        self.vaults[vault as usize].enqueue(dreq, arr).expect("writes fit");
+        vault_ops.insert(id, VaultOp::Fire);
+    }
+
+    /// Exports all component statistics into one registry and returns it.
+    pub fn export_stats(&mut self) -> Stats {
+        let mut s = std::mem::take(&mut self.stats);
+        for (v, vault) in self.vaults.iter().enumerate() {
+            vault.stats().export(&mut s, &format!("vault.{v}"));
+        }
+        for (h, mesh) in self.meshes.iter().enumerate() {
+            mesh.stats().export(&mut s, &format!("mesh.{h}"));
+        }
+        for (h, (tx, rx)) in self.cpu_links.iter().enumerate() {
+            tx.stats().export(&mut s, &format!("serdes.cpu{h}.tx"));
+            rx.stats().export(&mut s, &format!("serdes.cpu{h}.rx"));
+        }
+        for ((a, b), link) in &self.hmc_links {
+            link.stats().export(&mut s, &format!("serdes.hmc{a}to{b}"));
+        }
+        for (i, l1) in self.l1s.iter().enumerate() {
+            l1.stats().export(&mut s, &format!("l1.{i}"));
+        }
+        if let Some(llc) = &self.llc {
+            llc.stats().export(&mut s, "llc");
+        }
+        s
+    }
+
+    /// Number of SerDes link *directions* powered in this system (for idle
+    /// energy).
+    pub fn serdes_directions(&self) -> u32 {
+        (self.cpu_links.len() * 2 + self.hmc_links.len()) as u32
+    }
+}

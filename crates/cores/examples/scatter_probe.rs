@@ -1,0 +1,51 @@
+use mondrian_cores::*;
+use mondrian_sim::Time;
+
+fn run(core: &mut Core) -> Time {
+    let mut outstanding: Vec<MemRequest> = Vec::new();
+    let mut out = Vec::new();
+    loop {
+        match core.advance(&mut out) {
+            CoreStatus::Finished(at) => return at,
+            CoreStatus::Blocked => {
+                outstanding.append(&mut out);
+                outstanding.sort_by_key(|r| r.issue_at);
+                for req in outstanding.drain(..) {
+                    let lat = match req.kind {
+                        MemKind::Load => if req.bytes >= 64 { 25_000 } else { 2_000 },
+                        MemKind::Store(_) => 30_000,
+                        MemKind::StreamFill { .. } => 25_000,
+                    };
+                    core.complete_mem(&req, req.issue_at + lat, &mut out);
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let n = 4096u64;
+    let mut ops = Vec::new();
+    for i in 0..n {
+        ops.push(MicroOp::load(i * 16, 16));
+        ops.push(MicroOp::compute_dep(4));
+        ops.push(MicroOp::load_dep(1 << 20, 8));
+        ops.push(MicroOp::Store { addr: 2 << 20, bytes: 16, kind: StoreKind::Streaming });
+        ops.push(MicroOp::store(1 << 20, 8));
+    }
+    let mut core = Core::new(CoreConfig::krait400(), Box::new(VecKernel::new(ops.clone())));
+    let at = run(&mut core);
+    println!("scatter-like: {} ps total, {:.1} ns/tuple", at, at as f64 / n as f64 / 1000.0);
+
+    let mut ops2 = Vec::new();
+    for i in 0..n {
+        ops2.push(MicroOp::load(i * 16, 16));
+        ops2.push(MicroOp::compute_dep(4));
+        ops2.push(MicroOp::load_dep(1 << 20, 8));
+        ops2.push(MicroOp::compute_dep(1));
+        ops2.push(MicroOp::store(1 << 20, 8));
+    }
+    let mut core = Core::new(CoreConfig::krait400(), Box::new(VecKernel::new(ops2)));
+    let at = run(&mut core);
+    println!("histogram-like: {} ps total, {:.1} ns/tuple", at, at as f64 / n as f64 / 1000.0);
+}

@@ -1,0 +1,206 @@
+//! The micro-op vocabulary shared between operator kernels and core models.
+//!
+//! Operator implementations in `mondrian-ops` are *instrumented*: alongside
+//! computing real results they lazily emit the stream of micro-ops the
+//! algorithm would execute. Micro-ops carry exactly the quantities the
+//! paper's bottleneck analysis depends on — instruction counts, SIMD width
+//! usage, memory addresses/sizes, and the data dependencies that limit
+//! memory-level parallelism.
+
+/// Dependency of a micro-op on earlier results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Dep {
+    /// Independent of outstanding memory accesses.
+    #[default]
+    None,
+    /// Consumes the result of the most recent `Load` (address or data
+    /// dependence). For loads this delays *issue*; for compute it delays
+    /// completion. This is the serialization that makes hash-table walks and
+    /// histogram updates latency-bound (§3.2).
+    OnPrevLoad,
+}
+
+/// How a store interacts with the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreKind {
+    /// Write-back cacheable store (CPU-style code).
+    Cached,
+    /// Non-temporal streaming store that bypasses caches (NMP shuffle
+    /// writes to remote vaults).
+    Streaming,
+    /// A permutable-object store: routed to `dst_vault`'s object buffer and
+    /// ultimately appended wherever that vault's controller chooses (§5.3).
+    Permutable {
+        /// Destination vault (global id).
+        dst_vault: u32,
+    },
+}
+
+/// One unit of work flowing through a core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MicroOp {
+    /// `n` scalar single-cycle instructions (ALU, branch, address math).
+    Compute {
+        /// Number of instructions.
+        n: u32,
+        /// Dependence on the previous load.
+        dep: Dep,
+    },
+    /// One SIMD instruction (the core's full vector width).
+    Simd {
+        /// Dependence on the previous load.
+        dep: Dep,
+    },
+    /// A memory read.
+    Load {
+        /// Physical address.
+        addr: u64,
+        /// Access size in bytes.
+        bytes: u32,
+        /// Dependence on the previous load (pointer chasing).
+        dep: Dep,
+        /// When `Some(i)`, the read is satisfied by stream buffer `i`
+        /// (Mondrian only): a 1-cycle pop of prefetched data.
+        stream: Option<u8>,
+    },
+    /// A memory write.
+    Store {
+        /// Physical address (ignored for [`StoreKind::Permutable`], where
+        /// the destination controller assigns the final address).
+        addr: u64,
+        /// Access size in bytes.
+        bytes: u32,
+        /// Store flavor.
+        kind: StoreKind,
+    },
+    /// Configure stream buffer `buf` to prefetch `[base, base + len)`
+    /// (the `prefetch_in_str_buf` call of Fig. 4b).
+    ConfigStream {
+        /// Stream buffer index.
+        buf: u8,
+        /// Start of the stream.
+        base: u64,
+        /// Length of the stream in bytes.
+        len: u64,
+    },
+}
+
+impl MicroOp {
+    /// Number of retired instructions this op represents.
+    pub fn instructions(&self) -> u64 {
+        match *self {
+            MicroOp::Compute { n, .. } => n as u64,
+            MicroOp::Simd { .. } | MicroOp::Load { .. } | MicroOp::Store { .. } => 1,
+            MicroOp::ConfigStream { .. } => 1,
+        }
+    }
+
+    /// Convenience constructor for an independent scalar block.
+    pub fn compute(n: u32) -> Self {
+        MicroOp::Compute { n, dep: Dep::None }
+    }
+
+    /// Convenience constructor for a load-dependent scalar block.
+    pub fn compute_dep(n: u32) -> Self {
+        MicroOp::Compute { n, dep: Dep::OnPrevLoad }
+    }
+
+    /// Convenience constructor for an independent load.
+    pub fn load(addr: u64, bytes: u32) -> Self {
+        MicroOp::Load { addr, bytes, dep: Dep::None, stream: None }
+    }
+
+    /// Convenience constructor for a pointer-chasing load.
+    pub fn load_dep(addr: u64, bytes: u32) -> Self {
+        MicroOp::Load { addr, bytes, dep: Dep::OnPrevLoad, stream: None }
+    }
+
+    /// Convenience constructor for a stream-buffer pop.
+    pub fn stream_load(buf: u8, addr: u64, bytes: u32) -> Self {
+        MicroOp::Load { addr, bytes, dep: Dep::None, stream: Some(buf) }
+    }
+
+    /// Convenience constructor for a cacheable store.
+    pub fn store(addr: u64, bytes: u32) -> Self {
+        MicroOp::Store { addr, bytes, kind: StoreKind::Cached }
+    }
+}
+
+/// A lazily generated micro-op stream: the executable form of one operator
+/// phase on one compute unit.
+///
+/// Kernels are deterministic state machines over the input data: pulling the
+/// same kernel twice yields the same op sequence, which keeps whole-system
+/// simulations reproducible.
+pub trait Kernel {
+    /// Produces the next micro-op, or `None` when the phase is complete.
+    fn next_op(&mut self) -> Option<MicroOp>;
+
+    /// Human-readable kernel name for tracing and error messages.
+    fn name(&self) -> &'static str {
+        "kernel"
+    }
+}
+
+/// A kernel backed by a pre-built vector of micro-ops (used by tests and
+/// micro-benchmarks).
+#[derive(Debug, Clone)]
+pub struct VecKernel {
+    ops: std::vec::IntoIter<MicroOp>,
+}
+
+impl VecKernel {
+    /// Wraps a vector of ops.
+    pub fn new(ops: Vec<MicroOp>) -> Self {
+        Self { ops: ops.into_iter() }
+    }
+}
+
+impl Kernel for VecKernel {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        self.ops.next()
+    }
+
+    fn name(&self) -> &'static str {
+        "vec"
+    }
+}
+
+impl<K: Kernel + ?Sized> Kernel for Box<K> {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        (**self).next_op()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_weights() {
+        assert_eq!(MicroOp::compute(7).instructions(), 7);
+        assert_eq!(MicroOp::Simd { dep: Dep::None }.instructions(), 1);
+        assert_eq!(MicroOp::load(0, 16).instructions(), 1);
+        assert_eq!(MicroOp::store(0, 16).instructions(), 1);
+    }
+
+    #[test]
+    fn vec_kernel_drains_in_order() {
+        let mut k = VecKernel::new(vec![MicroOp::compute(1), MicroOp::load(8, 8)]);
+        assert_eq!(k.next_op(), Some(MicroOp::compute(1)));
+        assert_eq!(k.next_op(), Some(MicroOp::load(8, 8)));
+        assert_eq!(k.next_op(), None);
+        assert_eq!(k.next_op(), None);
+    }
+
+    #[test]
+    fn boxed_kernel_dispatches() {
+        let mut k: Box<dyn Kernel> = Box::new(VecKernel::new(vec![MicroOp::compute(2)]));
+        assert_eq!(k.next_op(), Some(MicroOp::compute(2)));
+        assert_eq!(k.name(), "vec");
+    }
+}

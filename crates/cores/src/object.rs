@@ -1,0 +1,132 @@
+//! The object buffer: coalescing permutable stores into whole-object
+//! messages.
+//!
+//! §5.3: permutability holds per *object*, not per memory message — if an
+//! object were split across messages, the destination controller could
+//! interleave the pieces. The object buffer drains to the vault router only
+//! when its contents match the software-specified object size, so every
+//! permutable write request carries exactly one object.
+
+/// A single 256 B object buffer attached to a compute unit.
+///
+/// # Example
+///
+/// ```
+/// use mondrian_cores::ObjectBuffer;
+/// let mut ob = ObjectBuffer::new(256);
+/// ob.set_object_bytes(16);
+/// assert_eq!(ob.push(8, 3), None);       // half an object accumulated
+/// assert_eq!(ob.push(8, 3), Some((3, 16))); // full object drains to vault 3
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectBuffer {
+    capacity: u32,
+    object_bytes: u32,
+    accumulated: u32,
+    dst: Option<u32>,
+    objects_sent: u64,
+}
+
+impl ObjectBuffer {
+    /// Creates a buffer of `capacity` bytes (256 in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0, "object buffer must have capacity");
+        Self { capacity, object_bytes: capacity, accumulated: 0, dst: None, objects_sent: 0 }
+    }
+
+    /// Exposes the object size of the upcoming shuffle (part of
+    /// `malloc_permutable`: "the software exposes the used object sizes ...
+    /// to the hardware").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the size is zero, exceeds the buffer, or an object is
+    /// currently half-accumulated.
+    pub fn set_object_bytes(&mut self, bytes: u32) {
+        assert!(bytes > 0 && bytes <= self.capacity, "object size {bytes} out of range");
+        assert_eq!(self.accumulated, 0, "cannot resize mid-object");
+        self.object_bytes = bytes;
+    }
+
+    /// The configured object size.
+    pub fn object_bytes(&self) -> u32 {
+        self.object_bytes
+    }
+
+    /// Appends `bytes` of a store heading to `dst_vault`. Returns
+    /// `Some((dst_vault, object_bytes))` when a whole object is ready to be
+    /// injected into the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if stores to different destinations interleave within one
+    /// object (software must emit whole objects, §5.3).
+    pub fn push(&mut self, bytes: u32, dst_vault: u32) -> Option<(u32, u32)> {
+        match self.dst {
+            Some(d) => assert_eq!(d, dst_vault, "object split across destinations"),
+            None => self.dst = Some(dst_vault),
+        }
+        self.accumulated += bytes;
+        assert!(
+            self.accumulated <= self.object_bytes,
+            "stores overflow the declared object size"
+        );
+        if self.accumulated == self.object_bytes {
+            self.accumulated = 0;
+            self.dst = None;
+            self.objects_sent += 1;
+            Some((dst_vault, self.object_bytes))
+        } else {
+            None
+        }
+    }
+
+    /// Whole objects drained so far.
+    pub fn objects_sent(&self) -> u64 {
+        self.objects_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_drains_when_complete() {
+        let mut ob = ObjectBuffer::new(256);
+        ob.set_object_bytes(64);
+        assert_eq!(ob.push(32, 5), None);
+        assert_eq!(ob.push(32, 5), Some((5, 64)));
+        assert_eq!(ob.objects_sent(), 1);
+    }
+
+    #[test]
+    fn sixteen_byte_tuples_drain_immediately() {
+        let mut ob = ObjectBuffer::new(256);
+        ob.set_object_bytes(16);
+        for i in 0..10 {
+            assert_eq!(ob.push(16, i), Some((i, 16)));
+        }
+        assert_eq!(ob.objects_sent(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "split across destinations")]
+    fn interleaved_destinations_panic() {
+        let mut ob = ObjectBuffer::new(256);
+        ob.set_object_bytes(32);
+        ob.push(16, 1);
+        ob.push(16, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_object_rejected() {
+        let mut ob = ObjectBuffer::new(256);
+        ob.set_object_bytes(512);
+    }
+}

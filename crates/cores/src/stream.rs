@@ -1,0 +1,248 @@
+//! Stream buffers: the Mondrian compute unit's binding prefetchers.
+//!
+//! §5.2: "we provision the logic layer with eight 384 B (1.5× the row buffer
+//! size) stream buffers, sized to mask the DRAM access latency and avoid
+//! memory-access-related stalls. The stream buffers are programmable and are
+//! used to keep a constant stream of incoming data in the form of binding
+//! prefetches to feed the compute units."
+//!
+//! A [`StreamBufferSet`] tracks, per buffer, the configured stream range,
+//! the consumer head, and the fill frontier. Fills are chunked reads issued
+//! to the memory system whenever buffer space frees; fills may complete out
+//! of order (the vault controller reorders), so availability is the
+//! contiguous completed prefix. The core pops tuples from the head with
+//! 1-cycle latency when data is ready and stalls otherwise.
+
+use std::collections::BTreeSet;
+
+/// Stream buffer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Number of buffers (8 in the paper).
+    pub buffers: u8,
+    /// Capacity of each buffer in bytes (384 = 1.5 × the 256 B row buffer).
+    pub capacity: u32,
+    /// Fill request granularity in bytes.
+    pub chunk: u32,
+}
+
+impl StreamConfig {
+    /// The paper's configuration: 8 × 384 B buffers, 64 B fills.
+    pub fn mondrian() -> Self {
+        Self { buffers: 8, capacity: 384, chunk: 64 }
+    }
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self::mondrian()
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct StreamBuf {
+    end: u64,
+    /// Next byte the consumer will pop.
+    head: u64,
+    /// Next byte to request from memory.
+    fill_cursor: u64,
+    /// Contiguously completed prefix: data in `[head, complete)` is ready.
+    complete: u64,
+    /// Out-of-order completed chunk bases beyond `complete`.
+    landed: BTreeSet<u64>,
+}
+
+/// The set of stream buffers attached to one Mondrian core.
+#[derive(Debug)]
+pub struct StreamBufferSet {
+    cfg: StreamConfig,
+    bufs: Vec<StreamBuf>,
+    /// Fills issued and not yet completed, per buffer.
+    in_flight: Vec<u32>,
+    /// Total fill requests issued (for stats).
+    fills_issued: u64,
+}
+
+impl StreamBufferSet {
+    /// Creates an idle set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk size is zero or larger than the capacity.
+    pub fn new(cfg: StreamConfig) -> Self {
+        assert!(cfg.chunk > 0 && cfg.chunk <= cfg.capacity, "bad chunking");
+        Self {
+            bufs: vec![StreamBuf::default(); cfg.buffers as usize],
+            in_flight: vec![0; cfg.buffers as usize],
+            cfg,
+            fills_issued: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Programs buffer `buf` to stream `[base, base + len)` and returns the
+    /// initial fill addresses to issue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is out of range.
+    pub fn configure(&mut self, buf: u8, base: u64, len: u64) -> Vec<u64> {
+        let b = &mut self.bufs[buf as usize];
+        *b = StreamBuf {
+            end: base + len,
+            head: base,
+            fill_cursor: base,
+            complete: base,
+            landed: BTreeSet::new(),
+        };
+        self.in_flight[buf as usize] = 0;
+        self.refill(buf)
+    }
+
+    /// Whether `bytes` at the head of buffer `buf` are ready to pop.
+    pub fn ready(&self, buf: u8, bytes: u32) -> bool {
+        let b = &self.bufs[buf as usize];
+        b.head + bytes as u64 <= b.complete
+    }
+
+    /// Whether the stream has delivered everything (head reached end).
+    pub fn exhausted(&self, buf: u8) -> bool {
+        let b = &self.bufs[buf as usize];
+        b.head >= b.end
+    }
+
+    /// Pops `bytes` from the head of buffer `buf`, returning new fill
+    /// addresses to issue now that space has freed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data is not ready (callers check [`Self::ready`]).
+    pub fn pop(&mut self, buf: u8, bytes: u32) -> Vec<u64> {
+        assert!(self.ready(buf, bytes), "stream {buf} pop of unready data");
+        self.bufs[buf as usize].head += bytes as u64;
+        self.refill(buf)
+    }
+
+    /// Records completion of the fill chunk at `addr` for buffer `buf`.
+    pub fn fill_complete(&mut self, buf: u8, addr: u64) {
+        let chunk = self.cfg.chunk as u64;
+        let b = &mut self.bufs[buf as usize];
+        assert!(addr >= b.complete && addr < b.fill_cursor, "unexpected fill at {addr:#x}");
+        self.in_flight[buf as usize] -= 1;
+        b.landed.insert(addr);
+        // Advance the contiguous frontier.
+        while b.landed.remove(&b.complete) {
+            b.complete = (b.complete + chunk).min(b.end);
+        }
+    }
+
+    /// Fill addresses to issue so that buffered + in-flight data stays within
+    /// capacity.
+    fn refill(&mut self, buf: u8) -> Vec<u64> {
+        let chunk = self.cfg.chunk as u64;
+        let cap = self.cfg.capacity as u64;
+        let b = &mut self.bufs[buf as usize];
+        let mut out = Vec::new();
+        while b.fill_cursor < b.end && (b.fill_cursor - b.head) + chunk <= cap {
+            out.push(b.fill_cursor);
+            b.fill_cursor += chunk;
+            self.in_flight[buf as usize] += 1;
+            self.fills_issued += 1;
+        }
+        out
+    }
+
+    /// Total fill requests issued since creation.
+    pub fn fills_issued(&self) -> u64 {
+        self.fills_issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configure_issues_initial_fills() {
+        let mut s = StreamBufferSet::new(StreamConfig::mondrian());
+        let fills = s.configure(0, 4096, 1024);
+        // 384 B capacity / 64 B chunks = 6 initial fills.
+        assert_eq!(fills, vec![4096, 4160, 4224, 4288, 4352, 4416]);
+        assert!(!s.ready(0, 16));
+    }
+
+    #[test]
+    fn in_order_fills_advance_frontier() {
+        let mut s = StreamBufferSet::new(StreamConfig::mondrian());
+        let fills = s.configure(0, 0, 256);
+        assert_eq!(fills.len(), 4);
+        s.fill_complete(0, 0);
+        assert!(s.ready(0, 64));
+        assert!(!s.ready(0, 65));
+        s.fill_complete(0, 64);
+        assert!(s.ready(0, 128));
+    }
+
+    #[test]
+    fn out_of_order_fills_wait_for_gap() {
+        let mut s = StreamBufferSet::new(StreamConfig::mondrian());
+        s.configure(0, 0, 256);
+        s.fill_complete(0, 64); // gap at 0
+        assert!(!s.ready(0, 16));
+        s.fill_complete(0, 0);
+        assert!(s.ready(0, 128), "frontier jumps over the landed chunk");
+    }
+
+    #[test]
+    fn pop_frees_space_and_refills() {
+        let mut s = StreamBufferSet::new(StreamConfig::mondrian());
+        let initial = s.configure(0, 0, 4096);
+        assert_eq!(initial.len(), 6);
+        for a in initial {
+            s.fill_complete(0, a);
+        }
+        // Popping 64 B frees exactly one chunk of space.
+        let refills = s.pop(0, 64);
+        assert_eq!(refills, vec![384]);
+        // Popping 16 B does not free a whole chunk yet.
+        let refills = s.pop(0, 16);
+        assert!(refills.is_empty());
+        let refills = s.pop(0, 48);
+        assert_eq!(refills, vec![448]);
+    }
+
+    #[test]
+    fn short_tail_stream() {
+        let mut s = StreamBufferSet::new(StreamConfig::mondrian());
+        // 100 bytes: fills at 0 and 64 (the second covers the 36-byte tail).
+        let fills = s.configure(0, 0, 100);
+        assert_eq!(fills, vec![0, 64]);
+        s.fill_complete(0, 0);
+        s.fill_complete(0, 64);
+        assert!(s.ready(0, 100));
+        s.pop(0, 100);
+        assert!(s.exhausted(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unready data")]
+    fn popping_unready_panics() {
+        let mut s = StreamBufferSet::new(StreamConfig::mondrian());
+        s.configure(0, 0, 256);
+        s.pop(0, 16);
+    }
+
+    #[test]
+    fn multiple_buffers_are_independent() {
+        let mut s = StreamBufferSet::new(StreamConfig::mondrian());
+        s.configure(0, 0, 256);
+        s.configure(7, 1 << 20, 256);
+        s.fill_complete(7, 1 << 20);
+        assert!(!s.ready(0, 16));
+        assert!(s.ready(7, 64));
+    }
+}

@@ -1,0 +1,234 @@
+//! The energy computation.
+
+use mondrian_sim::Time;
+
+use crate::params::EnergyParams;
+
+/// The class of a compute unit, selecting its peak power.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreClass {
+    /// CPU baseline core (Cortex-A57-like).
+    Cpu,
+    /// NMP baseline core (Krait400-like).
+    Nmp,
+    /// Mondrian compute unit (Cortex-A35 + wide SIMD).
+    Mondrian,
+}
+
+/// One core's activity during the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreActivity {
+    /// Core class.
+    pub class: CoreClass,
+    /// Fraction of the runtime the core was doing useful work (achieved
+    /// IPC / peak IPC), in `[0, 1]`.
+    pub busy_fraction: f64,
+}
+
+/// Aggregate activity counts of one simulated run — the quantities the
+/// engine extracts from its statistics registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemActivity {
+    /// Wall-clock runtime of the run, picoseconds.
+    pub runtime_ps: Time,
+    /// Per-core activity.
+    pub cores: Vec<CoreActivity>,
+    /// Total DRAM row activations across all vaults.
+    pub row_activations: u64,
+    /// Total DRAM bits moved (reads + writes).
+    pub dram_bits_accessed: u64,
+    /// Number of HMC cubes (background power).
+    pub hmc_cubes: u32,
+    /// Number of SerDes link *directions* powered on (idle energy).
+    pub serdes_directions: u32,
+    /// Bits actually moved over SerDes links (including framing).
+    pub serdes_busy_bits: u64,
+    /// On-chip network traffic in bit·mm.
+    pub noc_bit_mm: f64,
+    /// Number of powered NoC meshes (leakage).
+    pub noc_meshes: u32,
+    /// LLC accesses (CPU system only).
+    pub llc_accesses: u64,
+    /// Whether an LLC exists (leakage).
+    pub has_llc: bool,
+}
+
+/// Energy per component group, joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Core dynamic + idle energy.
+    pub cores_j: f64,
+    /// LLC access + leakage energy.
+    pub llc_j: f64,
+    /// DRAM dynamic energy (activations + bit movement).
+    pub dram_dynamic_j: f64,
+    /// DRAM background/static energy.
+    pub dram_static_j: f64,
+    /// SerDes busy + idle energy.
+    pub serdes_j: f64,
+    /// NoC transfer + leakage energy.
+    pub noc_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total_j(&self) -> f64 {
+        self.cores_j + self.llc_j + self.dram_dynamic_j + self.dram_static_j + self.serdes_j
+            + self.noc_j
+    }
+
+    /// Fig. 8's four categories: (DRAM dyn, DRAM static, cores, SerDes+NoC).
+    /// LLC energy is attributed to the cores category, as the cache
+    /// hierarchy exists only on the compute side.
+    pub fn fig8_categories(&self) -> [f64; 4] {
+        [self.dram_dynamic_j, self.dram_static_j, self.cores_j + self.llc_j, self.serdes_j + self.noc_j]
+    }
+
+    /// Shares of the four Fig. 8 categories, summing to 1.
+    pub fn fig8_shares(&self) -> [f64; 4] {
+        let t = self.total_j();
+        self.fig8_categories().map(|c| c / t)
+    }
+}
+
+pub(crate) fn compute(p: &EnergyParams, a: &SystemActivity) -> EnergyBreakdown {
+    let secs = a.runtime_ps as f64 * 1e-12;
+    let mut cores_j = 0.0;
+    for c in &a.cores {
+        let peak = match c.class {
+            CoreClass::Cpu => p.cpu_core_w,
+            CoreClass::Nmp => p.nmp_core_w,
+            CoreClass::Mondrian => p.mondrian_core_w,
+        };
+        let busy = c.busy_fraction.clamp(0.0, 1.0);
+        // Idle floor + utilization-proportional dynamic power (§6: "We
+        // estimate core power based on the core's peak power and its
+        // utilization statistics").
+        let power = peak * (p.core_idle_fraction + (1.0 - p.core_idle_fraction) * busy);
+        cores_j += power * secs;
+    }
+    let llc_j = if a.has_llc {
+        a.llc_accesses as f64 * p.llc_access_j + p.llc_leakage_w * secs
+    } else {
+        0.0
+    };
+    let dram_dynamic_j = a.row_activations as f64 * p.activation_j
+        + a.dram_bits_accessed as f64 * p.dram_access_j_per_bit;
+    let dram_static_j = a.hmc_cubes as f64 * p.hmc_background_w * secs;
+    let total_bit_slots = p.serdes_bits_per_s * secs * a.serdes_directions as f64;
+    let idle_bits = (total_bit_slots - a.serdes_busy_bits as f64).max(0.0);
+    let serdes_j = a.serdes_busy_bits as f64 * p.serdes_busy_j_per_bit
+        + idle_bits * p.serdes_idle_j_per_bit;
+    let noc_j = a.noc_bit_mm * p.noc_j_per_bit_mm + a.noc_meshes as f64 * p.noc_leakage_w * secs;
+    EnergyBreakdown { cores_j, llc_j, dram_dynamic_j, dram_static_j, serdes_j, noc_j }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idle_activity() -> SystemActivity {
+        SystemActivity {
+            runtime_ps: 1_000_000, // 1 µs
+            cores: vec![],
+            row_activations: 0,
+            dram_bits_accessed: 0,
+            hmc_cubes: 4,
+            serdes_directions: 0,
+            serdes_busy_bits: 0,
+            noc_bit_mm: 0.0,
+            noc_meshes: 0,
+            llc_accesses: 0,
+            has_llc: false,
+        }
+    }
+
+    #[test]
+    fn idle_system_burns_only_background() {
+        let e = compute(&EnergyParams::table4(), &idle_activity());
+        // 4 cubes × 0.98 W × 1 µs = 3.92 µJ.
+        assert!((e.dram_static_j - 3.92e-6).abs() < 1e-12);
+        assert_eq!(e.cores_j, 0.0);
+        assert_eq!(e.total_j(), e.dram_static_j);
+    }
+
+    #[test]
+    fn activation_energy_counts() {
+        let mut a = idle_activity();
+        a.row_activations = 1000;
+        a.dram_bits_accessed = 1_000_000;
+        let e = compute(&EnergyParams::table4(), &a);
+        let expect = 1000.0 * 0.65e-9 + 1e6 * 2e-12;
+        assert!((e.dram_dynamic_j - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn core_power_scales_with_utilization() {
+        let p = EnergyParams::table4();
+        let mut a = idle_activity();
+        a.cores = vec![CoreActivity { class: CoreClass::Cpu, busy_fraction: 1.0 }];
+        let full = compute(&p, &a).cores_j;
+        a.cores = vec![CoreActivity { class: CoreClass::Cpu, busy_fraction: 0.0 }];
+        let idle = compute(&p, &a).cores_j;
+        assert!((full - 2.1 * 1e-6).abs() < 1e-12, "full power = peak");
+        assert!((idle - 2.1 * 0.3 * 1e-6).abs() < 1e-12, "idle floor = 30% of peak");
+    }
+
+    #[test]
+    fn core_classes_ordered_by_power() {
+        let p = EnergyParams::table4();
+        let energy = |class| {
+            let mut a = idle_activity();
+            a.cores = vec![CoreActivity { class, busy_fraction: 1.0 }];
+            compute(&p, &a).cores_j
+        };
+        assert!(energy(CoreClass::Cpu) > energy(CoreClass::Nmp));
+        assert!(energy(CoreClass::Nmp) > energy(CoreClass::Mondrian));
+    }
+
+    #[test]
+    fn serdes_idle_energy_fills_unused_slots() {
+        let p = EnergyParams::table4();
+        let mut a = idle_activity();
+        a.serdes_directions = 2;
+        let idle_only = compute(&p, &a).serdes_j;
+        // 2 directions × 160e9 b/s × 1e-6 s × 1 pJ/bit = 0.32 µJ.
+        assert!((idle_only - 0.32e-6).abs() < 1e-12);
+        a.serdes_busy_bits = 100_000;
+        let with_traffic = compute(&p, &a).serdes_j;
+        // Busy bits replace idle slots: Δ = bits × (3 − 1) pJ.
+        assert!((with_traffic - idle_only - 100_000.0 * 2e-12).abs() < 1e-15);
+    }
+
+    #[test]
+    fn breakdown_sums_and_shares() {
+        let p = EnergyParams::table4();
+        let mut a = idle_activity();
+        a.cores = vec![CoreActivity { class: CoreClass::Nmp, busy_fraction: 0.5 }; 64];
+        a.row_activations = 5_000;
+        a.dram_bits_accessed = 1 << 30;
+        a.serdes_directions = 24;
+        a.serdes_busy_bits = 1 << 20;
+        a.noc_bit_mm = 1e9;
+        a.noc_meshes = 4;
+        let e = compute(&p, &a);
+        let cats = e.fig8_categories();
+        assert!((cats.iter().sum::<f64>() - e.total_j()).abs() < 1e-15);
+        let shares = e.fig8_shares();
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(shares.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn llc_energy_only_when_present() {
+        let p = EnergyParams::table4();
+        let mut a = idle_activity();
+        a.llc_accesses = 1_000_000;
+        let without = compute(&p, &a);
+        assert_eq!(without.llc_j, 0.0);
+        a.has_llc = true;
+        let with = compute(&p, &a);
+        let expect = 1e6 * 0.09e-9 + 0.110 * 1e-6;
+        assert!((with.llc_j - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,96 @@
+//! Table 4 constants.
+
+/// Power and energy constants of all system components (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// CPU (Cortex-A57-class) core peak power, watts.
+    pub cpu_core_w: f64,
+    /// NMP baseline (Krait400-class) core peak power, watts.
+    pub nmp_core_w: f64,
+    /// Mondrian (Cortex-A35 + 1024-bit SIMD) core peak power, watts.
+    pub mondrian_core_w: f64,
+    /// LLC access energy, joules.
+    pub llc_access_j: f64,
+    /// LLC leakage power, watts.
+    pub llc_leakage_w: f64,
+    /// NoC transfer energy, joules per bit per millimeter.
+    pub noc_j_per_bit_mm: f64,
+    /// NoC leakage power per mesh, watts.
+    pub noc_leakage_w: f64,
+    /// HMC background power per 8 GB cube, watts.
+    pub hmc_background_w: f64,
+    /// DRAM row-activation energy, joules.
+    pub activation_j: f64,
+    /// DRAM access (data movement) energy, joules per bit.
+    pub dram_access_j_per_bit: f64,
+    /// SerDes idle energy, joules per bit-time.
+    pub serdes_idle_j_per_bit: f64,
+    /// SerDes busy energy, joules per bit.
+    pub serdes_busy_j_per_bit: f64,
+    /// SerDes line rate per direction, bits per second (for idle energy).
+    pub serdes_bits_per_s: f64,
+    /// Fraction of core peak power drawn when fully idle (clock + leakage).
+    /// The paper scales core power by utilization; a fixed idle floor keeps
+    /// stalled cores from being free.
+    pub core_idle_fraction: f64,
+}
+
+impl EnergyParams {
+    /// The constants of Table 4.
+    pub fn table4() -> Self {
+        Self {
+            cpu_core_w: 2.1,
+            nmp_core_w: 0.312,
+            mondrian_core_w: 0.180,
+            llc_access_j: 0.09e-9,
+            llc_leakage_w: 0.110,
+            noc_j_per_bit_mm: 0.04e-12,
+            noc_leakage_w: 0.030,
+            hmc_background_w: 0.980,
+            activation_j: 0.65e-9,
+            dram_access_j_per_bit: 2.0e-12,
+            serdes_idle_j_per_bit: 1.0e-12,
+            serdes_busy_j_per_bit: 3.0e-12,
+            serdes_bits_per_s: 160e9,
+            core_idle_fraction: 0.3,
+        }
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self::table4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_constants() {
+        let p = EnergyParams::table4();
+        assert_eq!(p.cpu_core_w, 2.1);
+        assert_eq!(p.nmp_core_w, 0.312);
+        assert_eq!(p.mondrian_core_w, 0.180);
+        assert_eq!(p.llc_access_j, 0.09e-9);
+        assert_eq!(p.llc_leakage_w, 0.110);
+        assert_eq!(p.noc_leakage_w, 0.030);
+        assert_eq!(p.hmc_background_w, 0.980);
+        assert_eq!(p.activation_j, 0.65e-9);
+        assert_eq!(p.dram_access_j_per_bit, 2.0e-12);
+        assert_eq!(p.serdes_idle_j_per_bit, 1.0e-12);
+        assert_eq!(p.serdes_busy_j_per_bit, 3.0e-12);
+    }
+
+    #[test]
+    fn activation_vs_access_ratio_matches_s3_1() {
+        // §3.1: reading a whole 256 B row costs 14% activation energy;
+        // reading only 8 B of it costs ~80%.
+        let p = EnergyParams::table4();
+        let full_row = p.activation_j / (p.activation_j + 256.0 * 8.0 * p.dram_access_j_per_bit);
+        let tiny = p.activation_j / (p.activation_j + 8.0 * 8.0 * p.dram_access_j_per_bit);
+        assert!((0.10..0.20).contains(&full_row), "full-row share {full_row}");
+        assert!(tiny > 0.75, "8 B-access share {tiny}");
+    }
+}

@@ -1,0 +1,21 @@
+use mondrian_mem::{drain, AccessKind, DramRequest, VaultConfig, VaultController};
+fn main() {
+    let mut cfg = VaultConfig::hmc();
+    cfg.capacity = 16 << 20;
+    let mut v = VaultController::new(cfg, 0);
+    let sources = 64u64;
+    let per = 64u64;
+    let mut id = 0;
+    for i in 0..per {
+        for s in 0..sources {
+            let addr = s * 65536 + i * 16;
+            v.enqueue(DramRequest { id, addr, bytes: 16, kind: AccessKind::Write }, 0).unwrap();
+            id += 1;
+        }
+    }
+    let done = drain(&mut v);
+    let makespan = done.iter().map(|c| c.finish).max().unwrap();
+    let n = done.len() as u64;
+    println!("writes={} makespan={}ps  per_write={}ps  activations={} hits={} conflicts={}",
+        n, makespan, makespan / n, v.stats().activations, v.stats().row_hits, v.stats().row_conflicts);
+}

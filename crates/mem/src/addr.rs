@@ -1,0 +1,249 @@
+//! Physical address mapping.
+//!
+//! The Mondrian Data Engine assumes a flat physical address space spanning
+//! all NMP-capable devices (§5.1). Memory partitions (vaults) own contiguous
+//! address ranges — the partitioning phase of every operator treats a vault
+//! as one hash bucket, so partition-contiguous mapping is the natural layout.
+//! Within a vault, consecutive addresses walk row buffers, and consecutive
+//! *rows* are interleaved across banks so that streaming can overlap the next
+//! activation with the current transfer.
+
+/// Identifies a vault globally: `hmc * vaults_per_hmc + vault`.
+pub type GlobalVaultId = u32;
+
+/// Permutation-based bank interleaving: XOR-folds the row index so that the
+/// regular strides data analytics produces (region-aligned buffers, cursor
+/// ranges at fixed offsets) spread across banks instead of camping on one.
+/// Within every aligned group of `banks` consecutive rows the mapping is a
+/// permutation, so `(bank, row_index / banks)` still uniquely identifies a
+/// row buffer.
+///
+/// # Panics
+///
+/// Panics if `banks` is not a power of two.
+pub fn bank_of(row_index: u64, banks: u32) -> u32 {
+    assert!(banks.is_power_of_two(), "bank count must be a power of two");
+    let bits = banks.trailing_zeros().max(1);
+    let mut x = row_index;
+    let mut fold = 0u64;
+    while x != 0 {
+        fold ^= x;
+        x >>= bits;
+    }
+    (fold % banks as u64) as u32
+}
+
+/// Decoded location of a physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Location {
+    /// HMC device index.
+    pub hmc: u32,
+    /// Vault index within the device.
+    pub vault: u32,
+    /// Bank index within the vault.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u64,
+    /// Byte offset within the row.
+    pub col: u32,
+}
+
+/// Maps flat physical addresses onto the `[hmc | vault | row | bank | col]`
+/// hierarchy.
+///
+/// # Example
+///
+/// ```
+/// use mondrian_mem::AddressMap;
+/// let map = AddressMap::new(4, 16, 1 << 20, 256, 8);
+/// let loc = map.decode(map.vault_base(17) + 256);
+/// assert_eq!((loc.hmc, loc.vault), (1, 1));
+/// assert_eq!(loc.bank, 1); // second row of the vault lives in bank 1
+/// assert_eq!(loc.col, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap {
+    hmcs: u32,
+    vaults_per_hmc: u32,
+    vault_capacity: u64,
+    row_bytes: u32,
+    banks: u32,
+}
+
+impl AddressMap {
+    /// Creates an address map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `vault_capacity` is not a multiple
+    /// of `row_bytes`.
+    pub fn new(
+        hmcs: u32,
+        vaults_per_hmc: u32,
+        vault_capacity: u64,
+        row_bytes: u32,
+        banks: u32,
+    ) -> Self {
+        assert!(hmcs > 0 && vaults_per_hmc > 0 && banks > 0);
+        assert!(row_bytes > 0 && vault_capacity % row_bytes as u64 == 0);
+        Self { hmcs, vaults_per_hmc, vault_capacity, row_bytes, banks }
+    }
+
+    /// Total number of vaults in the system.
+    pub fn total_vaults(&self) -> u32 {
+        self.hmcs * self.vaults_per_hmc
+    }
+
+    /// Total memory capacity in bytes.
+    pub fn total_capacity(&self) -> u64 {
+        self.total_vaults() as u64 * self.vault_capacity
+    }
+
+    /// Capacity of each vault in bytes.
+    pub fn vault_capacity(&self) -> u64 {
+        self.vault_capacity
+    }
+
+    /// The base physical address of a vault's partition.
+    pub fn vault_base(&self, vault: GlobalVaultId) -> u64 {
+        assert!(vault < self.total_vaults(), "vault {vault} out of range");
+        vault as u64 * self.vault_capacity
+    }
+
+    /// The vault owning `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is beyond the total capacity.
+    pub fn vault_of(&self, addr: u64) -> GlobalVaultId {
+        assert!(addr < self.total_capacity(), "address {addr:#x} out of range");
+        (addr / self.vault_capacity) as GlobalVaultId
+    }
+
+    /// The HMC device owning `addr`.
+    pub fn hmc_of(&self, addr: u64) -> u32 {
+        self.vault_of(addr) / self.vaults_per_hmc
+    }
+
+    /// Fully decodes `addr`.
+    pub fn decode(&self, addr: u64) -> Location {
+        let vault = self.vault_of(addr);
+        let offset = addr % self.vault_capacity;
+        let row_index = offset / self.row_bytes as u64;
+        Location {
+            hmc: vault / self.vaults_per_hmc,
+            vault: vault % self.vaults_per_hmc,
+            bank: bank_of(row_index, self.banks),
+            row: row_index / self.banks as u64,
+            col: (offset % self.row_bytes as u64) as u32,
+        }
+    }
+
+    /// The global row index (bank-interleaved) of `addr` within its vault.
+    /// Two addresses share a row buffer iff they share a vault and this
+    /// index.
+    pub fn row_index(&self, addr: u64) -> u64 {
+        (addr % self.vault_capacity) / self.row_bytes as u64
+    }
+
+    /// Whether the `bytes`-long access starting at `addr` stays within one
+    /// DRAM row (a requirement of the vault controller).
+    pub fn within_row(&self, addr: u64, bytes: u32) -> bool {
+        bytes > 0 && self.row_index(addr) == self.row_index(addr + bytes as u64 - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> AddressMap {
+        AddressMap::new(4, 16, 1 << 20, 256, 8)
+    }
+
+    #[test]
+    fn vault_partitions_are_contiguous() {
+        let m = map();
+        assert_eq!(m.vault_of(0), 0);
+        assert_eq!(m.vault_of((1 << 20) - 1), 0);
+        assert_eq!(m.vault_of(1 << 20), 1);
+        assert_eq!(m.vault_base(63), 63 << 20);
+        assert_eq!(m.total_vaults(), 64);
+        assert_eq!(m.total_capacity(), 64 << 20);
+    }
+
+    #[test]
+    fn hmc_of_groups_vaults() {
+        let m = map();
+        assert_eq!(m.hmc_of(m.vault_base(0)), 0);
+        assert_eq!(m.hmc_of(m.vault_base(15)), 0);
+        assert_eq!(m.hmc_of(m.vault_base(16)), 1);
+        assert_eq!(m.hmc_of(m.vault_base(63)), 3);
+    }
+
+    #[test]
+    fn rows_interleave_across_banks() {
+        let m = map();
+        // Every aligned group of 8 consecutive rows covers all 8 banks (a
+        // permutation), so streaming overlaps activation with transfer.
+        for g in 0..4u64 {
+            let mut seen = [false; 8];
+            for j in 0..8u64 {
+                let loc = m.decode((g * 8 + j) * 256);
+                seen[loc.bank as usize] = true;
+                assert_eq!(loc.row, g, "row group {g}");
+            }
+            assert!(seen.iter().all(|&b| b), "group {g} misses a bank");
+        }
+    }
+
+    #[test]
+    fn bank_hash_breaks_power_of_two_strides() {
+        // Region-aligned cursor ranges (64 KB = 256-row strides) must not
+        // collapse onto one bank.
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..64u64 {
+            seen.insert(bank_of(s * 256, 8));
+        }
+        assert!(seen.len() >= 6, "64 KB strides hit only {} banks", seen.len());
+        // 1 KB strides (4 rows) likewise.
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..64u64 {
+            seen.insert(bank_of(s * 4, 8));
+        }
+        assert!(seen.len() >= 6, "1 KB strides hit only {} banks", seen.len());
+    }
+
+    #[test]
+    fn bank_hash_is_permutation_within_groups() {
+        for g in 0..512u64 {
+            let mut seen = [false; 8];
+            for j in 0..8 {
+                seen[bank_of(g * 8 + j, 8) as usize] = true;
+            }
+            assert!(seen.iter().all(|&b| b), "group {g} not a permutation");
+        }
+    }
+
+    #[test]
+    fn col_is_offset_in_row() {
+        let m = map();
+        let loc = m.decode(256 + 40);
+        assert_eq!(loc.col, 40);
+    }
+
+    #[test]
+    fn within_row_checks_boundary() {
+        let m = map();
+        assert!(m.within_row(0, 256));
+        assert!(!m.within_row(0, 257));
+        assert!(m.within_row(240, 16));
+        assert!(!m.within_row(248, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_address_panics() {
+        map().vault_of(64 << 20);
+    }
+}

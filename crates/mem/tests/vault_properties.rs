@@ -1,0 +1,136 @@
+//! Property-based tests for the vault DRAM model.
+
+use proptest::prelude::*;
+
+use mondrian_mem::{
+    drain, AccessKind, DramRequest, PermutableRegion, VaultConfig, VaultController,
+};
+
+fn vault_with(window: usize) -> VaultController {
+    let mut cfg = VaultConfig::hmc();
+    cfg.capacity = 1 << 20;
+    cfg.sched_window = window;
+    VaultController::new(cfg, 0)
+}
+
+/// Strategy: a row-aligned 16 B access somewhere in the first 256 rows.
+fn small_access() -> impl Strategy<Value = (u64, bool)> {
+    (0u64..4096, any::<bool>()).prop_map(|(slot, is_write)| (slot * 16, is_write))
+}
+
+proptest! {
+    /// Every request completes exactly once, with a finish time no earlier
+    /// than the cheapest possible service (CAS + transfer).
+    #[test]
+    fn all_requests_complete(accesses in prop::collection::vec(small_access(), 1..200)) {
+        let mut v = vault_with(16);
+        for (i, &(addr, w)) in accesses.iter().enumerate() {
+            let kind = if w { AccessKind::Write } else { AccessKind::Read };
+            v.enqueue(DramRequest { id: i as u64, addr, bytes: 16, kind }, 0).unwrap();
+        }
+        let done = drain(&mut v);
+        prop_assert_eq!(done.len(), accesses.len());
+        let mut ids: Vec<u64> = done.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        let expect: Vec<u64> = (0..accesses.len() as u64).collect();
+        prop_assert_eq!(ids, expect);
+        let t = v.config().timing;
+        let min_service = t.t_cas + v.config().transfer_time(16);
+        for c in &done {
+            prop_assert!(c.finish >= min_service);
+        }
+    }
+
+    /// With a window of 1 the controller is FIFO, so the activation count
+    /// must exactly match a reference replay of the per-bank row sequence.
+    #[test]
+    fn fifo_activations_match_reference(accesses in prop::collection::vec(small_access(), 1..300)) {
+        let mut v = vault_with(1);
+        let cfg = *v.config();
+        for (i, &(addr, _)) in accesses.iter().enumerate() {
+            v.enqueue(DramRequest { id: i as u64, addr, bytes: 16, kind: AccessKind::Read }, 0)
+                .unwrap();
+        }
+        drain(&mut v);
+
+        // Reference: banks open rows; count transitions.
+        let mut open: Vec<Option<u64>> = vec![None; cfg.banks as usize];
+        let mut acts = 0u64;
+        for &(addr, _) in &accesses {
+            let row_index = addr / cfg.row_bytes as u64;
+            let bank = mondrian_mem::bank_of(row_index, cfg.banks) as usize;
+            let row = row_index / cfg.banks as u64;
+            if open[bank] != Some(row) {
+                acts += 1;
+                open[bank] = Some(row);
+            }
+        }
+        prop_assert_eq!(v.stats().activations, acts);
+    }
+
+    /// FR-FCFS reordering never *increases* activations relative to FIFO for
+    /// the same request multiset.
+    #[test]
+    fn frfcfs_no_worse_than_fifo(accesses in prop::collection::vec(small_access(), 1..200)) {
+        let run = |window: usize| {
+            let mut v = vault_with(window);
+            for (i, &(addr, _)) in accesses.iter().enumerate() {
+                v.enqueue(
+                    DramRequest { id: i as u64, addr, bytes: 16, kind: AccessKind::Read },
+                    0,
+                )
+                .unwrap();
+            }
+            drain(&mut v);
+            v.stats().activations
+        };
+        prop_assert!(run(16) <= run(1));
+    }
+
+    /// The shared data path never exceeds the configured peak bandwidth.
+    #[test]
+    fn bandwidth_is_capped(accesses in prop::collection::vec(small_access(), 10..200)) {
+        let mut v = vault_with(16);
+        for (i, &(addr, _)) in accesses.iter().enumerate() {
+            v.enqueue(DramRequest { id: i as u64, addr, bytes: 16, kind: AccessKind::Read }, 0)
+                .unwrap();
+        }
+        let done = drain(&mut v);
+        let makespan = done.iter().map(|c| c.finish).max().unwrap();
+        let bytes = (accesses.len() * 16) as f64;
+        let ns = makespan as f64 / 1000.0;
+        prop_assert!(bytes / ns <= v.config().peak_bytes_per_ns + 1e-9);
+    }
+
+    /// Permutable writes land at consecutive object slots regardless of the
+    /// arrival interleaving, and the arrival log is a permutation of the ids.
+    #[test]
+    fn permutable_is_dense_permutation(n in 1usize..64) {
+        let mut v = vault_with(16);
+        v.set_permutable_region(PermutableRegion { base: 0, size: 4096, object_bytes: 16 });
+        for i in 0..n {
+            v.enqueue(
+                DramRequest {
+                    id: 1000 + i as u64,
+                    addr: 0,
+                    bytes: 16,
+                    kind: AccessKind::PermutableWrite,
+                },
+                (i as u64) * 100,
+            )
+            .unwrap();
+        }
+        let done = drain(&mut v);
+        let mut addrs: Vec<u64> = done.iter().map(|c| c.addr).collect();
+        addrs.sort_unstable();
+        let expect: Vec<u64> = (0..n as u64).map(|i| i * 16).collect();
+        prop_assert_eq!(addrs, expect);
+        let mut log: Vec<u64> = v.arrival_log().to_vec();
+        log.sort_unstable();
+        let ids: Vec<u64> = (0..n as u64).map(|i| 1000 + i).collect();
+        prop_assert_eq!(log, ids);
+        // Dense appends activate exactly ceil(n*16/256) rows.
+        let rows = (n as u64 * 16).div_ceil(256);
+        prop_assert_eq!(v.stats().activations, rows);
+    }
+}

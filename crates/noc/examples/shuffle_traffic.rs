@@ -1,0 +1,35 @@
+use mondrian_noc::{Mesh, MeshConfig, SerDesConfig, SerDesLink};
+use std::collections::HashMap;
+
+fn main() {
+    // 4 HMCs x 16 vaults; every vault sends 4096 msgs of 16B payload,
+    // destinations round-robin over all 64 vaults; sources paced at 3ns/msg.
+    let hmcs = 4u32;
+    let vph = 16u32;
+    let per = 4096u64;
+    let mut meshes: Vec<Mesh> = (0..hmcs).map(|_| Mesh::new(MeshConfig::hmc_4x4())).collect();
+    let mut links: HashMap<(u32, u32), SerDesLink> = HashMap::new();
+    for a in 0..hmcs { for b in 0..hmcs { if a != b { links.insert((a, b), SerDesLink::new(SerDesConfig::table3())); } } }
+    let ni = |slot: u32| [0u32, 3, 12, 15][(slot % 4) as usize];
+    let mut last_arr = 0u64;
+    let mut sum_delta = 0u64; let mut n = 0u64;
+    for i in 0..per {
+        for src in 0..(hmcs * vph) {
+            let t = i * 3_000; // source issue pacing
+            let dst = ((src as u64 + i) % 64) as u32;
+            let (sh, st) = (src / vph, src % vph);
+            let (dh, dt) = (dst / vph, dst % vph);
+            let arr = if sh == dh {
+                meshes[sh as usize].send(st, dt, 16, t)
+            } else {
+                let t1 = meshes[sh as usize].send(st, ni(dh), 16, t);
+                let t2 = links.get_mut(&(sh, dh)).unwrap().send(16, t1);
+                meshes[dh as usize].send(ni(sh), dt, 16, t2)
+            };
+            last_arr = last_arr.max(arr);
+            sum_delta += arr - t; n += 1;
+        }
+    }
+    println!("makespan={} ns  avg_delta={} ns", last_arr / 1000, sum_delta / n / 1000);
+    println!("serdes busiest = {} ns", links.values().map(|l| l.stats().busy_time).max().unwrap() / 1000);
+}

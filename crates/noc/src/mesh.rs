@@ -1,0 +1,315 @@
+//! 2D mesh network-on-chip with XY routing.
+
+use mondrian_sim::{Clock, Stats, Time};
+
+/// Index of a tile on the mesh (row-major: `tile = y * width + x`).
+pub type TileId = u32;
+
+/// Mesh configuration (Table 3 defaults: 16 B links, 3 cycles/hop, 1 GHz).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeshConfig {
+    /// Tiles per row.
+    pub width: u32,
+    /// Tiles per column.
+    pub height: u32,
+    /// Link width: bytes accepted per cycle per link.
+    pub link_bytes_per_cycle: u32,
+    /// Per-hop latency in cycles (router traversal + wire).
+    pub hop_cycles: u64,
+    /// The NoC clock.
+    pub clock: Clock,
+    /// Packet header/tail overhead in bytes (accounted on every link).
+    pub header_bytes: u32,
+    /// Physical link length in millimeters, for the pJ/bit/mm energy model.
+    pub link_mm: f64,
+}
+
+impl MeshConfig {
+    /// The paper's intra-HMC mesh: 4×4 vault tiles, 16 B links, 3 cycles/hop
+    /// at 1 GHz, 2 mm links (16 tiles on a ~8×8 mm logic die).
+    pub fn hmc_4x4() -> Self {
+        Self {
+            width: 4,
+            height: 4,
+            link_bytes_per_cycle: 16,
+            hop_cycles: 3,
+            clock: Clock::from_ghz(1.0),
+            header_bytes: 16,
+            link_mm: 2.0,
+        }
+    }
+
+    /// A mesh sized for `tiles` tiles, keeping it as square as possible.
+    pub fn square_for(tiles: u32) -> Self {
+        let mut w = 1;
+        while w * w < tiles {
+            w += 1;
+        }
+        let h = tiles.div_ceil(w);
+        Self { width: w, height: h, ..Self::hmc_4x4() }
+    }
+
+    /// Total number of tiles.
+    pub fn tiles(&self) -> u32 {
+        self.width * self.height
+    }
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        Self::hmc_4x4()
+    }
+}
+
+/// Aggregate mesh statistics for the energy model.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MeshStats {
+    /// Messages routed (including zero-hop local deliveries).
+    pub messages: u64,
+    /// Total link traversals (message count × hops).
+    pub hops: u64,
+    /// Total bit·mm moved across links (payload + header on every hop).
+    pub bit_mm: f64,
+    /// Total link occupancy in picoseconds, summed over links.
+    pub busy_time: Time,
+}
+
+impl MeshStats {
+    /// Exports counters into a [`Stats`] registry under `prefix`.
+    pub fn export(&self, stats: &mut Stats, prefix: &str) {
+        stats.add_count(&format!("{prefix}.messages"), self.messages);
+        stats.add_count(&format!("{prefix}.hops"), self.hops);
+        stats.add_value(&format!("{prefix}.bit_mm"), self.bit_mm);
+        stats.add_count(&format!("{prefix}.busy_ps"), self.busy_time);
+    }
+}
+
+/// A contention-aware 2D mesh.
+///
+/// # Example
+///
+/// ```
+/// use mondrian_noc::{Mesh, MeshConfig};
+/// let mut mesh = Mesh::new(MeshConfig::hmc_4x4());
+/// // Tile 0 (corner) to tile 15 (opposite corner) is 6 hops.
+/// let delivered = mesh.send(0, 15, 64, 0);
+/// // 6 hops × 3 ns + serialization of (64+16) bytes at 16 B/cycle = 5 ns.
+/// assert_eq!(delivered, 23_000);
+/// ```
+#[derive(Debug)]
+pub struct Mesh {
+    cfg: MeshConfig,
+    /// Next-free time per directional link, indexed `tile * 4 + direction`
+    /// (0 = +x, 1 = −x, 2 = +y, 3 = −y); the link leaves `tile`.
+    link_free: Vec<Time>,
+    stats: MeshStats,
+}
+
+impl Mesh {
+    /// Creates a mesh with all links idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero dimensions or a zero-width link.
+    pub fn new(cfg: MeshConfig) -> Self {
+        assert!(cfg.width > 0 && cfg.height > 0, "mesh must have tiles");
+        assert!(cfg.link_bytes_per_cycle > 0, "links must carry data");
+        Self { link_free: vec![0; (cfg.tiles() * 4) as usize], cfg, stats: MeshStats::default() }
+    }
+
+    /// The mesh configuration.
+    pub fn config(&self) -> &MeshConfig {
+        &self.cfg
+    }
+
+    /// XY coordinates of a tile.
+    fn coords(&self, tile: TileId) -> (u32, u32) {
+        assert!(tile < self.cfg.tiles(), "tile {tile} out of range");
+        (tile % self.cfg.width, tile / self.cfg.width)
+    }
+
+    /// Number of hops between two tiles under XY routing.
+    pub fn hops(&self, src: TileId, dst: TileId) -> u64 {
+        let (sx, sy) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        (sx.abs_diff(dx) + sy.abs_diff(dy)) as u64
+    }
+
+    /// Serialization time of a message (payload + header) on one link.
+    fn serialization(&self, bytes: u32) -> Time {
+        let total = bytes + self.cfg.header_bytes;
+        let cycles = total.div_ceil(self.cfg.link_bytes_per_cycle) as u64;
+        self.cfg.clock.cycles_to_ps(cycles)
+    }
+
+    /// Sends `bytes` of payload from `src` to `dst`, starting no earlier
+    /// than `start`. Returns the delivery time at `dst`.
+    ///
+    /// Routing is XY: first along x, then along y. Each directional link is
+    /// reserved for the message's serialization time; the head then takes
+    /// `hop_cycles` to reach the next router.
+    pub fn send(&mut self, src: TileId, dst: TileId, bytes: u32, start: Time) -> Time {
+        self.stats.messages += 1;
+        if src == dst {
+            return start;
+        }
+        let (mut x, mut y) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        let ser = self.serialization(bytes);
+        let hop = self.cfg.clock.cycles_to_ps(self.cfg.hop_cycles);
+        let bits = ((bytes + self.cfg.header_bytes) * 8) as f64;
+        let mut t = start;
+        while (x, y) != (dx, dy) {
+            let (dir, nx, ny) = if x < dx {
+                (0, x + 1, y)
+            } else if x > dx {
+                (1, x - 1, y)
+            } else if y < dy {
+                (2, x, y + 1)
+            } else {
+                (3, x, y - 1)
+            };
+            let link = ((y * self.cfg.width + x) * 4 + dir) as usize;
+            let depart = t.max(self.link_free[link]);
+            self.link_free[link] = depart + ser;
+            t = depart + hop;
+            self.stats.hops += 1;
+            self.stats.bit_mm += bits * self.cfg.link_mm;
+            self.stats.busy_time += ser;
+            (x, y) = (nx, ny);
+        }
+        // The tail flit arrives one serialization window after the head.
+        t + ser
+    }
+
+    /// Sends `bytes` from `src` to `dst` accounting hop latency,
+    /// serialization and energy (bit·mm) but **without reserving link
+    /// bandwidth** — used for the legs between vault tiles and the
+    /// network-interface ports, which in the HMC sit on the link
+    /// controllers' switch rather than consuming mesh channels (the
+    /// attached SerDes link's own reservation provides the bandwidth cap).
+    pub fn send_unreserved(&mut self, src: TileId, dst: TileId, bytes: u32, start: Time) -> Time {
+        self.stats.messages += 1;
+        let hops = self.hops(src, dst);
+        if hops == 0 {
+            return start;
+        }
+        let ser = self.serialization(bytes);
+        let hop = self.cfg.clock.cycles_to_ps(self.cfg.hop_cycles);
+        let bits = ((bytes + self.cfg.header_bytes) * 8) as f64;
+        self.stats.hops += hops;
+        self.stats.bit_mm += bits * self.cfg.link_mm * hops as f64;
+        self.stats.busy_time += ser * hops;
+        start + hops * hop + ser
+    }
+
+    /// Network statistics.
+    pub fn stats(&self) -> &MeshStats {
+        &self.stats
+    }
+
+    /// Resets statistics and link reservations.
+    pub fn reset(&mut self) {
+        self.link_free.fill(0);
+        self.stats = MeshStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(MeshConfig::hmc_4x4())
+    }
+
+    #[test]
+    fn hops_is_manhattan_distance() {
+        let m = mesh();
+        assert_eq!(m.hops(0, 0), 0);
+        assert_eq!(m.hops(0, 3), 3);
+        assert_eq!(m.hops(0, 15), 6);
+        assert_eq!(m.hops(5, 10), 2);
+    }
+
+    #[test]
+    fn local_delivery_is_free() {
+        let mut m = mesh();
+        assert_eq!(m.send(3, 3, 256, 42), 42);
+        assert_eq!(m.stats().hops, 0);
+    }
+
+    #[test]
+    fn single_hop_latency() {
+        let mut m = mesh();
+        // 16 B payload + 16 B header = 2 cycles serialization; 3 cycles hop.
+        let t = m.send(0, 1, 16, 0);
+        assert_eq!(t, 3_000 + 2_000);
+    }
+
+    #[test]
+    fn contention_serializes_on_shared_link() {
+        let mut m = mesh();
+        let a = m.send(0, 1, 16, 0);
+        let b = m.send(0, 1, 16, 0);
+        // Second message queues behind the first one's serialization.
+        assert_eq!(b, a + 2_000);
+    }
+
+    #[test]
+    fn disjoint_paths_do_not_interfere() {
+        let mut m = mesh();
+        let a = m.send(0, 1, 16, 0);
+        let b = m.send(15, 14, 16, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn xy_routing_goes_x_first() {
+        let mut m = mesh();
+        // 0 → 5 routes 0→1 (x) then 1→5 (y). A message 0→1 contends with
+        // the first leg; a message 4→5 (link leaving tile 4 in +x) does not.
+        m.send(0, 5, 16, 0);
+        let contended = m.send(0, 1, 16, 0);
+        assert!(contended > 5_000, "shared +x link from tile 0 must queue");
+        let free = m.send(4, 5, 16, 0);
+        assert_eq!(free, 5_000, "link 4→5 is not on the XY path of 0→5");
+    }
+
+    #[test]
+    fn bit_mm_accounting() {
+        let mut m = mesh();
+        m.send(0, 15, 64, 0);
+        // (64+16) bytes × 8 bits × 6 hops × 2 mm.
+        let expect = 80.0 * 8.0 * 6.0 * 2.0;
+        assert!((m.stats().bit_mm - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn square_for_covers_tiles() {
+        for n in 1..=64 {
+            let cfg = MeshConfig::square_for(n);
+            assert!(cfg.tiles() >= n, "n={n}");
+        }
+        assert_eq!(MeshConfig::square_for(16).width, 4);
+    }
+
+    #[test]
+    fn unreserved_send_has_latency_but_no_queuing() {
+        let mut m = mesh();
+        let a = m.send_unreserved(0, 15, 16, 0);
+        let b = m.send_unreserved(0, 15, 16, 0);
+        assert_eq!(a, b, "no link reservations, no queuing");
+        assert_eq!(a, 6 * 3_000 + 2_000);
+        assert_eq!(m.stats().hops, 12, "energy accounting still sees hops");
+    }
+
+    #[test]
+    fn reset_clears_reservations() {
+        let mut m = mesh();
+        m.send(0, 1, 1024, 0);
+        m.reset();
+        assert_eq!(m.send(0, 1, 16, 0), 5_000);
+        assert_eq!(m.stats().messages, 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Inter-device SerDes link model.
+//!
+//! HMCs talk to each other and to the CPU over serial links running a
+//! packet-based protocol (§5.2). Table 3: lanes at 10 GHz giving 160 Gb/s
+//! per direction (20 B/ns). Each direction is an independent channel; the
+//! engine crate instantiates one [`SerDesLink`] per (endpoint pair,
+//! direction) and assembles the star (CPU system) or fully-connected (NMP
+//! systems) topology.
+
+use mondrian_sim::{Stats, Time, PS_PER_NS};
+
+/// SerDes link configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SerDesConfig {
+    /// Bandwidth per direction in bytes per nanosecond (20.0 = 160 Gb/s).
+    pub bytes_per_ns: f64,
+    /// Fixed flight latency (serialization circuitry + package + wire).
+    pub latency: Time,
+    /// Packet header/tail overhead in bytes (HMC protocol framing).
+    pub header_bytes: u32,
+}
+
+impl SerDesConfig {
+    /// Table 3 link: 160 Gb/s per direction, 8 ns flight, 16 B framing.
+    pub fn table3() -> Self {
+        Self { bytes_per_ns: 20.0, latency: 8 * PS_PER_NS, header_bytes: 16 }
+    }
+}
+
+impl Default for SerDesConfig {
+    fn default() -> Self {
+        Self::table3()
+    }
+}
+
+/// Traffic statistics of one link direction, for the 1/3 pJ/bit idle/busy
+/// energy model of Table 4.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SerDesStats {
+    /// Packets sent.
+    pub packets: u64,
+    /// Bits transferred, including framing overhead.
+    pub busy_bits: u64,
+    /// Channel occupancy in picoseconds.
+    pub busy_time: Time,
+}
+
+impl SerDesStats {
+    /// Exports counters into a [`Stats`] registry under `prefix`.
+    pub fn export(&self, stats: &mut Stats, prefix: &str) {
+        stats.add_count(&format!("{prefix}.packets"), self.packets);
+        stats.add_count(&format!("{prefix}.busy_bits"), self.busy_bits);
+        stats.add_count(&format!("{prefix}.busy_ps"), self.busy_time);
+    }
+}
+
+/// One direction of a SerDes link.
+///
+/// # Example
+///
+/// ```
+/// use mondrian_noc::{SerDesConfig, SerDesLink};
+/// let mut link = SerDesLink::new(SerDesConfig::table3());
+/// // (64 + 16) bytes at 20 B/ns = 4 ns serialization + 8 ns flight.
+/// assert_eq!(link.send(64, 0), 12_000);
+/// // A second packet queues behind the first one's serialization.
+/// assert_eq!(link.send(64, 0), 16_000);
+/// ```
+#[derive(Debug)]
+pub struct SerDesLink {
+    cfg: SerDesConfig,
+    free: Time,
+    stats: SerDesStats,
+}
+
+impl SerDesLink {
+    /// Creates an idle link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured bandwidth is not positive.
+    pub fn new(cfg: SerDesConfig) -> Self {
+        assert!(cfg.bytes_per_ns > 0.0, "bandwidth must be positive");
+        Self { cfg, free: 0, stats: SerDesStats::default() }
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> &SerDesConfig {
+        &self.cfg
+    }
+
+    /// Sends a packet with `bytes` of payload no earlier than `start`;
+    /// returns its delivery time at the far end.
+    pub fn send(&mut self, bytes: u32, start: Time) -> Time {
+        let total = bytes + self.cfg.header_bytes;
+        let ser = (total as f64 / self.cfg.bytes_per_ns * PS_PER_NS as f64).round() as Time;
+        let depart = start.max(self.free);
+        self.free = depart + ser;
+        self.stats.packets += 1;
+        self.stats.busy_bits += (total as u64) * 8;
+        self.stats.busy_time += ser;
+        depart + ser + self.cfg.latency
+    }
+
+    /// The time at which the channel next becomes free.
+    pub fn free_at(&self) -> Time {
+        self.free
+    }
+
+    /// Traffic statistics.
+    pub fn stats(&self) -> &SerDesStats {
+        &self.stats
+    }
+
+    /// Resets statistics and the channel reservation.
+    pub fn reset(&mut self) {
+        self.free = 0;
+        self.stats = SerDesStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_is_160_gbps() {
+        let mut link = SerDesLink::new(SerDesConfig::table3());
+        // Stream 1000 × 256 B packets; effective bandwidth must approach
+        // but never exceed 20 B/ns of (payload + header).
+        let mut last = 0;
+        for _ in 0..1000 {
+            last = link.send(256, 0);
+        }
+        let total_bytes = 1000.0 * (256.0 + 16.0);
+        let ns = (last - link.config().latency) as f64 / PS_PER_NS as f64;
+        let bpns = total_bytes / ns;
+        assert!(bpns <= 20.0 + 1e-9, "{bpns} B/ns exceeds link rate");
+        assert!(bpns > 19.9, "{bpns} B/ns far below link rate");
+    }
+
+    #[test]
+    fn idle_link_latency() {
+        let mut link = SerDesLink::new(SerDesConfig::table3());
+        // 16 B payload + 16 B header = 1.6 ns; plus 8 ns flight.
+        assert_eq!(link.send(16, 100_000), 100_000 + 1_600 + 8_000);
+    }
+
+    #[test]
+    fn queuing_behind_earlier_packets() {
+        let mut link = SerDesLink::new(SerDesConfig::table3());
+        let first = link.send(1024, 0);
+        let second = link.send(1024, 0);
+        let ser = ((1024 + 16) as f64 / 20.0 * 1000.0).round() as Time;
+        assert_eq!(second - first, ser);
+    }
+
+    #[test]
+    fn stats_count_framing() {
+        let mut link = SerDesLink::new(SerDesConfig::table3());
+        link.send(64, 0);
+        assert_eq!(link.stats().packets, 1);
+        assert_eq!(link.stats().busy_bits, (64 + 16) * 8);
+        let mut s = Stats::new();
+        link.stats().export(&mut s, "serdes.0.tx");
+        assert_eq!(s.count("serdes.0.tx.busy_bits"), 640);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut link = SerDesLink::new(SerDesConfig::table3());
+        link.send(4096, 0);
+        link.reset();
+        assert_eq!(link.free_at(), 0);
+        assert_eq!(link.stats().packets, 0);
+    }
+}

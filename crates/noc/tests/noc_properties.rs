@@ -1,0 +1,62 @@
+//! Property-based tests for the interconnect models.
+
+use proptest::prelude::*;
+
+use mondrian_noc::{Mesh, MeshConfig, SerDesConfig, SerDesLink};
+
+proptest! {
+    /// Delivery time is at least start + hops × hop latency + one
+    /// serialization window, for any traffic mix.
+    #[test]
+    fn mesh_delivery_lower_bound(
+        msgs in prop::collection::vec((0u32..16, 0u32..16, 1u32..256, 0u64..10_000), 1..100)
+    ) {
+        let mut mesh = Mesh::new(MeshConfig::hmc_4x4());
+        for &(src, dst, bytes, start) in &msgs {
+            let hops = mesh.hops(src, dst);
+            let t = mesh.send(src, dst, bytes, start);
+            if src == dst {
+                prop_assert_eq!(t, start);
+            } else {
+                let ser = ((bytes + 16).div_ceil(16) as u64) * 1_000;
+                prop_assert!(t >= start + hops * 3_000 + ser);
+            }
+        }
+    }
+
+    /// Total mesh hop count equals the sum of Manhattan distances.
+    #[test]
+    fn mesh_hop_accounting(
+        msgs in prop::collection::vec((0u32..16, 0u32..16), 1..100)
+    ) {
+        let mut mesh = Mesh::new(MeshConfig::hmc_4x4());
+        let mut expect = 0u64;
+        for &(src, dst) in &msgs {
+            expect += mesh.hops(src, dst);
+            mesh.send(src, dst, 16, 0);
+        }
+        prop_assert_eq!(mesh.stats().hops, expect);
+        prop_assert_eq!(mesh.stats().messages, msgs.len() as u64);
+    }
+
+    /// A link never delivers faster than its serialization rate allows, and
+    /// deliveries on one channel are strictly ordered.
+    #[test]
+    fn serdes_rate_and_ordering(
+        pkts in prop::collection::vec((1u32..4096, 0u64..1_000), 2..100)
+    ) {
+        let mut link = SerDesLink::new(SerDesConfig::table3());
+        let mut prev = 0;
+        let mut bits = 0u64;
+        for &(bytes, start) in &pkts {
+            let t = link.send(bytes, start);
+            prop_assert!(t > prev, "FIFO channel deliveries must be ordered");
+            prev = t;
+            bits += ((bytes + 16) as u64) * 8;
+        }
+        prop_assert_eq!(link.stats().busy_bits, bits);
+        // Makespan ≥ bits / rate.
+        let min_ps = (bits as f64 / 8.0 / 20.0 * 1000.0) as u64;
+        prop_assert!(prev >= min_ps);
+    }
+}

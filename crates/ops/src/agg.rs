@@ -1,0 +1,117 @@
+//! Aggregation functions for the Group-by operator.
+//!
+//! §6: "we altered the last step of the join's algorithm to perform six
+//! aggregation functions (avg, count, min, max, sum, and sum squared),
+//! which are applied to all the tuple groups."
+
+use mondrian_workloads::Tuple;
+
+/// The six running aggregates of one group.
+///
+/// `avg` is derived from `sum`/`count`, so five accumulators suffice.
+///
+/// # Example
+///
+/// ```
+/// use mondrian_ops::Aggregates;
+/// use mondrian_workloads::Tuple;
+/// let mut a = Aggregates::new();
+/// a.update(&Tuple::new(1, 4));
+/// a.update(&Tuple::new(1, 6));
+/// assert_eq!(a.count, 2);
+/// assert_eq!(a.sum, 10);
+/// assert_eq!(a.avg(), 5.0);
+/// assert_eq!((a.min, a.max), (4, 6));
+/// assert_eq!(a.sum_sq, 16 + 36);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Aggregates {
+    /// Number of tuples in the group.
+    pub count: u64,
+    /// Sum of payloads (wrapping, as fixed-point hardware would).
+    pub sum: u64,
+    /// Sum of squared payloads.
+    pub sum_sq: u128,
+    /// Minimum payload.
+    pub min: u64,
+    /// Maximum payload.
+    pub max: u64,
+}
+
+impl Aggregates {
+    /// An empty group.
+    pub fn new() -> Self {
+        Self { count: 0, sum: 0, sum_sq: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Folds one tuple's payload into the aggregates.
+    pub fn update(&mut self, t: &Tuple) {
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(t.payload);
+        self.sum_sq = self.sum_sq.wrapping_add((t.payload as u128) * (t.payload as u128));
+        self.min = self.min.min(t.payload);
+        self.max = self.max.max(t.payload);
+    }
+
+    /// Merges another group's aggregates (used when combining partitions).
+    pub fn merge(&mut self, other: &Aggregates) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.sum_sq = self.sum_sq.wrapping_add(other.sum_sq);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The sixth aggregate: average payload.
+    ///
+    /// Returns `NaN` for an empty group.
+    pub fn avg(&self) -> f64 {
+        self.sum as f64 / self.count as f64
+    }
+}
+
+impl Default for Aggregates {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_group() {
+        let a = Aggregates::new();
+        assert_eq!(a.count, 0);
+        assert!(a.avg().is_nan());
+    }
+
+    #[test]
+    fn merge_equals_sequential_update() {
+        let tuples: Vec<Tuple> = (0..10).map(|i| Tuple::new(0, i * 3 + 1)).collect();
+        let mut whole = Aggregates::new();
+        for t in &tuples {
+            whole.update(t);
+        }
+        let (l, r) = tuples.split_at(4);
+        let mut a = Aggregates::new();
+        let mut b = Aggregates::new();
+        for t in l {
+            a.update(t);
+        }
+        for t in r {
+            b.update(t);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn wrapping_sum_does_not_panic() {
+        let mut a = Aggregates::new();
+        a.update(&Tuple::new(0, u64::MAX));
+        a.update(&Tuple::new(0, 2));
+        assert_eq!(a.sum, 1);
+    }
+}

@@ -1,0 +1,362 @@
+//! The Group-by operator's probe phase.
+//!
+//! §6: the probe applies six aggregation functions (avg, count, min, max,
+//! sum, sum squared) to every tuple group; the modeled query has an average
+//! group size of four tuples. The CPU and NMP-rand use a hash table of
+//! groups (dependent random updates); Mondrian and NMP-seq sort first and
+//! aggregate in one sequential pass.
+
+use std::collections::BTreeMap;
+
+use mondrian_cores::{Dep, Kernel, MicroOp, StoreKind};
+use mondrian_workloads::{Tuple, TUPLE_BYTES};
+
+use crate::agg::Aggregates;
+use crate::hash::mix64;
+use crate::opqueue::OpQueue;
+use crate::Data;
+
+/// Bytes of one group entry in the aggregation hash table (key + five
+/// accumulators, padded to a cache line).
+pub const GROUP_ENTRY_BYTES: u32 = 64;
+
+/// An open-addressing (linear-probing) table of group aggregates, sized at
+/// `2^bits` slots. Also replays per-tuple probe sequences for the kernel.
+#[derive(Debug, Clone)]
+pub struct GroupTable {
+    bits: u32,
+    keys: Vec<Option<u64>>,
+    aggs: Vec<Aggregates>,
+}
+
+impl GroupTable {
+    /// Creates an empty table with `2^bits` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or absurdly large (> 32).
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=32).contains(&bits), "unreasonable table size");
+        Self { bits, keys: vec![None; 1 << bits], aggs: vec![Aggregates::new(); 1 << bits] }
+    }
+
+    fn mask(&self) -> u64 {
+        (1u64 << self.bits) - 1
+    }
+
+    /// Folds `t` into its group; returns `(slot, probes)` — the slot
+    /// updated and how many probe steps the lookup took.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is full (the engine sizes tables at 2×
+    /// occupancy).
+    pub fn update(&mut self, t: &Tuple) -> (usize, u32) {
+        let mut slot = (mix64(t.key) & self.mask()) as usize;
+        let mut probes = 1;
+        loop {
+            match self.keys[slot] {
+                Some(k) if k == t.key => break,
+                None => {
+                    self.keys[slot] = Some(t.key);
+                    break;
+                }
+                Some(_) => {
+                    slot = (slot + 1) & self.mask() as usize;
+                    probes += 1;
+                    assert!(probes as usize <= self.keys.len(), "group table full");
+                }
+            }
+        }
+        self.aggs[slot].update(t);
+        (slot, probes)
+    }
+
+    /// Extracts the grouped aggregates, keyed and ordered by group key.
+    pub fn into_groups(self) -> BTreeMap<u64, Aggregates> {
+        self.keys
+            .into_iter()
+            .zip(self.aggs)
+            .filter_map(|(k, a)| k.map(|k| (k, a)))
+            .collect()
+    }
+}
+
+/// Functional hash aggregation.
+pub fn hash_group(data: &[Tuple], bits: u32) -> BTreeMap<u64, Aggregates> {
+    let mut table = GroupTable::new(bits);
+    for t in data {
+        table.update(t);
+    }
+    table.into_groups()
+}
+
+/// Functional sorted aggregation: one pass over sorted data.
+///
+/// # Panics
+///
+/// Debug-asserts that the input is sorted.
+pub fn sorted_group(data: &[Tuple]) -> Vec<(u64, Aggregates)> {
+    debug_assert!(data.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    let mut out: Vec<(u64, Aggregates)> = Vec::new();
+    for t in data {
+        match out.last_mut() {
+            Some((k, a)) if *k == t.key => a.update(t),
+            _ => {
+                let mut a = Aggregates::new();
+                a.update(t);
+                out.push((t.key, a));
+            }
+        }
+    }
+    out
+}
+
+/// Hash-aggregation kernel (CPU, NMP-rand): per tuple, a sequential load,
+/// the key hash, one **dependent** random table access per probe step, six
+/// aggregate updates and a dirty store back.
+pub struct HashAggKernel {
+    data: Data,
+    base: u64,
+    table_base: u64,
+    table: GroupTable,
+    i: usize,
+    q: OpQueue,
+}
+
+impl HashAggKernel {
+    /// Aggregates `data` (at `base`) into the table at `table_base` with
+    /// `2^bits` 64 B entries.
+    pub fn new(data: Data, base: u64, table_base: u64, bits: u32) -> Self {
+        Self { data, base, table_base, table: GroupTable::new(bits), i: 0, q: OpQueue::new() }
+    }
+}
+
+impl Kernel for HashAggKernel {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        if self.q.is_empty() {
+            if self.i >= self.data.len() {
+                return None;
+            }
+            let t = self.data[self.i];
+            let addr = self.base + (self.i as u64) * TUPLE_BYTES as u64;
+            // Loop-carried dependence through the probe-exit branch, as in
+            // the hash join (the table walk squashes run-ahead).
+            self.q.push(MicroOp::load_dep(addr, TUPLE_BYTES));
+            self.q.push(MicroOp::compute_dep(6));
+            let (slot, probes) = self.table.update(&t);
+            // Probe chain: each step's address depends on the previous
+            // compare.
+            let first = (slot as u64).wrapping_sub((probes - 1) as u64)
+                & ((self.table.keys.len() - 1) as u64);
+            for p in 0..probes {
+                let s = (first + p as u64) & ((self.table.keys.len() - 1) as u64);
+                let entry = self.table_base + s * GROUP_ENTRY_BYTES as u64;
+                self.q.push(MicroOp::load_dep(entry, GROUP_ENTRY_BYTES));
+                self.q.push(MicroOp::compute_dep(2));
+            }
+            // Six aggregate updates + write-back of the entry.
+            self.q.push(MicroOp::compute_dep(8));
+            let entry = self.table_base + slot as u64 * GROUP_ENTRY_BYTES as u64;
+            self.q.push(MicroOp::store(entry, GROUP_ENTRY_BYTES));
+            self.i += 1;
+        }
+        self.q.pop()
+    }
+
+    fn name(&self) -> &'static str {
+        "groupby.hash"
+    }
+}
+
+/// Scalar sorted-aggregation kernel (NMP-seq, after sorting): sequential
+/// loads, a dependent compare + six updates per tuple, one store per group
+/// boundary.
+pub struct SortedAggKernel {
+    data: Data,
+    base: u64,
+    out_base: u64,
+    i: usize,
+    groups: u64,
+    q: OpQueue,
+}
+
+impl SortedAggKernel {
+    /// Aggregates sorted `data` (at `base`), writing group results to
+    /// `out_base`.
+    pub fn new(data: Data, base: u64, out_base: u64) -> Self {
+        Self { data, base, out_base, i: 0, groups: 0, q: OpQueue::new() }
+    }
+}
+
+impl Kernel for SortedAggKernel {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        if self.q.is_empty() {
+            if self.i >= self.data.len() {
+                return None;
+            }
+            let addr = self.base + (self.i as u64) * TUPLE_BYTES as u64;
+            self.q.push(MicroOp::load(addr, TUPLE_BYTES));
+            self.q.push(MicroOp::compute_dep(8));
+            let boundary = self.i + 1 == self.data.len()
+                || self.data[self.i + 1].key != self.data[self.i].key;
+            if boundary {
+                let out = self.out_base + self.groups * GROUP_ENTRY_BYTES as u64;
+                self.q.push(MicroOp::Store {
+                    addr: out,
+                    bytes: GROUP_ENTRY_BYTES,
+                    kind: StoreKind::Streaming,
+                });
+                self.groups += 1;
+            }
+            self.i += 1;
+        }
+        self.q.pop()
+    }
+
+    fn name(&self) -> &'static str {
+        "groupby.sorted.scalar"
+    }
+}
+
+/// SIMD sorted-aggregation kernel (Mondrian): eight tuples stream in per
+/// round; six SIMD ops apply all aggregate functions; group results stream
+/// out at real group boundaries.
+pub struct SimdSortedAggKernel {
+    data: Data,
+    base: u64,
+    out_base: u64,
+    i: usize,
+    groups: u64,
+    configured: bool,
+    q: OpQueue,
+}
+
+impl SimdSortedAggKernel {
+    /// See [`SortedAggKernel::new`].
+    pub fn new(data: Data, base: u64, out_base: u64) -> Self {
+        Self { data, base, out_base, i: 0, groups: 0, configured: false, q: OpQueue::new() }
+    }
+}
+
+impl Kernel for SimdSortedAggKernel {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        if !self.configured {
+            self.configured = true;
+            return Some(MicroOp::ConfigStream {
+                buf: 0,
+                base: self.base,
+                len: self.data.len() as u64 * TUPLE_BYTES as u64,
+            });
+        }
+        if self.q.is_empty() {
+            if self.i >= self.data.len() {
+                return None;
+            }
+            let group = (self.data.len() - self.i).min(8);
+            let addr = self.base + (self.i as u64) * TUPLE_BYTES as u64;
+            self.q.push(MicroOp::stream_load(0, addr, group as u32 * TUPLE_BYTES));
+            // The six aggregation functions, each one SIMD op over 8 tuples.
+            for _ in 0..6 {
+                self.q.push(MicroOp::Simd { dep: Dep::OnPrevLoad });
+            }
+            for k in 0..group {
+                let idx = self.i + k;
+                let boundary =
+                    idx + 1 == self.data.len() || self.data[idx + 1].key != self.data[idx].key;
+                if boundary {
+                    let out = self.out_base + self.groups * GROUP_ENTRY_BYTES as u64;
+                    self.q.push(MicroOp::Store {
+                        addr: out,
+                        bytes: GROUP_ENTRY_BYTES,
+                        kind: StoreKind::Streaming,
+                    });
+                    self.groups += 1;
+                }
+            }
+            self.i += group;
+        }
+        self.q.pop()
+    }
+
+    fn name(&self) -> &'static str {
+        "groupby.sorted.simd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use mondrian_workloads::grouped_relation;
+    use std::sync::Arc;
+
+    #[test]
+    fn hash_group_matches_reference() {
+        let data = grouped_relation(1024, 256, 7);
+        let got = hash_group(&data, 10);
+        let want = reference::grouped(&data);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sorted_group_matches_reference() {
+        let data = reference::sorted(&grouped_relation(1024, 256, 8));
+        let got: BTreeMap<u64, Aggregates> = sorted_group(&data).into_iter().collect();
+        assert_eq!(got, reference::grouped(&data));
+    }
+
+    #[test]
+    fn group_table_counts_probes() {
+        let mut t = GroupTable::new(4);
+        let (s1, p1) = t.update(&Tuple::new(1, 10));
+        assert_eq!(p1, 1, "empty table: first probe wins");
+        let (s2, p2) = t.update(&Tuple::new(1, 20));
+        assert_eq!((s1, p1), (s2, p2), "same key, same slot");
+        assert_eq!(t.into_groups()[&1].sum, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "group table full")]
+    fn full_table_panics() {
+        let mut t = GroupTable::new(1);
+        t.update(&Tuple::new(1, 0));
+        t.update(&Tuple::new(2, 0));
+        t.update(&Tuple::new(3, 0));
+    }
+
+    #[test]
+    fn hash_agg_kernel_has_dependent_probes() {
+        let data = Arc::new(grouped_relation(128, 32, 9));
+        let mut k = HashAggKernel::new(data.clone(), 0, 1 << 20, 7);
+        let ops: Vec<MicroOp> = std::iter::from_fn(|| k.next_op()).collect();
+        let dep_loads = ops
+            .iter()
+            .filter(|o| matches!(o, MicroOp::Load { dep: Dep::OnPrevLoad, .. }))
+            .count();
+        assert!(dep_loads >= 128, "at least one dependent table access per tuple");
+        let stores = ops.iter().filter(|o| matches!(o, MicroOp::Store { .. })).count();
+        assert_eq!(stores, 128, "one write-back per tuple");
+    }
+
+    #[test]
+    fn sorted_agg_kernel_stores_once_per_group() {
+        let data = Arc::new(reference::sorted(&grouped_relation(256, 64, 10)));
+        let n_groups = reference::grouped(&data).len();
+        let mut k = SortedAggKernel::new(data.clone(), 0, 1 << 20);
+        let ops: Vec<MicroOp> = std::iter::from_fn(|| k.next_op()).collect();
+        let stores = ops.iter().filter(|o| matches!(o, MicroOp::Store { .. })).count();
+        assert_eq!(stores, n_groups);
+    }
+
+    #[test]
+    fn simd_sorted_agg_kernel_six_ops_per_group_of_8() {
+        let data = Arc::new(reference::sorted(&grouped_relation(64, 16, 11)));
+        let mut k = SimdSortedAggKernel::new(data.clone(), 0, 1 << 20);
+        let ops: Vec<MicroOp> = std::iter::from_fn(|| k.next_op()).collect();
+        let simds = ops.iter().filter(|o| matches!(o, MicroOp::Simd { .. })).count();
+        assert_eq!(simds, 6 * 8, "6 aggregate ops per 8-tuple round");
+        let stores = ops.iter().filter(|o| matches!(o, MicroOp::Store { .. })).count();
+        assert_eq!(stores, reference::grouped(&data).len());
+    }
+}

@@ -1,0 +1,147 @@
+//! Partitioning schemes and hash functions.
+//!
+//! §6: the Join/Group-by operators hash keys with **low-order bits** (16
+//! bits on the CPU, tuned to its private caches; 6 bits on the NMP systems,
+//! matching the 64 vaults), while Sort partitions with **high-order bits**
+//! so that partition *p* holds keys strictly smaller than partition *p+1*
+//! and a local sort finishes the job.
+
+/// How keys map to destination partitions during the partitioning phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionScheme {
+    /// Radix partitioning on the low-order `bits` of the key (Join,
+    /// Group-by).
+    LowBits {
+        /// Number of radix bits; `2^bits` partitions.
+        bits: u32,
+    },
+    /// Range partitioning on high-order key bits over `[0, key_bound)`
+    /// (Sort): bucket `p` holds keys in `[p*key_bound/parts, ...)`.
+    Range {
+        /// Number of partitions.
+        parts: u32,
+        /// Exclusive upper bound of the key universe.
+        key_bound: u64,
+    },
+    /// Hashed bucketing via the [`mix64`] finalizer — used for the
+    /// hash-table build/reorder step inside a partition (Table 2's "Hash
+    /// keys & reorder").
+    HashBits {
+        /// Number of hash bits; `2^bits` buckets.
+        bits: u32,
+    },
+}
+
+impl PartitionScheme {
+    /// Number of destination partitions.
+    pub fn parts(&self) -> u32 {
+        match *self {
+            PartitionScheme::LowBits { bits } => 1 << bits,
+            PartitionScheme::Range { parts, .. } => parts,
+            PartitionScheme::HashBits { bits } => 1 << bits,
+        }
+    }
+
+    /// Destination partition of `key`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mondrian_ops::PartitionScheme;
+    /// let radix = PartitionScheme::LowBits { bits: 6 };
+    /// assert_eq!(radix.bucket(0b101_111111), 0b111111);
+    /// let range = PartitionScheme::Range { parts: 4, key_bound: 100 };
+    /// assert_eq!(range.bucket(99), 3);
+    /// ```
+    pub fn bucket(&self, key: u64) -> u32 {
+        match *self {
+            PartitionScheme::LowBits { bits } => (key & ((1u64 << bits) - 1)) as u32,
+            PartitionScheme::Range { parts, key_bound } => {
+                let b = ((key.min(key_bound - 1) as u128 * parts as u128)
+                    / key_bound as u128) as u32;
+                b.min(parts - 1)
+            }
+            PartitionScheme::HashBits { bits } => (mix64(key) & ((1u64 << bits) - 1)) as u32,
+        }
+    }
+
+    /// Instruction cost of evaluating this scheme in the scalar inner loop
+    /// (mask/shift for radix; multiply/divide bound for range; a few
+    /// multiply/xor rounds for the hash finalizer).
+    pub fn scalar_cost(&self) -> u32 {
+        match self {
+            PartitionScheme::LowBits { .. } => 2,
+            PartitionScheme::Range { .. } => 4,
+            PartitionScheme::HashBits { .. } => 4,
+        }
+    }
+}
+
+/// SplitMix64 finalizer: the hash used for hash-table placement (build and
+/// probe) inside a partition.
+///
+/// # Example
+///
+/// ```
+/// use mondrian_ops::mix64;
+/// assert_ne!(mix64(1), mix64(2));
+/// assert_eq!(mix64(7), mix64(7));
+/// ```
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_bits_matches_mask() {
+        let s = PartitionScheme::LowBits { bits: 6 };
+        assert_eq!(s.parts(), 64);
+        for k in [0u64, 1, 63, 64, 65, 1 << 40] {
+            assert_eq!(s.bucket(k), (k & 63) as u32);
+        }
+    }
+
+    #[test]
+    fn range_is_monotone_and_balanced() {
+        let s = PartitionScheme::Range { parts: 8, key_bound: 1000 };
+        assert_eq!(s.parts(), 8);
+        let mut prev = 0;
+        for k in 0..1000 {
+            let b = s.bucket(k);
+            assert!(b >= prev, "range buckets must be monotone in key");
+            assert!(b < 8);
+            prev = b;
+        }
+        assert_eq!(s.bucket(0), 0);
+        assert_eq!(s.bucket(999), 7);
+        // Out-of-bound keys clamp to the last bucket.
+        assert_eq!(s.bucket(5000), 7);
+    }
+
+    #[test]
+    fn range_buckets_are_contiguous_key_ranges() {
+        let s = PartitionScheme::Range { parts: 4, key_bound: 64 };
+        for p in 0..4u64 {
+            for k in p * 16..(p + 1) * 16 {
+                assert_eq!(s.bucket(k), p as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn mix64_spreads_dense_keys() {
+        // Dense keys must land in distinct-ish buckets of a 64-entry table.
+        let mut hits = [false; 64];
+        for k in 0..64u64 {
+            hits[(mix64(k) % 64) as usize] = true;
+        }
+        let filled = hits.iter().filter(|&&h| h).count();
+        assert!(filled > 35, "finalizer spreads poorly: {filled}/64");
+    }
+}

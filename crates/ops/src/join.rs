@@ -1,0 +1,454 @@
+//! The Join operator's probe phase (R ⋈ S on a foreign key).
+//!
+//! Two algorithm families (§4.1.1, §6):
+//!
+//! * **Hash join** (CPU, NMP-rand): the probe phase "starts with building a
+//!   hash table and computing a prefix sum ... to group together keys of
+//!   the R relation that map to the same hash index, and store them in a
+//!   contiguous address range (an *index range*). Finally, for each tuple
+//!   in S, the index range of R that corresponds to the S tuple's key hash
+//!   is probed". O(n), but every probe is a dependent random access.
+//! * **Sort-merge join** (Mondrian, NMP-seq): both relations are sorted,
+//!   then joined in one final sequential pass. O(n log n), but purely
+//!   sequential.
+
+use std::sync::Arc;
+
+use mondrian_cores::{Dep, Kernel, MicroOp, StoreKind};
+use mondrian_workloads::{Tuple, TUPLE_BYTES};
+
+use crate::hash::{mix64, PartitionScheme};
+use crate::opqueue::OpQueue;
+use crate::reference::JoinRow;
+use crate::Data;
+
+/// R reordered into contiguous per-hash-bucket *index ranges* — the result
+/// of Table 2's "Hash keys & reorder" step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinIndex {
+    /// Hash bits (2^bits buckets).
+    pub bits: u32,
+    /// `offsets[b]..offsets[b+1]` is bucket `b`'s range in `reordered`.
+    pub offsets: Vec<usize>,
+    /// R tuples grouped by hash bucket.
+    pub reordered: Vec<Tuple>,
+}
+
+impl JoinIndex {
+    /// The bucket of `key`.
+    pub fn bucket(&self, key: u64) -> usize {
+        (mix64(key) & ((1u64 << self.bits) - 1)) as usize
+    }
+
+    /// The index range of `key`'s bucket.
+    pub fn range(&self, key: u64) -> std::ops::Range<usize> {
+        let b = self.bucket(key);
+        self.offsets[b]..self.offsets[b + 1]
+    }
+}
+
+/// Builds the index ranges for `r` with `2^bits` buckets (counting sort on
+/// the key hash).
+pub fn build_index(r: &[Tuple], bits: u32) -> JoinIndex {
+    let scheme = PartitionScheme::HashBits { bits };
+    let parts = scheme.parts() as usize;
+    let mut counts = vec![0usize; parts];
+    for t in r {
+        counts[scheme.bucket(t.key) as usize] += 1;
+    }
+    let mut offsets = Vec::with_capacity(parts + 1);
+    let mut acc = 0;
+    for &c in &counts {
+        offsets.push(acc);
+        acc += c;
+    }
+    offsets.push(acc);
+    let mut cursors = offsets[..parts].to_vec();
+    let mut reordered = vec![Tuple::default(); r.len()];
+    for t in r {
+        let b = scheme.bucket(t.key) as usize;
+        reordered[cursors[b]] = *t;
+        cursors[b] += 1;
+    }
+    JoinIndex { bits, offsets, reordered }
+}
+
+/// Probes `s` against the index, producing `(key, r_payload, s_payload)`
+/// rows in S order.
+pub fn probe_index(index: &JoinIndex, s: &[Tuple]) -> Vec<JoinRow> {
+    let mut out = Vec::new();
+    for st in s {
+        for rt in &index.reordered[index.range(st.key)] {
+            if rt.key == st.key {
+                out.push((st.key, rt.payload, st.payload));
+            }
+        }
+    }
+    out
+}
+
+/// Sort-merge join of two sorted relations (general: handles duplicate keys
+/// on both sides with a block-nested step per key run).
+pub fn merge_join(r: &[Tuple], s: &[Tuple]) -> Vec<JoinRow> {
+    debug_assert!(r.windows(2).all(|w| w[0] <= w[1]), "R must be sorted");
+    debug_assert!(s.windows(2).all(|w| w[0] <= w[1]), "S must be sorted");
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < r.len() && j < s.len() {
+        let (rk, sk) = (r[i].key, s[j].key);
+        if rk < sk {
+            i += 1;
+        } else if rk > sk {
+            j += 1;
+        } else {
+            let i_end = i + r[i..].iter().take_while(|t| t.key == rk).count();
+            let j_end = j + s[j..].iter().take_while(|t| t.key == sk).count();
+            for st in &s[j..j_end] {
+                for rt in &r[i..i_end] {
+                    out.push((rk, rt.payload, st.payload));
+                }
+            }
+            i = i_end;
+            j = j_end;
+        }
+    }
+    out
+}
+
+/// Hash-probe kernel (CPU, NMP-rand): per S tuple, a sequential load, the
+/// key hash, then a *dependent* random load into R's index range — the
+/// access pattern that caps NMP-rand at IPC 0.24 (§7.1).
+pub struct HashProbeKernel {
+    s: Data,
+    index: Arc<JoinIndex>,
+    s_base: u64,
+    r_base: u64,
+    out_base: u64,
+    store_kind: StoreKind,
+    i: usize,
+    out_count: u64,
+    q: OpQueue,
+}
+
+impl HashProbeKernel {
+    /// Probes `s` (at `s_base`) against `index` (reordered R at `r_base`),
+    /// writing matches to `out_base`.
+    pub fn new(
+        s: Data,
+        index: Arc<JoinIndex>,
+        s_base: u64,
+        r_base: u64,
+        out_base: u64,
+        store_kind: StoreKind,
+    ) -> Self {
+        Self { s, index, s_base, r_base, out_base, store_kind, i: 0, out_count: 0, q: OpQueue::new() }
+    }
+}
+
+impl Kernel for HashProbeKernel {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        if self.q.is_empty() {
+            if self.i >= self.s.len() {
+                return None;
+            }
+            let st = self.s[self.i];
+            let addr = self.s_base + (self.i as u64) * TUPLE_BYTES as u64;
+            // The next iteration's load is gated by the previous walk's
+            // exit branch (loop-carried dependence): mispredicted walk
+            // exits squash run-ahead, which is what pins the paper's
+            // NMP-rand at IPC 0.24 (§7.1).
+            self.q.push(MicroOp::load_dep(addr, TUPLE_BYTES));
+            self.q.push(MicroOp::compute_dep(6));
+            let range = self.index.range(st.key);
+            for idx in range.clone() {
+                let r_addr = self.r_base + idx as u64 * TUPLE_BYTES as u64;
+                // The first access depends on the hash of the S key; each
+                // further step of the walk is gated by the previous
+                // compare-and-continue, so the whole range walk is a
+                // dependence chain (§3.2's fine-grained random accesses).
+                self.q.push(MicroOp::load_dep(r_addr, TUPLE_BYTES));
+                self.q.push(MicroOp::compute_dep(2));
+                if self.index.reordered[idx].key == st.key {
+                    let out = self.out_base + self.out_count * TUPLE_BYTES as u64;
+                    self.q.push(MicroOp::Store {
+                        addr: out,
+                        bytes: TUPLE_BYTES,
+                        kind: self.store_kind,
+                    });
+                    self.out_count += 1;
+                }
+            }
+            self.i += 1;
+        }
+        self.q.pop()
+    }
+
+    fn name(&self) -> &'static str {
+        "join.hash_probe"
+    }
+}
+
+/// Scalar merge-join kernel (NMP-seq): both sorted relations stream past a
+/// dependent compare per step.
+pub struct MergeJoinKernel {
+    r: Data,
+    s: Data,
+    r_base: u64,
+    s_base: u64,
+    out_base: u64,
+    store_kind: StoreKind,
+    i: usize,
+    j: usize,
+    out_count: u64,
+    q: OpQueue,
+}
+
+impl MergeJoinKernel {
+    /// Merge-joins sorted `r` (at `r_base`) with sorted `s` (at `s_base`).
+    pub fn new(
+        r: Data,
+        s: Data,
+        r_base: u64,
+        s_base: u64,
+        out_base: u64,
+        store_kind: StoreKind,
+    ) -> Self {
+        Self { r, s, r_base, s_base, out_base, store_kind, i: 0, j: 0, out_count: 0, q: OpQueue::new() }
+    }
+}
+
+impl Kernel for MergeJoinKernel {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        if self.q.is_empty() {
+            if self.i >= self.r.len() || self.j >= self.s.len() {
+                return None;
+            }
+            let (rk, sk) = (self.r[self.i].key, self.s[self.j].key);
+            let t = TUPLE_BYTES;
+            if rk < sk {
+                self.q.push(MicroOp::load(self.r_base + self.i as u64 * t as u64, t));
+                self.q.push(MicroOp::compute_dep(4));
+                self.i += 1;
+            } else if rk > sk {
+                self.q.push(MicroOp::load(self.s_base + self.j as u64 * t as u64, t));
+                self.q.push(MicroOp::compute_dep(4));
+                self.j += 1;
+            } else {
+                // FK match: emit the joined row; advance S (R may match more
+                // S tuples).
+                self.q.push(MicroOp::load(self.s_base + self.j as u64 * t as u64, t));
+                self.q.push(MicroOp::compute_dep(4));
+                self.q.push(MicroOp::Store {
+                    addr: self.out_base + self.out_count * t as u64,
+                    bytes: t,
+                    kind: self.store_kind,
+                });
+                self.out_count += 1;
+                self.j += 1;
+            }
+        }
+        self.q.pop()
+    }
+
+    fn name(&self) -> &'static str {
+        "join.merge.scalar"
+    }
+}
+
+/// SIMD merge-join kernel (Mondrian): R streams through buffer 0, S through
+/// buffer 1; eight comparisons per SIMD round, matched rows stream out.
+pub struct SimdMergeJoinKernel {
+    r: Data,
+    s: Data,
+    r_base: u64,
+    s_base: u64,
+    out_base: u64,
+    i: usize,
+    j: usize,
+    out_count: u64,
+    configured: bool,
+    q: OpQueue,
+}
+
+impl SimdMergeJoinKernel {
+    /// See [`MergeJoinKernel::new`].
+    pub fn new(r: Data, s: Data, r_base: u64, s_base: u64, out_base: u64) -> Self {
+        Self {
+            r,
+            s,
+            r_base,
+            s_base,
+            out_base,
+            i: 0,
+            j: 0,
+            out_count: 0,
+            configured: false,
+            q: OpQueue::new(),
+        }
+    }
+}
+
+impl Kernel for SimdMergeJoinKernel {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        if !self.configured {
+            self.configured = true;
+            let t = TUPLE_BYTES as u64;
+            self.q.push(MicroOp::ConfigStream {
+                buf: 0,
+                base: self.r_base,
+                len: self.r.len() as u64 * t,
+            });
+            self.q.push(MicroOp::ConfigStream {
+                buf: 1,
+                base: self.s_base,
+                len: self.s.len() as u64 * t,
+            });
+        }
+        if self.q.is_empty() {
+            if self.i >= self.r.len() || self.j >= self.s.len() {
+                return None;
+            }
+            // Replay up to 8 merge steps.
+            let (i0, j0) = (self.i, self.j);
+            let mut matches = 0u32;
+            while self.i - i0 + (self.j - j0) < 8
+                && self.i < self.r.len()
+                && self.j < self.s.len()
+            {
+                let (rk, sk) = (self.r[self.i].key, self.s[self.j].key);
+                if rk < sk {
+                    self.i += 1;
+                } else {
+                    if rk == sk {
+                        matches += 1;
+                    }
+                    self.j += 1;
+                }
+            }
+            let (ra, sa) = ((self.i - i0) as u32, (self.j - j0) as u32);
+            let t = TUPLE_BYTES;
+            if ra > 0 {
+                self.q.push(MicroOp::stream_load(0, self.r_base + i0 as u64 * t as u64, ra * t));
+            }
+            if sa > 0 {
+                self.q.push(MicroOp::stream_load(1, self.s_base + j0 as u64 * t as u64, sa * t));
+            }
+            for _ in 0..4 {
+                self.q.push(MicroOp::Simd { dep: Dep::OnPrevLoad });
+            }
+            if matches > 0 {
+                self.q.push(MicroOp::Store {
+                    addr: self.out_base + self.out_count * t as u64,
+                    bytes: matches * t,
+                    kind: StoreKind::Streaming,
+                });
+                self.out_count += matches as u64;
+            }
+        }
+        self.q.pop()
+    }
+
+    fn name(&self) -> &'static str {
+        "join.merge.simd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{canonical, nested_loop_join};
+    use mondrian_workloads::foreign_key_pair;
+
+    #[test]
+    fn index_ranges_partition_r() {
+        let (r, _) = foreign_key_pair(256, 1, 1);
+        let idx = build_index(&r, 5);
+        assert_eq!(idx.offsets.len(), 33);
+        assert_eq!(*idx.offsets.last().unwrap(), 256);
+        // Every tuple sits in its own bucket's range.
+        for b in 0..32usize {
+            for t in &idx.reordered[idx.offsets[b]..idx.offsets[b + 1]] {
+                assert_eq!(idx.bucket(t.key), b);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_probe_matches_nested_loop() {
+        let (r, s) = foreign_key_pair(64, 256, 2);
+        let idx = build_index(&r, 4);
+        assert_eq!(canonical(probe_index(&idx, &s)), nested_loop_join(&r, &s));
+        // FK: every S tuple matched exactly once.
+        assert_eq!(probe_index(&idx, &s).len(), 256);
+    }
+
+    #[test]
+    fn merge_join_matches_nested_loop() {
+        let (r, s) = foreign_key_pair(64, 256, 3);
+        let rs = crate::reference::sorted(&r);
+        let ss = crate::reference::sorted(&s);
+        assert_eq!(canonical(merge_join(&rs, &ss)), nested_loop_join(&r, &s));
+    }
+
+    #[test]
+    fn merge_join_handles_duplicates_on_both_sides() {
+        let r = vec![Tuple::new(1, 10), Tuple::new(1, 11), Tuple::new(2, 20)];
+        let s = vec![Tuple::new(1, 100), Tuple::new(1, 101), Tuple::new(3, 300)];
+        let out = canonical(merge_join(&r, &s));
+        assert_eq!(out, nested_loop_join(&r, &s));
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn probe_kernel_emits_dependent_first_probe() {
+        let (r, s) = foreign_key_pair(32, 64, 4);
+        let idx = Arc::new(build_index(&r, 4));
+        let mut k = HashProbeKernel::new(
+            Arc::new(s.clone()),
+            idx,
+            0,
+            1 << 20,
+            1 << 21,
+            StoreKind::Cached,
+        );
+        let ops: Vec<MicroOp> = std::iter::from_fn(|| k.next_op()).collect();
+        let dep_probes = ops
+            .iter()
+            .filter(|o| matches!(o, MicroOp::Load { dep: Dep::OnPrevLoad, .. }))
+            .count();
+        assert!(dep_probes >= 64, "every probe step is a dependent access");
+        let stores = ops.iter().filter(|o| matches!(o, MicroOp::Store { .. })).count();
+        assert_eq!(stores, 64, "FK join outputs one row per S tuple");
+    }
+
+    #[test]
+    fn simd_merge_join_consumes_both_relations() {
+        let (r, s) = foreign_key_pair(64, 128, 5);
+        let rs = Arc::new(crate::reference::sorted(&r));
+        let ss = Arc::new(crate::reference::sorted(&s));
+        let mut k = SimdMergeJoinKernel::new(rs, ss, 0, 1 << 20, 1 << 21);
+        let ops: Vec<MicroOp> = std::iter::from_fn(|| k.next_op()).collect();
+        let stored: u64 = ops
+            .iter()
+            .filter_map(|o| match o {
+                MicroOp::Store { bytes, .. } => Some(*bytes as u64 / 16),
+                _ => None,
+            })
+            .sum();
+        // All S tuples match, though the kernel may stop once one input
+        // side exhausts (trailing non-matching R tuples are irrelevant).
+        assert!(stored >= 120, "almost all 128 matches stored, got {stored}");
+    }
+
+    #[test]
+    fn scalar_merge_join_advances_both_cursors() {
+        let (r, s) = foreign_key_pair(32, 64, 6);
+        let rs = Arc::new(crate::reference::sorted(&r));
+        let ss = Arc::new(crate::reference::sorted(&s));
+        let mut k =
+            MergeJoinKernel::new(rs, ss, 0, 1 << 20, 1 << 21, StoreKind::Streaming);
+        let ops: Vec<MicroOp> = std::iter::from_fn(|| k.next_op()).collect();
+        let stores = ops.iter().filter(|o| matches!(o, MicroOp::Store { .. })).count();
+        assert_eq!(stores, 64);
+    }
+}

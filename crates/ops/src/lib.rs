@@ -1,0 +1,52 @@
+//! # mondrian-ops
+//!
+//! The four basic in-memory data operators of the paper — **Scan**,
+//! **Sort**, **Group-by** and **Join** (§2, Table 2) — in both algorithm
+//! families the paper contrasts:
+//!
+//! * the **CPU-optimized, hash-based** family (radix partitioning with
+//!   histogram + scatter, hash-table build/probe joins, hash aggregation,
+//!   quicksort), adapted from the multi-core radix join literature the
+//!   paper builds on, and
+//! * the **NMP-friendly, sort-based** family (SIMD bitonic first pass +
+//!   mergesort, sort-merge join, sorted aggregation) that trades extra
+//!   passes over the data for purely sequential access (§4.1).
+//!
+//! Every algorithm exists in two coupled forms:
+//!
+//! 1. a **functional** implementation over real [`Tuple`] data that
+//!    produces verifiable results (tested against naive references), and
+//! 2. an **instrumented kernel** ([`mondrian_cores::Kernel`]) that lazily
+//!    replays the algorithm's micro-op stream — instruction counts, SIMD
+//!    usage, memory addresses and the dependence structure — for the timing
+//!    model. Kernels derive their decisions from the same data, so the
+//!    simulated access pattern is the real access pattern.
+//!
+//! The crate also encodes Table 1 (the Spark-operator → basic-operator
+//! mapping, [`spark`]) and Table 2 (per-operator phase structure,
+//! [`phases`]).
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod groupby;
+pub mod hash;
+pub mod join;
+pub mod partition;
+pub mod phases;
+pub mod reference;
+pub mod scan;
+pub mod sort;
+pub mod spark;
+
+mod opqueue;
+
+pub use agg::Aggregates;
+pub use opqueue::ChainKernel;
+pub use hash::{mix64, PartitionScheme};
+pub use phases::{OperatorKind, PhaseInfo};
+
+use mondrian_workloads::Tuple;
+
+/// Snapshot of tuple data shared between the functional layer and kernels.
+pub type Data = std::sync::Arc<Vec<Tuple>>;

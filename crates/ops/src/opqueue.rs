@@ -1,0 +1,85 @@
+//! Small utilities shared by the instrumented kernels.
+
+use std::collections::VecDeque;
+
+use mondrian_cores::{Kernel, MicroOp};
+
+/// A refillable micro-op queue: kernels push a batch of ops per unit of
+/// work (tuple, SIMD group, merge step) and the core drains them one at a
+/// time.
+#[derive(Debug, Default)]
+pub(crate) struct OpQueue {
+    q: VecDeque<MicroOp>,
+}
+
+impl OpQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, op: MicroOp) {
+        self.q.push_back(op);
+    }
+
+    pub fn pop(&mut self) -> Option<MicroOp> {
+        self.q.pop_front()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+}
+
+/// Runs several kernels back to back as one (used e.g. for the CPU probe
+/// phase, which processes thousands of cache-resident buckets in a row).
+pub struct ChainKernel {
+    parts: Vec<Box<dyn Kernel>>,
+    idx: usize,
+}
+
+impl ChainKernel {
+    /// Chains `parts` in order.
+    pub fn new(parts: Vec<Box<dyn Kernel>>) -> Self {
+        Self { parts, idx: 0 }
+    }
+}
+
+impl Kernel for ChainKernel {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        while self.idx < self.parts.len() {
+            if let Some(op) = self.parts[self.idx].next_op() {
+                return Some(op);
+            }
+            self.idx += 1;
+        }
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "chain"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mondrian_cores::VecKernel;
+
+    #[test]
+    fn chain_runs_parts_in_order() {
+        let a = VecKernel::new(vec![MicroOp::compute(1)]);
+        let b = VecKernel::new(vec![MicroOp::compute(2), MicroOp::compute(3)]);
+        let mut c = ChainKernel::new(vec![Box::new(a), Box::new(b)]);
+        let mut seen = Vec::new();
+        while let Some(op) = c.next_op() {
+            seen.push(op);
+        }
+        assert_eq!(seen, vec![MicroOp::compute(1), MicroOp::compute(2), MicroOp::compute(3)]);
+    }
+
+    #[test]
+    fn empty_chain_finishes_immediately() {
+        let mut c = ChainKernel::new(vec![]);
+        assert!(c.next_op().is_none());
+    }
+}

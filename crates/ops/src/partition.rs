@@ -1,0 +1,589 @@
+//! The partitioning phase: histogram build and data distribution.
+//!
+//! All operators except Scan start by shuffling tuples to destination
+//! partitions (Table 2). The phase has two steps:
+//!
+//! 1. **histogram build** — every source counts how many of its tuples land
+//!    in each destination, so destinations can be pre-sized and each source
+//!    gets a disjoint cursor range (this step exists on every system,
+//!    including the CPU baseline, §5.4), and
+//! 2. **data distribution** — tuples are copied to their destinations.
+//!    Conventional systems compute an exact destination address per tuple
+//!    (cursor load → dependent store → cursor update); permutable systems
+//!    just ship the object to the destination vault and let its controller
+//!    append it (§5.3).
+
+use mondrian_cores::{Dep, Kernel, MicroOp, StoreKind};
+use mondrian_workloads::{Tuple, TUPLE_BYTES};
+
+use crate::hash::PartitionScheme;
+use crate::opqueue::OpQueue;
+use crate::Data;
+
+/// Per-destination tuple counts from one source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// `counts[d]` = tuples headed to destination `d`.
+    pub counts: Vec<u64>,
+}
+
+/// Functional histogram build.
+pub fn histogram(data: &[Tuple], scheme: PartitionScheme) -> Histogram {
+    let mut counts = vec![0u64; scheme.parts() as usize];
+    for t in data {
+        counts[scheme.bucket(t.key) as usize] += 1;
+    }
+    Histogram { counts }
+}
+
+/// Functional data distribution: destination buckets in source order.
+pub fn partition_tuples(data: &[Tuple], scheme: PartitionScheme) -> Vec<Vec<Tuple>> {
+    let mut out: Vec<Vec<Tuple>> = vec![Vec::new(); scheme.parts() as usize];
+    for t in data {
+        out[scheme.bucket(t.key) as usize].push(*t);
+    }
+    out
+}
+
+/// Exclusive prefix sum over destination counts (cursor initialization).
+pub fn exclusive_prefix(counts: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(counts.len());
+    let mut acc = 0;
+    for &c in counts {
+        out.push(acc);
+        acc += c;
+    }
+    out
+}
+
+/// Computes, for each tuple of `data`, the exact destination *byte* address
+/// the conventional scatter would write, advancing `cursors` (byte
+/// addresses, one per destination) exactly like the real cursor array.
+pub fn scatter_addresses(
+    data: &[Tuple],
+    scheme: PartitionScheme,
+    cursors: &mut [u64],
+) -> Vec<u64> {
+    assert_eq!(cursors.len(), scheme.parts() as usize, "one cursor per destination");
+    data.iter()
+        .map(|t| {
+            let b = scheme.bucket(t.key) as usize;
+            let addr = cursors[b];
+            cursors[b] += TUPLE_BYTES as u64;
+            addr
+        })
+        .collect()
+}
+
+/// Scalar histogram-build kernel: the conventional inner loop with its
+/// dependence chain — load tuple → hash → load counter (address depends on
+/// the hash) → increment → store.
+pub struct HistogramKernel {
+    data: Data,
+    base: u64,
+    counter_base: u64,
+    scheme: PartitionScheme,
+    i: usize,
+    q: OpQueue,
+}
+
+impl HistogramKernel {
+    /// Builds the histogram of `data` (at `base`) into the counter array at
+    /// `counter_base` (8 B entries, one per destination).
+    pub fn new(data: Data, base: u64, counter_base: u64, scheme: PartitionScheme) -> Self {
+        Self { data, base, counter_base, scheme, i: 0, q: OpQueue::new() }
+    }
+}
+
+impl Kernel for HistogramKernel {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        if self.q.is_empty() {
+            if self.i >= self.data.len() {
+                return None;
+            }
+            let t = self.data[self.i];
+            let addr = self.base + (self.i as u64) * TUPLE_BYTES as u64;
+            let bucket = self.scheme.bucket(t.key) as u64;
+            let counter = self.counter_base + bucket * 8;
+            self.q.push(MicroOp::load(addr, TUPLE_BYTES));
+            self.q.push(MicroOp::compute_dep(self.scheme.scalar_cost() + 2));
+            self.q.push(MicroOp::load_dep(counter, 8));
+            self.q.push(MicroOp::compute_dep(1));
+            self.q.push(MicroOp::store(counter, 8));
+            self.i += 1;
+        }
+        self.q.pop()
+    }
+
+    fn name(&self) -> &'static str {
+        "partition.histogram"
+    }
+}
+
+/// SIMD histogram kernel (Mondrian): tuples stream in, hashes are computed
+/// eight at a time, but the counter updates remain scalar — SIMD cannot
+/// scatter-increment, which is exactly why Mondrian-noperm stays
+/// compute-bound in §7.1.
+pub struct SimdHistogramKernel {
+    data: Data,
+    base: u64,
+    counter_base: u64,
+    scheme: PartitionScheme,
+    i: usize,
+    configured: bool,
+    q: OpQueue,
+}
+
+impl SimdHistogramKernel {
+    /// See [`HistogramKernel::new`]; input streams through buffer 0.
+    pub fn new(data: Data, base: u64, counter_base: u64, scheme: PartitionScheme) -> Self {
+        Self { data, base, counter_base, scheme, i: 0, configured: false, q: OpQueue::new() }
+    }
+}
+
+impl Kernel for SimdHistogramKernel {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        if !self.configured {
+            self.configured = true;
+            return Some(MicroOp::ConfigStream {
+                buf: 0,
+                base: self.base,
+                len: self.data.len() as u64 * TUPLE_BYTES as u64,
+            });
+        }
+        if self.q.is_empty() {
+            if self.i >= self.data.len() {
+                return None;
+            }
+            let group = (self.data.len() - self.i).min(8);
+            let addr = self.base + (self.i as u64) * TUPLE_BYTES as u64;
+            {
+                // Pop in 64 B pieces: finer grain keeps the in-order core fed
+                // even when the buffer holds less than a full SIMD group.
+                let mut off = 0u32;
+                while off < group as u32 * TUPLE_BYTES {
+                    let piece = (group as u32 * TUPLE_BYTES - off).min(64);
+                    self.q.push(MicroOp::stream_load(0, addr + off as u64, piece));
+                    off += piece;
+                }
+            }
+            self.q.push(MicroOp::Simd { dep: Dep::OnPrevLoad });
+            for k in 0..group {
+                let bucket = self.scheme.bucket(self.data[self.i + k].key) as u64;
+                let counter = self.counter_base + bucket * 8;
+                // Hashes are already in the vector register: the counter
+                // update is scalar but not address-dependent on a pending
+                // memory load.
+                self.q.push(MicroOp::load(counter, 8));
+                self.q.push(MicroOp::compute_dep(1));
+                self.q.push(MicroOp::store(counter, 8));
+            }
+            self.i += group;
+        }
+        self.q.pop()
+    }
+
+    fn name(&self) -> &'static str {
+        "partition.histogram.simd"
+    }
+}
+
+/// Conventional scatter kernel: per tuple, load → hash → load cursor
+/// (dependent) → store tuple to the cursor's address → bump cursor.
+pub struct ScatterKernel {
+    data: Data,
+    base: u64,
+    cursor_base: u64,
+    dst_addrs: Vec<u64>,
+    store_kind: StoreKind,
+    scheme: PartitionScheme,
+    i: usize,
+    q: OpQueue,
+}
+
+impl ScatterKernel {
+    /// Scatters `data` (at `base`) to the pre-computed destination
+    /// addresses (from [`scatter_addresses`]), with the cursor array at
+    /// `cursor_base`. `store_kind` distinguishes the CPU's cacheable
+    /// scatter from the NMP baseline's remote streaming writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst_addrs` does not cover every tuple.
+    pub fn new(
+        data: Data,
+        base: u64,
+        cursor_base: u64,
+        dst_addrs: Vec<u64>,
+        store_kind: StoreKind,
+        scheme: PartitionScheme,
+    ) -> Self {
+        assert_eq!(dst_addrs.len(), data.len(), "one destination per tuple");
+        Self { data, base, cursor_base, dst_addrs, store_kind, scheme, i: 0, q: OpQueue::new() }
+    }
+}
+
+impl Kernel for ScatterKernel {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        if self.q.is_empty() {
+            if self.i >= self.data.len() {
+                return None;
+            }
+            let t = self.data[self.i];
+            let addr = self.base + (self.i as u64) * TUPLE_BYTES as u64;
+            let bucket = self.scheme.bucket(t.key) as u64;
+            let cursor = self.cursor_base + bucket * 8;
+            self.q.push(MicroOp::load(addr, TUPLE_BYTES));
+            self.q.push(MicroOp::compute_dep(self.scheme.scalar_cost() + 2));
+            self.q.push(MicroOp::load_dep(cursor, 8));
+            self.q.push(MicroOp::Store {
+                addr: self.dst_addrs[self.i],
+                bytes: TUPLE_BYTES,
+                kind: self.store_kind,
+            });
+            self.q.push(MicroOp::store(cursor, 8));
+            self.i += 1;
+        }
+        self.q.pop()
+    }
+
+    fn name(&self) -> &'static str {
+        "partition.scatter"
+    }
+}
+
+/// SIMD scatter without permutability (Mondrian-noperm): hashes vectorize,
+/// but each tuple still needs a dependent cursor load and an exact-address
+/// store — "Mondrian-noperm cannot use SIMD instructions throughout the
+/// partition loop" (§7.1).
+pub struct SimdScatterKernel {
+    data: Data,
+    base: u64,
+    cursor_base: u64,
+    dst_addrs: Vec<u64>,
+    scheme: PartitionScheme,
+    i: usize,
+    configured: bool,
+    q: OpQueue,
+}
+
+impl SimdScatterKernel {
+    /// See [`ScatterKernel::new`]; input streams through buffer 0, stores
+    /// bypass caches.
+    pub fn new(
+        data: Data,
+        base: u64,
+        cursor_base: u64,
+        dst_addrs: Vec<u64>,
+        scheme: PartitionScheme,
+    ) -> Self {
+        assert_eq!(dst_addrs.len(), data.len());
+        Self {
+            data,
+            base,
+            cursor_base,
+            dst_addrs,
+            scheme,
+            i: 0,
+            configured: false,
+            q: OpQueue::new(),
+        }
+    }
+}
+
+impl Kernel for SimdScatterKernel {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        if !self.configured {
+            self.configured = true;
+            return Some(MicroOp::ConfigStream {
+                buf: 0,
+                base: self.base,
+                len: self.data.len() as u64 * TUPLE_BYTES as u64,
+            });
+        }
+        if self.q.is_empty() {
+            if self.i >= self.data.len() {
+                return None;
+            }
+            let group = (self.data.len() - self.i).min(8);
+            let addr = self.base + (self.i as u64) * TUPLE_BYTES as u64;
+            {
+                // Pop in 64 B pieces: finer grain keeps the in-order core fed
+                // even when the buffer holds less than a full SIMD group.
+                let mut off = 0u32;
+                while off < group as u32 * TUPLE_BYTES {
+                    let piece = (group as u32 * TUPLE_BYTES - off).min(64);
+                    self.q.push(MicroOp::stream_load(0, addr + off as u64, piece));
+                    off += piece;
+                }
+            }
+            self.q.push(MicroOp::Simd { dep: Dep::OnPrevLoad });
+            for k in 0..group {
+                let t = self.data[self.i + k];
+                let bucket = self.scheme.bucket(t.key) as u64;
+                let cursor = self.cursor_base + bucket * 8;
+                self.q.push(MicroOp::load(cursor, 8));
+                self.q.push(MicroOp::Store {
+                    addr: self.dst_addrs[self.i + k],
+                    bytes: TUPLE_BYTES,
+                    kind: StoreKind::Streaming,
+                });
+                self.q.push(MicroOp::store(cursor, 8));
+            }
+            self.i += group;
+        }
+        self.q.pop()
+    }
+
+    fn name(&self) -> &'static str {
+        "partition.scatter.simd"
+    }
+}
+
+/// Permutable scatter kernel (NMP-perm): no cursor, no exact address — just
+/// hash to a destination vault and ship the object (§5.3: "Permutability
+/// eschews the need for destination address calculation and greatly reduces
+/// dependencies in the code").
+pub struct PermutableScatterKernel {
+    data: Data,
+    base: u64,
+    dst_vaults: Vec<u32>,
+    i: usize,
+    q: OpQueue,
+}
+
+impl PermutableScatterKernel {
+    /// Ships each tuple of `data` (at `base`) to `dst_vaults[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst_vaults` does not cover every tuple.
+    pub fn new(data: Data, base: u64, dst_vaults: Vec<u32>) -> Self {
+        assert_eq!(dst_vaults.len(), data.len(), "one destination vault per tuple");
+        Self { data, base, dst_vaults, i: 0, q: OpQueue::new() }
+    }
+}
+
+impl Kernel for PermutableScatterKernel {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        if self.q.is_empty() {
+            if self.i >= self.data.len() {
+                return None;
+            }
+            let addr = self.base + (self.i as u64) * TUPLE_BYTES as u64;
+            self.q.push(MicroOp::load(addr, TUPLE_BYTES));
+            self.q.push(MicroOp::compute_dep(2));
+            self.q.push(MicroOp::Store {
+                addr: 0,
+                bytes: TUPLE_BYTES,
+                kind: StoreKind::Permutable { dst_vault: self.dst_vaults[self.i] },
+            });
+            self.i += 1;
+        }
+        self.q.pop()
+    }
+
+    fn name(&self) -> &'static str {
+        "partition.scatter.perm"
+    }
+}
+
+/// Permutable SIMD scatter (full Mondrian): streams in, hashes eight
+/// tuples per SIMD op, ships whole objects — "SIMD instructions across the
+/// entire partition loop" (§7.1), shifting the bottleneck to the SerDes
+/// links.
+pub struct SimdPermutableScatterKernel {
+    data: Data,
+    base: u64,
+    dst_vaults: Vec<u32>,
+    i: usize,
+    configured: bool,
+    q: OpQueue,
+}
+
+impl SimdPermutableScatterKernel {
+    /// See [`PermutableScatterKernel::new`].
+    pub fn new(data: Data, base: u64, dst_vaults: Vec<u32>) -> Self {
+        assert_eq!(dst_vaults.len(), data.len());
+        Self { data, base, dst_vaults, i: 0, configured: false, q: OpQueue::new() }
+    }
+}
+
+impl Kernel for SimdPermutableScatterKernel {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        if !self.configured {
+            self.configured = true;
+            return Some(MicroOp::ConfigStream {
+                buf: 0,
+                base: self.base,
+                len: self.data.len() as u64 * TUPLE_BYTES as u64,
+            });
+        }
+        if self.q.is_empty() {
+            if self.i >= self.data.len() {
+                return None;
+            }
+            let group = (self.data.len() - self.i).min(8);
+            let addr = self.base + (self.i as u64) * TUPLE_BYTES as u64;
+            {
+                // Pop in 64 B pieces: finer grain keeps the in-order core fed
+                // even when the buffer holds less than a full SIMD group.
+                let mut off = 0u32;
+                while off < group as u32 * TUPLE_BYTES {
+                    let piece = (group as u32 * TUPLE_BYTES - off).min(64);
+                    self.q.push(MicroOp::stream_load(0, addr + off as u64, piece));
+                    off += piece;
+                }
+            }
+            self.q.push(MicroOp::Simd { dep: Dep::OnPrevLoad });
+            for k in 0..group {
+                self.q.push(MicroOp::Store {
+                    addr: 0,
+                    bytes: TUPLE_BYTES,
+                    kind: StoreKind::Permutable { dst_vault: self.dst_vaults[self.i + k] },
+                });
+            }
+            self.i += group;
+        }
+        self.q.pop()
+    }
+
+    fn name(&self) -> &'static str {
+        "partition.scatter.perm.simd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn data(n: u64) -> Data {
+        Arc::new((0..n).map(|i| Tuple::new(i * 7 + 3, i)).collect())
+    }
+
+    fn drain(k: &mut dyn Kernel) -> Vec<MicroOp> {
+        std::iter::from_fn(|| k.next_op()).collect()
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_n() {
+        let d = data(1000);
+        let h = histogram(&d, PartitionScheme::LowBits { bits: 4 });
+        assert_eq!(h.counts.iter().sum::<u64>(), 1000);
+        assert_eq!(h.counts.len(), 16);
+    }
+
+    #[test]
+    fn partition_preserves_multiset_and_routing() {
+        let d = data(500);
+        let scheme = PartitionScheme::LowBits { bits: 3 };
+        let parts = partition_tuples(&d, scheme);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, 500);
+        for (p, bucket) in parts.iter().enumerate() {
+            assert!(bucket.iter().all(|t| scheme.bucket(t.key) == p as u32));
+        }
+        // Multiset equality.
+        let mut all: Vec<Tuple> = parts.into_iter().flatten().collect();
+        let mut orig = d.to_vec();
+        all.sort_unstable();
+        orig.sort_unstable();
+        assert_eq!(all, orig);
+    }
+
+    #[test]
+    fn prefix_sums() {
+        assert_eq!(exclusive_prefix(&[3, 0, 2]), vec![0, 3, 3]);
+        assert_eq!(exclusive_prefix(&[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn scatter_addresses_are_dense_per_destination() {
+        let d = data(64);
+        let scheme = PartitionScheme::LowBits { bits: 2 };
+        let h = histogram(&d, scheme);
+        // Destination d starts at d * 4096.
+        let mut cursors: Vec<u64> = (0..4u64).map(|p| p * 4096).collect();
+        let addrs = scatter_addresses(&d, scheme, &mut cursors);
+        assert_eq!(addrs.len(), 64);
+        // Final cursors advanced by exactly count × 16.
+        for p in 0..4usize {
+            assert_eq!(cursors[p], p as u64 * 4096 + h.counts[p] * 16);
+        }
+        // Addresses within a destination are strictly increasing by 16.
+        for p in 0..4u32 {
+            let dst: Vec<u64> = d
+                .iter()
+                .zip(&addrs)
+                .filter(|(t, _)| scheme.bucket(t.key) == p)
+                .map(|(_, &a)| a)
+                .collect();
+            assert!(dst.windows(2).all(|w| w[1] == w[0] + 16));
+        }
+    }
+
+    #[test]
+    fn histogram_kernel_has_dependent_counter_access() {
+        let d = data(8);
+        let mut k = HistogramKernel::new(d, 0, 1 << 20, PartitionScheme::LowBits { bits: 6 });
+        let ops = drain(&mut k);
+        // Per tuple: load, compute, load(dep), compute, store = 5 ops.
+        assert_eq!(ops.len(), 40);
+        let dep_loads = ops
+            .iter()
+            .filter(|o| {
+                matches!(o, MicroOp::Load { dep: Dep::OnPrevLoad, .. })
+            })
+            .count();
+        assert_eq!(dep_loads, 8, "every counter access is address-dependent");
+    }
+
+    #[test]
+    fn perm_kernel_is_shorter_than_conventional() {
+        let d = data(64);
+        let scheme = PartitionScheme::LowBits { bits: 6 };
+        let dsts: Vec<u32> = d.iter().map(|t| scheme.bucket(t.key)).collect();
+        let mut perm = PermutableScatterKernel::new(d.clone(), 0, dsts);
+        let mut cursors = vec![1 << 20; 64];
+        let addrs = scatter_addresses(&d, scheme, &mut cursors);
+        let mut conv =
+            ScatterKernel::new(d.clone(), 0, 1 << 22, addrs, StoreKind::Streaming, scheme);
+        let perm_instr: u64 = drain(&mut perm).iter().map(|o| o.instructions()).sum();
+        let conv_instr: u64 = drain(&mut conv).iter().map(|o| o.instructions()).sum();
+        // Conventional: load+hash+cursor load+2 stores (8 instr/tuple);
+        // permutable: load+shift+object store (4 instr/tuple).
+        assert!(
+            perm_instr * 3 <= conv_instr * 2,
+            "permutable loop must be much simpler: {perm_instr} vs {conv_instr}"
+        );
+    }
+
+    #[test]
+    fn simd_perm_kernel_emits_objects_per_tuple() {
+        let d = data(24);
+        let scheme = PartitionScheme::LowBits { bits: 6 };
+        let dsts: Vec<u32> = d.iter().map(|t| scheme.bucket(t.key)).collect();
+        let mut k = SimdPermutableScatterKernel::new(d, 0, dsts);
+        let ops = drain(&mut k);
+        let stores = ops
+            .iter()
+            .filter(|o| matches!(o, MicroOp::Store { kind: StoreKind::Permutable { .. }, .. }))
+            .count();
+        assert_eq!(stores, 24);
+        let simds = ops.iter().filter(|o| matches!(o, MicroOp::Simd { .. })).count();
+        assert_eq!(simds, 3);
+    }
+
+    #[test]
+    fn scatter_kernel_requires_full_addresses() {
+        let d = data(4);
+        let scheme = PartitionScheme::LowBits { bits: 2 };
+        let dsts: Vec<u32> = d.iter().map(|t| scheme.bucket(t.key)).collect();
+        assert_eq!(dsts.len(), 4);
+        let result = std::panic::catch_unwind(|| {
+            ScatterKernel::new(d.clone(), 0, 0, vec![0; 3], StoreKind::Cached, scheme)
+        });
+        assert!(result.is_err(), "short dst_addrs must panic");
+    }
+}

@@ -1,0 +1,122 @@
+//! Operator phase structure (Table 2 of the paper).
+
+/// The four basic data operators (§2, Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperatorKind {
+    /// Sequentially scan for a key.
+    Scan,
+    /// R ⋈ S equi-join on a foreign key.
+    Join,
+    /// Group tuples by key and aggregate.
+    GroupBy,
+    /// Totally order the dataset.
+    Sort,
+}
+
+impl OperatorKind {
+    /// All four operators, in the paper's presentation order.
+    pub const ALL: [OperatorKind; 4] =
+        [OperatorKind::Scan, OperatorKind::Sort, OperatorKind::GroupBy, OperatorKind::Join];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OperatorKind::Scan => "Scan",
+            OperatorKind::Join => "Join",
+            OperatorKind::GroupBy => "Group by",
+            OperatorKind::Sort => "Sort",
+        }
+    }
+}
+
+impl std::fmt::Display for OperatorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Phase decomposition of one operator — a row of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseInfo {
+    /// Whether the operator has a partitioning phase at all.
+    pub has_partitioning: bool,
+    /// Histogram-build step description (partitioning phase, step 1).
+    pub histogram: Option<&'static str>,
+    /// Data-distribution step description (partitioning phase, step 2).
+    pub distribution: Option<&'static str>,
+    /// Hash-table build step of the probe phase, if any.
+    pub hash_table_build: Option<&'static str>,
+    /// The probe-phase operation.
+    pub operation: &'static str,
+}
+
+impl PhaseInfo {
+    /// Table 2, by operator.
+    pub fn of(op: OperatorKind) -> Self {
+        match op {
+            OperatorKind::Scan => Self {
+                has_partitioning: false,
+                histogram: None,
+                distribution: None,
+                hash_table_build: None,
+                operation: "Scan keys",
+            },
+            OperatorKind::Join => Self {
+                has_partitioning: true,
+                histogram: Some("Hash keys with low order bits"),
+                distribution: Some("Copy to partitions"),
+                hash_table_build: Some("Hash keys & reorder"),
+                operation: "Join by key",
+            },
+            OperatorKind::GroupBy => Self {
+                has_partitioning: true,
+                histogram: Some("Hash keys with low order bits"),
+                distribution: Some("Copy to partitions"),
+                hash_table_build: Some("Hash keys & reorder"),
+                operation: "Group by key",
+            },
+            OperatorKind::Sort => Self {
+                has_partitioning: true,
+                histogram: Some("Hash keys with high order bits"),
+                distribution: Some("Copy to partitions"),
+                hash_table_build: None,
+                operation: "Local sort",
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_scan_has_no_partitioning() {
+        let p = PhaseInfo::of(OperatorKind::Scan);
+        assert!(!p.has_partitioning);
+        assert_eq!(p.operation, "Scan keys");
+    }
+
+    #[test]
+    fn table2_join_groupby_share_partitioning() {
+        let j = PhaseInfo::of(OperatorKind::Join);
+        let g = PhaseInfo::of(OperatorKind::GroupBy);
+        assert_eq!(j.histogram, g.histogram);
+        assert_eq!(j.hash_table_build, g.hash_table_build);
+        assert_ne!(j.operation, g.operation);
+    }
+
+    #[test]
+    fn table2_sort_uses_high_order_bits_no_hash_table() {
+        let s = PhaseInfo::of(OperatorKind::Sort);
+        assert_eq!(s.histogram, Some("Hash keys with high order bits"));
+        assert_eq!(s.hash_table_build, None);
+        assert_eq!(s.operation, "Local sort");
+    }
+
+    #[test]
+    fn operator_names_match_paper() {
+        assert_eq!(OperatorKind::GroupBy.to_string(), "Group by");
+        assert_eq!(OperatorKind::ALL.len(), 4);
+    }
+}

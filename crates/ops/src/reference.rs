@@ -1,0 +1,71 @@
+//! Naive reference implementations used to validate the real operators.
+
+use std::collections::BTreeMap;
+
+use mondrian_workloads::Tuple;
+
+use crate::agg::Aggregates;
+
+/// A joined output row: `(key, r_payload, s_payload)`.
+pub type JoinRow = (u64, u64, u64);
+
+/// O(|R|·|S|) nested-loop join — ground truth for join tests.
+pub fn nested_loop_join(r: &[Tuple], s: &[Tuple]) -> Vec<JoinRow> {
+    let mut out = Vec::new();
+    for st in s {
+        for rt in r {
+            if rt.key == st.key {
+                out.push((st.key, rt.payload, st.payload));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Ground-truth sort.
+pub fn sorted(rel: &[Tuple]) -> Vec<Tuple> {
+    let mut v = rel.to_vec();
+    v.sort_unstable();
+    v
+}
+
+/// Ground-truth group-by with the six aggregates.
+pub fn grouped(rel: &[Tuple]) -> BTreeMap<u64, Aggregates> {
+    let mut out: BTreeMap<u64, Aggregates> = BTreeMap::new();
+    for t in rel {
+        out.entry(t.key).or_default().update(t);
+    }
+    out
+}
+
+/// Ground-truth scan: tuples whose key equals `needle`.
+pub fn scanned(rel: &[Tuple], needle: u64) -> Vec<Tuple> {
+    rel.iter().copied().filter(|t| t.key == needle).collect()
+}
+
+/// Canonicalizes a join result for comparison.
+pub fn canonical(mut rows: Vec<JoinRow>) -> Vec<JoinRow> {
+    rows.sort_unstable();
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_loop_finds_all_matches() {
+        let r = vec![Tuple::new(1, 100), Tuple::new(2, 200)];
+        let s = vec![Tuple::new(1, 10), Tuple::new(1, 11), Tuple::new(3, 30)];
+        let out = nested_loop_join(&r, &s);
+        assert_eq!(out, vec![(1, 100, 10), (1, 100, 11)]);
+    }
+
+    #[test]
+    fn grouped_aggregates() {
+        let rel = vec![Tuple::new(5, 1), Tuple::new(5, 3)];
+        let g = grouped(&rel);
+        assert_eq!(g[&5].sum, 4);
+    }
+}

@@ -1,0 +1,572 @@
+//! The Sort operator's probe phase: local sorting algorithms.
+//!
+//! §5.2 identifies mergesort as "the fittest near-memory sort algorithm, as
+//! it spends most of the time merging ordered streams of tuples, thus
+//! maximizing sequential memory accesses", optimized with "an initial
+//! bitonic sort pass, using the SIMD algorithm used in [8], where we sort
+//! small groups of tuples that are later merged (intra-stream sorting)".
+//! Sorting 16-tuple groups first removes four merge passes (log₂ 16).
+//!
+//! The CPU baseline sorts each partition with quicksort (§6).
+
+use mondrian_cores::{Dep, Kernel, MicroOp, StoreKind};
+use mondrian_workloads::{Tuple, TUPLE_BYTES};
+
+use crate::opqueue::OpQueue;
+use crate::Data;
+
+/// Tuples per bitonic group (and the initial merge run length).
+pub const BITONIC_RUN: usize = 16;
+
+/// Functional bitonic first pass: sorts every `run`-tuple group in place.
+pub fn bitonic_runs(data: &[Tuple], run: usize) -> Vec<Tuple> {
+    assert!(run > 0);
+    let mut out = data.to_vec();
+    for chunk in out.chunks_mut(run) {
+        chunk.sort_unstable();
+    }
+    out
+}
+
+/// Functional merge pass: merges adjacent pairs of sorted `run`-tuple runs.
+pub fn merge_pass(data: &[Tuple], run: usize) -> Vec<Tuple> {
+    assert!(run > 0);
+    let mut out = Vec::with_capacity(data.len());
+    let mut lo = 0;
+    while lo < data.len() {
+        let mid = (lo + run).min(data.len());
+        let hi = (lo + 2 * run).min(data.len());
+        let (mut i, mut j) = (lo, mid);
+        while i < mid && j < hi {
+            if data[i] <= data[j] {
+                out.push(data[i]);
+                i += 1;
+            } else {
+                out.push(data[j]);
+                j += 1;
+            }
+        }
+        out.extend_from_slice(&data[i..mid]);
+        out.extend_from_slice(&data[j..hi]);
+        lo = hi;
+    }
+    out
+}
+
+/// Number of merge passes needed to sort `n` tuples from runs of
+/// `initial_run`.
+pub fn merge_pass_count(n: usize, initial_run: usize) -> u32 {
+    let mut run = initial_run.max(1);
+    let mut passes = 0;
+    while run < n {
+        run *= 2;
+        passes += 1;
+    }
+    passes
+}
+
+/// Full functional mergesort (bitonic first pass + merge passes); returns
+/// the sorted data and the number of merge passes performed.
+pub fn mergesort(data: &[Tuple], initial_run: usize) -> (Vec<Tuple>, u32) {
+    let mut v = bitonic_runs(data, initial_run);
+    let mut run = initial_run;
+    let mut passes = 0;
+    while run < v.len() {
+        v = merge_pass(&v, run);
+        run *= 2;
+        passes += 1;
+    }
+    (v, passes)
+}
+
+/// SIMD bitonic-run kernel (Mondrian): per 16-tuple group, two 128 B stream
+/// pops, a ~10-stage SIMD sorting network, and two 128 B streaming stores.
+pub struct BitonicRunKernel {
+    data: Data,
+    in_base: u64,
+    out_base: u64,
+    i: usize,
+    configured: bool,
+    q: OpQueue,
+}
+
+impl BitonicRunKernel {
+    /// Sorts 16-tuple groups of `data` (at `in_base`) into `out_base`.
+    pub fn new(data: Data, in_base: u64, out_base: u64) -> Self {
+        Self { data, in_base, out_base, i: 0, configured: false, q: OpQueue::new() }
+    }
+}
+
+impl Kernel for BitonicRunKernel {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        if !self.configured {
+            self.configured = true;
+            return Some(MicroOp::ConfigStream {
+                buf: 0,
+                base: self.in_base,
+                len: self.data.len() as u64 * TUPLE_BYTES as u64,
+            });
+        }
+        if self.q.is_empty() {
+            if self.i >= self.data.len() {
+                return None;
+            }
+            let group = (self.data.len() - self.i).min(BITONIC_RUN);
+            let mut off = 0;
+            while off < group {
+                let part = (group - off).min(8);
+                let addr = self.in_base + ((self.i + off) as u64) * TUPLE_BYTES as u64;
+                self.q.push(MicroOp::stream_load(0, addr, part as u32 * TUPLE_BYTES));
+                off += part;
+            }
+            // Bitonic sorting network for 16 keys: ~10 compare-exchange
+            // stages on the 1024-bit unit.
+            for _ in 0..10 {
+                self.q.push(MicroOp::Simd { dep: Dep::OnPrevLoad });
+            }
+            let mut off = 0;
+            while off < group {
+                let part = (group - off).min(8);
+                let addr = self.out_base + ((self.i + off) as u64) * TUPLE_BYTES as u64;
+                self.q.push(MicroOp::Store {
+                    addr,
+                    bytes: part as u32 * TUPLE_BYTES,
+                    kind: StoreKind::Streaming,
+                });
+                off += part;
+            }
+            self.i += group;
+        }
+        self.q.pop()
+    }
+
+    fn name(&self) -> &'static str {
+        "sort.bitonic"
+    }
+}
+
+/// State of one run-pair merge.
+#[derive(Debug, Clone, Copy)]
+struct PairState {
+    /// Input cursor in run A (absolute tuple index).
+    ia: usize,
+    /// End of run A.
+    mid: usize,
+    /// Input cursor in run B.
+    ib: usize,
+    /// End of run B.
+    hi: usize,
+}
+
+/// One SIMD merge pass (Mondrian): adjacent sorted runs stream through
+/// buffers 0 and 1; a bitonic merge network combines eight tuples per
+/// round; output streams to the ping-pong buffer.
+pub struct SimdMergePassKernel {
+    data: Data,
+    run: usize,
+    in_base: u64,
+    out_base: u64,
+    pair: Option<PairState>,
+    next_lo: usize,
+    k: usize,
+    q: OpQueue,
+}
+
+impl SimdMergePassKernel {
+    /// Merges `run`-length runs of `data` (at `in_base`) into `out_base`.
+    pub fn new(data: Data, run: usize, in_base: u64, out_base: u64) -> Self {
+        assert!(run > 0);
+        Self { data, run, in_base, out_base, pair: None, next_lo: 0, k: 0, q: OpQueue::new() }
+    }
+
+    fn open_next_pair(&mut self) -> bool {
+        if self.next_lo >= self.data.len() {
+            return false;
+        }
+        let lo = self.next_lo;
+        let mid = (lo + self.run).min(self.data.len());
+        let hi = (lo + 2 * self.run).min(self.data.len());
+        self.next_lo = hi;
+        self.pair = Some(PairState { ia: lo, mid, ib: mid, hi });
+        let t = TUPLE_BYTES as u64;
+        self.q.push(MicroOp::ConfigStream {
+            buf: 0,
+            base: self.in_base + lo as u64 * t,
+            len: (mid - lo) as u64 * t,
+        });
+        if hi > mid {
+            self.q.push(MicroOp::ConfigStream {
+                buf: 1,
+                base: self.in_base + mid as u64 * t,
+                len: (hi - mid) as u64 * t,
+            });
+        }
+        true
+    }
+
+    /// Replays up to 8 merge steps, returning (from_a, from_b).
+    fn replay_group(&mut self) -> (usize, usize) {
+        let p = self.pair.as_mut().expect("pair open");
+        let (mut a, mut b) = (0, 0);
+        while a + b < 8 && (p.ia < p.mid || p.ib < p.hi) {
+            let take_a = match (p.ia < p.mid, p.ib < p.hi) {
+                (true, true) => self.data[p.ia] <= self.data[p.ib],
+                (true, false) => true,
+                (false, true) => false,
+                (false, false) => unreachable!(),
+            };
+            if take_a {
+                p.ia += 1;
+                a += 1;
+            } else {
+                p.ib += 1;
+                b += 1;
+            }
+        }
+        if p.ia >= p.mid && p.ib >= p.hi {
+            self.pair = None;
+        }
+        (a, b)
+    }
+}
+
+impl Kernel for SimdMergePassKernel {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        while self.q.is_empty() {
+            if self.pair.is_none() && !self.open_next_pair() {
+                return None;
+            }
+            if self.pair.is_none() {
+                continue; // streams configured; next call produces output
+            }
+            let before = self.pair.expect("pair exists");
+            let (a, b) = self.replay_group();
+            if a + b == 0 {
+                continue;
+            }
+            let t = TUPLE_BYTES;
+            if a > 0 {
+                let addr = self.in_base + before.ia as u64 * t as u64;
+                self.q.push(MicroOp::stream_load(0, addr, a as u32 * t));
+            }
+            if b > 0 {
+                let addr = self.in_base + before.ib as u64 * t as u64;
+                self.q.push(MicroOp::stream_load(1, addr, b as u32 * t));
+            }
+            // Bitonic merge network: 4 SIMD stages for 8 tuples.
+            for _ in 0..4 {
+                self.q.push(MicroOp::Simd { dep: Dep::OnPrevLoad });
+            }
+            self.q.push(MicroOp::Store {
+                addr: self.out_base + self.k as u64 * t as u64,
+                bytes: (a + b) as u32 * t,
+                kind: StoreKind::Streaming,
+            });
+            self.k += a + b;
+        }
+        self.q.pop()
+    }
+
+    fn name(&self) -> &'static str {
+        "sort.merge.simd"
+    }
+}
+
+/// One scalar merge pass (NMP-seq): sequential loads from both runs,
+/// a dependent compare per output tuple, sequential stores. High IPC, but
+/// log₂(n) passes over the data (§7.1: IPC 0.95 yet slower than NMP-rand).
+pub struct ScalarMergePassKernel {
+    data: Data,
+    run: usize,
+    in_base: u64,
+    out_base: u64,
+    pair: Option<PairState>,
+    next_lo: usize,
+    k: usize,
+    q: OpQueue,
+}
+
+impl ScalarMergePassKernel {
+    /// Merges `run`-length runs of `data` (at `in_base`) into `out_base`.
+    pub fn new(data: Data, run: usize, in_base: u64, out_base: u64) -> Self {
+        assert!(run > 0);
+        Self { data, run, in_base, out_base, pair: None, next_lo: 0, k: 0, q: OpQueue::new() }
+    }
+}
+
+impl Kernel for ScalarMergePassKernel {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        if self.q.is_empty() {
+            let p = match self.pair.as_mut() {
+                Some(p) if p.ia < p.mid || p.ib < p.hi => p,
+                _ => {
+                    if self.next_lo >= self.data.len() {
+                        return None;
+                    }
+                    let lo = self.next_lo;
+                    let mid = (lo + self.run).min(self.data.len());
+                    let hi = (lo + 2 * self.run).min(self.data.len());
+                    self.next_lo = hi;
+                    self.pair = Some(PairState { ia: lo, mid, ib: mid, hi });
+                    self.pair.as_mut().expect("just set")
+                }
+            };
+            let take_a = match (p.ia < p.mid, p.ib < p.hi) {
+                (true, true) => self.data[p.ia] <= self.data[p.ib],
+                (true, false) => true,
+                _ => false,
+            };
+            let src = if take_a {
+                let s = p.ia;
+                p.ia += 1;
+                s
+            } else {
+                let s = p.ib;
+                p.ib += 1;
+                s
+            };
+            let t = TUPLE_BYTES;
+            self.q.push(MicroOp::load(self.in_base + src as u64 * t as u64, t));
+            self.q.push(MicroOp::compute_dep(4));
+            self.q.push(MicroOp::Store {
+                addr: self.out_base + self.k as u64 * t as u64,
+                bytes: t,
+                kind: StoreKind::Streaming,
+            });
+            self.k += 1;
+        }
+        self.q.pop()
+    }
+
+    fn name(&self) -> &'static str {
+        "sort.merge.scalar"
+    }
+}
+
+/// Quicksort kernel (CPU Sort probe): replays Hoare partitioning over a
+/// working copy — sequential scans from both ends per level, dependent
+/// compares, stores for the real swaps, insertion sort below 32 tuples.
+pub struct QuicksortKernel {
+    work: Vec<Tuple>,
+    base: u64,
+    stack: Vec<(usize, usize)>,
+    q: OpQueue,
+}
+
+impl QuicksortKernel {
+    /// Sorts `data` (resident at `base`) with cacheable accesses.
+    pub fn new(data: &[Tuple], base: u64) -> Self {
+        let stack = if data.is_empty() { vec![] } else { vec![(0, data.len())] };
+        Self { work: data.to_vec(), base, stack, q: OpQueue::new() }
+    }
+
+    /// The sorted result (valid once the kernel is drained).
+    pub fn into_sorted(mut self) -> Vec<Tuple> {
+        // Finish any remaining ranges functionally.
+        while self.next_op().is_some() {}
+        self.work
+    }
+
+    fn addr(&self, idx: usize) -> u64 {
+        self.base + idx as u64 * TUPLE_BYTES as u64
+    }
+
+    fn process_range(&mut self, lo: usize, hi: usize) {
+        let len = hi - lo;
+        if len <= 1 {
+            return;
+        }
+        if len <= 32 {
+            // Insertion sort: one load + compare chain + store per element.
+            self.work[lo..hi].sort_unstable();
+            for idx in lo..hi {
+                self.q.push(MicroOp::load(self.addr(idx), TUPLE_BYTES));
+                self.q.push(MicroOp::compute_dep(6));
+                self.q.push(MicroOp::store(self.addr(idx), TUPLE_BYTES));
+            }
+            return;
+        }
+        // Median-of-three pivot.
+        let mid = lo + len / 2;
+        let mut cand = [self.work[lo], self.work[mid], self.work[hi - 1]];
+        cand.sort_unstable();
+        let pivot = cand[1];
+        // Hoare partition with swap counting.
+        let (mut i, mut j) = (lo, hi - 1);
+        let mut swaps = 0usize;
+        loop {
+            while self.work[i] < pivot {
+                i += 1;
+            }
+            while self.work[j] > pivot {
+                j -= 1;
+            }
+            if i >= j {
+                break;
+            }
+            self.work.swap(i, j);
+            swaps += 1;
+            i += 1;
+            if j == 0 {
+                break;
+            }
+            j -= 1;
+        }
+        let split = j + 1;
+        // Every element is loaded and compared once per level.
+        for idx in lo..hi {
+            self.q.push(MicroOp::load(self.addr(idx), TUPLE_BYTES));
+            self.q.push(MicroOp::compute_dep(4));
+        }
+        for s in 0..swaps {
+            self.q.push(MicroOp::store(self.addr(lo + s), TUPLE_BYTES));
+            self.q.push(MicroOp::store(self.addr(hi - 1 - s), TUPLE_BYTES));
+        }
+        if split > lo && split < hi {
+            self.stack.push((lo, split));
+            self.stack.push((split, hi));
+        } else {
+            // Degenerate split (all-equal range): fall back to functional
+            // sort of the range with a linear cost.
+            self.work[lo..hi].sort_unstable();
+        }
+    }
+}
+
+impl Kernel for QuicksortKernel {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        while self.q.is_empty() {
+            let (lo, hi) = self.stack.pop()?;
+            self.process_range(lo, hi);
+        }
+        self.q.pop()
+    }
+
+    fn name(&self) -> &'static str {
+        "sort.quicksort"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use std::sync::Arc;
+
+    fn shuffled(n: u64) -> Vec<Tuple> {
+        (0..n).map(|i| Tuple::new((i * 2654435761) % 1000, i)).collect()
+    }
+
+    fn drain(k: &mut dyn Kernel) -> Vec<MicroOp> {
+        std::iter::from_fn(|| k.next_op()).collect()
+    }
+
+    #[test]
+    fn mergesort_sorts() {
+        let data = shuffled(1000);
+        let (sorted, passes) = mergesort(&data, BITONIC_RUN);
+        assert_eq!(sorted, reference::sorted(&data));
+        assert_eq!(passes, merge_pass_count(1000, BITONIC_RUN));
+    }
+
+    #[test]
+    fn bitonic_pass_saves_four_merge_passes() {
+        // §5.2: starting from 16-tuple runs removes log2(16) = 4 passes.
+        let n = 1 << 14;
+        assert_eq!(merge_pass_count(n, 1) - merge_pass_count(n, BITONIC_RUN), 4);
+    }
+
+    #[test]
+    fn merge_pass_merges_pairs() {
+        let data = bitonic_runs(&shuffled(64), 4);
+        let out = merge_pass(&data, 4);
+        for chunk in out.chunks(8) {
+            assert!(chunk.windows(2).all(|w| w[0] <= w[1]), "8-runs must be sorted");
+        }
+    }
+
+    #[test]
+    fn merge_pass_handles_ragged_tail() {
+        let data = bitonic_runs(&shuffled(37), 8);
+        let out = merge_pass(&data, 8);
+        assert_eq!(out.len(), 37);
+        // First 16 sorted, next 16 sorted, tail 5 sorted.
+        assert!(out[0..16].windows(2).all(|w| w[0] <= w[1]));
+        assert!(out[16..32].windows(2).all(|w| w[0] <= w[1]));
+        assert!(out[32..].windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn simd_merge_kernel_replays_exact_consumption() {
+        let data = Arc::new(bitonic_runs(&shuffled(64), 16));
+        let mut k = SimdMergePassKernel::new(data.clone(), 16, 0, 1 << 20);
+        let ops = drain(&mut k);
+        // Total popped bytes from both streams = total input bytes.
+        let popped: u64 = ops
+            .iter()
+            .filter_map(|o| match o {
+                MicroOp::Load { bytes, stream: Some(_), .. } => Some(*bytes as u64),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(popped, 64 * 16);
+        // Total stored bytes = total output bytes.
+        let stored: u64 = ops
+            .iter()
+            .filter_map(|o| match o {
+                MicroOp::Store { bytes, .. } => Some(*bytes as u64),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(stored, 64 * 16);
+    }
+
+    #[test]
+    fn scalar_merge_kernel_one_load_per_output() {
+        let data = Arc::new(bitonic_runs(&shuffled(48), 8));
+        let mut k = ScalarMergePassKernel::new(data, 8, 0, 1 << 20);
+        let ops = drain(&mut k);
+        let loads = ops.iter().filter(|o| matches!(o, MicroOp::Load { .. })).count();
+        let stores = ops.iter().filter(|o| matches!(o, MicroOp::Store { .. })).count();
+        assert_eq!(loads, 48);
+        assert_eq!(stores, 48);
+        // Output addresses are strictly sequential.
+        let outs: Vec<u64> = ops
+            .iter()
+            .filter_map(|o| match o {
+                MicroOp::Store { addr, .. } => Some(*addr),
+                _ => None,
+            })
+            .collect();
+        assert!(outs.windows(2).all(|w| w[1] == w[0] + 16));
+    }
+
+    #[test]
+    fn quicksort_kernel_sorts_and_costs_nlogn() {
+        let data = shuffled(512);
+        let mut k = QuicksortKernel::new(&data, 0);
+        let ops = drain(&mut k);
+        let loads = ops.iter().filter(|o| matches!(o, MicroOp::Load { .. })).count();
+        // Roughly n log(n/32) loads, certainly more than n and less than n².
+        assert!(loads >= 512, "at least one pass: {loads}");
+        assert!(loads < 512 * 64, "far below quadratic: {loads}");
+        let sorted = QuicksortKernel::new(&data, 0).into_sorted();
+        assert_eq!(sorted, reference::sorted(&data));
+    }
+
+    #[test]
+    fn quicksort_survives_all_equal_keys() {
+        let data: Vec<Tuple> = (0..256).map(|i| Tuple::new(7, i)).collect();
+        let sorted = QuicksortKernel::new(&data, 0).into_sorted();
+        assert_eq!(sorted, reference::sorted(&data));
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(mergesort(&[], 16).0, vec![]);
+        let one = vec![Tuple::new(1, 1)];
+        assert_eq!(mergesort(&one, 16).0, one);
+        let mut k = QuicksortKernel::new(&[], 0);
+        assert!(k.next_op().is_none());
+    }
+}

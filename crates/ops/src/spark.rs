@@ -1,0 +1,163 @@
+//! Spark-operator layer (Table 1 of the paper).
+//!
+//! Table 1 characterizes the common Spark transformations by the basic
+//! physical operator each one reduces to. This module encodes that mapping
+//! and provides small functional executors so that example pipelines can
+//! run end-to-end on real data.
+
+use std::collections::BTreeMap;
+
+use mondrian_workloads::Tuple;
+
+use crate::agg::Aggregates;
+use crate::phases::OperatorKind;
+
+/// Spark transformations from Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum SparkOp {
+    Filter,
+    Union,
+    LookupKey,
+    Map,
+    FlatMap,
+    MapValues,
+    GroupByKey,
+    Cogroup,
+    ReduceByKey,
+    Reduce,
+    CountByKey,
+    AggregateByKey,
+    Join,
+    SortByKey,
+}
+
+impl SparkOp {
+    /// All Table 1 operators.
+    pub const ALL: [SparkOp; 14] = [
+        SparkOp::Filter,
+        SparkOp::Union,
+        SparkOp::LookupKey,
+        SparkOp::Map,
+        SparkOp::FlatMap,
+        SparkOp::MapValues,
+        SparkOp::GroupByKey,
+        SparkOp::Cogroup,
+        SparkOp::ReduceByKey,
+        SparkOp::Reduce,
+        SparkOp::CountByKey,
+        SparkOp::AggregateByKey,
+        SparkOp::Join,
+        SparkOp::SortByKey,
+    ];
+
+    /// The basic data operator implementing this transformation (Table 1).
+    pub fn basic_operator(&self) -> OperatorKind {
+        match self {
+            SparkOp::Filter
+            | SparkOp::Union
+            | SparkOp::LookupKey
+            | SparkOp::Map
+            | SparkOp::FlatMap
+            | SparkOp::MapValues => OperatorKind::Scan,
+            SparkOp::GroupByKey
+            | SparkOp::Cogroup
+            | SparkOp::ReduceByKey
+            | SparkOp::Reduce
+            | SparkOp::CountByKey
+            | SparkOp::AggregateByKey => OperatorKind::GroupBy,
+            SparkOp::Join => OperatorKind::Join,
+            SparkOp::SortByKey => OperatorKind::Sort,
+        }
+    }
+}
+
+/// Functional `Filter`: keeps tuples satisfying the predicate.
+pub fn filter<F: Fn(&Tuple) -> bool>(rel: &[Tuple], pred: F) -> Vec<Tuple> {
+    rel.iter().copied().filter(|t| pred(t)).collect()
+}
+
+/// Functional `Map`: transforms every tuple.
+pub fn map<F: Fn(Tuple) -> Tuple>(rel: &[Tuple], f: F) -> Vec<Tuple> {
+    rel.iter().copied().map(f).collect()
+}
+
+/// Functional `MapValues`: transforms payloads, keys untouched.
+pub fn map_values<F: Fn(u64) -> u64>(rel: &[Tuple], f: F) -> Vec<Tuple> {
+    rel.iter().map(|t| Tuple::new(t.key, f(t.payload))).collect()
+}
+
+/// Functional `Union`: concatenates two relations.
+pub fn union(a: &[Tuple], b: &[Tuple]) -> Vec<Tuple> {
+    let mut out = a.to_vec();
+    out.extend_from_slice(b);
+    out
+}
+
+/// Functional `LookupKey`: all payloads bound to `key`.
+pub fn lookup_key(rel: &[Tuple], key: u64) -> Vec<u64> {
+    rel.iter().filter(|t| t.key == key).map(|t| t.payload).collect()
+}
+
+/// Functional `ReduceByKey` with an associative payload combiner.
+pub fn reduce_by_key<F: Fn(u64, u64) -> u64>(rel: &[Tuple], f: F) -> BTreeMap<u64, u64> {
+    let mut out = BTreeMap::new();
+    for t in rel {
+        out.entry(t.key).and_modify(|v| *v = f(*v, t.payload)).or_insert(t.payload);
+    }
+    out
+}
+
+/// Functional `CountByKey`.
+pub fn count_by_key(rel: &[Tuple]) -> BTreeMap<u64, u64> {
+    let mut out = BTreeMap::new();
+    for t in rel {
+        *out.entry(t.key).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Functional `AggregateByKey` with the paper's six aggregates.
+pub fn aggregate_by_key(rel: &[Tuple]) -> BTreeMap<u64, Aggregates> {
+    let mut out: BTreeMap<u64, Aggregates> = BTreeMap::new();
+    for t in rel {
+        out.entry(t.key).or_default().update(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_mapping() {
+        use OperatorKind::*;
+        assert_eq!(SparkOp::Filter.basic_operator(), Scan);
+        assert_eq!(SparkOp::MapValues.basic_operator(), Scan);
+        assert_eq!(SparkOp::GroupByKey.basic_operator(), GroupBy);
+        assert_eq!(SparkOp::AggregateByKey.basic_operator(), GroupBy);
+        assert_eq!(SparkOp::Join.basic_operator(), Join);
+        assert_eq!(SparkOp::SortByKey.basic_operator(), Sort);
+        // Table 1 has 6 Scan-backed, 6 GroupBy-backed, 1 Join, 1 Sort.
+        let scans = SparkOp::ALL.iter().filter(|o| o.basic_operator() == Scan).count();
+        let groups = SparkOp::ALL.iter().filter(|o| o.basic_operator() == GroupBy).count();
+        assert_eq!((scans, groups), (6, 6));
+    }
+
+    #[test]
+    fn functional_executors() {
+        let rel = vec![Tuple::new(1, 10), Tuple::new(2, 5), Tuple::new(1, 7)];
+        assert_eq!(filter(&rel, |t| t.key == 1).len(), 2);
+        assert_eq!(map(&rel, |t| Tuple::new(t.key + 1, t.payload))[0].key, 2);
+        assert_eq!(map_values(&rel, |p| p * 2)[1].payload, 10);
+        assert_eq!(union(&rel, &rel).len(), 6);
+        assert_eq!(lookup_key(&rel, 1), vec![10, 7]);
+        let sums = reduce_by_key(&rel, |a, b| a + b);
+        assert_eq!(sums[&1], 17);
+        assert_eq!(count_by_key(&rel)[&1], 2);
+        let aggs = aggregate_by_key(&rel);
+        assert_eq!(aggs[&1].max, 10);
+        assert_eq!(aggs[&2].count, 1);
+    }
+}

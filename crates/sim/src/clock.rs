@@ -1,0 +1,134 @@
+//! Global time base and per-domain clocks.
+
+/// Simulation time in **picoseconds**.
+///
+/// A `u64` picosecond counter wraps after ~213 days of simulated time, far
+/// beyond any experiment in this repository (the longest paper experiment
+/// simulates milliseconds).
+pub type Time = u64;
+
+/// Picoseconds per nanosecond.
+pub const PS_PER_NS: Time = 1_000;
+/// Picoseconds per microsecond.
+pub const PS_PER_US: Time = 1_000_000;
+
+/// A frequency domain: converts between local clock cycles and global
+/// picosecond time.
+///
+/// All timing models in the repository are written in terms of their natural
+/// clock (core cycles, DRAM tCK multiples) and converted at the boundary.
+///
+/// # Example
+///
+/// ```
+/// use mondrian_sim::Clock;
+/// let cpu = Clock::from_ghz(2.0); // paper's ARM Cortex-A57 cores
+/// assert_eq!(cpu.period_ps(), 500);
+/// assert_eq!(cpu.cycles_to_ps(4), 2_000);
+/// assert_eq!(cpu.ps_to_cycles_ceil(1_200), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Clock {
+    period_ps: Time,
+}
+
+impl Clock {
+    /// Creates a clock from its period in picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_ps` is zero.
+    pub fn from_period_ps(period_ps: Time) -> Self {
+        assert!(period_ps > 0, "clock period must be non-zero");
+        Self { period_ps }
+    }
+
+    /// Creates a clock from a frequency in GHz.
+    ///
+    /// The period is rounded to the nearest picosecond; e.g. 1.6 ns DRAM tCK
+    /// is exactly representable, as are all frequencies used by the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ghz` is not strictly positive and finite.
+    pub fn from_ghz(ghz: f64) -> Self {
+        assert!(ghz.is_finite() && ghz > 0.0, "frequency must be positive");
+        Self::from_period_ps((1000.0 / ghz).round() as Time)
+    }
+
+    /// The clock period in picoseconds.
+    pub fn period_ps(&self) -> Time {
+        self.period_ps
+    }
+
+    /// The clock frequency in GHz.
+    pub fn ghz(&self) -> f64 {
+        1000.0 / self.period_ps as f64
+    }
+
+    /// Converts a cycle count into picoseconds.
+    pub fn cycles_to_ps(&self, cycles: u64) -> Time {
+        cycles * self.period_ps
+    }
+
+    /// Converts picoseconds to whole cycles, rounding up (a component cannot
+    /// act mid-cycle).
+    pub fn ps_to_cycles_ceil(&self, ps: Time) -> u64 {
+        ps.div_ceil(self.period_ps)
+    }
+
+    /// Converts picoseconds to whole elapsed cycles, rounding down.
+    pub fn ps_to_cycles_floor(&self, ps: Time) -> u64 {
+        ps / self.period_ps
+    }
+
+    /// The first edge of this clock at or after `ps`.
+    pub fn next_edge(&self, ps: Time) -> Time {
+        self.ps_to_cycles_ceil(ps) * self.period_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghz_round_trip() {
+        for &f in &[0.625, 1.0, 2.0, 10.0] {
+            let c = Clock::from_ghz(f);
+            assert!((c.ghz() - f).abs() < 1e-9, "{f} GHz");
+        }
+    }
+
+    #[test]
+    fn period_of_paper_clocks() {
+        assert_eq!(Clock::from_ghz(2.0).period_ps(), 500); // CPU cores
+        assert_eq!(Clock::from_ghz(1.0).period_ps(), 1000); // NMP logic
+        assert_eq!(Clock::from_period_ps(1600).period_ps(), 1600); // DRAM tCK
+    }
+
+    #[test]
+    fn cycle_conversions() {
+        let c = Clock::from_ghz(1.0);
+        assert_eq!(c.cycles_to_ps(3), 3000);
+        assert_eq!(c.ps_to_cycles_ceil(1), 1);
+        assert_eq!(c.ps_to_cycles_ceil(1000), 1);
+        assert_eq!(c.ps_to_cycles_ceil(1001), 2);
+        assert_eq!(c.ps_to_cycles_floor(1999), 1);
+    }
+
+    #[test]
+    fn next_edge_aligns() {
+        let c = Clock::from_period_ps(1600);
+        assert_eq!(c.next_edge(0), 0);
+        assert_eq!(c.next_edge(1), 1600);
+        assert_eq!(c.next_edge(1600), 1600);
+        assert_eq!(c.next_edge(1601), 3200);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_period_panics() {
+        let _ = Clock::from_period_ps(0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # mondrian-sim
+//!
+//! Discrete-event simulation substrate for the Mondrian Data Engine
+//! reproduction.
+//!
+//! The paper evaluates its systems on Flexus, a full-system cycle-accurate
+//! simulator. This crate provides the equivalent foundation for our models:
+//!
+//! * a global **picosecond** time base ([`Time`]) so that components running
+//!   at different frequencies (2 GHz CPU cores, 1 GHz NMP logic, DRAM command
+//!   clock, 10 GHz SerDes lanes) can interoperate without rounding drift,
+//! * [`Clock`], a frequency-domain helper converting between cycles and
+//!   picoseconds,
+//! * [`EventQueue`], a deterministic binary-heap event queue generic over the
+//!   event payload type (the engine crate instantiates it with its unified
+//!   message enum), and
+//! * [`Stats`], a hierarchical counter registry used by the energy model and
+//!   the benchmark harness.
+//!
+//! # Example
+//!
+//! ```
+//! use mondrian_sim::{Clock, EventQueue};
+//!
+//! let clock = Clock::from_ghz(1.0);
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(clock.cycles_to_ps(5), "five");
+//! q.schedule(clock.cycles_to_ps(2), "two");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t, ev), (2_000, "two"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod clock;
+mod queue;
+mod stats;
+
+pub use clock::{Clock, Time, PS_PER_NS, PS_PER_US};
+pub use queue::EventQueue;
+pub use stats::{Stat, Stats};

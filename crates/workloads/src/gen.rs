@@ -1,0 +1,123 @@
+//! Relation generators.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::tuple::Tuple;
+use crate::zipf::Zipf;
+
+/// Generates `n` tuples with keys drawn uniformly from `[0, key_bound)` and
+/// random payloads (the paper's default distribution, §6).
+///
+/// # Panics
+///
+/// Panics if `key_bound` is zero.
+///
+/// # Example
+///
+/// ```
+/// use mondrian_workloads::uniform_relation;
+/// let r = uniform_relation(100, 1 << 20, 42);
+/// assert_eq!(r.len(), 100);
+/// assert!(r.iter().all(|t| t.key < (1 << 20)));
+/// ```
+pub fn uniform_relation(n: usize, key_bound: u64, seed: u64) -> Vec<Tuple> {
+    assert!(key_bound > 0, "key bound must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| Tuple::new(rng.gen_range(0..key_bound), rng.gen())).collect()
+}
+
+/// Generates the paper's Join inputs: a primary-key relation `R` of
+/// `r_size` tuples with unique dense keys (shuffled), and a foreign-key
+/// relation `S` of `s_size` tuples, each guaranteed to match exactly one
+/// tuple of `R` (§6: "every tuple in S is guaranteed to find exactly one
+/// join match in R").
+///
+/// # Panics
+///
+/// Panics if `r_size` is zero (S would have nothing to reference).
+pub fn foreign_key_pair(r_size: usize, s_size: usize, seed: u64) -> (Vec<Tuple>, Vec<Tuple>) {
+    assert!(r_size > 0, "R must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut keys: Vec<u64> = (0..r_size as u64).collect();
+    keys.shuffle(&mut rng);
+    let r: Vec<Tuple> = keys.iter().map(|&k| Tuple::new(k, rng.gen())).collect();
+    let s: Vec<Tuple> =
+        (0..s_size).map(|_| Tuple::new(rng.gen_range(0..r_size as u64), rng.gen())).collect();
+    (r, s)
+}
+
+/// Generates `n` tuples spread over `groups` distinct keys — the group-by
+/// workload. With `groups = n / 4` this matches the paper's "average group
+/// size of four tuples" (§6).
+///
+/// # Panics
+///
+/// Panics if `groups` is zero.
+pub fn grouped_relation(n: usize, groups: u64, seed: u64) -> Vec<Tuple> {
+    uniform_relation(n, groups.max(1), seed)
+}
+
+/// Generates `n` tuples with Zipfian-skewed keys over `[0, universe)` —
+/// the skewed datasets the paper defers to future work (§5.4). `theta`
+/// controls skew (0 = uniform; 0.99 = classic high skew).
+///
+/// # Panics
+///
+/// Panics if `universe` is zero or `theta` is negative.
+pub fn zipfian_relation(n: usize, universe: u64, theta: f64, seed: u64) -> Vec<Tuple> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = Zipf::new(universe, theta);
+    (0..n).map(|_| Tuple::new(zipf.sample(&mut rng), rng.gen())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        assert_eq!(uniform_relation(50, 100, 7), uniform_relation(50, 100, 7));
+        assert_ne!(uniform_relation(50, 100, 7), uniform_relation(50, 100, 8));
+    }
+
+    #[test]
+    fn foreign_keys_always_match() {
+        let (r, s) = foreign_key_pair(128, 512, 3);
+        assert_eq!(r.len(), 128);
+        assert_eq!(s.len(), 512);
+        let r_keys: HashSet<u64> = r.iter().map(|t| t.key).collect();
+        assert_eq!(r_keys.len(), 128, "R keys must be unique");
+        assert!(s.iter().all(|t| r_keys.contains(&t.key)), "every S tuple matches");
+    }
+
+    #[test]
+    fn grouped_has_expected_average_group_size() {
+        let n = 4096;
+        let rel = grouped_relation(n, (n / 4) as u64, 11);
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for t in &rel {
+            *counts.entry(t.key).or_default() += 1;
+        }
+        let avg = n as f64 / counts.len() as f64;
+        assert!((3.0..5.5).contains(&avg), "average group size {avg} not ≈ 4");
+    }
+
+    #[test]
+    fn zipf_skews_towards_small_keys() {
+        let rel = zipfian_relation(10_000, 1_000, 0.99, 5);
+        let head = rel.iter().filter(|t| t.key < 10).count();
+        // Under uniform, ~1% of keys land below 10; Zipf 0.99 concentrates
+        // far more.
+        assert!(head > 1_000, "zipf head too light: {head}");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniformish() {
+        let rel = zipfian_relation(10_000, 1_000, 0.0, 5);
+        let head = rel.iter().filter(|t| t.key < 100).count();
+        assert!((500..1_500).contains(&head), "theta=0 should be uniform, head={head}");
+    }
+}

@@ -1,0 +1,56 @@
+//! The 16-byte key/payload tuple used throughout the evaluation.
+
+/// Size of one [`Tuple`] in memory (8 B key + 8 B payload).
+pub const TUPLE_BYTES: u32 = 16;
+
+/// A 16-byte data tuple: 8-byte integer key, 8-byte integer payload (§6).
+///
+/// Tuples order by key first (payload breaks ties) so that sorted relations
+/// are deterministic.
+///
+/// # Example
+///
+/// ```
+/// use mondrian_workloads::Tuple;
+/// let mut v = vec![Tuple::new(3, 0), Tuple::new(1, 9)];
+/// v.sort_unstable();
+/// assert_eq!(v[0].key, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(C)]
+pub struct Tuple {
+    /// 8-byte join/sort key.
+    pub key: u64,
+    /// 8-byte payload (opaque to the operators).
+    pub payload: u64,
+}
+
+impl Tuple {
+    /// Creates a tuple.
+    pub fn new(key: u64, payload: u64) -> Self {
+        Self { key, payload }
+    }
+}
+
+impl std::fmt::Display for Tuple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.key, self.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_bytes() {
+        assert_eq!(std::mem::size_of::<Tuple>(), TUPLE_BYTES as usize);
+    }
+
+    #[test]
+    fn orders_by_key_then_payload() {
+        let mut v = vec![Tuple::new(2, 1), Tuple::new(1, 5), Tuple::new(1, 2)];
+        v.sort_unstable();
+        assert_eq!(v, vec![Tuple::new(1, 2), Tuple::new(1, 5), Tuple::new(2, 1)]);
+    }
+}

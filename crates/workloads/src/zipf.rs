@@ -1,0 +1,95 @@
+//! Zipfian key distribution.
+
+use rand::Rng;
+
+/// A Zipfian sampler over `[0, universe)` with skew parameter `theta`.
+///
+/// Uses an inverse-CDF table, which is exact and fast for the universes in
+/// this repository (≤ a few million keys).
+///
+/// # Example
+///
+/// ```
+/// use mondrian_workloads::Zipf;
+/// use rand::SeedableRng;
+/// let zipf = Zipf::new(1000, 0.99);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let k = zipf.sample(&mut rng);
+/// assert!(k < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe` is zero or `theta` is negative/non-finite.
+    pub fn new(universe: u64, theta: f64) -> Self {
+        assert!(universe > 0, "universe must be non-empty");
+        assert!(theta.is_finite() && theta >= 0.0, "theta must be non-negative");
+        let mut cdf = Vec::with_capacity(universe as usize);
+        let mut acc = 0.0;
+        for i in 1..=universe {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of distinct keys.
+    pub fn universe(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Draws one key.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_universe() {
+        let zipf = Zipf::new(64, 0.99);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 64);
+        }
+    }
+
+    #[test]
+    fn rank_one_is_most_frequent() {
+        let zipf = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 100];
+        for _ in 0..50_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        let max = counts.iter().copied().max().unwrap();
+        assert_eq!(counts[0], max, "key 0 must be the mode");
+        assert!(counts[0] > counts[99] * 10, "head/tail ratio too flat");
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_normalized() {
+        let zipf = Zipf::new(1000, 0.5);
+        assert_eq!(zipf.universe(), 1000);
+        let cdf = &zipf.cdf;
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert!((cdf.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+}

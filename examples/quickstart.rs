@@ -1,0 +1,48 @@
+//! Quickstart: run one Join on the full Mondrian Data Engine and on the
+//! CPU-centric baseline, and compare runtime, energy and efficiency.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mondrian::engine::{ExperimentBuilder, OperatorKind, SystemKind};
+
+fn main() {
+    // Keep the quickstart quick: the paper topology (4 HMCs × 16 vaults,
+    // 16 CPU cores) at a small dataset scale.
+    let tuples_per_vault = 1024;
+
+    println!("Running Join (R ⋈ S, foreign key) on two systems...\n");
+    let mut reports = Vec::new();
+    for system in [SystemKind::Cpu, SystemKind::Mondrian] {
+        let report = ExperimentBuilder::new(OperatorKind::Join)
+            .system(system)
+            .tuples_per_vault(tuples_per_vault)
+            .run();
+        assert!(report.verified, "functional verification failed");
+        println!("{}", report.system.name());
+        println!("  {}", report.summary);
+        for phase in &report.phases {
+            println!("    {:<26} {:>12.3} µs", phase.label, phase.duration() as f64 / 1e6);
+        }
+        println!("  runtime  {:>12.3} µs", report.runtime_ps as f64 / 1e6);
+        println!("  energy   {:>12.3} µJ", report.energy.total_j() * 1e6);
+        println!();
+        reports.push(report);
+    }
+
+    let (cpu, mondrian) = (&reports[0], &reports[1]);
+    println!("Mondrian vs CPU:");
+    println!(
+        "  speedup     {:>6.1}x",
+        cpu.runtime_ps as f64 / mondrian.runtime_ps as f64
+    );
+    println!(
+        "  partitioning {:>5.1}x",
+        cpu.partition_time() as f64 / mondrian.partition_time() as f64
+    );
+    println!(
+        "  efficiency  {:>6.1}x (performance per joule, Fig. 9 metric)",
+        mondrian.perf_per_joule() / cpu.perf_per_joule()
+    );
+}

@@ -1,0 +1,145 @@
+//! End-to-end integration tests: every operator on every evaluated system,
+//! verified against reference implementations, on the tiny topology.
+
+use mondrian::engine::{ExperimentBuilder, KeyDist, OperatorKind, SystemKind};
+
+fn run_tiny(op: OperatorKind, system: SystemKind) -> mondrian::engine::Report {
+    ExperimentBuilder::new(op).system(system).tiny().tuples_per_vault(256).run()
+}
+
+#[test]
+fn every_operator_verifies_on_every_system() {
+    for op in OperatorKind::ALL {
+        for system in SystemKind::ALL {
+            let report = run_tiny(op, system);
+            assert!(report.verified, "{op} on {system} failed verification");
+            assert!(report.runtime_ps > 0);
+            assert!(report.instructions > 0);
+            assert!(report.energy.total_j() > 0.0);
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = run_tiny(OperatorKind::Join, SystemKind::Mondrian);
+    let b = run_tiny(OperatorKind::Join, SystemKind::Mondrian);
+    assert_eq!(a.runtime_ps, b.runtime_ps, "same seed must give same cycles");
+    assert_eq!(a.instructions, b.instructions);
+    let phases_a: Vec<_> = a.phases.iter().map(|p| (p.label.clone(), p.duration())).collect();
+    let phases_b: Vec<_> = b.phases.iter().map(|p| (p.label.clone(), p.duration())).collect();
+    assert_eq!(phases_a, phases_b);
+}
+
+#[test]
+fn different_seeds_change_data_not_correctness() {
+    let a = ExperimentBuilder::new(OperatorKind::GroupBy)
+        .system(SystemKind::NmpPerm)
+        .tiny()
+        .tuples_per_vault(256)
+        .seed(1)
+        .run();
+    let b = ExperimentBuilder::new(OperatorKind::GroupBy)
+        .system(SystemKind::NmpPerm)
+        .tiny()
+        .tuples_per_vault(256)
+        .seed(2)
+        .run();
+    assert!(a.verified && b.verified);
+    assert_ne!(a.summary, b.summary, "different data, different group counts");
+}
+
+#[test]
+fn scan_has_no_partitioning_phase() {
+    // Table 2: Scan is probe-only.
+    let report = run_tiny(OperatorKind::Scan, SystemKind::Nmp);
+    assert_eq!(report.partition_time(), 0);
+    assert!(report.probe_time() > 0);
+}
+
+#[test]
+fn join_and_sort_have_partitioning_phases() {
+    for op in [OperatorKind::Join, OperatorKind::Sort, OperatorKind::GroupBy] {
+        let report = run_tiny(op, SystemKind::Nmp);
+        assert!(report.partition_time() > 0, "{op} must shuffle");
+        assert!(report.probe_time() > 0);
+    }
+}
+
+#[test]
+fn permutable_overflow_retries_and_still_verifies() {
+    // §5.4: under-provisioned destination buffers raise the exception; the
+    // engine re-provisions and re-runs the shuffle.
+    let report = ExperimentBuilder::new(OperatorKind::Sort)
+        .system(SystemKind::Mondrian)
+        .tiny()
+        .tuples_per_vault(256)
+        .underprovision_permutable(0.5)
+        .run();
+    assert!(report.shuffle_retries >= 1, "overflow must be taken");
+    assert!(report.verified, "retry must restore correctness");
+
+    // Exactly-sized buffers never retry.
+    let clean = run_tiny(OperatorKind::Sort, SystemKind::Mondrian);
+    assert_eq!(clean.shuffle_retries, 0);
+}
+
+#[test]
+fn zipfian_keys_verify_on_all_sorted_systems() {
+    for system in [SystemKind::Mondrian, SystemKind::NmpSeq, SystemKind::Cpu] {
+        let report = ExperimentBuilder::new(OperatorKind::GroupBy)
+            .system(system)
+            .tiny()
+            .tuples_per_vault(256)
+            .key_distribution(KeyDist::Zipf(0.9))
+            .run();
+        assert!(report.verified, "skewed group-by failed on {system}");
+    }
+}
+
+#[test]
+fn mondrian_uses_simd_baselines_do_not() {
+    let mondrian = run_tiny(OperatorKind::Scan, SystemKind::Mondrian);
+    let nmp = run_tiny(OperatorKind::Scan, SystemKind::Nmp);
+    let m_simd: u64 = mondrian.phases.iter().map(|p| p.simd_ops).sum();
+    let n_simd: u64 = nmp.phases.iter().map(|p| p.simd_ops).sum();
+    assert!(m_simd > 0, "Mondrian scan is SIMD");
+    assert_eq!(n_simd, 0, "baselines have no SIMD unit");
+    // SIMD executes ~8x fewer instructions for the same scan.
+    assert!(mondrian.instructions * 4 < nmp.instructions);
+}
+
+#[test]
+fn permutability_reduces_row_activations() {
+    let perm = run_tiny(OperatorKind::Sort, SystemKind::NmpPerm);
+    let conv = run_tiny(OperatorKind::Sort, SystemKind::Nmp);
+    let perm_acts = perm.stats.sum_by_suffix("activations");
+    let conv_acts = conv.stats.sum_by_suffix("activations");
+    assert!(
+        perm_acts < conv_acts,
+        "permutable shuffle must activate fewer rows: {perm_acts} vs {conv_acts}"
+    );
+}
+
+#[test]
+fn energy_breakdown_is_consistent() {
+    let report = run_tiny(OperatorKind::Join, SystemKind::Mondrian);
+    let cats = report.energy.fig8_categories();
+    let total: f64 = cats.iter().sum();
+    assert!((total - report.energy.total_j()).abs() < 1e-12);
+    assert!(cats.iter().all(|&c| c >= 0.0));
+    // NMP systems have no LLC energy.
+    assert_eq!(report.energy.llc_j, 0.0);
+    // The CPU system does.
+    let cpu = run_tiny(OperatorKind::Join, SystemKind::Cpu);
+    assert!(cpu.energy.llc_j > 0.0);
+}
+
+#[test]
+fn table3_sheet_renders() {
+    use mondrian::engine::SystemConfig;
+    for kind in SystemKind::ALL {
+        let sheet = SystemConfig::scaled(kind).table3_sheet();
+        assert!(sheet.contains(kind.name()));
+    }
+}
