@@ -59,7 +59,10 @@ fn main() {
     header("Ablations", "§3.1, §4.1.2, §5.3 design arguments");
 
     println!("--- row-buffer size vs activation-energy share (§3.1) ---");
-    println!("{:<10} {:>10} {:>22} {:>22}", "Device", "row bytes", "share @ full row", "share @ 8B access");
+    println!(
+        "{:<10} {:>10} {:>22} {:>22}",
+        "Device", "row bytes", "share @ full row", "share @ 8B access"
+    );
     for preset in [DevicePreset::Hmc, DevicePreset::Hbm, DevicePreset::WideIo2, DevicePreset::Ddr3]
     {
         let row = preset.row_bytes();

@@ -11,8 +11,7 @@ use mondrian_core::{OperatorKind, SystemKind};
 
 fn main() {
     header("Figure 8: energy breakdown", "Fig. 8 (§7.2)");
-    let systems =
-        [SystemKind::Cpu, SystemKind::Nmp, SystemKind::NmpPerm, SystemKind::Mondrian];
+    let systems = [SystemKind::Cpu, SystemKind::Nmp, SystemKind::NmpPerm, SystemKind::Mondrian];
     println!(
         "{:<10} {:<12} {:>10} {:>10} {:>10} {:>12} {:>12}",
         "Operator", "System", "DRAM dyn", "DRAM stat", "cores", "SerDes+NoC", "total µJ"

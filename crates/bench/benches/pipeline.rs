@@ -1,0 +1,43 @@
+//! Whole-pipeline speedups: the three-stage Filter → ReduceByKey →
+//! SortByKey query on every evaluated system, relative to the CPU
+//! baseline. Extends the per-operator evaluation (Figs. 6–7) to the
+//! multi-stage queries the paper's Table 1 motivates.
+
+use mondrian_bench::{bench_seed, bench_tpv, header, speedup};
+use mondrian_core::SystemKind;
+use mondrian_pipeline::{Pipeline, PipelineConfig, StageSpec};
+
+fn main() {
+    header("Pipeline: Filter -> ReduceByKey -> SortByKey", "Table 1 / Fig. 7 extension");
+    let pipeline = Pipeline::new(vec![
+        StageSpec::Filter { modulus: 10, remainder: 0 },
+        StageSpec::ReduceByKey,
+        StageSpec::SortByKey,
+    ]);
+    let run = |system: SystemKind| {
+        let mut cfg = PipelineConfig::new(system);
+        cfg.tuples_per_vault = bench_tpv();
+        cfg.seed = bench_seed();
+        let report = pipeline.run(&cfg);
+        assert!(report.verified(), "pipeline failed verification on {system}");
+        report
+    };
+    let cpu = run(SystemKind::Cpu);
+    println!(
+        "{:<16} {:>14} {:>12} {:>12} {:>10}",
+        "system", "runtime µs", "energy µJ", "speedup", "rows out"
+    );
+    for system in SystemKind::ALL {
+        // The baseline is already simulated; don't pay for the most
+        // expensive system twice.
+        let report = if system == SystemKind::Cpu { cpu.clone() } else { run(system) };
+        println!(
+            "{:<16} {:>14.3} {:>12.3} {:>12} {:>10}",
+            system.name(),
+            report.runtime_ps() as f64 / 1e6,
+            report.energy_j() * 1e6,
+            speedup(cpu.runtime_ps(), report.runtime_ps()),
+            report.output.len(),
+        );
+    }
+}

@@ -7,7 +7,7 @@ use mondrian_ops::spark::SparkOp;
 
 fn main() {
     println!("\n=== Table 1: characterization of Spark operators ===\n");
-    println!("{:<12} {}", "Basic op", "Spark operators");
+    println!("{:<12} Spark operators", "Basic op");
     for basic in OperatorKind::ALL {
         let spark: Vec<&str> = SparkOp::ALL
             .iter()
@@ -34,11 +34,10 @@ fn main() {
 
     println!("\n=== Table 2: phases of basic data operators ===\n");
     println!(
-        "{:<10} {:<32} {:<20} {:<20} {}",
-        "Operator", "Histogram build", "Distribution", "Hash table build", "Operation"
+        "{:<10} {:<32} {:<20} {:<20} Operation",
+        "Operator", "Histogram build", "Distribution", "Hash table build"
     );
-    for op in [OperatorKind::Scan, OperatorKind::Join, OperatorKind::GroupBy, OperatorKind::Sort]
-    {
+    for op in [OperatorKind::Scan, OperatorKind::Join, OperatorKind::GroupBy, OperatorKind::Sort] {
         let p = PhaseInfo::of(op);
         println!(
             "{:<10} {:<32} {:<20} {:<20} {}",

@@ -52,10 +52,12 @@ pub fn speedup(base: u64, this: u64) -> String {
 /// Prints the standard bench header.
 pub fn header(title: &str, paper_ref: &str) {
     println!("\n=== {title} ===");
-    println!("(reproduces {paper_ref}; tuples/vault = {}, seed = {:#x})", bench_tpv(), bench_seed());
     println!(
-        "note: magnitudes are shape-comparable, not absolute — see EXPERIMENTS.md\n"
+        "(reproduces {paper_ref}; tuples/vault = {}, seed = {:#x})",
+        bench_tpv(),
+        bench_seed()
     );
+    println!("note: magnitudes are shape-comparable, not absolute — see EXPERIMENTS.md\n");
 }
 
 #[cfg(test)]

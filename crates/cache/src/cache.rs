@@ -214,18 +214,14 @@ impl Cache {
     /// statistics side effects).
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.index(addr);
-        self.sets[set]
-            .iter()
-            .any(|l| l.tag == tag && matches!(l.state, LineState::Valid { .. }))
+        self.sets[set].iter().any(|l| l.tag == tag && matches!(l.state, LineState::Valid { .. }))
     }
 
     /// Whether the line containing `addr` is resident *or* has a fill in
     /// flight (no side effects) — used by prefetch filtering.
     pub fn tracked(&self, addr: u64) -> bool {
         let (set, tag) = self.index(addr);
-        self.sets[set]
-            .iter()
-            .any(|l| l.tag == tag && l.state != LineState::Invalid)
+        self.sets[set].iter().any(|l| l.tag == tag && l.state != LineState::Invalid)
     }
 
     /// Whether an MSHR is available for a new fill.

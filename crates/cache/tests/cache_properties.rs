@@ -16,11 +16,7 @@ struct DirectMappedRef {
 
 impl DirectMappedRef {
     fn new(cfg: &CacheConfig) -> Self {
-        Self {
-            sets: HashMap::new(),
-            line_bytes: cfg.line_bytes as u64,
-            set_count: cfg.sets(),
-        }
+        Self { sets: HashMap::new(), line_bytes: cfg.line_bytes as u64, set_count: cfg.sets() }
     }
 
     /// Returns (hit, writeback address).

@@ -1,0 +1,13 @@
+//! # mondrian-cli
+//!
+//! Library backing the `mondrian` binary: manifest parsing
+//! ([`manifest`]), the TOML/JSON document model ([`value`]), and campaign
+//! execution ([`campaign`]). The binary in `main.rs` is a thin argument
+//! layer over these modules so integration tests can exercise everything
+//! in-process.
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod manifest;
+pub mod value;

@@ -1,0 +1,153 @@
+//! The `mondrian` campaign runner.
+//!
+//! ```text
+//! mondrian run <manifest.(toml|json)> [--out result.json] [--quiet]
+//! mondrian explain <manifest.(toml|json)>
+//! mondrian list-systems
+//! ```
+//!
+//! `run` executes every (system × sweep) combination of the manifest's
+//! pipeline, prints a per-run summary, and writes a deterministic
+//! machine-readable `result.json`. The process exits non-zero if any
+//! stage fails verification.
+
+use std::process::ExitCode;
+
+use mondrian_cli::campaign::{run_campaign, run_line};
+use mondrian_cli::manifest::{Format, Manifest};
+use mondrian_core::{SystemConfig, SystemKind};
+
+const USAGE: &str = "\
+the Mondrian Data Engine campaign runner
+
+usage:
+  mondrian run <manifest.(toml|json)> [--out <path>] [--quiet]
+      run every (system x sweep) combination of the manifest's pipeline,
+      print a summary, and write the result artifact (default: result.json)
+  mondrian explain <manifest.(toml|json)>
+      show the parsed campaign and the Table 1 lowering of every stage
+      without simulating anything
+  mondrian list-systems
+      list the evaluated system configurations
+  mondrian help
+      show this message
+
+manifest schema: see README.md and examples/manifests/";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
+        Some("list-systems") => cmd_list_systems(),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            Ok(true)
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_manifest(path: &str) -> Result<Manifest, String> {
+    let format = Format::from_path(path)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Manifest::parse(&text, format).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_run(args: &[String]) -> Result<bool, String> {
+    let mut manifest_path: Option<&str> = None;
+    let mut out_path = "result.json".to_string();
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_path = it.next().ok_or("--out needs a path")?.clone();
+            }
+            "--quiet" => quiet = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            path => {
+                if manifest_path.replace(path).is_some() {
+                    return Err("exactly one manifest path expected".into());
+                }
+            }
+        }
+    }
+    let path = manifest_path.ok_or("usage: mondrian run <manifest> [--out <path>] [--quiet]")?;
+    let manifest = load_manifest(path)?;
+
+    if !quiet {
+        println!(
+            "campaign {:?}: {} stages on {} system(s), {} run(s)\n",
+            manifest.name,
+            manifest.stages.len(),
+            manifest.systems.len(),
+            manifest.runs().len(),
+        );
+    }
+    let campaign = run_campaign(&manifest, |run| {
+        if !quiet {
+            println!("{}", run_line(run));
+        }
+    });
+    if !quiet {
+        println!();
+        // Per-stage detail of the first run as a worked example.
+        if let Some(first) = campaign.runs.first() {
+            println!("{}", first.report.summary_table());
+        }
+    }
+    let json = campaign.to_json();
+    std::fs::write(&out_path, &json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!(
+        "wrote {out_path} ({} runs, {})",
+        campaign.runs.len(),
+        if campaign.verified() { "all verified" } else { "VERIFICATION FAILURES" },
+    );
+    Ok(campaign.verified())
+}
+
+fn cmd_explain(args: &[String]) -> Result<bool, String> {
+    let path = match args {
+        [path] => path,
+        _ => return Err("usage: mondrian explain <manifest>".into()),
+    };
+    let manifest = load_manifest(path)?;
+    println!("campaign {:?}", manifest.name);
+    println!(
+        "  topology: {}, key_dist: {:?}, key_bound: {:?}",
+        if manifest.tiny { "tiny (1 HMC x 4 vaults)" } else { "scaled (4 HMC x 16 vaults)" },
+        manifest.dist,
+        manifest.key_bound,
+    );
+    println!("  systems: {:?}", manifest.systems.iter().map(SystemKind::name).collect::<Vec<_>>());
+    println!("  tuples_per_vault: {:?}", manifest.tuples_per_vault);
+    println!("  seeds: {:?}", manifest.seeds);
+    println!("\nstage lowering (Table 1):");
+    for (i, stage) in manifest.stages.iter().enumerate() {
+        println!(
+            "  {i}: {:<18} -> {:?} -> {} operator",
+            stage.name(),
+            stage.spark_op(),
+            stage.basic_operator(),
+        );
+    }
+    println!("\n{} total runs", manifest.runs().len());
+    Ok(true)
+}
+
+fn cmd_list_systems() -> Result<bool, String> {
+    for kind in SystemKind::ALL {
+        println!("{}", SystemConfig::scaled(kind).table3_sheet());
+        println!();
+    }
+    Ok(true)
+}

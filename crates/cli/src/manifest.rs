@@ -1,0 +1,421 @@
+//! The campaign manifest: a declarative TOML or JSON description of a
+//! pipeline, the systems to run it on, and the parameter sweeps.
+//!
+//! See `examples/manifests/` for complete examples and the README for the
+//! schema reference. The shape, in TOML terms:
+//!
+//! ```toml
+//! [campaign]
+//! name = "spark-pipeline"       # required
+//! systems = ["mondrian", "cpu"] # or ["all"]; default all
+//! topology = "tiny"             # "tiny" | "scaled"; default tiny
+//! tuples_per_vault = 256        # default 256
+//! seed = 7                      # default the paper seed
+//! key_dist = "uniform"          # "uniform" | "zipf"; default uniform
+//! zipf_theta = 0.9              # only with key_dist = "zipf"
+//! key_bound = 4096              # optional source key upper bound
+//!
+//! [sweep]                       # optional; lists override the scalars
+//! tuples_per_vault = [256, 512]
+//! seeds = [1, 2, 3]
+//!
+//! [[stage]]                     # one per pipeline stage, in order
+//! op = "filter"                 # stage name (see StageSpec)
+//! modulus = 10
+//! remainder = 0
+//! ```
+//!
+//! A JSON manifest is the same tree spelled as an object:
+//! `{"campaign": {...}, "sweep": {...}, "stage": [{...}, ...]}`.
+
+use mondrian_core::{KeyDist, SystemKind};
+use mondrian_pipeline::{BuildSide, Pipeline, PipelineConfig, StageSpec};
+
+use crate::value::{parse_json, parse_toml, Value};
+
+/// Manifest text formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// TOML subset (`.toml`).
+    Toml,
+    /// JSON (`.json`).
+    Json,
+}
+
+impl Format {
+    /// Picks the format from a file name.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown extensions.
+    pub fn from_path(path: &str) -> Result<Format, String> {
+        if path.ends_with(".toml") {
+            Ok(Format::Toml)
+        } else if path.ends_with(".json") {
+            Ok(Format::Json)
+        } else {
+            Err(format!("{path}: unknown manifest extension (expected .toml or .json)"))
+        }
+    }
+}
+
+/// One fully resolved run of the campaign's cross product.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSpec {
+    /// The evaluated system.
+    pub system: SystemKind,
+    /// Source tuples per vault.
+    pub tuples_per_vault: usize,
+    /// Dataset seed.
+    pub seed: u64,
+}
+
+/// A parsed campaign manifest.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Campaign name (echoed into the result artifact).
+    pub name: String,
+    /// Systems to run on.
+    pub systems: Vec<SystemKind>,
+    /// Whether to use the minimal test topology.
+    pub tiny: bool,
+    /// Tuples-per-vault values (singleton unless swept).
+    pub tuples_per_vault: Vec<usize>,
+    /// Seeds (singleton unless swept).
+    pub seeds: Vec<u64>,
+    /// Source key distribution.
+    pub dist: KeyDist,
+    /// Optional source key upper bound.
+    pub key_bound: Option<u64>,
+    /// The pipeline stages.
+    pub stages: Vec<StageSpec>,
+}
+
+impl Manifest {
+    /// Parses a manifest document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax or schema error.
+    pub fn parse(text: &str, format: Format) -> Result<Manifest, String> {
+        let doc = match format {
+            Format::Toml => parse_toml(text)?,
+            Format::Json => parse_json(text)?,
+        };
+        Manifest::from_value(&doc)
+    }
+
+    /// Builds a manifest from a parsed document tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first schema error.
+    pub fn from_value(doc: &Value) -> Result<Manifest, String> {
+        let campaign = doc.get("campaign").ok_or("missing [campaign] section")?;
+        let name = campaign
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("campaign.name (string) is required")?
+            .to_string();
+
+        let systems = match campaign.get("systems") {
+            None => SystemKind::ALL.to_vec(),
+            Some(v) => {
+                let names = v.as_array().ok_or("campaign.systems must be an array")?;
+                let all =
+                    names.iter().any(|n| n.as_str().is_some_and(|s| s.eq_ignore_ascii_case("all")));
+                if all {
+                    if names.len() != 1 {
+                        return Err("\"all\" cannot be combined with other systems".into());
+                    }
+                    SystemKind::ALL.to_vec()
+                } else {
+                    let mut systems = Vec::new();
+                    for n in names {
+                        let n = n.as_str().ok_or("campaign.systems entries must be strings")?;
+                        systems.push(parse_system(n)?);
+                    }
+                    if systems.is_empty() {
+                        return Err("campaign.systems is empty".into());
+                    }
+                    systems
+                }
+            }
+        };
+
+        let tiny = match campaign.get("topology") {
+            None => true,
+            Some(v) => match v.as_str() {
+                Some("tiny") => true,
+                Some("scaled") => false,
+                _ => return Err("campaign.topology must be \"tiny\" or \"scaled\"".into()),
+            },
+        };
+
+        let tpv_scalar =
+            get_usize(campaign, "campaign.tuples_per_vault", "tuples_per_vault")?.unwrap_or(256);
+        let seed_scalar = get_u64(campaign, "campaign.seed", "seed")?.unwrap_or(0x6d6f6e64);
+
+        let dist = match campaign.get("key_dist").map(|v| v.as_str()) {
+            None | Some(Some("uniform")) => KeyDist::Uniform,
+            Some(Some("zipf")) => {
+                let theta = campaign
+                    .get("zipf_theta")
+                    .and_then(Value::as_float)
+                    .ok_or("key_dist = \"zipf\" requires zipf_theta (float)")?;
+                if !(theta.is_finite() && theta >= 0.0) {
+                    return Err("zipf_theta must be a non-negative finite number".into());
+                }
+                KeyDist::Zipf(theta)
+            }
+            _ => return Err("campaign.key_dist must be \"uniform\" or \"zipf\"".into()),
+        };
+        let key_bound = get_u64(campaign, "campaign.key_bound", "key_bound")?;
+
+        let (tuples_per_vault, seeds) = match doc.get("sweep") {
+            None => (vec![tpv_scalar], vec![seed_scalar]),
+            Some(sweep) => {
+                let tpv = match sweep.get("tuples_per_vault") {
+                    None => vec![tpv_scalar],
+                    Some(v) => int_list(v, "sweep.tuples_per_vault")?
+                        .into_iter()
+                        .map(|i| i as usize)
+                        .collect(),
+                };
+                let seeds = match sweep.get("seeds") {
+                    None => vec![seed_scalar],
+                    Some(v) => int_list(v, "sweep.seeds")?.into_iter().map(|i| i as u64).collect(),
+                };
+                (tpv, seeds)
+            }
+        };
+
+        let stage_list = doc
+            .get("stage")
+            .and_then(Value::as_array)
+            .ok_or("at least one [[stage]] is required")?;
+        if stage_list.is_empty() {
+            return Err("at least one [[stage]] is required".into());
+        }
+        let stages = stage_list
+            .iter()
+            .enumerate()
+            .map(|(i, s)| parse_stage(s).map_err(|e| format!("stage {i}: {e}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let manifest =
+            Manifest { name, systems, tiny, tuples_per_vault, seeds, dist, key_bound, stages };
+        manifest.pipeline().validate()?;
+        Ok(manifest)
+    }
+
+    /// The declared pipeline.
+    pub fn pipeline(&self) -> Pipeline {
+        Pipeline::new(self.stages.clone())
+    }
+
+    /// The campaign's cross product, in deterministic order: system-major,
+    /// then tuples-per-vault, then seed.
+    pub fn runs(&self) -> Vec<RunSpec> {
+        let mut out = Vec::new();
+        for &system in &self.systems {
+            for &tuples_per_vault in &self.tuples_per_vault {
+                for &seed in &self.seeds {
+                    out.push(RunSpec { system, tuples_per_vault, seed });
+                }
+            }
+        }
+        out
+    }
+
+    /// The pipeline configuration of one resolved run.
+    pub fn config_for(&self, run: RunSpec) -> PipelineConfig {
+        let mut cfg = if self.tiny {
+            PipelineConfig::tiny(run.system)
+        } else {
+            PipelineConfig::new(run.system)
+        };
+        cfg.tuples_per_vault = run.tuples_per_vault;
+        cfg.seed = run.seed;
+        cfg.dist = self.dist;
+        cfg.key_bound = self.key_bound;
+        cfg
+    }
+}
+
+fn parse_system(name: &str) -> Result<SystemKind, String> {
+    SystemKind::ALL.into_iter().find(|k| k.name().eq_ignore_ascii_case(name)).ok_or_else(|| {
+        let known: Vec<&str> = SystemKind::ALL.iter().map(|k| k.name()).collect();
+        format!("unknown system {name:?}; expected one of {known:?} or \"all\"")
+    })
+}
+
+fn get_u64(table: &Value, ctx: &str, key: &str) -> Result<Option<u64>, String> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(v) => match v.as_int() {
+            Some(i) if i >= 0 => Ok(Some(i as u64)),
+            _ => Err(format!("{ctx} must be a non-negative integer")),
+        },
+    }
+}
+
+fn get_usize(table: &Value, ctx: &str, key: &str) -> Result<Option<usize>, String> {
+    Ok(get_u64(table, ctx, key)?.map(|v| v as usize))
+}
+
+fn int_list(v: &Value, ctx: &str) -> Result<Vec<i64>, String> {
+    let items = v.as_array().ok_or_else(|| format!("{ctx} must be an array"))?;
+    if items.is_empty() {
+        return Err(format!("{ctx} is empty"));
+    }
+    items
+        .iter()
+        .map(|i| match i.as_int() {
+            Some(i) if i >= 0 => Ok(i),
+            _ => Err(format!("{ctx} entries must be non-negative integers")),
+        })
+        .collect()
+}
+
+fn parse_stage(s: &Value) -> Result<StageSpec, String> {
+    let op = s.get("op").and_then(Value::as_str).ok_or("missing op (string)")?;
+    let u = |key: &str, default: u64| -> Result<u64, String> {
+        get_u64(s, key, key).map(|v| v.unwrap_or(default))
+    };
+    let spec = match op {
+        "filter" => {
+            let modulus = u("modulus", 10)?;
+            if modulus == 0 {
+                return Err("filter.modulus must be non-zero".into());
+            }
+            StageSpec::Filter { modulus, remainder: u("remainder", 0)? }
+        }
+        "lookup_key" => StageSpec::LookupKey { key: u("key", 0)? },
+        "map" => StageSpec::Map { key_mul: u("key_mul", 1)?, key_add: u("key_add", 1)? },
+        "map_values" => StageSpec::MapValues { mul: u("mul", 3)?, add: u("add", 1)? },
+        "group_by_key" => StageSpec::GroupByKey,
+        "reduce_by_key" => StageSpec::ReduceByKey,
+        "count_by_key" => StageSpec::CountByKey,
+        "aggregate_by_key" => StageSpec::AggregateByKey,
+        "sort_by_key" => StageSpec::SortByKey,
+        "join" => {
+            let build = match s.get("build") {
+                None => BuildSide::Dimension,
+                Some(v) => match (v.as_str(), v.as_int()) {
+                    (Some("dimension"), _) => BuildSide::Dimension,
+                    (_, Some(i)) if i >= 0 => BuildSide::Stage(i as usize),
+                    _ => {
+                        return Err(
+                            "join.build must be \"dimension\" or an earlier stage index".into()
+                        )
+                    }
+                },
+            };
+            StageSpec::Join { build }
+        }
+        other => {
+            return Err(format!(
+                "unknown op {other:?}; expected one of filter, lookup_key, map, map_values, \
+                 group_by_key, reduce_by_key, count_by_key, aggregate_by_key, sort_by_key, join"
+            ))
+        }
+    };
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"
+        [campaign]
+        name = "t"
+        systems = ["mondrian"]
+
+        [[stage]]
+        op = "filter"
+
+        [[stage]]
+        op = "reduce_by_key"
+
+        [[stage]]
+        op = "sort_by_key"
+    "#;
+
+    #[test]
+    fn minimal_manifest_fills_defaults() {
+        let m = Manifest::parse(MINIMAL, Format::Toml).unwrap();
+        assert_eq!(m.name, "t");
+        assert_eq!(m.systems, vec![SystemKind::Mondrian]);
+        assert!(m.tiny);
+        assert_eq!(m.tuples_per_vault, vec![256]);
+        assert_eq!(m.seeds, vec![0x6d6f6e64]);
+        assert_eq!(m.stages.len(), 3);
+        assert_eq!(m.stages[0], StageSpec::Filter { modulus: 10, remainder: 0 });
+        assert_eq!(m.runs().len(), 1);
+    }
+
+    #[test]
+    fn sweep_lists_cross_product() {
+        let text =
+            format!("{MINIMAL}\n[sweep]\ntuples_per_vault = [256, 512]\nseeds = [1, 2, 3]\n");
+        let m = Manifest::parse(&text, Format::Toml).unwrap();
+        let runs = m.runs();
+        assert_eq!(runs.len(), 6);
+        assert_eq!(
+            runs[0],
+            RunSpec { system: SystemKind::Mondrian, tuples_per_vault: 256, seed: 1 }
+        );
+        assert_eq!(
+            runs[5],
+            RunSpec { system: SystemKind::Mondrian, tuples_per_vault: 512, seed: 3 }
+        );
+    }
+
+    #[test]
+    fn all_expands_to_every_system() {
+        let text = MINIMAL.replace("[\"mondrian\"]", "[\"all\"]");
+        let m = Manifest::parse(&text, Format::Toml).unwrap();
+        assert_eq!(m.systems.len(), SystemKind::ALL.len());
+    }
+
+    #[test]
+    fn json_manifests_parse_too() {
+        let text = r#"{
+            "campaign": {"name": "j", "systems": ["cpu"], "seed": 3},
+            "stage": [{"op": "count_by_key"}, {"op": "join", "build": 0}]
+        }"#;
+        let m = Manifest::parse(text, Format::Json).unwrap();
+        assert_eq!(m.systems, vec![SystemKind::Cpu]);
+        assert_eq!(m.seeds, vec![3]);
+        assert_eq!(m.stages[1], StageSpec::Join { build: BuildSide::Stage(0) });
+    }
+
+    #[test]
+    fn schema_errors_are_descriptive() {
+        let no_stage = "[campaign]\nname = \"x\"\n";
+        assert!(Manifest::parse(no_stage, Format::Toml).unwrap_err().contains("[[stage]]"));
+        let bad_system = MINIMAL.replace("mondrian", "cray");
+        assert!(Manifest::parse(&bad_system, Format::Toml).unwrap_err().contains("unknown system"));
+        let bad_op = MINIMAL.replace("\"filter\"", "\"frobnicate\"");
+        assert!(Manifest::parse(&bad_op, Format::Toml).unwrap_err().contains("unknown op"));
+        // Forward join reference is caught at parse time via validate().
+        let forward = r#"
+            [campaign]
+            name = "x"
+            [[stage]]
+            op = "join"
+            build = 3
+        "#;
+        assert!(Manifest::parse(forward, Format::Toml)
+            .unwrap_err()
+            .contains("not an earlier stage"));
+    }
+
+    #[test]
+    fn format_detection() {
+        assert_eq!(Format::from_path("a/b.toml").unwrap(), Format::Toml);
+        assert_eq!(Format::from_path("b.json").unwrap(), Format::Json);
+        assert!(Format::from_path("b.yaml").is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! The example manifests shipped under `examples/manifests/` must keep
+//! parsing and verifying: they are the CLI's documented entry points.
+
+use mondrian_cli::campaign::run_campaign;
+use mondrian_cli::manifest::{Format, Manifest};
+
+fn example(name: &str) -> String {
+    let path = format!("{}/../../examples/manifests/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+#[test]
+fn spark_pipeline_toml_parses_to_the_documented_campaign() {
+    let m = Manifest::parse(&example("spark_pipeline.toml"), Format::Toml).unwrap();
+    assert_eq!(m.name, "spark-pipeline");
+    assert_eq!(m.systems.len(), 7, "runs on every evaluated system");
+    assert!(m.stages.len() >= 3, "the acceptance pipeline has at least 3 stages");
+    assert!(m.tiny);
+    // Scan, Group-by and Sort all participate.
+    let ops: Vec<_> = m.stages.iter().map(|s| s.basic_operator()).collect();
+    assert_eq!(ops.len(), 3);
+    assert_eq!(m.runs().len(), 7);
+}
+
+#[test]
+fn join_campaign_json_runs_verified_and_deterministic() {
+    let m = Manifest::parse(&example("join_campaign.json"), Format::Json).unwrap();
+    assert_eq!(m.runs().len(), 4, "2 systems x 2 swept seeds");
+    let a = run_campaign(&m, |_| {});
+    assert!(a.verified(), "example campaign must verify");
+    let b = run_campaign(&m, |_| {});
+    assert_eq!(a.to_json(), b.to_json(), "artifact must be byte-identical per seed");
+}

@@ -69,10 +69,7 @@ impl SystemKind {
 
     /// Whether the probe phase uses the sort-based (sequential) algorithms.
     pub fn probe_is_sorted(&self) -> bool {
-        matches!(
-            self,
-            SystemKind::NmpSeq | SystemKind::Mondrian | SystemKind::MondrianNoperm
-        )
+        matches!(self, SystemKind::NmpSeq | SystemKind::Mondrian | SystemKind::MondrianNoperm)
     }
 
     /// The core model for this system.
@@ -218,8 +215,10 @@ impl SystemConfig {
     pub fn validate(&self) {
         assert!(self.total_vaults().is_power_of_two(), "vault count must be a power of two");
         assert!(self.mesh.tiles() >= self.vaults_per_hmc, "mesh must seat every vault");
-        assert!(self.cpu_cores > 0 && self.total_vaults() % self.cpu_cores == 0,
-            "CPU cores must evenly split the vaults");
+        assert!(
+            self.cpu_cores > 0 && self.total_vaults().is_multiple_of(self.cpu_cores),
+            "CPU cores must evenly split the vaults"
+        );
         assert!(self.tuples_per_vault >= 16, "need at least one SIMD group per vault");
         assert!(self.r_divisor >= 1);
         self.vault.validate();

@@ -22,18 +22,19 @@ use mondrian_ops::join::{
     build_index, merge_join, probe_index, HashProbeKernel, MergeJoinKernel, SimdMergeJoinKernel,
 };
 use mondrian_ops::partition::{
-    exclusive_prefix, histogram, scatter_addresses, HistogramKernel,
-    PermutableScatterKernel, ScatterKernel, SimdHistogramKernel, SimdPermutableScatterKernel,
-    SimdScatterKernel,
+    exclusive_prefix, histogram, scatter_addresses, HistogramKernel, PermutableScatterKernel,
+    ScatterKernel, SimdHistogramKernel, SimdPermutableScatterKernel, SimdScatterKernel,
 };
-use mondrian_ops::scan::{scan_matches, ScalarScanKernel, SimdScanKernel};
+use mondrian_ops::scan::{scan_filter, ScalarScanKernel, ScanPredicate, SimdScanKernel};
 use mondrian_ops::sort::{
     bitonic_runs, merge_pass, BitonicRunKernel, QuicksortKernel, ScalarMergePassKernel,
     SimdMergePassKernel, BITONIC_RUN,
 };
 use mondrian_ops::{reference, Aggregates, ChainKernel, OperatorKind, PartitionScheme};
 use mondrian_sim::{Stats, Time};
-use mondrian_workloads::{foreign_key_pair, uniform_relation, zipfian_relation, Tuple, TUPLE_BYTES};
+use mondrian_workloads::{
+    foreign_key_pair, uniform_relation, zipfian_relation, Tuple, TUPLE_BYTES,
+};
 
 use crate::config::{SystemConfig, SystemKind};
 use crate::layout::{Layout, Region};
@@ -57,6 +58,14 @@ pub struct ExperimentBuilder {
     /// Deliberately undersize permutable regions by this factor (failure
     /// injection for the §5.4 overflow/retry path).
     underprovision: Option<f64>,
+    /// Injected primary relation (replaces dataset generation); for joins
+    /// this is the probe side S.
+    input: Option<Arc<Vec<Tuple>>>,
+    /// Injected build relation R for joins. Without it, an injected join
+    /// derives a primary-key dimension from the probe side's keys.
+    build: Option<Arc<Vec<Tuple>>>,
+    /// Scan predicate override (defaults to the §6 searched-value scan).
+    pred: Option<ScanPredicate>,
 }
 
 impl ExperimentBuilder {
@@ -67,6 +76,9 @@ impl ExperimentBuilder {
             cfg: SystemConfig::scaled(SystemKind::Mondrian),
             dist: KeyDist::Uniform,
             underprovision: None,
+            input: None,
+            build: None,
+            pred: None,
         }
     }
 
@@ -127,6 +139,31 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Injects the primary input relation instead of generating a dataset:
+    /// the relation is range-partitioned across vaults in order, and the
+    /// run's [`Report::output`] captures the operator's actual output so
+    /// multi-stage pipelines can thread relations between experiments. For
+    /// joins, the injected relation is the probe side S.
+    pub fn input(mut self, relation: Vec<Tuple>) -> Self {
+        self.input = Some(Arc::new(relation));
+        self
+    }
+
+    /// Injects the build-side relation R of a join (used together with
+    /// [`ExperimentBuilder::input`]). Without it, an injected join builds
+    /// against a derived primary-key dimension over the probe keys.
+    pub fn join_build(mut self, relation: Vec<Tuple>) -> Self {
+        self.build = Some(Arc::new(relation));
+        self
+    }
+
+    /// Overrides the Scan operator's predicate. The default remains the
+    /// paper's searched-value scan (key equality with the first key).
+    pub fn scan_predicate(mut self, pred: ScanPredicate) -> Self {
+        self.pred = Some(pred);
+        self
+    }
+
     /// Runs the experiment.
     ///
     /// # Panics
@@ -134,6 +171,35 @@ impl ExperimentBuilder {
     /// Panics if the configuration is invalid or verification fails.
     pub fn run(self) -> Report {
         Experiment::new(self).run()
+    }
+}
+
+/// The functional output relation of one operator run, captured so that
+/// pipeline stages can feed each other.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StageOutput {
+    /// Tuple relation (Scan: the matches in input order; Sort: the totally
+    /// ordered relation).
+    Tuples(Vec<Tuple>),
+    /// Group-by result: key → the six aggregates.
+    Groups(BTreeMap<u64, Aggregates>),
+    /// Join result rows `(key, r_payload, s_payload)` in canonical order.
+    Rows(Vec<reference::JoinRow>),
+}
+
+impl StageOutput {
+    /// Number of output rows/groups.
+    pub fn rows(&self) -> usize {
+        match self {
+            StageOutput::Tuples(v) => v.len(),
+            StageOutput::Groups(g) => g.len(),
+            StageOutput::Rows(r) => r.len(),
+        }
+    }
+
+    /// Whether the output is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows() == 0
     }
 }
 
@@ -160,6 +226,8 @@ pub struct Report {
     pub shuffle_retries: u32,
     /// Human-readable result summary (match counts, group counts, ...).
     pub summary: String,
+    /// The operator's functional output relation.
+    pub output: StageOutput,
 }
 
 impl Report {
@@ -198,11 +266,17 @@ impl Report {
 /// Per-compute-unit kernels for one phase.
 type KernelSet = Vec<Option<Box<dyn Kernel>>>;
 
+/// A relation split into per-vault partitions.
+type VaultData = Vec<Arc<Vec<Tuple>>>;
+
 struct Experiment {
     op: OperatorKind,
     cfg: SystemConfig,
     dist: KeyDist,
     underprovision: Option<f64>,
+    input: Option<Arc<Vec<Tuple>>>,
+    build: Option<Arc<Vec<Tuple>>>,
+    pred: Option<ScanPredicate>,
     layout: Layout,
     machine: Machine,
     phases: Vec<PhaseOutcome>,
@@ -210,7 +284,13 @@ struct Experiment {
 }
 
 impl Experiment {
-    fn new(b: ExperimentBuilder) -> Self {
+    fn new(mut b: ExperimentBuilder) -> Self {
+        if let Some(input) = &b.input {
+            // Injected relations dictate the per-vault scale; keep the
+            // configured knob consistent so capacity checks see the truth.
+            let vaults = b.cfg.total_vaults() as usize;
+            b.cfg.tuples_per_vault = input.len().div_ceil(vaults).max(16);
+        }
         b.cfg.validate();
         let layout = Layout::new(b.cfg.vault.capacity);
         assert!(
@@ -223,11 +303,24 @@ impl Experiment {
             cfg: b.cfg,
             dist: b.dist,
             underprovision: b.underprovision,
+            input: b.input,
+            build: b.build,
+            pred: b.pred,
             layout,
             machine,
             phases: Vec::new(),
             shuffle_retries: 0,
         }
+    }
+
+    /// Splits an injected relation into per-vault partitions, in order,
+    /// padding trailing vaults with empty partitions.
+    fn chunk_to_vaults(&self, rel: &[Tuple]) -> VaultData {
+        let vaults = self.vaults();
+        let per = rel.len().div_ceil(vaults).max(1);
+        let mut out: Vec<Arc<Vec<Tuple>>> = rel.chunks(per).map(|c| Arc::new(c.to_vec())).collect();
+        out.resize_with(vaults, || Arc::new(Vec::new()));
+        out
     }
 
     fn vaults(&self) -> usize {
@@ -266,7 +359,10 @@ impl Experiment {
             .unwrap_or_else(|n| panic!("phase {label}: {n} unexpected permutable overflows"));
     }
 
-    fn generate_single(&self) -> Vec<Arc<Vec<Tuple>>> {
+    fn generate_single(&self) -> VaultData {
+        if let Some(input) = &self.input {
+            return self.chunk_to_vaults(input);
+        }
         let n = self.cfg.tuples_per_vault;
         let total = n * self.vaults();
         let key_bound = match self.op {
@@ -280,11 +376,28 @@ impl Experiment {
         all.chunks(n).map(|c| Arc::new(c.to_vec())).collect()
     }
 
-    fn generate_join(&self) -> (Vec<Arc<Vec<Tuple>>>, Vec<Arc<Vec<Tuple>>>) {
+    fn generate_join(&self) -> (VaultData, VaultData) {
+        if let Some(s) = &self.input {
+            let r: Vec<Tuple> = match &self.build {
+                Some(r) => r.as_ref().clone(),
+                // Derived dimension: one tuple per distinct probe key, with
+                // a seeded deterministic payload.
+                None => {
+                    let keys: std::collections::BTreeSet<u64> = s.iter().map(|t| t.key).collect();
+                    keys.into_iter()
+                        .map(|k| Tuple::new(k, mondrian_ops::mix64(k ^ self.cfg.seed)))
+                        .collect()
+                }
+            };
+            return (self.chunk_to_vaults(&r), self.chunk_to_vaults(s));
+        }
         let s_per_vault = self.cfg.tuples_per_vault;
         let r_per_vault = (s_per_vault / self.cfg.r_divisor).max(1);
-        let (r, s) =
-            foreign_key_pair(r_per_vault * self.vaults(), s_per_vault * self.vaults(), self.cfg.seed);
+        let (r, s) = foreign_key_pair(
+            r_per_vault * self.vaults(),
+            s_per_vault * self.vaults(),
+            self.cfg.seed,
+        );
         (
             r.chunks(r_per_vault).map(|c| Arc::new(c.to_vec())).collect(),
             s.chunks(s_per_vault).map(|c| Arc::new(c.to_vec())).collect(),
@@ -293,6 +406,9 @@ impl Experiment {
 
     /// Key upper bound of the whole dataset (for range partitioning).
     fn key_bound(&self) -> u64 {
+        if let Some(input) = &self.input {
+            return input.iter().map(|t| t.key).max().map_or(1, |k| k.saturating_add(1));
+        }
         let total = (self.cfg.tuples_per_vault * self.vaults()) as u64;
         match self.op {
             OperatorKind::GroupBy => (total / 4).max(1),
@@ -363,8 +479,7 @@ impl Experiment {
         let parts = scheme.parts() as usize;
         // Per-source bucket counts; sources ordered by vault index (units
         // process their vaults in order).
-        let per_source: Vec<Vec<u64>> =
-            input.iter().map(|d| histogram(d, scheme).counts).collect();
+        let per_source: Vec<Vec<u64>> = input.iter().map(|d| histogram(d, scheme).counts).collect();
         let mut totals = vec![0u64; parts];
         for counts in &per_source {
             for (t, c) in totals.iter_mut().zip(counts) {
@@ -387,11 +502,7 @@ impl Experiment {
             let mut cursors: Vec<u64> = (0..parts)
                 .map(|p| {
                     if self.cfg.kind.is_nmp() {
-                        self.layout.tuple_addr(
-                            p as u32,
-                            out_region,
-                            next_in_dest[p] as usize,
-                        )
+                        self.layout.tuple_addr(p as u32, out_region, next_in_dest[p] as usize)
                     } else {
                         self.global_out_addr(out_region, starts[p] + next_in_dest[p])
                     }
@@ -409,11 +520,8 @@ impl Experiment {
             // sources run their tuples sequentially and cursor ranges are
             // disjoint per source.
         }
-        let store_kind = if self.cfg.kind.is_nmp() {
-            StoreKind::Streaming
-        } else {
-            StoreKind::Cached
-        };
+        let store_kind =
+            if self.cfg.kind.is_nmp() { StoreKind::Streaming } else { StoreKind::Cached };
         let simd = self.cfg.kind.is_mondrian();
         let kernels = (0..self.units())
             .map(|u| {
@@ -429,7 +537,12 @@ impl Experiment {
                                 as Box<dyn Kernel>
                         } else {
                             Box::new(ScatterKernel::new(
-                                data, base, cursor_base, addrs, store_kind, scheme,
+                                data,
+                                base,
+                                cursor_base,
+                                addrs,
+                                store_kind,
+                                scheme,
                             ))
                         }
                     })
@@ -488,10 +601,7 @@ impl Experiment {
             let regions: Vec<PermutableRegion> = (0..parts)
                 .map(|v| {
                     let exact = inbound[v] * TUPLE_BYTES as u64;
-                    let size = ((exact as f64 * factor) as u64)
-                        .div_ceil(256)
-                        .max(1)
-                        * 256;
+                    let size = ((exact as f64 * factor) as u64).div_ceil(256).max(1) * 256;
                     PermutableRegion {
                         base: self.layout.region_base(v as u32, out_region),
                         size,
@@ -520,9 +630,7 @@ impl Experiment {
             .map(|v| {
                 arrivals
                     .get(&v)
-                    .map(|log| {
-                        log.iter().map(|&(core, seq)| input[core][seq as usize]).collect()
-                    })
+                    .map(|log| log.iter().map(|&(core, seq)| input[core][seq as usize]).collect())
                     .unwrap_or_default()
             })
             .collect()
@@ -552,19 +660,22 @@ impl Experiment {
     // ----- operators ------------------------------------------------------
 
     fn run(mut self) -> Report {
-        let (verified, summary) = match self.op {
+        let (verified, summary, output) = match self.op {
             OperatorKind::Scan => self.run_scan(),
             OperatorKind::Sort => self.run_sort(),
             OperatorKind::GroupBy => self.run_groupby(),
             OperatorKind::Join => self.run_join(),
         };
-        self.finish(verified, summary)
+        self.finish(verified, summary, output)
     }
 
-    fn run_scan(&mut self) -> (bool, String) {
+    fn run_scan(&mut self) -> (bool, String, StageOutput) {
         let input = self.generate_single();
-        let needle = input[0].first().map_or(0, |t| t.key);
-        let expect: usize = input.iter().map(|d| scan_matches(d, needle).len()).sum();
+        let pred = self
+            .pred
+            .unwrap_or_else(|| ScanPredicate::KeyEquals(input[0].first().map_or(0, |t| t.key)));
+        let matches: Vec<Tuple> = input.iter().flat_map(|d| scan_filter(d, pred)).collect();
+        let expect = matches.len();
         let simd = self.cfg.kind.is_mondrian();
         let kernels: KernelSet = (0..self.units())
             .map(|u| {
@@ -575,14 +686,13 @@ impl Experiment {
                         let out = self.layout.region_base(v as u32, Region::Result);
                         let data = input[v].clone();
                         if simd {
-                            Box::new(SimdScanKernel::new(data, base, out, needle))
-                                as Box<dyn Kernel>
+                            Box::new(SimdScanKernel::new(data, base, out, pred)) as Box<dyn Kernel>
                         } else {
                             Box::new(ScalarScanKernel::new(
                                 data,
                                 base,
                                 out,
-                                needle,
+                                pred,
                                 StoreKind::Cached,
                             ))
                         }
@@ -592,14 +702,18 @@ impl Experiment {
             })
             .collect();
         self.run_phase_ok(kernels, "probe.scan");
-        (true, format!("scan: {expect} matches of key {needle}"))
+        (true, format!("scan: {expect} matches of {pred:?}"), StageOutput::Tuples(matches))
     }
 
     /// Sorts each destination partition with the system's sort and returns
     /// the per-vault sorted data (for verification) plus phase bookkeeping.
-    fn local_sort(&mut self, mut parts: Vec<Vec<Tuple>>, ping: Region, pong: Region, tag: &str)
-        -> Vec<Vec<Tuple>>
-    {
+    fn local_sort(
+        &mut self,
+        mut parts: Vec<Vec<Tuple>>,
+        ping: Region,
+        pong: Region,
+        tag: &str,
+    ) -> Vec<Vec<Tuple>> {
         let kind = self.cfg.kind;
         if !kind.is_nmp() {
             // CPU: quicksort per bucket, chained per core. Buckets live in
@@ -633,15 +747,16 @@ impl Experiment {
         let mut run: Vec<usize> = vec![1; parts.len()];
         let mut cur: Vec<Region> = vec![ping; parts.len()];
         if simd {
-            let kernels: KernelSet = (0..self.units())
-                .map(|v| {
-                    let data = Arc::new(parts[v].clone());
-                    let in_base = self.layout.region_base(v as u32, ping);
-                    let out_base = self.layout.region_base(v as u32, pong);
-                    Some(Box::new(BitonicRunKernel::new(data, in_base, out_base))
-                        as Box<dyn Kernel>)
-                })
-                .collect();
+            let kernels: KernelSet =
+                (0..self.units())
+                    .map(|v| {
+                        let data = Arc::new(parts[v].clone());
+                        let in_base = self.layout.region_base(v as u32, ping);
+                        let out_base = self.layout.region_base(v as u32, pong);
+                        Some(Box::new(BitonicRunKernel::new(data, in_base, out_base))
+                            as Box<dyn Kernel>)
+                    })
+                    .collect();
             self.run_phase_ok(kernels, &format!("probe.bitonic.{tag}"));
             for (v, p) in parts.iter_mut().enumerate() {
                 *p = bitonic_runs(p, BITONIC_RUN);
@@ -685,11 +800,10 @@ impl Experiment {
         parts
     }
 
-    fn run_sort(&mut self) -> (bool, String) {
+    fn run_sort(&mut self) -> (bool, String, StageOutput) {
         let input = self.generate_single();
         let scheme = self.partition_scheme();
-        let kernels =
-            self.histogram_kernels(&input, Region::InputA, scheme, 0);
+        let kernels = self.histogram_kernels(&input, Region::InputA, scheme, 0);
         self.run_phase_ok(kernels, "partition.histogram");
         let parts = self.shuffle_relation(
             &input,
@@ -708,10 +822,11 @@ impl Experiment {
         let mut expect: Vec<Tuple> = input.iter().flat_map(|d| d.iter().copied()).collect();
         expect.sort_unstable();
         let ok = combined == expect;
-        (ok, format!("sort: {} tuples totally ordered", combined.len()))
+        let summary = format!("sort: {} tuples totally ordered", combined.len());
+        (ok, summary, StageOutput::Tuples(combined))
     }
 
-    fn run_groupby(&mut self) -> (bool, String) {
+    fn run_groupby(&mut self) -> (bool, String, StageOutput) {
         let input = self.generate_single();
         let scheme = self.partition_scheme();
         let kernels = self.histogram_kernels(&input, Region::InputA, scheme, 0);
@@ -759,8 +874,7 @@ impl Experiment {
                     let bits = table_bits(parts[v].len().max(4) / 2);
                     let base = self.layout.region_base(v as u32, Region::OutA);
                     let table = self.layout.table_addr(v as u32, 0);
-                    Some(Box::new(HashAggKernel::new(data, base, table, bits))
-                        as Box<dyn Kernel>)
+                    Some(Box::new(HashAggKernel::new(data, base, table, bits)) as Box<dyn Kernel>)
                 })
                 .collect();
             self.run_phase_ok(kernels, "probe.aggregate");
@@ -815,10 +929,11 @@ impl Experiment {
             }
         }
         let ok = got == expect;
-        (ok, format!("group by: {} groups aggregated", got.len()))
+        let summary = format!("group by: {} groups aggregated", got.len());
+        (ok, summary, StageOutput::Groups(got))
     }
 
-    fn run_join(&mut self) -> (bool, String) {
+    fn run_join(&mut self) -> (bool, String, StageOutput) {
         let (r_in, s_in) = self.generate_join();
         let scheme = self.partition_scheme();
         let parts_n = scheme.parts() as usize;
@@ -843,7 +958,7 @@ impl Experiment {
             parts_n * 3,
             "partition.scatter.s",
         );
-        let mut matches = 0usize;
+        let mut rows: Vec<reference::JoinRow> = Vec::new();
         if self.cfg.kind.probe_is_sorted() {
             let r_sorted = self.local_sort(r_parts, Region::OutA, Region::PongA, "r");
             let s_sorted = self.local_sort(s_parts, Region::OutB, Region::PongB, "s");
@@ -865,7 +980,7 @@ impl Experiment {
                 .collect();
             self.run_phase_ok(kernels, "probe.mergejoin");
             for v in 0..self.vaults() {
-                matches += merge_join(&r_sorted[v], &s_sorted[v]).len();
+                rows.extend(merge_join(&r_sorted[v], &s_sorted[v]));
             }
         } else if self.cfg.kind.is_nmp() {
             // NMP-rand: per-vault index build (histogram + reorder) + probe.
@@ -881,8 +996,7 @@ impl Experiment {
                     let out = self.layout.region_base(v as u32, Region::Result);
                     let counter = self.layout.meta_addr(v as u32, 0);
                     let build_scheme = PartitionScheme::HashBits { bits };
-                    let mut cursors: Vec<u64> = idx
-                        .offsets[..idx.offsets.len() - 1]
+                    let mut cursors: Vec<u64> = idx.offsets[..idx.offsets.len() - 1]
                         .iter()
                         .map(|&o| reordered + o as u64 * TUPLE_BYTES as u64)
                         .collect();
@@ -912,7 +1026,7 @@ impl Experiment {
             self.run_phase_ok(kernels, "probe.hashjoin");
             for v in 0..self.vaults() {
                 let idx = build_index(&r_parts[v], index_bits(r_parts[v].len()));
-                matches += probe_index(&idx, &s_parts[v]).len();
+                rows.extend(probe_index(&idx, &s_parts[v]));
             }
         } else {
             // CPU: per-bucket hash join over cache-resident buckets.
@@ -943,8 +1057,7 @@ impl Experiment {
                         let bits = index_bits(r.len().max(2));
                         let idx = Arc::new(build_index(&r, bits));
                         let build_scheme = PartitionScheme::HashBits { bits };
-                        let mut cursors: Vec<u64> = idx
-                            .offsets[..idx.offsets.len() - 1]
+                        let mut cursors: Vec<u64> = idx.offsets[..idx.offsets.len() - 1]
                             .iter()
                             .map(|&o| scratch + o as u64 * TUPLE_BYTES as u64)
                             .collect();
@@ -981,16 +1094,30 @@ impl Experiment {
                     continue;
                 }
                 let idx = build_index(&r_parts[b], index_bits(r_parts[b].len().max(2)));
-                matches += probe_index(&idx, &s_parts[b]).len();
+                rows.extend(probe_index(&idx, &s_parts[b]));
             }
         }
-        // FK join: every S tuple matches exactly once.
-        let expect: usize = s_in.iter().map(|s| s.len()).sum();
+        let rows = reference::canonical(rows);
+        let matches = rows.len();
+        // Independent match count: per-key R multiplicities folded over S.
+        // For the paper's foreign-key datasets this equals |S|; it also
+        // covers injected relations with arbitrary key multiplicity.
+        let expect: usize = {
+            let mut r_count: BTreeMap<u64, usize> = BTreeMap::new();
+            for t in r_in.iter().flat_map(|c| c.iter()) {
+                *r_count.entry(t.key).or_insert(0) += 1;
+            }
+            s_in.iter()
+                .flat_map(|c| c.iter())
+                .map(|t| r_count.get(&t.key).copied().unwrap_or(0))
+                .sum()
+        };
         let ok = matches == expect;
-        (ok, format!("join: {matches} matched rows (expected {expect})"))
+        let summary = format!("join: {matches} matched rows (expected {expect})");
+        (ok, summary, StageOutput::Rows(rows))
     }
 
-    fn finish(mut self, verified: bool, summary: String) -> Report {
+    fn finish(mut self, verified: bool, summary: String, output: StageOutput) -> Report {
         let runtime = self.machine.now();
         let stats = self.machine.export_stats();
         // Weighted per-core busy fractions across phases.
@@ -1014,8 +1141,8 @@ impl Experiment {
             SystemKind::Mondrian | SystemKind::MondrianNoperm => CoreClass::Mondrian,
             _ => CoreClass::Nmp,
         };
-        let dram_bits = (stats.sum_by_suffix("read_bytes") + stats.sum_by_suffix("write_bytes"))
-            * 8.0;
+        let dram_bits =
+            (stats.sum_by_suffix("read_bytes") + stats.sum_by_suffix("write_bytes")) * 8.0;
         let serdes_bits = stats.sum_by_prefix("serdes.");
         // serdes busy bits: sum only the busy_bits entries.
         let serdes_busy: f64 = stats
@@ -1024,15 +1151,11 @@ impl Experiment {
             .map(|(_, s)| s.as_f64())
             .sum();
         let _ = serdes_bits;
-        let llc_accesses = stats.count("llc.hits")
-            + stats.count("llc.misses")
-            + stats.count("llc.pending_hits");
+        let llc_accesses =
+            stats.count("llc.hits") + stats.count("llc.misses") + stats.count("llc.pending_hits");
         let activity = SystemActivity {
             runtime_ps: runtime.max(1),
-            cores: busy
-                .iter()
-                .map(|&b| CoreActivity { class, busy_fraction: b })
-                .collect(),
+            cores: busy.iter().map(|&b| CoreActivity { class, busy_fraction: b }).collect(),
             row_activations: stats.sum_by_suffix("activations") as u64,
             dram_bits_accessed: dram_bits as u64,
             hmc_cubes: self.cfg.hmcs,
@@ -1056,6 +1179,7 @@ impl Experiment {
             verified,
             shuffle_retries: self.shuffle_retries,
             summary,
+            output,
         }
     }
 }

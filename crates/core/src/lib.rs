@@ -35,7 +35,7 @@ pub mod layout;
 pub mod system;
 
 pub use config::{SystemConfig, SystemKind};
-pub use experiment::{ExperimentBuilder, KeyDist, Report};
+pub use experiment::{ExperimentBuilder, KeyDist, Report, StageOutput};
 pub use layout::{Layout, Region};
 pub use mondrian_ops::OperatorKind;
 pub use system::{Machine, PhaseOutcome};

@@ -12,9 +12,7 @@ use std::collections::{HashMap, VecDeque};
 
 use mondrian_cache::{Cache, Lookup, NextLinePrefetcher};
 use mondrian_cores::{Core, CoreStatus, Kernel, MemKind, MemRequest, StoreKind};
-use mondrian_mem::{
-    AccessKind, AddressMap, DramRequest, PermutableRegion, VaultController,
-};
+use mondrian_mem::{AccessKind, AddressMap, DramRequest, PermutableRegion, VaultController};
 use mondrian_noc::{Mesh, SerDesLink};
 use mondrian_sim::{EventQueue, Stats, Time, PS_PER_NS};
 
@@ -249,8 +247,8 @@ impl Machine {
                     self.meshes[src_hmc as usize].send(src_tile, dst_tile, bytes, t)
                 } else {
                     let ni_out = self.ni_tile(dst_hmc);
-                    let t1 = self.meshes[src_hmc as usize]
-                        .send_unreserved(src_tile, ni_out, bytes, t);
+                    let t1 =
+                        self.meshes[src_hmc as usize].send_unreserved(src_tile, ni_out, bytes, t);
                     let t2 = self
                         .hmc_links
                         .get_mut(&(src_hmc, dst_hmc))
@@ -281,8 +279,8 @@ impl Machine {
                     self.meshes[src_hmc as usize].send(src_tile, dt, bytes, t)
                 } else {
                     let ni_out = self.ni_tile(dst_hmc);
-                    let t1 = self.meshes[src_hmc as usize]
-                        .send_unreserved(src_tile, ni_out, bytes, t);
+                    let t1 =
+                        self.meshes[src_hmc as usize].send_unreserved(src_tile, ni_out, bytes, t);
                     let t2 = self
                         .hmc_links
                         .get_mut(&(src_hmc, dst_hmc))
@@ -343,7 +341,8 @@ impl Machine {
         let mut l1_waiters: Vec<HashMap<u64, Vec<usize>>> =
             (0..self.l1s.len()).map(|_| HashMap::new()).collect();
         let mut llc_waiters: HashMap<u64, Vec<(usize, u64)>> = HashMap::new();
-        let mut stalls: Vec<VecDeque<usize>> = (0..self.l1s.len()).map(|_| VecDeque::new()).collect();
+        let mut stalls: Vec<VecDeque<usize>> =
+            (0..self.l1s.len()).map(|_| VecDeque::new()).collect();
         let mut overflows: u64 = 0;
         let mut next_dram_id: u64 = 0;
         let mut end = start;
@@ -492,10 +491,7 @@ impl Machine {
                     llc.complete_fill(line);
                     if let Some(waiters) = llc_waiters.remove(&line) {
                         for (core, l1_line) in waiters {
-                            queue.schedule(
-                                t + PS_PER_NS,
-                                Ev::L1FillDone { core, line: l1_line },
-                            );
+                            queue.schedule(t + PS_PER_NS, Ev::L1FillDone { core, line: l1_line });
                         }
                     }
                 }
@@ -511,16 +507,10 @@ impl Machine {
                 core_busy.push(0.0);
                 continue;
             };
-            assert!(
-                core.finished(),
-                "compute unit {i} deadlocked in phase {label} (window stuck)"
-            );
+            assert!(core.finished(), "compute unit {i} deadlocked in phase {label} (window stuck)");
             instructions += core.stats().instructions;
             simd_ops += core.stats().simd_ops;
-            let cycles = core
-                .config()
-                .clock
-                .ps_to_cycles_ceil((end - start).max(1));
+            let cycles = core.config().clock.ps_to_cycles_ceil((end - start).max(1));
             let ipc = core.stats().instructions as f64 / cycles as f64;
             core_busy.push((ipc / core.config().width as f64).min(1.0));
         }
@@ -561,7 +551,14 @@ impl Machine {
                 let p = pending.len();
                 pending.push(Pending { core, req });
                 self.cached_access(
-                    core, p, req, queue, vault_ops, l1_waiters, llc_waiters, stalls,
+                    core,
+                    p,
+                    req,
+                    queue,
+                    vault_ops,
+                    l1_waiters,
+                    llc_waiters,
+                    stalls,
                     next_dram_id,
                 );
             }
@@ -586,12 +583,8 @@ impl Machine {
                     let chunk = end.min(row_end) - addr;
                     let id = *next_dram_id;
                     *next_dram_id += 1;
-                    let dreq = DramRequest {
-                        id,
-                        addr,
-                        bytes: chunk as u32,
-                        kind: AccessKind::Write,
-                    };
+                    let dreq =
+                        DramRequest { id, addr, bytes: chunk as u32, kind: AccessKind::Write };
                     self.vaults[vault as usize]
                         .enqueue(dreq, arr)
                         .expect("plain writes cannot overflow");
@@ -679,13 +672,27 @@ impl Machine {
                 }
                 l1_waiters[core].entry(line).or_default().push(p);
                 self.start_l1_fill(
-                    core, line, t_hit, false, queue, vault_ops, llc_waiters, next_dram_id,
+                    core,
+                    line,
+                    t_hit,
+                    false,
+                    queue,
+                    vault_ops,
+                    llc_waiters,
+                    next_dram_id,
                 );
                 // Next-line prefetcher reacts to the demand miss.
                 for cand in self.prefetcher.candidates(req.addr) {
                     if self.l1s[core].can_begin_fill(cand) {
                         self.start_l1_fill(
-                            core, cand, t_hit, true, queue, vault_ops, llc_waiters, next_dram_id,
+                            core,
+                            cand,
+                            t_hit,
+                            true,
+                            queue,
+                            vault_ops,
+                            llc_waiters,
+                            next_dram_id,
                         );
                     }
                 }
@@ -744,9 +751,7 @@ impl Machine {
                     *next_dram_id += 1;
                     let bytes = self.cfg.llc.line_bytes;
                     let dreq = DramRequest { id, addr: line, bytes, kind: AccessKind::Read };
-                    self.vaults[vault as usize]
-                        .enqueue(dreq, arr)
-                        .expect("reads cannot overflow");
+                    self.vaults[vault as usize].enqueue(dreq, arr).expect("reads cannot overflow");
                     vault_ops.insert(id, VaultOp::LlcFill { line });
                 }
             }

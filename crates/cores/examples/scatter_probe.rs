@@ -12,7 +12,13 @@ fn run(core: &mut Core) -> Time {
                 outstanding.sort_by_key(|r| r.issue_at);
                 for req in outstanding.drain(..) {
                     let lat = match req.kind {
-                        MemKind::Load => if req.bytes >= 64 { 25_000 } else { 2_000 },
+                        MemKind::Load => {
+                            if req.bytes >= 64 {
+                                25_000
+                            } else {
+                                2_000
+                            }
+                        }
                         MemKind::Store(_) => 30_000,
                         MemKind::StreamFill { .. } => 25_000,
                     };

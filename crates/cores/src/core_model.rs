@@ -456,10 +456,11 @@ impl Core {
                 match (dep, self.last_load) {
                     (Dep::OnPrevLoad, LastLoad::Pending(dep_tag)) => {
                         // Address depends on an outstanding load: park.
-                        self.deferred
-                            .entry(dep_tag)
-                            .or_default()
-                            .push(DeferredLoad { tag, addr, bytes });
+                        self.deferred.entry(dep_tag).or_default().push(DeferredLoad {
+                            tag,
+                            addr,
+                            bytes,
+                        });
                     }
                     (Dep::OnPrevLoad, LastLoad::Known(t)) => {
                         let issue_at = slot.max(t + period);
@@ -577,10 +578,8 @@ impl Core {
             return false;
         }
         let ready = {
-            let streams = self
-                .streams
-                .as_ref()
-                .expect("kernel used a stream buffer on a core without them");
+            let streams =
+                self.streams.as_ref().expect("kernel used a stream buffer on a core without them");
             streams.ready(buf, bytes)
         };
         if !ready {
@@ -676,15 +675,9 @@ impl Core {
                 !matches!(kind, StoreKind::Permutable { .. }) && self.store_credits > 0
             }
             MicroOp::Load { bytes, dep, stream: Some(buf), .. } => {
-                let dep_ok = !matches!(
-                    (dep, self.last_load),
-                    (Dep::OnPrevLoad, LastLoad::Pending(_))
-                );
-                dep_ok
-                    && self
-                        .streams
-                        .as_ref()
-                        .is_some_and(|s| s.ready(buf, bytes))
+                let dep_ok =
+                    !matches!((dep, self.last_load), (Dep::OnPrevLoad, LastLoad::Pending(_)));
+                dep_ok && self.streams.as_ref().is_some_and(|s| s.ready(buf, bytes))
             }
             _ => false,
         };
@@ -830,15 +823,18 @@ mod tests {
     #[test]
     fn object_buffer_coalesces_small_stores() {
         let cfg = ooo(3, 64);
-        let mut core = Core::new(cfg, Box::new(VecKernel::new(
-            (0..8)
-                .map(|_| MicroOp::Store {
-                    addr: 0,
-                    bytes: 16,
-                    kind: StoreKind::Permutable { dst_vault: 3 },
-                })
-                .collect(),
-        )));
+        let mut core = Core::new(
+            cfg,
+            Box::new(VecKernel::new(
+                (0..8)
+                    .map(|_| MicroOp::Store {
+                        addr: 0,
+                        bytes: 16,
+                        kind: StoreKind::Permutable { dst_vault: 3 },
+                    })
+                    .collect(),
+            )),
+        );
         core.set_object_bytes(64); // 4 tuples per object
         let mut out = Vec::new();
         let status = core.advance(&mut out);
@@ -891,9 +887,8 @@ mod tests {
     fn simd_requires_simd_unit() {
         let mut cfg = ooo(3, 32);
         cfg.simd = false;
-        let mut core = Core::new(cfg, Box::new(VecKernel::new(vec![MicroOp::Simd {
-            dep: Dep::None,
-        }])));
+        let mut core =
+            Core::new(cfg, Box::new(VecKernel::new(vec![MicroOp::Simd { dep: Dep::None }])));
         let mut out = Vec::new();
         core.advance(&mut out);
     }

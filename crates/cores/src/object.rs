@@ -71,10 +71,7 @@ impl ObjectBuffer {
             None => self.dst = Some(dst_vault),
         }
         self.accumulated += bytes;
-        assert!(
-            self.accumulated <= self.object_bytes,
-            "stores overflow the declared object size"
-        );
+        assert!(self.accumulated <= self.object_bytes, "stores overflow the declared object size");
         if self.accumulated == self.object_bytes {
             self.accumulated = 0;
             self.dst = None;

@@ -73,7 +73,11 @@ pub struct EnergyBreakdown {
 impl EnergyBreakdown {
     /// Total energy.
     pub fn total_j(&self) -> f64 {
-        self.cores_j + self.llc_j + self.dram_dynamic_j + self.dram_static_j + self.serdes_j
+        self.cores_j
+            + self.llc_j
+            + self.dram_dynamic_j
+            + self.dram_static_j
+            + self.serdes_j
             + self.noc_j
     }
 
@@ -81,7 +85,12 @@ impl EnergyBreakdown {
     /// LLC energy is attributed to the cores category, as the cache
     /// hierarchy exists only on the compute side.
     pub fn fig8_categories(&self) -> [f64; 4] {
-        [self.dram_dynamic_j, self.dram_static_j, self.cores_j + self.llc_j, self.serdes_j + self.noc_j]
+        [
+            self.dram_dynamic_j,
+            self.dram_static_j,
+            self.cores_j + self.llc_j,
+            self.serdes_j + self.noc_j,
+        ]
     }
 
     /// Shares of the four Fig. 8 categories, summing to 1.
@@ -117,8 +126,8 @@ pub(crate) fn compute(p: &EnergyParams, a: &SystemActivity) -> EnergyBreakdown {
     let dram_static_j = a.hmc_cubes as f64 * p.hmc_background_w * secs;
     let total_bit_slots = p.serdes_bits_per_s * secs * a.serdes_directions as f64;
     let idle_bits = (total_bit_slots - a.serdes_busy_bits as f64).max(0.0);
-    let serdes_j = a.serdes_busy_bits as f64 * p.serdes_busy_j_per_bit
-        + idle_bits * p.serdes_idle_j_per_bit;
+    let serdes_j =
+        a.serdes_busy_bits as f64 * p.serdes_busy_j_per_bit + idle_bits * p.serdes_idle_j_per_bit;
     let noc_j = a.noc_bit_mm * p.noc_j_per_bit_mm + a.noc_meshes as f64 * p.noc_leakage_w * secs;
     EnergyBreakdown { cores_j, llc_j, dram_dynamic_j, dram_static_j, serdes_j, noc_j }
 }

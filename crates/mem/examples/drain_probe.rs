@@ -16,6 +16,13 @@ fn main() {
     let done = drain(&mut v);
     let makespan = done.iter().map(|c| c.finish).max().unwrap();
     let n = done.len() as u64;
-    println!("writes={} makespan={}ps  per_write={}ps  activations={} hits={} conflicts={}",
-        n, makespan, makespan / n, v.stats().activations, v.stats().row_hits, v.stats().row_conflicts);
+    println!(
+        "writes={} makespan={}ps  per_write={}ps  activations={} hits={} conflicts={}",
+        n,
+        makespan,
+        makespan / n,
+        v.stats().activations,
+        v.stats().row_hits,
+        v.stats().row_conflicts
+    );
 }

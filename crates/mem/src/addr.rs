@@ -85,7 +85,7 @@ impl AddressMap {
         banks: u32,
     ) -> Self {
         assert!(hmcs > 0 && vaults_per_hmc > 0 && banks > 0);
-        assert!(row_bytes > 0 && vault_capacity % row_bytes as u64 == 0);
+        assert!(row_bytes > 0 && vault_capacity.is_multiple_of(row_bytes as u64));
         Self { hmcs, vaults_per_hmc, vault_capacity, row_bytes, banks }
     }
 

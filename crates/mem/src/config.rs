@@ -135,7 +135,7 @@ impl VaultConfig {
         assert!(self.banks > 0, "vault must have at least one bank");
         assert!(self.row_bytes > 0, "row size must be non-zero");
         assert!(
-            self.capacity % self.row_bytes as u64 == 0,
+            self.capacity.is_multiple_of(self.row_bytes as u64),
             "capacity must be a whole number of rows"
         );
         assert!(self.peak_bytes_per_ns > 0.0, "bandwidth must be positive");

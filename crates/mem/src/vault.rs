@@ -290,9 +290,7 @@ impl VaultController {
         assert!(req.bytes > 0 && req.bytes <= self.cfg.max_access_bytes);
         let addr = match req.kind {
             AccessKind::PermutableWrite => {
-                let region = self
-                    .perm
-                    .expect("permutable write arrived with no region configured");
+                let region = self.perm.expect("permutable write arrived with no region configured");
                 assert_eq!(
                     req.bytes, region.object_bytes,
                     "permutable writes must carry exactly one object"
@@ -343,9 +341,12 @@ impl VaultController {
 
     /// FR-FCFS within one queue: the oldest open-row hit inside the
     /// scheduling window, else the oldest request for that bank.
-    fn pick_from(queue: &VecDeque<Pending>, window: usize, bank: u32, open: Option<u64>)
-        -> Option<usize>
-    {
+    fn pick_from(
+        queue: &VecDeque<Pending>,
+        window: usize,
+        bank: u32,
+        open: Option<u64>,
+    ) -> Option<usize> {
         let window = window.min(queue.len());
         let mut oldest = None;
         for (i, p) in queue.iter().enumerate().take(window) {
@@ -408,9 +409,7 @@ impl VaultController {
             Some(_) => {
                 self.stats.row_conflicts += 1;
                 self.stats.activations += 1;
-                let pre_at = start
-                    .max(bank.last_act + t.t_ras)
-                    .max(bank.last_write_end + t.t_wr);
+                let pre_at = start.max(bank.last_act + t.t_ras).max(bank.last_write_end + t.t_wr);
                 let act_at = pre_at + t.t_rp;
                 bank.last_act = act_at;
                 bank.open_row = Some(p.row);
@@ -432,10 +431,8 @@ impl VaultController {
         }
         self.stats.busy_time += transfer;
         let finish = data_end + self.cfg.ctrl_overhead;
-        self.completions.schedule(
-            finish,
-            DramCompletion { id: p.id, addr: p.addr, kind: p.kind, finish },
-        );
+        self.completions
+            .schedule(finish, DramCompletion { id: p.id, addr: p.addr, kind: p.kind, finish });
     }
 
     /// Advances the controller to `now` and returns completions due by then.
@@ -666,8 +663,12 @@ mod tests {
         let t = v.config().timing;
         let w_end = t.t_rcd + t.t_cas + v.config().transfer_time(16);
         let pre_at = (w_end + t.t_wr).max(t.t_ras);
-        let expect =
-            pre_at + t.t_rp + t.t_rcd + t.t_cas + v.config().transfer_time(16) + v.config().ctrl_overhead;
+        let expect = pre_at
+            + t.t_rp
+            + t.t_rcd
+            + t.t_cas
+            + v.config().transfer_time(16)
+            + v.config().ctrl_overhead;
         assert_eq!(done[1].finish, expect);
     }
 
@@ -683,10 +684,7 @@ mod tests {
         let done = drain(&mut v);
         let read_fin = done.iter().find(|c| c.id == 1000).unwrap().finish;
         let last = done.iter().map(|c| c.finish).max().unwrap();
-        assert!(
-            read_fin < last / 4,
-            "read served at {read_fin}, drain ends {last}: no priority"
-        );
+        assert!(read_fin < last / 4, "read served at {read_fin}, drain ends {last}: no priority");
     }
 
     #[test]

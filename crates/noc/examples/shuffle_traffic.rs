@@ -9,10 +9,17 @@ fn main() {
     let per = 4096u64;
     let mut meshes: Vec<Mesh> = (0..hmcs).map(|_| Mesh::new(MeshConfig::hmc_4x4())).collect();
     let mut links: HashMap<(u32, u32), SerDesLink> = HashMap::new();
-    for a in 0..hmcs { for b in 0..hmcs { if a != b { links.insert((a, b), SerDesLink::new(SerDesConfig::table3())); } } }
+    for a in 0..hmcs {
+        for b in 0..hmcs {
+            if a != b {
+                links.insert((a, b), SerDesLink::new(SerDesConfig::table3()));
+            }
+        }
+    }
     let ni = |slot: u32| [0u32, 3, 12, 15][(slot % 4) as usize];
     let mut last_arr = 0u64;
-    let mut sum_delta = 0u64; let mut n = 0u64;
+    let mut sum_delta = 0u64;
+    let mut n = 0u64;
     for i in 0..per {
         for src in 0..(hmcs * vph) {
             let t = i * 3_000; // source issue pacing
@@ -27,9 +34,13 @@ fn main() {
                 meshes[dh as usize].send(ni(sh), dt, 16, t2)
             };
             last_arr = last_arr.max(arr);
-            sum_delta += arr - t; n += 1;
+            sum_delta += arr - t;
+            n += 1;
         }
     }
     println!("makespan={} ns  avg_delta={} ns", last_arr / 1000, sum_delta / n / 1000);
-    println!("serdes busiest = {} ns", links.values().map(|l| l.stats().busy_time).max().unwrap() / 1000);
+    println!(
+        "serdes busiest = {} ns",
+        links.values().map(|l| l.stats().busy_time).max().unwrap() / 1000
+    );
 }

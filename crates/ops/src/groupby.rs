@@ -74,11 +74,7 @@ impl GroupTable {
 
     /// Extracts the grouped aggregates, keyed and ordered by group key.
     pub fn into_groups(self) -> BTreeMap<u64, Aggregates> {
-        self.keys
-            .into_iter()
-            .zip(self.aggs)
-            .filter_map(|(k, a)| k.map(|k| (k, a)))
-            .collect()
+        self.keys.into_iter().zip(self.aggs).filter_map(|(k, a)| k.map(|k| (k, a))).collect()
     }
 }
 
@@ -198,8 +194,8 @@ impl Kernel for SortedAggKernel {
             let addr = self.base + (self.i as u64) * TUPLE_BYTES as u64;
             self.q.push(MicroOp::load(addr, TUPLE_BYTES));
             self.q.push(MicroOp::compute_dep(8));
-            let boundary = self.i + 1 == self.data.len()
-                || self.data[self.i + 1].key != self.data[self.i].key;
+            let boundary =
+                self.i + 1 == self.data.len() || self.data[self.i + 1].key != self.data[self.i].key;
             if boundary {
                 let out = self.out_base + self.groups * GROUP_ENTRY_BYTES as u64;
                 self.q.push(MicroOp::Store {
@@ -330,10 +326,8 @@ mod tests {
         let data = Arc::new(grouped_relation(128, 32, 9));
         let mut k = HashAggKernel::new(data.clone(), 0, 1 << 20, 7);
         let ops: Vec<MicroOp> = std::iter::from_fn(|| k.next_op()).collect();
-        let dep_loads = ops
-            .iter()
-            .filter(|o| matches!(o, MicroOp::Load { dep: Dep::OnPrevLoad, .. }))
-            .count();
+        let dep_loads =
+            ops.iter().filter(|o| matches!(o, MicroOp::Load { dep: Dep::OnPrevLoad, .. })).count();
         assert!(dep_loads >= 128, "at least one dependent table access per tuple");
         let stores = ops.iter().filter(|o| matches!(o, MicroOp::Store { .. })).count();
         assert_eq!(stores, 128, "one write-back per tuple");

@@ -57,8 +57,8 @@ impl PartitionScheme {
         match *self {
             PartitionScheme::LowBits { bits } => (key & ((1u64 << bits) - 1)) as u32,
             PartitionScheme::Range { parts, key_bound } => {
-                let b = ((key.min(key_bound - 1) as u128 * parts as u128)
-                    / key_bound as u128) as u32;
+                let b =
+                    ((key.min(key_bound - 1) as u128 * parts as u128) / key_bound as u128) as u32;
                 b.min(parts - 1)
             }
             PartitionScheme::HashBits { bits } => (mix64(key) & ((1u64 << bits) - 1)) as u32,

@@ -141,7 +141,17 @@ impl HashProbeKernel {
         out_base: u64,
         store_kind: StoreKind,
     ) -> Self {
-        Self { s, index, s_base, r_base, out_base, store_kind, i: 0, out_count: 0, q: OpQueue::new() }
+        Self {
+            s,
+            index,
+            s_base,
+            r_base,
+            out_base,
+            store_kind,
+            i: 0,
+            out_count: 0,
+            q: OpQueue::new(),
+        }
     }
 }
 
@@ -213,7 +223,18 @@ impl MergeJoinKernel {
         out_base: u64,
         store_kind: StoreKind,
     ) -> Self {
-        Self { r, s, r_base, s_base, out_base, store_kind, i: 0, j: 0, out_count: 0, q: OpQueue::new() }
+        Self {
+            r,
+            s,
+            r_base,
+            s_base,
+            out_base,
+            store_kind,
+            i: 0,
+            j: 0,
+            out_count: 0,
+            q: OpQueue::new(),
+        }
     }
 }
 
@@ -311,9 +332,7 @@ impl Kernel for SimdMergeJoinKernel {
             // Replay up to 8 merge steps.
             let (i0, j0) = (self.i, self.j);
             let mut matches = 0u32;
-            while self.i - i0 + (self.j - j0) < 8
-                && self.i < self.r.len()
-                && self.j < self.s.len()
+            while self.i - i0 + (self.j - j0) < 8 && self.i < self.r.len() && self.j < self.s.len()
             {
                 let (rk, sk) = (self.r[self.i].key, self.s[self.j].key);
                 if rk < sk {
@@ -403,19 +422,11 @@ mod tests {
     fn probe_kernel_emits_dependent_first_probe() {
         let (r, s) = foreign_key_pair(32, 64, 4);
         let idx = Arc::new(build_index(&r, 4));
-        let mut k = HashProbeKernel::new(
-            Arc::new(s.clone()),
-            idx,
-            0,
-            1 << 20,
-            1 << 21,
-            StoreKind::Cached,
-        );
+        let mut k =
+            HashProbeKernel::new(Arc::new(s.clone()), idx, 0, 1 << 20, 1 << 21, StoreKind::Cached);
         let ops: Vec<MicroOp> = std::iter::from_fn(|| k.next_op()).collect();
-        let dep_probes = ops
-            .iter()
-            .filter(|o| matches!(o, MicroOp::Load { dep: Dep::OnPrevLoad, .. }))
-            .count();
+        let dep_probes =
+            ops.iter().filter(|o| matches!(o, MicroOp::Load { dep: Dep::OnPrevLoad, .. })).count();
         assert!(dep_probes >= 64, "every probe step is a dependent access");
         let stores = ops.iter().filter(|o| matches!(o, MicroOp::Store { .. })).count();
         assert_eq!(stores, 64, "FK join outputs one row per S tuple");
@@ -445,8 +456,7 @@ mod tests {
         let (r, s) = foreign_key_pair(32, 64, 6);
         let rs = Arc::new(crate::reference::sorted(&r));
         let ss = Arc::new(crate::reference::sorted(&s));
-        let mut k =
-            MergeJoinKernel::new(rs, ss, 0, 1 << 20, 1 << 21, StoreKind::Streaming);
+        let mut k = MergeJoinKernel::new(rs, ss, 0, 1 << 20, 1 << 21, StoreKind::Streaming);
         let ops: Vec<MicroOp> = std::iter::from_fn(|| k.next_op()).collect();
         let stores = ops.iter().filter(|o| matches!(o, MicroOp::Store { .. })).count();
         assert_eq!(stores, 64);

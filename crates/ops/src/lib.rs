@@ -42,9 +42,10 @@ pub mod spark;
 mod opqueue;
 
 pub use agg::Aggregates;
-pub use opqueue::ChainKernel;
 pub use hash::{mix64, PartitionScheme};
+pub use opqueue::ChainKernel;
 pub use phases::{OperatorKind, PhaseInfo};
+pub use scan::ScanPredicate;
 
 use mondrian_workloads::Tuple;
 

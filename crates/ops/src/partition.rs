@@ -59,11 +59,7 @@ pub fn exclusive_prefix(counts: &[u64]) -> Vec<u64> {
 /// Computes, for each tuple of `data`, the exact destination *byte* address
 /// the conventional scatter would write, advancing `cursors` (byte
 /// addresses, one per destination) exactly like the real cursor array.
-pub fn scatter_addresses(
-    data: &[Tuple],
-    scheme: PartitionScheme,
-    cursors: &mut [u64],
-) -> Vec<u64> {
+pub fn scatter_addresses(data: &[Tuple], scheme: PartitionScheme, cursors: &mut [u64]) -> Vec<u64> {
     assert_eq!(cursors.len(), scheme.parts() as usize, "one cursor per destination");
     data.iter()
         .map(|t| {
@@ -508,8 +504,8 @@ mod tests {
         let addrs = scatter_addresses(&d, scheme, &mut cursors);
         assert_eq!(addrs.len(), 64);
         // Final cursors advanced by exactly count × 16.
-        for p in 0..4usize {
-            assert_eq!(cursors[p], p as u64 * 4096 + h.counts[p] * 16);
+        for (p, &cursor) in cursors.iter().enumerate() {
+            assert_eq!(cursor, p as u64 * 4096 + h.counts[p] * 16);
         }
         // Addresses within a destination are strictly increasing by 16.
         for p in 0..4u32 {
@@ -530,12 +526,8 @@ mod tests {
         let ops = drain(&mut k);
         // Per tuple: load, compute, load(dep), compute, store = 5 ops.
         assert_eq!(ops.len(), 40);
-        let dep_loads = ops
-            .iter()
-            .filter(|o| {
-                matches!(o, MicroOp::Load { dep: Dep::OnPrevLoad, .. })
-            })
-            .count();
+        let dep_loads =
+            ops.iter().filter(|o| matches!(o, MicroOp::Load { dep: Dep::OnPrevLoad, .. })).count();
         assert_eq!(dep_loads, 8, "every counter access is address-dependent");
     }
 

@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use mondrian_workloads::Tuple;
 
 use crate::agg::Aggregates;
+use crate::scan::ScanPredicate;
 
 /// A joined output row: `(key, r_payload, s_payload)`.
 pub type JoinRow = (u64, u64, u64);
@@ -42,6 +43,11 @@ pub fn grouped(rel: &[Tuple]) -> BTreeMap<u64, Aggregates> {
 /// Ground-truth scan: tuples whose key equals `needle`.
 pub fn scanned(rel: &[Tuple], needle: u64) -> Vec<Tuple> {
     rel.iter().copied().filter(|t| t.key == needle).collect()
+}
+
+/// Ground-truth predicated scan, preserving input order.
+pub fn filtered(rel: &[Tuple], pred: ScanPredicate) -> Vec<Tuple> {
+    rel.iter().copied().filter(|t| pred.matches(t)).collect()
 }
 
 /// Canonicalizes a join result for comparison.

@@ -10,9 +10,53 @@ use mondrian_workloads::{Tuple, TUPLE_BYTES};
 use crate::opqueue::OpQueue;
 use crate::Data;
 
+/// The predicate evaluated per tuple by the Scan operator.
+///
+/// The paper's evaluation scans for one searched value
+/// ([`ScanPredicate::KeyEquals`], §6); the other variants let Scan carry
+/// the Table 1 transformations that lower onto it (`Filter`, `Map`,
+/// `MapValues`, ...) when Scan runs as a pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanPredicate {
+    /// Tuples whose key equals the searched value (§6's scan).
+    KeyEquals(u64),
+    /// Tuples whose key is strictly below the bound (range filter).
+    KeyBelow(u64),
+    /// Tuples whose payload is **not** congruent to `remainder` modulo
+    /// `modulus` (a selective `Filter`). Congruence mod 0 is equality, so
+    /// `modulus = 0` keeps every tuple whose payload differs from
+    /// `remainder`.
+    PayloadModNot {
+        /// The modulus (0 degenerates to payload inequality).
+        modulus: u64,
+        /// The dropped remainder class.
+        remainder: u64,
+    },
+    /// Every tuple matches (full-relation pass, e.g. `Map`).
+    All,
+}
+
+impl ScanPredicate {
+    /// Evaluates the predicate on one tuple.
+    pub fn matches(&self, t: &Tuple) -> bool {
+        match *self {
+            ScanPredicate::KeyEquals(needle) => t.key == needle,
+            ScanPredicate::KeyBelow(bound) => t.key < bound,
+            ScanPredicate::PayloadModNot { modulus: 0, remainder } => t.payload != remainder,
+            ScanPredicate::PayloadModNot { modulus, remainder } => t.payload % modulus != remainder,
+            ScanPredicate::All => true,
+        }
+    }
+}
+
 /// Functional scan: all tuples whose key equals `needle`.
 pub fn scan_matches(data: &[Tuple], needle: u64) -> Vec<Tuple> {
-    data.iter().copied().filter(|t| t.key == needle).collect()
+    scan_filter(data, ScanPredicate::KeyEquals(needle))
+}
+
+/// Functional scan under an arbitrary [`ScanPredicate`].
+pub fn scan_filter(data: &[Tuple], pred: ScanPredicate) -> Vec<Tuple> {
+    data.iter().copied().filter(|t| pred.matches(t)).collect()
 }
 
 /// Scalar scan kernel (CPU and NMP baselines): one 16 B load plus ~5
@@ -21,7 +65,7 @@ pub struct ScalarScanKernel {
     data: Data,
     base: u64,
     out_base: u64,
-    needle: u64,
+    pred: ScanPredicate,
     store_kind: StoreKind,
     i: usize,
     matches: u64,
@@ -29,10 +73,16 @@ pub struct ScalarScanKernel {
 }
 
 impl ScalarScanKernel {
-    /// Scans `data` (resident at `base`) for `needle`, writing matches to
-    /// `out_base`.
-    pub fn new(data: Data, base: u64, out_base: u64, needle: u64, store_kind: StoreKind) -> Self {
-        Self { data, base, out_base, needle, store_kind, i: 0, matches: 0, q: OpQueue::new() }
+    /// Scans `data` (resident at `base`) for tuples matching `pred`,
+    /// writing matches to `out_base`.
+    pub fn new(
+        data: Data,
+        base: u64,
+        out_base: u64,
+        pred: ScanPredicate,
+        store_kind: StoreKind,
+    ) -> Self {
+        Self { data, base, out_base, pred, store_kind, i: 0, matches: 0, q: OpQueue::new() }
     }
 }
 
@@ -46,9 +96,13 @@ impl Kernel for ScalarScanKernel {
             let addr = self.base + (self.i as u64) * TUPLE_BYTES as u64;
             self.q.push(MicroOp::load(addr, TUPLE_BYTES));
             self.q.push(MicroOp::compute_dep(5));
-            if t.key == self.needle {
+            if self.pred.matches(&t) {
                 let out = self.out_base + self.matches * TUPLE_BYTES as u64;
-                self.q.push(MicroOp::Store { addr: out, bytes: TUPLE_BYTES, kind: self.store_kind });
+                self.q.push(MicroOp::Store {
+                    addr: out,
+                    bytes: TUPLE_BYTES,
+                    kind: self.store_kind,
+                });
                 self.matches += 1;
             }
             self.i += 1;
@@ -67,7 +121,7 @@ pub struct SimdScanKernel {
     data: Data,
     base: u64,
     out_base: u64,
-    needle: u64,
+    pred: ScanPredicate,
     i: usize,
     matches: u64,
     configured: bool,
@@ -75,9 +129,9 @@ pub struct SimdScanKernel {
 }
 
 impl SimdScanKernel {
-    /// Streaming scan of `data` at `base` for `needle`.
-    pub fn new(data: Data, base: u64, out_base: u64, needle: u64) -> Self {
-        Self { data, base, out_base, needle, i: 0, matches: 0, configured: false, q: OpQueue::new() }
+    /// Streaming scan of `data` at `base` for tuples matching `pred`.
+    pub fn new(data: Data, base: u64, out_base: u64, pred: ScanPredicate) -> Self {
+        Self { data, base, out_base, pred, i: 0, matches: 0, configured: false, q: OpQueue::new() }
     }
 }
 
@@ -109,7 +163,7 @@ impl Kernel for SimdScanKernel {
             }
             self.q.push(MicroOp::Simd { dep: Dep::OnPrevLoad });
             let hits =
-                self.data[self.i..self.i + group].iter().filter(|t| t.key == self.needle).count();
+                self.data[self.i..self.i + group].iter().filter(|t| self.pred.matches(t)).count();
             if hits > 0 {
                 let out = self.out_base + self.matches * TUPLE_BYTES as u64;
                 self.q.push(MicroOp::Store {
@@ -147,10 +201,35 @@ mod tests {
     }
 
     #[test]
+    fn predicates_partition_the_relation() {
+        let data: Vec<Tuple> = (0..100).map(|i| Tuple::new(i, i * 3)).collect();
+        assert_eq!(scan_filter(&data, ScanPredicate::All).len(), 100);
+        assert_eq!(scan_filter(&data, ScanPredicate::KeyBelow(10)).len(), 10);
+        let kept = scan_filter(&data, ScanPredicate::PayloadModNot { modulus: 3, remainder: 0 });
+        assert!(kept.is_empty(), "all payloads are multiples of 3");
+        let dropped_none =
+            scan_filter(&data, ScanPredicate::PayloadModNot { modulus: 3, remainder: 1 });
+        assert_eq!(dropped_none.len(), 100);
+        // Congruence mod 0 is equality: drops exactly the one payload == 6.
+        let mod_zero =
+            scan_filter(&data, ScanPredicate::PayloadModNot { modulus: 0, remainder: 6 });
+        assert_eq!(mod_zero.len(), 99);
+        assert!(mod_zero.iter().all(|t| t.payload != 6));
+        // Order is preserved.
+        let below = scan_filter(&data, ScanPredicate::KeyBelow(50));
+        assert!(below.windows(2).all(|w| w[0].key < w[1].key));
+    }
+
+    #[test]
     fn scalar_kernel_emits_one_load_per_tuple() {
         let data: Arc<Vec<Tuple>> = Arc::new((0..32).map(|i| Tuple::new(i, i)).collect());
-        let mut k =
-            ScalarScanKernel::new(data.clone(), 0, 1 << 20, 5, StoreKind::Cached);
+        let mut k = ScalarScanKernel::new(
+            data.clone(),
+            0,
+            1 << 20,
+            ScanPredicate::KeyEquals(5),
+            StoreKind::Cached,
+        );
         let ops = collect_ops(&mut k);
         let loads = ops.iter().filter(|o| matches!(o, MicroOp::Load { .. })).count();
         let stores = ops.iter().filter(|o| matches!(o, MicroOp::Store { .. })).count();
@@ -170,7 +249,7 @@ mod tests {
     #[test]
     fn simd_kernel_uses_one_op_per_8_tuples() {
         let data: Arc<Vec<Tuple>> = Arc::new((0..64).map(|i| Tuple::new(i, i)).collect());
-        let mut k = SimdScanKernel::new(data.clone(), 4096, 1 << 20, 3);
+        let mut k = SimdScanKernel::new(data.clone(), 4096, 1 << 20, ScanPredicate::KeyEquals(3));
         let ops = collect_ops(&mut k);
         let simds = ops.iter().filter(|o| matches!(o, MicroOp::Simd { .. })).count();
         assert_eq!(simds, 8, "64 tuples / 8 lanes");
@@ -180,7 +259,7 @@ mod tests {
     #[test]
     fn simd_kernel_handles_ragged_tail() {
         let data: Arc<Vec<Tuple>> = Arc::new((0..13).map(|i| Tuple::new(i, i)).collect());
-        let mut k = SimdScanKernel::new(data, 0, 1 << 20, 99);
+        let mut k = SimdScanKernel::new(data, 0, 1 << 20, ScanPredicate::KeyEquals(99));
         let ops = collect_ops(&mut k);
         let pops: Vec<u32> = ops
             .iter()

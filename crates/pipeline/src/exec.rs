@@ -1,0 +1,210 @@
+//! The pipeline executor: lowers a stage chain onto the simulated engine,
+//! threading each stage's actual output relation into the next stage.
+
+use mondrian_core::{ExperimentBuilder, KeyDist, SystemConfig, SystemKind};
+use mondrian_workloads::{uniform_relation, zipfian_relation, Tuple};
+
+use crate::report::{PipelineReport, StageOutcome};
+use crate::stage::{BuildSide, StageSpec};
+
+/// A multi-stage analytic query: a chain of Table 1 transformations, each
+/// lowered onto one of the four basic operators. Join stages may reference
+/// the output of any earlier stage as their build side, making the plan a
+/// DAG rather than a pure chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pipeline {
+    stages: Vec<StageSpec>,
+}
+
+impl Pipeline {
+    /// Builds a pipeline from explicit stage specifications.
+    pub fn new(stages: Vec<StageSpec>) -> Self {
+        Self { stages }
+    }
+
+    /// Builds a pipeline from bare Spark transformations using each one's
+    /// default lowering parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending transformation's name if it has no standalone
+    /// lowering (`Union`, `Cogroup`, `FlatMap`, `Reduce`).
+    pub fn from_spark_ops(ops: &[mondrian_ops::spark::SparkOp]) -> Result<Self, String> {
+        let stages = ops
+            .iter()
+            .map(|&op| {
+                StageSpec::default_for(op)
+                    .ok_or_else(|| format!("{op:?} has no standalone lowering"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::new(stages))
+    }
+
+    /// The stage chain.
+    pub fn stages(&self) -> &[StageSpec] {
+        &self.stages
+    }
+
+    /// Validates the plan shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem: an empty
+    /// plan, or a join whose build side references itself or a later
+    /// stage.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.stages.is_empty() {
+            return Err("pipeline has no stages".into());
+        }
+        for (i, spec) in self.stages.iter().enumerate() {
+            if let StageSpec::Join { build: BuildSide::Stage(j) } = spec {
+                if *j >= i {
+                    return Err(format!(
+                        "stage {i} (join) references stage {j}, which is not an earlier stage"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the pipeline under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is invalid (see [`Pipeline::validate`]) or the
+    /// underlying experiment hits an inconsistent configuration.
+    pub fn run(&self, cfg: &PipelineConfig) -> PipelineReport {
+        self.validate().expect("invalid pipeline");
+        let source = cfg.source_relation();
+        let mut current = source.clone();
+        // Projected output of every completed stage, for DAG build-side
+        // references.
+        let mut outputs: Vec<Vec<Tuple>> = Vec::new();
+        let mut stages: Vec<StageOutcome> = Vec::new();
+        for spec in &self.stages {
+            let mut builder = ExperimentBuilder::new(spec.basic_operator())
+                .config(cfg.system_config())
+                .input(current.clone());
+            if let Some(pred) = spec.scan_predicate() {
+                builder = builder.scan_predicate(pred);
+            }
+            let build: Option<&Vec<Tuple>> = match spec {
+                StageSpec::Join { build: BuildSide::Stage(j) } => Some(&outputs[*j]),
+                _ => None,
+            };
+            if let Some(r) = build {
+                builder = builder.join_build(r.clone());
+            }
+            let report = builder.run();
+            let projected = spec.project_output(&report.output);
+            let expected = spec.reference_output(&current, build.map(|v| &v[..]), cfg.seed);
+            let reference_ok = projected == expected;
+            stages.push(StageOutcome {
+                spec: *spec,
+                input_rows: current.len(),
+                output_rows: projected.len(),
+                reference_ok,
+                report,
+            });
+            outputs.push(projected.clone());
+            current = projected;
+        }
+        PipelineReport { system: cfg.system, source_rows: source.len(), stages, output: current }
+    }
+}
+
+/// Workload-and-machine configuration of one pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// The evaluated system.
+    pub system: SystemKind,
+    /// Minimal test topology (1 HMC × 4 vaults) instead of the paper's.
+    pub tiny: bool,
+    /// Source-relation tuples per vault.
+    pub tuples_per_vault: usize,
+    /// RNG seed for the source relation and derived dimensions.
+    pub seed: u64,
+    /// Source key distribution.
+    pub dist: KeyDist,
+    /// Source key upper bound; defaults to a quarter of the relation size
+    /// (the paper's average group size of four, §6).
+    pub key_bound: Option<u64>,
+}
+
+impl PipelineConfig {
+    /// The scaled paper topology on `system`.
+    pub fn new(system: SystemKind) -> Self {
+        Self {
+            system,
+            tiny: false,
+            tuples_per_vault: 1024,
+            seed: 0x6d6f6e64, // "mond"
+            dist: KeyDist::Uniform,
+            key_bound: None,
+        }
+    }
+
+    /// The minimal test topology on `system`.
+    pub fn tiny(system: SystemKind) -> Self {
+        Self { tiny: true, tuples_per_vault: 256, ..Self::new(system) }
+    }
+
+    /// The machine configuration of this run.
+    pub fn system_config(&self) -> SystemConfig {
+        let mut cfg = if self.tiny {
+            SystemConfig::tiny(self.system)
+        } else {
+            SystemConfig::scaled(self.system)
+        };
+        cfg.tuples_per_vault = self.tuples_per_vault;
+        cfg.seed = self.seed;
+        cfg
+    }
+
+    /// Generates the pipeline's source relation.
+    pub fn source_relation(&self) -> Vec<Tuple> {
+        let cfg = self.system_config();
+        let total = self.tuples_per_vault * cfg.total_vaults() as usize;
+        let bound = self.key_bound.unwrap_or_else(|| (total as u64 / 4).max(1));
+        match self.dist {
+            KeyDist::Uniform => uniform_relation(total, bound, self.seed),
+            KeyDist::Zipf(theta) => zipfian_relation(total, bound, theta, self.seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mondrian_ops::spark::SparkOp;
+
+    #[test]
+    fn from_spark_ops_uses_default_lowerings() {
+        let p =
+            Pipeline::from_spark_ops(&[SparkOp::Filter, SparkOp::ReduceByKey, SparkOp::SortByKey])
+                .unwrap();
+        assert_eq!(p.stages().len(), 3);
+        assert!(p.validate().is_ok());
+        assert!(Pipeline::from_spark_ops(&[SparkOp::Union]).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        assert!(Pipeline::new(vec![]).validate().is_err());
+        let forward_ref = Pipeline::new(vec![StageSpec::Join { build: BuildSide::Stage(0) }]);
+        assert!(forward_ref.validate().is_err(), "join cannot reference itself");
+        let ok = Pipeline::new(vec![
+            StageSpec::CountByKey,
+            StageSpec::Join { build: BuildSide::Stage(0) },
+        ]);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn source_relation_is_deterministic() {
+        let cfg = PipelineConfig::tiny(SystemKind::Mondrian);
+        assert_eq!(cfg.source_relation(), cfg.source_relation());
+        assert_eq!(cfg.source_relation().len(), 256 * 4);
+    }
+}

@@ -1,0 +1,44 @@
+//! # mondrian-pipeline
+//!
+//! Multi-stage analytic queries on the Mondrian Data Engine.
+//!
+//! Table 1 of the paper maps the common Spark transformations onto four
+//! basic physical operators (Scan, Sort, Group-by, Join); the engine's
+//! experiment driver simulates one operator at a time. This crate closes
+//! the gap to real analytics: a [`Pipeline`] is a chain of declarative
+//! [`StageSpec`]s — `Filter → ReduceByKey → SortByKey`, say — and the
+//! executor lowers every stage onto its Table 1 operator, runs it on the
+//! simulated system, and threads the stage's **actual output relation**
+//! into the next stage. Join stages may take their build side from any
+//! earlier stage's output, so plans are DAGs, not just chains.
+//!
+//! Every stage is verified twice: the engine's own functional check
+//! against its reference implementations, and the pipeline's end-to-end
+//! check that the projected stage output matches the stage's pure
+//! functional semantics ([`StageSpec::reference_output`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mondrian_pipeline::{Pipeline, PipelineConfig, StageSpec};
+//! use mondrian_core::SystemKind;
+//!
+//! let pipeline = Pipeline::new(vec![
+//!     StageSpec::Filter { modulus: 10, remainder: 0 },
+//!     StageSpec::ReduceByKey,
+//!     StageSpec::SortByKey,
+//! ]);
+//! let report = pipeline.run(&PipelineConfig::tiny(SystemKind::Mondrian));
+//! assert!(report.verified());
+//! assert_eq!(report.stages.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod exec;
+mod report;
+mod stage;
+
+pub use exec::{Pipeline, PipelineConfig};
+pub use report::{PipelineReport, StageOutcome};
+pub use stage::{derive_dimension, BuildSide, StageSpec};

@@ -1,0 +1,110 @@
+//! Aggregated results of one pipeline run.
+
+use mondrian_core::{Report, SystemKind};
+use mondrian_ops::OperatorKind;
+use mondrian_sim::Time;
+
+use crate::stage::StageSpec;
+
+/// One executed stage: its specification plus the engine's full report.
+#[derive(Debug, Clone)]
+pub struct StageOutcome {
+    /// The stage specification.
+    pub spec: StageSpec,
+    /// Rows fed into the stage.
+    pub input_rows: usize,
+    /// Rows the stage produced (after projection).
+    pub output_rows: usize,
+    /// Whether the projected output matched the stage's pure reference
+    /// semantics.
+    pub reference_ok: bool,
+    /// The engine's per-operator report (phases, runtime, energy, output).
+    pub report: Report,
+}
+
+impl StageOutcome {
+    /// The basic operator that simulated this stage.
+    pub fn basic_operator(&self) -> OperatorKind {
+        self.spec.basic_operator()
+    }
+
+    /// Whether both the engine's internal verification and the pipeline's
+    /// reference check passed.
+    pub fn verified(&self) -> bool {
+        self.report.verified && self.reference_ok
+    }
+}
+
+/// Results of one whole-pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// The evaluated system.
+    pub system: SystemKind,
+    /// Rows of the generated source relation.
+    pub source_rows: usize,
+    /// Per-stage outcomes, in execution order.
+    pub stages: Vec<StageOutcome>,
+    /// The final output relation.
+    pub output: Vec<mondrian_workloads::Tuple>,
+}
+
+impl PipelineReport {
+    /// Whether every stage verified (engine check and reference check).
+    pub fn verified(&self) -> bool {
+        self.stages.iter().all(StageOutcome::verified)
+    }
+
+    /// End-to-end simulated runtime: the sum of stage runtimes (stages are
+    /// dependent, so they execute back to back).
+    pub fn runtime_ps(&self) -> Time {
+        self.stages.iter().map(|s| s.report.runtime_ps).sum()
+    }
+
+    /// Instructions retired across all stages.
+    pub fn instructions(&self) -> u64 {
+        self.stages.iter().map(|s| s.report.instructions).sum()
+    }
+
+    /// Total energy across all stages, in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.stages.iter().map(|s| s.report.energy.total_j()).sum()
+    }
+
+    /// Renders the per-stage summary table shown by the CLI and examples.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} — {} source rows, {} stages, {}\n",
+            self.system,
+            self.source_rows,
+            self.stages.len(),
+            if self.verified() { "verified" } else { "VERIFICATION FAILED" },
+        ));
+        out.push_str(&format!(
+            "  {:<18} {:>8} {:>10} {:>10} {:>12} {:>12}  {}\n",
+            "stage", "operator", "rows in", "rows out", "runtime µs", "energy µJ", "ok"
+        ));
+        for s in &self.stages {
+            out.push_str(&format!(
+                "  {:<18} {:>8} {:>10} {:>10} {:>12.3} {:>12.3}  {}\n",
+                s.spec.name(),
+                s.basic_operator().name(),
+                s.input_rows,
+                s.output_rows,
+                s.report.runtime_ps as f64 / 1e6,
+                s.report.energy.total_j() * 1e6,
+                if s.verified() { "yes" } else { "NO" },
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<18} {:>8} {:>10} {:>10} {:>12.3} {:>12.3}\n",
+            "total",
+            "",
+            self.source_rows,
+            self.output.len(),
+            self.runtime_ps() as f64 / 1e6,
+            self.energy_j() * 1e6,
+        ));
+        out
+    }
+}

@@ -1,0 +1,337 @@
+//! Declarative pipeline stages and their lowering onto the four basic
+//! operators (Table 1).
+//!
+//! A [`StageSpec`] is a Spark transformation plus the parameters the
+//! functional semantics need. Each stage knows three things:
+//!
+//! 1. which [`SparkOp`] it is and therefore (via Table 1) which basic
+//!    [`OperatorKind`] simulates it,
+//! 2. how to configure the simulated operator (the scan predicate, the
+//!    join build side), and
+//! 3. its **pure functional semantics** — used both to project the
+//!    engine's captured [`StageOutput`] into the relation handed to the
+//!    next stage, and to compute the reference output the projection is
+//!    verified against.
+
+use std::collections::BTreeMap;
+
+use mondrian_core::StageOutput;
+use mondrian_ops::reference::JoinRow;
+use mondrian_ops::spark::SparkOp;
+use mondrian_ops::{reference, Aggregates, OperatorKind, ScanPredicate};
+use mondrian_workloads::Tuple;
+
+/// Where a join stage's build-side relation R comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildSide {
+    /// A primary-key dimension derived from the probe side's distinct keys
+    /// (payloads are a seeded deterministic hash of the key).
+    Dimension,
+    /// The output relation of an earlier stage — a DAG edge, referenced by
+    /// zero-based stage index.
+    Stage(usize),
+}
+
+/// One declarative stage of an analytic pipeline.
+///
+/// Group-by-backed stages reduce each group's [`Aggregates`] to one
+/// payload: `group_by_key` and `count_by_key` keep the group **count**,
+/// `reduce_by_key` the wrapping **sum**, and `aggregate_by_key` the
+/// **max** — so downstream stages see a well-defined scalar relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageSpec {
+    /// `Filter`: keep tuples whose payload is not `remainder` mod
+    /// `modulus` (lowers to Scan).
+    Filter {
+        /// The modulus (must be non-zero).
+        modulus: u64,
+        /// The dropped remainder class.
+        remainder: u64,
+    },
+    /// `LookupKey`: keep tuples whose key equals `key` (lowers to Scan).
+    LookupKey {
+        /// The searched key.
+        key: u64,
+    },
+    /// `Map`: re-key every tuple to `key * key_mul + key_add` (wrapping;
+    /// lowers to Scan).
+    Map {
+        /// Key multiplier.
+        key_mul: u64,
+        /// Key addend.
+        key_add: u64,
+    },
+    /// `MapValues`: transform every payload to `payload * mul + add`
+    /// (wrapping; lowers to Scan).
+    MapValues {
+        /// Payload multiplier.
+        mul: u64,
+        /// Payload addend.
+        add: u64,
+    },
+    /// `GroupByKey`: one tuple per key, payload = group size (lowers to
+    /// Group-by).
+    GroupByKey,
+    /// `ReduceByKey` with `+`: one tuple per key, payload = wrapping sum
+    /// (lowers to Group-by).
+    ReduceByKey,
+    /// `CountByKey`: one tuple per key, payload = count (lowers to
+    /// Group-by).
+    CountByKey,
+    /// `AggregateByKey`: one tuple per key, payload = max (lowers to
+    /// Group-by).
+    AggregateByKey,
+    /// `SortByKey`: totally order the relation (lowers to Sort).
+    SortByKey,
+    /// `Join` against `build`: output one tuple per matched row, key kept,
+    /// payload = `r_payload + s_payload` wrapping (lowers to Join).
+    Join {
+        /// The build-side relation source.
+        build: BuildSide,
+    },
+}
+
+impl StageSpec {
+    /// The Spark transformation this stage encodes.
+    pub fn spark_op(&self) -> SparkOp {
+        match self {
+            StageSpec::Filter { .. } => SparkOp::Filter,
+            StageSpec::LookupKey { .. } => SparkOp::LookupKey,
+            StageSpec::Map { .. } => SparkOp::Map,
+            StageSpec::MapValues { .. } => SparkOp::MapValues,
+            StageSpec::GroupByKey => SparkOp::GroupByKey,
+            StageSpec::ReduceByKey => SparkOp::ReduceByKey,
+            StageSpec::CountByKey => SparkOp::CountByKey,
+            StageSpec::AggregateByKey => SparkOp::AggregateByKey,
+            StageSpec::SortByKey => SparkOp::SortByKey,
+            StageSpec::Join { .. } => SparkOp::Join,
+        }
+    }
+
+    /// The basic operator simulating this stage (Table 1).
+    pub fn basic_operator(&self) -> OperatorKind {
+        self.spark_op().basic_operator()
+    }
+
+    /// The stage's manifest identifier.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StageSpec::Filter { .. } => "filter",
+            StageSpec::LookupKey { .. } => "lookup_key",
+            StageSpec::Map { .. } => "map",
+            StageSpec::MapValues { .. } => "map_values",
+            StageSpec::GroupByKey => "group_by_key",
+            StageSpec::ReduceByKey => "reduce_by_key",
+            StageSpec::CountByKey => "count_by_key",
+            StageSpec::AggregateByKey => "aggregate_by_key",
+            StageSpec::SortByKey => "sort_by_key",
+            StageSpec::Join { .. } => "join",
+        }
+    }
+
+    /// The default lowering of a Table 1 transformation, if this subsystem
+    /// can run it standalone. `Union`, `Cogroup`, `FlatMap` and `Reduce`
+    /// return `None`: they need multiple inputs or produce non-relational
+    /// output.
+    pub fn default_for(op: SparkOp) -> Option<StageSpec> {
+        match op {
+            SparkOp::Filter => Some(StageSpec::Filter { modulus: 10, remainder: 0 }),
+            SparkOp::LookupKey => Some(StageSpec::LookupKey { key: 0 }),
+            SparkOp::Map => Some(StageSpec::Map { key_mul: 1, key_add: 1 }),
+            SparkOp::MapValues => Some(StageSpec::MapValues { mul: 3, add: 1 }),
+            SparkOp::GroupByKey => Some(StageSpec::GroupByKey),
+            SparkOp::ReduceByKey => Some(StageSpec::ReduceByKey),
+            SparkOp::CountByKey => Some(StageSpec::CountByKey),
+            SparkOp::AggregateByKey => Some(StageSpec::AggregateByKey),
+            SparkOp::SortByKey => Some(StageSpec::SortByKey),
+            SparkOp::Join => Some(StageSpec::Join { build: BuildSide::Dimension }),
+            SparkOp::Union | SparkOp::Cogroup | SparkOp::FlatMap | SparkOp::Reduce => None,
+        }
+    }
+
+    /// The predicate the simulated Scan evaluates for scan-backed stages.
+    pub fn scan_predicate(&self) -> Option<ScanPredicate> {
+        match *self {
+            StageSpec::Filter { modulus, remainder } => {
+                Some(ScanPredicate::PayloadModNot { modulus, remainder })
+            }
+            StageSpec::LookupKey { key } => Some(ScanPredicate::KeyEquals(key)),
+            StageSpec::Map { .. } | StageSpec::MapValues { .. } => Some(ScanPredicate::All),
+            _ => None,
+        }
+    }
+
+    /// The per-tuple transformation scan-backed stages apply on top of the
+    /// predicate (identity for all other stages).
+    fn transform(&self, t: Tuple) -> Tuple {
+        match *self {
+            StageSpec::Map { key_mul, key_add } => {
+                Tuple::new(t.key.wrapping_mul(key_mul).wrapping_add(key_add), t.payload)
+            }
+            StageSpec::MapValues { mul, add } => {
+                Tuple::new(t.key, t.payload.wrapping_mul(mul).wrapping_add(add))
+            }
+            _ => t,
+        }
+    }
+
+    /// Reduces one group's aggregates to this stage's output payload.
+    fn project_group(&self, a: &Aggregates) -> u64 {
+        match self {
+            StageSpec::GroupByKey | StageSpec::CountByKey => a.count,
+            StageSpec::ReduceByKey => a.sum,
+            StageSpec::AggregateByKey => a.max,
+            _ => unreachable!("not a group-by stage: {self:?}"),
+        }
+    }
+
+    /// Projects the engine's captured output into the tuple relation this
+    /// stage hands to its successor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` does not match the stage's operator family
+    /// (e.g. group output for a scan stage) — that would be an executor
+    /// bug, not a user error.
+    pub fn project_output(&self, output: &StageOutput) -> Vec<Tuple> {
+        match (self.basic_operator(), output) {
+            (OperatorKind::Scan, StageOutput::Tuples(v)) => {
+                v.iter().map(|&t| self.transform(t)).collect()
+            }
+            (OperatorKind::Sort, StageOutput::Tuples(v)) => v.clone(),
+            (OperatorKind::GroupBy, StageOutput::Groups(g)) => {
+                g.iter().map(|(&k, a)| Tuple::new(k, self.project_group(a))).collect()
+            }
+            (OperatorKind::Join, StageOutput::Rows(rows)) => {
+                rows.iter().map(|&(k, rp, sp)| Tuple::new(k, rp.wrapping_add(sp))).collect()
+            }
+            (op, out) => unreachable!("stage {self:?} ({op}) captured mismatched {out:?}"),
+        }
+    }
+
+    /// The stage's pure functional semantics: the expected output relation
+    /// for `input` (and `build` for joins), computed entirely with the
+    /// naive reference executors — no simulation machinery involved.
+    pub fn reference_output(
+        &self,
+        input: &[Tuple],
+        build: Option<&[Tuple]>,
+        seed: u64,
+    ) -> Vec<Tuple> {
+        match *self {
+            StageSpec::Filter { .. }
+            | StageSpec::LookupKey { .. }
+            | StageSpec::Map { .. }
+            | StageSpec::MapValues { .. } => {
+                let pred = self.scan_predicate().expect("scan stage has a predicate");
+                reference::filtered(input, pred).into_iter().map(|t| self.transform(t)).collect()
+            }
+            StageSpec::GroupByKey
+            | StageSpec::ReduceByKey
+            | StageSpec::CountByKey
+            | StageSpec::AggregateByKey => reference::grouped(input)
+                .iter()
+                .map(|(&k, a)| Tuple::new(k, self.project_group(a)))
+                .collect(),
+            StageSpec::SortByKey => reference::sorted(input),
+            StageSpec::Join { .. } => {
+                let dimension;
+                let r: &[Tuple] = match build {
+                    Some(r) => r,
+                    None => {
+                        dimension = derive_dimension(input, seed);
+                        &dimension
+                    }
+                };
+                let mut by_key: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+                for t in r {
+                    by_key.entry(t.key).or_default().push(t.payload);
+                }
+                let mut rows: Vec<JoinRow> = Vec::new();
+                for s in input {
+                    if let Some(payloads) = by_key.get(&s.key) {
+                        rows.extend(payloads.iter().map(|&rp| (s.key, rp, s.payload)));
+                    }
+                }
+                reference::canonical(rows)
+                    .into_iter()
+                    .map(|(k, rp, sp)| Tuple::new(k, rp.wrapping_add(sp)))
+                    .collect()
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for StageSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The primary-key dimension a [`BuildSide::Dimension`] join builds
+/// against: one tuple per distinct probe key, payload a seeded
+/// deterministic hash. Mirrors the engine's derivation exactly.
+pub fn derive_dimension(probe: &[Tuple], seed: u64) -> Vec<Tuple> {
+    let keys: std::collections::BTreeSet<u64> = probe.iter().map(|t| t.key).collect();
+    keys.into_iter().map(|k| Tuple::new(k, mondrian_ops::mix64(k ^ seed))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowering_covers_all_four_operators() {
+        use OperatorKind::*;
+        assert_eq!(StageSpec::Filter { modulus: 10, remainder: 0 }.basic_operator(), Scan);
+        assert_eq!(StageSpec::ReduceByKey.basic_operator(), GroupBy);
+        assert_eq!(StageSpec::SortByKey.basic_operator(), Sort);
+        assert_eq!(StageSpec::Join { build: BuildSide::Dimension }.basic_operator(), Join);
+    }
+
+    #[test]
+    fn default_lowering_matches_table1_support() {
+        let supported =
+            SparkOp::ALL.iter().filter(|&&op| StageSpec::default_for(op).is_some()).count();
+        assert_eq!(supported, 10, "10 of the 14 Table 1 ops run standalone");
+        for op in SparkOp::ALL {
+            if let Some(spec) = StageSpec::default_for(op) {
+                assert_eq!(spec.spark_op(), op, "lowering must round-trip the SparkOp");
+            }
+        }
+    }
+
+    #[test]
+    fn reference_semantics_match_spark_executors() {
+        let rel = vec![Tuple::new(1, 10), Tuple::new(2, 5), Tuple::new(1, 7)];
+        // Filter keeps payloads not ≡ 0 (mod 5): 10 and 5 drop out.
+        let f = StageSpec::Filter { modulus: 5, remainder: 0 };
+        assert_eq!(f.reference_output(&rel, None, 0), vec![Tuple::new(1, 7)]);
+        // ReduceByKey sums payloads per key.
+        let sums = StageSpec::ReduceByKey.reference_output(&rel, None, 0);
+        assert_eq!(sums, vec![Tuple::new(1, 17), Tuple::new(2, 5)]);
+        // CountByKey counts.
+        let counts = StageSpec::CountByKey.reference_output(&rel, None, 0);
+        assert_eq!(counts, vec![Tuple::new(1, 2), Tuple::new(2, 1)]);
+        // SortByKey totally orders.
+        let sorted = StageSpec::SortByKey.reference_output(&rel, None, 0);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        // Join against an explicit build side: every key-1 tuple matches.
+        let dim = vec![Tuple::new(1, 100), Tuple::new(3, 300)];
+        let joined =
+            StageSpec::Join { build: BuildSide::Stage(0) }.reference_output(&rel, Some(&dim), 0);
+        // Canonical row order sorts by (key, r_payload, s_payload).
+        assert_eq!(joined, vec![Tuple::new(1, 107), Tuple::new(1, 110)]);
+    }
+
+    #[test]
+    fn derived_dimension_is_deterministic_and_primary_key() {
+        let rel = vec![Tuple::new(4, 0), Tuple::new(1, 0), Tuple::new(4, 9)];
+        let a = derive_dimension(&rel, 7);
+        let b = derive_dimension(&rel, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2, "distinct keys only");
+        assert!(a.windows(2).all(|w| w[0].key < w[1].key));
+        assert_ne!(derive_dimension(&rel, 8), a, "seed changes payloads");
+    }
+}

@@ -1,0 +1,153 @@
+//! Integration tests for the pipeline subsystem: determinism, per-stage
+//! agreement with the `ops::reference` executors, and whole-pipeline
+//! verification on every evaluated system.
+
+use mondrian_core::{KeyDist, SystemKind};
+use mondrian_ops::{reference, ScanPredicate};
+use mondrian_pipeline::{BuildSide, Pipeline, PipelineConfig, StageSpec};
+use mondrian_workloads::Tuple;
+
+fn three_stage() -> Pipeline {
+    Pipeline::new(vec![
+        StageSpec::Filter { modulus: 10, remainder: 0 },
+        StageSpec::ReduceByKey,
+        StageSpec::SortByKey,
+    ])
+}
+
+#[test]
+fn pipeline_runs_are_deterministic_for_a_fixed_seed() {
+    let cfg = PipelineConfig::tiny(SystemKind::Mondrian);
+    let a = three_stage().run(&cfg);
+    let b = three_stage().run(&cfg);
+    assert_eq!(a.runtime_ps(), b.runtime_ps(), "same seed must give same cycles");
+    assert_eq!(a.instructions(), b.instructions());
+    assert_eq!(a.output, b.output, "same seed must give the same output relation");
+    for (sa, sb) in a.stages.iter().zip(&b.stages) {
+        assert_eq!(sa.report.runtime_ps, sb.report.runtime_ps);
+        assert_eq!(sa.output_rows, sb.output_rows);
+    }
+    // A different seed changes the data but not correctness.
+    let mut other = PipelineConfig::tiny(SystemKind::Mondrian);
+    other.seed = cfg.seed + 1;
+    let c = three_stage().run(&other);
+    assert!(c.verified());
+    assert_ne!(a.output, c.output);
+}
+
+/// Each stage's output relation must match what the naive `ops::reference`
+/// executors produce from the same input — computed here, independently of
+/// the pipeline's own verification.
+#[test]
+fn stage_outputs_match_reference_executors() {
+    let cfg = PipelineConfig::tiny(SystemKind::Mondrian);
+    let pipeline = Pipeline::new(vec![
+        StageSpec::Filter { modulus: 10, remainder: 0 },
+        StageSpec::CountByKey,
+        StageSpec::SortByKey,
+    ]);
+    let report = pipeline.run(&cfg);
+    assert!(report.verified());
+
+    // Stage 0 (Filter → Scan): reference::filtered on the source relation.
+    let source = cfg.source_relation();
+    let filtered =
+        reference::filtered(&source, ScanPredicate::PayloadModNot { modulus: 10, remainder: 0 });
+    let stage0 = &report.stages[0];
+    assert_eq!(stage0.output_rows, filtered.len());
+
+    // Stage 1 (CountByKey → Group-by): reference::grouped counts.
+    let expect_counts: Vec<Tuple> =
+        reference::grouped(&filtered).iter().map(|(&k, a)| Tuple::new(k, a.count)).collect();
+    assert_eq!(report.stages[1].output_rows, expect_counts.len());
+
+    // Stage 2 (SortByKey → Sort): reference::sorted of the counts, which is
+    // also the pipeline's final output.
+    let expect_sorted = reference::sorted(&expect_counts);
+    assert_eq!(report.output, expect_sorted);
+}
+
+#[test]
+fn three_stage_pipeline_verifies_on_every_system() {
+    for system in SystemKind::ALL {
+        let report = three_stage().run(&PipelineConfig::tiny(system));
+        assert!(report.verified(), "pipeline failed on {system}");
+        assert_eq!(report.stages.len(), 3);
+        assert!(report.runtime_ps() > 0);
+        assert!(report.instructions() > 0);
+        assert!(report.energy_j() > 0.0);
+        for stage in &report.stages {
+            assert!(stage.report.verified, "{} engine check failed on {system}", stage.spec);
+            assert!(stage.reference_ok, "{} reference check failed on {system}", stage.spec);
+        }
+    }
+}
+
+#[test]
+fn join_against_derived_dimension_verifies() {
+    for system in [SystemKind::Mondrian, SystemKind::Cpu, SystemKind::NmpRand] {
+        let pipeline = Pipeline::new(vec![
+            StageSpec::Filter { modulus: 4, remainder: 0 },
+            StageSpec::Join { build: BuildSide::Dimension },
+            StageSpec::AggregateByKey,
+        ]);
+        let report = pipeline.run(&PipelineConfig::tiny(system));
+        assert!(report.verified(), "dimension join failed on {system}");
+        // A PK dimension over the probe keys matches every probe tuple
+        // exactly once.
+        assert_eq!(report.stages[1].output_rows, report.stages[1].input_rows);
+    }
+}
+
+#[test]
+fn join_build_side_can_reference_an_earlier_stage() {
+    // count_by_key shrinks the relation to one tuple per key; joining the
+    // original filtered relation against it annotates every tuple with its
+    // group size — a genuinely DAG-shaped plan.
+    let pipeline = Pipeline::new(vec![
+        StageSpec::Filter { modulus: 2, remainder: 0 },
+        StageSpec::CountByKey,
+        StageSpec::Join { build: BuildSide::Stage(1) },
+    ]);
+    let report = pipeline.run(&PipelineConfig::tiny(SystemKind::Mondrian));
+    assert!(report.verified());
+    // Stage 2's probe side is stage 1's output (the counts), joined against
+    // itself-as-build: every count tuple matches exactly once.
+    assert_eq!(report.stages[2].output_rows, report.stages[2].input_rows);
+}
+
+#[test]
+fn zipfian_sources_still_verify() {
+    let mut cfg = PipelineConfig::tiny(SystemKind::Mondrian);
+    cfg.dist = KeyDist::Zipf(0.9);
+    let report = three_stage().run(&cfg);
+    assert!(report.verified());
+}
+
+#[test]
+fn scan_only_pipeline_preserves_row_counts() {
+    let cfg = PipelineConfig::tiny(SystemKind::Nmp);
+    let pipeline = Pipeline::new(vec![
+        StageSpec::Map { key_mul: 1, key_add: 1 },
+        StageSpec::MapValues { mul: 3, add: 1 },
+    ]);
+    let report = pipeline.run(&cfg);
+    assert!(report.verified());
+    let n = cfg.source_relation().len();
+    assert_eq!(report.output.len(), n, "map stages are 1:1");
+    // Map re-keyed everything: keys shifted by one.
+    let source = cfg.source_relation();
+    assert_eq!(report.stages[0].output_rows, n);
+    assert!(report.stages.iter().all(|s| s.basic_operator() == mondrian_ops::OperatorKind::Scan));
+    assert!(source.iter().map(|t| t.key).min() < report.output.iter().map(|t| t.key).min());
+}
+
+#[test]
+fn summary_table_mentions_every_stage() {
+    let report = three_stage().run(&PipelineConfig::tiny(SystemKind::Mondrian));
+    let table = report.summary_table();
+    for stage in &report.stages {
+        assert!(table.contains(stage.spec.name()), "missing {}", stage.spec.name());
+    }
+    assert!(table.contains("verified"));
+}

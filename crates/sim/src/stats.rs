@@ -117,11 +117,7 @@ impl Stats {
 
     /// Sums every statistic whose key starts with `prefix`.
     pub fn sum_by_prefix(&self, prefix: &str) -> f64 {
-        self.entries
-            .iter()
-            .filter(|(k, _)| k.starts_with(prefix))
-            .map(|(_, s)| s.as_f64())
-            .sum()
+        self.entries.iter().filter(|(k, _)| k.starts_with(prefix)).map(|(_, s)| s.as_f64()).sum()
     }
 
     /// Iterates over `(key, stat)` pairs in key order.

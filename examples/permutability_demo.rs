@@ -46,10 +46,7 @@ fn main() {
     });
     for id in 0..sources * per_source {
         vault
-            .enqueue(
-                DramRequest { id, addr: 0, bytes: 16, kind: AccessKind::PermutableWrite },
-                0,
-            )
+            .enqueue(DramRequest { id, addr: 0, bytes: 16, kind: AccessKind::PermutableWrite }, 0)
             .expect("permutable write");
     }
     let done = drain(&mut vault);

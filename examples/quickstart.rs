@@ -33,10 +33,7 @@ fn main() {
 
     let (cpu, mondrian) = (&reports[0], &reports[1]);
     println!("Mondrian vs CPU:");
-    println!(
-        "  speedup     {:>6.1}x",
-        cpu.runtime_ps as f64 / mondrian.runtime_ps as f64
-    );
+    println!("  speedup     {:>6.1}x", cpu.runtime_ps as f64 / mondrian.runtime_ps as f64);
     println!(
         "  partitioning {:>5.1}x",
         cpu.partition_time() as f64 / mondrian.partition_time() as f64

@@ -61,5 +61,8 @@ fn main() {
     println!("Sort with 0.4x-sized permutable buffers:");
     println!("  shuffle retries taken: {}", retried.shuffle_retries);
     println!("  still verified:        {}", retried.verified);
-    println!("  total runtime:         {:.3} µs (includes the wasted round)", retried.runtime_ps as f64 / 1e6);
+    println!(
+        "  total runtime:         {:.3} µs (includes the wasted round)",
+        retried.runtime_ps as f64 / 1e6
+    );
 }

@@ -1,67 +1,51 @@
 //! A Spark-style analytics pipeline on the Mondrian Data Engine.
 //!
 //! Table 1 of the paper maps common Spark transformations onto the four
-//! basic operators. This example runs a small pipeline functionally
-//! (Filter → MapValues → AggregateByKey) and then executes the dominant
-//! physical operator of each stage on the simulated engine, reporting where
-//! the time goes.
+//! basic operators. This example builds a three-stage pipeline
+//! (Filter → MapValues → AggregateByKey) with the pipeline subsystem and
+//! runs it end to end on two systems: every stage executes on the
+//! simulated machine, its actual output relation feeds the next stage,
+//! and each stage is verified against the naive reference executors.
+//!
+//! The same pipeline is expressible declaratively — see
+//! `examples/manifests/spark_pipeline.toml` and the `mondrian` CLI.
 //!
 //! ```text
 //! cargo run --release --example spark_pipeline
 //! ```
 
-use mondrian::engine::{ExperimentBuilder, SystemKind};
-use mondrian::ops::spark::{self, SparkOp};
-use mondrian::workloads::grouped_relation;
+use mondrian::engine::SystemKind;
+use mondrian::pipeline::{Pipeline, PipelineConfig, StageSpec};
 
 fn main() {
-    // Functional pipeline on real data.
-    let sales = grouped_relation(100_000, 2_500, 7); // ~40 tuples per key
-    println!("input: {} tuples, {} distinct keys", sales.len(), 2_500);
+    // Sales tuples: keys are item ids, payloads are amounts. Drop the
+    // amounts ending in 0, re-scale the survivors, aggregate per item
+    // (AggregateByKey keeps each group's maximum).
+    let pipeline = Pipeline::new(vec![
+        StageSpec::Filter { modulus: 10, remainder: 0 },
+        StageSpec::MapValues { mul: 95, add: 0 },
+        StageSpec::AggregateByKey,
+    ]);
 
-    let recent = spark::filter(&sales, |t| t.payload % 10 != 0);
-    let discounted = spark::map_values(&recent, |v| v * 95 / 100);
-    let aggregated = spark::aggregate_by_key(&discounted);
-    println!(
-        "filter → map_values → aggregate_by_key: {} tuples → {} groups",
-        recent.len(),
-        aggregated.len()
-    );
-    let (hot_key, hot) = aggregated
-        .iter()
-        .max_by_key(|(_, a)| a.count)
-        .expect("non-empty aggregation");
-    println!(
-        "hottest key {hot_key}: count={} sum={} min={} max={} avg={:.1}\n",
-        hot.count,
-        hot.sum,
-        hot.min,
-        hot.max,
-        hot.avg()
-    );
-
-    // Each stage reduces to a basic operator (Table 1); time the dominant
-    // ones on the engine.
     println!("stage → basic operator (Table 1):");
-    for op in [SparkOp::Filter, SparkOp::MapValues, SparkOp::AggregateByKey] {
-        println!("  {:?} → {}", op, op.basic_operator());
+    for stage in pipeline.stages() {
+        println!("  {:<12} {:?} → {}", stage.name(), stage.spark_op(), stage.basic_operator());
     }
     println!();
 
-    for op in [SparkOp::Filter, SparkOp::AggregateByKey] {
-        let basic = op.basic_operator();
-        let report = ExperimentBuilder::new(basic)
-            .system(SystemKind::Mondrian)
-            .tuples_per_vault(1024)
-            .run();
-        assert!(report.verified);
-        println!(
-            "{:?} (runs as {}): {:.3} µs on Mondrian ({} phases) — {}",
-            op,
-            basic,
-            report.runtime_ps as f64 / 1e6,
-            report.phases.len(),
-            report.summary
-        );
+    let mut mondrian_output = Vec::new();
+    for system in [SystemKind::Mondrian, SystemKind::Cpu] {
+        let mut cfg = PipelineConfig::new(system);
+        cfg.tuples_per_vault = 1024;
+        let report = pipeline.run(&cfg);
+        assert!(report.verified(), "pipeline failed verification on {system}");
+        println!("{}", report.summary_table());
+        if system == SystemKind::Mondrian {
+            mondrian_output = report.output;
+        }
     }
+
+    // The hottest item of the final aggregation (payload = max amount).
+    let hot = mondrian_output.iter().max_by_key(|t| t.payload).expect("non-empty output");
+    println!("hottest item {}: max re-scaled amount {}", hot.key, hot.payload);
 }

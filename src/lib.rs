@@ -12,6 +12,9 @@
 //!   stream buffers) and the experiment runner,
 //! * [`ops`] — the four basic data operators (Scan, Sort, Group-by, Join) in
 //!   both their CPU-optimized hash-based and NMP-friendly sort-based variants,
+//! * [`pipeline`] — multi-stage analytic queries: Spark transformation
+//!   chains lowered onto the basic operators and executed stage by stage
+//!   on any simulated system,
 //! * [`workloads`] — tuple dataset generators,
 //! * [`energy`] — the component-level energy model,
 //! * plus the hardware substrates: [`sim`], [`mem`], [`noc`], [`cache`],
@@ -38,5 +41,6 @@ pub use mondrian_energy as energy;
 pub use mondrian_mem as mem;
 pub use mondrian_noc as noc;
 pub use mondrian_ops as ops;
+pub use mondrian_pipeline as pipeline;
 pub use mondrian_sim as sim;
 pub use mondrian_workloads as workloads;
