@@ -1,10 +1,24 @@
 //! Campaign execution: run every resolved configuration of a manifest and
 //! render the results as a deterministic JSON artifact plus a human
 //! summary.
+//!
+//! Two memoization layers keep sweeps from re-simulating identical work:
+//!
+//! * **Full-run memo** — two runs whose *effective* parameters are equal
+//!   (e.g. an underprovisioning sweep on a system that never uses
+//!   permutable regions) share one simulation; the later run clones the
+//!   earlier report and is marked `memoized` in the artifact.
+//! * **Prefix memo** — the pure per-stage reference outputs are keyed by
+//!   `(plan, source, stage prefix)` in a [`ExecCache`] shared across the
+//!   whole campaign, so sweeping one pipeline over many systems computes
+//!   each shared stage-prefix's semantics once.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
-use mondrian_pipeline::{BuildSide, PipelineReport, StageSpec};
+use mondrian_core::SystemKind;
+use mondrian_pipeline::{
+    BuildSide, ExecCache, PipelineReport, Stage, StageInput, StageSpec, WaveReport,
+};
 
 use crate::manifest::{Manifest, RunSpec};
 use crate::value::Value;
@@ -16,6 +30,9 @@ pub struct CampaignRun {
     pub spec: RunSpec,
     /// The pipeline's full report.
     pub report: PipelineReport,
+    /// Whether the report was cloned from an effectively identical earlier
+    /// run instead of re-simulated.
+    pub memoized: bool,
 }
 
 /// Results of a whole campaign.
@@ -25,20 +42,54 @@ pub struct Campaign {
     pub manifest: Manifest,
     /// Every run, in the manifest's deterministic order.
     pub runs: Vec<CampaignRun>,
+    /// Runs served from the full-run memo.
+    pub memo_hits: usize,
+    /// Per-stage reference outputs served from the prefix memo.
+    pub reference_hits: u64,
+}
+
+/// The parameters that actually influence a run's simulation. Axes that
+/// cannot change the outcome are normalized away — underprovisioning only
+/// matters on systems with permutable regions — so sweeping them does not
+/// re-simulate.
+fn effective_key(spec: &RunSpec) -> (SystemKind, bool, usize, u64, Option<u64>, Option<u64>) {
+    let underprovision =
+        if spec.system.uses_permutability() { spec.underprovision.map(f64::to_bits) } else { None };
+    (
+        spec.system,
+        spec.tiny,
+        spec.tuples_per_vault,
+        spec.seed,
+        spec.theta.map(f64::to_bits),
+        underprovision,
+    )
 }
 
 /// Executes every run of `manifest`, invoking `progress` with each run's
 /// one-line outcome as it completes.
 pub fn run_campaign<F: FnMut(&CampaignRun)>(manifest: &Manifest, mut progress: F) -> Campaign {
     let pipeline = manifest.pipeline();
-    let mut runs = Vec::new();
+    let mut cache = ExecCache::default();
+    let mut seen: HashMap<_, usize> = HashMap::new();
+    let mut runs: Vec<CampaignRun> = Vec::new();
+    let mut memo_hits = 0;
     for spec in manifest.runs() {
-        let report = pipeline.run(&manifest.config_for(spec));
-        let run = CampaignRun { spec, report };
+        let key = effective_key(&spec);
+        let (report, memoized) = match seen.get(&key) {
+            Some(&idx) => {
+                memo_hits += 1;
+                (runs[idx].report.clone(), true)
+            }
+            None => {
+                seen.insert(key, runs.len());
+                (pipeline.run_cached(&manifest.config_for(spec), &mut cache), false)
+            }
+        };
+        let run = CampaignRun { spec, report, memoized };
         progress(&run);
         runs.push(run);
     }
-    Campaign { manifest: manifest.clone(), runs }
+    Campaign { manifest: manifest.clone(), runs, memo_hits, reference_hits: cache.reference_hits }
 }
 
 impl Campaign {
@@ -53,7 +104,7 @@ impl Campaign {
     pub fn to_json(&self) -> String {
         let mut root = Value::table();
         root.insert("campaign", Value::Str(self.manifest.name.clone()));
-        root.insert("schema_version", Value::Int(1));
+        root.insert("schema_version", Value::Int(2));
         root.insert(
             "systems",
             Value::Array(
@@ -64,11 +115,10 @@ impl Campaign {
             "topology",
             Value::Str(if self.manifest.tiny { "tiny" } else { "scaled" }.to_string()),
         );
-        root.insert(
-            "stages",
-            Value::Array(self.manifest.stages.iter().map(stage_spec_json).collect()),
-        );
+        root.insert("concurrency", Value::Str(self.manifest.concurrency.name().to_string()));
+        root.insert("stages", Value::Array(self.manifest.stages.iter().map(stage_json).collect()));
         root.insert("verified", Value::Bool(self.verified()));
+        root.insert("memo_hits", Value::Int(self.memo_hits as i64));
         root.insert("runs", Value::Array(self.runs.iter().map(run_json).collect()));
         root.to_json()
     }
@@ -81,11 +131,18 @@ impl Campaign {
             out.push('\n');
         }
         out.push_str(&format!(
-            "{} runs, {} stages each: {}\n",
+            "{} runs, {} stages each: {}",
             self.runs.len(),
             self.manifest.stages.len(),
             if self.verified() { "all verified" } else { "VERIFICATION FAILURES" },
         ));
+        if self.memo_hits > 0 || self.reference_hits > 0 {
+            out.push_str(&format!(
+                " ({} memoized runs, {} reference-prefix reuses)",
+                self.memo_hits, self.reference_hits,
+            ));
+        }
+        out.push('\n');
         out
     }
 }
@@ -93,23 +150,29 @@ impl Campaign {
 /// The one-line outcome of a run.
 pub fn run_line(run: &CampaignRun) -> String {
     format!(
-        "{:<16} tpv={:<6} seed={:<10} {:>12.3} µs {:>12.3} µJ  {} → {} rows  {}",
-        run.spec.system.name(),
-        run.spec.tuples_per_vault,
-        run.spec.seed,
-        run.report.runtime_ps() as f64 / 1e6,
+        "{} {:>12.3} µs {:>12.3} µJ  {} → {} rows  {}{}",
+        run.spec.label(),
+        run.report.makespan_ps() as f64 / 1e6,
         run.report.energy_j() * 1e6,
         run.report.source_rows,
         run.report.output.len(),
         if run.report.verified() { "ok" } else { "FAILED" },
+        if run.memoized { " (memo)" } else { "" },
     )
 }
 
-fn stage_spec_json(spec: &StageSpec) -> Value {
+fn stage_json(stage: &Stage) -> Value {
     let mut table = BTreeMap::new();
+    let spec = &stage.spec;
     table.insert("op".to_string(), Value::Str(spec.name().to_string()));
     table
         .insert("basic_operator".to_string(), Value::Str(spec.basic_operator().name().to_string()));
+    let input = match stage.input {
+        StageInput::Prev => Value::Str("prev".to_string()),
+        StageInput::Source => Value::Str("source".to_string()),
+        StageInput::Stage(j) => Value::Int(j as i64),
+    };
+    table.insert("input".to_string(), input);
     match *spec {
         StageSpec::Filter { modulus, remainder } => {
             table.insert("modulus".to_string(), Value::Int(modulus as i64));
@@ -142,17 +205,60 @@ fn stage_spec_json(spec: &StageSpec) -> Value {
     Value::Table(table)
 }
 
+fn wave_json(wave: &WaveReport) -> Value {
+    let mut table = Value::table();
+    table.insert("wave", Value::Int(wave.wave as i64));
+    table.insert("concurrent", Value::Bool(wave.concurrent));
+    table.insert("runtime_ps", Value::Int(wave.runtime_ps as i64));
+    table.insert("serial_runtime_ps", Value::Int(wave.serial_runtime_ps as i64));
+    table.insert(
+        "branches",
+        Value::Array(
+            wave.branches
+                .iter()
+                .map(|b| {
+                    let mut branch = Value::table();
+                    branch.insert("branch", Value::Int(b.branch as i64));
+                    branch.insert(
+                        "stages",
+                        Value::Array(b.stages.iter().map(|&s| Value::Int(s as i64)).collect()),
+                    );
+                    branch.insert("first_vault", Value::Int(b.first_vault as i64));
+                    branch.insert("vaults", Value::Int(b.vaults as i64));
+                    branch.insert("runtime_ps", Value::Int(b.runtime_ps as i64));
+                    branch.insert("critical", Value::Bool(b.critical));
+                    branch
+                })
+                .collect(),
+        ),
+    );
+    table
+}
+
 fn run_json(run: &CampaignRun) -> Value {
     let mut table = Value::table();
     table.insert("system", Value::Str(run.spec.system.name().to_string()));
+    table.insert("topology", Value::Str(if run.spec.tiny { "tiny" } else { "scaled" }.to_string()));
     table.insert("tuples_per_vault", Value::Int(run.spec.tuples_per_vault as i64));
     table.insert("seed", Value::Int(run.spec.seed as i64));
+    if let Some(theta) = run.spec.theta {
+        table.insert("zipf_theta", Value::Float(theta));
+    }
+    if let Some(u) = run.spec.underprovision {
+        table.insert("underprovision", Value::Float(u));
+    }
+    table.insert("memoized", Value::Bool(run.memoized));
     table.insert("source_rows", Value::Int(run.report.source_rows as i64));
     table.insert("output_rows", Value::Int(run.report.output.len() as i64));
     table.insert("runtime_ps", Value::Int(run.report.runtime_ps() as i64));
+    table.insert("makespan_ps", Value::Int(run.report.makespan_ps() as i64));
     table.insert("instructions", Value::Int(run.report.instructions() as i64));
     table.insert("energy_j", Value::Float(run.report.energy_j()));
     table.insert("verified", Value::Bool(run.report.verified()));
+    table.insert(
+        "schedule",
+        Value::Array(run.report.schedule.waves.iter().map(wave_json).collect()),
+    );
     table.insert(
         "stages",
         Value::Array(
@@ -166,15 +272,21 @@ fn run_json(run: &CampaignRun) -> Value {
                         "basic_operator",
                         Value::Str(s.basic_operator().name().to_string()),
                     );
+                    stage.insert("wave", Value::Int(s.wave as i64));
+                    stage.insert("branch", Value::Int(s.branch as i64));
+                    stage.insert("concurrent", Value::Bool(s.concurrent));
                     stage.insert("input_rows", Value::Int(s.input_rows as i64));
                     stage.insert("output_rows", Value::Int(s.output_rows as i64));
+                    stage.insert("output_digest", Value::Str(format!("{:016x}", s.output_digest)));
                     stage.insert("runtime_ps", Value::Int(s.report.runtime_ps as i64));
+                    stage.insert("serial_runtime_ps", Value::Int(s.serial_runtime_ps as i64));
                     stage.insert("instructions", Value::Int(s.report.instructions as i64));
                     stage.insert("energy_j", Value::Float(s.report.energy.total_j()));
                     stage.insert("phases", Value::Int(s.report.phases.len() as i64));
                     stage.insert("shuffle_retries", Value::Int(s.report.shuffle_retries as i64));
                     stage.insert("engine_verified", Value::Bool(s.report.verified));
                     stage.insert("reference_ok", Value::Bool(s.reference_ok));
+                    stage.insert("matches_serial", Value::Bool(s.matches_serial));
                     stage
                 })
                 .collect(),
@@ -215,8 +327,13 @@ mod tests {
         let json = a.to_json();
         assert!(json.contains("\"campaign\": \"smoke\""));
         assert!(json.contains("\"reference_ok\": true"));
+        assert!(json.contains("\"matches_serial\": true"));
+        assert!(json.contains("\"output_digest\""));
         // The artifact is valid JSON in our own parser.
         crate::value::parse_json(&json).unwrap();
+        // Both systems compute the same functional outputs, so the second
+        // system's reference prefixes come from the cache.
+        assert_eq!(a.reference_hits, 3, "second system reuses all three prefixes");
     }
 
     #[test]
@@ -226,5 +343,28 @@ mod tests {
         let summary = campaign.human_summary();
         assert_eq!(summary.lines().count(), 3, "two runs + the footer");
         assert!(summary.contains("all verified"));
+    }
+
+    #[test]
+    fn ineffective_axes_are_memoized() {
+        // The CPU system never uses permutable regions, so an
+        // underprovisioning sweep cannot change its runs: one simulation,
+        // N - 1 memo hits.
+        let text = MANIFEST.replace("[\"mondrian\", \"cpu\"]", "[\"cpu\"]")
+            + "\n[sweep]\nunderprovision = [0.5, 1.0]\n";
+        let manifest = Manifest::parse(&text, Format::Toml).unwrap();
+        let campaign = run_campaign(&manifest, |_| {});
+        assert_eq!(campaign.runs.len(), 2);
+        assert_eq!(campaign.memo_hits, 1);
+        assert!(!campaign.runs[0].memoized);
+        assert!(campaign.runs[1].memoized);
+        assert_eq!(campaign.runs[0].report.makespan_ps(), campaign.runs[1].report.makespan_ps());
+        // On a permutable system the axis is real and nothing memoizes.
+        let text = MANIFEST.replace("[\"mondrian\", \"cpu\"]", "[\"mondrian\"]")
+            + "\n[sweep]\nunderprovision = [0.5, 1.0]\n";
+        let manifest = Manifest::parse(&text, Format::Toml).unwrap();
+        let campaign = run_campaign(&manifest, |_| {});
+        assert_eq!(campaign.memo_hits, 0);
+        assert!(campaign.runs[0].report.stages.iter().any(|s| s.report.shuffle_retries > 0));
     }
 }

@@ -1,0 +1,219 @@
+//! `mondrian diff`: compare two result artifacts run for run and emit a
+//! speedup/regression table.
+//!
+//! Runs are matched on their identifying axes (system, topology,
+//! tuples-per-vault, seed, theta, underprovisioning); each matched pair
+//! contributes one row with the makespan speedup of B over A and the
+//! energy ratio. CI wires this against a checked-in baseline artifact:
+//! `mondrian diff baseline.json result.json --fail-on-regression 1` exits
+//! non-zero when any run's makespan regresses by more than 1%.
+
+use crate::value::{parse_json, Value};
+
+/// One matched run pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// The run's identifying axes.
+    pub key: String,
+    /// Makespan in A, picoseconds.
+    pub makespan_a: i64,
+    /// Makespan in B, picoseconds.
+    pub makespan_b: i64,
+    /// Energy in A, joules.
+    pub energy_a: f64,
+    /// Energy in B, joules.
+    pub energy_b: f64,
+}
+
+impl DiffRow {
+    /// Speedup of B over A (> 1 means B is faster).
+    pub fn speedup(&self) -> f64 {
+        self.makespan_a as f64 / self.makespan_b.max(1) as f64
+    }
+
+    /// Relative makespan regression of B versus A in percent (positive
+    /// means B is slower).
+    pub fn regression_pct(&self) -> f64 {
+        (self.makespan_b as f64 / self.makespan_a.max(1) as f64 - 1.0) * 100.0
+    }
+}
+
+/// The comparison of two artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Matched run pairs, in A's order.
+    pub rows: Vec<DiffRow>,
+    /// Run keys present only in A.
+    pub only_a: Vec<String>,
+    /// Run keys present only in B.
+    pub only_b: Vec<String>,
+}
+
+impl DiffReport {
+    /// The worst (most positive) makespan regression across rows, percent.
+    pub fn max_regression_pct(&self) -> f64 {
+        self.rows.iter().map(DiffRow::regression_pct).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Renders the speedup/regression table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<56} {:>14} {:>14} {:>8} {:>8}\n",
+            "run", "A µs", "B µs", "speedup", "energy×"
+        ));
+        for row in &self.rows {
+            let energy_ratio = if row.energy_a > 0.0 { row.energy_b / row.energy_a } else { 1.0 };
+            let marker = if row.regression_pct() > 0.0 { " <- slower" } else { "" };
+            out.push_str(&format!(
+                "{:<56} {:>14.3} {:>14.3} {:>7.3}x {:>7.3}x{}\n",
+                row.key,
+                row.makespan_a as f64 / 1e6,
+                row.makespan_b as f64 / 1e6,
+                row.speedup(),
+                energy_ratio,
+                marker,
+            ));
+        }
+        for k in &self.only_a {
+            out.push_str(&format!("{k:<56} only in A\n"));
+        }
+        for k in &self.only_b {
+            out.push_str(&format!("{k:<56} only in B\n"));
+        }
+        if let Some(worst) =
+            self.rows.iter().max_by(|a, b| a.regression_pct().total_cmp(&b.regression_pct()))
+        {
+            out.push_str(&format!(
+                "{} matched runs; worst makespan regression {:+.2}% ({})\n",
+                self.rows.len(),
+                worst.regression_pct(),
+                worst.key,
+            ));
+        }
+        out
+    }
+}
+
+/// The identifying key of one run object. `topology` defaults to `tiny`
+/// when absent so schema-1 artifacts (which omitted it) still match
+/// schema-2 runs of the same campaign.
+fn run_key(run: &Value) -> String {
+    let mut key = String::new();
+    for field in ["system", "topology", "tuples_per_vault", "seed", "zipf_theta", "underprovision"]
+    {
+        let rendered = match run.get(field) {
+            Some(Value::Str(s)) => s.clone(),
+            Some(Value::Int(i)) => i.to_string(),
+            Some(Value::Float(f)) => format!("{f}"),
+            None if field == "topology" => "tiny".to_string(),
+            _ => continue,
+        };
+        if !key.is_empty() {
+            key.push(' ');
+        }
+        key.push_str(&format!("{field}={rendered}"));
+    }
+    key
+}
+
+/// The makespan of a run object; pre-schema-2 artifacts fall back to the
+/// serial runtime.
+fn run_makespan(run: &Value) -> Option<i64> {
+    run.get("makespan_ps").or_else(|| run.get("runtime_ps")).and_then(Value::as_int)
+}
+
+/// Compares two result artifacts.
+///
+/// # Errors
+///
+/// Returns a description of the first parse or schema problem.
+pub fn diff(a_text: &str, b_text: &str) -> Result<DiffReport, String> {
+    let runs_of = |text: &str, which: &str| -> Result<Vec<Value>, String> {
+        let doc = parse_json(text).map_err(|e| format!("{which}: {e}"))?;
+        Ok(doc
+            .get("runs")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("{which}: artifact has no runs array"))?
+            .to_vec())
+    };
+    let a_runs = runs_of(a_text, "A")?;
+    let b_runs = runs_of(b_text, "B")?;
+    let mut b_index: Vec<(String, &Value)> = b_runs.iter().map(|r| (run_key(r), r)).collect();
+    let mut rows = Vec::new();
+    let mut only_a = Vec::new();
+    for a in &a_runs {
+        let key = run_key(a);
+        let Some(pos) = b_index.iter().position(|(k, _)| *k == key) else {
+            only_a.push(key);
+            continue;
+        };
+        let (_, b) = b_index.remove(pos);
+        let (Some(ma), Some(mb)) = (run_makespan(a), run_makespan(b)) else {
+            return Err(format!("run {key}: missing makespan_ps/runtime_ps"));
+        };
+        let energy = |r: &Value| r.get("energy_j").and_then(Value::as_float).unwrap_or(0.0);
+        rows.push(DiffRow {
+            key,
+            makespan_a: ma,
+            makespan_b: mb,
+            energy_a: energy(a),
+            energy_b: energy(b),
+        });
+    }
+    let only_b = b_index.into_iter().map(|(k, _)| k).collect();
+    Ok(DiffReport { rows, only_a, only_b })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(makespan: i64, seed: i64) -> String {
+        format!(
+            r#"{{"runs": [{{"system": "CPU", "topology": "tiny", "tuples_per_vault": 64,
+                "seed": {seed}, "makespan_ps": {makespan}, "energy_j": 1e-6}}]}}"#
+        )
+    }
+
+    #[test]
+    fn matched_runs_compute_speedup() {
+        let report = diff(&artifact(2_000_000, 1), &artifact(1_000_000, 1)).unwrap();
+        assert_eq!(report.rows.len(), 1);
+        assert!((report.rows[0].speedup() - 2.0).abs() < 1e-9);
+        assert!(report.max_regression_pct() < 0.0, "B is faster, no regression");
+        assert!(report.render().contains("speedup"));
+    }
+
+    #[test]
+    fn regressions_are_flagged() {
+        let report = diff(&artifact(1_000_000, 1), &artifact(1_100_000, 1)).unwrap();
+        assert!((report.max_regression_pct() - 10.0).abs() < 1e-9);
+        assert!(report.render().contains("slower"));
+    }
+
+    #[test]
+    fn unmatched_runs_are_reported() {
+        let report = diff(&artifact(1, 1), &artifact(1, 2)).unwrap();
+        assert!(report.rows.is_empty());
+        assert_eq!(report.only_a.len(), 1);
+        assert_eq!(report.only_b.len(), 1);
+        assert!(report.render().contains("only in A"));
+    }
+
+    #[test]
+    fn schema1_artifacts_match_schema2_tiny_runs() {
+        // Schema-1 runs had no topology or makespan fields.
+        let v1 = r#"{"runs": [{"system": "CPU", "tuples_per_vault": 64,
+            "seed": 1, "runtime_ps": 2000000, "energy_j": 1e-6}]}"#;
+        let report = diff(v1, &artifact(1_000_000, 1)).unwrap();
+        assert_eq!(report.rows.len(), 1, "topology defaults to tiny for old artifacts");
+        assert!((report.rows[0].speedup() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn malformed_artifacts_error() {
+        assert!(diff("{}", &artifact(1, 1)).is_err());
+        assert!(diff("not json", &artifact(1, 1)).is_err());
+    }
+}

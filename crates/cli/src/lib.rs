@@ -9,5 +9,6 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod diff;
 pub mod manifest;
 pub mod value;

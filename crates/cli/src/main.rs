@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! mondrian run <manifest.(toml|json)> [--out result.json] [--quiet]
+//!              [--concurrency serial|branch]
 //! mondrian explain <manifest.(toml|json)>
+//! mondrian diff <a/result.json> <b/result.json> [--fail-on-regression <pct>]
 //! mondrian list-systems
 //! ```
 //!
@@ -14,19 +16,28 @@
 use std::process::ExitCode;
 
 use mondrian_cli::campaign::{run_campaign, run_line};
+use mondrian_cli::diff::diff;
 use mondrian_cli::manifest::{Format, Manifest};
 use mondrian_core::{SystemConfig, SystemKind};
+use mondrian_pipeline::{Concurrency, StageInput};
 
 const USAGE: &str = "\
 the Mondrian Data Engine campaign runner
 
 usage:
   mondrian run <manifest.(toml|json)> [--out <path>] [--quiet]
+               [--concurrency serial|branch]
       run every (system x sweep) combination of the manifest's pipeline,
-      print a summary, and write the result artifact (default: result.json)
+      print a summary, and write the result artifact (default: result.json);
+      --concurrency overrides the manifest's scheduling knob
   mondrian explain <manifest.(toml|json)>
-      show the parsed campaign and the Table 1 lowering of every stage
-      without simulating anything
+      show the parsed campaign, the Table 1 lowering of every stage, the
+      branch-wave schedule of the plan DAG, and the full sweep cross
+      product — without simulating anything
+  mondrian diff <a/result.json> <b/result.json> [--fail-on-regression <pct>]
+      compare two result artifacts run by run (makespan speedup, energy
+      ratio); with --fail-on-regression, exit non-zero when any run's
+      makespan regresses by more than <pct> percent
   mondrian list-systems
       list the evaluated system configurations
   mondrian help
@@ -39,6 +50,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
         Some("list-systems") => cmd_list_systems(),
         Some("help") | Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
@@ -66,6 +78,7 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     let mut manifest_path: Option<&str> = None;
     let mut out_path = "result.json".to_string();
     let mut quiet = false;
+    let mut concurrency: Option<Concurrency> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -73,6 +86,13 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
                 out_path = it.next().ok_or("--out needs a path")?.clone();
             }
             "--quiet" => quiet = true,
+            "--concurrency" => {
+                concurrency = Some(match it.next().map(String::as_str) {
+                    Some("serial") => Concurrency::Serial,
+                    Some("branch") => Concurrency::Branch,
+                    _ => return Err("--concurrency needs \"serial\" or \"branch\"".into()),
+                });
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
             path => {
                 if manifest_path.replace(path).is_some() {
@@ -81,16 +101,22 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
             }
         }
     }
-    let path = manifest_path.ok_or("usage: mondrian run <manifest> [--out <path>] [--quiet]")?;
-    let manifest = load_manifest(path)?;
+    let path = manifest_path.ok_or(
+        "usage: mondrian run <manifest> [--out <path>] [--quiet] [--concurrency serial|branch]",
+    )?;
+    let mut manifest = load_manifest(path)?;
+    if let Some(c) = concurrency {
+        manifest.concurrency = c;
+    }
 
     if !quiet {
         println!(
-            "campaign {:?}: {} stages on {} system(s), {} run(s)\n",
+            "campaign {:?}: {} stages on {} system(s), {} run(s), {} schedule\n",
             manifest.name,
             manifest.stages.len(),
             manifest.systems.len(),
             manifest.runs().len(),
+            manifest.concurrency.name(),
         );
     }
     let campaign = run_campaign(&manifest, |run| {
@@ -103,6 +129,9 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
         // Per-stage detail of the first run as a worked example.
         if let Some(first) = campaign.runs.first() {
             println!("{}", first.report.summary_table());
+            if manifest.concurrency == Concurrency::Branch {
+                println!("{}", first.report.schedule_table());
+            }
         }
     }
     let json = campaign.to_json();
@@ -123,24 +152,109 @@ fn cmd_explain(args: &[String]) -> Result<bool, String> {
     let manifest = load_manifest(path)?;
     println!("campaign {:?}", manifest.name);
     println!(
-        "  topology: {}, key_dist: {:?}, key_bound: {:?}",
-        if manifest.tiny { "tiny (1 HMC x 4 vaults)" } else { "scaled (4 HMC x 16 vaults)" },
+        "  topology: {:?}, key_dist: {:?}, key_bound: {:?}, concurrency: {}",
+        manifest
+            .topologies
+            .iter()
+            .map(|&t| if t { "tiny (1 HMC x 4 vaults)" } else { "scaled (4 HMC x 16 vaults)" })
+            .collect::<Vec<_>>(),
         manifest.dist,
         manifest.key_bound,
+        manifest.concurrency.name(),
     );
     println!("  systems: {:?}", manifest.systems.iter().map(SystemKind::name).collect::<Vec<_>>());
     println!("  tuples_per_vault: {:?}", manifest.tuples_per_vault);
     println!("  seeds: {:?}", manifest.seeds);
-    println!("\nstage lowering (Table 1):");
-    for (i, stage) in manifest.stages.iter().enumerate() {
+    if manifest.thetas != vec![None] {
+        println!("  zipf_theta: {:?}", manifest.thetas.iter().flatten().collect::<Vec<_>>());
+    }
+    if manifest.underprovision != vec![None] {
         println!(
-            "  {i}: {:<18} -> {:?} -> {} operator",
-            stage.name(),
-            stage.spark_op(),
-            stage.basic_operator(),
+            "  underprovision: {:?}",
+            manifest.underprovision.iter().flatten().collect::<Vec<_>>()
         );
     }
-    println!("\n{} total runs", manifest.runs().len());
+
+    // The plan DAG as branch waves: concurrent branch groups indented
+    // under their wave, with the input/build edges spelled out.
+    let pipeline = manifest.pipeline();
+    let dag = pipeline.dag();
+    println!("\nplan DAG (branch waves; branches of one wave may run concurrently):");
+    for (w, wave) in dag.waves.iter().enumerate() {
+        println!("  wave {w}:");
+        for &b in wave {
+            println!("    branch {b}:");
+            for &i in &dag.branches[b] {
+                let stage = &pipeline.stages()[i];
+                let mut edges = format!("input: {}", describe_input(stage.input, i));
+                if let mondrian_pipeline::StageSpec::Join { build } = stage.spec {
+                    let build = match build {
+                        mondrian_pipeline::BuildSide::Dimension => "derived dimension".to_string(),
+                        mondrian_pipeline::BuildSide::Stage(j) => format!("stage {j}"),
+                    };
+                    edges.push_str(&format!(", build: {build}"));
+                }
+                println!(
+                    "      {i}: {:<18} -> {:?} -> {} operator  ({edges})",
+                    stage.name(),
+                    stage.spec.spark_op(),
+                    stage.basic_operator(),
+                );
+            }
+        }
+    }
+
+    let runs = manifest.runs();
+    println!("\nsweep cross product ({} runs):", runs.len());
+    for run in &runs {
+        println!("  {}", run.label());
+    }
+    Ok(true)
+}
+
+fn describe_input(input: StageInput, i: usize) -> String {
+    match input {
+        StageInput::Prev if i == 0 => "source".to_string(),
+        StageInput::Prev => format!("stage {} (prev)", i - 1),
+        StageInput::Source => "source".to_string(),
+        StageInput::Stage(j) => format!("stage {j}"),
+    }
+}
+
+fn cmd_diff(args: &[String]) -> Result<bool, String> {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut fail_on: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fail-on-regression" => {
+                let pct = it.next().ok_or("--fail-on-regression needs a percentage")?;
+                let pct: f64 = pct.parse().map_err(|_| format!("bad percentage {pct:?}"))?;
+                fail_on = Some(pct);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            path => paths.push(path),
+        }
+    }
+    let [a, b] = paths[..] else {
+        return Err(
+            "usage: mondrian diff <a/result.json> <b/result.json> [--fail-on-regression <pct>]"
+                .into(),
+        );
+    };
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+    let report = diff(&read(a)?, &read(b)?)?;
+    print!("{}", report.render());
+    if report.rows.is_empty() {
+        return Err("no matched runs between the two artifacts".into());
+    }
+    if let Some(pct) = fail_on {
+        let worst = report.max_regression_pct();
+        if worst > pct {
+            eprintln!("regression gate failed: {worst:+.2}% > {pct}% allowed");
+            return Ok(false);
+        }
+    }
     Ok(true)
 }
 

@@ -14,22 +14,29 @@
 //! key_dist = "uniform"          # "uniform" | "zipf"; default uniform
 //! zipf_theta = 0.9              # only with key_dist = "zipf"
 //! key_bound = 4096              # optional source key upper bound
+//! concurrency = "serial"        # "serial" | "branch"; default serial
 //!
 //! [sweep]                       # optional; lists override the scalars
 //! tuples_per_vault = [256, 512]
 //! seeds = [1, 2, 3]
+//! zipf_theta = [0.6, 0.9]       # key-distribution skew axis
+//! topology = ["tiny", "scaled"] # HMC/vault topology axis
+//! underprovision = [0.5, 1.0]   # §5.4 permutable-region sizing axis
 //!
 //! [[stage]]                     # one per pipeline stage, in order
 //! op = "filter"                 # stage name (see StageSpec)
 //! modulus = 10
 //! remainder = 0
+//! # input = "prev"              # "prev" (default) | "source" | stage index
 //! ```
 //!
 //! A JSON manifest is the same tree spelled as an object:
 //! `{"campaign": {...}, "sweep": {...}, "stage": [{...}, ...]}`.
 
 use mondrian_core::{KeyDist, SystemKind};
-use mondrian_pipeline::{BuildSide, Pipeline, PipelineConfig, StageSpec};
+use mondrian_pipeline::{
+    BuildSide, Concurrency, Pipeline, PipelineConfig, Stage, StageInput, StageSpec,
+};
 
 use crate::value::{parse_json, parse_toml, Value};
 
@@ -64,10 +71,38 @@ impl Format {
 pub struct RunSpec {
     /// The evaluated system.
     pub system: SystemKind,
+    /// Whether the run uses the minimal test topology.
+    pub tiny: bool,
     /// Source tuples per vault.
     pub tuples_per_vault: usize,
     /// Dataset seed.
     pub seed: u64,
+    /// Key-distribution skew override (None = the campaign's base
+    /// distribution).
+    pub theta: Option<f64>,
+    /// §5.4 permutable-region underprovisioning factor (None = exact
+    /// sizing).
+    pub underprovision: Option<f64>,
+}
+
+impl RunSpec {
+    /// A short label naming the swept axes of this run.
+    pub fn label(&self) -> String {
+        let mut label = format!(
+            "{:<16} {:<6} tpv={:<6} seed={:<10}",
+            self.system.name(),
+            if self.tiny { "tiny" } else { "scaled" },
+            self.tuples_per_vault,
+            self.seed,
+        );
+        if let Some(t) = self.theta {
+            label.push_str(&format!(" theta={t:<4}"));
+        }
+        if let Some(u) = self.underprovision {
+            label.push_str(&format!(" up={u:<4}"));
+        }
+        label
+    }
 }
 
 /// A parsed campaign manifest.
@@ -77,18 +112,26 @@ pub struct Manifest {
     pub name: String,
     /// Systems to run on.
     pub systems: Vec<SystemKind>,
-    /// Whether to use the minimal test topology.
+    /// Whether the base topology is the minimal test topology.
     pub tiny: bool,
+    /// Topology axis (tiny flags; singleton unless swept).
+    pub topologies: Vec<bool>,
     /// Tuples-per-vault values (singleton unless swept).
     pub tuples_per_vault: Vec<usize>,
     /// Seeds (singleton unless swept).
     pub seeds: Vec<u64>,
     /// Source key distribution.
     pub dist: KeyDist,
+    /// Key-distribution theta axis (singleton `None` unless swept).
+    pub thetas: Vec<Option<f64>>,
+    /// Underprovisioning-factor axis (singleton `None` unless swept).
+    pub underprovision: Vec<Option<f64>>,
     /// Optional source key upper bound.
     pub key_bound: Option<u64>,
+    /// How the executor schedules stages onto the machine.
+    pub concurrency: Concurrency,
     /// The pipeline stages.
-    pub stages: Vec<StageSpec>,
+    pub stages: Vec<Stage>,
 }
 
 impl Manifest {
@@ -145,11 +188,13 @@ impl Manifest {
 
         let tiny = match campaign.get("topology") {
             None => true,
-            Some(v) => match v.as_str() {
-                Some("tiny") => true,
-                Some("scaled") => false,
-                _ => return Err("campaign.topology must be \"tiny\" or \"scaled\"".into()),
-            },
+            Some(v) => parse_topology(v)?,
+        };
+
+        let concurrency = match campaign.get("concurrency").map(|v| v.as_str()) {
+            None | Some(Some("serial")) => Concurrency::Serial,
+            Some(Some("branch")) => Concurrency::Branch,
+            _ => return Err("campaign.concurrency must be \"serial\" or \"branch\"".into()),
         };
 
         let tpv_scalar =
@@ -172,23 +217,53 @@ impl Manifest {
         };
         let key_bound = get_u64(campaign, "campaign.key_bound", "key_bound")?;
 
-        let (tuples_per_vault, seeds) = match doc.get("sweep") {
-            None => (vec![tpv_scalar], vec![seed_scalar]),
-            Some(sweep) => {
-                let tpv = match sweep.get("tuples_per_vault") {
-                    None => vec![tpv_scalar],
-                    Some(v) => int_list(v, "sweep.tuples_per_vault")?
-                        .into_iter()
-                        .map(|i| i as usize)
-                        .collect(),
-                };
-                let seeds = match sweep.get("seeds") {
-                    None => vec![seed_scalar],
-                    Some(v) => int_list(v, "sweep.seeds")?.into_iter().map(|i| i as u64).collect(),
-                };
-                (tpv, seeds)
+        let mut tuples_per_vault = vec![tpv_scalar];
+        let mut seeds = vec![seed_scalar];
+        let mut thetas: Vec<Option<f64>> = vec![None];
+        let mut topologies = vec![tiny];
+        let mut underprovision: Vec<Option<f64>> = vec![None];
+        if let Some(sweep) = doc.get("sweep") {
+            if let Some(v) = sweep.get("tuples_per_vault") {
+                tuples_per_vault = int_list(v, "sweep.tuples_per_vault")?
+                    .into_iter()
+                    .map(|i| i as usize)
+                    .collect();
             }
-        };
+            if let Some(v) = sweep.get("seeds") {
+                seeds = int_list(v, "sweep.seeds")?.into_iter().map(|i| i as u64).collect();
+            }
+            if let Some(v) = sweep.get("zipf_theta") {
+                thetas = float_list(v, "sweep.zipf_theta")?
+                    .into_iter()
+                    .map(|t| {
+                        if t.is_finite() && t >= 0.0 {
+                            Ok(Some(t))
+                        } else {
+                            Err("sweep.zipf_theta entries must be non-negative finite".to_string())
+                        }
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            if let Some(v) = sweep.get("topology") {
+                let entries = v.as_array().ok_or("sweep.topology must be an array")?;
+                if entries.is_empty() {
+                    return Err("sweep.topology is empty".into());
+                }
+                topologies = entries.iter().map(parse_topology).collect::<Result<_, _>>()?;
+            }
+            if let Some(v) = sweep.get("underprovision") {
+                underprovision = float_list(v, "sweep.underprovision")?
+                    .into_iter()
+                    .map(|f| {
+                        if f.is_finite() && f > 0.0 {
+                            Ok(Some(f))
+                        } else {
+                            Err("sweep.underprovision entries must be positive finite".to_string())
+                        }
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+        }
 
         let stage_list = doc
             .get("stage")
@@ -202,25 +277,50 @@ impl Manifest {
             .enumerate()
             .map(|(i, s)| parse_stage(s).map_err(|e| format!("stage {i}: {e}")))
             .collect::<Result<Vec<_>, _>>()?;
-        let manifest =
-            Manifest { name, systems, tiny, tuples_per_vault, seeds, dist, key_bound, stages };
+        let manifest = Manifest {
+            name,
+            systems,
+            tiny,
+            topologies,
+            tuples_per_vault,
+            seeds,
+            dist,
+            thetas,
+            underprovision,
+            key_bound,
+            concurrency,
+            stages,
+        };
         manifest.pipeline().validate()?;
         Ok(manifest)
     }
 
     /// The declared pipeline.
     pub fn pipeline(&self) -> Pipeline {
-        Pipeline::new(self.stages.clone())
+        Pipeline::from_stages(self.stages.clone())
     }
 
     /// The campaign's cross product, in deterministic order: system-major,
-    /// then tuples-per-vault, then seed.
+    /// then topology, tuples-per-vault, seed, theta, underprovisioning.
     pub fn runs(&self) -> Vec<RunSpec> {
         let mut out = Vec::new();
         for &system in &self.systems {
-            for &tuples_per_vault in &self.tuples_per_vault {
-                for &seed in &self.seeds {
-                    out.push(RunSpec { system, tuples_per_vault, seed });
+            for &tiny in &self.topologies {
+                for &tuples_per_vault in &self.tuples_per_vault {
+                    for &seed in &self.seeds {
+                        for &theta in &self.thetas {
+                            for &underprovision in &self.underprovision {
+                                out.push(RunSpec {
+                                    system,
+                                    tiny,
+                                    tuples_per_vault,
+                                    seed,
+                                    theta,
+                                    underprovision,
+                                });
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -229,15 +329,20 @@ impl Manifest {
 
     /// The pipeline configuration of one resolved run.
     pub fn config_for(&self, run: RunSpec) -> PipelineConfig {
-        let mut cfg = if self.tiny {
+        let mut cfg = if run.tiny {
             PipelineConfig::tiny(run.system)
         } else {
             PipelineConfig::new(run.system)
         };
         cfg.tuples_per_vault = run.tuples_per_vault;
         cfg.seed = run.seed;
-        cfg.dist = self.dist;
+        cfg.dist = match run.theta {
+            Some(theta) => KeyDist::Zipf(theta),
+            None => self.dist,
+        };
         cfg.key_bound = self.key_bound;
+        cfg.underprovision = run.underprovision;
+        cfg.concurrency = self.concurrency;
         cfg
     }
 }
@@ -247,6 +352,14 @@ fn parse_system(name: &str) -> Result<SystemKind, String> {
         let known: Vec<&str> = SystemKind::ALL.iter().map(|k| k.name()).collect();
         format!("unknown system {name:?}; expected one of {known:?} or \"all\"")
     })
+}
+
+fn parse_topology(v: &Value) -> Result<bool, String> {
+    match v.as_str() {
+        Some("tiny") => Ok(true),
+        Some("scaled") => Ok(false),
+        _ => Err("topology entries must be \"tiny\" or \"scaled\"".into()),
+    }
 }
 
 fn get_u64(table: &Value, ctx: &str, key: &str) -> Result<Option<u64>, String> {
@@ -277,7 +390,18 @@ fn int_list(v: &Value, ctx: &str) -> Result<Vec<i64>, String> {
         .collect()
 }
 
-fn parse_stage(s: &Value) -> Result<StageSpec, String> {
+fn float_list(v: &Value, ctx: &str) -> Result<Vec<f64>, String> {
+    let items = v.as_array().ok_or_else(|| format!("{ctx} must be an array"))?;
+    if items.is_empty() {
+        return Err(format!("{ctx} is empty"));
+    }
+    items
+        .iter()
+        .map(|i| i.as_float().ok_or_else(|| format!("{ctx} entries must be numbers")))
+        .collect()
+}
+
+fn parse_stage(s: &Value) -> Result<Stage, String> {
     let op = s.get("op").and_then(Value::as_str).ok_or("missing op (string)")?;
     let u = |key: &str, default: u64| -> Result<u64, String> {
         get_u64(s, key, key).map(|v| v.unwrap_or(default))
@@ -320,7 +444,16 @@ fn parse_stage(s: &Value) -> Result<StageSpec, String> {
             ))
         }
     };
-    Ok(spec)
+    let input = match s.get("input") {
+        None => StageInput::Prev,
+        Some(v) => match (v.as_str(), v.as_int()) {
+            (Some("prev"), _) => StageInput::Prev,
+            (Some("source"), _) => StageInput::Source,
+            (_, Some(i)) if i >= 0 => StageInput::Stage(i as usize),
+            _ => return Err("input must be \"prev\", \"source\", or an earlier stage index".into()),
+        },
+    };
+    Ok(Stage { spec, input })
 }
 
 #[cfg(test)]
@@ -350,26 +483,57 @@ mod tests {
         assert!(m.tiny);
         assert_eq!(m.tuples_per_vault, vec![256]);
         assert_eq!(m.seeds, vec![0x6d6f6e64]);
+        assert_eq!(m.thetas, vec![None]);
+        assert_eq!(m.topologies, vec![true]);
+        assert_eq!(m.underprovision, vec![None]);
+        assert_eq!(m.concurrency, Concurrency::Serial);
         assert_eq!(m.stages.len(), 3);
-        assert_eq!(m.stages[0], StageSpec::Filter { modulus: 10, remainder: 0 });
+        assert_eq!(m.stages[0].spec, StageSpec::Filter { modulus: 10, remainder: 0 });
+        assert_eq!(m.stages[0].input, StageInput::Prev);
         assert_eq!(m.runs().len(), 1);
     }
 
     #[test]
     fn sweep_lists_cross_product() {
-        let text =
-            format!("{MINIMAL}\n[sweep]\ntuples_per_vault = [256, 512]\nseeds = [1, 2, 3]\n");
+        let text = format!(
+            "{MINIMAL}\n[sweep]\ntuples_per_vault = [256, 512]\nseeds = [1, 2, 3]\n\
+             zipf_theta = [0.6, 0.9]\nunderprovision = [0.5, 1.0]\n"
+        );
         let m = Manifest::parse(&text, Format::Toml).unwrap();
         let runs = m.runs();
-        assert_eq!(runs.len(), 6);
+        assert_eq!(runs.len(), 2 * 3 * 2 * 2);
         assert_eq!(
             runs[0],
-            RunSpec { system: SystemKind::Mondrian, tuples_per_vault: 256, seed: 1 }
+            RunSpec {
+                system: SystemKind::Mondrian,
+                tiny: true,
+                tuples_per_vault: 256,
+                seed: 1,
+                theta: Some(0.6),
+                underprovision: Some(0.5),
+            }
         );
-        assert_eq!(
-            runs[5],
-            RunSpec { system: SystemKind::Mondrian, tuples_per_vault: 512, seed: 3 }
-        );
+        let last = runs.last().unwrap();
+        assert_eq!((last.tuples_per_vault, last.seed), (512, 3));
+        assert_eq!((last.theta, last.underprovision), (Some(0.9), Some(1.0)));
+        // Theta sweeps override the base distribution.
+        assert_eq!(m.config_for(runs[0]).dist, KeyDist::Zipf(0.6));
+        assert_eq!(m.config_for(runs[0]).underprovision, Some(0.5));
+    }
+
+    #[test]
+    fn topology_sweep_and_concurrency_knob() {
+        let text = MINIMAL.replace(
+            "systems = [\"mondrian\"]",
+            "systems = [\"mondrian\"]\nconcurrency = \"branch\"",
+        ) + "\n[sweep]\ntopology = [\"tiny\", \"scaled\"]\n";
+        let m = Manifest::parse(&text, Format::Toml).unwrap();
+        assert_eq!(m.concurrency, Concurrency::Branch);
+        assert_eq!(m.topologies, vec![true, false]);
+        let runs = m.runs();
+        assert_eq!(runs.len(), 2);
+        assert!(runs[0].tiny && !runs[1].tiny);
+        assert_eq!(m.config_for(runs[0]).concurrency, Concurrency::Branch);
     }
 
     #[test]
@@ -383,12 +547,18 @@ mod tests {
     fn json_manifests_parse_too() {
         let text = r#"{
             "campaign": {"name": "j", "systems": ["cpu"], "seed": 3},
-            "stage": [{"op": "count_by_key"}, {"op": "join", "build": 0}]
+            "stage": [
+                {"op": "count_by_key"},
+                {"op": "filter", "input": "source"},
+                {"op": "join", "build": 0, "input": 1}
+            ]
         }"#;
         let m = Manifest::parse(text, Format::Json).unwrap();
         assert_eq!(m.systems, vec![SystemKind::Cpu]);
         assert_eq!(m.seeds, vec![3]);
-        assert_eq!(m.stages[1], StageSpec::Join { build: BuildSide::Stage(0) });
+        assert_eq!(m.stages[1].input, StageInput::Source);
+        assert_eq!(m.stages[2].spec, StageSpec::Join { build: BuildSide::Stage(0) });
+        assert_eq!(m.stages[2].input, StageInput::Stage(1));
     }
 
     #[test]
@@ -399,7 +569,12 @@ mod tests {
         assert!(Manifest::parse(&bad_system, Format::Toml).unwrap_err().contains("unknown system"));
         let bad_op = MINIMAL.replace("\"filter\"", "\"frobnicate\"");
         assert!(Manifest::parse(&bad_op, Format::Toml).unwrap_err().contains("unknown op"));
-        // Forward join reference is caught at parse time via validate().
+        let bad_conc = MINIMAL.replace(
+            "systems = [\"mondrian\"]",
+            "systems = [\"mondrian\"]\nconcurrency = \"warp\"",
+        );
+        assert!(Manifest::parse(&bad_conc, Format::Toml).unwrap_err().contains("concurrency"));
+        // Forward references are caught at parse time via validate().
         let forward = r#"
             [campaign]
             name = "x"
@@ -408,6 +583,16 @@ mod tests {
             build = 3
         "#;
         assert!(Manifest::parse(forward, Format::Toml)
+            .unwrap_err()
+            .contains("not an earlier stage"));
+        let forward_input = r#"
+            [campaign]
+            name = "x"
+            [[stage]]
+            op = "sort_by_key"
+            input = 2
+        "#;
+        assert!(Manifest::parse(forward_input, Format::Toml)
             .unwrap_err()
             .contains("not an earlier stage"));
     }

@@ -31,3 +31,41 @@ fn join_campaign_json_runs_verified_and_deterministic() {
     let b = run_campaign(&m, |_| {});
     assert_eq!(a.to_json(), b.to_json(), "artifact must be byte-identical per seed");
 }
+
+/// The acceptance scenario at the manifest level: the two-branch DAG
+/// campaign run with `concurrency = "branch"` must report a strictly
+/// smaller makespan than `"serial"` on at least one system, while every
+/// run's stage outputs stay byte-identical between the two modes.
+#[test]
+fn branch_join_campaign_beats_serial_with_identical_outputs() {
+    let branch = Manifest::parse(&example("branch_join.toml"), Format::Toml).unwrap();
+    assert_eq!(branch.concurrency, mondrian_pipeline::Concurrency::Branch);
+    let mut serial = branch.clone();
+    serial.concurrency = mondrian_pipeline::Concurrency::Serial;
+
+    let b = run_campaign(&branch, |_| {});
+    let s = run_campaign(&serial, |_| {});
+    assert!(b.verified() && s.verified());
+    assert_eq!(b.runs.len(), s.runs.len());
+
+    let mut strictly_faster = 0;
+    for (br, sr) in b.runs.iter().zip(&s.runs) {
+        assert_eq!(br.spec, sr.spec);
+        // Stage outputs byte-identical between the two modes.
+        for (bs, ss) in br.report.stages.iter().zip(&sr.report.stages) {
+            assert_eq!(
+                bs.output_digest,
+                ss.output_digest,
+                "{}: stage {} output diverged between schedules",
+                br.spec.system.name(),
+                bs.spec
+            );
+        }
+        assert_eq!(br.report.output, sr.report.output);
+        assert!(br.report.makespan_ps() <= sr.report.makespan_ps());
+        if br.report.makespan_ps() < sr.report.makespan_ps() {
+            strictly_faster += 1;
+        }
+    }
+    assert!(strictly_faster > 0, "branch schedule must beat serial on at least one system");
+}

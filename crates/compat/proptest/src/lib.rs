@@ -111,6 +111,9 @@ macro_rules! tuple_strategy {
 tuple_strategy!(S0 => s0, S1 => s1);
 tuple_strategy!(S0 => s0, S1 => s1, S2 => s2);
 tuple_strategy!(S0 => s0, S1 => s1, S2 => s2, S3 => s3);
+tuple_strategy!(S0 => s0, S1 => s1, S2 => s2, S3 => s3, S4 => s4);
+tuple_strategy!(S0 => s0, S1 => s1, S2 => s2, S3 => s3, S4 => s4, S5 => s5);
+tuple_strategy!(S0 => s0, S1 => s1, S2 => s2, S3 => s3, S4 => s4, S5 => s5, S6 => s6);
 
 /// Types with a canonical "anything" strategy.
 pub trait Arbitrary: Sized {

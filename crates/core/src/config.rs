@@ -2,7 +2,7 @@
 
 use mondrian_cache::CacheConfig;
 use mondrian_cores::CoreConfig;
-use mondrian_mem::{AddressMap, VaultConfig};
+use mondrian_mem::{AddressMap, PartitionView, VaultConfig};
 use mondrian_noc::{MeshConfig, SerDesConfig};
 use mondrian_sim::{Time, PS_PER_NS};
 
@@ -90,6 +90,58 @@ impl std::fmt::Display for SystemKind {
     }
 }
 
+/// A leased, contiguous vault subset of a machine — the handle under which
+/// operators run when the machine is shared between concurrent pipeline
+/// branches (machine-level multi-tenancy). The spec names the partition
+/// within its parent so time, energy and NoC traffic can be attributed to
+/// the physical vaults the lease covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PartitionSpec {
+    /// Lease index within the wave (used for stat attribution labels).
+    pub index: u32,
+    /// Global id of the partition's first vault.
+    pub first_vault: u32,
+    /// Number of vaults leased (a power of two).
+    pub vaults: u32,
+    /// Total vaults of the parent machine.
+    pub total_vaults: u32,
+}
+
+impl PartitionSpec {
+    /// The whole machine as a single (trivial) lease.
+    pub fn whole(total_vaults: u32) -> Self {
+        Self { index: 0, first_vault: 0, vaults: total_vaults, total_vaults }
+    }
+
+    /// Splits `total_vaults` into `shares` equal, disjoint, contiguous
+    /// leases. Returns `None` when the machine cannot seat that many
+    /// tenants (fewer vaults than shares). Shares are rounded down to the
+    /// next power of two per lease, so some trailing vaults may stay idle
+    /// when `shares` is not a power of two.
+    pub fn split(total_vaults: u32, shares: u32) -> Option<Vec<PartitionSpec>> {
+        assert!(shares > 0, "cannot split into zero shares");
+        let per = (total_vaults / shares.next_power_of_two()).max(1);
+        if per * shares > total_vaults {
+            return None;
+        }
+        Some(
+            (0..shares)
+                .map(|i| PartitionSpec {
+                    index: i,
+                    first_vault: i * per,
+                    vaults: per,
+                    total_vaults,
+                })
+                .collect(),
+        )
+    }
+
+    /// Whether this lease covers the whole parent machine.
+    pub fn is_whole(&self) -> bool {
+        self.first_vault == 0 && self.vaults == self.total_vaults
+    }
+}
+
 /// Full machine + workload-scale configuration.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
@@ -127,6 +179,9 @@ pub struct SystemConfig {
     pub barrier: Time,
     /// RNG seed for dataset generation.
     pub seed: u64,
+    /// When `Some`, this configuration describes a leased vault partition
+    /// of a larger machine rather than a whole machine (multi-tenancy).
+    pub partition: Option<PartitionSpec>,
 }
 
 impl SystemConfig {
@@ -155,6 +210,7 @@ impl SystemConfig {
             cpu_radix_bits: 16,
             barrier: 200 * PS_PER_NS,
             seed: 0x6d6f6e64, // "mond"
+            partition: None,
         }
     }
 
@@ -195,7 +251,9 @@ impl SystemConfig {
         }
     }
 
-    /// The flat physical address map (§5.1).
+    /// The flat physical address map (§5.1). For a leased partition this is
+    /// the partition-local (0-based) map; [`SystemConfig::partition_view`]
+    /// translates back to the parent machine.
     pub fn address_map(&self) -> AddressMap {
         AddressMap::new(
             self.hmcs,
@@ -204,6 +262,60 @@ impl SystemConfig {
             self.vault.row_bytes,
             self.vault.banks,
         )
+    }
+
+    /// The memory view translating this (possibly leased) machine's local
+    /// vault ids and addresses back into its parent's global space. Whole
+    /// machines get the identity view.
+    pub fn partition_view(&self) -> PartitionView {
+        let p = self.partition.unwrap_or_else(|| PartitionSpec::whole(self.total_vaults()));
+        let parent = AddressMap::new(
+            p.total_vaults / self.vaults_per_hmc.min(p.total_vaults),
+            self.vaults_per_hmc.min(p.total_vaults),
+            self.vault.capacity,
+            self.vault.row_bytes,
+            self.vault.banks,
+        );
+        parent.view(p.first_vault, p.vaults).1
+    }
+
+    /// Restricts this (whole-machine) configuration to the leased vault
+    /// subset `spec`: the sub-machine keeps the per-vault hardware but owns
+    /// only `spec.vaults` vaults, a proportional share of the compute (at
+    /// least one CPU core on the CPU system), and partition-scoped radix
+    /// bits. Mesh and SerDes configurations are inherited; the mesh is
+    /// modeled per partition (dedicated bandwidth share), while SerDes
+    /// traffic is still charged globally when leases are merged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is misaligned (not a power-of-two, aligned,
+    /// in-range subset of this machine) or if this configuration is itself
+    /// already a partition.
+    pub fn restrict(&self, spec: PartitionSpec) -> SystemConfig {
+        assert!(self.partition.is_none(), "cannot sub-lease a leased partition");
+        assert_eq!(spec.total_vaults, self.total_vaults(), "lease of a different machine");
+        assert!(spec.vaults > 0 && spec.vaults.is_power_of_two(), "lease must be a power of two");
+        assert!(
+            spec.first_vault.is_multiple_of(spec.vaults)
+                && spec.first_vault + spec.vaults <= self.total_vaults(),
+            "lease [{}, {}) misaligned for {} vaults",
+            spec.first_vault,
+            spec.first_vault + spec.vaults,
+            self.total_vaults()
+        );
+        let mut cfg = self.clone();
+        if spec.vaults >= self.vaults_per_hmc {
+            cfg.hmcs = spec.vaults / self.vaults_per_hmc;
+        } else {
+            cfg.hmcs = 1;
+            cfg.vaults_per_hmc = spec.vaults;
+        }
+        cfg.cpu_cores =
+            (self.cpu_cores * spec.vaults / self.total_vaults()).max(1).min(spec.vaults);
+        cfg.partition = Some(spec);
+        cfg.validate();
+        cfg
     }
 
     /// Validates consistency.
@@ -294,6 +406,52 @@ mod tests {
         for kind in SystemKind::ALL {
             SystemConfig::tiny(kind).validate();
         }
+    }
+
+    #[test]
+    fn restrict_scales_topology_and_compute() {
+        let cfg = SystemConfig::scaled(SystemKind::Mondrian);
+        let leases = PartitionSpec::split(cfg.total_vaults(), 2).unwrap();
+        let half = cfg.restrict(leases[1]);
+        assert_eq!(half.total_vaults(), 32);
+        assert_eq!(half.hmcs, 2);
+        assert_eq!(half.compute_units(), 32, "NMP keeps one unit per leased vault");
+        assert_eq!(half.partition_bits(), 5, "radix bits follow the leased vault count");
+        let view = half.partition_view();
+        assert_eq!(view.first_vault(), 32);
+        assert_eq!(view.global_vault(0), 32);
+        assert_eq!(view.parent_vaults(), 64);
+
+        // CPU system: proportional cores, never zero.
+        let cpu = SystemConfig::tiny(SystemKind::Cpu);
+        let leases = PartitionSpec::split(cpu.total_vaults(), 2).unwrap();
+        let half = cpu.restrict(leases[0]);
+        assert_eq!(half.total_vaults(), 2);
+        assert_eq!(half.cpu_cores, 1);
+        assert_eq!(half.vaults_per_hmc, 2, "sub-device lease collapses onto one HMC");
+    }
+
+    #[test]
+    fn split_covers_disjoint_contiguous_leases() {
+        let leases = PartitionSpec::split(64, 2).unwrap();
+        assert_eq!(leases.len(), 2);
+        assert_eq!((leases[0].first_vault, leases[0].vaults), (0, 32));
+        assert_eq!((leases[1].first_vault, leases[1].vaults), (32, 32));
+        // Three tenants on 64 vaults: 16 each, 16 idle.
+        let leases = PartitionSpec::split(64, 3).unwrap();
+        assert_eq!(leases.iter().map(|l| l.vaults).sum::<u32>(), 48);
+        // Too many tenants for the machine.
+        assert!(PartitionSpec::split(2, 3).is_none());
+        assert!(PartitionSpec::whole(64).is_whole());
+        assert!(!leases[1].is_whole());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sub-lease")]
+    fn restrict_rejects_nested_leases() {
+        let cfg = SystemConfig::tiny(SystemKind::Mondrian);
+        let leases = PartitionSpec::split(cfg.total_vaults(), 2).unwrap();
+        cfg.restrict(leases[0]).restrict(PartitionSpec::whole(2));
     }
 
     #[test]

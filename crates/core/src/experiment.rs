@@ -132,6 +132,22 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Runs the operator on a leased vault partition instead of the whole
+    /// machine: the experiment builds a sub-machine covering only the
+    /// leased vaults (with a proportional compute share), and its report
+    /// attributes time, energy and NoC traffic to that partition. Used by
+    /// the pipeline scheduler to execute independent DAG branches
+    /// concurrently on disjoint vault subsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lease is misaligned for the current configuration
+    /// (see [`SystemConfig::restrict`]).
+    pub fn partition(mut self, spec: crate::config::PartitionSpec) -> Self {
+        self.cfg = self.cfg.restrict(spec);
+        self
+    }
+
     /// Failure injection: size permutable regions at `factor` × the needed
     /// bytes (< 1.0 forces the overflow exception and the retry round).
     pub fn underprovision_permutable(mut self, factor: f64) -> Self {
@@ -228,6 +244,13 @@ pub struct Report {
     pub summary: String,
     /// The operator's functional output relation.
     pub output: StageOutput,
+    /// The vault lease the run executed under (the whole machine unless
+    /// the builder leased a partition).
+    pub partition: crate::config::PartitionSpec,
+    /// Machine-wide mesh traffic rollup, attributed to `partition`.
+    pub mesh_totals: mondrian_noc::MeshStats,
+    /// SerDes traffic rollup; always charged globally when leases merge.
+    pub serdes_totals: mondrian_noc::SerDesStats,
 }
 
 impl Report {
@@ -1119,6 +1142,8 @@ impl Experiment {
 
     fn finish(mut self, verified: bool, summary: String, output: StageOutput) -> Report {
         let runtime = self.machine.now();
+        let partition = self.machine.partition();
+        let (mesh_totals, serdes_totals) = self.machine.noc_rollup();
         let stats = self.machine.export_stats();
         // Weighted per-core busy fractions across phases.
         let units = self.units();
@@ -1180,6 +1205,9 @@ impl Experiment {
             shuffle_retries: self.shuffle_retries,
             summary,
             output,
+            partition,
+            mesh_totals,
+            serdes_totals,
         }
     }
 }
@@ -1198,6 +1226,27 @@ fn index_bits(r_len: usize) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn partitioned_experiment_runs_and_attributes_globally() {
+        let cfg = SystemConfig::tiny(SystemKind::Mondrian);
+        let leases = crate::config::PartitionSpec::split(cfg.total_vaults(), 2).unwrap();
+        let input: Vec<Tuple> = (0..128).map(|i| Tuple::new(i % 13, i)).collect();
+        let report = ExperimentBuilder::new(OperatorKind::Scan)
+            .config(cfg)
+            .partition(leases[1])
+            .input(input)
+            .scan_predicate(ScanPredicate::All)
+            .run();
+        assert!(report.verified);
+        assert_eq!(report.partition.first_vault, 2);
+        assert_eq!(report.partition.vaults, 2);
+        // Stats attribute traffic to the leased global vaults (2, 3) only.
+        assert!(report.stats.iter().any(|(k, _)| k.starts_with("vault.2.")));
+        assert!(report.stats.iter().any(|(k, _)| k.starts_with("vault.3.")));
+        assert!(!report.stats.iter().any(|(k, _)| k.starts_with("vault.0.")));
+        assert!(report.mesh_totals.messages > 0, "scan traffic crosses the partition mesh");
+    }
 
     #[test]
     fn table_bits_gives_headroom() {

@@ -34,7 +34,7 @@ pub mod experiment;
 pub mod layout;
 pub mod system;
 
-pub use config::{SystemConfig, SystemKind};
+pub use config::{PartitionSpec, SystemConfig, SystemKind};
 pub use experiment::{ExperimentBuilder, KeyDist, Report, StageOutput};
 pub use layout::{Layout, Region};
 pub use mondrian_ops::OperatorKind;

@@ -13,10 +13,10 @@ use std::collections::{HashMap, VecDeque};
 use mondrian_cache::{Cache, Lookup, NextLinePrefetcher};
 use mondrian_cores::{Core, CoreStatus, Kernel, MemKind, MemRequest, StoreKind};
 use mondrian_mem::{AccessKind, AddressMap, DramRequest, PermutableRegion, VaultController};
-use mondrian_noc::{Mesh, SerDesLink};
+use mondrian_noc::{Mesh, MeshStats, SerDesLink, SerDesStats};
 use mondrian_sim::{EventQueue, Stats, Time, PS_PER_NS};
 
-use crate::config::SystemConfig;
+use crate::config::{PartitionSpec, SystemConfig};
 
 /// Outcome of one executed phase.
 #[derive(Debug, Clone)]
@@ -168,6 +168,12 @@ impl Machine {
     /// The configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    /// The vault lease this machine executes under. Whole machines report
+    /// the trivial lease covering every vault.
+    pub fn partition(&self) -> PartitionSpec {
+        self.cfg.partition.unwrap_or_else(|| PartitionSpec::whole(self.cfg.total_vaults()))
     }
 
     /// Current simulated time.
@@ -823,28 +829,79 @@ impl Machine {
     }
 
     /// Exports all component statistics into one registry and returns it.
+    ///
+    /// A whole machine exports under the familiar local labels. A leased
+    /// partition attributes its traffic to the *global* hardware it
+    /// actually touched: vault counters carry global vault ids, and mesh /
+    /// SerDes counters are keyed by the global vault their device window
+    /// starts at, so merging the registries of concurrently leased
+    /// partitions never conflates two tenants' vaults while SerDes traffic
+    /// still aggregates globally under the shared `serdes.` namespace.
     pub fn export_stats(&mut self) -> Stats {
         let mut s = std::mem::take(&mut self.stats);
+        let view = self.cfg.partition_view();
+        let whole = view.is_whole();
+        let vph = self.cfg.vaults_per_hmc;
         for (v, vault) in self.vaults.iter().enumerate() {
-            vault.stats().export(&mut s, &format!("vault.{v}"));
+            let g = view.global_vault(v as u32);
+            vault.stats().export(&mut s, &format!("vault.{g}"));
         }
         for (h, mesh) in self.meshes.iter().enumerate() {
-            mesh.stats().export(&mut s, &format!("mesh.{h}"));
+            let label = if whole {
+                format!("mesh.{h}")
+            } else {
+                format!("mesh.at_v{}", view.global_vault(h as u32 * vph))
+            };
+            mesh.stats().export(&mut s, &label);
         }
         for (h, (tx, rx)) in self.cpu_links.iter().enumerate() {
-            tx.stats().export(&mut s, &format!("serdes.cpu{h}.tx"));
-            rx.stats().export(&mut s, &format!("serdes.cpu{h}.rx"));
+            let tag = if whole {
+                format!("cpu{h}")
+            } else {
+                format!("cpu_at_v{}", view.global_vault(h as u32 * vph))
+            };
+            tx.stats().export(&mut s, &format!("serdes.{tag}.tx"));
+            rx.stats().export(&mut s, &format!("serdes.{tag}.rx"));
         }
         for ((a, b), link) in &self.hmc_links {
             link.stats().export(&mut s, &format!("serdes.hmc{a}to{b}"));
         }
+        let part = self.partition();
         for (i, l1) in self.l1s.iter().enumerate() {
-            l1.stats().export(&mut s, &format!("l1.{i}"));
+            let label = if whole {
+                format!("l1.{i}")
+            } else if self.cfg.kind.is_nmp() {
+                format!("l1.{}", view.global_vault(i as u32))
+            } else {
+                format!("l1.p{}.{i}", part.index)
+            };
+            l1.stats().export(&mut s, &label);
         }
         if let Some(llc) = &self.llc {
             llc.stats().export(&mut s, "llc");
         }
         s
+    }
+
+    /// Machine-wide NoC rollup: every mesh's traffic merged into one total
+    /// (attributed to this machine's lease), and every SerDes direction —
+    /// CPU links and inter-HMC links alike — merged into one globally
+    /// charged total. The lessor folds these across concurrent partitions
+    /// at the join barrier.
+    pub fn noc_rollup(&self) -> (MeshStats, SerDesStats) {
+        let mut mesh = MeshStats::default();
+        for m in &self.meshes {
+            mesh.merge(m.stats());
+        }
+        let mut serdes = SerDesStats::default();
+        for (tx, rx) in &self.cpu_links {
+            serdes.merge(tx.stats());
+            serdes.merge(rx.stats());
+        }
+        for link in self.hmc_links.values() {
+            serdes.merge(link.stats());
+        }
+        (mesh, serdes)
     }
 
     /// Number of SerDes link *directions* powered in this system (for idle

@@ -153,6 +153,108 @@ impl AddressMap {
     }
 }
 
+/// A contiguous vault-subset window of an [`AddressMap`] — the memory half
+/// of a machine lease (multi-tenancy): the leased sub-machine addresses its
+/// vaults `0..vaults` locally, while the view translates those local ids
+/// and addresses back into the parent machine's global space so that
+/// traffic and energy can be attributed to the physical vaults actually
+/// touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionView {
+    first_vault: GlobalVaultId,
+    vaults: u32,
+    parent_vaults: u32,
+    vault_capacity: u64,
+}
+
+impl PartitionView {
+    /// The global id of the partition's first vault.
+    pub fn first_vault(&self) -> GlobalVaultId {
+        self.first_vault
+    }
+
+    /// Number of vaults in the partition.
+    pub fn vaults(&self) -> u32 {
+        self.vaults
+    }
+
+    /// Total vaults of the parent machine.
+    pub fn parent_vaults(&self) -> u32 {
+        self.parent_vaults
+    }
+
+    /// Whether the view covers the whole parent machine.
+    pub fn is_whole(&self) -> bool {
+        self.first_vault == 0 && self.vaults == self.parent_vaults
+    }
+
+    /// Translates a partition-local vault id to the parent's global id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is outside the partition.
+    pub fn global_vault(&self, local: u32) -> GlobalVaultId {
+        assert!(local < self.vaults, "local vault {local} outside the partition");
+        self.first_vault + local
+    }
+
+    /// Translates a global vault id into the partition, if it is covered.
+    pub fn local_vault(&self, global: GlobalVaultId) -> Option<u32> {
+        global.checked_sub(self.first_vault).filter(|&l| l < self.vaults)
+    }
+
+    /// Whether the partition covers `global`.
+    pub fn contains(&self, global: GlobalVaultId) -> bool {
+        self.local_vault(global).is_some()
+    }
+
+    /// Translates a partition-local physical address to the parent's global
+    /// address space (both spaces are vault-contiguous, so the translation
+    /// is a fixed offset).
+    pub fn global_addr(&self, local_addr: u64) -> u64 {
+        local_addr + self.first_vault as u64 * self.vault_capacity
+    }
+}
+
+impl AddressMap {
+    /// Restricts the map to the `vaults`-wide window starting at
+    /// `first_vault`: returns the sub-machine's own 0-based map plus the
+    /// [`PartitionView`] translating it back to this (parent) map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty, exceeds the map, or does not divide
+    /// evenly into HMC devices (windows smaller than one device collapse
+    /// onto a single device).
+    pub fn view(&self, first_vault: GlobalVaultId, vaults: u32) -> (AddressMap, PartitionView) {
+        assert!(vaults > 0, "empty partition");
+        assert!(
+            first_vault + vaults <= self.total_vaults(),
+            "partition [{first_vault}, {}) exceeds {} vaults",
+            first_vault + vaults,
+            self.total_vaults()
+        );
+        let (hmcs, vaults_per_hmc) = if vaults >= self.vaults_per_hmc {
+            assert!(
+                vaults.is_multiple_of(self.vaults_per_hmc),
+                "multi-device partition must cover whole devices"
+            );
+            (vaults / self.vaults_per_hmc, self.vaults_per_hmc)
+        } else {
+            (1, vaults)
+        };
+        let sub =
+            AddressMap::new(hmcs, vaults_per_hmc, self.vault_capacity, self.row_bytes, self.banks);
+        let view = PartitionView {
+            first_vault,
+            vaults,
+            parent_vaults: self.total_vaults(),
+            vault_capacity: self.vault_capacity,
+        };
+        (sub, view)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,5 +347,38 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_address_panics() {
         map().vault_of(64 << 20);
+    }
+
+    #[test]
+    fn partition_view_translates_vaults_and_addresses() {
+        let m = map();
+        // A 32-vault window spanning HMCs 1 and 2.
+        let (sub, view) = m.view(16, 32);
+        assert_eq!(sub.total_vaults(), 32);
+        assert_eq!(sub.vault_capacity(), m.vault_capacity());
+        assert_eq!(view.global_vault(0), 16);
+        assert_eq!(view.global_vault(31), 47);
+        assert_eq!(view.local_vault(16), Some(0));
+        assert_eq!(view.local_vault(48), None);
+        assert_eq!(view.local_vault(3), None);
+        assert!(view.contains(47) && !view.contains(15));
+        assert!(!view.is_whole());
+        // Local address 0 is the base of global vault 16.
+        assert_eq!(view.global_addr(0), m.vault_base(16));
+        assert_eq!(m.vault_of(view.global_addr(sub.vault_base(5) + 100)), 21);
+        // Sub-device windows collapse onto one HMC.
+        let (sub, view) = m.view(4, 4);
+        assert_eq!(sub.total_vaults(), 4);
+        assert_eq!(view.global_vault(3), 7);
+        // The whole-machine view is the identity.
+        let (sub, view) = m.view(0, 64);
+        assert_eq!(sub, m);
+        assert!(view.is_whole());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_partition_view_panics() {
+        map().view(60, 8);
     }
 }

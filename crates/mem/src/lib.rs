@@ -28,7 +28,7 @@ mod addr;
 mod config;
 mod vault;
 
-pub use addr::{bank_of, AddressMap, GlobalVaultId, Location};
+pub use addr::{bank_of, AddressMap, GlobalVaultId, Location, PartitionView};
 pub use config::{DevicePreset, DramTiming, VaultConfig};
 pub use vault::{
     drain, AccessKind, DramCompletion, DramRequest, PermutableOverflow, PermutableRegion,

@@ -75,6 +75,18 @@ pub struct MeshStats {
 }
 
 impl MeshStats {
+    /// Folds another mesh's counters into this one. Used when a machine is
+    /// leased out as vault partitions: each partition's mesh traffic is
+    /// attributed to the partition that generated it, and the lessor merges
+    /// the per-partition totals back into whole-machine accounting at the
+    /// join barrier.
+    pub fn merge(&mut self, other: &MeshStats) {
+        self.messages += other.messages;
+        self.hops += other.hops;
+        self.bit_mm += other.bit_mm;
+        self.busy_time += other.busy_time;
+    }
+
     /// Exports counters into a [`Stats`] registry under `prefix`.
     pub fn export(&self, stats: &mut Stats, prefix: &str) {
         stats.add_count(&format!("{prefix}.messages"), self.messages);
@@ -302,6 +314,19 @@ mod tests {
         assert_eq!(a, b, "no link reservations, no queuing");
         assert_eq!(a, 6 * 3_000 + 2_000);
         assert_eq!(m.stats().hops, 12, "energy accounting still sees hops");
+    }
+
+    #[test]
+    fn merge_folds_counters() {
+        let mut a = mesh();
+        let mut b = mesh();
+        a.send(0, 15, 64, 0);
+        b.send(0, 3, 64, 0);
+        let mut total = *a.stats();
+        total.merge(b.stats());
+        assert_eq!(total.messages, 2);
+        assert_eq!(total.hops, a.stats().hops + b.stats().hops);
+        assert!((total.bit_mm - (a.stats().bit_mm + b.stats().bit_mm)).abs() < 1e-9);
     }
 
     #[test]

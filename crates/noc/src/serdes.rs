@@ -46,6 +46,17 @@ pub struct SerDesStats {
 }
 
 impl SerDesStats {
+    /// Folds another link direction's counters into this one. Unlike mesh
+    /// traffic (attributed per vault partition under multi-tenancy), SerDes
+    /// channels are a chip-to-chip resource shared by every partition, so
+    /// their traffic is always charged globally: the lessor merges all
+    /// partitions' link counters into one machine-wide total.
+    pub fn merge(&mut self, other: &SerDesStats) {
+        self.packets += other.packets;
+        self.busy_bits += other.busy_bits;
+        self.busy_time += other.busy_time;
+    }
+
     /// Exports counters into a [`Stats`] registry under `prefix`.
     pub fn export(&self, stats: &mut Stats, prefix: &str) {
         stats.add_count(&format!("{prefix}.packets"), self.packets);
@@ -164,6 +175,18 @@ mod tests {
         let mut s = Stats::new();
         link.stats().export(&mut s, "serdes.0.tx");
         assert_eq!(s.count("serdes.0.tx.busy_bits"), 640);
+    }
+
+    #[test]
+    fn merge_charges_globally() {
+        let mut a = SerDesLink::new(SerDesConfig::table3());
+        let mut b = SerDesLink::new(SerDesConfig::table3());
+        a.send(64, 0);
+        b.send(128, 0);
+        let mut total = *a.stats();
+        total.merge(b.stats());
+        assert_eq!(total.packets, 2);
+        assert_eq!(total.busy_bits, (64 + 16 + 128 + 16) * 8);
     }
 
     #[test]

@@ -5,17 +5,26 @@
 //! Table 1 of the paper maps the common Spark transformations onto four
 //! basic physical operators (Scan, Sort, Group-by, Join); the engine's
 //! experiment driver simulates one operator at a time. This crate closes
-//! the gap to real analytics: a [`Pipeline`] is a chain of declarative
-//! [`StageSpec`]s — `Filter → ReduceByKey → SortByKey`, say — and the
-//! executor lowers every stage onto its Table 1 operator, runs it on the
-//! simulated system, and threads the stage's **actual output relation**
-//! into the next stage. Join stages may take their build side from any
-//! earlier stage's output, so plans are DAGs, not just chains.
+//! the gap to real analytics: a [`Pipeline`] is a DAG of declarative
+//! [`Stage`]s — each a [`StageSpec`] plus an explicit input edge
+//! ([`StageInput`]) — and the executor lowers every stage onto its
+//! Table 1 operator, runs it on the simulated system, and threads each
+//! stage's **actual output relation** into its consumers. Join stages may
+//! take their build side from any earlier stage's output.
 //!
-//! Every stage is verified twice: the engine's own functional check
-//! against its reference implementations, and the pipeline's end-to-end
-//! check that the projected stage output matches the stage's pure
-//! functional semantics ([`StageSpec::reference_output`]).
+//! Because the paper's vaults are independent execution partitions, the
+//! executor can also **lease the machine out**: under
+//! [`Concurrency::Branch`], independent DAG branches (e.g. a join's two
+//! input chains) run concurrently on disjoint vault partitions, joined at
+//! wave barriers, with the serial schedule kept as the reference executor
+//! the concurrent one is verified against — every partitioned stage's
+//! output must be byte-identical to the serial run, and a wave only
+//! charges the concurrent makespan when it beats the serial schedule.
+//!
+//! Every stage is verified against the engine's own functional check and
+//! the stage's pure functional semantics
+//! ([`StageSpec::reference_output`]); branch runs add the
+//! serial-equivalence check on top.
 //!
 //! # Quickstart
 //!
@@ -37,8 +46,12 @@
 
 mod exec;
 mod report;
+mod schedule;
 mod stage;
 
-pub use exec::{Pipeline, PipelineConfig};
-pub use report::{PipelineReport, StageOutcome};
-pub use stage::{derive_dimension, BuildSide, StageSpec};
+pub use exec::{ExecCache, Pipeline, PipelineConfig};
+pub use report::{
+    relation_digest, BranchSchedule, PipelineReport, ScheduleReport, StageOutcome, WaveReport,
+};
+pub use schedule::{Concurrency, Dag};
+pub use stage::{derive_dimension, BuildSide, Stage, StageInput, StageSpec};

@@ -1,0 +1,185 @@
+//! Branch-wave scheduling of pipeline DAGs onto machine leases.
+//!
+//! A pipeline's stages form a DAG: every stage depends on the stage that
+//! produces its input relation, and join stages additionally depend on
+//! their build side. The scheduler decomposes the DAG into **branches**
+//! (maximal single-successor chains) and groups the branches into
+//! topological **waves**: every branch in a wave has all of its external
+//! dependencies satisfied by earlier waves, so the branches of one wave
+//! are mutually independent and can execute concurrently on disjoint
+//! vault partitions of the same machine ([`mondrian_core::PartitionSpec`]).
+//!
+//! The concurrent executor in [`crate::Pipeline::run`] always keeps the
+//! serial schedule as its reference: every partitioned stage's output is
+//! verified byte-identical to the serial run, and a wave only charges the
+//! concurrent makespan when it actually beats executing its stages back
+//! to back (otherwise it falls back to the serial schedule, so a branch
+//! run is never reported slower than a serial one).
+
+use crate::stage::{BuildSide, Stage, StageInput, StageSpec};
+
+/// How the executor schedules a pipeline's stages onto the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Concurrency {
+    /// One stage at a time over all vaults — the reference executor.
+    #[default]
+    Serial,
+    /// Independent DAG branches run concurrently on disjoint vault
+    /// partitions, verified against (and never slower than) the serial
+    /// schedule.
+    Branch,
+}
+
+impl Concurrency {
+    /// The manifest spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Concurrency::Serial => "serial",
+            Concurrency::Branch => "branch",
+        }
+    }
+}
+
+/// The scheduled shape of a pipeline: dependencies, branch decomposition
+/// and topological waves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dag {
+    /// Per stage: the earlier stages it reads (input and build edges),
+    /// ascending and deduplicated.
+    pub deps: Vec<Vec<usize>>,
+    /// Per stage: the branch it belongs to.
+    pub branch_of: Vec<usize>,
+    /// Per branch: its stages in execution order.
+    pub branches: Vec<Vec<usize>>,
+    /// Per wave: the branches it runs, all mutually independent.
+    pub waves: Vec<Vec<usize>>,
+}
+
+impl Dag {
+    /// Builds the schedule shape for a validated stage list.
+    pub fn build(stages: &[Stage]) -> Dag {
+        let n = stages.len();
+        let mut deps: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for (i, stage) in stages.iter().enumerate() {
+            let mut d = Vec::new();
+            match stage.input {
+                StageInput::Prev => {
+                    if i > 0 {
+                        d.push(i - 1);
+                    }
+                }
+                StageInput::Source => {}
+                StageInput::Stage(j) => d.push(j),
+            }
+            if let StageSpec::Join { build: BuildSide::Stage(j) } = stage.spec {
+                d.push(j);
+            }
+            d.sort_unstable();
+            d.dedup();
+            deps.push(d);
+        }
+
+        // Branch decomposition: a stage continues its sole dependency's
+        // branch if it is the first stage to do so; everything else —
+        // source readers, multi-input stages, second consumers of a shared
+        // stage — opens a new branch.
+        let mut branch_of: Vec<usize> = Vec::with_capacity(n);
+        let mut branches: Vec<Vec<usize>> = Vec::new();
+        let mut extended = vec![false; n];
+        for (i, d) in deps.iter().enumerate() {
+            match d.as_slice() {
+                [d] if !extended[*d] => {
+                    extended[*d] = true;
+                    let b = branch_of[*d];
+                    branch_of.push(b);
+                    branches[b].push(i);
+                }
+                _ => {
+                    branch_of.push(branches.len());
+                    branches.push(vec![i]);
+                }
+            }
+        }
+
+        // Topological levels over branches. Branch ids are assigned in
+        // stage order, so every cross-branch dependency points at a lower
+        // branch id and one ascending pass suffices.
+        let mut level = vec![0usize; branches.len()];
+        for i in 0..n {
+            let b = branch_of[i];
+            for &d in &deps[i] {
+                let db = branch_of[d];
+                if db != b {
+                    level[b] = level[b].max(level[db] + 1);
+                }
+            }
+        }
+        let wave_count = level.iter().map(|&l| l + 1).max().unwrap_or(0);
+        let mut waves: Vec<Vec<usize>> = vec![Vec::new(); wave_count];
+        for (b, &l) in level.iter().enumerate() {
+            waves[l].push(b);
+        }
+        Dag { deps, branch_of, branches, waves }
+    }
+
+    /// The wave a stage executes in.
+    pub fn wave_of(&self, stage: usize) -> usize {
+        let b = self.branch_of[stage];
+        self.waves.iter().position(|w| w.contains(&b)).expect("every branch is scheduled")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_branch_join() -> Vec<Stage> {
+        vec![
+            Stage::chained(StageSpec::Filter { modulus: 10, remainder: 0 }),
+            Stage::chained(StageSpec::GroupByKey),
+            Stage::with_input(StageSpec::Filter { modulus: 3, remainder: 1 }, StageInput::Source),
+            Stage::chained(StageSpec::GroupByKey),
+            Stage::with_input(StageSpec::Join { build: BuildSide::Stage(3) }, StageInput::Stage(1)),
+        ]
+    }
+
+    #[test]
+    fn chain_is_one_branch_per_wave() {
+        let stages = vec![
+            Stage::chained(StageSpec::Filter { modulus: 10, remainder: 0 }),
+            Stage::chained(StageSpec::ReduceByKey),
+            Stage::chained(StageSpec::SortByKey),
+        ];
+        let dag = Dag::build(&stages);
+        assert_eq!(dag.branches, vec![vec![0, 1, 2]]);
+        assert_eq!(dag.waves, vec![vec![0]]);
+        assert_eq!(dag.deps[2], vec![1]);
+    }
+
+    #[test]
+    fn join_over_two_chains_makes_two_concurrent_branches() {
+        let dag = Dag::build(&two_branch_join());
+        assert_eq!(dag.branches, vec![vec![0, 1], vec![2, 3], vec![4]]);
+        assert_eq!(dag.waves, vec![vec![0, 1], vec![2]], "two independent chains, then the join");
+        assert_eq!(dag.deps[4], vec![1, 3]);
+        assert_eq!(dag.wave_of(3), 0);
+        assert_eq!(dag.wave_of(4), 1);
+    }
+
+    #[test]
+    fn shared_stage_consumers_fork_branches() {
+        // Stage 1 and 2 both read stage 0: 1 continues the branch, 2 forks.
+        let stages = vec![
+            Stage::chained(StageSpec::Filter { modulus: 10, remainder: 0 }),
+            Stage::chained(StageSpec::GroupByKey),
+            Stage::with_input(StageSpec::SortByKey, StageInput::Stage(0)),
+        ];
+        let dag = Dag::build(&stages);
+        assert_eq!(dag.branches.len(), 2);
+        assert_eq!(dag.branch_of, vec![0, 0, 1]);
+        // The fork depends on branch 0's stage 0, which shares a branch
+        // with stage 1 — so it must wait for wave 1.
+        assert_eq!(dag.waves[0], vec![0]);
+        assert_eq!(dag.waves[1], vec![1]);
+    }
+}

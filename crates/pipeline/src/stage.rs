@@ -21,6 +21,63 @@ use mondrian_ops::spark::SparkOp;
 use mondrian_ops::{reference, Aggregates, OperatorKind, ScanPredicate};
 use mondrian_workloads::Tuple;
 
+/// Where a stage's (probe) input relation comes from. Together with join
+/// build-side references this makes plans true DAGs: a stage that reads
+/// `Source` or an out-of-chain `Stage(j)` opens an independent branch that
+/// the scheduler may run concurrently with other branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageInput {
+    /// The previous stage's output (the source relation for stage 0) —
+    /// the default chain edge.
+    Prev,
+    /// The pipeline's source relation.
+    Source,
+    /// The output of an earlier stage, by zero-based index.
+    Stage(usize),
+}
+
+impl std::fmt::Display for StageInput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageInput::Prev => f.write_str("prev"),
+            StageInput::Source => f.write_str("source"),
+            StageInput::Stage(j) => write!(f, "stage {j}"),
+        }
+    }
+}
+
+/// One stage of a pipeline plan: the declarative transformation plus the
+/// edge naming where its input relation comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stage {
+    /// The transformation.
+    pub spec: StageSpec,
+    /// The probe-input edge.
+    pub input: StageInput,
+}
+
+impl Stage {
+    /// A stage consuming the previous stage's output (the classic chain).
+    pub fn chained(spec: StageSpec) -> Stage {
+        Stage { spec, input: StageInput::Prev }
+    }
+
+    /// A stage reading an explicit input.
+    pub fn with_input(spec: StageSpec, input: StageInput) -> Stage {
+        Stage { spec, input }
+    }
+
+    /// The stage's manifest identifier (delegates to the spec).
+    pub fn name(&self) -> &'static str {
+        self.spec.name()
+    }
+
+    /// The basic operator simulating this stage (delegates to the spec).
+    pub fn basic_operator(&self) -> OperatorKind {
+        self.spec.basic_operator()
+    }
+}
+
 /// Where a join stage's build-side relation R comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BuildSide {

@@ -1,0 +1,137 @@
+//! Scheduler equivalence: the concurrent branch executor must produce
+//! byte-identical stage outputs and a monotone non-increasing makespan
+//! versus the serial reference executor, across the four representative
+//! systems (CPU, NMP-rand, NMP-seq, Mondrian — covering both probe
+//! families and both partitioning mechanisms).
+
+use mondrian_core::SystemKind;
+use mondrian_pipeline::{
+    BuildSide, Concurrency, Pipeline, PipelineConfig, Stage, StageInput, StageSpec,
+};
+use proptest::prelude::*;
+
+/// The four representative systems the equivalence property sweeps.
+const SYSTEMS: [SystemKind; 4] =
+    [SystemKind::Cpu, SystemKind::NmpRand, SystemKind::NmpSeq, SystemKind::Mondrian];
+
+/// The second stage of a generated branch.
+fn branch_tail(sel: u64) -> StageSpec {
+    match sel % 4 {
+        0 => StageSpec::GroupByKey,
+        1 => StageSpec::ReduceByKey,
+        2 => StageSpec::CountByKey,
+        _ => StageSpec::SortByKey,
+    }
+}
+
+/// A join over two independent scan→tail chains, with generated
+/// predicates and tails.
+fn two_branch_pipeline(mod_a: u64, tail_a: u64, mod_b: u64, tail_b: u64) -> Pipeline {
+    Pipeline::from_stages(vec![
+        Stage::chained(StageSpec::Filter { modulus: mod_a, remainder: 0 }),
+        Stage::chained(branch_tail(tail_a)),
+        Stage::with_input(StageSpec::Filter { modulus: mod_b, remainder: 1 }, StageInput::Source),
+        Stage::chained(branch_tail(tail_b)),
+        Stage::with_input(StageSpec::Join { build: BuildSide::Stage(3) }, StageInput::Stage(1)),
+    ])
+}
+
+proptest! {
+    /// For random two-branch DAGs, seeds and dataset scales, branch
+    /// execution is functionally indistinguishable from serial execution
+    /// (identical per-stage digests and final relation) and never slower.
+    #[test]
+    fn branch_outputs_byte_identical_and_makespan_monotone(
+        params in (0u64..4, 2u64..9, 0u64..4, 2u64..9, 0u64..4, 0u64..1000, 16usize..48)
+    ) {
+        let (sys, mod_a, tail_a, mod_b, tail_b, seed, tpv) = params;
+        let pipeline = two_branch_pipeline(mod_a, tail_a, mod_b, tail_b);
+        let mut cfg = PipelineConfig::tiny(SYSTEMS[sys as usize]);
+        cfg.tuples_per_vault = tpv;
+        cfg.seed = seed;
+        let serial = pipeline.run(&cfg);
+        cfg.concurrency = Concurrency::Branch;
+        let branch = pipeline.run(&cfg);
+
+        prop_assert!(serial.verified(), "serial run failed on {}", cfg.system);
+        prop_assert!(branch.verified(), "branch run failed on {}", cfg.system);
+        // Byte-identical stage outputs between the two schedules.
+        for (s, b) in serial.stages.iter().zip(&branch.stages) {
+            prop_assert_eq!(s.output_digest, b.output_digest, "stage {} diverged", s.spec);
+            prop_assert_eq!(s.output_rows, b.output_rows);
+            prop_assert!(b.matches_serial);
+        }
+        prop_assert_eq!(&serial.output, &branch.output, "final relations diverged");
+        // Monotone non-increasing makespan.
+        prop_assert!(
+            branch.makespan_ps() <= serial.makespan_ps(),
+            "branch schedule slower on {}: {} > {} ps",
+            cfg.system,
+            branch.makespan_ps(),
+            serial.makespan_ps()
+        );
+        // The serial schedule is a sum of its stages in both reports.
+        prop_assert_eq!(serial.makespan_ps(), serial.runtime_ps());
+    }
+}
+
+/// The acceptance scenario, deterministically: a two-branch DAG on the
+/// tiny topology must see a strict makespan win on at least one system
+/// while producing byte-identical artifacts on all of them.
+#[test]
+fn branch_schedule_strictly_faster_on_some_system() {
+    let pipeline = two_branch_pipeline(10, 0, 3, 0);
+    let mut strictly_faster = Vec::new();
+    for system in SystemKind::ALL {
+        let mut cfg = PipelineConfig::tiny(system);
+        cfg.tuples_per_vault = 128;
+        cfg.seed = 7;
+        let serial = pipeline.run(&cfg);
+        cfg.concurrency = Concurrency::Branch;
+        let branch = pipeline.run(&cfg);
+        assert!(branch.verified(), "branch run failed on {system}");
+        assert!(branch.makespan_ps() <= serial.makespan_ps(), "slower on {system}");
+        assert_eq!(serial.output, branch.output);
+        if branch.makespan_ps() < serial.makespan_ps() {
+            strictly_faster.push(system);
+            assert!(
+                branch.schedule.any_concurrent(),
+                "a strict win must come from a concurrent wave"
+            );
+        }
+    }
+    assert!(
+        !strictly_faster.is_empty(),
+        "no system gained from branch concurrency on the two-branch DAG"
+    );
+}
+
+/// Wave structure and lease accounting of a concurrent run.
+#[test]
+fn concurrent_waves_lease_disjoint_partitions() {
+    let pipeline = two_branch_pipeline(10, 0, 3, 0);
+    let mut cfg = PipelineConfig::tiny(SystemKind::Cpu);
+    cfg.tuples_per_vault = 128;
+    cfg.concurrency = Concurrency::Branch;
+    let report = pipeline.run(&cfg);
+    assert!(report.verified());
+    assert_eq!(report.schedule.waves.len(), 2, "two chains, then the join");
+    let wave0 = &report.schedule.waves[0];
+    assert_eq!(wave0.branches.len(), 2);
+    if wave0.concurrent {
+        let (a, b) = (&wave0.branches[0], &wave0.branches[1]);
+        assert_eq!(a.first_vault, 0);
+        assert_eq!(b.first_vault, a.vaults, "leases are disjoint and contiguous");
+        assert_eq!(a.vaults + b.vaults, 4, "tiny topology splits its 4 vaults");
+        assert_eq!(wave0.runtime_ps, a.runtime_ps.max(b.runtime_ps));
+        assert!(wave0.branches.iter().any(|br| br.critical));
+        assert!(a.mesh.messages > 0, "mesh traffic attributed to the branch's lease");
+    }
+    // The join runs alone on the whole machine.
+    let wave1 = &report.schedule.waves[1];
+    assert!(!wave1.concurrent);
+    assert_eq!(wave1.branches[0].vaults, 4);
+    // Makespan is the sum of charged wave times.
+    let sum: u64 = report.schedule.waves.iter().map(|w| w.runtime_ps).sum();
+    assert_eq!(report.makespan_ps(), sum);
+}

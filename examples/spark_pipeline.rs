@@ -29,7 +29,7 @@ fn main() {
 
     println!("stage → basic operator (Table 1):");
     for stage in pipeline.stages() {
-        println!("  {:<12} {:?} → {}", stage.name(), stage.spark_op(), stage.basic_operator());
+        println!("  {:<12} {:?} → {}", stage.name(), stage.spec.spark_op(), stage.basic_operator());
     }
     println!();
 
