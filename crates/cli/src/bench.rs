@@ -1,0 +1,203 @@
+//! `mondrian bench`: the wall-clock benchmark harness for the parallel
+//! execution engine.
+//!
+//! Runs one campaign at a ladder of `jobs` values, times each full
+//! execution on the host clock, and cross-checks that every parallel run
+//! produced a result artifact **byte-identical** to the single-worker
+//! baseline — the determinism guarantee, enforced on every benchmark.
+//! The report (`BENCH_sweep.json`) records the host core count alongside
+//! the sweep, so a flat curve on a one-core container reads as expected
+//! rather than as a regression.
+
+use std::time::Instant;
+
+use crate::campaign::run_campaign_jobs;
+use crate::manifest::Manifest;
+use crate::value::Value;
+
+/// One point of the jobs ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchPoint {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Best-of-`repeat` wall-clock milliseconds for the whole campaign.
+    pub wall_ms: f64,
+    /// Single-worker baseline wall time divided by this point's.
+    pub speedup: f64,
+    /// Whether the artifact matched the single-worker baseline byte for
+    /// byte.
+    pub identical: bool,
+    /// Whether every stage of every run verified.
+    pub verified: bool,
+}
+
+/// Results of one benchmark sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Campaign name.
+    pub campaign: String,
+    /// Runs in the sweep cross product.
+    pub runs: usize,
+    /// Runs served from the full-run memo.
+    pub memo_hits: usize,
+    /// Host cores available when the benchmark ran.
+    pub host_cores: usize,
+    /// The jobs ladder, in the requested order.
+    pub points: Vec<BenchPoint>,
+}
+
+impl BenchReport {
+    /// Whether every point verified and matched the baseline artifact.
+    pub fn ok(&self) -> bool {
+        self.points.iter().all(|p| p.identical && p.verified)
+    }
+
+    /// The JSON document written to `BENCH_sweep.json`. Wall times are
+    /// host measurements and change run to run; everything else is
+    /// deterministic.
+    pub fn to_json(&self) -> String {
+        let round = |x: f64| (x * 1000.0).round() / 1000.0;
+        let mut root = Value::table();
+        root.insert("campaign", Value::Str(self.campaign.clone()));
+        root.insert("runs", Value::Int(self.runs as i64));
+        root.insert("memo_hits", Value::Int(self.memo_hits as i64));
+        root.insert("host_cores", Value::Int(self.host_cores as i64));
+        root.insert(
+            "sweep",
+            Value::Array(
+                self.points
+                    .iter()
+                    .map(|p| {
+                        let mut t = Value::table();
+                        t.insert("jobs", Value::Int(p.jobs as i64));
+                        t.insert("wall_ms", Value::Float(round(p.wall_ms)));
+                        t.insert("speedup", Value::Float(round(p.speedup)));
+                        t.insert("identical", Value::Bool(p.identical));
+                        t.insert("verified", Value::Bool(p.verified));
+                        t
+                    })
+                    .collect(),
+            ),
+        );
+        root.to_json()
+    }
+
+    /// One line per ladder point for terminals.
+    pub fn human_summary(&self) -> String {
+        let mut out = format!(
+            "bench {:?}: {} runs ({} memoized), {} host core(s)\n",
+            self.campaign, self.runs, self.memo_hits, self.host_cores,
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "  jobs={:<3} {:>10.3} ms  {:>6.2}x  {}{}\n",
+                p.jobs,
+                p.wall_ms,
+                p.speedup,
+                if p.identical { "byte-identical" } else { "ARTIFACT DIVERGED" },
+                if p.verified { "" } else { " VERIFICATION FAILED" },
+            ));
+        }
+        out
+    }
+}
+
+/// Runs `manifest` once per entry of `jobs_list` (each timed as the best
+/// of `repeat` executions) and cross-checks every artifact byte for byte
+/// against a **single-worker baseline** — which is always executed, even
+/// when `1` is absent from the ladder, so a parallelism bug can never
+/// hide behind a ladder that skips the serial run.
+pub fn bench(manifest: &Manifest, jobs_list: &[usize], repeat: usize) -> BenchReport {
+    assert!(!jobs_list.is_empty(), "bench needs at least one jobs value");
+    let repeat = repeat.max(1);
+    let mut runs = 0;
+    let mut memo_hits = 0;
+    let mut measure = |jobs: usize| {
+        let mut best = f64::INFINITY;
+        let mut artifact = String::new();
+        let mut verified = true;
+        for r in 0..repeat {
+            let start = Instant::now();
+            let campaign = run_campaign_jobs(manifest, jobs, |_| {});
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+            // Campaigns are deterministic across repeats: serialize the
+            // artifact (the expensive part) only once per ladder point.
+            if r == 0 {
+                verified = campaign.verified();
+                artifact = campaign.to_json();
+                runs = campaign.runs.len();
+                memo_hits = campaign.memo_hits;
+            }
+        }
+        (artifact, best, verified)
+    };
+    let (base_artifact, base_wall, base_verified) = measure(1);
+    let mut points = Vec::with_capacity(jobs_list.len());
+    for &jobs in jobs_list {
+        let (artifact, wall_ms, verified) = if jobs == 1 {
+            (base_artifact.clone(), base_wall, base_verified)
+        } else {
+            measure(jobs)
+        };
+        points.push(BenchPoint {
+            jobs,
+            wall_ms,
+            speedup: base_wall / wall_ms.max(1e-9),
+            identical: artifact == base_artifact,
+            verified,
+        });
+    }
+    BenchReport {
+        campaign: manifest.name.clone(),
+        runs,
+        memo_hits,
+        host_cores: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::Format;
+
+    const MANIFEST: &str = r#"
+        [campaign]
+        name = "bench-smoke"
+        systems = ["cpu", "nmp-rand"]
+        tuples_per_vault = 64
+
+        [[stage]]
+        op = "filter"
+
+        [[stage]]
+        op = "count_by_key"
+    "#;
+
+    #[test]
+    fn bench_ladder_is_identical_across_jobs() {
+        let manifest = Manifest::parse(MANIFEST, Format::Toml).unwrap();
+        let report = bench(&manifest, &[1, 2, 4], 1);
+        assert!(report.ok(), "parallel artifacts must match the serial baseline");
+        assert_eq!(report.points.len(), 3);
+        assert_eq!(report.runs, 2);
+        let json = report.to_json();
+        crate::value::parse_json(&json).unwrap();
+        assert!(json.contains("\"identical\": true"));
+        assert!(report.human_summary().contains("byte-identical"));
+    }
+
+    #[test]
+    fn bench_baseline_is_single_worker_even_when_absent_from_ladder() {
+        // A ladder without jobs=1 must still gate against a serial run,
+        // not against its own first entry.
+        let manifest = Manifest::parse(MANIFEST, Format::Toml).unwrap();
+        let report = bench(&manifest, &[4, 8], 1);
+        assert!(report.ok());
+        assert_eq!(
+            report.points.iter().map(|p| p.jobs).collect::<Vec<_>>(),
+            vec![4, 8],
+            "the implicit baseline run is not a ladder point"
+        );
+    }
+}

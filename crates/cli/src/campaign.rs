@@ -14,6 +14,9 @@
 //!   each shared stage-prefix's semantics once.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 use mondrian_core::SystemKind;
 use mondrian_pipeline::{
@@ -33,6 +36,11 @@ pub struct CampaignRun {
     /// Whether the report was cloned from an effectively identical earlier
     /// run instead of re-simulated.
     pub memoized: bool,
+    /// Host wall-clock milliseconds spent simulating this run (0 for memo
+    /// hits). Excluded from the default artifact, from digests and from
+    /// `mondrian diff`: wall time is a property of the host, not of the
+    /// simulated machines.
+    pub sim_wall_ms: f64,
 }
 
 /// Results of a whole campaign.
@@ -44,8 +52,50 @@ pub struct Campaign {
     pub runs: Vec<CampaignRun>,
     /// Runs served from the full-run memo.
     pub memo_hits: usize,
-    /// Per-stage reference outputs served from the prefix memo.
+    /// Per-stage reference outputs served from the prefix memo. Under
+    /// parallel execution two workers may race to compute the same prefix,
+    /// so this count (unlike `memo_hits`) can vary with scheduling; it
+    /// never reaches the artifact.
     pub reference_hits: u64,
+    /// Worker threads the campaign ran with.
+    pub jobs: usize,
+}
+
+/// Resolves the worker-thread count for a campaign, in precedence order:
+/// the `--jobs` flag, the `MONDRIAN_JOBS` environment variable, the
+/// manifest's `jobs` knob, and finally every available host core.
+/// Purely an execution-speed knob: the result artifact is byte-identical
+/// for every value.
+///
+/// # Errors
+///
+/// Returns an error when `MONDRIAN_JOBS` is set but is not a positive
+/// integer — a typo must not silently fall through to "all host cores".
+pub fn resolve_jobs(flag: Option<usize>, manifest_jobs: Option<usize>) -> Result<usize, String> {
+    let env = std::env::var("MONDRIAN_JOBS").ok();
+    resolve_jobs_from(flag, env.as_deref(), manifest_jobs)
+}
+
+/// [`resolve_jobs`] with the environment value passed explicitly (so the
+/// precedence and validation logic is unit-testable without mutating the
+/// process environment).
+fn resolve_jobs_from(
+    flag: Option<usize>,
+    env: Option<&str>,
+    manifest_jobs: Option<usize>,
+) -> Result<usize, String> {
+    if let Some(n) = flag {
+        return if n >= 1 { Ok(n) } else { Err("--jobs must be at least 1".into()) };
+    }
+    if let Some(v) = env {
+        return match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("MONDRIAN_JOBS must be a positive integer, got {v:?}")),
+        };
+    }
+    Ok(manifest_jobs
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
+        .max(1))
 }
 
 /// The parameters that actually influence a run's simulation. Axes that
@@ -65,31 +115,102 @@ fn effective_key(spec: &RunSpec) -> (SystemKind, bool, usize, u64, Option<u64>, 
     )
 }
 
-/// Executes every run of `manifest`, invoking `progress` with each run's
-/// one-line outcome as it completes.
-pub fn run_campaign<F: FnMut(&CampaignRun)>(manifest: &Manifest, mut progress: F) -> Campaign {
+/// Executes every run of `manifest` on one worker, invoking `progress`
+/// with each run's outcome as it completes. Equivalent to
+/// [`run_campaign_jobs`] with `jobs = 1`.
+pub fn run_campaign<F: FnMut(&CampaignRun)>(manifest: &Manifest, progress: F) -> Campaign {
+    run_campaign_jobs(manifest, 1, progress)
+}
+
+/// Executes every run of `manifest`, fanning the sweep's *unique*
+/// simulations out over `jobs` scoped worker threads.
+///
+/// Determinism by construction: the memo plan is fixed from the manifest
+/// order before anything executes — the first run of each effective key
+/// is its **owner** and simulates; every later duplicate clones the
+/// owner's report and is flagged `memoized`. Owners are deterministic
+/// simulations of disjoint sweep points, results are collected by sweep
+/// position, and `progress` fires in manifest order — so the artifact is
+/// byte-identical for every `jobs` value and any thread interleaving.
+pub fn run_campaign_jobs<F: FnMut(&CampaignRun)>(
+    manifest: &Manifest,
+    jobs: usize,
+    mut progress: F,
+) -> Campaign {
+    let jobs = jobs.max(1);
     let pipeline = manifest.pipeline();
-    let mut cache = ExecCache::default();
-    let mut seen: HashMap<_, usize> = HashMap::new();
-    let mut runs: Vec<CampaignRun> = Vec::new();
-    let mut memo_hits = 0;
-    for spec in manifest.runs() {
-        let key = effective_key(&spec);
-        let (report, memoized) = match seen.get(&key) {
-            Some(&idx) => {
-                memo_hits += 1;
-                (runs[idx].report.clone(), true)
-            }
+    let cache = ExecCache::default();
+    let specs = manifest.runs();
+
+    // The memo plan: owner[i] = the first manifest position sharing run
+    // i's effective key (itself, if i computes).
+    let mut first_of: HashMap<_, usize> = HashMap::new();
+    let mut owner: Vec<usize> = Vec::with_capacity(specs.len());
+    let mut unique: Vec<usize> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        match first_of.get(&effective_key(spec)) {
+            Some(&j) => owner.push(j),
             None => {
-                seen.insert(key, runs.len());
-                (pipeline.run_cached(&manifest.config_for(spec), &mut cache), false)
+                first_of.insert(effective_key(spec), i);
+                owner.push(i);
+                unique.push(i);
             }
+        }
+    }
+    let memo_hits = specs.len() - unique.len();
+
+    // Spare workers become intra-run threads (branch-wave parallelism and
+    // reference/simulation overlap). Derived from the manifest alone, so
+    // it cannot perturb determinism — and neither could any other split,
+    // since intra-run threading is result-invariant too.
+    let threads_per_run = (jobs / unique.len().max(1)).max(1);
+
+    let run_one = |i: usize| {
+        let mut cfg = manifest.config_for(specs[i]);
+        cfg.threads = threads_per_run;
+        let start = Instant::now();
+        let report = pipeline.run_cached(&cfg, &cache);
+        (report, start.elapsed().as_secs_f64() * 1e3)
+    };
+
+    // Parallel pre-pass over the owners; with one job the owners simulate
+    // lazily inside the assembly loop instead, so progress streams.
+    let mut results: Vec<Option<(PipelineReport, f64)>> = (0..specs.len()).map(|_| None).collect();
+    if jobs > 1 && unique.len() > 1 {
+        let cursor = AtomicUsize::new(0);
+        let slots = Mutex::new(&mut results);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(unique.len()) {
+                scope.spawn(|| loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = unique.get(k) else { break };
+                    let out = run_one(i);
+                    slots.lock().expect("worker panicked")[i] = Some(out);
+                });
+            }
+        });
+    }
+
+    // Assemble by sweep position.
+    let mut runs: Vec<CampaignRun> = Vec::with_capacity(specs.len());
+    for (i, &spec) in specs.iter().enumerate() {
+        let memoized = owner[i] != i;
+        let (report, sim_wall_ms) = if memoized {
+            (runs[owner[i]].report.clone(), 0.0)
+        } else {
+            results[i].take().unwrap_or_else(|| run_one(i))
         };
-        let run = CampaignRun { spec, report, memoized };
+        let run = CampaignRun { spec, report, memoized, sim_wall_ms };
         progress(&run);
         runs.push(run);
     }
-    Campaign { manifest: manifest.clone(), runs, memo_hits, reference_hits: cache.reference_hits }
+    Campaign {
+        manifest: manifest.clone(),
+        runs,
+        memo_hits,
+        reference_hits: cache.reference_hits(),
+        jobs,
+    }
 }
 
 impl Campaign {
@@ -100,8 +221,19 @@ impl Campaign {
 
     /// The machine-readable result artifact. Fully deterministic: object
     /// keys are sorted, runs follow the manifest's cross-product order,
-    /// and every number derives from the seeded simulation.
+    /// and every number derives from the seeded simulation — never from
+    /// the host, the worker count, or thread scheduling.
     pub fn to_json(&self) -> String {
+        self.to_json_with(false)
+    }
+
+    /// Like [`Campaign::to_json`], optionally annotating each run with
+    /// its `sim_wall_ms` host wall-clock time (the `--timings` flag).
+    /// Wall times are measurements of the host, not of the simulated
+    /// machines: they are excluded from digests and ignored by
+    /// `mondrian diff`, and artifacts carrying them are not expected to
+    /// be byte-comparable.
+    pub fn to_json_with(&self, timings: bool) -> String {
         let mut root = Value::table();
         root.insert("campaign", Value::Str(self.manifest.name.clone()));
         root.insert("schema_version", Value::Int(2));
@@ -119,7 +251,7 @@ impl Campaign {
         root.insert("stages", Value::Array(self.manifest.stages.iter().map(stage_json).collect()));
         root.insert("verified", Value::Bool(self.verified()));
         root.insert("memo_hits", Value::Int(self.memo_hits as i64));
-        root.insert("runs", Value::Array(self.runs.iter().map(run_json).collect()));
+        root.insert("runs", Value::Array(self.runs.iter().map(|r| run_json(r, timings)).collect()));
         root.to_json()
     }
 
@@ -142,8 +274,14 @@ impl Campaign {
                 self.memo_hits, self.reference_hits,
             ));
         }
+        out.push_str(&format!(" [{} job(s), {:.1} ms sim wall]", self.jobs, self.sim_wall_ms()));
         out.push('\n');
         out
+    }
+
+    /// Total host wall-clock milliseconds spent simulating.
+    pub fn sim_wall_ms(&self) -> f64 {
+        self.runs.iter().map(|r| r.sim_wall_ms).sum()
     }
 }
 
@@ -235,8 +373,13 @@ fn wave_json(wave: &WaveReport) -> Value {
     table
 }
 
-fn run_json(run: &CampaignRun) -> Value {
+fn run_json(run: &CampaignRun, timings: bool) -> Value {
     let mut table = Value::table();
+    if timings {
+        // Host measurement, not simulation output: excluded from digests
+        // and ignored by `mondrian diff`.
+        table.insert("sim_wall_ms", Value::Float(run.sim_wall_ms));
+    }
     table.insert("system", Value::Str(run.spec.system.name().to_string()));
     table.insert("topology", Value::Str(if run.spec.tiny { "tiny" } else { "scaled" }.to_string()));
     table.insert("tuples_per_vault", Value::Int(run.spec.tuples_per_vault as i64));
@@ -343,6 +486,19 @@ mod tests {
         let summary = campaign.human_summary();
         assert_eq!(summary.lines().count(), 3, "two runs + the footer");
         assert!(summary.contains("all verified"));
+    }
+
+    #[test]
+    fn jobs_resolution_precedence_and_validation() {
+        assert_eq!(resolve_jobs_from(Some(3), Some("8"), Some(2)), Ok(3));
+        assert_eq!(resolve_jobs_from(None, Some("8"), Some(2)), Ok(8));
+        assert_eq!(resolve_jobs_from(None, None, Some(2)), Ok(2));
+        assert!(resolve_jobs_from(None, None, None).unwrap() >= 1);
+        // A mistyped environment value is a hard error, not a silent
+        // fall-through to every host core.
+        assert!(resolve_jobs_from(None, Some("two"), None).is_err());
+        assert!(resolve_jobs_from(None, Some("0"), None).is_err());
+        assert!(resolve_jobs_from(Some(0), None, None).is_err(), "flag path validates too");
     }
 
     #[test]

@@ -1,13 +1,15 @@
 //! # mondrian-cli
 //!
 //! Library backing the `mondrian` binary: manifest parsing
-//! ([`manifest`]), the TOML/JSON document model ([`value`]), and campaign
-//! execution ([`campaign`]). The binary in `main.rs` is a thin argument
+//! ([`manifest`]), the TOML/JSON document model ([`value`]), campaign
+//! execution ([`campaign`]) and the parallel-execution benchmark harness
+//! ([`bench`]). The binary in `main.rs` is a thin argument
 //! layer over these modules so integration tests can exercise everything
 //! in-process.
 
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod campaign;
 pub mod diff;
 pub mod manifest;

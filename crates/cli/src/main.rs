@@ -2,20 +2,24 @@
 //!
 //! ```text
 //! mondrian run <manifest.(toml|json)> [--out result.json] [--quiet]
-//!              [--concurrency serial|branch]
+//!              [--concurrency serial|branch] [--jobs N] [--timings]
+//! mondrian bench <manifest.(toml|json)> [--out BENCH_sweep.json]
+//!                [--jobs-list 1,2,4] [--repeat N]
 //! mondrian explain <manifest.(toml|json)>
 //! mondrian diff <a/result.json> <b/result.json> [--fail-on-regression <pct>]
 //! mondrian list-systems
 //! ```
 //!
 //! `run` executes every (system × sweep) combination of the manifest's
-//! pipeline, prints a per-run summary, and writes a deterministic
-//! machine-readable `result.json`. The process exits non-zero if any
-//! stage fails verification.
+//! pipeline — fanned over `--jobs` worker threads — prints a per-run
+//! summary, and writes a deterministic machine-readable `result.json`
+//! (byte-identical for every worker count). The process exits non-zero
+//! if any stage fails verification.
 
 use std::process::ExitCode;
 
-use mondrian_cli::campaign::{run_campaign, run_line};
+use mondrian_cli::bench::bench;
+use mondrian_cli::campaign::{resolve_jobs, run_campaign_jobs, run_line};
 use mondrian_cli::diff::diff;
 use mondrian_cli::manifest::{Format, Manifest};
 use mondrian_core::{SystemConfig, SystemKind};
@@ -26,10 +30,20 @@ the Mondrian Data Engine campaign runner
 
 usage:
   mondrian run <manifest.(toml|json)> [--out <path>] [--quiet]
-               [--concurrency serial|branch]
+               [--concurrency serial|branch] [--jobs N] [--timings]
       run every (system x sweep) combination of the manifest's pipeline,
       print a summary, and write the result artifact (default: result.json);
-      --concurrency overrides the manifest's scheduling knob
+      --concurrency overrides the manifest's scheduling knob; --jobs sets
+      the worker-thread count (precedence: --jobs, MONDRIAN_JOBS, the
+      manifest's jobs knob, all host cores) and never changes the
+      artifact, which stays byte-identical for every worker count;
+      --timings annotates each run with its host sim_wall_ms (excluded
+      from digests and ignored by mondrian diff)
+  mondrian bench <manifest.(toml|json)> [--out <path>] [--jobs-list 1,2,4]
+                 [--repeat N]
+      run the campaign once per jobs value, check every artifact is
+      byte-identical to the single-worker baseline, and write the
+      wall-clock sweep (default: BENCH_sweep.json)
   mondrian explain <manifest.(toml|json)>
       show the parsed campaign, the Table 1 lowering of every stage, the
       branch-wave schedule of the plan DAG, and the full sweep cross
@@ -49,6 +63,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("list-systems") => cmd_list_systems(),
@@ -78,7 +93,9 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     let mut manifest_path: Option<&str> = None;
     let mut out_path = "result.json".to_string();
     let mut quiet = false;
+    let mut timings = false;
     let mut concurrency: Option<Concurrency> = None;
+    let mut jobs_flag: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -86,6 +103,12 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
                 out_path = it.next().ok_or("--out needs a path")?.clone();
             }
             "--quiet" => quiet = true,
+            "--timings" => timings = true,
+            "--jobs" => {
+                let n = it.next().ok_or("--jobs needs a worker count")?;
+                // Zero is rejected by resolve_jobs, the single validator.
+                jobs_flag = Some(n.parse().map_err(|_| format!("bad worker count {n:?}"))?);
+            }
             "--concurrency" => {
                 concurrency = Some(match it.next().map(String::as_str) {
                     Some("serial") => Concurrency::Serial,
@@ -102,24 +125,27 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
         }
     }
     let path = manifest_path.ok_or(
-        "usage: mondrian run <manifest> [--out <path>] [--quiet] [--concurrency serial|branch]",
+        "usage: mondrian run <manifest> [--out <path>] [--quiet] \
+         [--concurrency serial|branch] [--jobs N] [--timings]",
     )?;
     let mut manifest = load_manifest(path)?;
     if let Some(c) = concurrency {
         manifest.concurrency = c;
     }
+    let jobs = resolve_jobs(jobs_flag, manifest.jobs)?;
 
     if !quiet {
         println!(
-            "campaign {:?}: {} stages on {} system(s), {} run(s), {} schedule\n",
+            "campaign {:?}: {} stages on {} system(s), {} run(s), {} schedule, {} job(s)\n",
             manifest.name,
             manifest.stages.len(),
             manifest.systems.len(),
             manifest.runs().len(),
             manifest.concurrency.name(),
+            jobs,
         );
     }
-    let campaign = run_campaign(&manifest, |run| {
+    let campaign = run_campaign_jobs(&manifest, jobs, |run| {
         if !quiet {
             println!("{}", run_line(run));
         }
@@ -134,7 +160,7 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
             }
         }
     }
-    let json = campaign.to_json();
+    let json = campaign.to_json_with(timings);
     std::fs::write(&out_path, &json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
     println!(
         "wrote {out_path} ({} runs, {})",
@@ -142,6 +168,57 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
         if campaign.verified() { "all verified" } else { "VERIFICATION FAILURES" },
     );
     Ok(campaign.verified())
+}
+
+fn cmd_bench(args: &[String]) -> Result<bool, String> {
+    let mut manifest_path: Option<&str> = None;
+    let mut out_path = "BENCH_sweep.json".to_string();
+    let mut jobs_list: Vec<usize> = vec![1, 2, 4];
+    let mut repeat = 1usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_path = it.next().ok_or("--out needs a path")?.clone();
+            }
+            "--jobs-list" => {
+                let list = it.next().ok_or("--jobs-list needs e.g. 1,2,4")?;
+                jobs_list = list
+                    .split(',')
+                    .map(|v| match v.trim().parse::<usize>() {
+                        Ok(n) if n >= 1 => Ok(n),
+                        _ => Err(format!("bad jobs value {v:?} in --jobs-list")),
+                    })
+                    .collect::<Result<_, _>>()?;
+                if jobs_list.is_empty() {
+                    return Err("--jobs-list is empty".into());
+                }
+            }
+            "--repeat" => {
+                let n = it.next().ok_or("--repeat needs a count")?;
+                repeat = match n.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err(format!("--repeat must be a positive count, got {n:?}")),
+                };
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            path => {
+                if manifest_path.replace(path).is_some() {
+                    return Err("exactly one manifest path expected".into());
+                }
+            }
+        }
+    }
+    let path = manifest_path.ok_or(
+        "usage: mondrian bench <manifest> [--out <path>] [--jobs-list 1,2,4] [--repeat N]",
+    )?;
+    let manifest = load_manifest(path)?;
+    let report = bench(&manifest, &jobs_list, repeat);
+    print!("{}", report.human_summary());
+    std::fs::write(&out_path, report.to_json())
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+    Ok(report.ok())
 }
 
 fn cmd_explain(args: &[String]) -> Result<bool, String> {

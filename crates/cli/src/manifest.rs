@@ -15,6 +15,8 @@
 //! zipf_theta = 0.9              # only with key_dist = "zipf"
 //! key_bound = 4096              # optional source key upper bound
 //! concurrency = "serial"        # "serial" | "branch"; default serial
+//! jobs = 4                      # worker threads; default all host cores
+//!                               # (overridden by MONDRIAN_JOBS / --jobs)
 //!
 //! [sweep]                       # optional; lists override the scalars
 //! tuples_per_vault = [256, 512]
@@ -130,6 +132,10 @@ pub struct Manifest {
     pub key_bound: Option<u64>,
     /// How the executor schedules stages onto the machine.
     pub concurrency: Concurrency,
+    /// Worker threads for the sweep (`None` = decide at run time: the
+    /// `MONDRIAN_JOBS` environment variable, else every host core).
+    /// Execution speed only — results are byte-identical for every value.
+    pub jobs: Option<usize>,
     /// The pipeline stages.
     pub stages: Vec<Stage>,
 }
@@ -216,6 +222,10 @@ impl Manifest {
             _ => return Err("campaign.key_dist must be \"uniform\" or \"zipf\"".into()),
         };
         let key_bound = get_u64(campaign, "campaign.key_bound", "key_bound")?;
+        let jobs = get_usize(campaign, "campaign.jobs", "jobs")?;
+        if jobs == Some(0) {
+            return Err("campaign.jobs must be at least 1".into());
+        }
 
         let mut tuples_per_vault = vec![tpv_scalar];
         let mut seeds = vec![seed_scalar];
@@ -289,6 +299,7 @@ impl Manifest {
             underprovision,
             key_bound,
             concurrency,
+            jobs,
             stages,
         };
         manifest.pipeline().validate()?;

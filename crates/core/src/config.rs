@@ -182,6 +182,11 @@ pub struct SystemConfig {
     /// When `Some`, this configuration describes a leased vault partition
     /// of a larger machine rather than a whole machine (multi-tenancy).
     pub partition: Option<PartitionSpec>,
+    /// Host OS threads the simulator may use to evolve independent vault
+    /// command queues in parallel (the phase tail drain, where vaults no
+    /// longer interact through the mesh). Purely a simulation-speed knob:
+    /// results are byte-identical for every value. 1 = fully serial.
+    pub sim_threads: usize,
 }
 
 impl SystemConfig {
@@ -211,6 +216,7 @@ impl SystemConfig {
             barrier: 200 * PS_PER_NS,
             seed: 0x6d6f6e64, // "mond"
             partition: None,
+            sim_threads: 1,
         }
     }
 

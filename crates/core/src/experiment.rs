@@ -22,7 +22,7 @@ use mondrian_ops::join::{
     build_index, merge_join, probe_index, HashProbeKernel, MergeJoinKernel, SimdMergeJoinKernel,
 };
 use mondrian_ops::partition::{
-    exclusive_prefix, histogram, scatter_addresses, HistogramKernel, PermutableScatterKernel,
+    exclusive_prefix, histogram_into, scatter_addresses, HistogramKernel, PermutableScatterKernel,
     ScatterKernel, SimdHistogramKernel, SimdPermutableScatterKernel, SimdScatterKernel,
 };
 use mondrian_ops::scan::{scan_filter, ScalarScanKernel, ScanPredicate, SimdScanKernel};
@@ -30,7 +30,7 @@ use mondrian_ops::sort::{
     bitonic_runs, merge_pass, BitonicRunKernel, QuicksortKernel, ScalarMergePassKernel,
     SimdMergePassKernel, BITONIC_RUN,
 };
-use mondrian_ops::{reference, Aggregates, ChainKernel, OperatorKind, PartitionScheme};
+use mondrian_ops::{reference, Aggregates, ChainKernel, Data, OperatorKind, PartitionScheme};
 use mondrian_sim::{Stats, Time};
 use mondrian_workloads::{
     foreign_key_pair, uniform_relation, zipfian_relation, Tuple, TUPLE_BYTES,
@@ -59,11 +59,12 @@ pub struct ExperimentBuilder {
     /// injection for the §5.4 overflow/retry path).
     underprovision: Option<f64>,
     /// Injected primary relation (replaces dataset generation); for joins
-    /// this is the probe side S.
-    input: Option<Arc<Vec<Tuple>>>,
+    /// this is the probe side S. Shared, not cloned: pipeline stages hand
+    /// the same `Arc<[Tuple]>` to many builders.
+    input: Option<Arc<[Tuple]>>,
     /// Injected build relation R for joins. Without it, an injected join
     /// derives a primary-key dimension from the probe side's keys.
-    build: Option<Arc<Vec<Tuple>>>,
+    build: Option<Arc<[Tuple]>>,
     /// Scan predicate override (defaults to the §6 searched-value scan).
     pred: Option<ScanPredicate>,
 }
@@ -155,21 +156,29 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Lets the simulator drain independent vault command queues on up to
+    /// `n` host threads (the phase tail drain). Simulation-speed only:
+    /// the report is byte-identical for every value.
+    pub fn sim_threads(mut self, n: usize) -> Self {
+        self.cfg.sim_threads = n.max(1);
+        self
+    }
+
     /// Injects the primary input relation instead of generating a dataset:
     /// the relation is range-partitioned across vaults in order, and the
     /// run's [`Report::output`] captures the operator's actual output so
     /// multi-stage pipelines can thread relations between experiments. For
     /// joins, the injected relation is the probe side S.
-    pub fn input(mut self, relation: Vec<Tuple>) -> Self {
-        self.input = Some(Arc::new(relation));
+    pub fn input(mut self, relation: impl Into<Arc<[Tuple]>>) -> Self {
+        self.input = Some(relation.into());
         self
     }
 
     /// Injects the build-side relation R of a join (used together with
     /// [`ExperimentBuilder::input`]). Without it, an injected join builds
     /// against a derived primary-key dimension over the probe keys.
-    pub fn join_build(mut self, relation: Vec<Tuple>) -> Self {
-        self.build = Some(Arc::new(relation));
+    pub fn join_build(mut self, relation: impl Into<Arc<[Tuple]>>) -> Self {
+        self.build = Some(relation.into());
         self
     }
 
@@ -289,16 +298,17 @@ impl Report {
 /// Per-compute-unit kernels for one phase.
 type KernelSet = Vec<Option<Box<dyn Kernel>>>;
 
-/// A relation split into per-vault partitions.
-type VaultData = Vec<Arc<Vec<Tuple>>>;
+/// A relation split into per-vault partitions (shared slices, not owned
+/// vectors: handing a partition to a kernel is a refcount bump).
+type VaultData = Vec<Data>;
 
 struct Experiment {
     op: OperatorKind,
     cfg: SystemConfig,
     dist: KeyDist,
     underprovision: Option<f64>,
-    input: Option<Arc<Vec<Tuple>>>,
-    build: Option<Arc<Vec<Tuple>>>,
+    input: Option<Arc<[Tuple]>>,
+    build: Option<Arc<[Tuple]>>,
     pred: Option<ScanPredicate>,
     layout: Layout,
     machine: Machine,
@@ -341,8 +351,8 @@ impl Experiment {
     fn chunk_to_vaults(&self, rel: &[Tuple]) -> VaultData {
         let vaults = self.vaults();
         let per = rel.len().div_ceil(vaults).max(1);
-        let mut out: Vec<Arc<Vec<Tuple>>> = rel.chunks(per).map(|c| Arc::new(c.to_vec())).collect();
-        out.resize_with(vaults, || Arc::new(Vec::new()));
+        let mut out: VaultData = rel.chunks(per).map(Arc::from).collect();
+        out.resize_with(vaults, || Vec::new().into());
         out
     }
 
@@ -396,23 +406,26 @@ impl Experiment {
             KeyDist::Uniform => uniform_relation(total, key_bound, self.cfg.seed),
             KeyDist::Zipf(theta) => zipfian_relation(total, key_bound, theta, self.cfg.seed),
         };
-        all.chunks(n).map(|c| Arc::new(c.to_vec())).collect()
+        all.chunks(n).map(Arc::from).collect()
     }
 
     fn generate_join(&self) -> (VaultData, VaultData) {
         if let Some(s) = &self.input {
-            let r: Vec<Tuple> = match &self.build {
-                Some(r) => r.as_ref().clone(),
+            let derived: Vec<Tuple>;
+            let r: &[Tuple] = match &self.build {
+                Some(r) => r,
                 // Derived dimension: one tuple per distinct probe key, with
                 // a seeded deterministic payload.
                 None => {
                     let keys: std::collections::BTreeSet<u64> = s.iter().map(|t| t.key).collect();
-                    keys.into_iter()
+                    derived = keys
+                        .into_iter()
                         .map(|k| Tuple::new(k, mondrian_ops::mix64(k ^ self.cfg.seed)))
-                        .collect()
+                        .collect();
+                    &derived
                 }
             };
-            return (self.chunk_to_vaults(&r), self.chunk_to_vaults(s));
+            return (self.chunk_to_vaults(r), self.chunk_to_vaults(s));
         }
         let s_per_vault = self.cfg.tuples_per_vault;
         let r_per_vault = (s_per_vault / self.cfg.r_divisor).max(1);
@@ -422,8 +435,8 @@ impl Experiment {
             self.cfg.seed,
         );
         (
-            r.chunks(r_per_vault).map(|c| Arc::new(c.to_vec())).collect(),
-            s.chunks(s_per_vault).map(|c| Arc::new(c.to_vec())).collect(),
+            r.chunks(r_per_vault).map(Arc::from).collect(),
+            s.chunks(s_per_vault).map(Arc::from).collect(),
         )
     }
 
@@ -462,7 +475,7 @@ impl Experiment {
     /// `meta_slot` offsets the counter array in each unit's Meta region.
     fn histogram_kernels(
         &self,
-        input: &[Arc<Vec<Tuple>>],
+        input: &[Data],
         region: Region,
         scheme: PartitionScheme,
         meta_slot: usize,
@@ -493,7 +506,7 @@ impl Experiment {
     /// destination contents (per destination partition, in cursor order).
     fn conventional_scatter(
         &self,
-        input: &[Arc<Vec<Tuple>>],
+        input: &[Data],
         in_region: Region,
         out_region: Region,
         scheme: PartitionScheme,
@@ -502,7 +515,14 @@ impl Experiment {
         let parts = scheme.parts() as usize;
         // Per-source bucket counts; sources ordered by vault index (units
         // process their vaults in order).
-        let per_source: Vec<Vec<u64>> = input.iter().map(|d| histogram(d, scheme).counts).collect();
+        let per_source: Vec<Vec<u64>> = input
+            .iter()
+            .map(|d| {
+                let mut counts = Vec::with_capacity(parts);
+                histogram_into(d, scheme, &mut counts);
+                counts
+            })
+            .collect();
         let mut totals = vec![0u64; parts];
         for counts in &per_source {
             for (t, c) in totals.iter_mut().zip(counts) {
@@ -518,19 +538,22 @@ impl Experiment {
             exclusive_prefix(&totals)
         };
         // Walk sources in vault order, advancing per-destination slots.
+        // The cursor array is one reused scratch buffer across all
+        // sources, not a fresh allocation per vault.
         let mut next_in_dest: Vec<u64> = vec![0; parts];
-        let mut dest_content: Vec<Vec<Tuple>> = vec![Vec::new(); parts];
+        let mut dest_content: Vec<Vec<Tuple>> =
+            totals.iter().map(|&t| Vec::with_capacity(t as usize)).collect();
         let mut source_addrs: Vec<Vec<u64>> = Vec::with_capacity(input.len());
+        let mut cursors: Vec<u64> = Vec::with_capacity(parts);
         for (v, data) in input.iter().enumerate() {
-            let mut cursors: Vec<u64> = (0..parts)
-                .map(|p| {
-                    if self.cfg.kind.is_nmp() {
-                        self.layout.tuple_addr(p as u32, out_region, next_in_dest[p] as usize)
-                    } else {
-                        self.global_out_addr(out_region, starts[p] + next_in_dest[p])
-                    }
-                })
-                .collect();
+            cursors.clear();
+            cursors.extend((0..parts).map(|p| {
+                if self.cfg.kind.is_nmp() {
+                    self.layout.tuple_addr(p as u32, out_region, next_in_dest[p] as usize)
+                } else {
+                    self.global_out_addr(out_region, starts[p] + next_in_dest[p])
+                }
+            }));
             let addrs = scatter_addresses(data, scheme, &mut cursors);
             source_addrs.push(addrs);
             for (p, c) in next_in_dest.iter_mut().zip(&per_source[v]) {
@@ -579,7 +602,7 @@ impl Experiment {
     /// Permutable scatter kernels (destination = vault = bucket).
     fn permutable_scatter_kernels(
         &self,
-        input: &[Arc<Vec<Tuple>>],
+        input: &[Data],
         in_region: Region,
         scheme: PartitionScheme,
     ) -> KernelSet {
@@ -606,7 +629,7 @@ impl Experiment {
     /// contents in hardware arrival order.
     fn run_permutable_shuffle(
         &mut self,
-        input: &[Arc<Vec<Tuple>>],
+        input: &[Data],
         in_region: Region,
         out_region: Region,
         scheme: PartitionScheme,
@@ -614,8 +637,10 @@ impl Experiment {
     ) -> Vec<Vec<Tuple>> {
         let parts = scheme.parts() as usize;
         let mut inbound = vec![0u64; parts];
+        let mut counts = Vec::with_capacity(parts);
         for data in input {
-            for (i, c) in histogram(data, scheme).counts.iter().enumerate() {
+            histogram_into(data, scheme, &mut counts);
+            for (i, &c) in counts.iter().enumerate() {
                 inbound[i] += c;
             }
         }
@@ -663,7 +688,7 @@ impl Experiment {
     /// Returns per-destination contents.
     fn shuffle_relation(
         &mut self,
-        input: &[Arc<Vec<Tuple>>],
+        input: &[Data],
         in_region: Region,
         out_region: Region,
         scheme: PartitionScheme,
@@ -773,7 +798,7 @@ impl Experiment {
             let kernels: KernelSet =
                 (0..self.units())
                     .map(|v| {
-                        let data = Arc::new(parts[v].clone());
+                        let data = Arc::<[Tuple]>::from(parts[v].as_slice());
                         let in_base = self.layout.region_base(v as u32, ping);
                         let out_base = self.layout.region_base(v as u32, pong);
                         Some(Box::new(BitonicRunKernel::new(data, in_base, out_base))
@@ -800,7 +825,7 @@ impl Experiment {
                     if !active.contains(&v) {
                         return None;
                     }
-                    let data = Arc::new(parts[v].clone());
+                    let data = Arc::<[Tuple]>::from(parts[v].as_slice());
                     let (src, dst) = if cur[v] == ping { (ping, pong) } else { (pong, ping) };
                     let in_base = self.layout.region_base(v as u32, src);
                     let out_base = self.layout.region_base(v as u32, dst);
@@ -868,7 +893,7 @@ impl Experiment {
             let simd = self.cfg.kind.is_mondrian();
             let kernels: KernelSet = (0..self.units())
                 .map(|v| {
-                    let data = Arc::new(sorted_parts[v].clone());
+                    let data = Arc::<[Tuple]>::from(sorted_parts[v].as_slice());
                     // The sorted copy lives in whichever buffer the last
                     // merge pass targeted; the base only affects addresses,
                     // use OutA consistently (ping/pong tracked in
@@ -893,7 +918,7 @@ impl Experiment {
             // NMP-rand: hash aggregation per vault.
             let kernels: KernelSet = (0..self.units())
                 .map(|v| {
-                    let data = Arc::new(parts[v].clone());
+                    let data = Arc::<[Tuple]>::from(parts[v].as_slice());
                     let bits = table_bits(parts[v].len().max(4) / 2);
                     let base = self.layout.region_base(v as u32, Region::OutA);
                     let table = self.layout.table_addr(v as u32, 0);
@@ -926,7 +951,7 @@ impl Experiment {
                         let base = self.global_out_addr(Region::OutA, starts[b]);
                         let bits = table_bits(parts[b].len());
                         chain.push(Box::new(HashAggKernel::new(
-                            Arc::new(parts[b].clone()),
+                            Arc::<[Tuple]>::from(parts[b].as_slice()),
                             base,
                             table,
                             bits,
@@ -988,8 +1013,8 @@ impl Experiment {
             let simd = self.cfg.kind.is_mondrian();
             let kernels: KernelSet = (0..self.units())
                 .map(|v| {
-                    let r = Arc::new(r_sorted[v].clone());
-                    let s = Arc::new(s_sorted[v].clone());
+                    let r = Arc::<[Tuple]>::from(r_sorted[v].as_slice());
+                    let s = Arc::<[Tuple]>::from(s_sorted[v].as_slice());
                     let rb = self.layout.region_base(v as u32, Region::OutA);
                     let sb = self.layout.region_base(v as u32, Region::OutB);
                     let out = self.layout.region_base(v as u32, Region::Result);
@@ -1009,8 +1034,8 @@ impl Experiment {
             // NMP-rand: per-vault index build (histogram + reorder) + probe.
             let kernels: KernelSet = (0..self.units())
                 .map(|v| {
-                    let r = Arc::new(r_parts[v].clone());
-                    let s = Arc::new(s_parts[v].clone());
+                    let r = Arc::<[Tuple]>::from(r_parts[v].as_slice());
+                    let s = Arc::<[Tuple]>::from(s_parts[v].as_slice());
                     let bits = index_bits(r.len());
                     let idx = Arc::new(build_index(&r, bits));
                     let rb = self.layout.region_base(v as u32, Region::OutA);
@@ -1073,8 +1098,8 @@ impl Experiment {
                         if s_parts[b].is_empty() {
                             continue;
                         }
-                        let r = Arc::new(r_parts[b].clone());
-                        let s = Arc::new(s_parts[b].clone());
+                        let r = Arc::<[Tuple]>::from(r_parts[b].as_slice());
+                        let s = Arc::<[Tuple]>::from(s_parts[b].as_slice());
                         let rb = self.global_out_addr(Region::OutA, r_starts[b]);
                         let sb = self.global_out_addr(Region::OutB, s_starts[b]);
                         let bits = index_bits(r.len().max(2));
@@ -1246,6 +1271,33 @@ mod tests {
         assert!(report.stats.iter().any(|(k, _)| k.starts_with("vault.3.")));
         assert!(!report.stats.iter().any(|(k, _)| k.starts_with("vault.0.")));
         assert!(report.mesh_totals.messages > 0, "scan traffic crosses the partition mesh");
+    }
+
+    /// The determinism contract of the parallel vault drain: a
+    /// shuffle-heavy operator simulated with 4 drain threads must report
+    /// the exact same machine — time, instructions, energy and every
+    /// hardware counter — as the serial simulation.
+    #[test]
+    fn sim_threads_do_not_change_results() {
+        let run = |threads: usize| {
+            ExperimentBuilder::new(OperatorKind::GroupBy)
+                .system(SystemKind::Mondrian)
+                .tiny()
+                .tuples_per_vault(128)
+                .sim_threads(threads)
+                .run()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert!(serial.verified && parallel.verified);
+        assert_eq!(serial.runtime_ps, parallel.runtime_ps);
+        assert_eq!(serial.instructions, parallel.instructions);
+        assert_eq!(serial.stats, parallel.stats, "hardware counters diverged");
+        assert_eq!(serial.energy.total_j(), parallel.energy.total_j());
+        assert_eq!(
+            serial.phases.iter().map(|p| (p.start, p.end)).collect::<Vec<_>>(),
+            parallel.phases.iter().map(|p| (p.start, p.end)).collect::<Vec<_>>(),
+        );
     }
 
     #[test]

@@ -359,6 +359,10 @@ impl Machine {
             }
         }
 
+        // VaultTick events currently in the queue; when every queued
+        // event is a tick, the phase has entered its tail drain.
+        let mut tick_events: usize = 0;
+
         // The borrow checker forbids neat closures over `self` here; the
         // loop body is written out imperatively instead.
         macro_rules! sched_vault {
@@ -367,6 +371,7 @@ impl Machine {
                 if let Some(t) = self.vaults[v].next_event_time() {
                     if $vt[v].is_none_or(|cur| t < cur) {
                         $vt[v] = Some(t);
+                        tick_events += 1;
                         $q.schedule(t, Ev::VaultTick($v as u32));
                     }
                 }
@@ -417,6 +422,24 @@ impl Machine {
                     sched_vault!(queue, vault_tick, v);
                 }
             }
+            // Parallel tail drain: once every core has finished, no core
+            // request is waiting on a response, and every in-flight DRAM
+            // op is fire-and-forget, the vaults can no longer interact —
+            // remaining traffic never crosses the mesh again. Each
+            // remaining command queue evolves independently, so with
+            // `sim_threads > 1` they drain on worker threads and merge
+            // deterministically by taking the latest per-vault finish
+            // (stats stay inside each controller, exported by global
+            // vault id as always). Byte-identical to the serial drain.
+            if self.cfg.sim_threads > 1
+                && handle_reqs.is_empty()
+                && queue.len() == tick_events
+                && cores.iter().all(|c| c.as_ref().is_none_or(Core::finished))
+                && vault_ops.values().all(|op| matches!(op, VaultOp::Fire))
+            {
+                end = end.max(self.parallel_tail_drain());
+                break;
+            }
             let Some((t, ev)) = queue.pop() else {
                 break;
             };
@@ -427,6 +450,7 @@ impl Machine {
             match ev {
                 Ev::Advance(i) => advance_core!(i),
                 Ev::VaultTick(v) => {
+                    tick_events -= 1;
                     vault_tick[v as usize] = None;
                     let done = self.vaults[v as usize].poll(t);
                     for c in done {
@@ -534,6 +558,44 @@ impl Machine {
             return Err(overflows);
         }
         Ok(outcome)
+    }
+
+    /// Drains every busy vault to completion on up to `sim_threads`
+    /// worker threads and returns the latest completion time across all
+    /// of them. Only sound in the phase tail, when no completion needs a
+    /// continuation (see the caller's guard): each vault touches only its
+    /// own state, so the merged result does not depend on thread
+    /// scheduling.
+    fn parallel_tail_drain(&mut self) -> Time {
+        let mut busy: Vec<&mut VaultController> =
+            self.vaults.iter_mut().filter(|v| v.busy()).collect();
+        if busy.is_empty() {
+            return 0;
+        }
+        let chunk = busy.len().div_ceil(self.cfg.sim_threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = busy
+                .chunks_mut(chunk)
+                .map(|vaults| {
+                    scope.spawn(move || {
+                        let mut last: Time = 0;
+                        for v in vaults.iter_mut() {
+                            let mut now: Time = 0;
+                            while let Some(t) = v.next_event_time() {
+                                now = now.max(t);
+                                v.poll(now);
+                            }
+                            last = last.max(now);
+                        }
+                        last
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("vault drain thread panicked"))
+                .fold(0, Time::max)
+        })
     }
 
     /// Issues one core memory request into caches/network/vaults.

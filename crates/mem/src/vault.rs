@@ -10,7 +10,9 @@
 //!   first, which is the "limited reordering ability" §4.1.2 shows is
 //!   insufficient to recover locality during shuffles; reads have priority
 //!   over buffered writes (standard write-drain policy), so demand loads do
-//!   not starve behind posted shuffle stores,
+//!   not starve behind posted shuffle stores. The pick loop consults an
+//!   incrementally maintained per-bank candidate index (`SchedQueue`)
+//!   instead of rescanning the window once per bank,
 //! * a shared data path capped at the vault's 8 GB/s effective bandwidth, and
 //! * the **permutable region** (§5.3): writes marked permutable are appended
 //!   at a sequential cursor instead of their nominal address, activating each
@@ -125,6 +127,85 @@ struct Pending {
     row: u64,
 }
 
+/// One priority class of the FR-FCFS scheduler: the pending requests in
+/// arrival order plus an incrementally maintained **ready-candidate
+/// index** — per bank, the `(seq, row)` pairs of that bank's requests
+/// currently inside the scheduling window. A pick consults only the
+/// target bank's candidates instead of rescanning the whole window per
+/// bank, turning the scheduler's inner loop from O(banks × window) per
+/// issue round into O(window) total.
+#[derive(Debug)]
+struct SchedQueue {
+    /// Requests in arrival order, tagged with a monotone arrival seq.
+    queue: VecDeque<(u64, Pending)>,
+    /// Scheduling-window width (only the oldest `window` requests are
+    /// eligible for reordering).
+    window: usize,
+    /// Per bank: this bank's in-window requests as `(seq, row)`, in
+    /// arrival order.
+    by_bank: Vec<VecDeque<(u64, u64)>>,
+    next_seq: u64,
+}
+
+impl SchedQueue {
+    fn new(window: usize, banks: u32) -> Self {
+        Self {
+            queue: VecDeque::new(),
+            window: window.max(1),
+            by_bank: vec![VecDeque::new(); banks as usize],
+            next_seq: 0,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    fn push(&mut self, p: Pending) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        // The new request enters the window iff the queue is shorter than
+        // the window; it is the youngest, so push_back keeps the bank's
+        // candidate list in arrival order.
+        if self.queue.len() < self.window {
+            self.by_bank[p.bank as usize].push_back((seq, p.row));
+        }
+        self.queue.push_back((seq, p));
+    }
+
+    /// FR-FCFS within the window for `bank`: the oldest open-row hit,
+    /// else the oldest request for the bank. Returns the arrival seq.
+    fn pick(&self, bank: u32, open: Option<u64>) -> Option<u64> {
+        let cands = &self.by_bank[bank as usize];
+        if let Some(open) = open {
+            if let Some(&(seq, _)) = cands.iter().find(|&&(_, row)| row == open) {
+                return Some(seq);
+            }
+        }
+        cands.front().map(|&(seq, _)| seq)
+    }
+
+    /// Removes the picked request, sliding the next queued request into
+    /// the window (and into its bank's candidate list).
+    fn remove(&mut self, seq: u64) -> Pending {
+        let idx = self.queue.binary_search_by_key(&seq, |&(s, _)| s).expect("picked seq is queued");
+        let (_, p) = self.queue.remove(idx).expect("index in range");
+        let cands = &mut self.by_bank[p.bank as usize];
+        let pos = cands.iter().position(|&(s, _)| s == seq).expect("picked from the window");
+        cands.remove(pos);
+        if self.queue.len() >= self.window {
+            let &(s, ref slid) = &self.queue[self.window - 1];
+            self.by_bank[slid.bank as usize].push_back((s, slid.row));
+        }
+        p
+    }
+
+    /// Whether `bank` has an in-window candidate.
+    fn bank_has_candidate(&self, bank: usize) -> bool {
+        !self.by_bank[bank].is_empty()
+    }
+}
+
 /// Aggregated event counters for one vault.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VaultStats {
@@ -184,9 +265,9 @@ pub struct VaultController {
     base: u64,
     banks: Vec<Bank>,
     /// Pending reads (priority class).
-    reads: VecDeque<Pending>,
+    reads: SchedQueue,
     /// Posted writes, drained when no read can issue.
-    writes: VecDeque<Pending>,
+    writes: SchedQueue,
     bus_free: Time,
     completions: EventQueue<DramCompletion>,
     stats: VaultStats,
@@ -205,10 +286,10 @@ impl VaultController {
         cfg.validate();
         Self {
             banks: vec![Bank::default(); cfg.banks as usize],
+            reads: SchedQueue::new(cfg.sched_window, cfg.banks),
+            writes: SchedQueue::new(cfg.sched_window, cfg.banks),
             cfg,
             base,
-            reads: VecDeque::new(),
-            writes: VecDeque::new(),
             bus_free: 0,
             completions: EventQueue::new(),
             stats: VaultStats::default(),
@@ -331,36 +412,12 @@ impl VaultController {
             row: row_index / self.cfg.banks as u64,
         };
         if req.kind.is_write() {
-            self.writes.push_back(pending);
+            self.writes.push(pending);
         } else {
-            self.reads.push_back(pending);
+            self.reads.push(pending);
         }
         self.try_issue(now);
         Ok(())
-    }
-
-    /// FR-FCFS within one queue: the oldest open-row hit inside the
-    /// scheduling window, else the oldest request for that bank.
-    fn pick_from(
-        queue: &VecDeque<Pending>,
-        window: usize,
-        bank: u32,
-        open: Option<u64>,
-    ) -> Option<usize> {
-        let window = window.min(queue.len());
-        let mut oldest = None;
-        for (i, p) in queue.iter().enumerate().take(window) {
-            if p.bank != bank {
-                continue;
-            }
-            if Some(p.row) == open {
-                return Some(i); // oldest row hit
-            }
-            if oldest.is_none() {
-                oldest = Some(i);
-            }
-        }
-        oldest
     }
 
     fn try_issue(&mut self, now: Time) {
@@ -372,14 +429,14 @@ impl VaultController {
                 }
                 let open = self.banks[b as usize].open_row;
                 // Reads first; posted writes drain in the gaps.
-                if let Some(idx) = Self::pick_from(&self.reads, self.cfg.sched_window, b, open) {
-                    let p = self.reads.remove(idx).expect("picked index exists");
+                if let Some(seq) = self.reads.pick(b, open) {
+                    let p = self.reads.remove(seq);
                     self.issue(p, now);
                     issued = true;
                     continue;
                 }
-                if let Some(idx) = Self::pick_from(&self.writes, self.cfg.sched_window, b, open) {
-                    let p = self.writes.remove(idx).expect("picked index exists");
+                if let Some(seq) = self.writes.pick(b, open) {
+                    let p = self.writes.remove(seq);
                     self.issue(p, now);
                     issued = true;
                 }
@@ -451,11 +508,12 @@ impl VaultController {
         let mut next = self.completions.peek_time();
         // Work is pending: the earliest a stalled request can issue is when
         // the bank of some request inside the scheduling window frees up.
+        // The candidate index names exactly those banks.
         for queue in [&self.reads, &self.writes] {
-            let window = self.cfg.sched_window.min(queue.len());
-            for p in queue.iter().take(window) {
-                let ready = self.banks[p.bank as usize].ready;
-                next = Some(next.map_or(ready, |n| n.min(ready)));
+            for (b, bank) in self.banks.iter().enumerate() {
+                if queue.bank_has_candidate(b) {
+                    next = Some(next.map_or(bank.ready, |n| n.min(bank.ready)));
+                }
             }
         }
         next
@@ -589,6 +647,28 @@ mod tests {
         let order: Vec<u64> = done.iter().map(|c| c.id).collect();
         assert_eq!(order, [0, 1, 2], "window of 1 cannot reorder");
         assert_eq!(v.stats().row_conflicts, 2);
+    }
+
+    #[test]
+    fn window_gates_row_hit_reordering() {
+        // Bank 0, rows 0 / 1 / 2, plus a late row-0 hit (addr 64). The
+        // candidate index must reproduce the window semantics exactly:
+        // the hit jumps the conflicts only once it slides into the window.
+        let order = |window: usize| {
+            let mut cfg = VaultConfig::hmc();
+            cfg.capacity = 1 << 20;
+            cfg.sched_window = window;
+            let mut v = VaultController::new(cfg, 0);
+            for r in [read(0, 0, 16), read(1, 2304, 16), read(2, 4608, 16), read(3, 64, 16)] {
+                v.enqueue(r, 0).unwrap();
+            }
+            drain(&mut v).iter().map(|c| c.id).collect::<Vec<u64>>()
+        };
+        // A wide window lets the late row-0 hit overtake both conflicts.
+        assert_eq!(order(16), [0, 3, 1, 2]);
+        // A 2-deep window keeps it out of reach until the conflicts issue:
+        // pure FIFO despite the open-row match.
+        assert_eq!(order(2), [0, 1, 2, 3]);
     }
 
     #[test]

@@ -285,7 +285,6 @@ mod tests {
     use super::*;
     use crate::reference;
     use mondrian_workloads::grouped_relation;
-    use std::sync::Arc;
 
     #[test]
     fn hash_group_matches_reference() {
@@ -323,7 +322,7 @@ mod tests {
 
     #[test]
     fn hash_agg_kernel_has_dependent_probes() {
-        let data = Arc::new(grouped_relation(128, 32, 9));
+        let data: crate::Data = grouped_relation(128, 32, 9).into();
         let mut k = HashAggKernel::new(data.clone(), 0, 1 << 20, 7);
         let ops: Vec<MicroOp> = std::iter::from_fn(|| k.next_op()).collect();
         let dep_loads =
@@ -335,7 +334,7 @@ mod tests {
 
     #[test]
     fn sorted_agg_kernel_stores_once_per_group() {
-        let data = Arc::new(reference::sorted(&grouped_relation(256, 64, 10)));
+        let data: crate::Data = reference::sorted(&grouped_relation(256, 64, 10)).into();
         let n_groups = reference::grouped(&data).len();
         let mut k = SortedAggKernel::new(data.clone(), 0, 1 << 20);
         let ops: Vec<MicroOp> = std::iter::from_fn(|| k.next_op()).collect();
@@ -345,7 +344,7 @@ mod tests {
 
     #[test]
     fn simd_sorted_agg_kernel_six_ops_per_group_of_8() {
-        let data = Arc::new(reference::sorted(&grouped_relation(64, 16, 11)));
+        let data: crate::Data = reference::sorted(&grouped_relation(64, 16, 11)).into();
         let mut k = SimdSortedAggKernel::new(data.clone(), 0, 1 << 20);
         let ops: Vec<MicroOp> = std::iter::from_fn(|| k.next_op()).collect();
         let simds = ops.iter().filter(|o| matches!(o, MicroOp::Simd { .. })).count();

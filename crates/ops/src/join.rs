@@ -422,8 +422,14 @@ mod tests {
     fn probe_kernel_emits_dependent_first_probe() {
         let (r, s) = foreign_key_pair(32, 64, 4);
         let idx = Arc::new(build_index(&r, 4));
-        let mut k =
-            HashProbeKernel::new(Arc::new(s.clone()), idx, 0, 1 << 20, 1 << 21, StoreKind::Cached);
+        let mut k = HashProbeKernel::new(
+            Arc::from(s.as_slice()),
+            idx,
+            0,
+            1 << 20,
+            1 << 21,
+            StoreKind::Cached,
+        );
         let ops: Vec<MicroOp> = std::iter::from_fn(|| k.next_op()).collect();
         let dep_probes =
             ops.iter().filter(|o| matches!(o, MicroOp::Load { dep: Dep::OnPrevLoad, .. })).count();
@@ -435,8 +441,8 @@ mod tests {
     #[test]
     fn simd_merge_join_consumes_both_relations() {
         let (r, s) = foreign_key_pair(64, 128, 5);
-        let rs = Arc::new(crate::reference::sorted(&r));
-        let ss = Arc::new(crate::reference::sorted(&s));
+        let rs: Data = crate::reference::sorted(&r).into();
+        let ss: Data = crate::reference::sorted(&s).into();
         let mut k = SimdMergeJoinKernel::new(rs, ss, 0, 1 << 20, 1 << 21);
         let ops: Vec<MicroOp> = std::iter::from_fn(|| k.next_op()).collect();
         let stored: u64 = ops
@@ -454,8 +460,8 @@ mod tests {
     #[test]
     fn scalar_merge_join_advances_both_cursors() {
         let (r, s) = foreign_key_pair(32, 64, 6);
-        let rs = Arc::new(crate::reference::sorted(&r));
-        let ss = Arc::new(crate::reference::sorted(&s));
+        let rs: Data = crate::reference::sorted(&r).into();
+        let ss: Data = crate::reference::sorted(&s).into();
         let mut k = MergeJoinKernel::new(rs, ss, 0, 1 << 20, 1 << 21, StoreKind::Streaming);
         let ops: Vec<MicroOp> = std::iter::from_fn(|| k.next_op()).collect();
         let stores = ops.iter().filter(|o| matches!(o, MicroOp::Store { .. })).count();

@@ -50,4 +50,8 @@ pub use scan::ScanPredicate;
 use mondrian_workloads::Tuple;
 
 /// Snapshot of tuple data shared between the functional layer and kernels.
-pub type Data = std::sync::Arc<Vec<Tuple>>;
+///
+/// A reference-counted slice: builders, stages and kernels pass relations
+/// around by bumping a refcount instead of deep-cloning tuple vectors —
+/// the pipeline's allocation diet depends on it.
+pub type Data = std::sync::Arc<[Tuple]>;

@@ -29,16 +29,29 @@ pub struct Histogram {
 
 /// Functional histogram build.
 pub fn histogram(data: &[Tuple], scheme: PartitionScheme) -> Histogram {
-    let mut counts = vec![0u64; scheme.parts() as usize];
-    for t in data {
-        counts[scheme.bucket(t.key) as usize] += 1;
-    }
+    let mut counts = Vec::new();
+    histogram_into(data, scheme, &mut counts);
     Histogram { counts }
 }
 
+/// Functional histogram build into a caller-provided buffer, clearing and
+/// resizing it — hot loops reuse one allocation across many sources
+/// instead of allocating a fresh count array per call.
+pub fn histogram_into(data: &[Tuple], scheme: PartitionScheme, counts: &mut Vec<u64>) {
+    counts.clear();
+    counts.resize(scheme.parts() as usize, 0);
+    for t in data {
+        counts[scheme.bucket(t.key) as usize] += 1;
+    }
+}
+
 /// Functional data distribution: destination buckets in source order.
+/// Buckets are pre-sized from a histogram pass so the distribution pass
+/// never reallocates.
 pub fn partition_tuples(data: &[Tuple], scheme: PartitionScheme) -> Vec<Vec<Tuple>> {
-    let mut out: Vec<Vec<Tuple>> = vec![Vec::new(); scheme.parts() as usize];
+    let h = histogram(data, scheme);
+    let mut out: Vec<Vec<Tuple>> =
+        h.counts.iter().map(|&c| Vec::with_capacity(c as usize)).collect();
     for t in data {
         out[scheme.bucket(t.key) as usize].push(*t);
     }
@@ -452,10 +465,9 @@ impl Kernel for SimdPermutableScatterKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     fn data(n: u64) -> Data {
-        Arc::new((0..n).map(|i| Tuple::new(i * 7 + 3, i)).collect())
+        (0..n).map(|i| Tuple::new(i * 7 + 3, i)).collect()
     }
 
     fn drain(k: &mut dyn Kernel) -> Vec<MicroOp> {

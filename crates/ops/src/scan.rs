@@ -186,7 +186,6 @@ impl Kernel for SimdScanKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     fn collect_ops(k: &mut dyn Kernel) -> Vec<MicroOp> {
         std::iter::from_fn(|| k.next_op()).collect()
@@ -222,7 +221,7 @@ mod tests {
 
     #[test]
     fn scalar_kernel_emits_one_load_per_tuple() {
-        let data: Arc<Vec<Tuple>> = Arc::new((0..32).map(|i| Tuple::new(i, i)).collect());
+        let data: crate::Data = (0..32).map(|i| Tuple::new(i, i)).collect();
         let mut k = ScalarScanKernel::new(
             data.clone(),
             0,
@@ -248,7 +247,7 @@ mod tests {
 
     #[test]
     fn simd_kernel_uses_one_op_per_8_tuples() {
-        let data: Arc<Vec<Tuple>> = Arc::new((0..64).map(|i| Tuple::new(i, i)).collect());
+        let data: crate::Data = (0..64).map(|i| Tuple::new(i, i)).collect();
         let mut k = SimdScanKernel::new(data.clone(), 4096, 1 << 20, ScanPredicate::KeyEquals(3));
         let ops = collect_ops(&mut k);
         let simds = ops.iter().filter(|o| matches!(o, MicroOp::Simd { .. })).count();
@@ -258,7 +257,7 @@ mod tests {
 
     #[test]
     fn simd_kernel_handles_ragged_tail() {
-        let data: Arc<Vec<Tuple>> = Arc::new((0..13).map(|i| Tuple::new(i, i)).collect());
+        let data: crate::Data = (0..13).map(|i| Tuple::new(i, i)).collect();
         let mut k = SimdScanKernel::new(data, 0, 1 << 20, ScanPredicate::KeyEquals(99));
         let ops = collect_ops(&mut k);
         let pops: Vec<u32> = ops

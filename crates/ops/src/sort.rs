@@ -451,7 +451,6 @@ impl Kernel for QuicksortKernel {
 mod tests {
     use super::*;
     use crate::reference;
-    use std::sync::Arc;
 
     fn shuffled(n: u64) -> Vec<Tuple> {
         (0..n).map(|i| Tuple::new((i * 2654435761) % 1000, i)).collect()
@@ -498,7 +497,7 @@ mod tests {
 
     #[test]
     fn simd_merge_kernel_replays_exact_consumption() {
-        let data = Arc::new(bitonic_runs(&shuffled(64), 16));
+        let data: crate::Data = bitonic_runs(&shuffled(64), 16).into();
         let mut k = SimdMergePassKernel::new(data.clone(), 16, 0, 1 << 20);
         let ops = drain(&mut k);
         // Total popped bytes from both streams = total input bytes.
@@ -523,7 +522,7 @@ mod tests {
 
     #[test]
     fn scalar_merge_kernel_one_load_per_output() {
-        let data = Arc::new(bitonic_runs(&shuffled(48), 8));
+        let data: crate::Data = bitonic_runs(&shuffled(48), 8).into();
         let mut k = ScalarMergePassKernel::new(data, 8, 0, 1 << 20);
         let ops = drain(&mut k);
         let loads = ops.iter().filter(|o| matches!(o, MicroOp::Load { .. })).count();

@@ -14,6 +14,8 @@
 //!   than the serial one.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use mondrian_core::{ExperimentBuilder, KeyDist, PartitionSpec, Report, SystemConfig, SystemKind};
 use mondrian_noc::{MeshStats, SerDesStats};
@@ -25,6 +27,10 @@ use crate::report::{
 };
 use crate::schedule::{Concurrency, Dag};
 use crate::stage::{BuildSide, Stage, StageInput, StageSpec};
+
+/// A shared stage relation: stage edges hand these around by refcount
+/// bump instead of deep-cloning tuple vectors.
+type Rel = Arc<[Tuple]>;
 
 /// A multi-stage analytic query: a DAG of Table 1 transformations, each
 /// lowered onto one of the four basic operators. Stages name their input
@@ -116,7 +122,7 @@ impl Pipeline {
     /// Panics if the plan is invalid (see [`Pipeline::validate`]) or the
     /// underlying experiment hits an inconsistent configuration.
     pub fn run(&self, cfg: &PipelineConfig) -> PipelineReport {
-        self.run_cached(cfg, &mut ExecCache::default())
+        self.run_cached(cfg, &ExecCache::default())
     }
 
     /// Like [`Pipeline::run`], but reuses `cache` across runs: pure
@@ -127,22 +133,47 @@ impl Pipeline {
     /// # Panics
     ///
     /// Panics if the plan is invalid (see [`Pipeline::validate`]).
-    pub fn run_cached(&self, cfg: &PipelineConfig, cache: &mut ExecCache) -> PipelineReport {
+    pub fn run_cached(&self, cfg: &PipelineConfig, cache: &ExecCache) -> PipelineReport {
         self.validate().expect("invalid pipeline");
         let dag = self.dag();
-        let source = cfg.source_relation();
+        let source: Rel = cfg.source_relation().into();
         let plan = self.plan_key();
 
         // Serial reference pass: every stage on the whole machine, in
         // stage order. The branch schedule is verified against (and its
-        // inputs resolved from) these outputs.
-        let mut outputs: Vec<Vec<Tuple>> = Vec::new();
+        // inputs resolved from) these outputs. With `threads > 1` the
+        // pure reference executor for a stage runs concurrently with the
+        // stage's engine simulation — they consume the same inputs and
+        // only meet at the final comparison.
+        let mut outputs: Vec<Rel> = Vec::new();
         let mut serial: Vec<StageRun> = Vec::new();
         for (i, stage) in self.stages.iter().enumerate() {
-            let input = resolve_input(stage.input, i, &source, &outputs).to_vec();
-            let build = resolve_build(&stage.spec, &outputs).cloned();
-            let expected = cache.reference_output(plan, cfg, i, stage, &input, build.as_deref());
-            let run = run_stage(cfg, cfg.system_config(), stage, input, build, &expected);
+            let input = resolve_input(stage.input, i, &source, &outputs);
+            let build = resolve_build(&stage.spec, &outputs);
+            let run = if cfg.threads > 1 {
+                std::thread::scope(|scope| {
+                    let engine = scope.spawn(|| {
+                        run_stage_engine(
+                            cfg,
+                            cfg.system_config(),
+                            stage,
+                            input.clone(),
+                            build.clone(),
+                        )
+                    });
+                    let expected =
+                        cache.reference_output(plan, cfg, i, stage, &input, build.as_deref());
+                    let mut run = engine.join().expect("engine thread panicked");
+                    run.reference_ok = run.projected[..] == expected[..];
+                    run
+                })
+            } else {
+                let expected =
+                    cache.reference_output(plan, cfg, i, stage, &input, build.as_deref());
+                let mut run = run_stage_engine(cfg, cfg.system_config(), stage, input, build);
+                run.reference_ok = run.projected[..] == expected[..];
+                run
+            };
             outputs.push(run.projected.clone());
             serial.push(run);
         }
@@ -163,7 +194,7 @@ impl Pipeline {
         dag: &Dag,
         source_rows: usize,
         serial: Vec<StageRun>,
-        outputs: Vec<Vec<Tuple>>,
+        outputs: Vec<Rel>,
     ) -> PipelineReport {
         let total_vaults = cfg.system_config().total_vaults();
         let mut waves = Vec::new();
@@ -196,7 +227,7 @@ impl Pipeline {
             source_rows,
             stages,
             schedule: ScheduleReport { mode: Concurrency::Serial, waves, makespan_ps: makespan },
-            output: outputs.into_iter().next_back().expect("validated non-empty"),
+            output: outputs.into_iter().next_back().expect("validated non-empty").to_vec(),
         }
     }
 
@@ -211,9 +242,9 @@ impl Pipeline {
         cfg: &PipelineConfig,
         dag: &Dag,
         source_rows: usize,
-        source: &[Tuple],
+        source: &Rel,
         serial: Vec<StageRun>,
-        outputs: Vec<Vec<Tuple>>,
+        outputs: Vec<Rel>,
     ) -> PipelineReport {
         let base = cfg.system_config();
         let total_vaults = base.total_vaults();
@@ -245,26 +276,63 @@ impl Pipeline {
 
             // Execute every branch of the wave on its lease. Inputs come
             // from the verified serial outputs, so cross-branch edges from
-            // earlier waves resolve identically in both schedules.
-            let mut branch_runs: Vec<Vec<StageRun>> = Vec::with_capacity(wave_branches.len());
-            for (slot, &b) in wave_branches.iter().enumerate() {
-                let mut runs = Vec::new();
-                for &i in &dag.branches[b] {
-                    let stage = &self.stages[i];
-                    let input = resolve_input(stage.input, i, source, &outputs).to_vec();
-                    let build = resolve_build(&stage.spec, &outputs).cloned();
-                    let run = run_stage(
-                        cfg,
-                        base.restrict(leases[slot]),
-                        stage,
-                        input,
-                        build,
-                        &outputs[i],
-                    );
-                    matches[i] = run.projected == outputs[i];
-                    runs.push(run);
+            // earlier waves resolve identically in both schedules. With
+            // `threads > 1` the branches run on real OS threads — the
+            // simulation of each branch is self-contained and
+            // deterministic, so the merged result is byte-identical to
+            // the in-order execution regardless of thread scheduling.
+            let run_branch = |slot: usize, b: usize, sim_threads: usize| -> Vec<StageRun> {
+                dag.branches[b]
+                    .iter()
+                    .map(|&i| {
+                        let stage = &self.stages[i];
+                        let input = resolve_input(stage.input, i, source, &outputs);
+                        let build = resolve_build(&stage.spec, &outputs);
+                        let mut sys = base.restrict(leases[slot]);
+                        sys.sim_threads = sim_threads;
+                        run_stage_engine(cfg, sys, stage, input, build)
+                    })
+                    .collect()
+            };
+            let branch_runs: Vec<Vec<StageRun>> = if cfg.threads > 1 {
+                // Branch-level threads spend the whole per-run budget:
+                // their machines drain serially (sim_threads = 1) and at
+                // most `cfg.threads` branches run at once, so the run's
+                // OS-thread total is bounded by `cfg.threads` instead of
+                // multiplying wave width by drain threads.
+                let mut runs: Vec<Option<Vec<StageRun>>> =
+                    (0..wave_branches.len()).map(|_| None).collect();
+                let slots: Vec<usize> = (0..wave_branches.len()).collect();
+                for chunk in slots.chunks(cfg.threads) {
+                    let chunk_runs: Vec<Vec<StageRun>> = std::thread::scope(|scope| {
+                        let handles: Vec<_> = chunk
+                            .iter()
+                            .map(|&slot| {
+                                let run_branch = &run_branch;
+                                scope.spawn(move || run_branch(slot, wave_branches[slot], 1))
+                            })
+                            .collect();
+                        // Joining in slot order keeps the merge deterministic.
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("branch thread panicked"))
+                            .collect()
+                    });
+                    for (&slot, r) in chunk.iter().zip(chunk_runs) {
+                        runs[slot] = Some(r);
+                    }
                 }
-                branch_runs.push(runs);
+                runs.into_iter().map(|r| r.expect("every slot executed")).collect()
+            } else {
+                (0..wave_branches.len())
+                    .map(|slot| run_branch(slot, wave_branches[slot], 1))
+                    .collect()
+            };
+            let mut branch_runs = branch_runs;
+            for (slot, &b) in wave_branches.iter().enumerate() {
+                for (&i, run) in dag.branches[b].iter().zip(&branch_runs[slot]) {
+                    matches[i] = run.projected[..] == outputs[i][..];
+                }
             }
             let branch_times: Vec<Time> = branch_runs
                 .iter()
@@ -368,7 +436,7 @@ impl Pipeline {
             source_rows,
             stages,
             schedule: ScheduleReport { mode: Concurrency::Branch, waves, makespan_ps: makespan },
-            output: outputs.into_iter().next_back().expect("validated non-empty"),
+            output: outputs.into_iter().next_back().expect("validated non-empty").to_vec(),
         }
     }
 }
@@ -377,18 +445,21 @@ impl Pipeline {
 struct StageRun {
     input_rows: usize,
     report: Report,
-    projected: Vec<Tuple>,
+    projected: Rel,
     reference_ok: bool,
 }
 
-/// Runs one stage on `sys_cfg` and projects its output.
-fn run_stage(
+/// Runs one stage's engine simulation on `sys_cfg` and projects its
+/// output. The reference verdict is filled in by the caller (serial runs
+/// compare against the pure reference executor, partition runs against
+/// the serial outputs), so the simulation can overlap with whichever
+/// check applies.
+fn run_stage_engine(
     cfg: &PipelineConfig,
     sys_cfg: SystemConfig,
     stage: &Stage,
-    input: Vec<Tuple>,
-    build: Option<Vec<Tuple>>,
-    expected: &[Tuple],
+    input: Rel,
+    build: Option<Rel>,
 ) -> StageRun {
     let input_rows = input.len();
     let mut builder =
@@ -403,9 +474,8 @@ fn run_stage(
         builder = builder.underprovision_permutable(f);
     }
     let report = builder.run();
-    let projected = stage.spec.project_output(&report.output);
-    let reference_ok = projected == expected;
-    StageRun { input_rows, report, projected, reference_ok }
+    let projected: Rel = stage.spec.project_output(&report.output).into();
+    StageRun { input_rows, report, projected, reference_ok: false }
 }
 
 fn stage_outcome(
@@ -483,28 +553,23 @@ fn mark_critical(branches: &mut [BranchSchedule]) {
     }
 }
 
-fn resolve_input<'a>(
-    input: StageInput,
-    i: usize,
-    source: &'a [Tuple],
-    outputs: &'a [Vec<Tuple>],
-) -> &'a [Tuple] {
+fn resolve_input(input: StageInput, i: usize, source: &Rel, outputs: &[Rel]) -> Rel {
     match input {
-        StageInput::Source => source,
+        StageInput::Source => source.clone(),
         StageInput::Prev => {
             if i == 0 {
-                source
+                source.clone()
             } else {
-                &outputs[i - 1]
+                outputs[i - 1].clone()
             }
         }
-        StageInput::Stage(j) => &outputs[j],
+        StageInput::Stage(j) => outputs[j].clone(),
     }
 }
 
-fn resolve_build<'a>(spec: &StageSpec, outputs: &'a [Vec<Tuple>]) -> Option<&'a Vec<Tuple>> {
+fn resolve_build(spec: &StageSpec, outputs: &[Rel]) -> Option<Rel> {
     match spec {
-        StageSpec::Join { build: BuildSide::Stage(j) } => Some(&outputs[*j]),
+        StageSpec::Join { build: BuildSide::Stage(j) } => Some(outputs[*j].clone()),
         _ => None,
     }
 }
@@ -521,35 +586,52 @@ type SourceKey = (bool, usize, u64, Option<u64>, Option<u64>);
 /// engine output diverge from the reference chain, its downstream inputs
 /// differ and miss the cache instead of overwriting another system's
 /// expected values.
+///
+/// The cache is thread-safe — campaign workers running sweep points on
+/// separate OS threads share one instance. Cached *values* are identical
+/// whichever thread computes them (the reference executors are pure), so
+/// sharing never changes results; only the hit/miss counters depend on
+/// scheduling (two threads may both miss on the same prefix at once and
+/// compute it redundantly rather than block one another).
 #[derive(Debug, Default)]
 pub struct ExecCache {
     #[allow(clippy::type_complexity)]
-    reference: HashMap<(u64, SourceKey, usize, u64, Option<u64>), Vec<Tuple>>,
-    /// Reference outputs served from the cache.
-    pub reference_hits: u64,
-    /// Reference outputs computed and inserted.
-    pub reference_misses: u64,
+    reference: Mutex<HashMap<(u64, SourceKey, usize, u64, Option<u64>), Rel>>,
+    reference_hits: AtomicU64,
+    reference_misses: AtomicU64,
 }
 
 impl ExecCache {
     fn reference_output(
-        &mut self,
+        &self,
         plan: u64,
         cfg: &PipelineConfig,
         i: usize,
         stage: &Stage,
         input: &[Tuple],
         build: Option<&[Tuple]>,
-    ) -> Vec<Tuple> {
+    ) -> Rel {
         let key = (plan, cfg.source_key(), i, relation_digest(input), build.map(relation_digest));
-        if let Some(v) = self.reference.get(&key) {
-            self.reference_hits += 1;
+        if let Some(v) = self.reference.lock().expect("cache poisoned").get(&key) {
+            self.reference_hits.fetch_add(1, Ordering::Relaxed);
             return v.clone();
         }
-        let v = stage.spec.reference_output(input, build, cfg.seed);
-        self.reference_misses += 1;
-        self.reference.insert(key, v.clone());
+        // Compute outside the lock: a long reference computation must not
+        // serialize unrelated cache lookups from other workers.
+        let v: Rel = stage.spec.reference_output(input, build, cfg.seed).into();
+        self.reference_misses.fetch_add(1, Ordering::Relaxed);
+        self.reference.lock().expect("cache poisoned").insert(key, v.clone());
         v
+    }
+
+    /// Reference outputs served from the cache.
+    pub fn reference_hits(&self) -> u64 {
+        self.reference_hits.load(Ordering::Relaxed)
+    }
+
+    /// Reference outputs computed and inserted.
+    pub fn reference_misses(&self) -> u64 {
+        self.reference_misses.load(Ordering::Relaxed)
     }
 }
 
@@ -575,6 +657,13 @@ pub struct PipelineConfig {
     pub underprovision: Option<f64>,
     /// How to schedule the stages onto the machine.
     pub concurrency: Concurrency,
+    /// OS threads the executor may use *within* this run: branch waves
+    /// execute their leased branches on real threads, each stage's pure
+    /// reference executor overlaps with its engine simulation, and the
+    /// machine drains independent vault command queues in parallel.
+    /// Purely an execution-speed knob — results are byte-identical for
+    /// every value (1 = fully in-order execution).
+    pub threads: usize,
 }
 
 impl PipelineConfig {
@@ -589,6 +678,7 @@ impl PipelineConfig {
             key_bound: None,
             underprovision: None,
             concurrency: Concurrency::Serial,
+            threads: 1,
         }
     }
 
@@ -606,6 +696,7 @@ impl PipelineConfig {
         };
         cfg.tuples_per_vault = self.tuples_per_vault;
         cfg.seed = self.seed;
+        cfg.sim_threads = self.threads.max(1);
         cfg
     }
 
