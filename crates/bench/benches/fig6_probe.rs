@@ -16,7 +16,7 @@ fn main() {
         "{:<10} {:>14} {:>12} {:>12} {:>12}",
         "Operator", "CPU probe µs", "NMP-rand", "NMP-seq", "Mondrian"
     );
-    for op in OperatorKind::ALL {
+    for op in OperatorKind::BASIC {
         let cpu = run(op, SystemKind::Cpu).probe_time();
         let mut cells = Vec::new();
         for &system in &systems {

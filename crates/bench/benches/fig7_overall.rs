@@ -14,7 +14,7 @@ fn main() {
         "{:<10} {:>12} {:>12} {:>12} {:>12}",
         "Operator", "CPU µs", "NMP", "NMP-perm", "Mondrian"
     );
-    for op in OperatorKind::ALL {
+    for op in OperatorKind::BASIC {
         let cpu = run(op, SystemKind::Cpu).runtime_ps;
         let mut cells = Vec::new();
         for &system in &systems {

@@ -16,7 +16,7 @@ fn main() {
         "{:<10} {:<12} {:>10} {:>10} {:>10} {:>12} {:>12}",
         "Operator", "System", "DRAM dyn", "DRAM stat", "cores", "SerDes+NoC", "total µJ"
     );
-    for op in OperatorKind::ALL {
+    for op in OperatorKind::BASIC {
         for &system in &systems {
             let report = run(op, system);
             let shares = report.energy.fig8_shares();

@@ -12,7 +12,7 @@ fn main() {
     header("Figure 9: efficiency improvement vs CPU", "Fig. 9 (§7.2)");
     let systems = [SystemKind::Nmp, SystemKind::NmpPerm, SystemKind::Mondrian];
     println!("{:<10} {:>12} {:>12} {:>12}", "Operator", "NMP", "NMP-perm", "Mondrian");
-    for op in OperatorKind::ALL {
+    for op in OperatorKind::BASIC {
         let cpu = run(op, SystemKind::Cpu).perf_per_joule();
         let mut cells = Vec::new();
         for &system in &systems {

@@ -8,6 +8,8 @@ use mondrian_ops::spark::SparkOp;
 fn main() {
     println!("\n=== Table 1: characterization of Spark operators ===\n");
     println!("{:<12} Spark operators", "Basic op");
+    // All seven IR operators: the paper's four plus the dedicated
+    // Union/Cogroup/FlatMap stage kinds, so every Table 1 row appears.
     for basic in OperatorKind::ALL {
         let spark: Vec<&str> = SparkOp::ALL
             .iter()

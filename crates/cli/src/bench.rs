@@ -82,6 +82,34 @@ impl BenchReport {
         root.to_json()
     }
 
+    /// One compact JSON line for `BENCH_history.jsonl`: the commit, host
+    /// core count and the full `sim_wall_ms` ladder. Appending (instead
+    /// of overwriting, as `BENCH_sweep.json` does) accumulates a
+    /// wall-clock trend across commits.
+    pub fn history_line(&self, commit: &str) -> String {
+        // Strings go through the Value serializer's JSON escaping (Rust's
+        // {:?} Debug escapes are not legal JSON).
+        let json_str = |s: &str| Value::Str(s.to_string()).to_json().trim().to_string();
+        let points: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"jobs\":{},\"wall_ms\":{:.3},\"speedup\":{:.3},\"identical\":{}}}",
+                    p.jobs, p.wall_ms, p.speedup, p.identical,
+                )
+            })
+            .collect();
+        format!(
+            "{{\"commit\":{},\"campaign\":{},\"host_cores\":{},\"runs\":{},\"sweep\":[{}]}}",
+            json_str(commit),
+            json_str(&self.campaign),
+            self.host_cores,
+            self.runs,
+            points.join(","),
+        )
+    }
+
     /// One line per ladder point for terminals.
     pub fn human_summary(&self) -> String {
         let mut out = format!(
@@ -185,6 +213,25 @@ mod tests {
         crate::value::parse_json(&json).unwrap();
         assert!(json.contains("\"identical\": true"));
         assert!(report.human_summary().contains("byte-identical"));
+    }
+
+    #[test]
+    fn history_line_is_one_valid_json_object() {
+        let manifest = Manifest::parse(MANIFEST, Format::Toml).unwrap();
+        let report = bench(&manifest, &[1, 2], 1);
+        let line = report.history_line("abc123def456");
+        assert!(!line.contains('\n'), "jsonl: exactly one line");
+        // Awkward strings must still serialize as legal JSON.
+        let mut odd = report.clone();
+        odd.campaign = "run\u{7f}\"name\\".to_string();
+        crate::value::parse_json(&odd.history_line("c\u{1}sha")).unwrap();
+        let doc = crate::value::parse_json(&line).unwrap();
+        assert_eq!(doc.get("commit").and_then(crate::value::Value::as_str), Some("abc123def456"));
+        assert_eq!(
+            doc.get("sweep").and_then(crate::value::Value::as_array).map(<[_]>::len),
+            Some(2)
+        );
+        assert!(doc.get("host_cores").is_some());
     }
 
     #[test]

@@ -236,7 +236,9 @@ impl Campaign {
     pub fn to_json_with(&self, timings: bool) -> String {
         let mut root = Value::table();
         root.insert("campaign", Value::Str(self.manifest.name.clone()));
-        root.insert("schema_version", Value::Int(2));
+        // Schema 3: multi-input `input` edge lists and the new stage kinds
+        // (union, cogroup, flat_map with its fanout parameter).
+        root.insert("schema_version", Value::Int(3));
         root.insert(
             "systems",
             Value::Array(
@@ -305,10 +307,17 @@ fn stage_json(stage: &Stage) -> Value {
     table.insert("op".to_string(), Value::Str(spec.name().to_string()));
     table
         .insert("basic_operator".to_string(), Value::Str(spec.basic_operator().name().to_string()));
-    let input = match stage.input {
+    let edge = |input: StageInput| match input {
         StageInput::Prev => Value::Str("prev".to_string()),
         StageInput::Source => Value::Str("source".to_string()),
         StageInput::Stage(j) => Value::Int(j as i64),
+    };
+    // Single edges stay scalar (readable, schema-2 compatible); multi-input
+    // stages emit the full edge list.
+    let input = if stage.inputs.len() == 1 {
+        edge(stage.inputs[0])
+    } else {
+        Value::Array(stage.inputs.iter().copied().map(edge).collect())
     };
     table.insert("input".to_string(), input);
     match *spec {
@@ -327,6 +336,9 @@ fn stage_json(stage: &Stage) -> Value {
             table.insert("mul".to_string(), Value::Int(mul as i64));
             table.insert("add".to_string(), Value::Int(add as i64));
         }
+        StageSpec::FlatMap { fanout } => {
+            table.insert("fanout".to_string(), Value::Int(fanout as i64));
+        }
         StageSpec::Join { build } => {
             let build = match build {
                 BuildSide::Dimension => Value::Str("dimension".to_string()),
@@ -334,7 +346,9 @@ fn stage_json(stage: &Stage) -> Value {
             };
             table.insert("build".to_string(), build);
         }
-        StageSpec::GroupByKey
+        StageSpec::Union
+        | StageSpec::Cogroup
+        | StageSpec::GroupByKey
         | StageSpec::ReduceByKey
         | StageSpec::CountByKey
         | StageSpec::AggregateByKey

@@ -4,6 +4,7 @@
 //! mondrian run <manifest.(toml|json)> [--out result.json] [--quiet]
 //!              [--concurrency serial|branch] [--jobs N] [--timings]
 //! mondrian bench <manifest.(toml|json)> [--out BENCH_sweep.json]
+//!                [--history BENCH_history.jsonl|none]
 //!                [--jobs-list 1,2,4] [--repeat N]
 //! mondrian explain <manifest.(toml|json)>
 //! mondrian diff <a/result.json> <b/result.json> [--fail-on-regression <pct>]
@@ -39,11 +40,13 @@ usage:
       artifact, which stays byte-identical for every worker count;
       --timings annotates each run with its host sim_wall_ms (excluded
       from digests and ignored by mondrian diff)
-  mondrian bench <manifest.(toml|json)> [--out <path>] [--jobs-list 1,2,4]
-                 [--repeat N]
+  mondrian bench <manifest.(toml|json)> [--out <path>] [--history <path>|none]
+                 [--jobs-list 1,2,4] [--repeat N]
       run the campaign once per jobs value, check every artifact is
-      byte-identical to the single-worker baseline, and write the
-      wall-clock sweep (default: BENCH_sweep.json)
+      byte-identical to the single-worker baseline, write the wall-clock
+      sweep (default: BENCH_sweep.json), and append one JSONL trend line
+      (commit, host_cores, sim_wall_ms ladder) to the history file
+      (default: BENCH_history.jsonl; --history none to skip)
   mondrian explain <manifest.(toml|json)>
       show the parsed campaign, the Table 1 lowering of every stage, the
       branch-wave schedule of the plan DAG, and the full sweep cross
@@ -173,6 +176,7 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
 fn cmd_bench(args: &[String]) -> Result<bool, String> {
     let mut manifest_path: Option<&str> = None;
     let mut out_path = "BENCH_sweep.json".to_string();
+    let mut history_path: Option<String> = Some("BENCH_history.jsonl".to_string());
     let mut jobs_list: Vec<usize> = vec![1, 2, 4];
     let mut repeat = 1usize;
     let mut it = args.iter();
@@ -180,6 +184,11 @@ fn cmd_bench(args: &[String]) -> Result<bool, String> {
         match arg.as_str() {
             "--out" => {
                 out_path = it.next().ok_or("--out needs a path")?.clone();
+            }
+            "--history" => {
+                // "none" disables the append (e.g. throwaway CI runs).
+                let path = it.next().ok_or("--history needs a path (or \"none\")")?.clone();
+                history_path = if path == "none" { None } else { Some(path) };
             }
             "--jobs-list" => {
                 let list = it.next().ok_or("--jobs-list needs e.g. 1,2,4")?;
@@ -210,7 +219,8 @@ fn cmd_bench(args: &[String]) -> Result<bool, String> {
         }
     }
     let path = manifest_path.ok_or(
-        "usage: mondrian bench <manifest> [--out <path>] [--jobs-list 1,2,4] [--repeat N]",
+        "usage: mondrian bench <manifest> [--out <path>] [--history <path>|none] \
+         [--jobs-list 1,2,4] [--repeat N]",
     )?;
     let manifest = load_manifest(path)?;
     let report = bench(&manifest, &jobs_list, repeat);
@@ -218,7 +228,39 @@ fn cmd_bench(args: &[String]) -> Result<bool, String> {
     std::fs::write(&out_path, report.to_json())
         .map_err(|e| format!("cannot write {out_path}: {e}"))?;
     println!("wrote {out_path}");
+    if let Some(history) = history_path {
+        // The sweep file is a snapshot; the history file accumulates one
+        // line per bench run, so trends survive across commits.
+        let line = report.history_line(&current_commit());
+        use std::io::Write;
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&history)
+            .and_then(|mut f| writeln!(f, "{line}"))
+            .map_err(|e| format!("cannot append to {history}: {e}"))?;
+        println!("appended {history}");
+    }
     Ok(report.ok())
+}
+
+/// The commit the benchmark ran on: `GITHUB_SHA` in CI, the local git
+/// HEAD otherwise, `"unknown"` when neither resolves.
+fn current_commit() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha.chars().take(12).collect();
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 fn cmd_explain(args: &[String]) -> Result<bool, String> {
@@ -263,7 +305,15 @@ fn cmd_explain(args: &[String]) -> Result<bool, String> {
             println!("    branch {b}:");
             for &i in &dag.branches[b] {
                 let stage = &pipeline.stages()[i];
-                let mut edges = format!("input: {}", describe_input(stage.input, i));
+                // Every incoming edge is labeled: multi-input stages
+                // (union, cogroup) list each feeder in edge order.
+                let described: Vec<String> =
+                    stage.inputs.iter().map(|&edge| describe_input(edge, i)).collect();
+                let mut edges = if described.len() == 1 {
+                    format!("input: {}", described[0])
+                } else {
+                    format!("inputs: {}", described.join(" + "))
+                };
                 if let mondrian_pipeline::StageSpec::Join { build } = stage.spec {
                     let build = match build {
                         mondrian_pipeline::BuildSide::Dimension => "derived dimension".to_string(),

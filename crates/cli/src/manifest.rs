@@ -29,7 +29,9 @@
 //! op = "filter"                 # stage name (see StageSpec)
 //! modulus = 10
 //! remainder = 0
-//! # input = "prev"              # "prev" (default) | "source" | stage index
+//! # input = "prev"              # "prev" (default) | "source" | stage index,
+//! #                             # or a list of edges for multi-input stages
+//! #                             # (union 2+, cogroup exactly 2): input = [0, 1]
 //! ```
 //!
 //! A JSON manifest is the same tree spelled as an object:
@@ -412,6 +414,15 @@ fn float_list(v: &Value, ctx: &str) -> Result<Vec<f64>, String> {
         .collect()
 }
 
+fn parse_input_edge(v: &Value) -> Result<StageInput, String> {
+    match (v.as_str(), v.as_int()) {
+        (Some("prev"), _) => Ok(StageInput::Prev),
+        (Some("source"), _) => Ok(StageInput::Source),
+        (_, Some(i)) if i >= 0 => Ok(StageInput::Stage(i as usize)),
+        _ => Err("input edges must be \"prev\", \"source\", or an earlier stage index".into()),
+    }
+}
+
 fn parse_stage(s: &Value) -> Result<Stage, String> {
     let op = s.get("op").and_then(Value::as_str).ok_or("missing op (string)")?;
     let u = |key: &str, default: u64| -> Result<u64, String> {
@@ -428,6 +439,15 @@ fn parse_stage(s: &Value) -> Result<Stage, String> {
         "lookup_key" => StageSpec::LookupKey { key: u("key", 0)? },
         "map" => StageSpec::Map { key_mul: u("key_mul", 1)?, key_add: u("key_add", 1)? },
         "map_values" => StageSpec::MapValues { mul: u("mul", 3)?, add: u("add", 1)? },
+        "union" => StageSpec::Union,
+        "cogroup" => StageSpec::Cogroup,
+        "flat_map" => {
+            let fanout = u("fanout", 2)?;
+            if !(1..=32).contains(&fanout) {
+                return Err("flat_map.fanout must be between 1 and 32".into());
+            }
+            StageSpec::FlatMap { fanout }
+        }
         "group_by_key" => StageSpec::GroupByKey,
         "reduce_by_key" => StageSpec::ReduceByKey,
         "count_by_key" => StageSpec::CountByKey,
@@ -451,20 +471,26 @@ fn parse_stage(s: &Value) -> Result<Stage, String> {
         other => {
             return Err(format!(
                 "unknown op {other:?}; expected one of filter, lookup_key, map, map_values, \
-                 group_by_key, reduce_by_key, count_by_key, aggregate_by_key, sort_by_key, join"
+                 union, cogroup, flat_map, group_by_key, reduce_by_key, count_by_key, \
+                 aggregate_by_key, sort_by_key, join"
             ))
         }
     };
-    let input = match s.get("input") {
-        None => StageInput::Prev,
-        Some(v) => match (v.as_str(), v.as_int()) {
-            (Some("prev"), _) => StageInput::Prev,
-            (Some("source"), _) => StageInput::Source,
-            (_, Some(i)) if i >= 0 => StageInput::Stage(i as usize),
-            _ => return Err("input must be \"prev\", \"source\", or an earlier stage index".into()),
+    // A scalar edge or an `input = [...]` list — multi-input stages
+    // (union, cogroup) name every feeder explicitly.
+    let inputs = match s.get("input") {
+        None => vec![StageInput::Prev],
+        Some(v) => match v.as_array() {
+            Some(edges) => {
+                if edges.is_empty() {
+                    return Err("input = [...] must name at least one edge".into());
+                }
+                edges.iter().map(parse_input_edge).collect::<Result<_, _>>()?
+            }
+            None => vec![parse_input_edge(v)?],
         },
     };
-    Ok(Stage { spec, input })
+    Ok(Stage { spec, inputs })
 }
 
 #[cfg(test)]
@@ -500,8 +526,57 @@ mod tests {
         assert_eq!(m.concurrency, Concurrency::Serial);
         assert_eq!(m.stages.len(), 3);
         assert_eq!(m.stages[0].spec, StageSpec::Filter { modulus: 10, remainder: 0 });
-        assert_eq!(m.stages[0].input, StageInput::Prev);
+        assert_eq!(m.stages[0].inputs, vec![StageInput::Prev]);
         assert_eq!(m.runs().len(), 1);
+    }
+
+    #[test]
+    fn multi_input_stages_parse_edge_lists() {
+        let text = r#"
+            [campaign]
+            name = "multi"
+            systems = ["mondrian"]
+
+            [[stage]]
+            op = "filter"
+
+            [[stage]]
+            op = "flat_map"
+            fanout = 3
+
+            [[stage]]
+            op = "map_values"
+            input = "source"
+
+            [[stage]]
+            op = "union"
+            input = [1, 2]
+
+            [[stage]]
+            op = "cogroup"
+            input = [1, 2]
+        "#;
+        let m = Manifest::parse(text, Format::Toml).unwrap();
+        assert_eq!(m.stages[1].spec, StageSpec::FlatMap { fanout: 3 });
+        assert_eq!(m.stages[3].spec, StageSpec::Union);
+        assert_eq!(m.stages[3].inputs, vec![StageInput::Stage(1), StageInput::Stage(2)]);
+        assert_eq!(m.stages[4].inputs, vec![StageInput::Stage(1), StageInput::Stage(2)]);
+
+        // Arity violations surface at parse time via pipeline validation.
+        let one_edge = text.replace(
+            "input = [1, 2]\n\n            [[stage]]",
+            "input = [1]\n\n            [[stage]]",
+        );
+        assert!(Manifest::parse(&one_edge, Format::Toml).unwrap_err().contains("at least 2"));
+        let bad_fanout = text.replace("fanout = 3", "fanout = 99");
+        assert!(Manifest::parse(&bad_fanout, Format::Toml)
+            .unwrap_err()
+            .contains("fanout must be between"));
+        let empty = text.replace(
+            "input = [1, 2]\n\n            [[stage]]",
+            "input = []\n\n            [[stage]]",
+        );
+        assert!(Manifest::parse(&empty, Format::Toml).unwrap_err().contains("at least one edge"));
     }
 
     #[test]
@@ -567,9 +642,9 @@ mod tests {
         let m = Manifest::parse(text, Format::Json).unwrap();
         assert_eq!(m.systems, vec![SystemKind::Cpu]);
         assert_eq!(m.seeds, vec![3]);
-        assert_eq!(m.stages[1].input, StageInput::Source);
+        assert_eq!(m.stages[1].inputs, vec![StageInput::Source]);
         assert_eq!(m.stages[2].spec, StageSpec::Join { build: BuildSide::Stage(0) });
-        assert_eq!(m.stages[2].input, StageInput::Stage(1));
+        assert_eq!(m.stages[2].inputs, vec![StageInput::Stage(1)]);
     }
 
     #[test]

@@ -413,6 +413,20 @@ fn json_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
                             Some(b'n') => s.push('\n'),
                             Some(b't') => s.push('\t'),
                             Some(b'r') => s.push('\r'),
+                            // \uXXXX (BMP only — enough to round-trip the
+                            // control-character escapes our writer emits).
+                            Some(b'u') => {
+                                let hex = b
+                                    .get(*pos + 1..*pos + 5)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                    .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                                let c = char::from_u32(hex).ok_or_else(|| {
+                                    format!("\\u escape is not a scalar value at byte {pos}")
+                                })?;
+                                s.push(c);
+                                *pos += 4;
+                            }
                             other => {
                                 return Err(format!("unsupported escape {other:?} at byte {pos}"))
                             }

@@ -32,6 +32,36 @@ fn join_campaign_json_runs_verified_and_deterministic() {
     assert_eq!(a.to_json(), b.to_json(), "artifact must be byte-identical per seed");
 }
 
+/// The opened operator layer at the manifest level: `cogroup_union.toml`
+/// exercises union, cogroup and flat_map as declarative stages with
+/// multi-input `input = [...]` edges, runs verified on the four
+/// representative systems, and stays byte-identical between the serial
+/// and branch schedules.
+#[test]
+fn cogroup_union_manifest_runs_all_new_stage_kinds() {
+    let m = Manifest::parse(&example("cogroup_union.toml"), Format::Toml).unwrap();
+    assert_eq!(m.systems.len(), 4, "both algorithm families, both partitioning mechanisms");
+    assert_eq!(m.concurrency, mondrian_pipeline::Concurrency::Branch);
+    let names: Vec<&str> = m.stages.iter().map(|s| s.name()).collect();
+    for required in ["union", "cogroup", "flat_map"] {
+        assert!(names.contains(&required), "manifest must exercise {required}");
+    }
+    assert_eq!(m.stages[3].inputs.len(), 2, "union reads two explicit edges");
+
+    let branch = run_campaign(&m, |_| {});
+    assert!(branch.verified(), "cogroup_union campaign must verify on every system");
+    let mut serial = m.clone();
+    serial.concurrency = mondrian_pipeline::Concurrency::Serial;
+    let s = run_campaign(&serial, |_| {});
+    for (br, sr) in branch.runs.iter().zip(&s.runs) {
+        assert_eq!(br.report.output, sr.report.output);
+        for (bs, ss) in br.report.stages.iter().zip(&sr.report.stages) {
+            assert_eq!(bs.output_digest, ss.output_digest, "{} diverged", bs.spec);
+        }
+        assert!(br.report.makespan_ps() <= sr.report.makespan_ps());
+    }
+}
+
 /// The acceptance scenario at the manifest level: the two-branch DAG
 /// campaign run with `concurrency = "branch"` must report a strictly
 /// smaller makespan than `"serial"` on at least one system, while every

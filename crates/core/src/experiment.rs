@@ -17,10 +17,15 @@ use mondrian_energy::{
     compute_energy, CoreActivity, CoreClass, EnergyBreakdown, EnergyParams, SystemActivity,
 };
 use mondrian_mem::PermutableRegion;
-use mondrian_ops::groupby::{HashAggKernel, SimdSortedAggKernel, SortedAggKernel};
+use mondrian_ops::flat_map::{FlatMapKernel, SimdFlatMapKernel};
+use mondrian_ops::groupby::{
+    hash_group, sorted_group, HashAggKernel, SimdSortedAggKernel, SortedAggKernel,
+    GROUP_ENTRY_BYTES,
+};
 use mondrian_ops::join::{
     build_index, merge_join, probe_index, HashProbeKernel, MergeJoinKernel, SimdMergeJoinKernel,
 };
+use mondrian_ops::operator::{operator, OpInvocation, OpSpec};
 use mondrian_ops::partition::{
     exclusive_prefix, histogram_into, scatter_addresses, HistogramKernel, PermutableScatterKernel,
     ScatterKernel, SimdHistogramKernel, SimdPermutableScatterKernel, SimdScatterKernel,
@@ -58,15 +63,19 @@ pub struct ExperimentBuilder {
     /// Deliberately undersize permutable regions by this factor (failure
     /// injection for the §5.4 overflow/retry path).
     underprovision: Option<f64>,
-    /// Injected primary relation (replaces dataset generation); for joins
-    /// this is the probe side S. Shared, not cloned: pipeline stages hand
-    /// the same `Arc<[Tuple]>` to many builders.
-    input: Option<Arc<[Tuple]>>,
+    /// Injected input relations (replace dataset generation), in order.
+    /// Single-input operators read the first; multi-input operators
+    /// (union, cogroup) read all of them; for joins the first is the
+    /// probe side S. Shared, not cloned: pipeline stages hand the same
+    /// `Arc<[Tuple]>` to many builders.
+    inputs: Vec<Arc<[Tuple]>>,
     /// Injected build relation R for joins. Without it, an injected join
     /// derives a primary-key dimension from the probe side's keys.
     build: Option<Arc<[Tuple]>>,
     /// Scan predicate override (defaults to the §6 searched-value scan).
     pred: Option<ScanPredicate>,
+    /// 1→N output amplification for flat_map (None = the default of 2).
+    fanout: Option<u64>,
 }
 
 impl ExperimentBuilder {
@@ -77,9 +86,10 @@ impl ExperimentBuilder {
             cfg: SystemConfig::scaled(SystemKind::Mondrian),
             dist: KeyDist::Uniform,
             underprovision: None,
-            input: None,
+            inputs: Vec::new(),
             build: None,
             pred: None,
+            fanout: None,
         }
     }
 
@@ -168,9 +178,25 @@ impl ExperimentBuilder {
     /// the relation is range-partitioned across vaults in order, and the
     /// run's [`Report::output`] captures the operator's actual output so
     /// multi-stage pipelines can thread relations between experiments. For
-    /// joins, the injected relation is the probe side S.
+    /// joins, the injected relation is the probe side S. Replaces any
+    /// previously injected inputs; use [`ExperimentBuilder::add_input`]
+    /// for the further relations of multi-input operators.
     pub fn input(mut self, relation: impl Into<Arc<[Tuple]>>) -> Self {
-        self.input = Some(relation.into());
+        self.inputs = vec![relation.into()];
+        self
+    }
+
+    /// Appends a further input relation — multi-input operators (union,
+    /// cogroup) consume every injected relation in order.
+    pub fn add_input(mut self, relation: impl Into<Arc<[Tuple]>>) -> Self {
+        self.inputs.push(relation.into());
+        self
+    }
+
+    /// Sets flat_map's 1→N output-amplification factor (outputs per
+    /// matching input tuple). Ignored by every other operator.
+    pub fn fanout(mut self, fanout: u64) -> Self {
+        self.fanout = Some(fanout.max(1));
         self
     }
 
@@ -200,33 +226,9 @@ impl ExperimentBuilder {
 }
 
 /// The functional output relation of one operator run, captured so that
-/// pipeline stages can feed each other.
-#[derive(Debug, Clone, PartialEq)]
-pub enum StageOutput {
-    /// Tuple relation (Scan: the matches in input order; Sort: the totally
-    /// ordered relation).
-    Tuples(Vec<Tuple>),
-    /// Group-by result: key → the six aggregates.
-    Groups(BTreeMap<u64, Aggregates>),
-    /// Join result rows `(key, r_payload, s_payload)` in canonical order.
-    Rows(Vec<reference::JoinRow>),
-}
-
-impl StageOutput {
-    /// Number of output rows/groups.
-    pub fn rows(&self) -> usize {
-        match self {
-            StageOutput::Tuples(v) => v.len(),
-            StageOutput::Groups(g) => g.len(),
-            StageOutput::Rows(r) => r.len(),
-        }
-    }
-
-    /// Whether the output is empty.
-    pub fn is_empty(&self) -> bool {
-        self.rows() == 0
-    }
-}
+/// pipeline stages can feed each other. This *is* the operator IR's
+/// output type — re-exported under the historical name.
+pub use mondrian_ops::operator::OpOutput as StageOutput;
 
 /// Results of one experiment.
 #[derive(Debug, Clone)]
@@ -302,14 +304,15 @@ type KernelSet = Vec<Option<Box<dyn Kernel>>>;
 /// vectors: handing a partition to a kernel is a refcount bump).
 type VaultData = Vec<Data>;
 
-struct Experiment {
+pub(crate) struct Experiment {
     op: OperatorKind,
     cfg: SystemConfig,
     dist: KeyDist,
     underprovision: Option<f64>,
-    input: Option<Arc<[Tuple]>>,
+    inputs: Vec<Arc<[Tuple]>>,
     build: Option<Arc<[Tuple]>>,
     pred: Option<ScanPredicate>,
+    fanout: Option<u64>,
     layout: Layout,
     machine: Machine,
     phases: Vec<PhaseOutcome>,
@@ -318,11 +321,11 @@ struct Experiment {
 
 impl Experiment {
     fn new(mut b: ExperimentBuilder) -> Self {
-        if let Some(input) = &b.input {
+        if let Some(longest) = b.inputs.iter().map(|r| r.len()).max() {
             // Injected relations dictate the per-vault scale; keep the
             // configured knob consistent so capacity checks see the truth.
             let vaults = b.cfg.total_vaults() as usize;
-            b.cfg.tuples_per_vault = input.len().div_ceil(vaults).max(16);
+            b.cfg.tuples_per_vault = longest.div_ceil(vaults).max(16);
         }
         b.cfg.validate();
         let layout = Layout::new(b.cfg.vault.capacity);
@@ -336,9 +339,10 @@ impl Experiment {
             cfg: b.cfg,
             dist: b.dist,
             underprovision: b.underprovision,
-            input: b.input,
+            inputs: b.inputs,
             build: b.build,
             pred: b.pred,
+            fanout: b.fanout,
             layout,
             machine,
             phases: Vec::new(),
@@ -392,36 +396,42 @@ impl Experiment {
             .unwrap_or_else(|n| panic!("phase {label}: {n} unexpected permutable overflows"));
     }
 
+    /// Generates one relation of `total` tuples under the configured key
+    /// distribution.
+    fn gen_relation(&self, total: usize, key_bound: u64, seed: u64) -> Vec<Tuple> {
+        match self.dist {
+            KeyDist::Uniform => uniform_relation(total, key_bound, seed),
+            KeyDist::Zipf(theta) => zipfian_relation(total, key_bound, theta, seed),
+        }
+    }
+
+    /// Key upper bound for generated datasets: grouping operators shrink
+    /// the key space per their descriptor (the paper's average group size
+    /// of four, §6).
+    fn generated_key_bound(&self, total: usize) -> u64 {
+        let divisor = operator(self.op).profile().group_key_divisor;
+        (total as u64 / divisor).max(1)
+    }
+
     fn generate_single(&self) -> VaultData {
-        if let Some(input) = &self.input {
+        if let Some(input) = self.inputs.first() {
             return self.chunk_to_vaults(input);
         }
         let n = self.cfg.tuples_per_vault;
         let total = n * self.vaults();
-        let key_bound = match self.op {
-            OperatorKind::GroupBy => (total as u64 / 4).max(1), // avg group size 4 (§6)
-            _ => total as u64,
-        };
-        let all = match self.dist {
-            KeyDist::Uniform => uniform_relation(total, key_bound, self.cfg.seed),
-            KeyDist::Zipf(theta) => zipfian_relation(total, key_bound, theta, self.cfg.seed),
-        };
+        let all = self.gen_relation(total, self.generated_key_bound(total), self.cfg.seed);
         all.chunks(n).map(Arc::from).collect()
     }
 
     fn generate_join(&self) -> (VaultData, VaultData) {
-        if let Some(s) = &self.input {
+        if let Some(s) = self.inputs.first() {
             let derived: Vec<Tuple>;
             let r: &[Tuple] = match &self.build {
                 Some(r) => r,
                 // Derived dimension: one tuple per distinct probe key, with
                 // a seeded deterministic payload.
                 None => {
-                    let keys: std::collections::BTreeSet<u64> = s.iter().map(|t| t.key).collect();
-                    derived = keys
-                        .into_iter()
-                        .map(|k| Tuple::new(k, mondrian_ops::mix64(k ^ self.cfg.seed)))
-                        .collect();
+                    derived = mondrian_ops::operator::derive_dimension(s, self.cfg.seed);
                     &derived
                 }
             };
@@ -442,23 +452,23 @@ impl Experiment {
 
     /// Key upper bound of the whole dataset (for range partitioning).
     fn key_bound(&self) -> u64 {
-        if let Some(input) = &self.input {
-            return input.iter().map(|t| t.key).max().map_or(1, |k| k.saturating_add(1));
+        if !self.inputs.is_empty() {
+            return self
+                .inputs
+                .iter()
+                .flat_map(|rel| rel.iter().map(|t| t.key))
+                .max()
+                .map_or(1, |k| k.saturating_add(1));
         }
-        let total = (self.cfg.tuples_per_vault * self.vaults()) as u64;
-        match self.op {
-            OperatorKind::GroupBy => (total / 4).max(1),
-            _ => total,
-        }
+        self.generated_key_bound(self.cfg.tuples_per_vault * self.vaults())
     }
 
     fn partition_scheme(&self) -> PartitionScheme {
         let bits = self.cfg.partition_bits();
-        match self.op {
-            OperatorKind::Sort => {
-                PartitionScheme::Range { parts: 1 << bits, key_bound: self.key_bound() }
-            }
-            _ => PartitionScheme::LowBits { bits },
+        if operator(self.op).profile().partitions_by_range {
+            PartitionScheme::Range { parts: 1 << bits, key_bound: self.key_bound() }
+        } else {
+            PartitionScheme::LowBits { bits }
         }
     }
 
@@ -708,16 +718,13 @@ impl Experiment {
     // ----- operators ------------------------------------------------------
 
     fn run(mut self) -> Report {
-        let (verified, summary, output) = match self.op {
-            OperatorKind::Scan => self.run_scan(),
-            OperatorKind::Sort => self.run_sort(),
-            OperatorKind::GroupBy => self.run_groupby(),
-            OperatorKind::Join => self.run_join(),
-        };
+        // Dispatch through the engine-side operator registry — no
+        // `match OperatorKind` on the execution path.
+        let (verified, summary, output) = crate::opexec::engine_operator(self.op).run(&mut self);
         self.finish(verified, summary, output)
     }
 
-    fn run_scan(&mut self) -> (bool, String, StageOutput) {
+    pub(crate) fn run_scan(&mut self) -> (bool, String, StageOutput) {
         let input = self.generate_single();
         let pred = self
             .pred
@@ -848,7 +855,7 @@ impl Experiment {
         parts
     }
 
-    fn run_sort(&mut self) -> (bool, String, StageOutput) {
+    pub(crate) fn run_sort(&mut self) -> (bool, String, StageOutput) {
         let input = self.generate_single();
         let scheme = self.partition_scheme();
         let kernels = self.histogram_kernels(&input, Region::InputA, scheme, 0);
@@ -874,7 +881,7 @@ impl Experiment {
         (ok, summary, StageOutput::Tuples(combined))
     }
 
-    fn run_groupby(&mut self) -> (bool, String, StageOutput) {
+    pub(crate) fn run_groupby(&mut self) -> (bool, String, StageOutput) {
         let input = self.generate_single();
         let scheme = self.partition_scheme();
         let kernels = self.histogram_kernels(&input, Region::InputA, scheme, 0);
@@ -981,7 +988,7 @@ impl Experiment {
         (ok, summary, StageOutput::Groups(got))
     }
 
-    fn run_join(&mut self) -> (bool, String, StageOutput) {
+    pub(crate) fn run_join(&mut self) -> (bool, String, StageOutput) {
         let (r_in, s_in) = self.generate_join();
         let scheme = self.partition_scheme();
         let parts_n = scheme.parts() as usize;
@@ -1163,6 +1170,347 @@ impl Experiment {
         let ok = matches == expect;
         let summary = format!("join: {matches} matched rows (expected {expect})");
         (ok, summary, StageOutput::Rows(rows))
+    }
+
+    /// Union: the multi-input concatenating scan. Every input relation is
+    /// chunked across the vaults and each compute unit chains a match-all
+    /// scan over each input's chunk, appending to its vault's Result
+    /// region — so the simulated traffic is exactly the concatenation's.
+    pub(crate) fn run_union(&mut self) -> (bool, String, StageOutput) {
+        let rels: Vec<Data> = if self.inputs.is_empty() {
+            // Standalone: the configured dataset split into two seeded
+            // halves, so the operator is exercised as a true multi-input.
+            let total = self.cfg.tuples_per_vault * self.vaults();
+            let bound = self.generated_key_bound(total);
+            let half = (total / 2).max(1);
+            vec![
+                self.gen_relation(half, bound, self.cfg.seed).into(),
+                self.gen_relation(total - half, bound, self.cfg.seed ^ 0x0075_6e69_6f6e).into(),
+            ]
+        } else {
+            self.inputs.clone()
+        };
+        assert!(rels.len() >= 2, "union needs at least two input relations");
+        let chunked: Vec<VaultData> = rels.iter().map(|r| self.chunk_to_vaults(r)).collect();
+        for v in 0..self.vaults() {
+            let appended: usize = chunked.iter().map(|c| c[v].len()).sum();
+            assert!(
+                appended <= self.layout.region_tuples(),
+                "union output overflows the result region of vault {v}"
+            );
+        }
+        let simd = self.cfg.kind.is_mondrian();
+        let kernels: KernelSet = (0..self.units())
+            .map(|u| {
+                let mut chain: Vec<Box<dyn Kernel>> = Vec::new();
+                for v in self.vaults_of_unit(u) {
+                    let out_base = self.layout.region_base(v as u32, Region::Result);
+                    let mut written = 0u64;
+                    for (k, input) in chunked.iter().enumerate() {
+                        // Inputs alternate between the two input regions;
+                        // they are scanned sequentially, so reuse is a
+                        // modeling choice, not a correctness one.
+                        let region = if k % 2 == 0 { Region::InputA } else { Region::InputB };
+                        let data = input[v].clone();
+                        if data.is_empty() {
+                            continue;
+                        }
+                        let base = self.layout.region_base(v as u32, region);
+                        let out = out_base + written * TUPLE_BYTES as u64;
+                        written += data.len() as u64;
+                        if simd {
+                            chain.push(Box::new(SimdScanKernel::new(
+                                data,
+                                base,
+                                out,
+                                ScanPredicate::All,
+                            )));
+                        } else {
+                            chain.push(Box::new(ScalarScanKernel::new(
+                                data,
+                                base,
+                                out,
+                                ScanPredicate::All,
+                                StoreKind::Cached,
+                            )));
+                        }
+                    }
+                }
+                Some(Box::new(ChainKernel::new(chain)) as Box<dyn Kernel>)
+            })
+            .collect();
+        self.run_phase_ok(kernels, "probe.union");
+        // Reassemble the functional output from the *chunked* per-vault
+        // data (input-major, vault order) — the reference comparison then
+        // actually exercises the vault chunking, not just a re-concat of
+        // the original relations.
+        let tuples: Vec<Tuple> =
+            chunked.iter().flat_map(|c| c.iter().flat_map(|chunk| chunk.iter().copied())).collect();
+        let inputs_ref: Vec<&[Tuple]> = rels.iter().map(|r| &r[..]).collect();
+        let expect = operator(OperatorKind::Union).reference(
+            &OpSpec::new(OperatorKind::Union),
+            &OpInvocation { inputs: &inputs_ref, build: None, seed: self.cfg.seed },
+        );
+        let got = StageOutput::Tuples(tuples);
+        let ok = expect == got;
+        let summary = format!("union: {} tuples from {} inputs", got.rows(), rels.len());
+        (ok, summary, got)
+    }
+
+    /// FlatMap: the 1→N expanding scan. The kernels issue `fanout`× the
+    /// stores of a plain scan, so the memory/mesh/SerDes accounting
+    /// carries the output-amplification factor, and the captured
+    /// [`StageOutput::Expanded`] records it for downstream consumers.
+    pub(crate) fn run_flat_map(&mut self) -> (bool, String, StageOutput) {
+        let input = self.generate_single();
+        let fanout = self.fanout.unwrap_or(2).max(1);
+        let pred = self.pred.unwrap_or(ScanPredicate::All);
+        let max_chunk = input.iter().map(|d| d.len()).max().unwrap_or(0);
+        assert!(
+            max_chunk.saturating_mul(fanout as usize) <= self.layout.region_tuples(),
+            "flat_map fanout {fanout} overflows the result region ({max_chunk} tuples/vault)"
+        );
+        let simd = self.cfg.kind.is_mondrian();
+        let kernels: KernelSet = (0..self.units())
+            .map(|u| {
+                let chain: Vec<Box<dyn Kernel>> = self
+                    .vaults_of_unit(u)
+                    .map(|v| {
+                        let base = self.layout.region_base(v as u32, Region::InputA);
+                        let out = self.layout.region_base(v as u32, Region::Result);
+                        let data = input[v].clone();
+                        if simd {
+                            Box::new(SimdFlatMapKernel::new(data, base, out, pred, fanout))
+                                as Box<dyn Kernel>
+                        } else {
+                            Box::new(FlatMapKernel::new(
+                                data,
+                                base,
+                                out,
+                                pred,
+                                fanout,
+                                StoreKind::Cached,
+                            ))
+                        }
+                    })
+                    .collect();
+                Some(Box::new(ChainKernel::new(chain)) as Box<dyn Kernel>)
+            })
+            .collect();
+        self.run_phase_ok(kernels, "probe.flat_map");
+        // Expand each vault's chunk and reassemble in vault order; the
+        // reference runs over the unchunked relation, so the comparison
+        // exercises the chunk/reassemble round trip (chunking preserves
+        // input order, expansion is per-tuple).
+        let tuples: Vec<Tuple> = input
+            .iter()
+            .flat_map(|chunk| mondrian_ops::flat_map::flat_map_expand(chunk, pred, fanout))
+            .collect();
+        let whole: Vec<Tuple>;
+        let reference_input: &[Tuple] = match self.inputs.first() {
+            Some(rel) => rel,
+            None => {
+                whole = input.iter().flat_map(|d| d.iter().copied()).collect();
+                &whole
+            }
+        };
+        let expect = operator(OperatorKind::FlatMap).reference(
+            &OpSpec { kind: OperatorKind::FlatMap, pred: Some(pred), fanout },
+            &OpInvocation { inputs: &[reference_input], build: None, seed: self.cfg.seed },
+        );
+        let got = StageOutput::Expanded { tuples, fanout };
+        let ok = expect == got;
+        let matches = got.rows() / fanout as usize;
+        let summary =
+            format!("flat_map: {matches} matches expanded x{fanout} to {} tuples", got.rows());
+        (ok, summary, got)
+    }
+
+    /// Cogroup: the multi-input grouped join. Both relations shuffle on
+    /// the partition machinery (separate histogram/scatter rounds, like a
+    /// join's two sides), then each partition groups *both* sides by key
+    /// — sorted aggregation on the sort-based family, hash aggregation on
+    /// the hash-based one — and the per-key groups are paired.
+    pub(crate) fn run_cogroup(&mut self) -> (bool, String, StageOutput) {
+        let (a_full, b_full): (Data, Data) = match self.inputs.len() {
+            2 => (self.inputs[0].clone(), self.inputs[1].clone()),
+            0 => {
+                let total = self.cfg.tuples_per_vault * self.vaults();
+                let bound = self.generated_key_bound(total);
+                (
+                    self.gen_relation(total, bound, self.cfg.seed).into(),
+                    self.gen_relation(total, bound, self.cfg.seed ^ 0x0063_6f67_726f_7570).into(),
+                )
+            }
+            n => panic!("cogroup takes exactly two input relations, got {n}"),
+        };
+        let a_in = self.chunk_to_vaults(&a_full);
+        let b_in = self.chunk_to_vaults(&b_full);
+        let scheme = self.partition_scheme();
+        let parts_n = scheme.parts() as usize;
+        let kernels = self.histogram_kernels(&a_in, Region::InputA, scheme, 0);
+        self.run_phase_ok(kernels, "partition.histogram");
+        let kernels = self.histogram_kernels(&b_in, Region::InputB, scheme, parts_n * 2);
+        self.run_phase_ok(kernels, "partition.histogram.b");
+        let a_parts = self.shuffle_relation(
+            &a_in,
+            Region::InputA,
+            Region::OutA,
+            scheme,
+            parts_n,
+            "partition.scatter",
+        );
+        let b_parts = self.shuffle_relation(
+            &b_in,
+            Region::InputB,
+            Region::OutB,
+            scheme,
+            parts_n * 3,
+            "partition.scatter.b",
+        );
+        // Side-symmetric merge: fold one partition's groups into the
+        // `side` half of the paired aggregates.
+        fn merge_groups(
+            got: &mut BTreeMap<u64, (Aggregates, Aggregates)>,
+            side: usize,
+            groups: impl IntoIterator<Item = (u64, Aggregates)>,
+        ) {
+            for (k, agg) in groups {
+                let entry = got.entry(k).or_default();
+                let slot = if side == 0 { &mut entry.0 } else { &mut entry.1 };
+                slot.merge(&agg);
+            }
+        }
+        let side_regions = [Region::OutA, Region::OutB];
+        let mut got: BTreeMap<u64, (Aggregates, Aggregates)> = BTreeMap::new();
+        if self.cfg.kind.probe_is_sorted() {
+            let sorted = [
+                self.local_sort(a_parts, Region::OutA, Region::PongA, "cg.a"),
+                self.local_sort(b_parts, Region::OutB, Region::PongB, "cg.b"),
+            ];
+            let simd = self.cfg.kind.is_mondrian();
+            // The two sides' aggregate streams share the Result region,
+            // side B offset into the upper half; guard the split like
+            // union/flat_map guard their result writes (one
+            // GROUP_ENTRY_BYTES record per group, groups ≤ tuples).
+            let half_bytes = self.layout.region_tuples() as u64 / 2 * TUPLE_BYTES as u64;
+            for side in &sorted {
+                for (v, p) in side.iter().enumerate() {
+                    assert!(
+                        p.len() as u64 * GROUP_ENTRY_BYTES as u64 <= half_bytes,
+                        "cogroup aggregate output overflows the result region of vault {v}"
+                    );
+                }
+            }
+            let kernels: KernelSet = (0..self.units())
+                .map(|v| {
+                    let out = self.layout.region_base(v as u32, Region::Result);
+                    let chain: Vec<Box<dyn Kernel>> = (0..2)
+                        .map(|side| {
+                            let data = Arc::<[Tuple]>::from(sorted[side][v].as_slice());
+                            let base = self.layout.region_base(v as u32, side_regions[side]);
+                            let out = out + side as u64 * half_bytes;
+                            if simd {
+                                Box::new(SimdSortedAggKernel::new(data, base, out))
+                                    as Box<dyn Kernel>
+                            } else {
+                                Box::new(SortedAggKernel::new(data, base, out))
+                            }
+                        })
+                        .collect();
+                    Some(Box::new(ChainKernel::new(chain)) as Box<dyn Kernel>)
+                })
+                .collect();
+            self.run_phase_ok(kernels, "probe.cogroup");
+            for (side, parts) in sorted.iter().enumerate() {
+                for p in parts {
+                    merge_groups(&mut got, side, sorted_group(p));
+                }
+            }
+        } else if self.cfg.kind.is_nmp() {
+            // NMP-rand: per-vault hash aggregation, both sides chained on
+            // the vault's unit (side B's table base offset one entry — the
+            // sides run back to back, so the scratch space is shared).
+            let sides = [&a_parts, &b_parts];
+            let kernels: KernelSet = (0..self.units())
+                .map(|v| {
+                    let chain: Vec<Box<dyn Kernel>> = (0..2)
+                        .map(|side| {
+                            let data = Arc::<[Tuple]>::from(sides[side][v].as_slice());
+                            let bits = table_bits(data.len().max(4) / 2);
+                            let base = self.layout.region_base(v as u32, side_regions[side]);
+                            Box::new(HashAggKernel::new(
+                                data,
+                                base,
+                                self.layout.table_addr(v as u32, side),
+                                bits,
+                            )) as Box<dyn Kernel>
+                        })
+                        .collect();
+                    Some(Box::new(ChainKernel::new(chain)) as Box<dyn Kernel>)
+                })
+                .collect();
+            self.run_phase_ok(kernels, "probe.cogroup");
+            for (side, parts) in sides.iter().enumerate() {
+                for p in parts.iter() {
+                    merge_groups(&mut got, side, hash_group(p, table_bits(p.len().max(4) / 2)));
+                }
+            }
+        } else {
+            // CPU: per-bucket hash aggregation of both sides over the
+            // global bucket space, cache-resident scratch tables.
+            let sides = [&a_parts, &b_parts];
+            let starts: Vec<Vec<u64>> = sides
+                .iter()
+                .map(|parts| {
+                    let counts: Vec<u64> = parts.iter().map(|p| p.len() as u64).collect();
+                    exclusive_prefix(&counts)
+                })
+                .collect();
+            let buckets_per_unit = parts_n / self.units();
+            let kernels: KernelSet = (0..self.units())
+                .map(|u| {
+                    let hv = self.home_vault(u);
+                    let mut chain: Vec<Box<dyn Kernel>> = Vec::new();
+                    for bkt in u * buckets_per_unit..(u + 1) * buckets_per_unit {
+                        for (side, parts) in sides.iter().enumerate() {
+                            if parts[bkt].is_empty() {
+                                continue;
+                            }
+                            chain.push(Box::new(HashAggKernel::new(
+                                Arc::<[Tuple]>::from(parts[bkt].as_slice()),
+                                self.global_out_addr(side_regions[side], starts[side][bkt]),
+                                self.layout.table_addr(hv, side),
+                                table_bits(parts[bkt].len()),
+                            )));
+                        }
+                    }
+                    Some(Box::new(ChainKernel::new(chain)) as Box<dyn Kernel>)
+                })
+                .collect();
+            self.run_phase_ok(kernels, "probe.cogroup");
+            for (side, parts) in sides.iter().enumerate() {
+                for p in parts.iter() {
+                    if p.is_empty() {
+                        continue;
+                    }
+                    merge_groups(&mut got, side, hash_group(p, table_bits(p.len())));
+                }
+            }
+        }
+        let expect = operator(OperatorKind::Cogroup).reference(
+            &OpSpec::new(OperatorKind::Cogroup),
+            &OpInvocation { inputs: &[&a_full, &b_full], build: None, seed: self.cfg.seed },
+        );
+        let got = StageOutput::CoGroups(got);
+        let ok = expect == got;
+        let summary = format!(
+            "cogroup: {} keys across {} + {} tuples",
+            got.rows(),
+            a_full.len(),
+            b_full.len()
+        );
+        (ok, summary, got)
     }
 
     fn finish(mut self, verified: bool, summary: String, output: StageOutput) -> Report {

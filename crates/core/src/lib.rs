@@ -32,6 +32,7 @@
 pub mod config;
 pub mod experiment;
 pub mod layout;
+mod opexec;
 pub mod system;
 
 pub use config::{PartitionSpec, SystemConfig, SystemKind};

@@ -1,0 +1,78 @@
+//! The engine-side operator registry.
+//!
+//! Mirrors the functional operator registry of
+//! [`mondrian_ops::operator`]: every [`OperatorKind`] registers one
+//! [`EngineOperator`] — the object that knows how to assemble the
+//! operator's kernels, drive its phases on the [`crate::Machine`] and
+//! capture its functional output. The experiment driver dispatches
+//! through [`engine_operator`] instead of matching on the kind, so a new
+//! stage kind plugs in by registering one more object here and one in
+//! `ops` — no dispatch site changes.
+
+use mondrian_ops::OperatorKind;
+
+use crate::experiment::{Experiment, StageOutput};
+
+/// One operator's engine executor: runs the operator end to end on the
+/// experiment's machine and returns `(verified, summary, output)`.
+pub(crate) trait EngineOperator: Sync {
+    /// The operator this executor implements.
+    fn kind(&self) -> OperatorKind;
+
+    /// Runs the operator's phases on the experiment's machine.
+    fn run(&self, exp: &mut Experiment) -> (bool, String, StageOutput);
+}
+
+macro_rules! engine_op {
+    ($name:ident, $kind:ident, $method:ident) => {
+        struct $name;
+
+        impl EngineOperator for $name {
+            fn kind(&self) -> OperatorKind {
+                OperatorKind::$kind
+            }
+
+            fn run(&self, exp: &mut Experiment) -> (bool, String, StageOutput) {
+                exp.$method()
+            }
+        }
+    };
+}
+
+engine_op!(ScanExec, Scan, run_scan);
+engine_op!(SortExec, Sort, run_sort);
+engine_op!(GroupByExec, GroupBy, run_groupby);
+engine_op!(JoinExec, Join, run_join);
+engine_op!(UnionExec, Union, run_union);
+engine_op!(CogroupExec, Cogroup, run_cogroup);
+engine_op!(FlatMapExec, FlatMap, run_flat_map);
+
+/// Every registered engine executor, in [`OperatorKind::ALL`] order.
+static ENGINE_OPS: [&dyn EngineOperator; 7] =
+    [&ScanExec, &SortExec, &GroupByExec, &JoinExec, &UnionExec, &CogroupExec, &FlatMapExec];
+
+/// Looks an engine executor up in the registry.
+///
+/// # Panics
+///
+/// Panics if `kind` has no registered executor — a registration bug, not
+/// a user error.
+pub(crate) fn engine_operator(kind: OperatorKind) -> &'static dyn EngineOperator {
+    ENGINE_OPS
+        .iter()
+        .copied()
+        .find(|op| op.kind() == kind)
+        .unwrap_or_else(|| panic!("no engine executor registered for {kind:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_operator_kind() {
+        for kind in OperatorKind::ALL {
+            assert_eq!(engine_operator(kind).kind(), kind);
+        }
+    }
+}

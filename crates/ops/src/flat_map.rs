@@ -1,0 +1,256 @@
+//! The FlatMap operator: a 1→N expanding scan.
+//!
+//! Spark's `flatMap` emits an arbitrary number of records per input
+//! record (tokenization, explode). The engine models it as a scan whose
+//! output is **amplified**: every tuple matching the predicate produces
+//! `fanout` output tuples, and the kernels issue `fanout`× the stores a
+//! plain scan would — so the memory, mesh and SerDes accounting carries
+//! the output-amplification factor end to end.
+
+use mondrian_cores::{Dep, Kernel, MicroOp, StoreKind};
+use mondrian_workloads::{Tuple, TUPLE_BYTES};
+
+use crate::opqueue::OpQueue;
+use crate::scan::ScanPredicate;
+use crate::Data;
+
+/// The `j`-th expansion of one tuple (`j < fanout`): the key is preserved
+/// — group structure survives, group sizes multiply by `fanout` — and the
+/// payload becomes `payload · fanout + j` (wrapping), so every output
+/// tuple is distinct and the mapping is deterministic.
+pub fn expand(t: Tuple, fanout: u64, j: u64) -> Tuple {
+    Tuple::new(t.key, t.payload.wrapping_mul(fanout).wrapping_add(j))
+}
+
+/// Functional flat_map: every tuple matching `pred` expands to `fanout`
+/// tuples via [`expand`], in input order.
+pub fn flat_map_expand(rel: &[Tuple], pred: ScanPredicate, fanout: u64) -> Vec<Tuple> {
+    let fanout = fanout.max(1);
+    let mut out = Vec::with_capacity(rel.len() * fanout as usize);
+    for t in rel.iter().filter(|t| pred.matches(t)) {
+        for j in 0..fanout {
+            out.push(expand(*t, fanout, j));
+        }
+    }
+    out
+}
+
+/// Scalar 1→N scan kernel (CPU and NMP baselines): one 16 B load plus ~5
+/// dependent compare/branch instructions per tuple, then `fanout`
+/// consecutive 16 B stores per match.
+pub struct FlatMapKernel {
+    data: Data,
+    base: u64,
+    out_base: u64,
+    pred: ScanPredicate,
+    fanout: u64,
+    store_kind: StoreKind,
+    i: usize,
+    written: u64,
+    q: OpQueue,
+}
+
+impl FlatMapKernel {
+    /// Scans `data` (resident at `base`) and writes `fanout` expanded
+    /// tuples per match to `out_base`.
+    pub fn new(
+        data: Data,
+        base: u64,
+        out_base: u64,
+        pred: ScanPredicate,
+        fanout: u64,
+        store_kind: StoreKind,
+    ) -> Self {
+        Self {
+            data,
+            base,
+            out_base,
+            pred,
+            fanout: fanout.max(1),
+            store_kind,
+            i: 0,
+            written: 0,
+            q: OpQueue::new(),
+        }
+    }
+}
+
+impl Kernel for FlatMapKernel {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        if self.q.is_empty() {
+            if self.i >= self.data.len() {
+                return None;
+            }
+            let t = self.data[self.i];
+            let addr = self.base + (self.i as u64) * TUPLE_BYTES as u64;
+            self.q.push(MicroOp::load(addr, TUPLE_BYTES));
+            self.q.push(MicroOp::compute_dep(5));
+            if self.pred.matches(&t) {
+                for _ in 0..self.fanout {
+                    let out = self.out_base + self.written * TUPLE_BYTES as u64;
+                    self.q.push(MicroOp::Store {
+                        addr: out,
+                        bytes: TUPLE_BYTES,
+                        kind: self.store_kind,
+                    });
+                    self.written += 1;
+                }
+            }
+            self.i += 1;
+        }
+        self.q.pop()
+    }
+
+    fn name(&self) -> &'static str {
+        "flat_map.scalar"
+    }
+}
+
+/// SIMD streaming 1→N kernel (Mondrian): tuples arrive through stream
+/// buffer 0 in 128 B groups, one 1024-bit SIMD op covers 8 tuples, and
+/// each group's matches issue one amplified streaming store.
+pub struct SimdFlatMapKernel {
+    data: Data,
+    base: u64,
+    out_base: u64,
+    pred: ScanPredicate,
+    fanout: u64,
+    i: usize,
+    written: u64,
+    configured: bool,
+    q: OpQueue,
+}
+
+impl SimdFlatMapKernel {
+    /// Streaming expansion of `data` at `base` into `out_base`.
+    pub fn new(data: Data, base: u64, out_base: u64, pred: ScanPredicate, fanout: u64) -> Self {
+        Self {
+            data,
+            base,
+            out_base,
+            pred,
+            fanout: fanout.max(1),
+            i: 0,
+            written: 0,
+            configured: false,
+            q: OpQueue::new(),
+        }
+    }
+}
+
+impl Kernel for SimdFlatMapKernel {
+    fn next_op(&mut self) -> Option<MicroOp> {
+        if !self.configured {
+            self.configured = true;
+            return Some(MicroOp::ConfigStream {
+                buf: 0,
+                base: self.base,
+                len: self.data.len() as u64 * TUPLE_BYTES as u64,
+            });
+        }
+        if self.q.is_empty() {
+            if self.i >= self.data.len() {
+                return None;
+            }
+            let group = (self.data.len() - self.i).min(8);
+            let addr = self.base + (self.i as u64) * TUPLE_BYTES as u64;
+            let mut off = 0u32;
+            while off < group as u32 * TUPLE_BYTES {
+                let piece = (group as u32 * TUPLE_BYTES - off).min(64);
+                self.q.push(MicroOp::stream_load(0, addr + off as u64, piece));
+                off += piece;
+            }
+            self.q.push(MicroOp::Simd { dep: Dep::OnPrevLoad });
+            let hits =
+                self.data[self.i..self.i + group].iter().filter(|t| self.pred.matches(t)).count();
+            if hits > 0 {
+                let expanded = hits as u64 * self.fanout;
+                let out = self.out_base + self.written * TUPLE_BYTES as u64;
+                self.q.push(MicroOp::Store {
+                    addr: out,
+                    bytes: expanded as u32 * TUPLE_BYTES,
+                    kind: StoreKind::Streaming,
+                });
+                self.written += expanded;
+            }
+            self.i += group;
+        }
+        self.q.pop()
+    }
+
+    fn name(&self) -> &'static str {
+        "flat_map.simd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_ops(k: &mut dyn Kernel) -> Vec<MicroOp> {
+        std::iter::from_fn(|| k.next_op()).collect()
+    }
+
+    #[test]
+    fn expansion_preserves_keys_and_is_injective() {
+        let rel: Vec<Tuple> = (0..20).map(|i| Tuple::new(i % 4, i)).collect();
+        let out = flat_map_expand(&rel, ScanPredicate::All, 3);
+        assert_eq!(out.len(), 60);
+        for (i, t) in rel.iter().enumerate() {
+            for j in 0..3 {
+                assert_eq!(out[i * 3 + j as usize].key, t.key, "keys preserved");
+            }
+        }
+        let distinct: std::collections::BTreeSet<(u64, u64)> =
+            out.iter().map(|t| (t.key, t.payload)).collect();
+        assert_eq!(distinct.len(), 60, "expanded payloads are distinct");
+    }
+
+    #[test]
+    fn fanout_one_is_a_plain_filtering_scan() {
+        let rel: Vec<Tuple> = (0..20).map(|i| Tuple::new(i, i)).collect();
+        let out = flat_map_expand(&rel, ScanPredicate::KeyBelow(5), 1);
+        assert_eq!(out, crate::scan::scan_filter(&rel, ScanPredicate::KeyBelow(5)));
+    }
+
+    #[test]
+    fn scalar_kernel_amplifies_stores_by_fanout() {
+        let data: Data = (0..16).map(|i| Tuple::new(i, i)).collect();
+        let mut plain =
+            FlatMapKernel::new(data.clone(), 0, 1 << 20, ScanPredicate::All, 1, StoreKind::Cached);
+        let mut amplified =
+            FlatMapKernel::new(data.clone(), 0, 1 << 20, ScanPredicate::All, 4, StoreKind::Cached);
+        let stores =
+            |ops: &[MicroOp]| ops.iter().filter(|o| matches!(o, MicroOp::Store { .. })).count();
+        let plain_ops = collect_ops(&mut plain);
+        let amp_ops = collect_ops(&mut amplified);
+        assert_eq!(stores(&plain_ops), 16);
+        assert_eq!(stores(&amp_ops), 64, "4x the stores of the plain scan");
+        // Stores walk the output region contiguously.
+        let addrs: Vec<u64> = amp_ops
+            .iter()
+            .filter_map(|o| match o {
+                MicroOp::Store { addr, .. } => Some(*addr),
+                _ => None,
+            })
+            .collect();
+        assert!(addrs.windows(2).all(|w| w[1] == w[0] + 16));
+    }
+
+    #[test]
+    fn simd_kernel_stores_amplified_bytes() {
+        let data: Data = (0..32).map(|i| Tuple::new(i, i)).collect();
+        let mut k = SimdFlatMapKernel::new(data, 0, 1 << 20, ScanPredicate::All, 3);
+        let ops = collect_ops(&mut k);
+        let store_bytes: u32 = ops
+            .iter()
+            .filter_map(|o| match o {
+                MicroOp::Store { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(store_bytes, 32 * 3 * TUPLE_BYTES, "store traffic carries the fanout");
+        let simds = ops.iter().filter(|o| matches!(o, MicroOp::Simd { .. })).count();
+        assert_eq!(simds, 4, "32 tuples / 8 lanes, loads unamplified");
+    }
+}

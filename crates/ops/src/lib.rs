@@ -22,6 +22,15 @@
 //!    model. Kernels derive their decisions from the same data, so the
 //!    simulated access pattern is the real access pattern.
 //!
+//! The operators themselves are organized as an **open IR** ([`operator`]):
+//! each one is a trait object bundling its functional executor, its naive
+//! reference executor and its instrumented phase plan, registered in a
+//! static registry the execution layers dispatch through. Beyond the
+//! paper's four, the IR carries the multi-input and 1→N stage kinds that
+//! complete Table 1 — `Union` (concatenating scan), `Cogroup`
+//! (multi-input grouped join) and `FlatMap` (1→N expanding scan,
+//! [`flat_map`]).
+//!
 //! The crate also encodes Table 1 (the Spark-operator → basic-operator
 //! mapping, [`spark`]) and Table 2 (per-operator phase structure,
 //! [`phases`]).
@@ -29,9 +38,11 @@
 #![warn(missing_docs)]
 
 pub mod agg;
+pub mod flat_map;
 pub mod groupby;
 pub mod hash;
 pub mod join;
+pub mod operator;
 pub mod partition;
 pub mod phases;
 pub mod reference;
@@ -43,6 +54,7 @@ mod opqueue;
 
 pub use agg::Aggregates;
 pub use hash::{mix64, PartitionScheme};
+pub use operator::{operator, OpInvocation, OpOutput, OpProfile, OpSpec, Operator};
 pub use opqueue::ChainKernel;
 pub use phases::{OperatorKind, PhaseInfo};
 pub use scan::ScanPredicate;

@@ -1,6 +1,14 @@
-//! Operator phase structure (Table 2 of the paper).
+//! Operator identity and phase structure (Table 2 of the paper).
+//!
+//! [`OperatorKind`] names the operators of the open operator IR; the
+//! per-operator facts (display name, arity, phase plan) live with each
+//! operator's [`crate::operator::Operator`] implementation and are reached
+//! through the registry, not through `match` arms scattered over the
+//! execution layers.
 
-/// The four basic data operators (§2, Table 1).
+/// The basic data operators of the open operator IR: the paper's four
+/// (§2, Table 1) plus the multi-input and 1→N stage kinds that complete
+/// the Table 1 workload surface (`Union`, `Cogroup`, `FlatMap`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OperatorKind {
     /// Sequentially scan for a key.
@@ -11,21 +19,35 @@ pub enum OperatorKind {
     GroupBy,
     /// Totally order the dataset.
     Sort,
+    /// Concatenate N input relations (a multi-input scan).
+    Union,
+    /// Group two relations by key and pair the groups (a multi-input
+    /// grouped join on the partition/probe machinery).
+    Cogroup,
+    /// Expand every tuple into `fanout` output tuples (a 1→N scan).
+    FlatMap,
 }
 
 impl OperatorKind {
-    /// All four operators, in the paper's presentation order.
-    pub const ALL: [OperatorKind; 4] =
+    /// The paper's four basic operators, in its presentation order.
+    pub const BASIC: [OperatorKind; 4] =
         [OperatorKind::Scan, OperatorKind::Sort, OperatorKind::GroupBy, OperatorKind::Join];
 
-    /// Display name as used in the paper's figures.
+    /// Every operator of the IR: the paper's four, then the opened stage
+    /// kinds.
+    pub const ALL: [OperatorKind; 7] = [
+        OperatorKind::Scan,
+        OperatorKind::Sort,
+        OperatorKind::GroupBy,
+        OperatorKind::Join,
+        OperatorKind::Union,
+        OperatorKind::Cogroup,
+        OperatorKind::FlatMap,
+    ];
+
+    /// Display name (the paper's figure label for the basic four).
     pub fn name(&self) -> &'static str {
-        match self {
-            OperatorKind::Scan => "Scan",
-            OperatorKind::Join => "Join",
-            OperatorKind::GroupBy => "Group by",
-            OperatorKind::Sort => "Sort",
-        }
+        crate::operator::operator(*self).profile().name
     }
 }
 
@@ -35,7 +57,8 @@ impl std::fmt::Display for OperatorKind {
     }
 }
 
-/// Phase decomposition of one operator — a row of Table 2.
+/// Phase decomposition of one operator — a row of Table 2 (extended with
+/// the new stage kinds).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhaseInfo {
     /// Whether the operator has a partitioning phase at all.
@@ -51,38 +74,9 @@ pub struct PhaseInfo {
 }
 
 impl PhaseInfo {
-    /// Table 2, by operator.
+    /// The operator's phase plan, read from its registered descriptor.
     pub fn of(op: OperatorKind) -> Self {
-        match op {
-            OperatorKind::Scan => Self {
-                has_partitioning: false,
-                histogram: None,
-                distribution: None,
-                hash_table_build: None,
-                operation: "Scan keys",
-            },
-            OperatorKind::Join => Self {
-                has_partitioning: true,
-                histogram: Some("Hash keys with low order bits"),
-                distribution: Some("Copy to partitions"),
-                hash_table_build: Some("Hash keys & reorder"),
-                operation: "Join by key",
-            },
-            OperatorKind::GroupBy => Self {
-                has_partitioning: true,
-                histogram: Some("Hash keys with low order bits"),
-                distribution: Some("Copy to partitions"),
-                hash_table_build: Some("Hash keys & reorder"),
-                operation: "Group by key",
-            },
-            OperatorKind::Sort => Self {
-                has_partitioning: true,
-                histogram: Some("Hash keys with high order bits"),
-                distribution: Some("Copy to partitions"),
-                hash_table_build: None,
-                operation: "Local sort",
-            },
-        }
+        crate::operator::operator(op).profile().phases
     }
 }
 
@@ -115,8 +109,20 @@ mod tests {
     }
 
     #[test]
+    fn new_stage_kinds_have_phase_plans() {
+        assert!(!PhaseInfo::of(OperatorKind::Union).has_partitioning);
+        assert!(!PhaseInfo::of(OperatorKind::FlatMap).has_partitioning);
+        let c = PhaseInfo::of(OperatorKind::Cogroup);
+        assert!(c.has_partitioning, "cogroup shuffles both sides");
+        assert_eq!(c.histogram, PhaseInfo::of(OperatorKind::GroupBy).histogram);
+    }
+
+    #[test]
     fn operator_names_match_paper() {
         assert_eq!(OperatorKind::GroupBy.to_string(), "Group by");
-        assert_eq!(OperatorKind::ALL.len(), 4);
+        assert_eq!(OperatorKind::BASIC.len(), 4);
+        assert_eq!(OperatorKind::ALL.len(), 7);
+        assert_eq!(OperatorKind::Union.to_string(), "Union");
+        assert_eq!(OperatorKind::FlatMap.to_string(), "Flat map");
     }
 }

@@ -52,16 +52,19 @@ impl SparkOp {
     ];
 
     /// The basic data operator implementing this transformation (Table 1).
+    ///
+    /// `Union`, `Cogroup` and `FlatMap` lower to their own dedicated
+    /// operators — the open operator IR models multi-input and 1→N stages
+    /// directly instead of approximating them as plain Scan/Group-by.
     pub fn basic_operator(&self) -> OperatorKind {
         match self {
-            SparkOp::Filter
-            | SparkOp::Union
-            | SparkOp::LookupKey
-            | SparkOp::Map
-            | SparkOp::FlatMap
-            | SparkOp::MapValues => OperatorKind::Scan,
+            SparkOp::Filter | SparkOp::LookupKey | SparkOp::Map | SparkOp::MapValues => {
+                OperatorKind::Scan
+            }
+            SparkOp::Union => OperatorKind::Union,
+            SparkOp::FlatMap => OperatorKind::FlatMap,
+            SparkOp::Cogroup => OperatorKind::Cogroup,
             SparkOp::GroupByKey
-            | SparkOp::Cogroup
             | SparkOp::ReduceByKey
             | SparkOp::Reduce
             | SparkOp::CountByKey
@@ -91,6 +94,28 @@ pub fn map_values<F: Fn(u64) -> u64>(rel: &[Tuple], f: F) -> Vec<Tuple> {
 pub fn union(a: &[Tuple], b: &[Tuple]) -> Vec<Tuple> {
     let mut out = a.to_vec();
     out.extend_from_slice(b);
+    out
+}
+
+/// Functional `FlatMap`: expands every tuple through `f`, preserving
+/// input order.
+pub fn flat_map<I: IntoIterator<Item = Tuple>, F: Fn(Tuple) -> I>(
+    rel: &[Tuple],
+    f: F,
+) -> Vec<Tuple> {
+    rel.iter().copied().flat_map(f).collect()
+}
+
+/// Functional `Cogroup`: per key, the payload lists of both sides in
+/// input order — Spark's `(K, (Iterable[V], Iterable[W]))`.
+pub fn cogroup(a: &[Tuple], b: &[Tuple]) -> BTreeMap<u64, (Vec<u64>, Vec<u64>)> {
+    let mut out: BTreeMap<u64, (Vec<u64>, Vec<u64>)> = BTreeMap::new();
+    for t in a {
+        out.entry(t.key).or_default().0.push(t.payload);
+    }
+    for t in b {
+        out.entry(t.key).or_default().1.push(t.payload);
+    }
     out
 }
 
@@ -130,19 +155,42 @@ pub fn aggregate_by_key(rel: &[Tuple]) -> BTreeMap<u64, Aggregates> {
 mod tests {
     use super::*;
 
+    /// Pins the full Table 1 mapping: all fourteen Spark transformations
+    /// and the exact basic operator each one lowers to. `Union`, `Cogroup`
+    /// and `FlatMap` must reach their dedicated operators — any
+    /// Scan/Group-by aliasing regression fails here.
     #[test]
-    fn table1_mapping() {
+    fn table1_mapping_is_pinned() {
         use OperatorKind::*;
-        assert_eq!(SparkOp::Filter.basic_operator(), Scan);
-        assert_eq!(SparkOp::MapValues.basic_operator(), Scan);
-        assert_eq!(SparkOp::GroupByKey.basic_operator(), GroupBy);
-        assert_eq!(SparkOp::AggregateByKey.basic_operator(), GroupBy);
-        assert_eq!(SparkOp::Join.basic_operator(), Join);
-        assert_eq!(SparkOp::SortByKey.basic_operator(), Sort);
-        // Table 1 has 6 Scan-backed, 6 GroupBy-backed, 1 Join, 1 Sort.
-        let scans = SparkOp::ALL.iter().filter(|o| o.basic_operator() == Scan).count();
-        let groups = SparkOp::ALL.iter().filter(|o| o.basic_operator() == GroupBy).count();
-        assert_eq!((scans, groups), (6, 6));
+        let expected = [
+            (SparkOp::Filter, Scan),
+            (SparkOp::Union, Union),
+            (SparkOp::LookupKey, Scan),
+            (SparkOp::Map, Scan),
+            (SparkOp::FlatMap, FlatMap),
+            (SparkOp::MapValues, Scan),
+            (SparkOp::GroupByKey, GroupBy),
+            (SparkOp::Cogroup, Cogroup),
+            (SparkOp::ReduceByKey, GroupBy),
+            (SparkOp::Reduce, GroupBy),
+            (SparkOp::CountByKey, GroupBy),
+            (SparkOp::AggregateByKey, GroupBy),
+            (SparkOp::Join, Join),
+            (SparkOp::SortByKey, Sort),
+        ];
+        assert_eq!(expected.len(), SparkOp::ALL.len(), "every Table 1 row is pinned");
+        for ((op, kind), listed) in expected.into_iter().zip(SparkOp::ALL) {
+            assert_eq!(op, listed, "pin order matches SparkOp::ALL");
+            assert_eq!(op.basic_operator(), kind, "{op:?} lowers to {kind:?}");
+        }
+        // 4 Scan-backed, 5 GroupBy-backed, and one dedicated operator each
+        // for Union, Cogroup, FlatMap, Join, Sort.
+        let count = |k| SparkOp::ALL.iter().filter(|o| o.basic_operator() == k).count();
+        assert_eq!(count(Scan), 4);
+        assert_eq!(count(GroupBy), 5);
+        for dedicated in [Union, Cogroup, FlatMap] {
+            assert_eq!(count(dedicated), 1, "{dedicated:?} is not aliased");
+        }
     }
 
     #[test]
@@ -153,6 +201,11 @@ mod tests {
         assert_eq!(map_values(&rel, |p| p * 2)[1].payload, 10);
         assert_eq!(union(&rel, &rel).len(), 6);
         assert_eq!(lookup_key(&rel, 1), vec![10, 7]);
+        let expanded = flat_map(&rel, |t| [t, Tuple::new(t.key, t.payload + 1)]);
+        assert_eq!(expanded.len(), 6, "every tuple doubled");
+        let cg = cogroup(&rel, &[Tuple::new(1, 99)]);
+        assert_eq!(cg[&1], (vec![10, 7], vec![99]));
+        assert_eq!(cg[&2], (vec![5], vec![]));
         let sums = reduce_by_key(&rel, |a, b| a + b);
         assert_eq!(sums[&1], 17);
         assert_eq!(count_by_key(&rel)[&1], 2);

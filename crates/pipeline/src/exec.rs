@@ -86,17 +86,37 @@ impl Pipeline {
     /// # Errors
     ///
     /// Returns a description of the first structural problem: an empty
-    /// plan, an input or join build side referencing a non-earlier stage.
+    /// plan, an input or join build side referencing a non-earlier stage,
+    /// or a stage whose input-edge count violates its operator's arity
+    /// (read from the operator registry, not a `match`).
     pub fn validate(&self) -> Result<(), String> {
         if self.stages.is_empty() {
             return Err("pipeline has no stages".into());
         }
         for (i, stage) in self.stages.iter().enumerate() {
-            if let StageInput::Stage(j) = stage.input {
-                if j >= i {
-                    return Err(format!(
-                        "stage {i} reads stage {j}, which is not an earlier stage"
-                    ));
+            let profile = mondrian_ops::operator(stage.basic_operator()).profile();
+            let edges = stage.inputs.len();
+            if edges < profile.min_inputs {
+                return Err(format!(
+                    "stage {i} ({}) needs at least {} input edges, got {edges}",
+                    stage.name(),
+                    profile.min_inputs,
+                ));
+            }
+            if edges > profile.max_inputs {
+                return Err(format!(
+                    "stage {i} ({}) takes at most {} input edges, got {edges}",
+                    stage.name(),
+                    profile.max_inputs,
+                ));
+            }
+            for &input in &stage.inputs {
+                if let StageInput::Stage(j) = input {
+                    if j >= i {
+                        return Err(format!(
+                            "stage {i} reads stage {j}, which is not an earlier stage"
+                        ));
+                    }
                 }
             }
             if let StageSpec::Join { build: BuildSide::Stage(j) } = stage.spec {
@@ -148,7 +168,7 @@ impl Pipeline {
         let mut outputs: Vec<Rel> = Vec::new();
         let mut serial: Vec<StageRun> = Vec::new();
         for (i, stage) in self.stages.iter().enumerate() {
-            let input = resolve_input(stage.input, i, &source, &outputs);
+            let inputs = resolve_inputs(stage, i, &source, &outputs);
             let build = resolve_build(&stage.spec, &outputs);
             let run = if cfg.threads > 1 {
                 std::thread::scope(|scope| {
@@ -157,20 +177,20 @@ impl Pipeline {
                             cfg,
                             cfg.system_config(),
                             stage,
-                            input.clone(),
+                            inputs.clone(),
                             build.clone(),
                         )
                     });
                     let expected =
-                        cache.reference_output(plan, cfg, i, stage, &input, build.as_deref());
+                        cache.reference_output(plan, cfg, i, stage, &inputs, build.as_deref());
                     let mut run = engine.join().expect("engine thread panicked");
                     run.reference_ok = run.projected[..] == expected[..];
                     run
                 })
             } else {
                 let expected =
-                    cache.reference_output(plan, cfg, i, stage, &input, build.as_deref());
-                let mut run = run_stage_engine(cfg, cfg.system_config(), stage, input, build);
+                    cache.reference_output(plan, cfg, i, stage, &inputs, build.as_deref());
+                let mut run = run_stage_engine(cfg, cfg.system_config(), stage, inputs, build);
                 run.reference_ok = run.projected[..] == expected[..];
                 run
             };
@@ -286,11 +306,11 @@ impl Pipeline {
                     .iter()
                     .map(|&i| {
                         let stage = &self.stages[i];
-                        let input = resolve_input(stage.input, i, source, &outputs);
+                        let inputs = resolve_inputs(stage, i, source, &outputs);
                         let build = resolve_build(&stage.spec, &outputs);
                         let mut sys = base.restrict(leases[slot]);
                         sys.sim_threads = sim_threads;
-                        run_stage_engine(cfg, sys, stage, input, build)
+                        run_stage_engine(cfg, sys, stage, inputs, build)
                     })
                     .collect()
             };
@@ -450,20 +470,29 @@ struct StageRun {
 }
 
 /// Runs one stage's engine simulation on `sys_cfg` and projects its
-/// output. The reference verdict is filled in by the caller (serial runs
-/// compare against the pure reference executor, partition runs against
-/// the serial outputs), so the simulation can overlap with whichever
-/// check applies.
+/// output. Multi-input stages hand every resolved edge relation to the
+/// builder, in edge order. The reference verdict is filled in by the
+/// caller (serial runs compare against the pure reference executor,
+/// partition runs against the serial outputs), so the simulation can
+/// overlap with whichever check applies.
 fn run_stage_engine(
     cfg: &PipelineConfig,
     sys_cfg: SystemConfig,
     stage: &Stage,
-    input: Rel,
+    inputs: Vec<Rel>,
     build: Option<Rel>,
 ) -> StageRun {
-    let input_rows = input.len();
-    let mut builder =
-        ExperimentBuilder::new(stage.spec.basic_operator()).config(sys_cfg).input(input);
+    let input_rows = inputs.iter().map(|r| r.len()).sum();
+    let mut edges = inputs.into_iter();
+    let mut builder = ExperimentBuilder::new(stage.spec.basic_operator())
+        .config(sys_cfg)
+        .input(edges.next().expect("validated: every stage has an input edge"));
+    for rel in edges {
+        builder = builder.add_input(rel);
+    }
+    if let StageSpec::FlatMap { fanout } = stage.spec {
+        builder = builder.fanout(fanout);
+    }
     if let Some(pred) = stage.spec.scan_predicate() {
         builder = builder.scan_predicate(pred);
     }
@@ -489,7 +518,7 @@ fn stage_outcome(
 ) -> StageOutcome {
     StageOutcome {
         spec: stage.spec,
-        input: stage.input,
+        inputs: stage.inputs.clone(),
         wave,
         branch,
         concurrent,
@@ -567,6 +596,13 @@ fn resolve_input(input: StageInput, i: usize, source: &Rel, outputs: &[Rel]) -> 
     }
 }
 
+/// Resolves every input edge of a stage, in edge order — the scheduler
+/// feeds multi-input stages from multiple DAG edges with refcount bumps,
+/// not copies.
+fn resolve_inputs(stage: &Stage, i: usize, source: &Rel, outputs: &[Rel]) -> Vec<Rel> {
+    stage.inputs.iter().map(|&input| resolve_input(input, i, source, outputs)).collect()
+}
+
 fn resolve_build(spec: &StageSpec, outputs: &[Rel]) -> Option<Rel> {
     match spec {
         StageSpec::Join { build: BuildSide::Stage(j) } => Some(outputs[*j].clone()),
@@ -579,7 +615,9 @@ fn resolve_build(spec: &StageSpec, outputs: &[Rel]) -> Option<Rel> {
 type SourceKey = (bool, usize, u64, Option<u64>, Option<u64>);
 
 /// Cross-run cache of pure per-stage reference outputs, keyed by
-/// `(plan, source identity, stage index, input/build digests)`.
+/// `(plan, source identity, stage index, input-edge digests, build
+/// digest)` — multi-input stages fold every edge's relation digest into
+/// one key component.
 /// Campaigns sweeping one plan over many systems share identical
 /// stage-prefix semantics; the cache computes each prefix's reference
 /// output once. The digests guard against poisoning: should a run's
@@ -608,17 +646,20 @@ impl ExecCache {
         cfg: &PipelineConfig,
         i: usize,
         stage: &Stage,
-        input: &[Tuple],
+        inputs: &[Rel],
         build: Option<&[Tuple]>,
     ) -> Rel {
-        let key = (plan, cfg.source_key(), i, relation_digest(input), build.map(relation_digest));
+        let inputs_digest =
+            crate::report::fnv1a(inputs.iter().flat_map(|rel| relation_digest(rel).to_le_bytes()));
+        let key = (plan, cfg.source_key(), i, inputs_digest, build.map(relation_digest));
         if let Some(v) = self.reference.lock().expect("cache poisoned").get(&key) {
             self.reference_hits.fetch_add(1, Ordering::Relaxed);
             return v.clone();
         }
         // Compute outside the lock: a long reference computation must not
         // serialize unrelated cache lookups from other workers.
-        let v: Rel = stage.spec.reference_output(input, build, cfg.seed).into();
+        let input_refs: Vec<&[Tuple]> = inputs.iter().map(|rel| &rel[..]).collect();
+        let v: Rel = stage.spec.reference_output(&input_refs, build, cfg.seed).into();
         self.reference_misses.fetch_add(1, Ordering::Relaxed);
         self.reference.lock().expect("cache poisoned").insert(key, v.clone());
         v
@@ -735,8 +776,48 @@ mod tests {
                 .unwrap();
         assert_eq!(p.stages().len(), 3);
         assert!(p.validate().is_ok());
-        assert!(p.stages().iter().all(|s| s.input == StageInput::Prev));
+        assert!(p.stages().iter().all(|s| s.inputs == vec![StageInput::Prev]));
         assert!(Pipeline::from_spark_ops(&[SparkOp::Union]).is_err());
+        // FlatMap chains standalone now; Cogroup still needs explicit edges.
+        assert!(Pipeline::from_spark_ops(&[SparkOp::FlatMap, SparkOp::CountByKey]).is_ok());
+        assert!(Pipeline::from_spark_ops(&[SparkOp::Cogroup]).is_err());
+    }
+
+    #[test]
+    fn validation_enforces_operator_arity() {
+        use crate::stage::Stage;
+        // A union with one edge violates min_inputs = 2.
+        let one_edge = Pipeline::from_stages(vec![
+            Stage::chained(StageSpec::Filter { modulus: 10, remainder: 0 }),
+            Stage::chained(StageSpec::Union),
+        ]);
+        assert!(one_edge.validate().unwrap_err().contains("at least 2"));
+        // A cogroup with three edges violates max_inputs = 2.
+        let three_edges = Pipeline::from_stages(vec![
+            Stage::chained(StageSpec::Filter { modulus: 10, remainder: 0 }),
+            Stage::with_inputs(
+                StageSpec::Cogroup,
+                vec![StageInput::Source, StageInput::Stage(0), StageInput::Prev],
+            ),
+        ]);
+        assert!(three_edges.validate().unwrap_err().contains("at most 2"));
+        // A scan stage with two edges is rejected too.
+        let scan_two = Pipeline::from_stages(vec![
+            Stage::chained(StageSpec::Filter { modulus: 10, remainder: 0 }),
+            Stage::with_inputs(StageSpec::SortByKey, vec![StageInput::Prev, StageInput::Source]),
+        ]);
+        assert!(scan_two.validate().is_err());
+        // Properly wired union + cogroup pass.
+        let ok = Pipeline::from_stages(vec![
+            Stage::chained(StageSpec::Filter { modulus: 10, remainder: 0 }),
+            Stage::with_input(StageSpec::Filter { modulus: 3, remainder: 1 }, StageInput::Source),
+            Stage::with_inputs(StageSpec::Union, vec![StageInput::Stage(0), StageInput::Stage(1)]),
+            Stage::with_inputs(
+                StageSpec::Cogroup,
+                vec![StageInput::Stage(0), StageInput::Stage(1)],
+            ),
+        ]);
+        assert!(ok.validate().is_ok());
     }
 
     #[test]

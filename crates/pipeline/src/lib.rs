@@ -3,14 +3,16 @@
 //! Multi-stage analytic queries on the Mondrian Data Engine.
 //!
 //! Table 1 of the paper maps the common Spark transformations onto four
-//! basic physical operators (Scan, Sort, Group-by, Join); the engine's
-//! experiment driver simulates one operator at a time. This crate closes
-//! the gap to real analytics: a [`Pipeline`] is a DAG of declarative
-//! [`Stage`]s — each a [`StageSpec`] plus an explicit input edge
-//! ([`StageInput`]) — and the executor lowers every stage onto its
-//! Table 1 operator, runs it on the simulated system, and threads each
-//! stage's **actual output relation** into its consumers. Join stages may
-//! take their build side from any earlier stage's output.
+//! basic physical operators; the engine's experiment driver simulates
+//! one operator at a time. This crate closes the gap to real analytics:
+//! a [`Pipeline`] is a DAG of declarative [`Stage`]s — each a
+//! [`StageSpec`] plus an explicit list of input edges ([`StageInput`]) —
+//! and the executor lowers every stage onto its Table 1 operator (via
+//! the open operator IR, including the multi-input `union`/`cogroup`
+//! and the 1→N `flat_map`), runs it on the simulated system, and
+//! threads each stage's **actual output relation** into its consumers.
+//! Join stages may take their build side from any earlier stage's
+//! output; multi-input stages name every feeder edge explicitly.
 //!
 //! Because the paper's vaults are independent execution partitions, the
 //! executor can also **lease the machine out**: under

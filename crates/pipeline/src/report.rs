@@ -32,8 +32,9 @@ pub fn relation_digest(rel: &[Tuple]) -> u64 {
 pub struct StageOutcome {
     /// The stage specification.
     pub spec: StageSpec,
-    /// Where the stage's input relation came from.
-    pub input: StageInput,
+    /// Where the stage's input relations came from, in edge order
+    /// (single edge for 1-input stages; union 2+, cogroup exactly 2).
+    pub inputs: Vec<StageInput>,
     /// The wave the scheduler placed the stage in.
     pub wave: usize,
     /// The branch the stage belongs to.

@@ -62,14 +62,18 @@ impl Dag {
         let mut deps: Vec<Vec<usize>> = Vec::with_capacity(n);
         for (i, stage) in stages.iter().enumerate() {
             let mut d = Vec::new();
-            match stage.input {
-                StageInput::Prev => {
-                    if i > 0 {
-                        d.push(i - 1);
+            // Every input edge contributes a dependency — multi-input
+            // stages (union, cogroup) depend on all of their feeders.
+            for &input in &stage.inputs {
+                match input {
+                    StageInput::Prev => {
+                        if i > 0 {
+                            d.push(i - 1);
+                        }
                     }
+                    StageInput::Source => {}
+                    StageInput::Stage(j) => d.push(j),
                 }
-                StageInput::Source => {}
-                StageInput::Stage(j) => d.push(j),
             }
             if let StageSpec::Join { build: BuildSide::Stage(j) } = stage.spec {
                 d.push(j);
@@ -164,6 +168,27 @@ mod tests {
         assert_eq!(dag.deps[4], vec![1, 3]);
         assert_eq!(dag.wave_of(3), 0);
         assert_eq!(dag.wave_of(4), 1);
+    }
+
+    #[test]
+    fn multi_input_stages_wait_for_all_feeders() {
+        // Two source chains, then a union of both and a cogroup of both:
+        // the multi-input stages depend on both feeders, open their own
+        // branches, and (being mutually independent) share a wave.
+        let stages = vec![
+            Stage::chained(StageSpec::Filter { modulus: 10, remainder: 0 }),
+            Stage::with_input(StageSpec::Filter { modulus: 3, remainder: 1 }, StageInput::Source),
+            Stage::with_inputs(StageSpec::Union, vec![StageInput::Stage(0), StageInput::Stage(1)]),
+            Stage::with_inputs(
+                StageSpec::Cogroup,
+                vec![StageInput::Stage(0), StageInput::Stage(1)],
+            ),
+        ];
+        let dag = Dag::build(&stages);
+        assert_eq!(dag.deps[2], vec![0, 1]);
+        assert_eq!(dag.deps[3], vec![0, 1]);
+        assert_eq!(dag.branches.len(), 4);
+        assert_eq!(dag.waves, vec![vec![0, 1], vec![2, 3]], "union ∥ cogroup in one wave");
     }
 
     #[test]

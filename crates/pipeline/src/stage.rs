@@ -1,4 +1,4 @@
-//! Declarative pipeline stages and their lowering onto the four basic
+//! Declarative pipeline stages and their lowering onto the basic
 //! operators (Table 1).
 //!
 //! A [`StageSpec`] is a Spark transformation plus the parameters the
@@ -7,24 +7,27 @@
 //! 1. which [`SparkOp`] it is and therefore (via Table 1) which basic
 //!    [`OperatorKind`] simulates it,
 //! 2. how to configure the simulated operator (the scan predicate, the
-//!    join build side), and
+//!    join build side, flat_map's fanout), and
 //! 3. its **pure functional semantics** — used both to project the
 //!    engine's captured [`StageOutput`] into the relation handed to the
 //!    next stage, and to compute the reference output the projection is
 //!    verified against.
-
-use std::collections::BTreeMap;
+//!
+//! Stages carry an explicit list of **input edges** ([`StageInput`]):
+//! single-input stages name one, `union` names two or more, `cogroup`
+//! exactly two — the plumbing that makes plans true multi-input DAGs.
 
 use mondrian_core::StageOutput;
-use mondrian_ops::reference::JoinRow;
 use mondrian_ops::spark::SparkOp;
 use mondrian_ops::{reference, Aggregates, OperatorKind, ScanPredicate};
 use mondrian_workloads::Tuple;
 
-/// Where a stage's (probe) input relation comes from. Together with join
-/// build-side references this makes plans true DAGs: a stage that reads
-/// `Source` or an out-of-chain `Stage(j)` opens an independent branch that
-/// the scheduler may run concurrently with other branches.
+pub use mondrian_ops::operator::derive_dimension;
+
+/// Where a stage input relation comes from. Together with join build-side
+/// references this makes plans true DAGs: a stage that reads `Source` or
+/// an out-of-chain `Stage(j)` opens an independent branch that the
+/// scheduler may run concurrently with other branches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StageInput {
     /// The previous stage's output (the source relation for stage 0) —
@@ -47,24 +50,31 @@ impl std::fmt::Display for StageInput {
 }
 
 /// One stage of a pipeline plan: the declarative transformation plus the
-/// edge naming where its input relation comes from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// edges naming where its input relations come from.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Stage {
     /// The transformation.
     pub spec: StageSpec,
-    /// The probe-input edge.
-    pub input: StageInput,
+    /// The input edges, in operator order. Single-input stages carry one;
+    /// `union` carries two or more, `cogroup` exactly two. For joins the
+    /// (single) edge feeds the probe side.
+    pub inputs: Vec<StageInput>,
 }
 
 impl Stage {
     /// A stage consuming the previous stage's output (the classic chain).
     pub fn chained(spec: StageSpec) -> Stage {
-        Stage { spec, input: StageInput::Prev }
+        Stage { spec, inputs: vec![StageInput::Prev] }
     }
 
-    /// A stage reading an explicit input.
+    /// A single-input stage reading an explicit edge.
     pub fn with_input(spec: StageSpec, input: StageInput) -> Stage {
-        Stage { spec, input }
+        Stage { spec, inputs: vec![input] }
+    }
+
+    /// A multi-input stage reading explicit edges, in order.
+    pub fn with_inputs(spec: StageSpec, inputs: Vec<StageInput>) -> Stage {
+        Stage { spec, inputs }
     }
 
     /// The stage's manifest identifier (delegates to the spec).
@@ -95,6 +105,8 @@ pub enum BuildSide {
 /// payload: `group_by_key` and `count_by_key` keep the group **count**,
 /// `reduce_by_key` the wrapping **sum**, and `aggregate_by_key` the
 /// **max** — so downstream stages see a well-defined scalar relation.
+/// `cogroup` keeps **both** sides' group sizes:
+/// `count_a · 2³² + count_b` (wrapping).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StageSpec {
     /// `Filter`: keep tuples whose payload is not `remainder` mod
@@ -126,6 +138,20 @@ pub enum StageSpec {
         /// Payload addend.
         add: u64,
     },
+    /// `Union`: concatenate all input relations in edge order (lowers to
+    /// the multi-input Union operator).
+    Union,
+    /// `FlatMap`: expand every tuple into `fanout` tuples — keys kept,
+    /// payload `payload · fanout + j` wrapping (lowers to the 1→N
+    /// FlatMap operator).
+    FlatMap {
+        /// Output tuples per input tuple (≥ 1).
+        fanout: u64,
+    },
+    /// `Cogroup`: group both input relations by key and pair the groups;
+    /// one tuple per key, payload = `count_a · 2³² + count_b` wrapping
+    /// (lowers to the multi-input Cogroup operator).
+    Cogroup,
     /// `GroupByKey`: one tuple per key, payload = group size (lowers to
     /// Group-by).
     GroupByKey,
@@ -156,6 +182,9 @@ impl StageSpec {
             StageSpec::LookupKey { .. } => SparkOp::LookupKey,
             StageSpec::Map { .. } => SparkOp::Map,
             StageSpec::MapValues { .. } => SparkOp::MapValues,
+            StageSpec::Union => SparkOp::Union,
+            StageSpec::FlatMap { .. } => SparkOp::FlatMap,
+            StageSpec::Cogroup => SparkOp::Cogroup,
             StageSpec::GroupByKey => SparkOp::GroupByKey,
             StageSpec::ReduceByKey => SparkOp::ReduceByKey,
             StageSpec::CountByKey => SparkOp::CountByKey,
@@ -177,6 +206,9 @@ impl StageSpec {
             StageSpec::LookupKey { .. } => "lookup_key",
             StageSpec::Map { .. } => "map",
             StageSpec::MapValues { .. } => "map_values",
+            StageSpec::Union => "union",
+            StageSpec::FlatMap { .. } => "flat_map",
+            StageSpec::Cogroup => "cogroup",
             StageSpec::GroupByKey => "group_by_key",
             StageSpec::ReduceByKey => "reduce_by_key",
             StageSpec::CountByKey => "count_by_key",
@@ -187,14 +219,16 @@ impl StageSpec {
     }
 
     /// The default lowering of a Table 1 transformation, if this subsystem
-    /// can run it standalone. `Union`, `Cogroup`, `FlatMap` and `Reduce`
-    /// return `None`: they need multiple inputs or produce non-relational
-    /// output.
+    /// can run it as a chained single-input stage. `Union` and `Cogroup`
+    /// return `None` — they need explicit multi-input edges
+    /// ([`Stage::with_inputs`] or `input = [...]` in a manifest) — and so
+    /// does `Reduce`, whose output is a scalar, not a relation.
     pub fn default_for(op: SparkOp) -> Option<StageSpec> {
         match op {
             SparkOp::Filter => Some(StageSpec::Filter { modulus: 10, remainder: 0 }),
             SparkOp::LookupKey => Some(StageSpec::LookupKey { key: 0 }),
             SparkOp::Map => Some(StageSpec::Map { key_mul: 1, key_add: 1 }),
+            SparkOp::FlatMap => Some(StageSpec::FlatMap { fanout: 2 }),
             SparkOp::MapValues => Some(StageSpec::MapValues { mul: 3, add: 1 }),
             SparkOp::GroupByKey => Some(StageSpec::GroupByKey),
             SparkOp::ReduceByKey => Some(StageSpec::ReduceByKey),
@@ -202,7 +236,7 @@ impl StageSpec {
             SparkOp::AggregateByKey => Some(StageSpec::AggregateByKey),
             SparkOp::SortByKey => Some(StageSpec::SortByKey),
             SparkOp::Join => Some(StageSpec::Join { build: BuildSide::Dimension }),
-            SparkOp::Union | SparkOp::Cogroup | SparkOp::FlatMap | SparkOp::Reduce => None,
+            SparkOp::Union | SparkOp::Cogroup | SparkOp::Reduce => None,
         }
     }
 
@@ -242,39 +276,44 @@ impl StageSpec {
         }
     }
 
+    /// Reduces one key's paired cogroup aggregates to the stage's output
+    /// payload: `count_a · 2³² + count_b` (wrapping) — both group sizes
+    /// stay recoverable downstream.
+    fn project_cogroup(a: &Aggregates, b: &Aggregates) -> u64 {
+        a.count.wrapping_mul(1 << 32).wrapping_add(b.count)
+    }
+
     /// Projects the engine's captured output into the tuple relation this
-    /// stage hands to its successor.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `output` does not match the stage's operator family
-    /// (e.g. group output for a scan stage) — that would be an executor
-    /// bug, not a user error.
+    /// stage hands to its successor. Dispatches on the output's shape —
+    /// the engine guarantees each operator family captures its own
+    /// variant, so no `OperatorKind` match is needed.
     pub fn project_output(&self, output: &StageOutput) -> Vec<Tuple> {
-        match (self.basic_operator(), output) {
-            (OperatorKind::Scan, StageOutput::Tuples(v)) => {
-                v.iter().map(|&t| self.transform(t)).collect()
-            }
-            (OperatorKind::Sort, StageOutput::Tuples(v)) => v.clone(),
-            (OperatorKind::GroupBy, StageOutput::Groups(g)) => {
+        match output {
+            StageOutput::Tuples(v) => v.iter().map(|&t| self.transform(t)).collect(),
+            StageOutput::Expanded { tuples, .. } => tuples.clone(),
+            StageOutput::Groups(g) => {
                 g.iter().map(|(&k, a)| Tuple::new(k, self.project_group(a))).collect()
             }
-            (OperatorKind::Join, StageOutput::Rows(rows)) => {
+            StageOutput::CoGroups(g) => {
+                g.iter().map(|(&k, (a, b))| Tuple::new(k, Self::project_cogroup(a, b))).collect()
+            }
+            StageOutput::Rows(rows) => {
                 rows.iter().map(|&(k, rp, sp)| Tuple::new(k, rp.wrapping_add(sp))).collect()
             }
-            (op, out) => unreachable!("stage {self:?} ({op}) captured mismatched {out:?}"),
         }
     }
 
     /// The stage's pure functional semantics: the expected output relation
-    /// for `input` (and `build` for joins), computed entirely with the
+    /// for `inputs` (and `build` for joins), computed entirely with the
     /// naive reference executors — no simulation machinery involved.
+    /// Single-input stages read `inputs[0]`.
     pub fn reference_output(
         &self,
-        input: &[Tuple],
+        inputs: &[&[Tuple]],
         build: Option<&[Tuple]>,
         seed: u64,
     ) -> Vec<Tuple> {
+        let input: &[Tuple] = inputs.first().copied().unwrap_or(&[]);
         match *self {
             StageSpec::Filter { .. }
             | StageSpec::LookupKey { .. }
@@ -282,6 +321,17 @@ impl StageSpec {
             | StageSpec::MapValues { .. } => {
                 let pred = self.scan_predicate().expect("scan stage has a predicate");
                 reference::filtered(input, pred).into_iter().map(|t| self.transform(t)).collect()
+            }
+            StageSpec::Union => reference::unioned(inputs),
+            StageSpec::FlatMap { fanout } => {
+                reference::flat_mapped(input, ScanPredicate::All, fanout)
+            }
+            StageSpec::Cogroup => {
+                assert_eq!(inputs.len(), 2, "cogroup stage takes exactly two input edges");
+                reference::cogrouped(inputs[0], inputs[1])
+                    .iter()
+                    .map(|(&k, (a, b))| Tuple::new(k, Self::project_cogroup(a, b)))
+                    .collect()
             }
             StageSpec::GroupByKey
             | StageSpec::ReduceByKey
@@ -300,11 +350,12 @@ impl StageSpec {
                         &dimension
                     }
                 };
-                let mut by_key: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+                let mut by_key: std::collections::BTreeMap<u64, Vec<u64>> =
+                    std::collections::BTreeMap::new();
                 for t in r {
                     by_key.entry(t.key).or_default().push(t.payload);
                 }
-                let mut rows: Vec<JoinRow> = Vec::new();
+                let mut rows: Vec<mondrian_ops::reference::JoinRow> = Vec::new();
                 for s in input {
                     if let Some(payloads) = by_key.get(&s.key) {
                         rows.extend(payloads.iter().map(|&rp| (s.key, rp, s.payload)));
@@ -325,32 +376,29 @@ impl std::fmt::Display for StageSpec {
     }
 }
 
-/// The primary-key dimension a [`BuildSide::Dimension`] join builds
-/// against: one tuple per distinct probe key, payload a seeded
-/// deterministic hash. Mirrors the engine's derivation exactly.
-pub fn derive_dimension(probe: &[Tuple], seed: u64) -> Vec<Tuple> {
-    let keys: std::collections::BTreeSet<u64> = probe.iter().map(|t| t.key).collect();
-    keys.into_iter().map(|k| Tuple::new(k, mondrian_ops::mix64(k ^ seed))).collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn lowering_covers_all_four_operators() {
+    fn lowering_covers_all_operators() {
         use OperatorKind::*;
         assert_eq!(StageSpec::Filter { modulus: 10, remainder: 0 }.basic_operator(), Scan);
         assert_eq!(StageSpec::ReduceByKey.basic_operator(), GroupBy);
         assert_eq!(StageSpec::SortByKey.basic_operator(), Sort);
         assert_eq!(StageSpec::Join { build: BuildSide::Dimension }.basic_operator(), Join);
+        // The opened stage kinds lower to their dedicated operators —
+        // no Scan/Group-by aliasing.
+        assert_eq!(StageSpec::Union.basic_operator(), Union);
+        assert_eq!(StageSpec::Cogroup.basic_operator(), Cogroup);
+        assert_eq!(StageSpec::FlatMap { fanout: 2 }.basic_operator(), FlatMap);
     }
 
     #[test]
     fn default_lowering_matches_table1_support() {
         let supported =
             SparkOp::ALL.iter().filter(|&&op| StageSpec::default_for(op).is_some()).count();
-        assert_eq!(supported, 10, "10 of the 14 Table 1 ops run standalone");
+        assert_eq!(supported, 11, "11 of the 14 Table 1 ops run as chained stages");
         for op in SparkOp::ALL {
             if let Some(spec) = StageSpec::default_for(op) {
                 assert_eq!(spec.spark_op(), op, "lowering must round-trip the SparkOp");
@@ -363,22 +411,49 @@ mod tests {
         let rel = vec![Tuple::new(1, 10), Tuple::new(2, 5), Tuple::new(1, 7)];
         // Filter keeps payloads not ≡ 0 (mod 5): 10 and 5 drop out.
         let f = StageSpec::Filter { modulus: 5, remainder: 0 };
-        assert_eq!(f.reference_output(&rel, None, 0), vec![Tuple::new(1, 7)]);
+        assert_eq!(f.reference_output(&[&rel], None, 0), vec![Tuple::new(1, 7)]);
         // ReduceByKey sums payloads per key.
-        let sums = StageSpec::ReduceByKey.reference_output(&rel, None, 0);
+        let sums = StageSpec::ReduceByKey.reference_output(&[&rel], None, 0);
         assert_eq!(sums, vec![Tuple::new(1, 17), Tuple::new(2, 5)]);
         // CountByKey counts.
-        let counts = StageSpec::CountByKey.reference_output(&rel, None, 0);
+        let counts = StageSpec::CountByKey.reference_output(&[&rel], None, 0);
         assert_eq!(counts, vec![Tuple::new(1, 2), Tuple::new(2, 1)]);
         // SortByKey totally orders.
-        let sorted = StageSpec::SortByKey.reference_output(&rel, None, 0);
+        let sorted = StageSpec::SortByKey.reference_output(&[&rel], None, 0);
         assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
         // Join against an explicit build side: every key-1 tuple matches.
         let dim = vec![Tuple::new(1, 100), Tuple::new(3, 300)];
         let joined =
-            StageSpec::Join { build: BuildSide::Stage(0) }.reference_output(&rel, Some(&dim), 0);
+            StageSpec::Join { build: BuildSide::Stage(0) }.reference_output(&[&rel], Some(&dim), 0);
         // Canonical row order sorts by (key, r_payload, s_payload).
         assert_eq!(joined, vec![Tuple::new(1, 107), Tuple::new(1, 110)]);
+    }
+
+    #[test]
+    fn new_stage_reference_semantics() {
+        let a = vec![Tuple::new(1, 10), Tuple::new(2, 5)];
+        let b = vec![Tuple::new(1, 7)];
+        // Union concatenates in edge order.
+        let unioned = StageSpec::Union.reference_output(&[&a, &b], None, 0);
+        assert_eq!(unioned, vec![Tuple::new(1, 10), Tuple::new(2, 5), Tuple::new(1, 7)]);
+        // FlatMap expands every tuple, keys preserved.
+        let expanded = StageSpec::FlatMap { fanout: 3 }.reference_output(&[&b], None, 0);
+        assert_eq!(expanded.len(), 3);
+        assert!(expanded.iter().all(|t| t.key == 1));
+        assert_eq!(expanded[0].payload, 21, "payload * fanout + 0");
+        // Cogroup pairs both sides' group sizes.
+        let cg = StageSpec::Cogroup.reference_output(&[&a, &b], None, 0);
+        assert_eq!(cg.len(), 2);
+        assert_eq!(cg[0], Tuple::new(1, (1 << 32) + 1), "one tuple each side");
+        assert_eq!(cg[1], Tuple::new(2, 1 << 32), "key 2 only on side A");
+    }
+
+    #[test]
+    fn multi_input_stage_constructors() {
+        let u =
+            Stage::with_inputs(StageSpec::Union, vec![StageInput::Stage(0), StageInput::Source]);
+        assert_eq!(u.inputs, vec![StageInput::Stage(0), StageInput::Source]);
+        assert_eq!(Stage::chained(StageSpec::SortByKey).inputs, vec![StageInput::Prev]);
     }
 
     #[test]

@@ -4,7 +4,9 @@
 
 use mondrian_core::{KeyDist, SystemKind};
 use mondrian_ops::{reference, ScanPredicate};
-use mondrian_pipeline::{BuildSide, Pipeline, PipelineConfig, StageSpec};
+use mondrian_pipeline::{
+    BuildSide, Concurrency, Pipeline, PipelineConfig, Stage, StageInput, StageSpec,
+};
 use mondrian_workloads::Tuple;
 
 fn three_stage() -> Pipeline {
@@ -140,6 +142,83 @@ fn scan_only_pipeline_preserves_row_counts() {
     assert_eq!(report.stages[0].output_rows, n);
     assert!(report.stages.iter().all(|s| s.basic_operator() == mondrian_ops::OperatorKind::Scan));
     assert!(source.iter().map(|t| t.key).min() < report.output.iter().map(|t| t.key).min());
+}
+
+/// The DAG exercising every opened stage kind: two feeder chains (one
+/// amplified by flat_map), then a union and a cogroup of the same two
+/// edges — mutually independent multi-input stages sharing a wave — and
+/// a final sort over the union.
+fn multi_input_pipeline(fanout: u64) -> Pipeline {
+    Pipeline::from_stages(vec![
+        Stage::chained(StageSpec::Filter { modulus: 10, remainder: 0 }),
+        Stage::chained(StageSpec::FlatMap { fanout }),
+        Stage::with_input(StageSpec::Filter { modulus: 3, remainder: 1 }, StageInput::Source),
+        Stage::with_inputs(StageSpec::Union, vec![StageInput::Stage(1), StageInput::Stage(2)]),
+        Stage::with_inputs(StageSpec::Cogroup, vec![StageInput::Stage(1), StageInput::Stage(2)]),
+        Stage::with_input(StageSpec::SortByKey, StageInput::Stage(3)),
+    ])
+}
+
+/// The acceptance matrix for the opened operator layer: union, cogroup
+/// and flat_map run end to end on the four representative systems
+/// (covering both algorithm families), serial and branch-concurrent,
+/// with every stage's engine output byte-identical to its naive
+/// reference executor and the two schedules byte-identical to each other.
+#[test]
+fn new_stage_kinds_verify_on_representative_systems() {
+    let pipeline = multi_input_pipeline(3);
+    for system in [SystemKind::Cpu, SystemKind::NmpRand, SystemKind::NmpSeq, SystemKind::Mondrian] {
+        let mut cfg = PipelineConfig::tiny(system);
+        cfg.tuples_per_vault = 96;
+        let serial = pipeline.run(&cfg);
+        assert!(serial.verified(), "serial run failed on {system}");
+        for stage in &serial.stages {
+            assert!(stage.report.verified, "{} engine check failed on {system}", stage.spec);
+            assert!(stage.reference_ok, "{} reference check failed on {system}", stage.spec);
+        }
+        // flat_map amplifies the filter output exactly by its fanout.
+        assert_eq!(serial.stages[1].output_rows, serial.stages[0].output_rows * 3);
+        // union concatenates both edges.
+        assert_eq!(
+            serial.stages[3].output_rows,
+            serial.stages[1].output_rows + serial.stages[2].output_rows,
+        );
+        // union and cogroup sum their edges into input_rows.
+        assert_eq!(
+            serial.stages[4].input_rows,
+            serial.stages[1].output_rows + serial.stages[2].output_rows,
+        );
+
+        cfg.concurrency = Concurrency::Branch;
+        let branch = pipeline.run(&cfg);
+        assert!(branch.verified(), "branch run failed on {system}");
+        for (s, b) in serial.stages.iter().zip(&branch.stages) {
+            assert_eq!(s.output_digest, b.output_digest, "{} diverged on {system}", s.spec);
+            assert!(b.matches_serial);
+        }
+        assert_eq!(serial.output, branch.output);
+        assert!(branch.makespan_ps() <= serial.makespan_ps(), "branch slower on {system}");
+    }
+}
+
+/// Cogroup's projected payload packs both sides' group sizes
+/// (`count_a · 2³² + count_b`), checked against independently recomputed
+/// group sizes of the two feeder relations.
+#[test]
+fn cogroup_payload_encodes_both_group_sizes() {
+    let pipeline = multi_input_pipeline(2);
+    let cfg = PipelineConfig::tiny(SystemKind::Mondrian);
+    let report = pipeline.run(&cfg);
+    assert!(report.verified());
+    // Recompute the two feeder relations functionally.
+    let source = cfg.source_relation();
+    let filtered =
+        reference::filtered(&source, ScanPredicate::PayloadModNot { modulus: 10, remainder: 0 });
+    let amplified = reference::flat_mapped(&filtered, ScanPredicate::All, 2);
+    let side_b =
+        reference::filtered(&source, ScanPredicate::PayloadModNot { modulus: 3, remainder: 1 });
+    let cg = reference::cogrouped(&amplified, &side_b);
+    assert_eq!(report.stages[4].output_rows, cg.len());
 }
 
 #[test]
