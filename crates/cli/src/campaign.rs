@@ -236,9 +236,10 @@ impl Campaign {
     pub fn to_json_with(&self, timings: bool) -> String {
         let mut root = Value::table();
         root.insert("campaign", Value::Str(self.manifest.name.clone()));
-        // Schema 3: multi-input `input` edge lists and the new stage kinds
-        // (union, cogroup, flat_map with its fanout parameter).
-        root.insert("schema_version", Value::Int(3));
+        // Schema 4: the "stream" concurrency mode — per-stage `streamed`
+        // flags and the per-run `fused` edge list (producer→consumer
+        // pairs with their chunk counts and per-pair verdicts).
+        root.insert("schema_version", Value::Int(4));
         root.insert(
             "systems",
             Value::Array(
@@ -417,6 +418,26 @@ fn run_json(run: &CampaignRun, timings: bool) -> Value {
         Value::Array(run.report.schedule.waves.iter().map(wave_json).collect()),
     );
     table.insert(
+        "fused",
+        Value::Array(
+            run.report
+                .schedule
+                .fused
+                .iter()
+                .map(|f| {
+                    let mut edge = Value::table();
+                    edge.insert("producer", Value::Int(f.producer as i64));
+                    edge.insert("consumer", Value::Int(f.consumer as i64));
+                    edge.insert("chunks", Value::Int(f.chunks as i64));
+                    edge.insert("streamed", Value::Bool(f.streamed));
+                    edge.insert("streamed_ps", Value::Int(f.streamed_ps as i64));
+                    edge.insert("unfused_ps", Value::Int(f.unfused_ps as i64));
+                    edge
+                })
+                .collect(),
+        ),
+    );
+    table.insert(
         "stages",
         Value::Array(
             run.report
@@ -432,6 +453,7 @@ fn run_json(run: &CampaignRun, timings: bool) -> Value {
                     stage.insert("wave", Value::Int(s.wave as i64));
                     stage.insert("branch", Value::Int(s.branch as i64));
                     stage.insert("concurrent", Value::Bool(s.concurrent));
+                    stage.insert("streamed", Value::Bool(s.streamed));
                     stage.insert("input_rows", Value::Int(s.input_rows as i64));
                     stage.insert("output_rows", Value::Int(s.output_rows as i64));
                     stage.insert("output_digest", Value::Str(format!("{:016x}", s.output_digest)));

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! mondrian run <manifest.(toml|json)> [--out result.json] [--quiet]
-//!              [--concurrency serial|branch] [--jobs N] [--timings]
+//!              [--concurrency serial|branch|stream] [--jobs N] [--timings]
 //! mondrian bench <manifest.(toml|json)> [--out BENCH_sweep.json]
 //!                [--history BENCH_history.jsonl|none]
 //!                [--jobs-list 1,2,4] [--repeat N]
@@ -31,7 +31,7 @@ the Mondrian Data Engine campaign runner
 
 usage:
   mondrian run <manifest.(toml|json)> [--out <path>] [--quiet]
-               [--concurrency serial|branch] [--jobs N] [--timings]
+               [--concurrency serial|branch|stream] [--jobs N] [--timings]
       run every (system x sweep) combination of the manifest's pipeline,
       print a summary, and write the result artifact (default: result.json);
       --concurrency overrides the manifest's scheduling knob; --jobs sets
@@ -116,7 +116,12 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
                 concurrency = Some(match it.next().map(String::as_str) {
                     Some("serial") => Concurrency::Serial,
                     Some("branch") => Concurrency::Branch,
-                    _ => return Err("--concurrency needs \"serial\" or \"branch\"".into()),
+                    Some("stream") => Concurrency::Stream,
+                    _ => {
+                        return Err(
+                            "--concurrency needs \"serial\", \"branch\" or \"stream\"".into()
+                        )
+                    }
                 });
             }
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
@@ -129,7 +134,7 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     }
     let path = manifest_path.ok_or(
         "usage: mondrian run <manifest> [--out <path>] [--quiet] \
-         [--concurrency serial|branch] [--jobs N] [--timings]",
+         [--concurrency serial|branch|stream] [--jobs N] [--timings]",
     )?;
     let mut manifest = load_manifest(path)?;
     if let Some(c) = concurrency {
@@ -158,7 +163,7 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
         // Per-stage detail of the first run as a worked example.
         if let Some(first) = campaign.runs.first() {
             println!("{}", first.report.summary_table());
-            if manifest.concurrency == Concurrency::Branch {
+            if manifest.concurrency != Concurrency::Serial {
                 println!("{}", first.report.schedule_table());
             }
         }
@@ -328,6 +333,24 @@ fn cmd_explain(args: &[String]) -> Result<bool, String> {
                     stage.basic_operator(),
                 );
             }
+        }
+    }
+
+    // Stream-fusable producer→consumer edges: which input edges the
+    // stream scheduler would pipeline through a bounded chunk channel
+    // (charged only under concurrency = "stream", per-pair fallback).
+    let fused = dag.fused_pairs(pipeline.stages());
+    if !fused.is_empty() {
+        println!(
+            "\nstream-fusable edges (overlapped when concurrency = \"stream\"; \
+             per-pair fallback):"
+        );
+        for (p, c) in fused {
+            println!(
+                "  {p} -> {c}: {} streams into {}'s partition phase",
+                pipeline.stages()[p].name(),
+                pipeline.stages()[c].name(),
+            );
         }
     }
 

@@ -14,7 +14,7 @@
 //! key_dist = "uniform"          # "uniform" | "zipf"; default uniform
 //! zipf_theta = 0.9              # only with key_dist = "zipf"
 //! key_bound = 4096              # optional source key upper bound
-//! concurrency = "serial"        # "serial" | "branch"; default serial
+//! concurrency = "serial"        # "serial" | "branch" | "stream"; default serial
 //! jobs = 4                      # worker threads; default all host cores
 //!                               # (overridden by MONDRIAN_JOBS / --jobs)
 //!
@@ -202,7 +202,12 @@ impl Manifest {
         let concurrency = match campaign.get("concurrency").map(|v| v.as_str()) {
             None | Some(Some("serial")) => Concurrency::Serial,
             Some(Some("branch")) => Concurrency::Branch,
-            _ => return Err("campaign.concurrency must be \"serial\" or \"branch\"".into()),
+            Some(Some("stream")) => Concurrency::Stream,
+            _ => {
+                return Err(
+                    "campaign.concurrency must be \"serial\", \"branch\" or \"stream\"".into()
+                )
+            }
         };
 
         let tpv_scalar =
@@ -620,6 +625,17 @@ mod tests {
         assert_eq!(runs.len(), 2);
         assert!(runs[0].tiny && !runs[1].tiny);
         assert_eq!(m.config_for(runs[0]).concurrency, Concurrency::Branch);
+    }
+
+    #[test]
+    fn stream_concurrency_parses() {
+        let text = MINIMAL.replace(
+            "systems = [\"mondrian\"]",
+            "systems = [\"mondrian\"]\nconcurrency = \"stream\"",
+        );
+        let m = Manifest::parse(&text, Format::Toml).unwrap();
+        assert_eq!(m.concurrency, Concurrency::Stream);
+        assert_eq!(m.config_for(m.runs()[0]).concurrency, Concurrency::Stream);
     }
 
     #[test]

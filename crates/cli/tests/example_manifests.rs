@@ -62,6 +62,51 @@ fn cogroup_union_manifest_runs_all_new_stage_kinds() {
     }
 }
 
+/// The intra-stage pipelining acceptance scenario at the manifest
+/// level: `stream_chain.toml` is a linear chain (branch tenancy cannot
+/// help), yet `concurrency = "stream"` must beat both `"serial"` and
+/// `"branch"` strictly on CPU while every run's stage outputs stay
+/// byte-identical across all three modes.
+#[test]
+fn stream_chain_campaign_beats_branch_with_identical_outputs() {
+    let stream = Manifest::parse(&example("stream_chain.toml"), Format::Toml).unwrap();
+    assert_eq!(stream.concurrency, mondrian_pipeline::Concurrency::Stream);
+    let mut branch = stream.clone();
+    branch.concurrency = mondrian_pipeline::Concurrency::Branch;
+    let mut serial = stream.clone();
+    serial.concurrency = mondrian_pipeline::Concurrency::Serial;
+
+    let st = run_campaign(&stream, |_| {});
+    let br = run_campaign(&branch, |_| {});
+    let se = run_campaign(&serial, |_| {});
+    assert!(st.verified() && br.verified() && se.verified());
+
+    let mut strictly_faster = Vec::new();
+    for ((sr, br), ser) in st.runs.iter().zip(&br.runs).zip(&se.runs) {
+        for (ss, es) in sr.report.stages.iter().zip(&ser.report.stages) {
+            assert_eq!(
+                ss.output_digest,
+                es.output_digest,
+                "{}: stage {} diverged under streaming",
+                sr.spec.system.name(),
+                ss.spec
+            );
+        }
+        assert_eq!(sr.report.output, ser.report.output);
+        // A linear chain: branch ≡ serial, and stream never slower.
+        assert_eq!(br.report.makespan_ps(), ser.report.makespan_ps());
+        assert!(sr.report.makespan_ps() <= br.report.makespan_ps());
+        if sr.report.makespan_ps() < br.report.makespan_ps() {
+            assert!(sr.report.schedule.any_streamed());
+            strictly_faster.push(sr.spec.system);
+        }
+    }
+    assert!(
+        strictly_faster.contains(&mondrian_core::SystemKind::Cpu),
+        "streaming must beat the branch schedule on CPU; got {strictly_faster:?}"
+    );
+}
+
 /// The acceptance scenario at the manifest level: the two-branch DAG
 /// campaign run with `concurrency = "branch"` must report a strictly
 /// smaller makespan than `"serial"` on at least one system, while every

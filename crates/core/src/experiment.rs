@@ -76,6 +76,10 @@ pub struct ExperimentBuilder {
     pred: Option<ScanPredicate>,
     /// 1→N output amplification for flat_map (None = the default of 2).
     fanout: Option<u64>,
+    /// Chunked arrival of the primary input (intra-stage pipelining):
+    /// the partition phase runs once per chunk instead of once over the
+    /// materialized relation.
+    stream: Option<Vec<Arc<[Tuple]>>>,
 }
 
 impl ExperimentBuilder {
@@ -90,6 +94,7 @@ impl ExperimentBuilder {
             build: None,
             pred: None,
             fanout: None,
+            stream: None,
         }
     }
 
@@ -200,6 +205,31 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Streams the primary input into the operator in arrival chunks
+    /// instead of materializing it up front (intra-stage pipelining):
+    /// the partition phase runs one histogram/scatter round per chunk —
+    /// charging mesh and SerDes traffic per round — and the report
+    /// records each round's simulated span ([`Report::stream`]) so a
+    /// scheduler can overlap the rounds with the producer's output
+    /// phase. Replaces any previously injected primary input with the
+    /// chunks' concatenation; the functional output is identical to the
+    /// materialized run. Only operators whose [`OpProfile`] carries
+    /// `streams_input` (the partition-phase family) accept a streamed
+    /// input.
+    ///
+    /// [`OpProfile`]: mondrian_ops::operator::OpProfile
+    pub fn streamed_input(mut self, chunks: Vec<Arc<[Tuple]>>) -> Self {
+        let total: Vec<Tuple> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+        let total: Arc<[Tuple]> = total.into();
+        if self.inputs.is_empty() {
+            self.inputs.push(total);
+        } else {
+            self.inputs[0] = total;
+        }
+        self.stream = Some(chunks);
+        self
+    }
+
     /// Injects the build-side relation R of a join (used together with
     /// [`ExperimentBuilder::input`]). Without it, an injected join builds
     /// against a derived primary-key dimension over the probe keys.
@@ -229,6 +259,19 @@ impl ExperimentBuilder {
 /// pipeline stages can feed each other. This *is* the operator IR's
 /// output type — re-exported under the historical name.
 pub use mondrian_ops::operator::OpOutput as StageOutput;
+
+/// Chunked-arrival accounting of a streamed run
+/// ([`ExperimentBuilder::streamed_input`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamInfo {
+    /// Chunks the primary input arrived in.
+    pub chunks: usize,
+    /// Simulated span of each chunk's partition round (histogram +
+    /// scatter phases, barriers included), in arrival order. A scheduler
+    /// overlapping the rounds with a producer's output phase reads the
+    /// per-chunk costs from here.
+    pub chunk_partition_ps: Vec<Time>,
+}
 
 /// Results of one experiment.
 #[derive(Debug, Clone)]
@@ -262,6 +305,9 @@ pub struct Report {
     pub mesh_totals: mondrian_noc::MeshStats,
     /// SerDes traffic rollup; always charged globally when leases merge.
     pub serdes_totals: mondrian_noc::SerDesStats,
+    /// Chunked-arrival accounting when the primary input was streamed
+    /// (`None` for materialized runs).
+    pub stream: Option<StreamInfo>,
 }
 
 impl Report {
@@ -300,6 +346,19 @@ impl Report {
 /// Per-compute-unit kernels for one phase.
 type KernelSet = Vec<Option<Box<dyn Kernel>>>;
 
+/// Destination bookkeeping of a streamed shuffle: the consumer
+/// provisions its destination regions once for the whole stream, so each
+/// chunk's scatter appends after the tuples earlier chunks delivered and
+/// the accumulated layout equals the materialized shuffle's.
+struct StreamDest {
+    /// Global destination start slot of each partition, from the full
+    /// stream's totals (CPU bucket space; NMP destinations are per-vault
+    /// regions and ignore this).
+    starts: Vec<u64>,
+    /// Tuples already delivered per partition by earlier chunks.
+    appended: Vec<u64>,
+}
+
 /// A relation split into per-vault partitions (shared slices, not owned
 /// vectors: handing a partition to a kernel is a refcount bump).
 type VaultData = Vec<Data>;
@@ -313,6 +372,8 @@ pub(crate) struct Experiment {
     build: Option<Arc<[Tuple]>>,
     pred: Option<ScanPredicate>,
     fanout: Option<u64>,
+    stream: Option<Vec<Data>>,
+    stream_spans: Vec<Time>,
     layout: Layout,
     machine: Machine,
     phases: Vec<PhaseOutcome>,
@@ -328,6 +389,11 @@ impl Experiment {
             b.cfg.tuples_per_vault = longest.div_ceil(vaults).max(16);
         }
         b.cfg.validate();
+        assert!(
+            b.stream.is_none() || operator(b.op).profile().streams_input,
+            "{:?} does not stream its primary input (see OpProfile::streams_input)",
+            b.op
+        );
         let layout = Layout::new(b.cfg.vault.capacity);
         assert!(
             b.cfg.tuples_per_vault * 2 <= layout.region_tuples(),
@@ -343,6 +409,8 @@ impl Experiment {
             build: b.build,
             pred: b.pred,
             fanout: b.fanout,
+            stream: b.stream,
+            stream_spans: Vec::new(),
             layout,
             machine,
             phases: Vec::new(),
@@ -514,6 +582,11 @@ impl Experiment {
 
     /// Conventional scatter: returns kernels plus the functional
     /// destination contents (per destination partition, in cursor order).
+    /// A streamed chunk passes `stream` so its writes append after the
+    /// tuples earlier chunks delivered, into regions provisioned for the
+    /// whole stream — the accumulated destination layout then equals the
+    /// materialized shuffle's, so downstream probe phases touch the same
+    /// addresses.
     fn conventional_scatter(
         &self,
         input: &[Data],
@@ -521,6 +594,7 @@ impl Experiment {
         out_region: Region,
         scheme: PartitionScheme,
         cursor_slot: usize,
+        stream: Option<&StreamDest>,
     ) -> (KernelSet, Vec<Vec<Tuple>>) {
         let parts = scheme.parts() as usize;
         // Per-source bucket counts; sources ordered by vault index (units
@@ -543,14 +617,20 @@ impl Experiment {
         let starts: Vec<u64> = if self.cfg.kind.is_nmp() {
             // One partition per vault, each at the base of its out region.
             (0..parts as u64).map(|p| p * self.layout.region_tuples() as u64).collect()
+        } else if let Some(stream) = stream {
+            // Global bucket space provisioned from the whole stream's
+            // totals, not this chunk's.
+            stream.starts.clone()
         } else {
             // Global bucket space across the out regions of all vaults.
             exclusive_prefix(&totals)
         };
-        // Walk sources in vault order, advancing per-destination slots.
+        // Walk sources in vault order, advancing per-destination slots
+        // (streamed chunks continue where the previous chunk stopped).
         // The cursor array is one reused scratch buffer across all
         // sources, not a fresh allocation per vault.
-        let mut next_in_dest: Vec<u64> = vec![0; parts];
+        let mut next_in_dest: Vec<u64> =
+            stream.map_or_else(|| vec![0; parts], |s| s.appended.clone());
         let mut dest_content: Vec<Vec<Tuple>> =
             totals.iter().map(|&t| Vec::with_capacity(t as usize)).collect();
         let mut source_addrs: Vec<Vec<u64>> = Vec::with_capacity(input.len());
@@ -636,7 +716,12 @@ impl Experiment {
 
     /// Runs a permutable shuffle of `input` into `out_region`, handling the
     /// overflow/retry exception path. Returns the per-vault received
-    /// contents in hardware arrival order.
+    /// contents in hardware arrival order. A streamed chunk passes
+    /// `stream` = (destination bookkeeping, histogram meta slot): its
+    /// region window opens after the tuples earlier chunks delivered (so
+    /// the accumulated destination layout equals the materialized
+    /// shuffle's), and the chunk's histogram kernels fuse into the
+    /// scatter phase — one synchronization per consumed chunk.
     fn run_permutable_shuffle(
         &mut self,
         input: &[Data],
@@ -644,6 +729,7 @@ impl Experiment {
         out_region: Region,
         scheme: PartitionScheme,
         label: &str,
+        stream: Option<(&StreamDest, usize)>,
     ) -> Vec<Vec<Tuple>> {
         let parts = scheme.parts() as usize;
         let mut inbound = vec![0u64; parts];
@@ -656,19 +742,35 @@ impl Experiment {
         }
         let mut factor = self.underprovision.unwrap_or(1.0);
         loop {
+            let row = self.cfg.vault.row_bytes as u64;
             let regions: Vec<PermutableRegion> = (0..parts)
                 .map(|v| {
+                    // A streamed chunk's window opens at the previous
+                    // chunk's fill level, rounded down to the row
+                    // boundary the §5.3 controller requires — the first
+                    // arrivals of a chunk may rewrite the simulated
+                    // addresses of the previous chunk's partial tail
+                    // row; the arrival log, not the address trace,
+                    // carries the functional content.
+                    let appended = stream.map_or(0, |(s, _)| s.appended[v]) * TUPLE_BYTES as u64;
                     let exact = inbound[v] * TUPLE_BYTES as u64;
                     let size = ((exact as f64 * factor) as u64).div_ceil(256).max(1) * 256;
                     PermutableRegion {
-                        base: self.layout.region_base(v as u32, out_region),
+                        base: self.layout.region_base(v as u32, out_region) + appended / row * row,
                         size,
                         object_bytes: TUPLE_BYTES,
                     }
                 })
                 .collect();
             self.machine.shuffle_begin(regions);
-            let kernels = self.permutable_scatter_kernels(input, in_region, scheme);
+            let mut kernels = self.permutable_scatter_kernels(input, in_region, scheme);
+            if let Some((_, meta_slot)) = stream {
+                // §5.4 retries re-run the fused round, histogram included.
+                kernels = fuse_kernel_sets(
+                    self.histogram_kernels(input, in_region, scheme, meta_slot),
+                    kernels,
+                );
+            }
             match self.run_phase(kernels, label) {
                 Ok(_) => break,
                 Err(_) => {
@@ -694,8 +796,10 @@ impl Experiment {
             .collect()
     }
 
-    /// Partitions one relation on whatever machinery this system has.
-    /// Returns per-destination contents.
+    /// Partitions one materialized relation on whatever machinery this
+    /// system has. Returns per-destination contents. (Streamed chunks go
+    /// through [`Experiment::partition_streamed`] instead, which fuses
+    /// each chunk's histogram into its scatter round.)
     fn shuffle_relation(
         &mut self,
         input: &[Data],
@@ -706,13 +810,88 @@ impl Experiment {
         label: &str,
     ) -> Vec<Vec<Tuple>> {
         if self.cfg.kind.uses_permutability() {
-            self.run_permutable_shuffle(input, in_region, out_region, scheme, label)
+            self.run_permutable_shuffle(input, in_region, out_region, scheme, label, None)
         } else {
             let (kernels, dest) =
-                self.conventional_scatter(input, in_region, out_region, scheme, cursor_slot);
+                self.conventional_scatter(input, in_region, out_region, scheme, cursor_slot, None);
             self.run_phase_ok(kernels, label);
             dest
         }
+    }
+
+    /// Streams a relation through the partition machinery chunk by
+    /// chunk: one histogram + scatter round per arrival chunk, mesh and
+    /// SerDes traffic charged per round, destination contents
+    /// accumulated across rounds. The simulated span of each round is
+    /// recorded for the report's [`StreamInfo`], so a scheduler can
+    /// overlap the rounds with the producing stage's output phase. The
+    /// accumulated contents equal the materialized shuffle's up to
+    /// arrival order within each destination, which every consuming
+    /// probe phase canonicalizes (sorting, grouping, or canonical join
+    /// rows).
+    fn partition_streamed(
+        &mut self,
+        chunks: &[Data],
+        in_region: Region,
+        out_region: Region,
+        scheme: PartitionScheme,
+        meta_slot: usize,
+        cursor_slot: usize,
+    ) -> Vec<Vec<Tuple>> {
+        let parts_n = scheme.parts() as usize;
+        // The destination regions are provisioned once for the whole
+        // stream (the bounded channel sits on the input side): CPU
+        // bucket starts come from the full stream's totals, and every
+        // chunk appends after the tuples earlier chunks delivered.
+        let mut totals = vec![0u64; parts_n];
+        let mut counts = Vec::with_capacity(parts_n);
+        for chunk in chunks {
+            histogram_into(chunk, scheme, &mut counts);
+            for (t, &c) in totals.iter_mut().zip(&counts) {
+                *t += c;
+            }
+        }
+        let mut dest =
+            StreamDest { starts: exclusive_prefix(&totals), appended: vec![0u64; parts_n] };
+        let mut parts: Vec<Vec<Tuple>> = vec![Vec::new(); parts_n];
+        for (k, chunk) in chunks.iter().enumerate() {
+            let t0 = self.machine.now();
+            let vaulted = self.chunk_to_vaults(chunk);
+            let label = format!("partition.stream.c{k}");
+            // One fused phase per round: the chunk's histogram chains
+            // into its scatter on every compute unit, so a chunk
+            // consumption step synchronizes once at its end instead of
+            // once per Table 2 sub-phase — the bounded channel hands
+            // over chunks, not global barriers.
+            let delivered = if self.cfg.kind.uses_permutability() {
+                self.run_permutable_shuffle(
+                    &vaulted,
+                    in_region,
+                    out_region,
+                    scheme,
+                    &label,
+                    Some((&dest, meta_slot)),
+                )
+            } else {
+                let hist = self.histogram_kernels(&vaulted, in_region, scheme, meta_slot);
+                let (scatter, delivered) = self.conventional_scatter(
+                    &vaulted,
+                    in_region,
+                    out_region,
+                    scheme,
+                    cursor_slot,
+                    Some(&dest),
+                );
+                self.run_phase_ok(fuse_kernel_sets(hist, scatter), &label);
+                delivered
+            };
+            for ((p, d), appended) in parts.iter_mut().zip(delivered).zip(&mut dest.appended) {
+                *appended += d.len() as u64;
+                p.extend(d);
+            }
+            self.stream_spans.push(self.machine.now() - t0);
+        }
+        parts
     }
 
     // ----- operators ------------------------------------------------------
@@ -856,25 +1035,39 @@ impl Experiment {
     }
 
     pub(crate) fn run_sort(&mut self) -> (bool, String, StageOutput) {
-        let input = self.generate_single();
         let scheme = self.partition_scheme();
-        let kernels = self.histogram_kernels(&input, Region::InputA, scheme, 0);
-        self.run_phase_ok(kernels, "partition.histogram");
-        let parts = self.shuffle_relation(
-            &input,
-            Region::InputA,
-            Region::OutA,
-            scheme,
-            scheme.parts() as usize,
-            "partition.scatter",
-        );
+        let cursor_slot = scheme.parts() as usize;
+        let (parts, mut expect) = if let Some(chunks) = self.stream.clone() {
+            let parts = self.partition_streamed(
+                &chunks,
+                Region::InputA,
+                Region::OutA,
+                scheme,
+                0,
+                cursor_slot,
+            );
+            (parts, self.inputs[0].to_vec())
+        } else {
+            let input = self.generate_single();
+            let kernels = self.histogram_kernels(&input, Region::InputA, scheme, 0);
+            self.run_phase_ok(kernels, "partition.histogram");
+            let parts = self.shuffle_relation(
+                &input,
+                Region::InputA,
+                Region::OutA,
+                scheme,
+                cursor_slot,
+                "partition.scatter",
+            );
+            let whole = input.iter().flat_map(|d| d.iter().copied()).collect();
+            (parts, whole)
+        };
         let sorted_parts = self.local_sort(parts, Region::OutA, Region::PongA, "local");
         // Verify: concatenation in partition order is the sorted dataset.
         let mut combined: Vec<Tuple> = Vec::new();
         for p in &sorted_parts {
             combined.extend_from_slice(p);
         }
-        let mut expect: Vec<Tuple> = input.iter().flat_map(|d| d.iter().copied()).collect();
         expect.sort_unstable();
         let ok = combined == expect;
         let summary = format!("sort: {} tuples totally ordered", combined.len());
@@ -882,18 +1075,38 @@ impl Experiment {
     }
 
     pub(crate) fn run_groupby(&mut self) -> (bool, String, StageOutput) {
-        let input = self.generate_single();
         let scheme = self.partition_scheme();
-        let kernels = self.histogram_kernels(&input, Region::InputA, scheme, 0);
-        self.run_phase_ok(kernels, "partition.histogram");
-        let parts = self.shuffle_relation(
-            &input,
-            Region::InputA,
-            Region::OutA,
-            scheme,
-            scheme.parts() as usize,
-            "partition.scatter",
-        );
+        let cursor_slot = scheme.parts() as usize;
+        let (parts, expect) = if let Some(chunks) = self.stream.clone() {
+            let parts = self.partition_streamed(
+                &chunks,
+                Region::InputA,
+                Region::OutA,
+                scheme,
+                0,
+                cursor_slot,
+            );
+            (parts, reference::grouped(&self.inputs[0]))
+        } else {
+            let input = self.generate_single();
+            let kernels = self.histogram_kernels(&input, Region::InputA, scheme, 0);
+            self.run_phase_ok(kernels, "partition.histogram");
+            let parts = self.shuffle_relation(
+                &input,
+                Region::InputA,
+                Region::OutA,
+                scheme,
+                cursor_slot,
+                "partition.scatter",
+            );
+            let mut expect: BTreeMap<u64, Aggregates> = BTreeMap::new();
+            for d in &input {
+                for (k, a) in reference::grouped(d) {
+                    expect.entry(k).or_default().merge(&a);
+                }
+            }
+            (parts, expect)
+        };
         let mut got: BTreeMap<u64, Aggregates> = BTreeMap::new();
         if self.cfg.kind.probe_is_sorted() {
             let sorted_parts = self.local_sort(parts, Region::OutA, Region::PongA, "groupby");
@@ -922,23 +1135,25 @@ impl Experiment {
                 }
             }
         } else if self.cfg.kind.is_nmp() {
-            // NMP-rand: hash aggregation per vault.
+            // NMP-rand: hash aggregation per vault. The table is sized
+            // for the worst case (every key distinct): injected pipeline
+            // relations — e.g. an already-grouped stage output — carry no
+            // average-group-size guarantee, so the generated datasets'
+            // 4-tuple groups cannot be assumed here.
             let kernels: KernelSet = (0..self.units())
                 .map(|v| {
                     let data = Arc::<[Tuple]>::from(parts[v].as_slice());
-                    let bits = table_bits(parts[v].len().max(4) / 2);
+                    let bits = table_bits(parts[v].len());
                     let base = self.layout.region_base(v as u32, Region::OutA);
                     let table = self.layout.table_addr(v as u32, 0);
                     Some(Box::new(HashAggKernel::new(data, base, table, bits)) as Box<dyn Kernel>)
                 })
                 .collect();
             self.run_phase_ok(kernels, "probe.aggregate");
-            for (v, p) in parts.iter().enumerate() {
-                let bits = table_bits(p.len().max(4) / 2);
-                for (k, a) in mondrian_ops::groupby::hash_group(p, bits) {
+            for p in &parts {
+                for (k, a) in mondrian_ops::groupby::hash_group(p, table_bits(p.len())) {
                     got.entry(k).or_default().merge(&a);
                 }
-                let _ = v;
             }
         } else {
             // CPU: per-bucket hash aggregation, cache-resident scratch.
@@ -977,12 +1192,6 @@ impl Experiment {
                 }
             }
         }
-        let mut expect: BTreeMap<u64, Aggregates> = BTreeMap::new();
-        for d in &input {
-            for (k, a) in reference::grouped(d) {
-                expect.entry(k).or_default().merge(&a);
-            }
-        }
         let ok = got == expect;
         let summary = format!("group by: {} groups aggregated", got.len());
         (ok, summary, StageOutput::Groups(got))
@@ -992,27 +1201,52 @@ impl Experiment {
         let (r_in, s_in) = self.generate_join();
         let scheme = self.partition_scheme();
         let parts_n = scheme.parts() as usize;
-        // Histograms for both relations (separate counter arrays).
-        let kernels = self.histogram_kernels(&r_in, Region::InputA, scheme, 0);
-        self.run_phase_ok(kernels, "partition.histogram");
-        let kernels = self.histogram_kernels(&s_in, Region::InputB, scheme, parts_n * 2);
-        self.run_phase_ok(kernels, "partition.histogram.s");
-        let r_parts = self.shuffle_relation(
-            &r_in,
-            Region::InputA,
-            Region::OutA,
-            scheme,
-            parts_n,
-            "partition.scatter",
-        );
-        let s_parts = self.shuffle_relation(
-            &s_in,
-            Region::InputB,
-            Region::OutB,
-            scheme,
-            parts_n * 3,
-            "partition.scatter.s",
-        );
+        let (r_parts, s_parts) = if let Some(chunks) = self.stream.clone() {
+            // The build side R partitions once up front; the probe side
+            // S streams through the partition machinery chunk by chunk.
+            let kernels = self.histogram_kernels(&r_in, Region::InputA, scheme, 0);
+            self.run_phase_ok(kernels, "partition.histogram");
+            let r_parts = self.shuffle_relation(
+                &r_in,
+                Region::InputA,
+                Region::OutA,
+                scheme,
+                parts_n,
+                "partition.scatter",
+            );
+            let s_parts = self.partition_streamed(
+                &chunks,
+                Region::InputB,
+                Region::OutB,
+                scheme,
+                parts_n * 2,
+                parts_n * 3,
+            );
+            (r_parts, s_parts)
+        } else {
+            // Histograms for both relations (separate counter arrays).
+            let kernels = self.histogram_kernels(&r_in, Region::InputA, scheme, 0);
+            self.run_phase_ok(kernels, "partition.histogram");
+            let kernels = self.histogram_kernels(&s_in, Region::InputB, scheme, parts_n * 2);
+            self.run_phase_ok(kernels, "partition.histogram.s");
+            let r_parts = self.shuffle_relation(
+                &r_in,
+                Region::InputA,
+                Region::OutA,
+                scheme,
+                parts_n,
+                "partition.scatter",
+            );
+            let s_parts = self.shuffle_relation(
+                &s_in,
+                Region::InputB,
+                Region::OutB,
+                scheme,
+                parts_n * 3,
+                "partition.scatter.s",
+            );
+            (r_parts, s_parts)
+        };
         let mut rows: Vec<reference::JoinRow> = Vec::new();
         if self.cfg.kind.probe_is_sorted() {
             let r_sorted = self.local_sort(r_parts, Region::OutA, Region::PongA, "r");
@@ -1344,30 +1578,50 @@ impl Experiment {
             }
             n => panic!("cogroup takes exactly two input relations, got {n}"),
         };
-        let a_in = self.chunk_to_vaults(&a_full);
         let b_in = self.chunk_to_vaults(&b_full);
         let scheme = self.partition_scheme();
         let parts_n = scheme.parts() as usize;
-        let kernels = self.histogram_kernels(&a_in, Region::InputA, scheme, 0);
-        self.run_phase_ok(kernels, "partition.histogram");
-        let kernels = self.histogram_kernels(&b_in, Region::InputB, scheme, parts_n * 2);
-        self.run_phase_ok(kernels, "partition.histogram.b");
-        let a_parts = self.shuffle_relation(
-            &a_in,
-            Region::InputA,
-            Region::OutA,
-            scheme,
-            parts_n,
-            "partition.scatter",
-        );
-        let b_parts = self.shuffle_relation(
-            &b_in,
-            Region::InputB,
-            Region::OutB,
-            scheme,
-            parts_n * 3,
-            "partition.scatter.b",
-        );
+        let (a_parts, b_parts) = if let Some(chunks) = self.stream.clone() {
+            // The materialized side B partitions once up front; the
+            // streamed side A follows chunk by chunk (and is never
+            // materialized into per-vault slices here).
+            let kernels = self.histogram_kernels(&b_in, Region::InputB, scheme, parts_n * 2);
+            self.run_phase_ok(kernels, "partition.histogram.b");
+            let b_parts = self.shuffle_relation(
+                &b_in,
+                Region::InputB,
+                Region::OutB,
+                scheme,
+                parts_n * 3,
+                "partition.scatter.b",
+            );
+            let a_parts =
+                self.partition_streamed(&chunks, Region::InputA, Region::OutA, scheme, 0, parts_n);
+            (a_parts, b_parts)
+        } else {
+            let a_in = self.chunk_to_vaults(&a_full);
+            let kernels = self.histogram_kernels(&a_in, Region::InputA, scheme, 0);
+            self.run_phase_ok(kernels, "partition.histogram");
+            let kernels = self.histogram_kernels(&b_in, Region::InputB, scheme, parts_n * 2);
+            self.run_phase_ok(kernels, "partition.histogram.b");
+            let a_parts = self.shuffle_relation(
+                &a_in,
+                Region::InputA,
+                Region::OutA,
+                scheme,
+                parts_n,
+                "partition.scatter",
+            );
+            let b_parts = self.shuffle_relation(
+                &b_in,
+                Region::InputB,
+                Region::OutB,
+                scheme,
+                parts_n * 3,
+                "partition.scatter.b",
+            );
+            (a_parts, b_parts)
+        };
         // Side-symmetric merge: fold one partition's groups into the
         // `side` half of the paired aggregates.
         fn merge_groups(
@@ -1431,13 +1685,15 @@ impl Experiment {
             // NMP-rand: per-vault hash aggregation, both sides chained on
             // the vault's unit (side B's table base offset one entry — the
             // sides run back to back, so the scratch space is shared).
+            // Tables sized for all-distinct keys, like group-by: injected
+            // sides carry no group-size guarantee.
             let sides = [&a_parts, &b_parts];
             let kernels: KernelSet = (0..self.units())
                 .map(|v| {
                     let chain: Vec<Box<dyn Kernel>> = (0..2)
                         .map(|side| {
                             let data = Arc::<[Tuple]>::from(sides[side][v].as_slice());
-                            let bits = table_bits(data.len().max(4) / 2);
+                            let bits = table_bits(data.len());
                             let base = self.layout.region_base(v as u32, side_regions[side]);
                             Box::new(HashAggKernel::new(
                                 data,
@@ -1453,7 +1709,7 @@ impl Experiment {
             self.run_phase_ok(kernels, "probe.cogroup");
             for (side, parts) in sides.iter().enumerate() {
                 for p in parts.iter() {
-                    merge_groups(&mut got, side, hash_group(p, table_bits(p.len().max(4) / 2)));
+                    merge_groups(&mut got, side, hash_group(p, table_bits(p.len())));
                 }
             }
         } else {
@@ -1566,6 +1822,10 @@ impl Experiment {
         };
         let energy = compute_energy(&EnergyParams::table4(), &activity);
         let instructions = self.phases.iter().map(|p| p.instructions).sum();
+        let stream = self.stream.as_ref().map(|chunks| StreamInfo {
+            chunks: chunks.len(),
+            chunk_partition_ps: std::mem::take(&mut self.stream_spans),
+        });
         Report {
             op: self.op,
             system: self.cfg.kind,
@@ -1581,8 +1841,25 @@ impl Experiment {
             partition,
             mesh_totals,
             serdes_totals,
+            stream,
         }
     }
+}
+
+/// Chains two per-unit kernel sets into one phase: each unit runs `a`'s
+/// kernel, then `b`'s (a unit idle on one side runs the other's alone).
+/// Streamed partition rounds use this to consume a chunk — histogram
+/// then scatter — behind a single end-of-round barrier. Both sets must
+/// cover the same compute units.
+fn fuse_kernel_sets(a: KernelSet, b: KernelSet) -> KernelSet {
+    assert_eq!(a.len(), b.len(), "fused kernel sets must cover the same units");
+    a.into_iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let chain: Vec<Box<dyn Kernel>> = x.into_iter().chain(y).collect();
+            Some(Box::new(ChainKernel::new(chain)) as Box<dyn Kernel>)
+        })
+        .collect()
 }
 
 /// Hash-table bits for roughly 2× occupancy over `entries` (group tables).
@@ -1646,6 +1923,58 @@ mod tests {
             serial.phases.iter().map(|p| (p.start, p.end)).collect::<Vec<_>>(),
             parallel.phases.iter().map(|p| (p.start, p.end)).collect::<Vec<_>>(),
         );
+    }
+
+    /// The streamed-input contract: chunked arrival changes the phase
+    /// schedule (per-chunk histogram/scatter rounds) but never the
+    /// functional output — for every partition-phase operator.
+    #[test]
+    fn streamed_input_is_functionally_identical() {
+        let rel: Vec<Tuple> = (0..256).map(|i| Tuple::new(i % 17, i * 3 + 1)).collect();
+        let side_b: Vec<Tuple> = (0..192).map(|i| Tuple::new(i % 11, i)).collect();
+        let chunks: Vec<Arc<[Tuple]>> = rel.chunks(64).map(Arc::from).collect();
+        for op in [OperatorKind::Sort, OperatorKind::GroupBy, OperatorKind::Join] {
+            let base = || {
+                ExperimentBuilder::new(op).system(SystemKind::Mondrian).tiny().tuples_per_vault(64)
+            };
+            let materialized = base().input(rel.clone()).run();
+            let streamed = base().streamed_input(chunks.clone()).run();
+            assert!(materialized.verified && streamed.verified, "{op:?} failed");
+            assert_eq!(materialized.output, streamed.output, "{op:?} output diverged");
+            assert_eq!(materialized.stream, None);
+            let info = streamed.stream.expect("streamed run records chunk accounting");
+            assert_eq!(info.chunks, 4);
+            assert_eq!(info.chunk_partition_ps.len(), 4);
+            assert!(info.chunk_partition_ps.iter().all(|&t| t > 0));
+            assert!(
+                info.chunk_partition_ps.iter().sum::<Time>() <= streamed.runtime_ps,
+                "chunk rounds are a slice of the run"
+            );
+        }
+        // Cogroup streams side A past a materialized side B.
+        let materialized = ExperimentBuilder::new(OperatorKind::Cogroup)
+            .system(SystemKind::Cpu)
+            .tiny()
+            .input(rel.clone())
+            .add_input(side_b.clone())
+            .run();
+        let streamed = ExperimentBuilder::new(OperatorKind::Cogroup)
+            .system(SystemKind::Cpu)
+            .tiny()
+            .input(rel)
+            .add_input(side_b)
+            .streamed_input(chunks)
+            .run();
+        assert!(materialized.verified && streamed.verified);
+        assert_eq!(materialized.output, streamed.output, "cogroup output diverged");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not stream its primary input")]
+    fn streaming_a_scan_is_rejected() {
+        let rel: Vec<Tuple> = (0..64).map(|i| Tuple::new(i, i)).collect();
+        let chunks: Vec<Arc<[Tuple]>> = rel.chunks(16).map(Arc::from).collect();
+        let _ = ExperimentBuilder::new(OperatorKind::Scan).tiny().streamed_input(chunks).run();
     }
 
     #[test]

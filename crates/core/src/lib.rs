@@ -36,7 +36,7 @@ mod opexec;
 pub mod system;
 
 pub use config::{PartitionSpec, SystemConfig, SystemKind};
-pub use experiment::{ExperimentBuilder, KeyDist, Report, StageOutput};
+pub use experiment::{ExperimentBuilder, KeyDist, Report, StageOutput, StreamInfo};
 pub use layout::{Layout, Region};
 pub use mondrian_ops::OperatorKind;
 pub use system::{Machine, PhaseOutcome};

@@ -52,6 +52,17 @@ pub struct OpProfile {
     /// divisor (grouping operators target the paper's average group size
     /// of four, §6; 1 everywhere else).
     pub group_key_divisor: u64,
+    /// Whether the operator's output phase streams tuples as they are
+    /// produced — the eligible *producer* side of intra-stage pipelining
+    /// (the scan family: its single probe phase writes matches in input
+    /// order, so a downstream partition phase can consume them chunk by
+    /// chunk before the phase completes).
+    pub streams_output: bool,
+    /// Whether the operator's partition phase can consume its primary
+    /// input chunk by chunk — the eligible *consumer* side of intra-stage
+    /// pipelining (the partition-phase family: histogram + scatter rounds
+    /// are incremental over arrival chunks).
+    pub streams_input: bool,
 }
 
 /// Parameters of one concrete operator invocation — the descriptor the
@@ -206,6 +217,8 @@ impl Operator for ScanOp {
             },
             partitions_by_range: false,
             group_key_divisor: 1,
+            streams_output: true,
+            streams_input: false,
         }
     }
 
@@ -238,6 +251,8 @@ impl Operator for SortOp {
             },
             partitions_by_range: true,
             group_key_divisor: 1,
+            streams_output: false,
+            streams_input: true,
         }
     }
 
@@ -277,6 +292,8 @@ impl Operator for GroupByOp {
             },
             partitions_by_range: false,
             group_key_divisor: 4,
+            streams_output: false,
+            streams_input: true,
         }
     }
 
@@ -321,6 +338,8 @@ impl Operator for JoinOp {
             },
             partitions_by_range: false,
             group_key_divisor: 1,
+            streams_output: false,
+            streams_input: true,
         }
     }
 
@@ -368,6 +387,8 @@ impl Operator for UnionOp {
             },
             partitions_by_range: false,
             group_key_divisor: 1,
+            streams_output: true,
+            streams_input: false,
         }
     }
 
@@ -403,6 +424,8 @@ impl Operator for CogroupOp {
             },
             partitions_by_range: false,
             group_key_divisor: 4,
+            streams_output: false,
+            streams_input: true,
         }
     }
 
@@ -443,6 +466,8 @@ impl Operator for FlatMapOp {
             },
             partitions_by_range: false,
             group_key_divisor: 1,
+            streams_output: true,
+            streams_input: false,
         }
     }
 
@@ -522,6 +547,26 @@ mod tests {
         assert_eq!((cg.min_inputs, cg.max_inputs), (2, 2));
         assert!(operator(OperatorKind::Sort).profile().partitions_by_range);
         assert_eq!(operator(OperatorKind::Cogroup).profile().group_key_divisor, 4);
+    }
+
+    #[test]
+    fn streamable_facts_partition_the_registry() {
+        // Intra-stage pipelining splits the registry cleanly: the scan
+        // family streams its output, the partition-phase family streams
+        // its primary input, and no operator does both.
+        for kind in OperatorKind::ALL {
+            let p = operator(kind).profile();
+            assert!(!(p.streams_output && p.streams_input), "{kind:?} cannot be both sides");
+            assert_eq!(
+                p.streams_input, p.phases.has_partitioning,
+                "{kind:?}: streamed consumption is the partition phase's property"
+            );
+        }
+        let producers: Vec<_> = OperatorKind::ALL
+            .into_iter()
+            .filter(|&k| operator(k).profile().streams_output)
+            .collect();
+        assert_eq!(producers, vec![OperatorKind::Scan, OperatorKind::Union, OperatorKind::FlatMap],);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The pipeline executor: lowers a stage DAG onto the simulated engine.
 //!
-//! Two schedules are supported ([`Concurrency`]):
+//! Three schedules are supported ([`Concurrency`]):
 //!
 //! * **Serial** — one stage at a time over the whole machine, in stage
 //!   order. This is the reference executor.
@@ -12,6 +12,18 @@
 //!   only charges the concurrent makespan when it beats running its
 //!   stages back to back — the branch schedule is never reported slower
 //!   than the serial one.
+//! * **Stream** — branch scheduling plus intra-stage pipelining: for
+//!   every fused producer→consumer edge ([`Dag::fused_pairs`]) the
+//!   consumer re-executes with its primary input arriving as a bounded
+//!   stream of chunks ([`mondrian_core::ExperimentBuilder::streamed_input`]),
+//!   and the wave timeline overlaps the producer's probe/output phase
+//!   with the consumer's per-chunk partition rounds instead of
+//!   materializing the relation at a wave barrier. Streamed runs are
+//!   verified byte-identical to the serial reference like partitioned
+//!   ones, and two fallbacks bound the timing model: a pair never
+//!   charges more than its materialized slot, and a wave never charges
+//!   more than the branch schedule — so `stream ≤ branch ≤ serial`
+//!   holds by construction.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,7 +35,8 @@ use mondrian_sim::Time;
 use mondrian_workloads::{uniform_relation, zipfian_relation, Tuple};
 
 use crate::report::{
-    relation_digest, BranchSchedule, PipelineReport, ScheduleReport, StageOutcome, WaveReport,
+    relation_digest, BranchSchedule, FusedEdge, PipelineReport, ScheduleReport, StageOutcome,
+    WaveReport,
 };
 use crate::schedule::{Concurrency, Dag};
 use crate::stage::{BuildSide, Stage, StageInput, StageSpec};
@@ -179,6 +192,7 @@ impl Pipeline {
                             stage,
                             inputs.clone(),
                             build.clone(),
+                            None,
                         )
                     });
                     let expected =
@@ -190,7 +204,8 @@ impl Pipeline {
             } else {
                 let expected =
                     cache.reference_output(plan, cfg, i, stage, &inputs, build.as_deref());
-                let mut run = run_stage_engine(cfg, cfg.system_config(), stage, inputs, build);
+                let mut run =
+                    run_stage_engine(cfg, cfg.system_config(), stage, inputs, build, None);
                 run.reference_ok = run.projected[..] == expected[..];
                 run
             };
@@ -202,6 +217,9 @@ impl Pipeline {
             Concurrency::Serial => self.assemble_serial(cfg, &dag, source.len(), serial, outputs),
             Concurrency::Branch => {
                 self.run_branches(cfg, &dag, source.len(), &source, serial, outputs)
+            }
+            Concurrency::Stream => {
+                self.run_stream(cfg, &dag, source.len(), &source, serial, outputs)
             }
         }
     }
@@ -234,9 +252,12 @@ impl Pipeline {
                 stage_outcome(
                     stage,
                     run,
-                    dag.wave_of(i),
-                    dag.branch_of[i],
-                    false,
+                    StagePlacement {
+                        wave: dag.wave_of(i),
+                        branch: dag.branch_of[i],
+                        concurrent: false,
+                        streamed: false,
+                    },
                     serial_runtime,
                     true,
                 )
@@ -246,33 +267,37 @@ impl Pipeline {
             system: cfg.system,
             source_rows,
             stages,
-            schedule: ScheduleReport { mode: Concurrency::Serial, waves, makespan_ps: makespan },
+            schedule: ScheduleReport {
+                mode: Concurrency::Serial,
+                waves,
+                fused: Vec::new(),
+                makespan_ps: makespan,
+            },
             output: outputs.into_iter().next_back().expect("validated non-empty").to_vec(),
         }
     }
 
-    /// The branch scheduler: waves with two or more ready branches lease
-    /// disjoint vault partitions and execute concurrently; each
-    /// partitioned stage is verified byte-identical to the serial pass,
-    /// and a wave falls back to the serial schedule when concurrency does
-    /// not pay.
-    #[allow(clippy::too_many_lines)]
-    fn run_branches(
+    /// The branch-mode wave execution shared by the branch and stream
+    /// schedulers: waves with two or more ready branches lease disjoint
+    /// vault partitions and execute concurrently; each partitioned stage
+    /// is verified byte-identical to the serial pass (`matches`), its
+    /// run parked in `chosen` when the wave charges the concurrent
+    /// layout, and a wave falls back to the serial schedule when
+    /// concurrency does not pay.
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+    fn exec_waves(
         &self,
         cfg: &PipelineConfig,
         dag: &Dag,
-        source_rows: usize,
         source: &Rel,
-        serial: Vec<StageRun>,
-        outputs: Vec<Rel>,
-    ) -> PipelineReport {
+        serial: &[StageRun],
+        outputs: &[Rel],
+        chosen: &mut [Option<StageRun>],
+        matches: &mut [bool],
+    ) -> Vec<WaveExec> {
         let base = cfg.system_config();
         let total_vaults = base.total_vaults();
-        let n = self.stages.len();
-        let mut chosen: Vec<Option<StageRun>> = (0..n).map(|_| None).collect();
-        let mut matches = vec![true; n];
-        let mut waves = Vec::new();
-        let mut makespan: Time = 0;
+        let mut execs = Vec::with_capacity(dag.waves.len());
 
         for (w, wave_branches) in dag.waves.iter().enumerate() {
             let serial_sum: Time = wave_branches
@@ -288,9 +313,8 @@ impl Pipeline {
             let Some(leases) = leases else {
                 // Singleton wave, or more tenants than vaults: the serial
                 // schedule is the only schedule.
-                let wave = serial_wave(w, wave_branches, dag, &serial, total_vaults);
-                makespan += wave.runtime_ps;
-                waves.push(wave);
+                let report = serial_wave(w, wave_branches, dag, serial, total_vaults);
+                execs.push(WaveExec { report, leases: None });
                 continue;
             };
 
@@ -306,11 +330,11 @@ impl Pipeline {
                     .iter()
                     .map(|&i| {
                         let stage = &self.stages[i];
-                        let inputs = resolve_inputs(stage, i, source, &outputs);
-                        let build = resolve_build(&stage.spec, &outputs);
+                        let inputs = resolve_inputs(stage, i, source, outputs);
+                        let build = resolve_build(&stage.spec, outputs);
                         let mut sys = base.restrict(leases[slot]);
                         sys.sim_threads = sim_threads;
-                        run_stage_engine(cfg, sys, stage, inputs, build)
+                        run_stage_engine(cfg, sys, stage, inputs, build, None)
                     })
                     .collect()
             };
@@ -405,14 +429,16 @@ impl Pipeline {
             }
             mark_critical(&mut branches);
             let charged = if concurrent { concurrent_time } else { serial_sum };
-            makespan += charged;
-            waves.push(WaveReport {
-                wave: w,
-                concurrent,
-                runtime_ps: charged,
-                serial_runtime_ps: serial_sum,
-                branches,
-                serdes,
+            execs.push(WaveExec {
+                report: WaveReport {
+                    wave: w,
+                    concurrent,
+                    runtime_ps: charged,
+                    serial_runtime_ps: serial_sum,
+                    branches,
+                    serdes,
+                },
+                leases: concurrent.then_some(leases),
             });
 
             if concurrent {
@@ -424,41 +450,391 @@ impl Pipeline {
                 }
             }
         }
+        execs
+    }
 
-        // Assemble per-stage outcomes from whichever schedule was charged.
-        let mut stages = Vec::with_capacity(n);
-        for (i, (stage, run)) in self.stages.iter().zip(serial).enumerate() {
+    /// The branch scheduler: branch-mode wave execution, assembled as the
+    /// charged schedule.
+    fn run_branches(
+        &self,
+        cfg: &PipelineConfig,
+        dag: &Dag,
+        source_rows: usize,
+        source: &Rel,
+        serial: Vec<StageRun>,
+        outputs: Vec<Rel>,
+    ) -> PipelineReport {
+        let n = self.stages.len();
+        let mut chosen: Vec<Option<StageRun>> = (0..n).map(|_| None).collect();
+        let mut matches = vec![true; n];
+        let execs = self.exec_waves(cfg, dag, source, &serial, &outputs, &mut chosen, &mut matches);
+        let concurrent: Vec<bool> = chosen.iter().map(Option::is_some).collect();
+        let assembly = Assembly {
+            mode: Concurrency::Branch,
+            source_rows,
+            serial,
+            outputs,
+            chosen,
+            matches,
+            concurrent,
+            streamed: vec![false; n],
+            waves: execs.into_iter().map(|we| we.report).collect(),
+            fused: Vec::new(),
+        };
+        self.assemble_scheduled(cfg, dag, assembly)
+    }
+
+    /// The stream scheduler: branch-mode wave execution first (leases,
+    /// serial-equivalence checks, per-wave fallback), then intra-stage
+    /// pipelining on top. Every fused producer→consumer edge
+    /// ([`Dag::fused_pairs`]) re-executes the consumer with its primary
+    /// input arriving as a bounded chunk stream, and the wave timeline
+    /// overlaps the producer's output phase with the consumer's
+    /// per-chunk partition rounds. The overlap model claims only what
+    /// the fallbacks bound — a pair never charges more than its
+    /// materialized slot, a wave never more than the branch schedule —
+    /// so `stream ≤ branch ≤ serial` holds by construction, while the
+    /// functional contract stays independent of the timing model: every
+    /// streamed run's projected output must be byte-identical to the
+    /// serial reference pass, charged or not.
+    fn run_stream(
+        &self,
+        cfg: &PipelineConfig,
+        dag: &Dag,
+        source_rows: usize,
+        source: &Rel,
+        serial: Vec<StageRun>,
+        outputs: Vec<Rel>,
+    ) -> PipelineReport {
+        let n = self.stages.len();
+        let mut chosen: Vec<Option<StageRun>> = (0..n).map(|_| None).collect();
+        let mut matches = vec![true; n];
+        let execs = self.exec_waves(cfg, dag, source, &serial, &outputs, &mut chosen, &mut matches);
+        let concurrent: Vec<bool> = chosen.iter().map(Option::is_some).collect();
+        let base = cfg.system_config();
+
+        // Streamed consumer runs for every candidate pair. The consumer
+        // re-executes under the same lease its branch-mode charged run
+        // used, with the producer's verified serial output as the chunk
+        // stream, and is held to the same differential contract as
+        // partitioned runs: projected output byte-identical to serial.
+        let mut pairs: Vec<PairExec> = Vec::new();
+        for (producer, consumer) in dag.fused_pairs(&self.stages) {
+            let chunks = chunk_stream(&outputs[producer]);
+            let wave = &execs[dag.wave_of(consumer)];
+            let sys = match &wave.leases {
+                Some(leases) => {
+                    let slot = wave
+                        .report
+                        .branches
+                        .iter()
+                        .position(|b| b.branch == dag.branch_of[consumer])
+                        .expect("consumer's branch is in its wave");
+                    let mut sys = base.restrict(leases[slot]);
+                    sys.sim_threads = 1;
+                    sys
+                }
+                None => cfg.system_config(),
+            };
+            let stage = &self.stages[consumer];
+            let inputs = resolve_inputs(stage, consumer, source, &outputs);
+            let build = resolve_build(&stage.spec, &outputs);
+            let run = run_stage_engine(cfg, sys, stage, inputs, build, Some(chunks));
+            matches[consumer] &= run.projected[..] == outputs[consumer][..];
+            let info = run.report.stream.clone().expect("streamed run records chunk rounds");
+            let rest = run.report.runtime_ps - info.chunk_partition_ps.iter().sum::<Time>();
+            let unfused_ps = chosen[consumer]
+                .as_ref()
+                .map_or(serial[consumer].report.runtime_ps, |r| r.report.runtime_ps);
+            pairs.push(PairExec {
+                producer,
+                consumer,
+                avail: Vec::new(),
+                spans: info.chunk_partition_ps,
+                rest,
+                fused_ps: unfused_ps,
+                unfused_ps,
+                run: Some(run),
+            });
+        }
+
+        // Timeline walk: process the waves in order on an absolute clock,
+        // replaying each wave's charged layout (concurrent branches from
+        // the wave start, or back-to-back serial order) with fused-pair
+        // overlap applied. Producers record when each chunk of their
+        // output becomes available; consumers fold the chunk arrivals
+        // and their partition rounds into the pipelined completion time.
+        let mut streamed = vec![false; n];
+        let mut clock: Time = 0;
+        let mut waves = Vec::with_capacity(execs.len());
+        // Cross-branch producers of the wave being walked (pair indices);
+        // their chunk availability is clamped once the wave's charged
+        // time is known.
+        let mut cross_wave: Vec<usize> = Vec::new();
+        for we in execs {
+            let mut report = we.report;
+            let branch_charged = report.runtime_ps;
+            let mut adjusted: Vec<Time> = Vec::with_capacity(report.branches.len());
+            let mut cursor = clock; // serial layout: branches back to back
+            for branch in &report.branches {
+                let mut at = if report.concurrent { clock } else { cursor };
+                let start = at;
+                for &i in &branch.stages {
+                    let unfused = chosen[i]
+                        .as_ref()
+                        .map_or(serial[i].report.runtime_ps, |r| r.report.runtime_ps);
+                    let mut duration = unfused;
+                    if let Some(pair) = pairs.iter_mut().find(|p| p.consumer == i) {
+                        // Pipelined completion: each chunk partitions as
+                        // soon as it arrives and the previous round is
+                        // done; the probe tail follows the last round.
+                        let mut done: Time = 0;
+                        for (&arrival, &round) in pair.avail.iter().zip(&pair.spans) {
+                            done = done.max(arrival) + round;
+                        }
+                        pair.fused_ps = done.max(at) + pair.rest - at;
+                        if pair.fused_ps < unfused {
+                            streamed[i] = true;
+                            duration = pair.fused_ps;
+                        }
+                    }
+                    if let Some(pi) = pairs.iter().position(|p| p.producer == i) {
+                        let report = chosen[i].as_ref().map_or(&serial[i].report, |r| &r.report);
+                        let out_ps = report.probe_time();
+                        let pre = report.runtime_ps - out_ps;
+                        let pair = &mut pairs[pi];
+                        let k = pair.spans.len() as u64;
+                        if dag.branch_of[pair.producer] == dag.branch_of[pair.consumer] {
+                            // Same lease: the consumer's rounds overlap
+                            // the producer's output phase chunk by chunk.
+                            pair.avail =
+                                (1..=k).map(|j| at + pre + (out_ps * j).div_ceil(k)).collect();
+                        } else {
+                            // Cross-branch: the consumer owns no lease
+                            // while the producer's wave runs, so the
+                            // chunks buffer until the producer's branch
+                            // retires its lease; the wave's end-of-walk
+                            // pass then decides which rounds fit on the
+                            // freed vaults before the barrier and defers
+                            // the rest into the consumer's slot.
+                            pair.avail = vec![at + pre + out_ps; k as usize];
+                            cross_wave.push(pi);
+                        }
+                    }
+                    at += duration;
+                }
+                adjusted.push(at - start);
+                cursor = at;
+            }
+            let layout_time: Time = if report.concurrent {
+                adjusted.iter().copied().max().unwrap_or(0)
+            } else {
+                adjusted.iter().sum()
+            };
+            let charged = layout_time.min(branch_charged);
+            // Cross-branch chunks are consumable only while idle vaults
+            // exist: rounds that fit between the producer's branch
+            // retiring its lease and this wave's barrier complete there;
+            // the rest defer into the consumer's own slot (a
+            // serial-layout wave keeps the whole machine busy to its
+            // end, so everything defers).
+            let barrier = clock + charged;
+            for &pi in &cross_wave {
+                let pair = &mut pairs[pi];
+                let mut done: Time = 0;
+                let mut fit = 0;
+                if report.concurrent {
+                    for (&arrival, &round) in pair.avail.iter().zip(&pair.spans) {
+                        let t = done.max(arrival) + round;
+                        if t > barrier {
+                            break;
+                        }
+                        done = t;
+                        fit += 1;
+                    }
+                }
+                let deferred: Time = pair.spans[fit..].iter().sum();
+                pair.avail.clear();
+                pair.rest += deferred;
+            }
+            cross_wave.clear();
+            // The walk's adjusted layout is the stream schedule's
+            // accounting even when the wave's charged time did not
+            // improve — a pair streamed in a non-critical branch still
+            // charges its streamed run, so the branch table must say so.
+            for (b, &t) in report.branches.iter_mut().zip(&adjusted) {
+                b.runtime_ps = t;
+                b.critical = false;
+            }
+            mark_critical(&mut report.branches);
+            report.runtime_ps = charged;
+            clock += charged;
+            waves.push(report);
+        }
+
+        // Charge the streamed runs and record every fused edge (with its
+        // per-pair verdict) in the schedule report.
+        let mut fused = Vec::with_capacity(pairs.len());
+        for pair in &mut pairs {
+            if streamed[pair.consumer] {
+                chosen[pair.consumer] = pair.run.take();
+            }
+            fused.push(FusedEdge {
+                producer: pair.producer,
+                consumer: pair.consumer,
+                chunks: pair.spans.len(),
+                streamed: streamed[pair.consumer],
+                streamed_ps: pair.fused_ps,
+                unfused_ps: pair.unfused_ps,
+            });
+        }
+
+        // NoC accounting follows the charged runs: a wave holding a
+        // streamed consumer re-merges its branch mesh totals and its
+        // globally-charged SerDes from the runs actually charged (the
+        // streamed run's per-chunk rounds produce different traffic than
+        // the materialized one exec_waves merged).
+        for wave in waves
+            .iter_mut()
+            .filter(|w| w.branches.iter().any(|b| b.stages.iter().any(|&i| streamed[i])))
+        {
+            let mut serdes = SerDesStats::default();
+            for branch in &mut wave.branches {
+                let mut mesh = MeshStats::default();
+                for &i in &branch.stages {
+                    let rep = chosen[i].as_ref().map_or(&serial[i].report, |r| &r.report);
+                    mesh.merge(&rep.mesh_totals);
+                    serdes.merge(&rep.serdes_totals);
+                }
+                branch.mesh = mesh;
+            }
+            wave.serdes = serdes;
+        }
+
+        let assembly = Assembly {
+            mode: Concurrency::Stream,
+            source_rows,
+            serial,
+            outputs,
+            chosen,
+            matches,
+            concurrent,
+            streamed,
+            waves,
+            fused,
+        };
+        self.assemble_scheduled(cfg, dag, assembly)
+    }
+
+    /// Assembles the report of a scheduled (branch or stream) run from
+    /// whichever execution was charged per stage.
+    fn assemble_scheduled(
+        &self,
+        cfg: &PipelineConfig,
+        dag: &Dag,
+        mut assembly: Assembly,
+    ) -> PipelineReport {
+        let makespan = assembly.waves.iter().map(|w| w.runtime_ps).sum();
+        let mut stages = Vec::with_capacity(self.stages.len());
+        for (i, (stage, run)) in self.stages.iter().zip(assembly.serial).enumerate() {
             let serial_runtime = run.report.runtime_ps;
             let serial_reference_ok = run.reference_ok;
-            let (run, concurrent) = match chosen[i].take() {
-                Some(mut partition_run) => {
-                    // The partition run was checked against the serial
-                    // output, not the pure reference directly; its
-                    // reference verdict follows transitively (identical to
-                    // a serial output that itself matched the reference).
-                    partition_run.reference_ok = matches[i] && serial_reference_ok;
-                    (partition_run, true)
+            let run = match assembly.chosen[i].take() {
+                Some(mut scheduled_run) => {
+                    // The scheduled (partitioned or streamed) run was
+                    // checked against the serial output, not the pure
+                    // reference directly; its reference verdict follows
+                    // transitively (identical to a serial output that
+                    // itself matched the reference).
+                    scheduled_run.reference_ok = assembly.matches[i] && serial_reference_ok;
+                    scheduled_run
                 }
-                None => (run, false),
+                None => run,
             };
             stages.push(stage_outcome(
                 stage,
                 run,
-                dag.wave_of(i),
-                dag.branch_of[i],
-                concurrent,
+                StagePlacement {
+                    wave: dag.wave_of(i),
+                    branch: dag.branch_of[i],
+                    concurrent: assembly.concurrent[i],
+                    streamed: assembly.streamed[i],
+                },
                 serial_runtime,
-                matches[i],
+                assembly.matches[i],
             ));
         }
         PipelineReport {
             system: cfg.system,
-            source_rows,
+            source_rows: assembly.source_rows,
             stages,
-            schedule: ScheduleReport { mode: Concurrency::Branch, waves, makespan_ps: makespan },
-            output: outputs.into_iter().next_back().expect("validated non-empty").to_vec(),
+            schedule: ScheduleReport {
+                mode: assembly.mode,
+                waves: assembly.waves,
+                fused: assembly.fused,
+                makespan_ps: makespan,
+            },
+            output: assembly.outputs.into_iter().next_back().expect("validated non-empty").to_vec(),
         }
     }
+}
+
+/// One wave of the branch-mode execution, kept with the leases its
+/// concurrent layout ran on (the stream scheduler re-runs fused
+/// consumers under the same lease).
+struct WaveExec {
+    report: WaveReport,
+    leases: Option<Vec<PartitionSpec>>,
+}
+
+/// One fused producer→consumer candidate of a stream run.
+struct PairExec {
+    producer: usize,
+    consumer: usize,
+    /// Absolute availability time of each chunk, recorded when the
+    /// timeline walk passes the producer.
+    avail: Vec<Time>,
+    /// The consumer's per-chunk partition rounds (engine-simulated).
+    spans: Vec<Time>,
+    /// The streamed run's time after the last partition round.
+    rest: Time,
+    /// The consumer's slot duration under streaming (set by the walk).
+    fused_ps: Time,
+    /// The consumer's slot duration under the materialized schedule.
+    unfused_ps: Time,
+    /// The streamed run, taken when the pair charges it.
+    run: Option<StageRun>,
+}
+
+/// Inputs of the scheduled-report assembly beyond the stages themselves.
+struct Assembly {
+    mode: Concurrency,
+    source_rows: usize,
+    serial: Vec<StageRun>,
+    outputs: Vec<Rel>,
+    chosen: Vec<Option<StageRun>>,
+    matches: Vec<bool>,
+    concurrent: Vec<bool>,
+    streamed: Vec<bool>,
+    waves: Vec<WaveReport>,
+    fused: Vec<FusedEdge>,
+}
+
+/// How many arrival chunks a fused edge streams through: the bounded
+/// channel between a producer's output phase and its consumer's
+/// partition phase. Deterministic — the chunking is part of the
+/// schedule's identity.
+const STREAM_CHUNKS: usize = 8;
+
+/// Splits a producer's output relation into its bounded-channel arrival
+/// chunks: up to [`STREAM_CHUNKS`] equal slices, at least one tuple each
+/// (a single empty chunk for an empty relation).
+fn chunk_stream(rel: &Rel) -> Vec<Rel> {
+    if rel.is_empty() {
+        return vec![rel.clone()];
+    }
+    let per = rel.len().div_ceil(STREAM_CHUNKS.min(rel.len()));
+    rel.chunks(per).map(Arc::from).collect()
 }
 
 /// One executed stage (on the whole machine or on a lease).
@@ -471,16 +847,18 @@ struct StageRun {
 
 /// Runs one stage's engine simulation on `sys_cfg` and projects its
 /// output. Multi-input stages hand every resolved edge relation to the
-/// builder, in edge order. The reference verdict is filled in by the
+/// builder, in edge order; a streamed run replaces its primary edge with
+/// the chunked arrival stream. The reference verdict is filled in by the
 /// caller (serial runs compare against the pure reference executor,
-/// partition runs against the serial outputs), so the simulation can
-/// overlap with whichever check applies.
+/// partition and streamed runs against the serial outputs), so the
+/// simulation can overlap with whichever check applies.
 fn run_stage_engine(
     cfg: &PipelineConfig,
     sys_cfg: SystemConfig,
     stage: &Stage,
     inputs: Vec<Rel>,
     build: Option<Rel>,
+    stream: Option<Vec<Rel>>,
 ) -> StageRun {
     let input_rows = inputs.iter().map(|r| r.len()).sum();
     let mut edges = inputs.into_iter();
@@ -489,6 +867,9 @@ fn run_stage_engine(
         .input(edges.next().expect("validated: every stage has an input edge"));
     for rel in edges {
         builder = builder.add_input(rel);
+    }
+    if let Some(chunks) = stream {
+        builder = builder.streamed_input(chunks);
     }
     if let StageSpec::FlatMap { fanout } = stage.spec {
         builder = builder.fanout(fanout);
@@ -507,21 +888,28 @@ fn run_stage_engine(
     StageRun { input_rows, report, projected, reference_ok: false }
 }
 
-fn stage_outcome(
-    stage: &Stage,
-    run: StageRun,
+/// Where the schedule placed a stage and how it executed there.
+struct StagePlacement {
     wave: usize,
     branch: usize,
     concurrent: bool,
+    streamed: bool,
+}
+
+fn stage_outcome(
+    stage: &Stage,
+    run: StageRun,
+    placement: StagePlacement,
     serial_runtime_ps: Time,
     matches_serial: bool,
 ) -> StageOutcome {
     StageOutcome {
         spec: stage.spec,
         inputs: stage.inputs.clone(),
-        wave,
-        branch,
-        concurrent,
+        wave: placement.wave,
+        branch: placement.branch,
+        concurrent: placement.concurrent,
+        streamed: placement.streamed,
         serial_runtime_ps,
         matches_serial,
         output_digest: relation_digest(&run.projected),

@@ -23,6 +23,15 @@
 //! output must be byte-identical to the serial run, and a wave only
 //! charges the concurrent makespan when it beats the serial schedule.
 //!
+//! [`Concurrency::Stream`] adds **intra-stage pipelining** on top:
+//! eligible producer→consumer edges ([`Dag::fused_pairs`]) chunk the
+//! producer's output relation through a bounded channel into the
+//! consumer's partition phase, overlapping the producer's probe/output
+//! phase with the consumer's histogram/scatter rounds instead of
+//! materializing the relation at a wave barrier. Streamed stages verify
+//! byte-identical to the serial reference too, and a per-pair fallback
+//! keeps the streamed schedule never charged slower than the branch one.
+//!
 //! Every stage is verified against the engine's own functional check and
 //! the stage's pure functional semantics
 //! ([`StageSpec::reference_output`]); branch runs add the
@@ -53,7 +62,8 @@ mod stage;
 
 pub use exec::{ExecCache, Pipeline, PipelineConfig};
 pub use report::{
-    relation_digest, BranchSchedule, PipelineReport, ScheduleReport, StageOutcome, WaveReport,
+    relation_digest, BranchSchedule, FusedEdge, PipelineReport, ScheduleReport, StageOutcome,
+    WaveReport,
 };
 pub use schedule::{Concurrency, Dag};
 pub use stage::{derive_dimension, BuildSide, Stage, StageInput, StageSpec};

@@ -43,6 +43,11 @@ pub struct StageOutcome {
     /// concurrently with other branches (false for serial execution and
     /// serial fallbacks).
     pub concurrent: bool,
+    /// Whether the charged execution consumed its primary input as a
+    /// chunk stream overlapped with its producer's output phase
+    /// (`Concurrency::Stream` only; false when the per-pair fallback
+    /// kept the materialized schedule).
+    pub streamed: bool,
     /// The serial reference executor's runtime for this stage.
     pub serial_runtime_ps: Time,
     /// Whether every execution of this stage — charged, or partitioned
@@ -120,6 +125,28 @@ pub struct WaveReport {
     pub serdes: SerDesStats,
 }
 
+/// One producer→consumer edge the stream scheduler fused: the producer's
+/// output relation chunks through a bounded channel into the consumer's
+/// partition phase instead of materializing at a wave barrier.
+#[derive(Debug, Clone)]
+pub struct FusedEdge {
+    /// Producer stage index.
+    pub producer: usize,
+    /// Consumer stage index.
+    pub consumer: usize,
+    /// Arrival chunks the producer's output streamed through.
+    pub chunks: usize,
+    /// Whether the streamed schedule was charged (false = the per-pair
+    /// fallback kept the materialized schedule for this edge).
+    pub streamed: bool,
+    /// The consumer's slot duration under the streamed schedule (chunk
+    /// rounds overlapped with the producer's output phase, then the
+    /// remaining probe work).
+    pub streamed_ps: Time,
+    /// The consumer's duration under the materialized (branch) schedule.
+    pub unfused_ps: Time,
+}
+
 /// The executed schedule of one pipeline run.
 #[derive(Debug, Clone)]
 pub struct ScheduleReport {
@@ -127,6 +154,9 @@ pub struct ScheduleReport {
     pub mode: Concurrency,
     /// The waves, in execution order.
     pub waves: Vec<WaveReport>,
+    /// Producer→consumer edges considered for intra-stage pipelining
+    /// (empty outside `Concurrency::Stream`).
+    pub fused: Vec<FusedEdge>,
     /// End-to-end makespan: the sum of charged wave times.
     pub makespan_ps: Time,
 }
@@ -135,6 +165,11 @@ impl ScheduleReport {
     /// Whether any wave charged a concurrent schedule.
     pub fn any_concurrent(&self) -> bool {
         self.waves.iter().any(|w| w.concurrent)
+    }
+
+    /// Whether any fused edge charged the streamed schedule.
+    pub fn any_streamed(&self) -> bool {
+        self.fused.iter().any(|f| f.streamed)
     }
 }
 
@@ -204,7 +239,13 @@ impl PipelineReport {
                 s.spec.name(),
                 s.basic_operator().name(),
                 s.wave,
-                if s.concurrent { "*" } else { " " },
+                if s.streamed {
+                    "~"
+                } else if s.concurrent {
+                    "*"
+                } else {
+                    " "
+                },
                 s.input_rows,
                 s.output_rows,
                 s.report.runtime_ps as f64 / 1e6,
@@ -222,9 +263,10 @@ impl PipelineReport {
             self.runtime_ps() as f64 / 1e6,
             self.energy_j() * 1e6,
         ));
-        if self.schedule.any_concurrent() {
+        if self.schedule.any_concurrent() || self.schedule.any_streamed() {
             out.push_str(&format!(
-                "  makespan {:>.3} µs ({} waves, * = ran on a leased partition)\n",
+                "  makespan {:>.3} µs ({} waves, * = ran on a leased partition, \
+                 ~ = streamed from its producer)\n",
                 self.makespan_ps() as f64 / 1e6,
                 self.schedule.waves.len(),
             ));
@@ -262,6 +304,20 @@ impl PipelineReport {
                     stages.join(" -> "),
                 ));
             }
+        }
+        for f in &self.schedule.fused {
+            out.push_str(&format!(
+                "  fused {} -> {} ({} -> {}): {} chunks, {:.3} µs streamed vs {:.3} µs \
+                 materialized{}\n",
+                f.producer,
+                f.consumer,
+                self.stages[f.producer].spec.name(),
+                self.stages[f.consumer].spec.name(),
+                f.chunks,
+                f.streamed_ps as f64 / 1e6,
+                f.unfused_ps as f64 / 1e6,
+                if f.streamed { "" } else { " <- fallback" },
+            ));
         }
         out
     }

@@ -28,6 +28,14 @@ pub enum Concurrency {
     /// partitions, verified against (and never slower than) the serial
     /// schedule.
     Branch,
+    /// Branch scheduling plus intra-stage pipelining: eligible
+    /// producer→consumer edges ([`Dag::fused_pairs`]) stream the
+    /// producer's output through a bounded chunk channel into the
+    /// consumer's partition phase, overlapping the two instead of
+    /// materializing at a wave barrier. Every streamed stage is verified
+    /// byte-identical to the serial reference, and a per-pair fallback
+    /// keeps the schedule never slower than the branch one.
+    Stream,
 }
 
 impl Concurrency {
@@ -36,7 +44,18 @@ impl Concurrency {
         match self {
             Concurrency::Serial => "serial",
             Concurrency::Branch => "branch",
+            Concurrency::Stream => "stream",
         }
+    }
+}
+
+/// The stage a pipeline input edge reads, if any (`Source` edges read
+/// the pipeline's source relation).
+fn edge_target(input: StageInput, stage: usize) -> Option<usize> {
+    match input {
+        StageInput::Prev => stage.checked_sub(1),
+        StageInput::Source => None,
+        StageInput::Stage(j) => Some(j),
     }
 }
 
@@ -65,14 +84,8 @@ impl Dag {
             // Every input edge contributes a dependency — multi-input
             // stages (union, cogroup) depend on all of their feeders.
             for &input in &stage.inputs {
-                match input {
-                    StageInput::Prev => {
-                        if i > 0 {
-                            d.push(i - 1);
-                        }
-                    }
-                    StageInput::Source => {}
-                    StageInput::Stage(j) => d.push(j),
+                if let Some(j) = edge_target(input, i) {
+                    d.push(j);
                 }
             }
             if let StageSpec::Join { build: BuildSide::Stage(j) } = stage.spec {
@@ -130,6 +143,52 @@ impl Dag {
     pub fn wave_of(&self, stage: usize) -> usize {
         let b = self.branch_of[stage];
         self.waves.iter().position(|w| w.contains(&b)).expect("every branch is scheduled")
+    }
+
+    /// Producer→consumer edges eligible for intra-stage pipelining
+    /// ([`Concurrency::Stream`]), in consumer order. An edge fuses when:
+    ///
+    /// * the producer's operator streams its output phase (the scan
+    ///   family: scan, union, flat_map — `OpProfile::streams_output`),
+    /// * the consumer's partition phase streams its primary input (the
+    ///   partition-phase family: sort, group-by, join, cogroup —
+    ///   `OpProfile::streams_input`),
+    /// * the consumer is the producer's **only** reader (any second
+    ///   reader — input edge or join build side — needs the materialized
+    ///   relation at the wave barrier), and
+    /// * the consumer reads the producer through its **primary** (first)
+    ///   input edge — the side the engine chunks: a join's probe side, a
+    ///   cogroup's side A.
+    ///
+    /// The operator typing makes pairs disjoint by construction: no
+    /// operator both streams its output and its input, so a stage can
+    /// appear in at most one pair on each side.
+    pub fn fused_pairs(&self, stages: &[Stage]) -> Vec<(usize, usize)> {
+        // Readers of each stage: every input edge plus join build
+        // references, duplicates kept (a double reader disqualifies).
+        let mut readers: Vec<Vec<usize>> = vec![Vec::new(); stages.len()];
+        for (i, stage) in stages.iter().enumerate() {
+            for &input in &stage.inputs {
+                if let Some(j) = edge_target(input, i) {
+                    readers[j].push(i);
+                }
+            }
+            if let StageSpec::Join { build: BuildSide::Stage(j) } = stage.spec {
+                readers[j].push(i);
+            }
+        }
+        let mut pairs = Vec::new();
+        for (c, stage) in stages.iter().enumerate() {
+            let Some(p) = stage.inputs.first().and_then(|&edge| edge_target(edge, c)) else {
+                continue;
+            };
+            let producer = mondrian_ops::operator(stages[p].basic_operator()).profile();
+            let consumer = mondrian_ops::operator(stage.basic_operator()).profile();
+            if producer.streams_output && consumer.streams_input && readers[p] == [c] {
+                pairs.push((p, c));
+            }
+        }
+        pairs
     }
 }
 
@@ -189,6 +248,50 @@ mod tests {
         assert_eq!(dag.deps[3], vec![0, 1]);
         assert_eq!(dag.branches.len(), 4);
         assert_eq!(dag.waves, vec![vec![0, 1], vec![2, 3]], "union ∥ cogroup in one wave");
+    }
+
+    #[test]
+    fn fused_pairs_follow_the_streamable_facts() {
+        // filter → group_by → sort_by: the scan streams into the
+        // group-by; the group-by (not a streaming producer) does not
+        // stream into the sort.
+        let chain = vec![
+            Stage::chained(StageSpec::Filter { modulus: 10, remainder: 0 }),
+            Stage::chained(StageSpec::GroupByKey),
+            Stage::chained(StageSpec::SortByKey),
+        ];
+        let dag = Dag::build(&chain);
+        assert_eq!(dag.fused_pairs(&chain), vec![(0, 1)]);
+
+        // flat_map → cogroup fuses through the cogroup's primary edge
+        // even though the pair crosses a branch boundary.
+        let cg = vec![
+            Stage::chained(StageSpec::Filter { modulus: 10, remainder: 0 }),
+            Stage::chained(StageSpec::FlatMap { fanout: 2 }),
+            Stage::with_input(StageSpec::Filter { modulus: 3, remainder: 1 }, StageInput::Source),
+            Stage::with_inputs(
+                StageSpec::Cogroup,
+                vec![StageInput::Stage(1), StageInput::Stage(2)],
+            ),
+        ];
+        let dag = Dag::build(&cg);
+        assert_eq!(dag.fused_pairs(&cg), vec![(1, 3)], "cogroup streams its primary edge only");
+        assert!(dag.branch_of[1] != dag.branch_of[3], "the pair crosses branches");
+
+        // A second reader of the producer (here: the join's build side)
+        // disqualifies the pair, and so does reading the producer through
+        // a non-primary edge.
+        let shared = vec![
+            Stage::chained(StageSpec::Filter { modulus: 10, remainder: 0 }),
+            Stage::chained(StageSpec::GroupByKey),
+            Stage::with_input(StageSpec::Map { key_mul: 1, key_add: 1 }, StageInput::Source),
+            Stage::with_inputs(
+                StageSpec::Join { build: BuildSide::Stage(2) },
+                vec![StageInput::Stage(2)],
+            ),
+        ];
+        let dag = Dag::build(&shared);
+        assert_eq!(dag.fused_pairs(&shared), vec![(0, 1)], "stage 2 is read twice by stage 3");
     }
 
     #[test]

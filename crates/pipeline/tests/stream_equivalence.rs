@@ -1,0 +1,258 @@
+//! Differential lockdown of intra-stage pipelining: every streamed
+//! schedule must produce stage outputs byte-identical to the serial
+//! reference executor, and the reported makespan must be monotone
+//! (`stream ≤ branch ≤ serial`) — across random Table 1 chains and DAGs,
+//! key distributions, and the four representative systems (both probe
+//! families, both partitioning mechanisms). Streaming reorders simulated
+//! events (per-chunk histogram/scatter rounds, interleaved destination
+//! arrival), so the byte-identity assertions here are the proof that the
+//! overlap model never leaks into the functional results.
+
+use mondrian_core::{KeyDist, SystemKind};
+use mondrian_pipeline::{
+    BuildSide, Concurrency, Pipeline, PipelineConfig, PipelineReport, Stage, StageInput, StageSpec,
+};
+use proptest::prelude::*;
+
+/// The four representative systems the differential properties sweep.
+const SYSTEMS: [SystemKind; 4] =
+    [SystemKind::Cpu, SystemKind::NmpRand, SystemKind::NmpSeq, SystemKind::Mondrian];
+
+/// A streaming producer drawn from the Table 1 scan family.
+fn producer(sel: u64, param: u64) -> StageSpec {
+    match sel % 4 {
+        0 => StageSpec::Filter { modulus: param.max(2), remainder: 0 },
+        1 => StageSpec::Map { key_mul: 1, key_add: param },
+        2 => StageSpec::MapValues { mul: 3, add: param },
+        _ => StageSpec::FlatMap { fanout: param % 3 + 1 },
+    }
+}
+
+/// A partition-phase consumer.
+fn consumer(sel: u64) -> StageSpec {
+    match sel % 6 {
+        0 => StageSpec::GroupByKey,
+        1 => StageSpec::ReduceByKey,
+        2 => StageSpec::CountByKey,
+        3 => StageSpec::AggregateByKey,
+        4 => StageSpec::SortByKey,
+        _ => StageSpec::Join { build: BuildSide::Dimension },
+    }
+}
+
+/// The swept key distributions: the paper's uniform evaluation setting
+/// plus two Zipfian skews (§5.4's future-work axis).
+fn key_dist(sel: u64) -> KeyDist {
+    match sel % 3 {
+        0 => KeyDist::Uniform,
+        1 => KeyDist::Zipf(0.6),
+        _ => KeyDist::Zipf(1.0),
+    }
+}
+
+/// Runs one pipeline under all three schedules and enforces the
+/// differential contract: byte-identical stage digests and final
+/// relations, and monotone makespans.
+fn assert_stream_contract(
+    pipeline: &Pipeline,
+    mut cfg: PipelineConfig,
+) -> (PipelineReport, PipelineReport, PipelineReport) {
+    cfg.concurrency = Concurrency::Serial;
+    let serial = pipeline.run(&cfg);
+    cfg.concurrency = Concurrency::Branch;
+    let branch = pipeline.run(&cfg);
+    cfg.concurrency = Concurrency::Stream;
+    let stream = pipeline.run(&cfg);
+
+    assert!(serial.verified(), "serial run failed on {}", cfg.system);
+    assert!(branch.verified(), "branch run failed on {}", cfg.system);
+    assert!(stream.verified(), "stream run failed on {}", cfg.system);
+    for (s, st) in serial.stages.iter().zip(&stream.stages) {
+        assert_eq!(
+            s.output_digest, st.output_digest,
+            "stage {} diverged under streaming on {}",
+            s.spec, cfg.system
+        );
+        assert_eq!(s.output_rows, st.output_rows);
+        assert!(st.matches_serial, "stage {} lost serial equivalence", st.spec);
+    }
+    assert_eq!(&serial.output, &stream.output, "final relations diverged on {}", cfg.system);
+    assert_eq!(&serial.output, &branch.output);
+    assert!(
+        stream.makespan_ps() <= branch.makespan_ps(),
+        "stream slower than branch on {}: {} > {} ps",
+        cfg.system,
+        stream.makespan_ps(),
+        branch.makespan_ps()
+    );
+    assert!(
+        branch.makespan_ps() <= serial.makespan_ps(),
+        "branch slower than serial on {}: {} > {} ps",
+        cfg.system,
+        branch.makespan_ps(),
+        serial.makespan_ps()
+    );
+    (serial, branch, stream)
+}
+
+proptest! {
+    /// Random producer→consumer chains (the common linear Table 1
+    /// shape): both fused pairs verify byte-identical to serial and the
+    /// makespan stays monotone, for random operators, predicates,
+    /// fanouts, key distributions, seeds and scales on all four
+    /// representative systems.
+    #[test]
+    fn streamed_chains_byte_identical_and_monotone(
+        params in (0u64..4, (0u64..4, 2u64..9, 0u64..6), (0u64..4, 2u64..9, 0u64..6), 0u64..3, 0u64..1000, 16usize..40)
+    ) {
+        let (sys, a, b, dist, seed, tpv) = params;
+        let pipeline = Pipeline::from_stages(vec![
+            Stage::chained(producer(a.0, a.1)),
+            Stage::chained(consumer(a.2)),
+            Stage::chained(producer(b.0, b.1)),
+            Stage::chained(consumer(b.2)),
+        ]);
+        let mut cfg = PipelineConfig::tiny(SYSTEMS[sys as usize]);
+        cfg.tuples_per_vault = tpv;
+        cfg.seed = seed;
+        cfg.dist = key_dist(dist);
+        let (_, _, stream) = assert_stream_contract(&pipeline, cfg);
+        prop_assert_eq!(stream.schedule.fused.len(), 2, "both edges are stream-fusable");
+        // A fallback pair still reports its materialized slot unchanged.
+        for f in &stream.schedule.fused {
+            prop_assert!(f.chunks >= 1);
+            if !f.streamed {
+                prop_assert!(f.streamed_ps >= f.unfused_ps);
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Random two-branch DAGs (the PR 2 scheduler-equivalence shape with
+    /// streaming producers inside each branch): branch-level tenancy and
+    /// intra-branch streaming compose without breaking byte-identity or
+    /// monotonicity.
+    #[test]
+    fn streamed_dags_byte_identical_and_monotone(
+        params in (0u64..4, (0u64..4, 2u64..9, 0u64..4), (0u64..4, 2u64..9, 0u64..4), 0u64..3, 0u64..1000, 16usize..40)
+    ) {
+        let (sys, a, b, dist, seed, tpv) = params;
+        // Two independent producer→consumer chains joined at the end:
+        // wave 0 runs the chains concurrently on leases *and* streams
+        // within each chain; the join materializes both sides.
+        let pipeline = Pipeline::from_stages(vec![
+            Stage::chained(producer(a.0, a.1)),
+            Stage::chained(consumer(a.2 % 4)),
+            Stage::with_input(producer(b.0, b.1), StageInput::Source),
+            Stage::chained(consumer(b.2 % 4)),
+            Stage::with_input(StageSpec::Join { build: BuildSide::Stage(3) }, StageInput::Stage(1)),
+        ]);
+        let mut cfg = PipelineConfig::tiny(SYSTEMS[sys as usize]);
+        cfg.tuples_per_vault = tpv;
+        cfg.seed = seed;
+        cfg.dist = key_dist(dist);
+        let (_, _, stream) = assert_stream_contract(&pipeline, cfg);
+        prop_assert_eq!(stream.schedule.fused.len(), 2, "one fused pair per chain");
+    }
+}
+
+/// The integration matrix (all seven operators as streamed producers or
+/// consumers, both algorithm families): scan→sort, flat_map→cogroup
+/// (`Expanded` fanout accounting across chunk boundaries), union→group-by
+/// and scan→join all fuse, verify byte-identical to serial, and stay
+/// monotone on the four representative systems.
+#[test]
+fn all_seven_operators_stream_in_one_plan() {
+    let pipeline = Pipeline::from_stages(vec![
+        // 0: scan producer feeding a sort consumer.
+        Stage::chained(StageSpec::Filter { modulus: 10, remainder: 0 }),
+        Stage::chained(StageSpec::SortByKey),
+        // 2-3: a second feeder chain ending in an expanding flat_map.
+        Stage::with_input(StageSpec::Filter { modulus: 3, remainder: 1 }, StageInput::Source),
+        Stage::chained(StageSpec::FlatMap { fanout: 3 }),
+        // 4: the flat_map streams into the cogroup's primary side; side B
+        // (stage 2) is read by stages 3 and 4, so it materializes.
+        Stage::with_inputs(StageSpec::Cogroup, vec![StageInput::Stage(3), StageInput::Stage(2)]),
+        // 5-6: a union producer streams into a group-by consumer.
+        Stage::with_inputs(StageSpec::Union, vec![StageInput::Stage(1), StageInput::Stage(4)]),
+        Stage::chained(StageSpec::GroupByKey),
+        // 7-8: a map (scan) producer streams into a join consumer whose
+        // build side materializes from the cogroup.
+        Stage::chained(StageSpec::Map { key_mul: 1, key_add: 1 }),
+        Stage::chained(StageSpec::Join { build: BuildSide::Stage(4) }),
+    ]);
+    let dag = pipeline.dag();
+    let pairs = dag.fused_pairs(pipeline.stages());
+    assert_eq!(pairs, vec![(0, 1), (3, 4), (5, 6), (7, 8)], "four fused pairs planned");
+
+    for system in SYSTEMS {
+        let mut cfg = PipelineConfig::tiny(system);
+        cfg.tuples_per_vault = 48;
+        cfg.seed = 11;
+        let (serial, _, stream) = assert_stream_contract(&pipeline, cfg);
+        assert_eq!(stream.schedule.fused.len(), 4);
+
+        // The flat_map→cogroup edge chunks the Expanded 1→N relation:
+        // with fanout 3 the chunk boundaries must not align with the
+        // fanout groups, so the cogroup's per-chunk partition rounds see
+        // split groups — the accounting the differential digests lock in.
+        let fm_cg = stream
+            .schedule
+            .fused
+            .iter()
+            .find(|f| (f.producer, f.consumer) == (3, 4))
+            .expect("flat_map→cogroup pair is planned");
+        assert!(fm_cg.chunks > 1, "the expanded relation streams in several chunks");
+        let expanded_rows = serial.stages[3].output_rows;
+        let per_chunk = expanded_rows.div_ceil(fm_cg.chunks);
+        assert_ne!(per_chunk % 3, 0, "a chunk boundary falls inside a fanout group");
+
+        // Charged streamed stages carry the per-chunk accounting in
+        // their engine report.
+        for s in &stream.stages {
+            if s.streamed {
+                let info = s.report.stream.as_ref().expect("streamed stage records chunks");
+                assert!(info.chunk_partition_ps.len() == info.chunks && info.chunks > 0);
+            }
+        }
+    }
+}
+
+/// The acceptance scenario, deterministically: on a linear chain (where
+/// branch scheduling cannot help at all) the stream schedule must be
+/// strictly faster than both serial and branch on at least one system,
+/// with byte-identical outputs everywhere.
+#[test]
+fn stream_schedule_strictly_faster_on_some_system() {
+    let pipeline = Pipeline::from_stages(vec![
+        Stage::chained(StageSpec::Filter { modulus: 10, remainder: 0 }),
+        Stage::chained(StageSpec::GroupByKey),
+        Stage::chained(StageSpec::Map { key_mul: 1, key_add: 1 }),
+        Stage::chained(StageSpec::SortByKey),
+    ]);
+    let mut strictly_faster = Vec::new();
+    for system in SystemKind::ALL {
+        let mut cfg = PipelineConfig::tiny(system);
+        cfg.tuples_per_vault = 128;
+        cfg.seed = 7;
+        let (_, branch, stream) = assert_stream_contract(&pipeline, cfg);
+        assert_eq!(
+            branch.makespan_ps(),
+            branch.runtime_ps(),
+            "a linear chain gains nothing from branch tenancy on {system}"
+        );
+        if stream.makespan_ps() < branch.makespan_ps() {
+            assert!(stream.schedule.any_streamed(), "a strict win must come from a fused pair");
+            strictly_faster.push(system);
+        }
+    }
+    assert!(
+        !strictly_faster.is_empty(),
+        "no system gained from intra-stage pipelining on the chain"
+    );
+    assert!(
+        strictly_faster.contains(&SystemKind::Cpu),
+        "the checked-in acceptance win is on CPU; got {strictly_faster:?}"
+    );
+}
