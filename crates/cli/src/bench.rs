@@ -24,6 +24,12 @@ pub struct BenchPoint {
     pub wall_ms: f64,
     /// Single-worker baseline wall time divided by this point's.
     pub speedup: f64,
+    /// Discrete engine events the campaign's non-memoized runs processed
+    /// (deterministic, identical at every ladder point).
+    pub events: u64,
+    /// Engine events simulated per host wall-clock second at this point —
+    /// the harness's throughput figure of merit.
+    pub events_per_sec: f64,
     /// Whether the artifact matched the single-worker baseline byte for
     /// byte.
     pub identical: bool,
@@ -72,6 +78,8 @@ impl BenchReport {
                         t.insert("jobs", Value::Int(p.jobs as i64));
                         t.insert("wall_ms", Value::Float(round(p.wall_ms)));
                         t.insert("speedup", Value::Float(round(p.speedup)));
+                        t.insert("events", Value::Int(p.events as i64));
+                        t.insert("events_per_sec", Value::Float(p.events_per_sec.round()));
                         t.insert("identical", Value::Bool(p.identical));
                         t.insert("verified", Value::Bool(p.verified));
                         t
@@ -95,8 +103,9 @@ impl BenchReport {
             .iter()
             .map(|p| {
                 format!(
-                    "{{\"jobs\":{},\"wall_ms\":{:.3},\"speedup\":{:.3},\"identical\":{}}}",
-                    p.jobs, p.wall_ms, p.speedup, p.identical,
+                    "{{\"jobs\":{},\"wall_ms\":{:.3},\"speedup\":{:.3},\
+                     \"events_per_sec\":{:.0},\"identical\":{}}}",
+                    p.jobs, p.wall_ms, p.speedup, p.events_per_sec, p.identical,
                 )
             })
             .collect();
@@ -118,10 +127,11 @@ impl BenchReport {
         );
         for p in &self.points {
             out.push_str(&format!(
-                "  jobs={:<3} {:>10.3} ms  {:>6.2}x  {}{}\n",
+                "  jobs={:<3} {:>10.3} ms  {:>6.2}x  {:>12.0} events/s  {}{}\n",
                 p.jobs,
                 p.wall_ms,
                 p.speedup,
+                p.events_per_sec,
                 if p.identical { "byte-identical" } else { "ARTIFACT DIVERGED" },
                 if p.verified { "" } else { " VERIFICATION FAILED" },
             ));
@@ -144,6 +154,7 @@ pub fn bench(manifest: &Manifest, jobs_list: &[usize], repeat: usize) -> BenchRe
         let mut best = f64::INFINITY;
         let mut artifact = String::new();
         let mut verified = true;
+        let mut events: u64 = 0;
         for r in 0..repeat {
             let start = Instant::now();
             let campaign = run_campaign_jobs(manifest, jobs, |_| {});
@@ -155,15 +166,23 @@ pub fn bench(manifest: &Manifest, jobs_list: &[usize], repeat: usize) -> BenchRe
                 artifact = campaign.to_json();
                 runs = campaign.runs.len();
                 memo_hits = campaign.memo_hits;
+                // Memoized runs replay a cached report without touching
+                // the event loop, so they contribute no throughput work.
+                events = campaign
+                    .runs
+                    .iter()
+                    .filter(|run| !run.memoized)
+                    .map(|run| run.report.events())
+                    .sum();
             }
         }
-        (artifact, best, verified)
+        (artifact, best, verified, events)
     };
-    let (base_artifact, base_wall, base_verified) = measure(1);
+    let (base_artifact, base_wall, base_verified, base_events) = measure(1);
     let mut points = Vec::with_capacity(jobs_list.len());
     for &jobs in jobs_list {
-        let (artifact, wall_ms, verified) = if jobs == 1 {
-            (base_artifact.clone(), base_wall, base_verified)
+        let (artifact, wall_ms, verified, events) = if jobs == 1 {
+            (base_artifact.clone(), base_wall, base_verified, base_events)
         } else {
             measure(jobs)
         };
@@ -171,6 +190,8 @@ pub fn bench(manifest: &Manifest, jobs_list: &[usize], repeat: usize) -> BenchRe
             jobs,
             wall_ms,
             speedup: base_wall / wall_ms.max(1e-9),
+            events,
+            events_per_sec: events as f64 * 1e3 / wall_ms.max(1e-9),
             identical: artifact == base_artifact,
             verified,
         });
@@ -212,7 +233,13 @@ mod tests {
         let json = report.to_json();
         crate::value::parse_json(&json).unwrap();
         assert!(json.contains("\"identical\": true"));
+        assert!(json.contains("\"events_per_sec\""));
         assert!(report.human_summary().contains("byte-identical"));
+        assert!(report.human_summary().contains("events/s"));
+        // Events are engine work, identical at every ladder point.
+        assert!(report.points[0].events > 0);
+        assert!(report.points.iter().all(|p| p.events == report.points[0].events));
+        assert!(report.points.iter().all(|p| p.events_per_sec > 0.0));
     }
 
     #[test]

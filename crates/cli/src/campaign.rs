@@ -19,8 +19,9 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use mondrian_core::SystemKind;
+use mondrian_obs::{Counters, Metric, ProgressEvent, ProgressSink};
 use mondrian_pipeline::{
-    BuildSide, ExecCache, PipelineReport, Stage, StageInput, StageSpec, WaveReport,
+    run_metrics, BuildSide, ExecCache, PipelineReport, Stage, StageInput, StageSpec, WaveReport,
 };
 
 use crate::manifest::{Manifest, RunSpec};
@@ -135,6 +136,21 @@ pub fn run_campaign<F: FnMut(&CampaignRun)>(manifest: &Manifest, progress: F) ->
 pub fn run_campaign_jobs<F: FnMut(&CampaignRun)>(
     manifest: &Manifest,
     jobs: usize,
+    progress: F,
+) -> Campaign {
+    run_campaign_sink(manifest, jobs, &(), progress)
+}
+
+/// [`run_campaign_jobs`] with a live [`ProgressSink`] attached: stage and
+/// wave events stream from the executing workers as they happen (their
+/// interleaving across runs follows thread scheduling), and one
+/// `SweepPointDone` per run fires from the assembly loop in manifest
+/// order. Observation only — the artifact stays byte-identical to an
+/// unobserved campaign.
+pub fn run_campaign_sink<F: FnMut(&CampaignRun)>(
+    manifest: &Manifest,
+    jobs: usize,
+    sink: &dyn ProgressSink,
     mut progress: F,
 ) -> Campaign {
     let jobs = jobs.max(1);
@@ -169,7 +185,7 @@ pub fn run_campaign_jobs<F: FnMut(&CampaignRun)>(
         let mut cfg = manifest.config_for(specs[i]);
         cfg.threads = threads_per_run;
         let start = Instant::now();
-        let report = pipeline.run_cached(&cfg, &cache);
+        let report = pipeline.run_observed(&cfg, &cache, &specs[i].id(), sink);
         (report, start.elapsed().as_secs_f64() * 1e3)
     };
 
@@ -201,6 +217,14 @@ pub fn run_campaign_jobs<F: FnMut(&CampaignRun)>(
             results[i].take().unwrap_or_else(|| run_one(i))
         };
         let run = CampaignRun { spec, report, memoized, sim_wall_ms };
+        sink.emit(
+            &run.spec.id(),
+            &ProgressEvent::SweepPointDone {
+                makespan_ps: run.report.makespan_ps(),
+                verified: run.report.verified(),
+                memoized,
+            },
+        );
         progress(&run);
         runs.push(run);
     }
@@ -236,10 +260,13 @@ impl Campaign {
     pub fn to_json_with(&self, timings: bool) -> String {
         let mut root = Value::table();
         root.insert("campaign", Value::Str(self.manifest.name.clone()));
-        // Schema 4: the "stream" concurrency mode — per-stage `streamed`
-        // flags and the per-run `fused` edge list (producer→consumer
-        // pairs with their chunk counts and per-pair verdicts).
-        root.insert("schema_version", Value::Int(4));
+        // Schema 5: the unified `metrics` block — a per-run and top-level
+        // counter tree (engine/phase_ps/mem/noc/cache groups). Host
+        // measurements live exclusively under `metrics.host.*` (present
+        // only with `--timings`); that subtree is the artifact's one
+        // nondeterministic region, excluded from digests and byte
+        // comparisons.
+        root.insert("schema_version", Value::Int(5));
         root.insert(
             "systems",
             Value::Array(
@@ -254,6 +281,18 @@ impl Campaign {
         root.insert("stages", Value::Array(self.manifest.stages.iter().map(stage_json).collect()));
         root.insert("verified", Value::Bool(self.verified()));
         root.insert("memo_hits", Value::Int(self.memo_hits as i64));
+        let mut rollup = Counters::new();
+        for run in &self.runs {
+            rollup.merge(&run_metrics(&run.report));
+        }
+        if timings {
+            rollup.add_value("host.sim_wall_ms", self.sim_wall_ms());
+            // Prefix-memo hits vary with worker scheduling (two workers
+            // may race to compute the same prefix), so like wall time
+            // they only exist under the host subtree.
+            rollup.add_count("host.reference_prefix_hits", self.reference_hits);
+        }
+        root.insert("metrics", metrics_json(&rollup));
         root.insert("runs", Value::Array(self.runs.iter().map(|r| run_json(r, timings)).collect()));
         root.to_json()
     }
@@ -388,13 +427,33 @@ fn wave_json(wave: &WaveReport) -> Value {
     table
 }
 
+/// Renders a counter registry as the artifact's nested `metrics` table:
+/// keys group at their *first* dot (phase labels keep their own dots —
+/// `phase_ps.partition.scan` is group `phase_ps`, leaf
+/// `partition.scan`), counts as integers, values as floats.
+fn metrics_json(counters: &Counters) -> Value {
+    let mut groups: BTreeMap<String, BTreeMap<String, Value>> = BTreeMap::new();
+    for (key, metric) in counters.iter() {
+        let (group, leaf) = key.split_once('.').unwrap_or(("misc", key));
+        let value = match metric {
+            Metric::Count(n) => Value::Int(n as i64),
+            Metric::Value(v) => Value::Float(v),
+        };
+        groups.entry(group.to_string()).or_default().insert(leaf.to_string(), value);
+    }
+    Value::Table(groups.into_iter().map(|(g, t)| (g, Value::Table(t))).collect())
+}
+
 fn run_json(run: &CampaignRun, timings: bool) -> Value {
     let mut table = Value::table();
+    let mut metrics = run_metrics(&run.report);
     if timings {
-        // Host measurement, not simulation output: excluded from digests
-        // and ignored by `mondrian diff`.
-        table.insert("sim_wall_ms", Value::Float(run.sim_wall_ms));
+        // Host measurement, not simulation output: `metrics.host.*` is
+        // the artifact's single digest-excluded subtree, ignored by
+        // `mondrian diff` and absent from byte-compared artifacts.
+        metrics.add_value("host.sim_wall_ms", run.sim_wall_ms);
     }
+    table.insert("metrics", metrics_json(&metrics));
     table.insert("system", Value::Str(run.spec.system.name().to_string()));
     table.insert("topology", Value::Str(if run.spec.tiny { "tiny" } else { "scaled" }.to_string()));
     table.insert("tuples_per_vault", Value::Int(run.spec.tuples_per_vault as i64));

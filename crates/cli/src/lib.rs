@@ -2,10 +2,10 @@
 //!
 //! Library backing the `mondrian` binary: manifest parsing
 //! ([`manifest`]), the TOML/JSON document model ([`value`]), campaign
-//! execution ([`campaign`]) and the parallel-execution benchmark harness
-//! ([`bench`]). The binary in `main.rs` is a thin argument
-//! layer over these modules so integration tests can exercise everything
-//! in-process.
+//! execution ([`campaign`]), the parallel-execution benchmark harness
+//! ([`bench`]) and the artifact profiler ([`profile`]). The binary in
+//! `main.rs` is a thin argument layer over these modules so integration
+//! tests can exercise everything in-process.
 
 #![warn(missing_docs)]
 
@@ -13,4 +13,5 @@ pub mod bench;
 pub mod campaign;
 pub mod diff;
 pub mod manifest;
+pub mod profile;
 pub mod value;

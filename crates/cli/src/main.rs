@@ -20,11 +20,13 @@
 use std::process::ExitCode;
 
 use mondrian_cli::bench::bench;
-use mondrian_cli::campaign::{resolve_jobs, run_campaign_jobs, run_line};
+use mondrian_cli::campaign::{resolve_jobs, run_campaign_sink, run_line};
 use mondrian_cli::diff::diff;
 use mondrian_cli::manifest::{Format, Manifest};
+use mondrian_cli::profile::profile;
 use mondrian_core::{SystemConfig, SystemKind};
-use mondrian_pipeline::{Concurrency, StageInput};
+use mondrian_obs::{ProgressEvent, ProgressSink, Tracer};
+use mondrian_pipeline::{trace_run, Concurrency, StageInput};
 
 const USAGE: &str = "\
 the Mondrian Data Engine campaign runner
@@ -32,14 +34,23 @@ the Mondrian Data Engine campaign runner
 usage:
   mondrian run <manifest.(toml|json)> [--out <path>] [--quiet]
                [--concurrency serial|branch|stream] [--jobs N] [--timings]
+               [--trace <path>] [--progress jsonl]
       run every (system x sweep) combination of the manifest's pipeline,
       print a summary, and write the result artifact (default: result.json);
       --concurrency overrides the manifest's scheduling knob; --jobs sets
       the worker-thread count (precedence: --jobs, MONDRIAN_JOBS, the
       manifest's jobs knob, all host cores) and never changes the
       artifact, which stays byte-identical for every worker count;
-      --timings annotates each run with its host sim_wall_ms (excluded
-      from digests and ignored by mondrian diff)
+      --timings adds metrics.host.sim_wall_ms to each run (the one
+      nondeterministic subtree, excluded from digests and ignored by
+      mondrian diff); --trace writes a Chrome trace-event JSON timeline
+      (simulated picoseconds; load in Perfetto) that is byte-identical
+      for every --jobs value; --progress jsonl streams one JSON line per
+      stage/wave/sweep-point event to stderr
+  mondrian profile <result.json>
+      render a result artifact's metrics block (schema 5+): top phases
+      by simulated time, memory/NoC/cache traffic, and the FR-FCFS
+      scheduler-queue depth histogram
   mondrian bench <manifest.(toml|json)> [--out <path>] [--history <path>|none]
                  [--jobs-list 1,2,4] [--repeat N]
       run the campaign once per jobs value, check every artifact is
@@ -67,6 +78,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("list-systems") => cmd_list_systems(),
@@ -92,11 +104,23 @@ fn load_manifest(path: &str) -> Result<Manifest, String> {
     Manifest::parse(&text, format).map_err(|e| format!("{path}: {e}"))
 }
 
+/// `--progress jsonl`: one structured JSON line per execution event on
+/// stderr, leaving stdout (and the artifact) untouched.
+struct JsonlSink;
+
+impl ProgressSink for JsonlSink {
+    fn emit(&self, run: &str, event: &ProgressEvent) {
+        eprintln!("{}", event.to_jsonl(run));
+    }
+}
+
 fn cmd_run(args: &[String]) -> Result<bool, String> {
     let mut manifest_path: Option<&str> = None;
     let mut out_path = "result.json".to_string();
     let mut quiet = false;
     let mut timings = false;
+    let mut trace_path: Option<String> = None;
+    let mut progress_jsonl = false;
     let mut concurrency: Option<Concurrency> = None;
     let mut jobs_flag: Option<usize> = None;
     let mut it = args.iter();
@@ -107,6 +131,13 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
             }
             "--quiet" => quiet = true,
             "--timings" => timings = true,
+            "--trace" => {
+                trace_path = Some(it.next().ok_or("--trace needs a path")?.clone());
+            }
+            "--progress" => match it.next().map(String::as_str) {
+                Some("jsonl") => progress_jsonl = true,
+                _ => return Err("--progress needs \"jsonl\"".into()),
+            },
             "--jobs" => {
                 let n = it.next().ok_or("--jobs needs a worker count")?;
                 // Zero is rejected by resolve_jobs, the single validator.
@@ -134,7 +165,8 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     }
     let path = manifest_path.ok_or(
         "usage: mondrian run <manifest> [--out <path>] [--quiet] \
-         [--concurrency serial|branch|stream] [--jobs N] [--timings]",
+         [--concurrency serial|branch|stream] [--jobs N] [--timings] \
+         [--trace <path>] [--progress jsonl]",
     )?;
     let mut manifest = load_manifest(path)?;
     if let Some(c) = concurrency {
@@ -153,7 +185,8 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
             jobs,
         );
     }
-    let campaign = run_campaign_jobs(&manifest, jobs, |run| {
+    let sink: &dyn ProgressSink = if progress_jsonl { &JsonlSink } else { &() };
+    let campaign = run_campaign_sink(&manifest, jobs, sink, |run| {
         if !quiet {
             println!("{}", run_line(run));
         }
@@ -175,7 +208,28 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
         campaign.runs.len(),
         if campaign.verified() { "all verified" } else { "VERIFICATION FAILURES" },
     );
+    if let Some(trace_out) = trace_path {
+        // Replayed from the deterministic reports after the fact, so the
+        // trace — like the artifact — is byte-identical for every --jobs
+        // value and costs nothing unless requested.
+        let mut tracer = Tracer::new();
+        for (pid, run) in campaign.runs.iter().enumerate() {
+            trace_run(&mut tracer, pid as u64, &run.spec.id(), &run.report);
+        }
+        std::fs::write(&trace_out, tracer.export())
+            .map_err(|e| format!("cannot write {trace_out}: {e}"))?;
+        println!("wrote {trace_out} (simulated-timeline trace, 1 µs = 1 simulated ps)");
+    }
     Ok(campaign.verified())
+}
+
+fn cmd_profile(args: &[String]) -> Result<bool, String> {
+    let [path] = args else {
+        return Err("usage: mondrian profile <result.json>".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    print!("{}", profile(&text)?);
+    Ok(true)
 }
 
 fn cmd_bench(args: &[String]) -> Result<bool, String> {

@@ -107,6 +107,13 @@ impl RunSpec {
         }
         label
     }
+
+    /// [`Self::label`] with the table-column padding collapsed to single
+    /// spaces — the run's name in trace process lanes and progress lines,
+    /// where alignment is noise.
+    pub fn id(&self) -> String {
+        self.label().split_whitespace().collect::<Vec<_>>().join(" ")
+    }
 }
 
 /// A parsed campaign manifest.

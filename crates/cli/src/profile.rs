@@ -1,0 +1,221 @@
+//! `mondrian profile`: render a result artifact's unified `metrics`
+//! block as a human-readable profile — the top phases by simulated time,
+//! the memory / NoC / cache traffic breakdown, and the FR-FCFS
+//! scheduler-queue occupancy histogram.
+//!
+//! Reads the top-level campaign rollup (schema 5+), so the profile
+//! covers every run of the sweep at once; `mondrian explain` remains the
+//! per-run view.
+
+use std::collections::BTreeMap;
+
+use crate::value::{parse_json, Value};
+
+/// How many phases the top-phases table shows.
+const TOP_PHASES: usize = 10;
+
+/// The numeric entries of one metrics group, in key order.
+fn group_entries(metrics: &Value, group: &str) -> Vec<(String, f64)> {
+    let Some(Value::Table(t)) = metrics.get(group) else {
+        return Vec::new();
+    };
+    t.iter()
+        .filter_map(|(k, v)| match v {
+            Value::Int(n) => Some((k.clone(), *n as f64)),
+            Value::Float(f) => Some((k.clone(), *f)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn fmt_count(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn render_group(out: &mut String, title: &str, entries: &[(String, f64)]) {
+    if entries.is_empty() {
+        return;
+    }
+    out.push_str(&format!("{title}:\n"));
+    for (k, v) in entries {
+        out.push_str(&format!("  {:<28} {:>16}\n", k, fmt_count(*v)));
+    }
+    out.push('\n');
+}
+
+/// Renders the queue-depth histogram (`mem.queue_depth.b{lo}` buckets)
+/// with proportional bars.
+fn render_queue_depth(out: &mut String, mem: &[(String, f64)]) {
+    let mut buckets: Vec<(u64, f64)> = mem
+        .iter()
+        .filter_map(|(k, v)| {
+            k.strip_prefix("queue_depth.b").and_then(|lo| lo.parse::<u64>().ok()).map(|lo| (lo, *v))
+        })
+        .collect();
+    if buckets.is_empty() {
+        return;
+    }
+    buckets.sort_by_key(|&(lo, _)| lo);
+    let total: f64 = buckets.iter().map(|&(_, n)| n).sum();
+    let peak = buckets.iter().map(|&(_, n)| n).fold(0.0, f64::max).max(1.0);
+    out.push_str("queue depth at arrival (FR-FCFS scheduler queues):\n");
+    for (i, &(lo, n)) in buckets.iter().enumerate() {
+        let hi = buckets.get(i + 1).map(|&(next, _)| format!("{}", next - 1));
+        let range = match hi {
+            Some(hi) if hi == lo.to_string() => format!("{lo}"),
+            Some(hi) => format!("{lo}-{hi}"),
+            None => format!("{lo}+"),
+        };
+        let share = if total > 0.0 { n / total * 100.0 } else { 0.0 };
+        let bar = "#".repeat(((n / peak) * 40.0).round() as usize);
+        out.push_str(&format!("  {range:>7} {:>14} {share:>5.1}%  {bar}\n", fmt_count(n)));
+    }
+    out.push('\n');
+}
+
+/// Renders the profile of a result artifact.
+///
+/// # Errors
+///
+/// Returns a description of the problem when the text is not valid JSON
+/// or carries no `metrics` block (artifacts before schema 5).
+pub fn profile(text: &str) -> Result<String, String> {
+    let doc = parse_json(text)?;
+    let metrics =
+        doc.get("metrics").ok_or("artifact has no metrics block (needs schema_version >= 5)")?;
+    let campaign = doc.get("campaign").and_then(Value::as_str).unwrap_or("?");
+    let runs = doc.get("runs").and_then(Value::as_array).map_or(0, <[Value]>::len);
+
+    let mut out = String::new();
+    out.push_str(&format!("profile of campaign \"{campaign}\" ({runs} runs)\n\n"));
+
+    // Top phases by simulated time.
+    let mut phases = group_entries(metrics, "phase_ps");
+    phases.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let total_ps: f64 = phases.iter().map(|&(_, v)| v).sum();
+    if !phases.is_empty() {
+        out.push_str(&format!(
+            "top phases by simulated time (of {:.3} µs total):\n",
+            total_ps / 1e6
+        ));
+        for (label, ps) in phases.iter().take(TOP_PHASES) {
+            out.push_str(&format!(
+                "  {:<28} {:>14.3} µs {:>5.1}%\n",
+                label,
+                ps / 1e6,
+                if total_ps > 0.0 { ps / total_ps * 100.0 } else { 0.0 },
+            ));
+        }
+        if phases.len() > TOP_PHASES {
+            let rest: f64 = phases[TOP_PHASES..].iter().map(|&(_, v)| v).sum();
+            out.push_str(&format!(
+                "  ({} more phases, {:.3} µs)\n",
+                phases.len() - TOP_PHASES,
+                rest / 1e6,
+            ));
+        }
+        out.push('\n');
+    }
+
+    let engine = group_entries(metrics, "engine");
+    render_group(&mut out, "engine", &engine);
+    let mem = group_entries(metrics, "mem");
+    let traffic: Vec<(String, f64)> =
+        mem.iter().filter(|(k, _)| !k.starts_with("queue_depth.")).cloned().collect();
+    render_group(&mut out, "memory traffic", &traffic);
+    render_queue_depth(&mut out, &mem);
+    render_group(&mut out, "network-on-chip", &group_entries(metrics, "noc"));
+    render_group(&mut out, "caches", &group_entries(metrics, "cache"));
+    let host = group_entries(metrics, "host");
+    render_group(&mut out, "host (nondeterministic, --timings only)", &host);
+
+    Ok(out)
+}
+
+/// Convenience: the artifact's metrics tree flattened back to
+/// dot-separated keys, for tests and tooling.
+pub fn flatten_metrics(metrics: &Value) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    if let Value::Table(groups) = metrics {
+        for (group, sub) in groups {
+            if let Value::Table(leaves) = sub {
+                for (leaf, v) in leaves {
+                    let num = match v {
+                        Value::Int(n) => *n as f64,
+                        Value::Float(f) => *f,
+                        _ => continue,
+                    };
+                    out.insert(format!("{group}.{leaf}"), num);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ARTIFACT: &str = r#"{
+        "campaign": "smoke",
+        "schema_version": 5,
+        "metrics": {
+            "engine": {"events": 1200, "instructions": 5000},
+            "phase_ps": {"partition.scan": 4000000, "probe.join": 2000000,
+                         "output": 1000000},
+            "mem": {"read_bytes": 4096, "write_bytes": 2048,
+                    "queue_depth.b0": 90, "queue_depth.b1": 8,
+                    "queue_depth.b2": 2},
+            "noc": {"mesh_hops": 77, "mesh_bit_mm": 12.5},
+            "cache": {"l1_hits": 10}
+        },
+        "runs": [{}]
+    }"#;
+
+    #[test]
+    fn profile_renders_all_sections() {
+        let text = profile(ARTIFACT).unwrap();
+        assert!(text.contains("profile of campaign \"smoke\" (1 runs)"));
+        assert!(text.contains("top phases by simulated time"));
+        // Sorted by time, descending.
+        let scan = text.find("partition.scan").unwrap();
+        let join = text.find("probe.join").unwrap();
+        assert!(scan < join);
+        assert!(text.contains("queue depth at arrival"));
+        assert!(text.contains("read_bytes"));
+        assert!(text.contains("mesh_hops"));
+        assert!(text.contains("l1_hits"));
+        assert!(!text.contains("host ("), "no host section without --timings data");
+    }
+
+    #[test]
+    fn queue_depth_ranges_and_bars() {
+        let text = profile(ARTIFACT).unwrap();
+        // b0 covers exactly depth 0, b1 exactly 1, last bucket open-ended.
+        assert!(text.contains("      0 "));
+        assert!(text.contains("     2+ "));
+        // The fullest bucket gets the longest bar.
+        let b0_line = text.lines().find(|l| l.trim_start().starts_with("0 ")).unwrap();
+        assert!(b0_line.matches('#').count() == 40);
+    }
+
+    #[test]
+    fn pre_schema5_artifacts_are_rejected() {
+        assert!(profile(r#"{"campaign": "old", "runs": []}"#).is_err());
+        assert!(profile("not json").is_err());
+    }
+
+    #[test]
+    fn flatten_inverts_grouping() {
+        let doc = parse_json(ARTIFACT).unwrap();
+        let flat = flatten_metrics(doc.get("metrics").unwrap());
+        assert_eq!(flat.get("engine.events"), Some(&1200.0));
+        assert_eq!(flat.get("mem.queue_depth.b1"), Some(&8.0));
+        assert_eq!(flat.get("noc.mesh_bit_mm"), Some(&12.5));
+    }
+}

@@ -43,6 +43,8 @@ fn report(
             jobs: jobs as usize + 1,
             wall_ms: wall as f64 / 8.0,
             speedup: (wall as f64 / 8.0 + 1.0).recip(),
+            events: wall * 3,
+            events_per_sec: wall as f64 * 3.0 * 1e3 / (wall as f64 / 8.0).max(1e-9),
             identical,
             verified: true,
         })
@@ -90,6 +92,12 @@ proptest! {
             prop_assert!((wall - point.wall_ms).abs() < 5e-4, "wall_ms drifted: {wall}");
             let speedup = entry.get("speedup").and_then(Value::as_float).expect("speedup");
             prop_assert!((speedup - point.speedup).abs() < 5e-4);
+            // events_per_sec is written with zero decimals.
+            let eps = entry
+                .get("events_per_sec")
+                .and_then(|v| v.as_float().or_else(|| v.as_int().map(|n| n as f64)))
+                .expect("events_per_sec");
+            prop_assert!((eps - point.events_per_sec).abs() <= 0.5, "events_per_sec drifted");
         }
     }
 }

@@ -1,0 +1,220 @@
+//! Observability must be free: turning on the progress sink or building
+//! a trace must never change the result artifact, and the trace itself —
+//! replayed from the deterministic charged schedule — must be
+//! byte-identical for every worker count.
+//!
+//! Three angles:
+//!
+//! * every shipped example manifest runs byte-identically with the
+//!   progress sink attached vs detached, and its trace matches across
+//!   `--jobs 1` and `--jobs 8`;
+//! * a property over generated campaigns (serial / branch / stream
+//!   layouts × one or two systems × jobs ladder) asserting the same; and
+//! * a golden schema check on the exported Chrome trace JSON: required
+//!   keys on every event, timestamps monotone within each `(pid, tid)`
+//!   lane, and every `B` closed by a matching `E`.
+
+use std::sync::Mutex;
+
+use mondrian_cli::campaign::{run_campaign_jobs, run_campaign_sink, Campaign};
+use mondrian_cli::manifest::{Format, Manifest};
+use mondrian_cli::value::{parse_json, Value};
+use mondrian_obs::{ProgressEvent, ProgressSink, Tracer};
+use mondrian_pipeline::trace_run;
+use proptest::prelude::*;
+
+fn example(name: &str) -> String {
+    let path = format!("{}/../../examples/manifests/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+/// A sink that records every event line, like `--progress jsonl` does.
+#[derive(Default)]
+struct CollectingSink(Mutex<Vec<String>>);
+
+impl ProgressSink for CollectingSink {
+    fn emit(&self, run: &str, event: &ProgressEvent) {
+        self.0.lock().unwrap().push(event.to_jsonl(run));
+    }
+}
+
+/// Builds the trace exactly the way `mondrian run --trace` does: replay
+/// every run's charged schedule into one tracer, one process per run.
+fn trace_of(campaign: &Campaign) -> String {
+    let mut tracer = Tracer::new();
+    for (pid, run) in campaign.runs.iter().enumerate() {
+        trace_run(&mut tracer, pid as u64, &run.spec.id(), &run.report);
+    }
+    tracer.export()
+}
+
+/// The acceptance check from the issue, in-process, for every shipped
+/// example manifest: observers on vs off, jobs 1 vs 8 — one artifact,
+/// one trace.
+#[test]
+fn examples_artifact_and_trace_ignore_observers_and_jobs() {
+    for name in ["branch_join.toml", "cogroup_union.toml", "stream_chain.toml"] {
+        let manifest = Manifest::parse(&example(name), Format::Toml).unwrap();
+        let plain = run_campaign_jobs(&manifest, 1, |_| {});
+        let sink = CollectingSink::default();
+        let observed = run_campaign_sink(&manifest, 8, &sink, |_| {});
+        assert!(plain.verified() && observed.verified());
+        assert_eq!(
+            plain.to_json(),
+            observed.to_json(),
+            "{name}: result.json must not depend on observers or worker count"
+        );
+        assert_eq!(
+            trace_of(&plain),
+            trace_of(&observed),
+            "{name}: trace must be byte-identical across jobs"
+        );
+        let events = sink.0.lock().unwrap();
+        assert!(
+            events.iter().any(|l| l.contains("\"stage_finished\"")),
+            "{name}: the sink saw stage lifecycle events"
+        );
+        assert!(
+            events.iter().any(|l| l.contains("\"sweep_point_done\"")),
+            "{name}: the sink saw sweep progress"
+        );
+        for line in events.iter() {
+            parse_json(line).unwrap_or_else(|e| panic!("{name}: bad jsonl {line}: {e}"));
+        }
+    }
+}
+
+fn layout_manifest(concurrency: &str, systems: &str, tuples: u64) -> Manifest {
+    let text = format!(
+        r#"
+        [campaign]
+        name = "obs-prop"
+        systems = [{systems}]
+        tuples_per_vault = {tuples}
+        concurrency = "{concurrency}"
+
+        [[stage]]
+        op = "filter"
+        modulus = 3
+        remainder = 1
+
+        [[stage]]
+        op = "group_by_key"
+
+        [[stage]]
+        op = "filter"
+        input = "source"
+        modulus = 2
+        remainder = 0
+
+        [[stage]]
+        op = "join"
+        input = 1
+        build = 2
+    "#
+    );
+    Manifest::parse(&text, Format::Toml).unwrap()
+}
+
+proptest! {
+    /// Observability is free for every schedule layout: the artifact is
+    /// byte-identical with the sink attached, and the replayed trace is
+    /// byte-identical for any worker count.
+    #[test]
+    fn observers_never_perturb_artifact_or_trace(
+        params in (0usize..3, 0usize..2, 2usize..9, 32u64..65)
+    ) {
+        let (layout, sys, jobs, tuples) = params;
+        let concurrency = ["serial", "branch", "stream"][layout];
+        let systems = if sys == 0 { "\"cpu\"" } else { "\"cpu\", \"mondrian\"" };
+        let manifest = layout_manifest(concurrency, systems, tuples);
+        let serial = run_campaign_jobs(&manifest, 1, |_| {});
+        let sink = CollectingSink::default();
+        let observed = run_campaign_sink(&manifest, jobs, &sink, |_| {});
+        prop_assert!(serial.verified() && observed.verified());
+        prop_assert_eq!(serial.to_json(), observed.to_json());
+        prop_assert_eq!(trace_of(&serial), trace_of(&observed));
+        prop_assert!(!sink.0.lock().unwrap().is_empty());
+    }
+}
+
+/// Walks every `traceEvents` entry of an exported trace and checks the
+/// Chrome trace-event schema obligations the viewer relies on.
+fn check_trace_schema(json: &str) {
+    let doc = parse_json(json).expect("trace is valid JSON");
+    assert_eq!(
+        doc.get("otherData").and_then(|o| o.get("ts_unit")).and_then(Value::as_str),
+        Some("simulated_ps"),
+        "the ps-as-µs convention is declared"
+    );
+    let events = doc.get("traceEvents").and_then(Value::as_array).expect("traceEvents array");
+    assert!(!events.is_empty());
+    let mut last_ts: std::collections::BTreeMap<(i64, i64), i64> = Default::default();
+    let mut open: std::collections::BTreeMap<(i64, i64), i64> = Default::default();
+    let mut spans = 0u64;
+    for e in events {
+        let ph = e.get("ph").and_then(Value::as_str).expect("every event has ph");
+        let pid = e.get("pid").and_then(Value::as_int).expect("every event has pid");
+        let tid = e.get("tid").and_then(Value::as_int).expect("every event has tid");
+        match ph {
+            "M" => {
+                // Metadata: a name and a string args.name, no ts needed.
+                let name = e.get("name").and_then(Value::as_str).unwrap();
+                assert!(name == "process_name" || name == "thread_name");
+                assert!(e.get("args").and_then(|a| a.get("name")).is_some());
+                continue;
+            }
+            "B" | "E" | "C" => {}
+            other => panic!("unexpected ph {other:?}"),
+        }
+        let ts = e.get("ts").and_then(Value::as_int).expect("timed events carry integer ts");
+        assert!(ts >= 0);
+        let lane = (pid, tid);
+        let last = last_ts.entry(lane).or_insert(0);
+        assert!(ts >= *last, "lane {lane:?} ts went backwards: {ts} < {last}");
+        *last = ts;
+        match ph {
+            "B" => {
+                assert!(e.get("name").and_then(Value::as_str).is_some(), "B events are named");
+                *open.entry(lane).or_insert(0) += 1;
+                spans += 1;
+            }
+            "E" => {
+                let depth = open.get_mut(&lane).expect("E without B");
+                assert!(*depth > 0, "E without open B on lane {lane:?}");
+                *depth -= 1;
+            }
+            _ => {
+                // Counter: every series value is numeric.
+                let Some(Value::Table(args)) = e.get("args") else {
+                    panic!("C event without args table")
+                };
+                assert!(!args.is_empty());
+                for v in args.values() {
+                    assert!(matches!(v, Value::Int(_) | Value::Float(_)));
+                }
+            }
+        }
+    }
+    assert!(open.values().all(|&d| d == 0), "unmatched B/E pairs: {open:?}");
+    assert!(spans > 0, "the trace carries at least one span");
+}
+
+/// Golden schema test on the shipped streaming example: the exported
+/// trace is loadable JSON obeying the trace-event contract.
+#[test]
+fn stream_chain_trace_obeys_chrome_trace_schema() {
+    let manifest = Manifest::parse(&example("stream_chain.toml"), Format::Toml).unwrap();
+    let campaign = run_campaign_jobs(&manifest, 2, |_| {});
+    let json = trace_of(&campaign);
+    check_trace_schema(&json);
+    // Every run appears as a named process with its schedule lane.
+    for run in &campaign.runs {
+        assert!(json.contains(&format!("\"name\":\"{}\"", run.spec.id())));
+    }
+    assert!(json.contains("\"cat\":\"wave\""), "schedule lane has wave spans");
+    assert!(json.contains("\"cat\":\"stage\""), "branch lanes have stage spans");
+    assert!(json.contains("\"cat\":\"phase\""), "phase lanes are populated");
+    assert!(json.contains("\"cat\":\"stream\""), "streamed stages emit chunk rounds");
+    assert!(json.contains("\"ph\":\"C\""), "counter samples are present");
+}

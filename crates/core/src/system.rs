@@ -36,6 +36,11 @@ pub struct PhaseOutcome {
     /// Permutable writes dropped due to destination-buffer overflow (the
     /// §5.4 exception path; non-zero values fail the phase).
     pub overflows: u64,
+    /// Discrete events processed by the phase's event loop, excluding
+    /// vault ticks: the serial loop keeps popping tail ticks that the
+    /// parallel tail drain skips, so counting them would make the figure
+    /// depend on `sim_threads` and break artifact byte-identity.
+    pub events: u64,
 }
 
 impl PhaseOutcome {
@@ -399,6 +404,7 @@ impl Machine {
 
         // Main event loop.
         let mut guard: u64 = 0;
+        let mut events: u64 = 0;
         loop {
             // Drain newly emitted core requests first (they carry their own
             // issue timestamps).
@@ -447,6 +453,9 @@ impl Machine {
             end = end.max(t);
             guard += 1;
             assert!(guard < 2_000_000_000, "event-loop runaway in phase {label}");
+            if !matches!(ev, Ev::VaultTick(_)) {
+                events += 1;
+            }
             match ev {
                 Ev::Advance(i) => advance_core!(i),
                 Ev::VaultTick(v) => {
@@ -553,6 +562,7 @@ impl Machine {
             simd_ops,
             core_busy,
             overflows,
+            events,
         };
         if overflows > 0 {
             return Err(overflows);

@@ -32,5 +32,5 @@ pub use addr::{bank_of, AddressMap, GlobalVaultId, Location, PartitionView};
 pub use config::{DevicePreset, DramTiming, VaultConfig};
 pub use vault::{
     drain, AccessKind, DramCompletion, DramRequest, PermutableOverflow, PermutableRegion,
-    VaultController, VaultStats,
+    VaultController, VaultStats, QUEUE_DEPTH_BUCKETS,
 };

@@ -161,6 +161,10 @@ impl SchedQueue {
         self.queue.is_empty()
     }
 
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
     fn push(&mut self, p: Pending) {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -206,6 +210,11 @@ impl SchedQueue {
     }
 }
 
+/// Lower bounds of the power-of-two occupancy buckets behind
+/// [`VaultStats::queue_depth`]: a request arriving when its scheduler
+/// queue holds `d` requests lands in the last bucket with bound `<= d`.
+pub const QUEUE_DEPTH_BUCKETS: [u64; 8] = [0, 1, 2, 4, 8, 16, 32, 64];
+
 /// Aggregated event counters for one vault.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VaultStats {
@@ -229,9 +238,21 @@ pub struct VaultStats {
     pub perm_writes: u64,
     /// Data-path occupancy in picoseconds.
     pub busy_time: Time,
+    /// Histogram of scheduler-queue occupancy observed at request
+    /// arrival, bucketed by [`QUEUE_DEPTH_BUCKETS`].
+    pub queue_depth: [u64; QUEUE_DEPTH_BUCKETS.len()],
 }
 
 impl VaultStats {
+    /// Records one arrival that found `depth` requests already queued.
+    pub fn record_queue_depth(&mut self, depth: usize) {
+        let slot = QUEUE_DEPTH_BUCKETS
+            .iter()
+            .rposition(|&lo| lo <= depth as u64)
+            .expect("bucket 0 covers every depth");
+        self.queue_depth[slot] += 1;
+    }
+
     /// Exports counters into a [`Stats`] registry under `prefix`.
     pub fn export(&self, stats: &mut Stats, prefix: &str) {
         stats.add_count(&format!("{prefix}.row_hits"), self.row_hits);
@@ -240,7 +261,13 @@ impl VaultStats {
         stats.add_count(&format!("{prefix}.activations"), self.activations);
         stats.add_count(&format!("{prefix}.read_bytes"), self.read_bytes);
         stats.add_count(&format!("{prefix}.write_bytes"), self.write_bytes);
+        stats.add_count(&format!("{prefix}.read_reqs"), self.read_reqs);
+        stats.add_count(&format!("{prefix}.write_reqs"), self.write_reqs);
+        stats.add_count(&format!("{prefix}.perm_writes"), self.perm_writes);
         stats.add_count(&format!("{prefix}.busy_ps"), self.busy_time);
+        for (lo, &n) in QUEUE_DEPTH_BUCKETS.iter().zip(self.queue_depth.iter()) {
+            stats.add_count(&format!("{prefix}.queue_depth.b{lo}"), n);
+        }
     }
 }
 
@@ -412,8 +439,10 @@ impl VaultController {
             row: row_index / self.cfg.banks as u64,
         };
         if req.kind.is_write() {
+            self.stats.record_queue_depth(self.writes.len());
             self.writes.push(pending);
         } else {
+            self.stats.record_queue_depth(self.reads.len());
             self.reads.push(pending);
         }
         self.try_issue(now);
@@ -788,5 +817,28 @@ mod tests {
         v.stats().export(&mut s, "vault.0");
         assert_eq!(s.count("vault.0.activations"), 1);
         assert_eq!(s.count("vault.0.read_bytes"), 64);
+        assert_eq!(s.count("vault.0.read_reqs"), 1);
+        assert_eq!(s.count("vault.0.queue_depth.b0"), 1);
+    }
+
+    #[test]
+    fn queue_depth_histogram_buckets_arrival_occupancy() {
+        let mut stats = VaultStats::default();
+        for depth in [0usize, 1, 2, 3, 4, 7, 8, 63, 64, 1000] {
+            stats.record_queue_depth(depth);
+        }
+        // 0 -> b0; 1 -> b1; 2,3 -> b2; 4,7 -> b4; 8 -> b8; 63 -> b32;
+        // 64,1000 -> b64.
+        assert_eq!(stats.queue_depth, [1, 1, 2, 2, 1, 0, 1, 2]);
+
+        // Arrival depth is the target queue's occupancy *before* push:
+        // burst-enqueue reads while the bus is busy and the buckets climb.
+        let mut v = small_vault();
+        for i in 0..4 {
+            v.enqueue(read(i, i * 64, 64), 0).unwrap();
+        }
+        let h = v.stats().queue_depth;
+        assert_eq!(h.iter().sum::<u64>(), 4, "every arrival is recorded once");
+        assert!(h[0] >= 1, "the first arrival sees an empty queue");
     }
 }

@@ -1,0 +1,327 @@
+//! Simulated-timeline tracing: spans and counter samples stamped in
+//! simulated picoseconds, exported as Chrome trace-event JSON.
+//!
+//! The trace-event format's `ts` field is nominally microseconds; the
+//! engine emits **one trace microsecond per simulated picosecond** so
+//! every timestamp stays an exact integer (documented in the trace's
+//! `otherData.ts_unit`). Perfetto and `chrome://tracing` load the file
+//! directly — only the displayed magnitudes carry the ps scale.
+//!
+//! Construction is deliberately strict: timestamps must be monotone
+//! non-decreasing within each `(pid, tid)` lane and every `begin_span`
+//! must be closed by a matching `end_span`, so an exported trace
+//! satisfies the schema the golden tests check by construction.
+
+use std::collections::BTreeMap;
+
+use mondrian_sim::Time;
+
+/// One argument value attached to a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// An integer argument.
+    Int(i64),
+    /// A float argument.
+    Float(f64),
+    /// A string argument.
+    Str(String),
+}
+
+impl Arg {
+    fn render(&self) -> String {
+        match self {
+            Arg::Int(i) => i.to_string(),
+            Arg::Float(f) => crate::format_f64(*f),
+            Arg::Str(s) => format!("\"{}\"", crate::escape_json(s)),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Kind {
+    Begin,
+    End,
+    /// Counter sample: `(series, value)` pairs.
+    Counter(Vec<(String, f64)>),
+}
+
+#[derive(Debug, Clone)]
+struct Event {
+    pid: u64,
+    tid: u64,
+    ts: Time,
+    name: String,
+    cat: String,
+    kind: Kind,
+    args: Vec<(String, Arg)>,
+}
+
+/// Records a deterministic simulated-time trace and exports it as Chrome
+/// trace-event JSON.
+///
+/// # Example
+///
+/// ```
+/// use mondrian_obs::Tracer;
+/// let mut t = Tracer::new();
+/// t.set_process_name(0, "run cpu");
+/// t.set_thread_name(0, 1, "branch 0");
+/// t.begin_span(0, 1, "scan", "stage", 0, vec![]);
+/// t.end_span(0, 1, 1500);
+/// let json = t.export();
+/// assert!(json.contains("\"ph\":\"B\""));
+/// ```
+#[derive(Debug, Default)]
+pub struct Tracer {
+    processes: BTreeMap<u64, String>,
+    threads: BTreeMap<(u64, u64), String>,
+    events: Vec<Event>,
+    /// Per-lane open-span depth (for pairing checks).
+    open: BTreeMap<(u64, u64), u64>,
+    /// Per-lane last emitted timestamp (for monotonicity checks).
+    last_ts: BTreeMap<(u64, u64), Time>,
+}
+
+impl Tracer {
+    /// Creates an empty tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Names a process lane (one per campaign run).
+    pub fn set_process_name(&mut self, pid: u64, name: &str) {
+        self.processes.insert(pid, name.to_string());
+    }
+
+    /// Names a thread lane within a process.
+    pub fn set_thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.threads.insert((pid, tid), name.to_string());
+    }
+
+    fn check_lane(&mut self, pid: u64, tid: u64, ts: Time) {
+        let last = self.last_ts.entry((pid, tid)).or_insert(0);
+        assert!(
+            ts >= *last,
+            "trace lane ({pid},{tid}) went backwards: {ts} < {last}",
+            last = *last
+        );
+        *last = ts;
+    }
+
+    /// Opens a span on lane `(pid, tid)` at simulated time `ts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ts` precedes the lane's last event — spans are replayed
+    /// from the deterministic schedule in time order by construction.
+    pub fn begin_span(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: &str,
+        cat: &str,
+        ts: Time,
+        args: Vec<(String, Arg)>,
+    ) {
+        self.check_lane(pid, tid, ts);
+        *self.open.entry((pid, tid)).or_insert(0) += 1;
+        self.events.push(Event {
+            pid,
+            tid,
+            ts,
+            name: name.to_string(),
+            cat: cat.to_string(),
+            kind: Kind::Begin,
+            args,
+        });
+    }
+
+    /// Closes the innermost open span on lane `(pid, tid)` at `ts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane has no open span or `ts` precedes the lane's
+    /// last event.
+    pub fn end_span(&mut self, pid: u64, tid: u64, ts: Time) {
+        self.check_lane(pid, tid, ts);
+        let depth = self.open.get_mut(&(pid, tid)).expect("end_span without begin_span");
+        assert!(*depth > 0, "end_span without begin_span on lane ({pid},{tid})");
+        *depth -= 1;
+        self.events.push(Event {
+            pid,
+            tid,
+            ts,
+            name: String::new(),
+            cat: String::new(),
+            kind: Kind::End,
+            args: Vec::new(),
+        });
+    }
+
+    /// Records a counter sample (`ph:"C"`) on lane `(pid, tid)`.
+    pub fn counter(&mut self, pid: u64, tid: u64, name: &str, ts: Time, series: &[(&str, f64)]) {
+        self.check_lane(pid, tid, ts);
+        self.events.push(Event {
+            pid,
+            tid,
+            ts,
+            name: name.to_string(),
+            cat: String::new(),
+            kind: Kind::Counter(series.iter().map(|&(k, v)| (k.to_string(), v)).collect()),
+            args: Vec::new(),
+        });
+    }
+
+    /// Exports the Chrome trace-event JSON document (trailing newline
+    /// included). Deterministic: metadata first (sorted by pid/tid), then
+    /// every event grouped by `(pid, tid)` lane in recording order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any span is still open — a trace with unmatched B/E
+    /// pairs must never be written.
+    pub fn export(&self) -> String {
+        for (&(pid, tid), &depth) in &self.open {
+            assert!(depth == 0, "lane ({pid},{tid}) has {depth} unclosed span(s)");
+        }
+        let mut lines: Vec<String> =
+            Vec::with_capacity(self.processes.len() + self.threads.len() + self.events.len());
+        for (pid, name) in &self.processes {
+            lines.push(format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                crate::escape_json(name)
+            ));
+        }
+        for (&(pid, tid), name) in &self.threads {
+            lines.push(format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                crate::escape_json(name)
+            ));
+        }
+        // Stable sort: lanes ordered by (pid, tid), recording order kept
+        // within each lane — per-lane timestamps are monotone by
+        // construction, so the exported order is too.
+        let mut order: Vec<usize> = (0..self.events.len()).collect();
+        order.sort_by_key(|&i| (self.events[i].pid, self.events[i].tid));
+        for i in order {
+            let e = &self.events[i];
+            lines.push(match &e.kind {
+                Kind::Begin => {
+                    let args = if e.args.is_empty() {
+                        String::new()
+                    } else {
+                        let rendered: Vec<String> = e
+                            .args
+                            .iter()
+                            .map(|(k, v)| format!("\"{}\":{}", crate::escape_json(k), v.render()))
+                            .collect();
+                        format!(",\"args\":{{{}}}", rendered.join(","))
+                    };
+                    format!(
+                        "{{\"ph\":\"B\",\"pid\":{},\"tid\":{},\"ts\":{},\"cat\":\"{}\",\
+                         \"name\":\"{}\"{args}}}",
+                        e.pid,
+                        e.tid,
+                        e.ts,
+                        crate::escape_json(&e.cat),
+                        crate::escape_json(&e.name),
+                    )
+                }
+                Kind::End => {
+                    format!("{{\"ph\":\"E\",\"pid\":{},\"tid\":{},\"ts\":{}}}", e.pid, e.tid, e.ts)
+                }
+                Kind::Counter(series) => {
+                    let rendered: Vec<String> = series
+                        .iter()
+                        .map(|(k, v)| {
+                            format!("\"{}\":{}", crate::escape_json(k), crate::format_f64(*v))
+                        })
+                        .collect();
+                    format!(
+                        "{{\"ph\":\"C\",\"pid\":{},\"tid\":{},\"ts\":{},\"name\":\"{}\",\
+                         \"args\":{{{}}}}}",
+                        e.pid,
+                        e.tid,
+                        e.ts,
+                        crate::escape_json(&e.name),
+                        rendered.join(","),
+                    )
+                }
+            });
+        }
+        let mut out = String::from(
+            "{\"displayTimeUnit\": \"ns\",\n\"otherData\": {\"ts_unit\": \"simulated_ps\"},\n\
+             \"traceEvents\": [\n",
+        );
+        out.push_str(&lines.join(",\n"));
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_export_in_lane_order() {
+        let mut t = Tracer::new();
+        t.set_process_name(1, "run");
+        t.set_thread_name(1, 2, "lane");
+        // Record the high lane first: export must still order by tid.
+        t.begin_span(1, 9, "late-lane", "x", 0, vec![]);
+        t.end_span(1, 9, 5);
+        t.begin_span(1, 2, "outer", "stage", 0, vec![("rows".into(), Arg::Int(4))]);
+        t.begin_span(1, 2, "inner", "phase", 1, vec![]);
+        t.end_span(1, 2, 3);
+        t.end_span(1, 2, 7);
+        let json = t.export();
+        let outer = json.find("\"outer\"").unwrap();
+        let inner = json.find("\"inner\"").unwrap();
+        let late = json.find("\"late-lane\"").unwrap();
+        assert!(outer < inner, "outer B precedes inner B");
+        assert!(inner < late, "tid 2 lane precedes tid 9 lane");
+        assert!(json.contains("\"args\":{\"rows\":4}"));
+        assert!(json.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn counters_render_sorted_series() {
+        let mut t = Tracer::new();
+        t.counter(0, 0, "dram", 10, &[("read", 64.0), ("write", 32.0)]);
+        let json = t.export();
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"read\":64.0,\"write\":32.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn non_monotone_lane_panics() {
+        let mut t = Tracer::new();
+        t.begin_span(0, 0, "a", "x", 10, vec![]);
+        t.end_span(0, 0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed span")]
+    fn export_rejects_open_spans() {
+        let mut t = Tracer::new();
+        t.begin_span(0, 0, "a", "x", 0, vec![]);
+        let _ = t.export();
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let build = || {
+            let mut t = Tracer::new();
+            t.set_process_name(0, "p");
+            t.begin_span(0, 1, "s", "c", 2, vec![("v".into(), Arg::Float(0.5))]);
+            t.end_span(0, 1, 9);
+            t.counter(0, 3, "q", 4, &[("d", 1.0)]);
+            t.export()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -31,6 +31,7 @@ use std::sync::{Arc, Mutex};
 
 use mondrian_core::{ExperimentBuilder, KeyDist, PartitionSpec, Report, SystemConfig, SystemKind};
 use mondrian_noc::{MeshStats, SerDesStats};
+use mondrian_obs::{ProgressEvent, ProgressSink};
 use mondrian_sim::Time;
 use mondrian_workloads::{uniform_relation, zipfian_relation, Tuple};
 
@@ -167,6 +168,26 @@ impl Pipeline {
     ///
     /// Panics if the plan is invalid (see [`Pipeline::validate`]).
     pub fn run_cached(&self, cfg: &PipelineConfig, cache: &ExecCache) -> PipelineReport {
+        self.run_observed(cfg, cache, "", &())
+    }
+
+    /// Like [`Pipeline::run_cached`], additionally streaming
+    /// [`ProgressEvent`]s to `sink` as the run executes, tagged with
+    /// `label`. Stage events fire from the serial reference pass in
+    /// stage order; wave events fire from the schedulers in wave order.
+    /// Purely observational: the report is byte-identical to an
+    /// unobserved run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is invalid (see [`Pipeline::validate`]).
+    pub fn run_observed(
+        &self,
+        cfg: &PipelineConfig,
+        cache: &ExecCache,
+        label: &str,
+        sink: &dyn ProgressSink,
+    ) -> PipelineReport {
         self.validate().expect("invalid pipeline");
         let dag = self.dag();
         let source: Rel = cfg.source_relation().into();
@@ -181,6 +202,10 @@ impl Pipeline {
         let mut outputs: Vec<Rel> = Vec::new();
         let mut serial: Vec<StageRun> = Vec::new();
         for (i, stage) in self.stages.iter().enumerate() {
+            sink.emit(
+                label,
+                &ProgressEvent::StageStarted { stage: i, op: stage.name().to_string() },
+            );
             let inputs = resolve_inputs(stage, i, &source, &outputs);
             let build = resolve_build(&stage.spec, &outputs);
             let run = if cfg.threads > 1 {
@@ -209,17 +234,27 @@ impl Pipeline {
                 run.reference_ok = run.projected[..] == expected[..];
                 run
             };
+            sink.emit(
+                label,
+                &ProgressEvent::StageFinished {
+                    stage: i,
+                    op: stage.name().to_string(),
+                    output_rows: run.projected.len(),
+                    runtime_ps: run.report.runtime_ps,
+                },
+            );
             outputs.push(run.projected.clone());
             serial.push(run);
         }
 
+        let obs = Observer { label, sink };
         match cfg.concurrency {
             Concurrency::Serial => self.assemble_serial(cfg, &dag, source.len(), serial, outputs),
             Concurrency::Branch => {
-                self.run_branches(cfg, &dag, source.len(), &source, serial, outputs)
+                self.run_branches(cfg, &dag, source.len(), &source, serial, outputs, obs)
             }
             Concurrency::Stream => {
-                self.run_stream(cfg, &dag, source.len(), &source, serial, outputs)
+                self.run_stream(cfg, &dag, source.len(), &source, serial, outputs, obs)
             }
         }
     }
@@ -294,6 +329,7 @@ impl Pipeline {
         outputs: &[Rel],
         chosen: &mut [Option<StageRun>],
         matches: &mut [bool],
+        obs: Observer<'_>,
     ) -> Vec<WaveExec> {
         let base = cfg.system_config();
         let total_vaults = base.total_vaults();
@@ -314,6 +350,11 @@ impl Pipeline {
                 // Singleton wave, or more tenants than vaults: the serial
                 // schedule is the only schedule.
                 let report = serial_wave(w, wave_branches, dag, serial, total_vaults);
+                obs.emit(&ProgressEvent::WaveCompleted {
+                    wave: w,
+                    concurrent: false,
+                    runtime_ps: report.runtime_ps,
+                });
                 execs.push(WaveExec { report, leases: None });
                 continue;
             };
@@ -429,6 +470,7 @@ impl Pipeline {
             }
             mark_critical(&mut branches);
             let charged = if concurrent { concurrent_time } else { serial_sum };
+            obs.emit(&ProgressEvent::WaveCompleted { wave: w, concurrent, runtime_ps: charged });
             execs.push(WaveExec {
                 report: WaveReport {
                     wave: w,
@@ -455,6 +497,7 @@ impl Pipeline {
 
     /// The branch scheduler: branch-mode wave execution, assembled as the
     /// charged schedule.
+    #[allow(clippy::too_many_arguments)]
     fn run_branches(
         &self,
         cfg: &PipelineConfig,
@@ -463,11 +506,13 @@ impl Pipeline {
         source: &Rel,
         serial: Vec<StageRun>,
         outputs: Vec<Rel>,
+        obs: Observer<'_>,
     ) -> PipelineReport {
         let n = self.stages.len();
         let mut chosen: Vec<Option<StageRun>> = (0..n).map(|_| None).collect();
         let mut matches = vec![true; n];
-        let execs = self.exec_waves(cfg, dag, source, &serial, &outputs, &mut chosen, &mut matches);
+        let execs =
+            self.exec_waves(cfg, dag, source, &serial, &outputs, &mut chosen, &mut matches, obs);
         let concurrent: Vec<bool> = chosen.iter().map(Option::is_some).collect();
         let assembly = Assembly {
             mode: Concurrency::Branch,
@@ -497,6 +542,7 @@ impl Pipeline {
     /// functional contract stays independent of the timing model: every
     /// streamed run's projected output must be byte-identical to the
     /// serial reference pass, charged or not.
+    #[allow(clippy::too_many_arguments)]
     fn run_stream(
         &self,
         cfg: &PipelineConfig,
@@ -505,11 +551,13 @@ impl Pipeline {
         source: &Rel,
         serial: Vec<StageRun>,
         outputs: Vec<Rel>,
+        obs: Observer<'_>,
     ) -> PipelineReport {
         let n = self.stages.len();
         let mut chosen: Vec<Option<StageRun>> = (0..n).map(|_| None).collect();
         let mut matches = vec![true; n];
-        let execs = self.exec_waves(cfg, dag, source, &serial, &outputs, &mut chosen, &mut matches);
+        let execs =
+            self.exec_waves(cfg, dag, source, &serial, &outputs, &mut chosen, &mut matches, obs);
         let concurrent: Vec<bool> = chosen.iter().map(Option::is_some).collect();
         let base = cfg.system_config();
 
@@ -776,6 +824,20 @@ impl Pipeline {
             },
             output: assembly.outputs.into_iter().next_back().expect("validated non-empty").to_vec(),
         }
+    }
+}
+
+/// The run label and progress sink the schedulers report through.
+/// Observation only — nothing the sink does can influence the report.
+#[derive(Clone, Copy)]
+struct Observer<'a> {
+    label: &'a str,
+    sink: &'a dyn ProgressSink,
+}
+
+impl Observer<'_> {
+    fn emit(&self, event: &ProgressEvent) {
+        self.sink.emit(self.label, event);
     }
 }
 

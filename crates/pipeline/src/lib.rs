@@ -56,11 +56,13 @@
 #![warn(missing_docs)]
 
 mod exec;
+mod observe;
 mod report;
 mod schedule;
 mod stage;
 
 pub use exec::{ExecCache, Pipeline, PipelineConfig};
+pub use observe::{run_metrics, trace_run};
 pub use report::{
     relation_digest, BranchSchedule, FusedEdge, PipelineReport, ScheduleReport, StageOutcome,
     WaveReport,

@@ -213,6 +213,12 @@ impl PipelineReport {
         self.stages.iter().map(|s| s.report.instructions).sum()
     }
 
+    /// Discrete engine events processed across all charged stage runs
+    /// (vault ticks excluded — see `PhaseOutcome::events`).
+    pub fn events(&self) -> u64 {
+        self.stages.iter().flat_map(|s| &s.report.phases).map(|p| p.events).sum()
+    }
+
     /// Total energy across all stages, in joules.
     pub fn energy_j(&self) -> f64 {
         self.stages.iter().map(|s| s.report.energy.total_j()).sum()
