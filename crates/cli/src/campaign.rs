@@ -14,7 +14,6 @@
 //!   each shared stage-prefix's semantics once.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -23,6 +22,7 @@ use mondrian_obs::{Counters, Metric, ProgressEvent, ProgressSink};
 use mondrian_pipeline::{
     run_metrics, BuildSide, ExecCache, PipelineReport, Stage, StageInput, StageSpec, WaveReport,
 };
+use mondrian_sim::StealQueue;
 
 use crate::manifest::{Manifest, RunSpec};
 use crate::value::Value;
@@ -191,17 +191,26 @@ pub fn run_campaign_sink<F: FnMut(&CampaignRun)>(
 
     // Parallel pre-pass over the owners; with one job the owners simulate
     // lazily inside the assembly loop instead, so progress streams.
+    // Owners are dealt round-robin onto per-worker deques and idle
+    // workers steal from the tails, so one long-running sweep point
+    // cannot strand the rest of the ladder behind it. Scheduling is
+    // nondeterministic; results are collected by sweep position, so the
+    // artifact is not.
     let mut results: Vec<Option<(PipelineReport, f64)>> = (0..specs.len()).map(|_| None).collect();
     if jobs > 1 && unique.len() > 1 {
-        let cursor = AtomicUsize::new(0);
+        let workers = jobs.min(unique.len());
+        let queue = StealQueue::seed(unique.iter().copied(), workers);
         let slots = Mutex::new(&mut results);
         std::thread::scope(|scope| {
-            for _ in 0..jobs.min(unique.len()) {
-                scope.spawn(|| loop {
-                    let k = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&i) = unique.get(k) else { break };
-                    let out = run_one(i);
-                    slots.lock().expect("worker panicked")[i] = Some(out);
+            for w in 0..workers {
+                let queue = &queue;
+                let slots = &slots;
+                let run_one = &run_one;
+                scope.spawn(move || {
+                    while let Some(i) = queue.pop(w) {
+                        let out = run_one(i);
+                        slots.lock().expect("worker panicked")[i] = Some(out);
+                    }
                 });
             }
         });

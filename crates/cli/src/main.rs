@@ -2,10 +2,12 @@
 //!
 //! ```text
 //! mondrian run <manifest.(toml|json)> [--out result.json] [--quiet]
-//!              [--concurrency serial|branch|stream] [--jobs N] [--timings]
+//!              [--concurrency serial|branch|stream] [--jobs N]
+//!              [--sim-threads N] [--timings]
 //! mondrian bench <manifest.(toml|json)> [--out BENCH_sweep.json]
 //!                [--history BENCH_history.jsonl|none]
 //!                [--jobs-list 1,2,4] [--repeat N]
+//!                [--engine] [--sim-threads-list 1,2,4]
 //! mondrian explain <manifest.(toml|json)>
 //! mondrian diff <a/result.json> <b/result.json> [--fail-on-regression <pct>]
 //! mondrian list-systems
@@ -19,7 +21,7 @@
 
 use std::process::ExitCode;
 
-use mondrian_cli::bench::bench;
+use mondrian_cli::bench::{bench, bench_engine, host_cores};
 use mondrian_cli::campaign::{resolve_jobs, run_campaign_sink, run_line};
 use mondrian_cli::diff::diff;
 use mondrian_cli::manifest::{Format, Manifest};
@@ -33,14 +35,18 @@ the Mondrian Data Engine campaign runner
 
 usage:
   mondrian run <manifest.(toml|json)> [--out <path>] [--quiet]
-               [--concurrency serial|branch|stream] [--jobs N] [--timings]
-               [--trace <path>] [--progress jsonl]
+               [--concurrency serial|branch|stream] [--jobs N]
+               [--sim-threads N] [--timings] [--trace <path>]
+               [--progress jsonl]
       run every (system x sweep) combination of the manifest's pipeline,
       print a summary, and write the result artifact (default: result.json);
       --concurrency overrides the manifest's scheduling knob; --jobs sets
       the worker-thread count (precedence: --jobs, MONDRIAN_JOBS, the
       manifest's jobs knob, all host cores) and never changes the
       artifact, which stays byte-identical for every worker count;
+      --sim-threads parallelizes each run's engine event loop (batched
+      vault ticks + tail drain) on N host threads — execution speed
+      only, the artifact stays byte-identical;
       --timings adds metrics.host.sim_wall_ms to each run (the one
       nondeterministic subtree, excluded from digests and ignored by
       mondrian diff); --trace writes a Chrome trace-event JSON timeline
@@ -53,11 +59,17 @@ usage:
       scheduler-queue depth histogram
   mondrian bench <manifest.(toml|json)> [--out <path>] [--history <path>|none]
                  [--jobs-list 1,2,4] [--repeat N]
+                 [--engine] [--sim-threads-list 1,2,4]
       run the campaign once per jobs value, check every artifact is
       byte-identical to the single-worker baseline, write the wall-clock
       sweep (default: BENCH_sweep.json), and append one JSONL trend line
       (commit, host_cores, sim_wall_ms ladder) to the history file
-      (default: BENCH_history.jsonl; --history none to skip)
+      (default: BENCH_history.jsonl; --history none to skip);
+      --engine instead ladders the engine event loop: one campaign per
+      (sim_threads x jobs) point from --sim-threads-list x --jobs-list,
+      reporting events/sec per point and a determinism fingerprint
+      (digest of every point's artifact digest) that must be a single
+      value across the whole ladder
   mondrian explain <manifest.(toml|json)>
       show the parsed campaign, the Table 1 lowering of every stage, the
       branch-wave schedule of the plan DAG, and the full sweep cross
@@ -123,6 +135,7 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     let mut progress_jsonl = false;
     let mut concurrency: Option<Concurrency> = None;
     let mut jobs_flag: Option<usize> = None;
+    let mut sim_threads_flag: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -142,6 +155,14 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
                 let n = it.next().ok_or("--jobs needs a worker count")?;
                 // Zero is rejected by resolve_jobs, the single validator.
                 jobs_flag = Some(n.parse().map_err(|_| format!("bad worker count {n:?}"))?);
+            }
+            "--sim-threads" => {
+                let n = it.next().ok_or("--sim-threads needs a thread count")?;
+                let n: usize = n.parse().map_err(|_| format!("bad engine thread count {n:?}"))?;
+                if n == 0 {
+                    return Err("--sim-threads must be at least 1".into());
+                }
+                sim_threads_flag = Some(n);
             }
             "--concurrency" => {
                 concurrency = Some(match it.next().map(String::as_str) {
@@ -165,12 +186,15 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     }
     let path = manifest_path.ok_or(
         "usage: mondrian run <manifest> [--out <path>] [--quiet] \
-         [--concurrency serial|branch|stream] [--jobs N] [--timings] \
-         [--trace <path>] [--progress jsonl]",
+         [--concurrency serial|branch|stream] [--jobs N] [--sim-threads N] \
+         [--timings] [--trace <path>] [--progress jsonl]",
     )?;
     let mut manifest = load_manifest(path)?;
     if let Some(c) = concurrency {
         manifest.concurrency = c;
+    }
+    if sim_threads_flag.is_some() {
+        manifest.sim_threads = sim_threads_flag;
     }
     let jobs = resolve_jobs(jobs_flag, manifest.jobs)?;
 
@@ -237,7 +261,22 @@ fn cmd_bench(args: &[String]) -> Result<bool, String> {
     let mut out_path = "BENCH_sweep.json".to_string();
     let mut history_path: Option<String> = Some("BENCH_history.jsonl".to_string());
     let mut jobs_list: Vec<usize> = vec![1, 2, 4];
+    let mut sim_threads_list: Vec<usize> = vec![1, 2, 4];
+    let mut engine = false;
     let mut repeat = 1usize;
+    let parse_list = |flag: &str, list: &str| -> Result<Vec<usize>, String> {
+        let out: Vec<usize> = list
+            .split(',')
+            .map(|v| match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(format!("bad value {v:?} in {flag}")),
+            })
+            .collect::<Result<_, _>>()?;
+        if out.is_empty() {
+            return Err(format!("{flag} is empty"));
+        }
+        Ok(out)
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -249,18 +288,14 @@ fn cmd_bench(args: &[String]) -> Result<bool, String> {
                 let path = it.next().ok_or("--history needs a path (or \"none\")")?.clone();
                 history_path = if path == "none" { None } else { Some(path) };
             }
+            "--engine" => engine = true,
             "--jobs-list" => {
                 let list = it.next().ok_or("--jobs-list needs e.g. 1,2,4")?;
-                jobs_list = list
-                    .split(',')
-                    .map(|v| match v.trim().parse::<usize>() {
-                        Ok(n) if n >= 1 => Ok(n),
-                        _ => Err(format!("bad jobs value {v:?} in --jobs-list")),
-                    })
-                    .collect::<Result<_, _>>()?;
-                if jobs_list.is_empty() {
-                    return Err("--jobs-list is empty".into());
-                }
+                jobs_list = parse_list("--jobs-list", list)?;
+            }
+            "--sim-threads-list" => {
+                let list = it.next().ok_or("--sim-threads-list needs e.g. 1,2,4")?;
+                sim_threads_list = parse_list("--sim-threads-list", list)?;
             }
             "--repeat" => {
                 let n = it.next().ok_or("--repeat needs a count")?;
@@ -279,28 +314,34 @@ fn cmd_bench(args: &[String]) -> Result<bool, String> {
     }
     let path = manifest_path.ok_or(
         "usage: mondrian bench <manifest> [--out <path>] [--history <path>|none] \
-         [--jobs-list 1,2,4] [--repeat N]",
+         [--jobs-list 1,2,4] [--repeat N] [--engine] [--sim-threads-list 1,2,4]",
     )?;
     let manifest = load_manifest(path)?;
-    let report = bench(&manifest, &jobs_list, repeat);
-    print!("{}", report.human_summary());
-    std::fs::write(&out_path, report.to_json())
-        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    let (summary, json, history_line, ok) = if engine {
+        let report = bench_engine(&manifest, &sim_threads_list, &jobs_list, repeat);
+        let line = report.history_line(&current_commit());
+        (report.human_summary(), report.to_json(), line, report.ok())
+    } else {
+        let report = bench(&manifest, &jobs_list, repeat);
+        let line = report.history_line(&current_commit());
+        (report.human_summary(), report.to_json(), line, report.ok())
+    };
+    print!("{summary}");
+    std::fs::write(&out_path, json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
     println!("wrote {out_path}");
     if let Some(history) = history_path {
         // The sweep file is a snapshot; the history file accumulates one
         // line per bench run, so trends survive across commits.
-        let line = report.history_line(&current_commit());
         use std::io::Write;
         std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(&history)
-            .and_then(|mut f| writeln!(f, "{line}"))
+            .and_then(|mut f| writeln!(f, "{history_line}"))
             .map_err(|e| format!("cannot append to {history}: {e}"))?;
         println!("appended {history}");
     }
-    Ok(report.ok())
+    Ok(ok)
 }
 
 /// The commit the benchmark ran on: `GITHUB_SHA` in CI, the local git
@@ -448,7 +489,7 @@ fn cmd_diff(args: &[String]) -> Result<bool, String> {
     };
     let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
     let report = diff(&read(a)?, &read(b)?)?;
-    print!("{}", report.render());
+    print!("{}", report.render_with_host(host_cores()));
     if report.rows.is_empty() {
         return Err("no matched runs between the two artifacts".into());
     }

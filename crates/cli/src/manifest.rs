@@ -17,6 +17,9 @@
 //! concurrency = "serial"        # "serial" | "branch" | "stream"; default serial
 //! jobs = 4                      # worker threads; default all host cores
 //!                               # (overridden by MONDRIAN_JOBS / --jobs)
+//! sim_threads = 2               # engine event-loop threads per run;
+//!                               # default follows the per-run thread
+//!                               # budget (overridden by --sim-threads)
 //!
 //! [sweep]                       # optional; lists override the scalars
 //! tuples_per_vault = [256, 512]
@@ -145,6 +148,10 @@ pub struct Manifest {
     /// `MONDRIAN_JOBS` environment variable, else every host core).
     /// Execution speed only — results are byte-identical for every value.
     pub jobs: Option<usize>,
+    /// Host threads for each run's engine event loop (`None` = follow
+    /// the executor's per-run thread budget). Execution speed only —
+    /// results are byte-identical for every value.
+    pub sim_threads: Option<usize>,
     /// The pipeline stages.
     pub stages: Vec<Stage>,
 }
@@ -240,6 +247,10 @@ impl Manifest {
         if jobs == Some(0) {
             return Err("campaign.jobs must be at least 1".into());
         }
+        let sim_threads = get_usize(campaign, "campaign.sim_threads", "sim_threads")?;
+        if sim_threads == Some(0) {
+            return Err("campaign.sim_threads must be at least 1".into());
+        }
 
         let mut tuples_per_vault = vec![tpv_scalar];
         let mut seeds = vec![seed_scalar];
@@ -314,6 +325,7 @@ impl Manifest {
             key_bound,
             concurrency,
             jobs,
+            sim_threads,
             stages,
         };
         manifest.pipeline().validate()?;
@@ -368,6 +380,7 @@ impl Manifest {
         cfg.key_bound = self.key_bound;
         cfg.underprovision = run.underprovision;
         cfg.concurrency = self.concurrency;
+        cfg.sim_threads = self.sim_threads.unwrap_or(0);
         cfg
     }
 }
@@ -536,6 +549,7 @@ mod tests {
         assert_eq!(m.topologies, vec![true]);
         assert_eq!(m.underprovision, vec![None]);
         assert_eq!(m.concurrency, Concurrency::Serial);
+        assert_eq!(m.sim_threads, None);
         assert_eq!(m.stages.len(), 3);
         assert_eq!(m.stages[0].spec, StageSpec::Filter { modulus: 10, remainder: 0 });
         assert_eq!(m.stages[0].inputs, vec![StageInput::Prev]);
@@ -643,6 +657,23 @@ mod tests {
         let m = Manifest::parse(&text, Format::Toml).unwrap();
         assert_eq!(m.concurrency, Concurrency::Stream);
         assert_eq!(m.config_for(m.runs()[0]).concurrency, Concurrency::Stream);
+    }
+
+    #[test]
+    fn sim_threads_knob_parses_and_reaches_config() {
+        let text = MINIMAL
+            .replace("systems = [\"mondrian\"]", "systems = [\"mondrian\"]\nsim_threads = 4");
+        let m = Manifest::parse(&text, Format::Toml).unwrap();
+        assert_eq!(m.sim_threads, Some(4));
+        assert_eq!(m.config_for(m.runs()[0]).sim_threads, 4);
+        // Absent, the config keeps the follow-the-executor default.
+        let default = Manifest::parse(MINIMAL, Format::Toml).unwrap();
+        assert_eq!(default.config_for(default.runs()[0]).sim_threads, 0);
+        let zero = MINIMAL
+            .replace("systems = [\"mondrian\"]", "systems = [\"mondrian\"]\nsim_threads = 0");
+        assert!(Manifest::parse(&zero, Format::Toml)
+            .unwrap_err()
+            .contains("sim_threads must be at least 1"));
     }
 
     #[test]

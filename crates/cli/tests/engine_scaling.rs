@@ -1,0 +1,107 @@
+//! Determinism of the parallel engine event loop: the campaign artifact
+//! must be byte-identical for every `sim_threads` value, every scheduling
+//! mode and every system shape.
+//!
+//! The engine parallelizes *within* one simulated machine — batches of
+//! simultaneous vault ticks poll on a worker pool and the phase tail
+//! drains as a parallel sweep — so this is the property with the most
+//! room for nondeterminism to leak: thread scheduling touches the event
+//! loop itself, not just the sweep executor around it. The property
+//! sweeps `sim_threads` ∈ {2, 4, 8} × {serial, branch, stream} × four
+//! representative systems against cached serial baselines.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use mondrian_cli::campaign::run_campaign_jobs;
+use mondrian_cli::manifest::{Format, Manifest};
+use proptest::prelude::*;
+
+fn manifest_text(system: &str, concurrency: &str) -> String {
+    format!(
+        r#"
+        [campaign]
+        name = "engine-scaling"
+        systems = ["{system}"]
+        tuples_per_vault = 32
+        concurrency = "{concurrency}"
+
+        [[stage]]
+        op = "filter"
+        modulus = 3
+        remainder = 1
+
+        [[stage]]
+        op = "group_by_key"
+
+        [[stage]]
+        op = "sort_by_key"
+    "#
+    )
+}
+
+fn artifact(system: &str, concurrency: &str, sim_threads: usize) -> String {
+    let text = manifest_text(system, concurrency);
+    let mut manifest = Manifest::parse(&text, Format::Toml).unwrap();
+    manifest.sim_threads = Some(sim_threads);
+    let campaign = run_campaign_jobs(&manifest, 1, |_| {});
+    assert!(campaign.verified(), "{system}/{concurrency} x{sim_threads} failed verification");
+    campaign.to_json()
+}
+
+/// Serial (`sim_threads = 1`) baselines, computed once per
+/// `(system, concurrency)` across all property cases.
+fn baseline(system: &str, concurrency: &str) -> String {
+    static BASELINES: OnceLock<Mutex<HashMap<(String, String), String>>> = OnceLock::new();
+    let cache = BASELINES.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (system.to_string(), concurrency.to_string());
+    if let Some(hit) = cache.lock().unwrap().get(&key) {
+        return hit.clone();
+    }
+    let fresh = artifact(system, concurrency, 1);
+    cache.lock().unwrap().insert(key, fresh.clone());
+    fresh
+}
+
+const SYSTEMS: [&str; 4] = ["cpu", "nmp-rand", "mondrian-noperm", "mondrian"];
+const MODES: [&str; 3] = ["serial", "branch", "stream"];
+
+proptest! {
+    /// For every sampled `(system, mode, sim_threads)` point, the whole
+    /// campaign artifact — digests, timings, schema-5 metrics counters,
+    /// `engine.events` — is byte-identical to the serial event loop's.
+    #[test]
+    fn artifacts_are_byte_identical_across_sim_threads(
+        params in (0usize..4, 0usize..3, 0usize..3)
+    ) {
+        let (sys, mode, tier) = params;
+        let system = SYSTEMS[sys];
+        let concurrency = MODES[mode];
+        let sim_threads = [2, 4, 8][tier];
+        prop_assert_eq!(
+            artifact(system, concurrency, sim_threads),
+            baseline(system, concurrency),
+            "artifact diverged: {}/{} at sim_threads={}",
+            system, concurrency, sim_threads
+        );
+    }
+}
+
+/// The full grid, exhaustively: every system × mode × sim_threads ∈
+/// {1, 2, 4, 8} pair of artifacts matches (the proptest above samples the
+/// same space; this pins the corners regardless of case generation).
+#[test]
+fn full_grid_matches_serial_baseline() {
+    for system in SYSTEMS {
+        for concurrency in MODES {
+            let base = baseline(system, concurrency);
+            for sim_threads in [2usize, 8] {
+                assert_eq!(
+                    artifact(system, concurrency, sim_threads),
+                    base,
+                    "artifact diverged: {system}/{concurrency} at sim_threads={sim_threads}"
+                );
+            }
+        }
+    }
+}

@@ -183,9 +183,12 @@ pub struct SystemConfig {
     /// of a larger machine rather than a whole machine (multi-tenancy).
     pub partition: Option<PartitionSpec>,
     /// Host OS threads the simulator may use to evolve independent vault
-    /// command queues in parallel (the phase tail drain, where vaults no
-    /// longer interact through the mesh). Purely a simulation-speed knob:
-    /// results are byte-identical for every value. 1 = fully serial.
+    /// command queues in parallel: batches of simultaneous vault ticks
+    /// inside the event loop poll concurrently (continuations still merge
+    /// in serial pop order), and the phase tail — where vaults no longer
+    /// interact through the mesh — drains fully parallel. Purely a
+    /// simulation-speed knob: results are byte-identical for every value.
+    /// 1 = fully serial.
     pub sim_threads: usize,
 }
 

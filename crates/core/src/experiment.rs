@@ -171,9 +171,11 @@ impl ExperimentBuilder {
         self
     }
 
-    /// Lets the simulator drain independent vault command queues on up to
-    /// `n` host threads (the phase tail drain). Simulation-speed only:
-    /// the report is byte-identical for every value.
+    /// Lets the simulator execute independent vault work on up to `n`
+    /// host threads: batches of simultaneous vault ticks poll in parallel
+    /// throughout the phase, and the memory-drain tail runs as a parallel
+    /// sweep. Simulation-speed only: continuations merge in the serial
+    /// event order, so the report is byte-identical for every value.
     pub fn sim_threads(mut self, n: usize) -> Self {
         self.cfg.sim_threads = n.max(1);
         self
@@ -1898,31 +1900,44 @@ mod tests {
         assert!(report.mesh_totals.messages > 0, "scan traffic crosses the partition mesh");
     }
 
-    /// The determinism contract of the parallel vault drain: a
-    /// shuffle-heavy operator simulated with 4 drain threads must report
-    /// the exact same machine — time, instructions, energy and every
-    /// hardware counter — as the serial simulation.
+    /// The determinism contract of the parallel event loop: a
+    /// shuffle-heavy operator simulated with batched parallel vault ticks
+    /// must report the exact same machine — time, instructions, energy and
+    /// every hardware counter — as the serial simulation, on every system
+    /// shape (CPU with its LLC, NMP without one, Mondrian with permutable
+    /// shuffles).
     #[test]
     fn sim_threads_do_not_change_results() {
-        let run = |threads: usize| {
-            ExperimentBuilder::new(OperatorKind::GroupBy)
-                .system(SystemKind::Mondrian)
-                .tiny()
-                .tuples_per_vault(128)
-                .sim_threads(threads)
-                .run()
-        };
-        let serial = run(1);
-        let parallel = run(4);
-        assert!(serial.verified && parallel.verified);
-        assert_eq!(serial.runtime_ps, parallel.runtime_ps);
-        assert_eq!(serial.instructions, parallel.instructions);
-        assert_eq!(serial.stats, parallel.stats, "hardware counters diverged");
-        assert_eq!(serial.energy.total_j(), parallel.energy.total_j());
-        assert_eq!(
-            serial.phases.iter().map(|p| (p.start, p.end)).collect::<Vec<_>>(),
-            parallel.phases.iter().map(|p| (p.start, p.end)).collect::<Vec<_>>(),
-        );
+        for (system, op) in [
+            (SystemKind::Mondrian, OperatorKind::GroupBy),
+            (SystemKind::NmpRand, OperatorKind::Join),
+            (SystemKind::Cpu, OperatorKind::Sort),
+        ] {
+            let run = |threads: usize| {
+                ExperimentBuilder::new(op)
+                    .system(system)
+                    .tiny()
+                    .tuples_per_vault(128)
+                    .sim_threads(threads)
+                    .run()
+            };
+            let serial = run(1);
+            for threads in [2, 4, 8] {
+                let parallel = run(threads);
+                assert!(serial.verified && parallel.verified);
+                assert_eq!(serial.runtime_ps, parallel.runtime_ps, "{system:?}/{op:?}");
+                assert_eq!(serial.instructions, parallel.instructions, "{system:?}/{op:?}");
+                assert_eq!(
+                    serial.stats, parallel.stats,
+                    "hardware counters diverged: {system:?}/{op:?} x{threads}"
+                );
+                assert_eq!(serial.energy.total_j(), parallel.energy.total_j());
+                assert_eq!(
+                    serial.phases.iter().map(|p| (p.start, p.end)).collect::<Vec<_>>(),
+                    parallel.phases.iter().map(|p| (p.start, p.end)).collect::<Vec<_>>(),
+                );
+            }
+        }
     }
 
     /// The streamed-input contract: chunked arrival changes the phase

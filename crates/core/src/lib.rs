@@ -10,6 +10,9 @@
 //! * [`system`] — the machine model: cores, caches, meshes, SerDes links
 //!   and vault controllers in one deterministic event loop, including the
 //!   permutability handshake (`shuffle_begin`/`shuffle_end`, §5.3–§5.4),
+//! * [`pool`] — the persistent worker pool behind the deterministic
+//!   parallel event loop (`sim_threads`): simultaneous vault ticks poll
+//!   concurrently, continuations merge in serial pop order,
 //! * [`experiment`] — the end-to-end driver running Scan/Sort/Group-by/Join
 //!   on any system and verifying results against reference implementations.
 //!
@@ -33,6 +36,7 @@ pub mod config;
 pub mod experiment;
 pub mod layout;
 mod opexec;
+pub mod pool;
 pub mod system;
 
 pub use config::{PartitionSpec, SystemConfig, SystemKind};

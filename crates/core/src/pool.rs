@@ -1,0 +1,240 @@
+//! A persistent worker pool that polls batches of vault controllers in
+//! parallel.
+//!
+//! The event loop in [`crate::system::Machine::run_phase`] frequently pops
+//! a run of simultaneous `VaultTick` events — one per vault with DRAM work
+//! due at the same picosecond. Each tick only mutates its own
+//! [`VaultController`], so the polls of a batch are data-independent and
+//! can execute concurrently; only the *continuations* (mesh routing,
+//! event scheduling) must stay serial. This pool owns the long-lived
+//! worker threads for those polls: spawning scoped threads per batch
+//! would cost tens of microseconds on every one of the thousands of
+//! batches in a phase, while handing a job over a channel to a parked
+//! worker costs well under a microsecond.
+//!
+//! Determinism: the pool only *computes* `poll` results; the caller
+//! merges them in batch order, so thread scheduling can never reorder
+//! anything observable.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use mondrian_mem::{DramCompletion, VaultController};
+use mondrian_sim::Time;
+
+/// One poll job: advance the vault at `vault` to `time`, writing its due
+/// completions into `out`.
+///
+/// The raw pointers make the job `Send`; soundness is the pool's
+/// contract — see [`TickPool::poll_batch`].
+struct Job {
+    vault: *mut VaultController,
+    out: *mut Vec<DramCompletion>,
+    time: Time,
+}
+
+// SAFETY: a Job's pointers are only dereferenced by exactly one worker,
+// target disjoint objects across the jobs of a batch (poll_batch asserts
+// distinct vault indices and hands out distinct output slots), and stay
+// valid for the whole batch because poll_batch blocks until every job has
+// reported back before its mutable borrows end.
+unsafe impl Send for Job {}
+
+/// Long-lived poll workers fed over an mpmc-style channel
+/// (`Arc<Mutex<Receiver>>`).
+#[derive(Debug)]
+pub struct TickPool {
+    jobs: Option<Sender<Job>>,
+    done: Receiver<bool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl TickPool {
+    /// Spawns `threads` parked workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let (jobs_tx, jobs_rx) = channel::<Job>();
+        let (done_tx, done_rx) = channel::<bool>();
+        let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+        let workers = (0..threads.max(1))
+            .map(|_| {
+                let jobs_rx = Arc::clone(&jobs_rx);
+                let done_tx = done_tx.clone();
+                std::thread::spawn(move || loop {
+                    // Take the lock only to receive; polling runs unlocked
+                    // so workers overlap.
+                    let job = match jobs_rx.lock() {
+                        Ok(rx) => rx.recv(),
+                        Err(_) => return,
+                    };
+                    let Ok(job) = job else { return };
+                    let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        // SAFETY: see the Send impl — this worker is the
+                        // only dereferencer of these pointers, and they
+                        // outlive the batch.
+                        unsafe { (*job.vault).poll_into(job.time, &mut *job.out) }
+                    }))
+                    .is_ok();
+                    let _ = done_tx.send(ok);
+                })
+            })
+            .collect();
+        Self { jobs: Some(jobs_tx), done: done_rx, workers }
+    }
+
+    /// Polls `vaults[v]` at time `t` for every `(v, t)` of `batch`,
+    /// writing vault `batch[k].0`'s due completions into `outs[k]`
+    /// (cleared first). Blocks until the whole batch has completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the batch names a vault twice, runs past either slice,
+    /// or a worker's poll panicked (the panic is surfaced here).
+    pub fn poll_batch(
+        &self,
+        vaults: &mut [VaultController],
+        batch: &[(u32, Time)],
+        outs: &mut [Vec<DramCompletion>],
+    ) {
+        assert!(outs.len() >= batch.len(), "one output slot per batched tick");
+        debug_assert!(
+            {
+                let mut ids: Vec<u32> = batch.iter().map(|&(v, _)| v).collect();
+                ids.sort_unstable();
+                ids.windows(2).all(|w| w[0] != w[1])
+            },
+            "batched vaults must be distinct"
+        );
+        let jobs = self.jobs.as_ref().expect("pool is live until dropped");
+        for (k, &(v, time)) in batch.iter().enumerate() {
+            let job = Job {
+                vault: &mut vaults[v as usize] as *mut VaultController,
+                out: &mut outs[k] as *mut Vec<DramCompletion>,
+                time,
+            };
+            jobs.send(job).expect("a pool worker exited early");
+        }
+        for _ in 0..batch.len() {
+            let ok = self.done.recv().expect("a pool worker exited early");
+            assert!(ok, "a vault poll panicked on a pool worker");
+        }
+    }
+}
+
+impl Drop for TickPool {
+    fn drop(&mut self) {
+        // Closing the job channel wakes every worker out of recv().
+        self.jobs = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mondrian_mem::{AccessKind, DramRequest, VaultConfig};
+
+    fn loaded_vault(base: u64, reqs: u32) -> VaultController {
+        let cfg = VaultConfig::default();
+        let mut vault = VaultController::new(cfg, base);
+        for i in 0..reqs {
+            let req = DramRequest {
+                id: i as u64,
+                addr: base + (i as u64) * 64,
+                bytes: 64,
+                kind: AccessKind::Read,
+            };
+            vault.enqueue(req, 0).expect("reads cannot overflow");
+        }
+        vault
+    }
+
+    /// The core soundness property: a batch polled on the pool yields,
+    /// slot for slot, exactly what serial polls of the same vaults yield.
+    #[test]
+    fn pool_polls_match_serial_polls() {
+        let cfg = VaultConfig::default();
+        let make = || -> Vec<VaultController> {
+            (0..4).map(|v| loaded_vault(v * cfg.capacity, 8)).collect()
+        };
+        let mut serial = make();
+        let mut pooled = make();
+        let pool = TickPool::new(3);
+        let mut outs: Vec<Vec<DramCompletion>> = vec![Vec::new(); 4];
+        // Walk both copies tick by tick until idle.
+        loop {
+            let batch: Vec<(u32, Time)> = serial
+                .iter()
+                .enumerate()
+                .filter_map(|(v, vault)| vault.next_event_time().map(|t| (v as u32, t)))
+                .collect();
+            if batch.is_empty() {
+                break;
+            }
+            let serial_done: Vec<Vec<DramCompletion>> =
+                batch.iter().map(|&(v, t)| serial[v as usize].poll(t)).collect();
+            pool.poll_batch(&mut pooled, &batch, &mut outs);
+            assert_eq!(&outs[..batch.len()], &serial_done[..]);
+        }
+        assert!(pooled.iter().all(|v| !v.busy()));
+    }
+
+    /// Same-picosecond tie-break: two vaults loaded identically complete
+    /// at the same instant, and the merged completion stream is the batch
+    /// order — `(time, vault, dram id)` — no matter how many workers
+    /// polled or in which order they finished.
+    #[test]
+    fn same_picosecond_completions_merge_in_batch_order() {
+        let cfg = VaultConfig::default();
+        let mut vaults: Vec<VaultController> =
+            (0..2).map(|v| loaded_vault(v * cfg.capacity, 1)).collect();
+        let t0 = vaults[0].next_event_time().expect("loaded");
+        let t1 = vaults[1].next_event_time().expect("loaded");
+        assert_eq!(t0, t1, "identical load must tick at the same picosecond");
+
+        // Drive both vaults to their (shared) completion instant.
+        let pool = TickPool::new(2);
+        let mut outs: Vec<Vec<DramCompletion>> = vec![Vec::new(); 2];
+        let mut merged: Vec<(u32, u64, Time)> = Vec::new();
+        let mut now = t0;
+        for _ in 0..64 {
+            let batch: Vec<(u32, Time)> = vaults
+                .iter()
+                .enumerate()
+                .filter_map(|(v, vault)| {
+                    vault.next_event_time().filter(|&t| t == now).map(|t| (v as u32, t))
+                })
+                .collect();
+            if batch.is_empty() {
+                match vaults.iter().filter_map(VaultController::next_event_time).min() {
+                    Some(t) => {
+                        now = t;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            pool.poll_batch(&mut vaults, &batch, &mut outs);
+            for (k, &(v, t)) in batch.iter().enumerate() {
+                for c in &outs[k] {
+                    merged.push((v, c.id, t.max(c.finish)));
+                }
+            }
+        }
+        assert_eq!(merged.len(), 2, "both vaults complete");
+        assert_eq!(merged[0].2, merged[1].2, "completions land on the same picosecond");
+        // Stable order at the tied instant: vault 0 before vault 1.
+        assert_eq!((merged[0].0, merged[1].0), (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "one output slot per batched tick")]
+    fn missing_output_slots_are_rejected() {
+        let pool = TickPool::new(1);
+        let mut vaults = vec![loaded_vault(0, 1)];
+        let t = vaults[0].next_event_time().unwrap();
+        pool.poll_batch(&mut vaults, &[(0, t)], &mut []);
+    }
+}

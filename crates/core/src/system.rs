@@ -12,11 +12,18 @@ use std::collections::{HashMap, VecDeque};
 
 use mondrian_cache::{Cache, Lookup, NextLinePrefetcher};
 use mondrian_cores::{Core, CoreStatus, Kernel, MemKind, MemRequest, StoreKind};
-use mondrian_mem::{AccessKind, AddressMap, DramRequest, PermutableRegion, VaultController};
+use mondrian_mem::{
+    AccessKind, AddressMap, DramCompletion, DramRequest, PermutableRegion, VaultController,
+};
 use mondrian_noc::{Mesh, MeshStats, SerDesLink, SerDesStats};
 use mondrian_sim::{EventQueue, Stats, Time, PS_PER_NS};
 
 use crate::config::{PartitionSpec, SystemConfig};
+use crate::pool::TickPool;
+
+/// Smallest simultaneous-tick batch worth handing to the worker pool;
+/// below this the channel round-trips cost more than the polls.
+const MIN_PARALLEL_TICKS: usize = 2;
 
 /// Outcome of one executed phase.
 #[derive(Debug, Clone)]
@@ -87,6 +94,48 @@ enum Ev {
     LlcFillDone { line: u64 },
 }
 
+/// Reusable per-phase working state. `run_phase` used to rebuild every one
+/// of these maps, queues and buffers on each phase; operators run many
+/// short phases per stage, so the machine now owns a single copy that is
+/// cleared — capacity retained — at phase entry.
+#[derive(Debug, Default)]
+struct PhaseScratch {
+    pending: Vec<Pending>,
+    vault_ops: HashMap<u64, VaultOp>,
+    vault_tick: Vec<Option<Time>>,
+    l1_waiters: Vec<HashMap<u64, Vec<usize>>>,
+    llc_waiters: HashMap<u64, Vec<(usize, u64)>>,
+    stalls: Vec<VecDeque<usize>>,
+    handle_reqs: VecDeque<(usize, MemRequest)>,
+    out_buf: Vec<MemRequest>,
+    /// The simultaneous-tick batch under assembly: `(vault, time)`.
+    tick_batch: Vec<(u32, Time)>,
+    /// Per-batch-slot completion buffers the tick polls write into.
+    tick_done: Vec<Vec<DramCompletion>>,
+}
+
+impl PhaseScratch {
+    fn reset(&mut self, vaults: usize, units: usize) {
+        self.pending.clear();
+        self.vault_ops.clear();
+        self.vault_tick.clear();
+        self.vault_tick.resize(vaults, None);
+        self.l1_waiters.resize_with(units, HashMap::new);
+        for w in &mut self.l1_waiters {
+            w.clear();
+        }
+        self.llc_waiters.clear();
+        self.stalls.resize_with(units, VecDeque::new);
+        for s in &mut self.stalls {
+            s.clear();
+        }
+        self.handle_reqs.clear();
+        self.out_buf.clear();
+        self.tick_batch.clear();
+        self.tick_done.resize_with(vaults, Vec::new);
+    }
+}
+
 /// One evaluated system's hardware.
 pub struct Machine {
     cfg: SystemConfig,
@@ -106,6 +155,11 @@ pub struct Machine {
     /// Arrival metadata from the last shuffle: per vault, `(core, seq)` in
     /// arrival order.
     perm_arrivals: HashMap<u32, Vec<(usize, u64)>>,
+    /// Reusable per-phase buffers (allocation diet; see [`PhaseScratch`]).
+    scratch: PhaseScratch,
+    /// Lazily spawned worker pool for batched vault ticks; lives for the
+    /// machine's lifetime once the first parallel batch appears.
+    tick_pool: Option<TickPool>,
     stats: Stats,
 }
 
@@ -165,6 +219,8 @@ impl Machine {
             now: 0,
             perm_bases: HashMap::new(),
             perm_arrivals: HashMap::new(),
+            scratch: PhaseScratch::default(),
+            tick_pool: None,
             stats: Stats::new(),
             cfg,
         }
@@ -346,14 +402,23 @@ impl Machine {
             .collect();
 
         let mut queue: EventQueue<Ev> = EventQueue::new();
-        let mut pending: Vec<Pending> = Vec::new();
-        let mut vault_ops: HashMap<u64, VaultOp> = HashMap::new();
-        let mut vault_tick: Vec<Option<Time>> = vec![None; self.vaults.len()];
-        let mut l1_waiters: Vec<HashMap<u64, Vec<usize>>> =
-            (0..self.l1s.len()).map(|_| HashMap::new()).collect();
-        let mut llc_waiters: HashMap<u64, Vec<(usize, u64)>> = HashMap::new();
-        let mut stalls: Vec<VecDeque<usize>> =
-            (0..self.l1s.len()).map(|_| VecDeque::new()).collect();
+        // The phase working set lives on the machine (allocation reuse
+        // across phases); it is taken whole so the borrow checker sees it
+        // as disjoint from `self` inside the loop, and restored at exit.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.reset(self.vaults.len(), self.l1s.len());
+        let PhaseScratch {
+            pending,
+            vault_ops,
+            vault_tick,
+            l1_waiters,
+            llc_waiters,
+            stalls,
+            handle_reqs,
+            out_buf,
+            tick_batch,
+            tick_done,
+        } = &mut scratch;
         let mut overflows: u64 = 0;
         let mut next_dram_id: u64 = 0;
         let mut end = start;
@@ -383,15 +448,12 @@ impl Machine {
             }};
         }
 
-        let mut handle_reqs: VecDeque<(usize, MemRequest)> = VecDeque::new();
-        let mut out_buf: Vec<MemRequest> = Vec::new();
-
         macro_rules! advance_core {
             ($i:expr) => {{
                 let i = $i;
                 if let Some(core) = cores[i].as_mut() {
                     out_buf.clear();
-                    let status = core.advance(&mut out_buf);
+                    let status = core.advance(out_buf);
                     for r in out_buf.drain(..) {
                         handle_reqs.push_back((i, r));
                     }
@@ -414,11 +476,11 @@ impl Machine {
                         i,
                         req,
                         &mut queue,
-                        &mut pending,
-                        &mut vault_ops,
-                        &mut l1_waiters,
-                        &mut llc_waiters,
-                        &mut stalls,
+                        pending,
+                        vault_ops,
+                        l1_waiters,
+                        llc_waiters,
+                        stalls,
                         &mut overflows,
                         &mut next_dram_id,
                     );
@@ -461,39 +523,84 @@ impl Machine {
                 Ev::VaultTick(v) => {
                     tick_events -= 1;
                     vault_tick[v as usize] = None;
-                    let done = self.vaults[v as usize].poll(t);
-                    for c in done {
-                        let op = vault_ops.remove(&c.id).expect("continuation registered");
-                        match op {
-                            VaultOp::Fire => {}
-                            VaultOp::StreamFill { pending: p } => {
-                                let done_at = c.finish + PS_PER_NS;
-                                queue.schedule(done_at, Ev::MemDone { pending: p, done: done_at });
-                            }
-                            VaultOp::L1Fill { core, line } => {
-                                let back = self.route_from_vault(
-                                    v,
-                                    self.endpoint(core),
-                                    self.l1s[core].config().line_bytes,
-                                    c.finish,
-                                );
-                                queue.schedule(back, Ev::L1FillDone { core, line });
-                            }
-                            VaultOp::LlcFill { line } => {
-                                let bytes = self.cfg.llc.line_bytes;
-                                let back = self.route_from_vault(v, Ep::Cpu, bytes, c.finish);
-                                queue.schedule(back, Ev::LlcFillDone { line });
-                            }
+                    // Collect the *contiguous* run of simultaneous ticks at
+                    // the head of the queue, one per distinct vault. A tick
+                    // for a vault already in the batch (a stale reschedule)
+                    // or any interleaved non-tick event ends the batch —
+                    // exactly where the serial loop's state could still
+                    // change between polls. A tick mutates only its own
+                    // vault, so the batch polls in parallel; continuations
+                    // then merge below in pop order, reproducing the serial
+                    // event stream — seq numbers included — bit for bit.
+                    tick_batch.clear();
+                    tick_batch.push((v, t));
+                    if self.cfg.sim_threads > 1 {
+                        while tick_batch.len() < self.vaults.len() {
+                            let next = queue.pop_if(|t2, ev| {
+                                t2 == t
+                                    && matches!(ev, Ev::VaultTick(w)
+                                        if tick_batch.iter().all(|&(b, _)| b != *w))
+                            });
+                            let Some((_, Ev::VaultTick(w))) = next else { break };
+                            guard += 1;
+                            tick_events -= 1;
+                            vault_tick[w as usize] = None;
+                            tick_batch.push((w, t));
                         }
                     }
-                    sched_vault!(queue, vault_tick, v);
+                    if self.cfg.sim_threads > 1 && tick_batch.len() >= MIN_PARALLEL_TICKS {
+                        let pool = self
+                            .tick_pool
+                            .take()
+                            .unwrap_or_else(|| TickPool::new(self.cfg.sim_threads));
+                        pool.poll_batch(&mut self.vaults, tick_batch, tick_done);
+                        self.tick_pool = Some(pool);
+                    } else {
+                        for (k, &(w, tw)) in tick_batch.iter().enumerate() {
+                            self.vaults[w as usize].poll_into(tw, &mut tick_done[k]);
+                        }
+                    }
+                    // Deterministic merge: batch (pop) order, then each
+                    // vault's completion order — a stable
+                    // `(time, vault tick seq, dram completion)` ordering
+                    // identical to the serial loop's.
+                    for (k, &(w, _)) in tick_batch.iter().enumerate() {
+                        for c in &tick_done[k] {
+                            let op = vault_ops.remove(&c.id).expect("continuation registered");
+                            match op {
+                                VaultOp::Fire => {}
+                                VaultOp::StreamFill { pending: p } => {
+                                    let done_at = c.finish + PS_PER_NS;
+                                    queue.schedule(
+                                        done_at,
+                                        Ev::MemDone { pending: p, done: done_at },
+                                    );
+                                }
+                                VaultOp::L1Fill { core, line } => {
+                                    let back = self.route_from_vault(
+                                        w,
+                                        self.endpoint(core),
+                                        self.l1s[core].config().line_bytes,
+                                        c.finish,
+                                    );
+                                    queue.schedule(back, Ev::L1FillDone { core, line });
+                                }
+                                VaultOp::LlcFill { line } => {
+                                    let bytes = self.cfg.llc.line_bytes;
+                                    let back = self.route_from_vault(w, Ep::Cpu, bytes, c.finish);
+                                    queue.schedule(back, Ev::LlcFillDone { line });
+                                }
+                            }
+                        }
+                        sched_vault!(queue, vault_tick, w);
+                    }
                 }
                 Ev::MemDone { pending: p, done } => {
                     let core_id = pending[p].core;
                     let req = pending[p].req;
                     if let Some(core) = cores[core_id].as_mut() {
                         out_buf.clear();
-                        core.complete_mem(&req, done, &mut out_buf);
+                        core.complete_mem(&req, done, out_buf);
                         for r in out_buf.drain(..) {
                             handle_reqs.push_back((core_id, r));
                         }
@@ -536,6 +643,9 @@ impl Machine {
                 }
             }
         }
+
+        // Hand the (cleared-on-entry) working set back for the next phase.
+        self.scratch = scratch;
 
         // All cores must have finished; otherwise we deadlocked.
         let mut instructions = 0;

@@ -523,12 +523,20 @@ impl VaultController {
 
     /// Advances the controller to `now` and returns completions due by then.
     pub fn poll(&mut self, now: Time) -> Vec<DramCompletion> {
-        self.try_issue(now);
         let mut done = Vec::new();
+        self.poll_into(now, &mut done);
+        done
+    }
+
+    /// [`Self::poll`] into a caller-owned buffer (cleared first), so hot
+    /// event loops reuse one allocation per vault instead of building a
+    /// fresh `Vec` on every tick.
+    pub fn poll_into(&mut self, now: Time, done: &mut Vec<DramCompletion>) {
+        done.clear();
+        self.try_issue(now);
         while self.completions.peek_time().is_some_and(|t| t <= now) {
             done.push(self.completions.pop().expect("peeked").1);
         }
-        done
     }
 
     /// The next time the controller needs attention (a completion fires or a

@@ -384,29 +384,30 @@ impl Pipeline {
                 // their machines drain serially (sim_threads = 1) and at
                 // most `cfg.threads` branches run at once, so the run's
                 // OS-thread total is bounded by `cfg.threads` instead of
-                // multiplying wave width by drain threads.
+                // multiplying wave width by drain threads. Slots are
+                // handed out through a work-stealing queue — the old
+                // chunked barrier stalled a whole chunk on its slowest
+                // branch — and the merge assembles by slot position, so
+                // the nondeterministic steal order never reaches the
+                // report.
+                let workers = cfg.threads.min(wave_branches.len());
+                let queue = mondrian_sim::StealQueue::seed(0..wave_branches.len(), workers);
                 let mut runs: Vec<Option<Vec<StageRun>>> =
                     (0..wave_branches.len()).map(|_| None).collect();
-                let slots: Vec<usize> = (0..wave_branches.len()).collect();
-                for chunk in slots.chunks(cfg.threads) {
-                    let chunk_runs: Vec<Vec<StageRun>> = std::thread::scope(|scope| {
-                        let handles: Vec<_> = chunk
-                            .iter()
-                            .map(|&slot| {
-                                let run_branch = &run_branch;
-                                scope.spawn(move || run_branch(slot, wave_branches[slot], 1))
-                            })
-                            .collect();
-                        // Joining in slot order keeps the merge deterministic.
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("branch thread panicked"))
-                            .collect()
-                    });
-                    for (&slot, r) in chunk.iter().zip(chunk_runs) {
-                        runs[slot] = Some(r);
+                let slots = Mutex::new(&mut runs);
+                std::thread::scope(|scope| {
+                    for w in 0..workers {
+                        let queue = &queue;
+                        let slots = &slots;
+                        let run_branch = &run_branch;
+                        scope.spawn(move || {
+                            while let Some(slot) = queue.pop(w) {
+                                let out = run_branch(slot, wave_branches[slot], 1);
+                                slots.lock().expect("branch worker panicked")[slot] = Some(out);
+                            }
+                        });
                     }
-                }
+                });
                 runs.into_iter().map(|r| r.expect("every slot executed")).collect()
             } else {
                 (0..wave_branches.len())
@@ -1155,6 +1156,13 @@ pub struct PipelineConfig {
     /// Purely an execution-speed knob — results are byte-identical for
     /// every value (1 = fully in-order execution).
     pub threads: usize,
+    /// Host threads for the *engine event loop itself*: batches of
+    /// simultaneous vault ticks poll in parallel and the phase tail
+    /// drains as a parallel sweep. `0` (the default) follows
+    /// [`PipelineConfig::threads`]; any other value pins the engine
+    /// thread count independently of the executor's. Execution-speed
+    /// only — artifacts are byte-identical for every value.
+    pub sim_threads: usize,
 }
 
 impl PipelineConfig {
@@ -1170,6 +1178,7 @@ impl PipelineConfig {
             underprovision: None,
             concurrency: Concurrency::Serial,
             threads: 1,
+            sim_threads: 0,
         }
     }
 
@@ -1187,7 +1196,7 @@ impl PipelineConfig {
         };
         cfg.tuples_per_vault = self.tuples_per_vault;
         cfg.seed = self.seed;
-        cfg.sim_threads = self.threads.max(1);
+        cfg.sim_threads = if self.sim_threads > 0 { self.sim_threads } else { self.threads }.max(1);
         cfg
     }
 

@@ -15,7 +15,9 @@
 //!   event payload type (the engine crate instantiates it with its unified
 //!   message enum), and
 //! * [`Stats`], a hierarchical counter registry used by the energy model and
-//!   the benchmark harness.
+//!   the benchmark harness, and
+//! * [`StealQueue`], a work-stealing task queue the sweep executors use to
+//!   keep workers busy on uneven task lists.
 //!
 //! # Example
 //!
@@ -35,7 +37,9 @@
 mod clock;
 mod queue;
 mod stats;
+mod worksteal;
 
 pub use clock::{Clock, Time, PS_PER_NS, PS_PER_US};
 pub use queue::EventQueue;
 pub use stats::{Stat, Stats};
+pub use worksteal::StealQueue;

@@ -1,0 +1,124 @@
+//! A minimal work-stealing task queue for the sweep executors.
+//!
+//! Each worker owns one deque; it pops its own work from the front and,
+//! when empty, steals from the *back* of a victim's deque (round-robin
+//! over the other workers). The structure balances uneven task lists —
+//! a worker that finishes its share early drains the stragglers' tails
+//! instead of idling at a chunk barrier.
+//!
+//! Scheduling is intentionally **not** deterministic: which worker runs
+//! which task depends on timing. Callers must keep results deterministic
+//! the way the campaign engine does — tasks are self-contained
+//! simulations of disjoint sweep points, and results are assembled by
+//! task *position*, never by completion order.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Per-worker deques with round-robin stealing.
+#[derive(Debug)]
+pub struct StealQueue<T> {
+    queues: Vec<Mutex<VecDeque<T>>>,
+}
+
+impl<T> StealQueue<T> {
+    /// Distributes `items` round-robin across `workers` deques, preserving
+    /// item order within each deque (worker `w` initially holds items
+    /// `w, w + workers, w + 2·workers, …` in that order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` is zero.
+    pub fn seed(items: impl IntoIterator<Item = T>, workers: usize) -> Self {
+        assert!(workers > 0, "a steal queue needs at least one worker");
+        let mut queues: Vec<VecDeque<T>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            queues[i % workers].push_back(item);
+        }
+        Self { queues: queues.into_iter().map(Mutex::new).collect() }
+    }
+
+    /// Number of worker deques.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Takes the next task for `worker`: the front of its own deque, or —
+    /// when that is empty — the back of the first non-empty victim deque
+    /// (scanning `worker + 1, worker + 2, …` cyclically). Returns `None`
+    /// only when every deque is empty at the moment of the scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `worker` is out of range or a deque mutex is poisoned.
+    pub fn pop(&self, worker: usize) -> Option<T> {
+        let n = self.queues.len();
+        assert!(worker < n, "worker index out of range");
+        if let Some(item) = self.queues[worker].lock().expect("steal queue poisoned").pop_front() {
+            return Some(item);
+        }
+        for off in 1..n {
+            let victim = (worker + off) % n;
+            if let Some(item) = self.queues[victim].lock().expect("steal queue poisoned").pop_back()
+            {
+                return Some(item);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn seed_distributes_round_robin() {
+        let q = StealQueue::seed(0..7, 3);
+        assert_eq!(q.workers(), 3);
+        // Worker 0 owns 0, 3, 6 and pops them front-first.
+        assert_eq!(q.pop(0), Some(0));
+        assert_eq!(q.pop(0), Some(3));
+        assert_eq!(q.pop(0), Some(6));
+    }
+
+    #[test]
+    fn idle_workers_steal_from_victims_tails() {
+        let q = StealQueue::seed(0..4, 2); // worker 0: [0, 2]; worker 1: [1, 3]
+        assert_eq!(q.pop(1), Some(1));
+        assert_eq!(q.pop(1), Some(3));
+        // Worker 1 is dry: it steals worker 0's *back* item.
+        assert_eq!(q.pop(1), Some(2));
+        assert_eq!(q.pop(0), Some(0));
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.pop(1), None);
+    }
+
+    #[test]
+    fn every_task_is_taken_exactly_once_under_contention() {
+        let q = StealQueue::seed(0..100u32, 4);
+        let taken: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let q = &q;
+                let taken = &taken;
+                scope.spawn(move || {
+                    while let Some(item) = q.pop(w) {
+                        taken.lock().unwrap().push(item);
+                    }
+                });
+            }
+        });
+        let taken = taken.into_inner().unwrap();
+        assert_eq!(taken.len(), 100);
+        assert_eq!(taken.iter().copied().collect::<BTreeSet<_>>().len(), 100);
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_fifo() {
+        let q = StealQueue::seed(0..5, 1);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop(0)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+}
