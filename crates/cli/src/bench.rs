@@ -184,7 +184,8 @@ pub fn bench(manifest: &Manifest, jobs_list: &[usize], repeat: usize) -> BenchRe
                     .runs
                     .iter()
                     .filter(|run| !run.memoized)
-                    .map(|run| run.report.events())
+                    .filter_map(|run| run.report.as_ref())
+                    .map(mondrian_pipeline::PipelineReport::events)
                     .sum();
             }
         }
@@ -407,7 +408,8 @@ pub fn bench_engine(
                     .runs
                     .iter()
                     .filter(|run| !run.memoized)
-                    .map(|run| run.report.events())
+                    .filter_map(|run| run.report.as_ref())
+                    .map(mondrian_pipeline::PipelineReport::events)
                     .sum();
             }
         }

@@ -14,9 +14,11 @@
 //!   each shared stage-prefix's semantics once.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
+use mondrian_core::fault::{Abort, AbortReason, FaultHandle};
 use mondrian_core::SystemKind;
 use mondrian_obs::{Counters, Metric, ProgressEvent, ProgressSink};
 use mondrian_pipeline::{
@@ -27,13 +29,101 @@ use mondrian_sim::StealQueue;
 use crate::manifest::{Manifest, RunSpec};
 use crate::value::Value;
 
+/// The standardized exit taxonomy: every campaign (and the `mondrian`
+/// process itself) finishes with exactly one of these reasons, each
+/// mapped to a stable, documented process exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitReason {
+    /// Everything ran, verified, and passed its assertions.
+    Ok,
+    /// An unexpected I/O or internal failure.
+    InternalError,
+    /// The manifest (or `MONDRIAN_FAULT`) failed to parse or validate.
+    InvalidManifest,
+    /// A run completed but failed verification or an `[assertions]` check.
+    AssertionFailed,
+    /// The `[limits] wall_time_ms` budget tripped.
+    LimitWallTime,
+    /// The `[limits] max_events` budget tripped.
+    LimitEvents,
+    /// The `[limits] max_memory_bytes` estimate tripped.
+    LimitMemory,
+    /// The `[limits] max_sweep_points` cap tripped.
+    LimitSweepPoints,
+    /// A worker panicked and the bounded retry failed too.
+    WorkerPanic,
+}
+
+impl ExitReason {
+    /// Stable lower-snake name, as serialized into artifacts.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExitReason::Ok => "ok",
+            ExitReason::InternalError => "internal_error",
+            ExitReason::InvalidManifest => "invalid_manifest",
+            ExitReason::AssertionFailed => "assertion_failed",
+            ExitReason::LimitWallTime => "limit_wall_time",
+            ExitReason::LimitEvents => "limit_events",
+            ExitReason::LimitMemory => "limit_memory",
+            ExitReason::LimitSweepPoints => "limit_sweep_points",
+            ExitReason::WorkerPanic => "worker_panic",
+        }
+    }
+
+    /// The documented process exit code.
+    pub fn code(self) -> u8 {
+        match self {
+            ExitReason::Ok => 0,
+            ExitReason::InternalError => 1,
+            ExitReason::InvalidManifest => 2,
+            ExitReason::AssertionFailed => 3,
+            ExitReason::LimitWallTime => 4,
+            ExitReason::LimitEvents => 5,
+            ExitReason::LimitMemory => 6,
+            ExitReason::LimitSweepPoints => 7,
+            ExitReason::WorkerPanic => 8,
+        }
+    }
+
+    /// Whether the reason is a cooperative resource limit. A tripped
+    /// limit truncates the campaign: every later sweep point is skipped.
+    /// Assertion failures and worker panics are per-run — the rest of
+    /// the campaign still executes.
+    pub fn is_limit(self) -> bool {
+        matches!(
+            self,
+            ExitReason::LimitWallTime
+                | ExitReason::LimitEvents
+                | ExitReason::LimitMemory
+                | ExitReason::LimitSweepPoints
+        )
+    }
+}
+
+/// How one run (or the whole campaign) finished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunExit {
+    /// The standardized reason.
+    pub reason: ExitReason,
+    /// A deterministic one-line elaboration (empty for `Ok`).
+    pub detail: String,
+}
+
+impl RunExit {
+    /// The successful exit.
+    pub fn ok() -> RunExit {
+        RunExit { reason: ExitReason::Ok, detail: String::new() }
+    }
+}
+
 /// One executed campaign run.
 #[derive(Debug)]
 pub struct CampaignRun {
     /// The resolved parameters.
     pub spec: RunSpec,
-    /// The pipeline's full report.
-    pub report: PipelineReport,
+    /// The pipeline's full report; `None` when the run was skipped by a
+    /// tripped limit or lost to a worker panic.
+    pub report: Option<PipelineReport>,
     /// Whether the report was cloned from an effectively identical earlier
     /// run instead of re-simulated.
     pub memoized: bool,
@@ -42,6 +132,11 @@ pub struct CampaignRun {
     /// `mondrian diff`: wall time is a property of the host, not of the
     /// simulated machines.
     pub sim_wall_ms: f64,
+    /// How the run finished.
+    pub exit: RunExit,
+    /// Whether the run's first attempt panicked and the bounded retry
+    /// ran (regardless of whether the retry then succeeded).
+    pub retried: bool,
 }
 
 /// Results of a whole campaign.
@@ -157,13 +252,66 @@ pub fn run_campaign_sink<F: FnMut(&CampaignRun)>(
     let pipeline = manifest.pipeline();
     let cache = ExecCache::default();
     let specs = manifest.runs();
+    let deadline =
+        manifest.limits.wall_time_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+
+    // Limits that are pure functions of the manifest — the sweep-point
+    // cap and the memory estimate — are planned as skips before anything
+    // executes, so they are trivially identical for every worker count.
+    let planned: Vec<Option<RunExit>> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            if let Some(cap) = manifest.limits.max_sweep_points {
+                if i >= cap {
+                    return Some(RunExit {
+                        reason: ExitReason::LimitSweepPoints,
+                        detail: format!("sweep point {i} is past max_sweep_points {cap}"),
+                    });
+                }
+            }
+            if let Some(cap) = manifest.limits.max_memory_bytes {
+                let est = estimate_memory_bytes(manifest, spec);
+                if est > cap {
+                    return Some(RunExit {
+                        reason: ExitReason::LimitMemory,
+                        detail: format!(
+                            "estimated peak relation footprint {est} B exceeds \
+                             max_memory_bytes {cap}"
+                        ),
+                    });
+                }
+            }
+            None
+        })
+        .collect();
+
+    // The faulted sweep position (if any) is excluded from memoization in
+    // both directions: it must not serve a possibly-degraded report to
+    // clean duplicates, and it must actually execute so the fault fires.
+    // The exclusion depends only on the manifest, never on whether the
+    // `fault-inject` feature is compiled, so artifacts keep the same
+    // shape either way.
+    let fault_run: Option<usize> = manifest.fault.as_ref().map(|p| p.run);
+    let fault_handle: Option<Arc<FaultHandle>> =
+        manifest.fault.clone().map(|p| Arc::new(FaultHandle::new(p)));
 
     // The memo plan: owner[i] = the first manifest position sharing run
-    // i's effective key (itself, if i computes).
+    // i's effective key (itself, if i computes). Planned skips never
+    // execute and never own anything.
     let mut first_of: HashMap<_, usize> = HashMap::new();
     let mut owner: Vec<usize> = Vec::with_capacity(specs.len());
     let mut unique: Vec<usize> = Vec::new();
     for (i, spec) in specs.iter().enumerate() {
+        if planned[i].is_some() {
+            owner.push(i);
+            continue;
+        }
+        if Some(i) == fault_run {
+            owner.push(i);
+            unique.push(i);
+            continue;
+        }
         match first_of.get(&effective_key(spec)) {
             Some(&j) => owner.push(j),
             None => {
@@ -173,7 +321,7 @@ pub fn run_campaign_sink<F: FnMut(&CampaignRun)>(
             }
         }
     }
-    let memo_hits = specs.len() - unique.len();
+    let memo_hits = owner.iter().enumerate().filter(|&(i, &o)| o != i).count();
 
     // Spare workers become intra-run threads (branch-wave parallelism and
     // reference/simulation overlap). Derived from the manifest alone, so
@@ -181,12 +329,39 @@ pub fn run_campaign_sink<F: FnMut(&CampaignRun)>(
     // since intra-run threading is result-invariant too.
     let threads_per_run = (jobs / unique.len().max(1)).max(1);
 
-    let run_one = |i: usize| {
+    // Runs one sweep point, converting panics into a structured exit:
+    // tripped limits pass through unchanged; anything else (an injected
+    // fault, a pool-worker panic, a bug) gets exactly one retry before
+    // it becomes a `worker_panic` failure of this sweep point alone.
+    let run_one = |i: usize| -> (Option<PipelineReport>, f64, RunExit, bool) {
         let mut cfg = manifest.config_for(specs[i]);
         cfg.threads = threads_per_run;
+        cfg.max_events = manifest.limits.max_events;
+        cfg.deadline = deadline;
+        if Some(i) == fault_run {
+            cfg.fault = fault_handle.clone();
+        }
         let start = Instant::now();
-        let report = pipeline.run_observed(&cfg, &cache, &specs[i].id(), sink);
-        (report, start.elapsed().as_secs_f64() * 1e3)
+        let attempt = || {
+            std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pipeline.run_observed(&cfg, &cache, &specs[i].id(), sink)
+            }))
+        };
+        let (report, exit, retried) = match attempt() {
+            Ok(report) => (Some(report), RunExit::ok(), false),
+            Err(payload) => {
+                let exit = classify_panic(payload.as_ref());
+                if exit.reason.is_limit() {
+                    (None, exit, false)
+                } else {
+                    match attempt() {
+                        Ok(report) => (Some(report), RunExit::ok(), true),
+                        Err(second) => (None, classify_panic(second.as_ref()), true),
+                    }
+                }
+            }
+        };
+        (report, start.elapsed().as_secs_f64() * 1e3, exit, retried)
     };
 
     // Parallel pre-pass over the owners; with one job the owners simulate
@@ -196,7 +371,8 @@ pub fn run_campaign_sink<F: FnMut(&CampaignRun)>(
     // cannot strand the rest of the ladder behind it. Scheduling is
     // nondeterministic; results are collected by sweep position, so the
     // artifact is not.
-    let mut results: Vec<Option<(PipelineReport, f64)>> = (0..specs.len()).map(|_| None).collect();
+    type RunResult = (Option<PipelineReport>, f64, RunExit, bool);
+    let mut results: Vec<Option<RunResult>> = (0..specs.len()).map(|_| None).collect();
     if jobs > 1 && unique.len() > 1 {
         let workers = jobs.min(unique.len());
         let queue = StealQueue::seed(unique.iter().copied(), workers);
@@ -216,22 +392,50 @@ pub fn run_campaign_sink<F: FnMut(&CampaignRun)>(
         });
     }
 
-    // Assemble by sweep position.
+    // Assemble by sweep position. The first tripped *limit* truncates:
+    // every later sweep point is recorded as skipped with the same
+    // reason, and results the pre-pass may already have computed past
+    // the truncation point are discarded — so the artifact is identical
+    // for every worker count. Assertion failures and worker panics are
+    // per-run and do not truncate.
+    let mut truncated: Option<RunExit> = None;
     let mut runs: Vec<CampaignRun> = Vec::with_capacity(specs.len());
     for (i, &spec) in specs.iter().enumerate() {
-        let memoized = owner[i] != i;
-        let (report, sim_wall_ms) = if memoized {
-            (runs[owner[i]].report.clone(), 0.0)
+        let planned_exit = planned[i].clone();
+        let (report, sim_wall_ms, exit, retried) = if let Some(cut) = &truncated {
+            let detail = if cut.detail.is_empty() {
+                "campaign truncated".to_string()
+            } else {
+                format!("campaign truncated: {}", cut.detail)
+            };
+            (None, 0.0, RunExit { reason: cut.reason, detail }, false)
+        } else if let Some(exit) = planned_exit {
+            (None, 0.0, exit, false)
+        } else if owner[i] != i {
+            let source = &runs[owner[i]];
+            (source.report.clone(), 0.0, source.exit.clone(), false)
         } else {
-            results[i].take().unwrap_or_else(|| run_one(i))
+            let (report, sim_wall_ms, mut exit, retried) =
+                results[i].take().unwrap_or_else(|| run_one(i));
+            if exit.reason == ExitReason::Ok {
+                if let Some(report) = &report {
+                    if let Some(failed) = check_assertions(manifest, i, report) {
+                        exit = failed;
+                    }
+                }
+            }
+            (report, sim_wall_ms, exit, retried)
         };
-        let run = CampaignRun { spec, report, memoized, sim_wall_ms };
+        if truncated.is_none() && exit.reason.is_limit() {
+            truncated = Some(exit.clone());
+        }
+        let run = CampaignRun { spec, report, memoized: owner[i] != i, sim_wall_ms, exit, retried };
         sink.emit(
             &run.spec.id(),
             &ProgressEvent::SweepPointDone {
-                makespan_ps: run.report.makespan_ps(),
-                verified: run.report.verified(),
-                memoized,
+                makespan_ps: run.report.as_ref().map_or(0, PipelineReport::makespan_ps),
+                verified: run.report.as_ref().is_some_and(PipelineReport::verified),
+                memoized: run.memoized,
             },
         );
         progress(&run);
@@ -246,10 +450,118 @@ pub fn run_campaign_sink<F: FnMut(&CampaignRun)>(
     }
 }
 
+/// Maps a caught panic payload onto the exit taxonomy: structured
+/// [`Abort`]s keep their reason; anything else is a worker panic whose
+/// message becomes the detail.
+fn classify_panic(payload: &(dyn std::any::Any + Send)) -> RunExit {
+    match payload.downcast_ref::<Abort>() {
+        Some(abort) => {
+            let reason = match abort.reason {
+                AbortReason::LimitEvents => ExitReason::LimitEvents,
+                AbortReason::LimitWallTime => ExitReason::LimitWallTime,
+                AbortReason::WorkerPanic => ExitReason::WorkerPanic,
+            };
+            RunExit { reason, detail: abort.detail.clone() }
+        }
+        None => RunExit {
+            reason: ExitReason::WorkerPanic,
+            detail: mondrian_core::fault::panic_message(payload),
+        },
+    }
+}
+
+/// Estimates a run's peak relation footprint from the manifest alone:
+/// 16 bytes per tuple, summed over the source and every stage output.
+/// Row counts are upper bounds propagated structurally — fan-out
+/// multiplies, unions add, everything else is bounded by its input — so
+/// the estimate (and therefore a `max_memory_bytes` trip) is a pure
+/// function of the manifest, identical for every worker count.
+fn estimate_memory_bytes(manifest: &Manifest, spec: &RunSpec) -> u64 {
+    const BYTES_PER_TUPLE: u64 = 16;
+    let vaults = manifest.config_for(*spec).system_config().total_vaults() as u64;
+    let source = spec.tuples_per_vault as u64 * vaults;
+    let mut rows: Vec<u64> = Vec::with_capacity(manifest.stages.len());
+    for (i, stage) in manifest.stages.iter().enumerate() {
+        let input = |edge: &StageInput| match *edge {
+            StageInput::Source => source,
+            StageInput::Prev => {
+                if i == 0 {
+                    source
+                } else {
+                    rows[i - 1]
+                }
+            }
+            StageInput::Stage(j) => rows[j],
+        };
+        let out = match stage.spec {
+            StageSpec::FlatMap { fanout } => input(&stage.inputs[0]).saturating_mul(fanout),
+            StageSpec::Union | StageSpec::Cogroup => {
+                stage.inputs.iter().map(input).fold(0u64, u64::saturating_add)
+            }
+            _ => input(&stage.inputs[0]),
+        };
+        rows.push(out);
+    }
+    let total = source + rows.iter().fold(0u64, |acc, &r| acc.saturating_add(r));
+    total.saturating_mul(BYTES_PER_TUPLE)
+}
+
+/// Evaluates the always-on verification requirement and the manifest's
+/// `[assertions]` against one completed run. Returns the first failure.
+fn check_assertions(manifest: &Manifest, index: usize, report: &PipelineReport) -> Option<RunExit> {
+    let fail = |detail: String| Some(RunExit { reason: ExitReason::AssertionFailed, detail });
+    if !report.verified() {
+        let stage = report
+            .stages
+            .iter()
+            .position(|s| !(s.report.verified && s.reference_ok && s.matches_serial));
+        return fail(match stage {
+            Some(s) => format!("run {index}: stage {s} failed verification"),
+            None => format!("run {index}: verification failed"),
+        });
+    }
+    let assertions = &manifest.assertions;
+    if assertions.matches_serial {
+        if let Some(s) = report.stages.iter().position(|s| !s.matches_serial) {
+            return fail(format!("run {index}: stage {s} diverged from the serial schedule"));
+        }
+    }
+    if let Some(cap) = assertions.max_makespan_ps {
+        let makespan = report.makespan_ps();
+        if makespan > cap {
+            return fail(format!("run {index}: makespan {makespan} ps exceeds {cap} ps"));
+        }
+    }
+    if let Some(expected) = &assertions.stage_digests {
+        for (s, (&want, stage)) in expected.iter().zip(&report.stages).enumerate() {
+            if stage.output_digest != want {
+                return fail(format!(
+                    "run {index}: stage {s} digest {:016x} != expected {want:016x}",
+                    stage.output_digest
+                ));
+            }
+        }
+    }
+    None
+}
+
 impl Campaign {
-    /// Whether every stage of every run verified.
+    /// Whether every stage of every completed run verified. Skipped runs
+    /// don't count against verification — they are accounted for by
+    /// [`Campaign::exit`].
     pub fn verified(&self) -> bool {
-        self.runs.iter().all(|r| r.report.verified())
+        self.runs.iter().all(|r| r.report.as_ref().is_none_or(PipelineReport::verified))
+    }
+
+    /// The campaign's overall exit: the first non-`Ok` run exit in
+    /// manifest order, else `Ok`. Deterministic because run exits are.
+    pub fn exit(&self) -> RunExit {
+        self.runs
+            .iter()
+            .map(|r| &r.exit)
+            .find(|e| e.reason != ExitReason::Ok)
+            .cloned()
+            .unwrap_or_else(RunExit::ok)
     }
 
     /// The machine-readable result artifact. Fully deterministic: object
@@ -269,13 +581,15 @@ impl Campaign {
     pub fn to_json_with(&self, timings: bool) -> String {
         let mut root = Value::table();
         root.insert("campaign", Value::Str(self.manifest.name.clone()));
-        // Schema 5: the unified `metrics` block — a per-run and top-level
-        // counter tree (engine/phase_ps/mem/noc/cache groups). Host
-        // measurements live exclusively under `metrics.host.*` (present
-        // only with `--timings`); that subtree is the artifact's one
-        // nondeterministic region, excluded from digests and byte
-        // comparisons.
-        root.insert("schema_version", Value::Int(5));
+        // Schema 6: schema 5's unified `metrics` block (a per-run and
+        // top-level counter tree; host measurements exclusively under
+        // the digest-excluded `metrics.host.*` subtree) plus the
+        // robustness layer — a top-level and per-run `exit: {reason,
+        // detail}`, `engine.exits.*` rollup counters, and skipped runs
+        // serialized as axes + exit so a limit-tripped campaign still
+        // emits a valid, byte-deterministic partial artifact.
+        root.insert("schema_version", Value::Int(6));
+        root.insert("exit", exit_json(&self.exit()));
         root.insert(
             "systems",
             Value::Array(
@@ -292,7 +606,10 @@ impl Campaign {
         root.insert("memo_hits", Value::Int(self.memo_hits as i64));
         let mut rollup = Counters::new();
         for run in &self.runs {
-            rollup.merge(&run_metrics(&run.report));
+            if let Some(report) = &run.report {
+                rollup.merge(&run_metrics(report));
+            }
+            rollup.add_count(&mondrian_obs::exit_counter_key(run.exit.reason.as_str()), 1);
         }
         if timings {
             rollup.add_value("host.sim_wall_ms", self.sim_wall_ms());
@@ -319,6 +636,10 @@ impl Campaign {
             self.manifest.stages.len(),
             if self.verified() { "all verified" } else { "VERIFICATION FAILURES" },
         ));
+        let exit = self.exit();
+        if exit.reason != ExitReason::Ok {
+            out.push_str(&format!(" [exit {}: {}]", exit.reason.as_str(), exit.detail));
+        }
         if self.memo_hits > 0 || self.reference_hits > 0 {
             out.push_str(&format!(
                 " ({} memoized runs, {} reference-prefix reuses)",
@@ -338,16 +659,35 @@ impl Campaign {
 
 /// The one-line outcome of a run.
 pub fn run_line(run: &CampaignRun) -> String {
+    let Some(report) = &run.report else {
+        return format!(
+            "{} SKIPPED ({}: {})",
+            run.spec.label(),
+            run.exit.reason.as_str(),
+            run.exit.detail,
+        );
+    };
     format!(
-        "{} {:>12.3} µs {:>12.3} µJ  {} → {} rows  {}{}",
+        "{} {:>12.3} µs {:>12.3} µJ  {} → {} rows  {}{}{}",
         run.spec.label(),
-        run.report.makespan_ps() as f64 / 1e6,
-        run.report.energy_j() * 1e6,
-        run.report.source_rows,
-        run.report.output.len(),
-        if run.report.verified() { "ok" } else { "FAILED" },
+        report.makespan_ps() as f64 / 1e6,
+        report.energy_j() * 1e6,
+        report.source_rows,
+        report.output.len(),
+        match run.exit.reason {
+            ExitReason::Ok => "ok".to_string(),
+            reason => format!("FAILED ({})", reason.as_str()),
+        },
         if run.memoized { " (memo)" } else { "" },
+        if run.retried { " (retried)" } else { "" },
     )
+}
+
+fn exit_json(exit: &RunExit) -> Value {
+    let mut table = Value::table();
+    table.insert("reason", Value::Str(exit.reason.as_str().to_string()));
+    table.insert("detail", Value::Str(exit.detail.clone()));
+    table
 }
 
 fn stage_json(stage: &Stage) -> Value {
@@ -455,14 +795,6 @@ fn metrics_json(counters: &Counters) -> Value {
 
 fn run_json(run: &CampaignRun, timings: bool) -> Value {
     let mut table = Value::table();
-    let mut metrics = run_metrics(&run.report);
-    if timings {
-        // Host measurement, not simulation output: `metrics.host.*` is
-        // the artifact's single digest-excluded subtree, ignored by
-        // `mondrian diff` and absent from byte-compared artifacts.
-        metrics.add_value("host.sim_wall_ms", run.sim_wall_ms);
-    }
-    table.insert("metrics", metrics_json(&metrics));
     table.insert("system", Value::Str(run.spec.system.name().to_string()));
     table.insert("topology", Value::Str(if run.spec.tiny { "tiny" } else { "scaled" }.to_string()));
     table.insert("tuples_per_vault", Value::Int(run.spec.tuples_per_vault as i64));
@@ -473,22 +805,35 @@ fn run_json(run: &CampaignRun, timings: bool) -> Value {
     if let Some(u) = run.spec.underprovision {
         table.insert("underprovision", Value::Float(u));
     }
+    table.insert("exit", exit_json(&run.exit));
+    table.insert("retried", Value::Bool(run.retried));
     table.insert("memoized", Value::Bool(run.memoized));
-    table.insert("source_rows", Value::Int(run.report.source_rows as i64));
-    table.insert("output_rows", Value::Int(run.report.output.len() as i64));
-    table.insert("runtime_ps", Value::Int(run.report.runtime_ps() as i64));
-    table.insert("makespan_ps", Value::Int(run.report.makespan_ps() as i64));
-    table.insert("instructions", Value::Int(run.report.instructions() as i64));
-    table.insert("energy_j", Value::Float(run.report.energy_j()));
-    table.insert("verified", Value::Bool(run.report.verified()));
-    table.insert(
-        "schedule",
-        Value::Array(run.report.schedule.waves.iter().map(wave_json).collect()),
-    );
+    // A skipped or lost run keeps its sweep axes and exit — a valid
+    // partial artifact — but has no simulation output to serialize.
+    let Some(report) = &run.report else {
+        table.insert("skipped", Value::Bool(true));
+        return table;
+    };
+    let mut metrics = run_metrics(report);
+    if timings {
+        // Host measurement, not simulation output: `metrics.host.*` is
+        // the artifact's single digest-excluded subtree, ignored by
+        // `mondrian diff` and absent from byte-compared artifacts.
+        metrics.add_value("host.sim_wall_ms", run.sim_wall_ms);
+    }
+    table.insert("metrics", metrics_json(&metrics));
+    table.insert("source_rows", Value::Int(report.source_rows as i64));
+    table.insert("output_rows", Value::Int(report.output.len() as i64));
+    table.insert("runtime_ps", Value::Int(report.runtime_ps() as i64));
+    table.insert("makespan_ps", Value::Int(report.makespan_ps() as i64));
+    table.insert("instructions", Value::Int(report.instructions() as i64));
+    table.insert("energy_j", Value::Float(report.energy_j()));
+    table.insert("verified", Value::Bool(report.verified()));
+    table.insert("schedule", Value::Array(report.schedule.waves.iter().map(wave_json).collect()));
     table.insert(
         "fused",
         Value::Array(
-            run.report
+            report
                 .schedule
                 .fused
                 .iter()
@@ -508,7 +853,7 @@ fn run_json(run: &CampaignRun, timings: bool) -> Value {
     table.insert(
         "stages",
         Value::Array(
-            run.report
+            report
                 .stages
                 .iter()
                 .map(|s| {
@@ -618,13 +963,22 @@ mod tests {
         assert_eq!(campaign.memo_hits, 1);
         assert!(!campaign.runs[0].memoized);
         assert!(campaign.runs[1].memoized);
-        assert_eq!(campaign.runs[0].report.makespan_ps(), campaign.runs[1].report.makespan_ps());
+        assert_eq!(
+            campaign.runs[0].report.as_ref().unwrap().makespan_ps(),
+            campaign.runs[1].report.as_ref().unwrap().makespan_ps()
+        );
         // On a permutable system the axis is real and nothing memoizes.
         let text = MANIFEST.replace("[\"mondrian\", \"cpu\"]", "[\"mondrian\"]")
             + "\n[sweep]\nunderprovision = [0.5, 1.0]\n";
         let manifest = Manifest::parse(&text, Format::Toml).unwrap();
         let campaign = run_campaign(&manifest, |_| {});
         assert_eq!(campaign.memo_hits, 0);
-        assert!(campaign.runs[0].report.stages.iter().any(|s| s.report.shuffle_retries > 0));
+        assert!(campaign.runs[0]
+            .report
+            .as_ref()
+            .unwrap()
+            .stages
+            .iter()
+            .any(|s| s.report.shuffle_retries > 0));
     }
 }

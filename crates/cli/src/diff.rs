@@ -138,6 +138,11 @@ fn run_makespan(run: &Value) -> Option<i64> {
 
 /// Compares two result artifacts.
 ///
+/// Schema-6 artifacts from limit-tripped campaigns contain *skipped*
+/// runs (`"skipped": true`) that carry sweep axes but no simulation
+/// data; those are excluded from matching on both sides, so diffing a
+/// degraded artifact compares only the runs that actually executed.
+///
 /// # Errors
 ///
 /// Returns a description of the first parse or schema problem.
@@ -148,7 +153,10 @@ pub fn diff(a_text: &str, b_text: &str) -> Result<DiffReport, String> {
             .get("runs")
             .and_then(Value::as_array)
             .ok_or_else(|| format!("{which}: artifact has no runs array"))?
-            .to_vec())
+            .iter()
+            .filter(|run| run.get("skipped").is_none())
+            .cloned()
+            .collect())
     };
     let a_runs = runs_of(a_text, "A")?;
     let b_runs = runs_of(b_text, "B")?;
@@ -231,6 +239,20 @@ mod tests {
         let report = diff(v1, &artifact(1_000_000, 1)).unwrap();
         assert_eq!(report.rows.len(), 1, "topology defaults to tiny for old artifacts");
         assert!((report.rows[0].speedup() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skipped_runs_are_excluded_from_matching() {
+        // A schema-6 degraded artifact: the same axes as `artifact(.., 1)`
+        // but truncated by a limit before simulating.
+        let degraded = r#"{"runs": [{"system": "CPU", "topology": "tiny",
+            "tuples_per_vault": 64, "seed": 1,
+            "exit": {"detail": "campaign truncated", "reason": "limit_events"},
+            "skipped": true}]}"#;
+        let report = diff(degraded, &artifact(1_000_000, 1)).unwrap();
+        assert!(report.rows.is_empty(), "skipped runs never match");
+        assert!(report.only_a.is_empty(), "nor are they reported as unmatched");
+        assert_eq!(report.only_b.len(), 1);
     }
 
     #[test]

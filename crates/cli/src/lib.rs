@@ -3,15 +3,17 @@
 //! Library backing the `mondrian` binary: manifest parsing
 //! ([`manifest`]), the TOML/JSON document model ([`value`]), campaign
 //! execution ([`campaign`]), the parallel-execution benchmark harness
-//! ([`bench`]) and the artifact profiler ([`profile`]). The binary in
-//! `main.rs` is a thin argument layer over these modules so integration
-//! tests can exercise everything in-process.
+//! ([`bench`]), the artifact profiler ([`profile`]) and the JUnit XML
+//! renderer ([`junit`]). The binary in `main.rs` is a thin argument
+//! layer over these modules so integration tests can exercise
+//! everything in-process.
 
 #![warn(missing_docs)]
 
 pub mod bench;
 pub mod campaign;
 pub mod diff;
+pub mod junit;
 pub mod manifest;
 pub mod profile;
 pub mod value;

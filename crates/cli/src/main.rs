@@ -16,15 +16,17 @@
 //! `run` executes every (system × sweep) combination of the manifest's
 //! pipeline — fanned over `--jobs` worker threads — prints a per-run
 //! summary, and writes a deterministic machine-readable `result.json`
-//! (byte-identical for every worker count). The process exits non-zero
-//! if any stage fails verification.
+//! (byte-identical for every worker count). The process exits with the
+//! standardized code of the campaign's exit reason (see `ExitReason`
+//! and the README's exit-code table).
 
 use std::process::ExitCode;
 
 use mondrian_cli::bench::{bench, bench_engine, host_cores};
-use mondrian_cli::campaign::{resolve_jobs, run_campaign_sink, run_line};
+use mondrian_cli::campaign::{resolve_jobs, run_campaign_sink, run_line, ExitReason};
 use mondrian_cli::diff::diff;
-use mondrian_cli::manifest::{Format, Manifest};
+use mondrian_cli::junit::junit_xml;
+use mondrian_cli::manifest::{parse_fault_spec, Format, Manifest};
 use mondrian_cli::profile::profile;
 use mondrian_core::{SystemConfig, SystemKind};
 use mondrian_obs::{ProgressEvent, ProgressSink, Tracer};
@@ -37,7 +39,7 @@ usage:
   mondrian run <manifest.(toml|json)> [--out <path>] [--quiet]
                [--concurrency serial|branch|stream] [--jobs N]
                [--sim-threads N] [--timings] [--trace <path>]
-               [--progress jsonl]
+               [--progress jsonl] [--junit <path>]
       run every (system x sweep) combination of the manifest's pipeline,
       print a summary, and write the result artifact (default: result.json);
       --concurrency overrides the manifest's scheduling knob; --jobs sets
@@ -52,7 +54,8 @@ usage:
       mondrian diff); --trace writes a Chrome trace-event JSON timeline
       (simulated picoseconds; load in Perfetto) that is byte-identical
       for every --jobs value; --progress jsonl streams one JSON line per
-      stage/wave/sweep-point event to stderr
+      stage/wave/sweep-point event to stderr; --junit writes a JUnit XML
+      report (one testcase per sweep point, simulated-seconds times)
   mondrian profile <result.json>
       render a result artifact's metrics block (schema 5+): top phases
       by simulated time, memory/NoC/cache traffic, and the FR-FCFS
@@ -76,16 +79,58 @@ usage:
       product — without simulating anything
   mondrian diff <a/result.json> <b/result.json> [--fail-on-regression <pct>]
       compare two result artifacts run by run (makespan speedup, energy
-      ratio); with --fail-on-regression, exit non-zero when any run's
-      makespan regresses by more than <pct> percent
+      ratio); skipped runs (schema 6 partial artifacts) are ignored.
+      exit codes: 0 compared (and within the regression gate), 1 error,
+      20 regression gate exceeded, 21 no matched runs
   mondrian list-systems
       list the evaluated system configurations
   mondrian help
       show this message
 
+exit codes (run): 0 ok, 1 internal_error, 2 invalid_manifest,
+  3 assertion_failed, 4 limit_wall_time, 5 limit_events, 6 limit_memory,
+  7 limit_sweep_points, 8 worker_panic — a [limits]/[assertions] manifest
+  still writes a valid partial result.json (and --junit report) when it
+  trips; see the README's \"Limits, assertions & exit codes\" section
+
 manifest schema: see README.md and examples/manifests/";
 
+/// A command error, carrying which standardized exit code it maps to:
+/// manifest problems exit `invalid_manifest` (2); everything else —
+/// I/O, bad flags — exits `internal_error` (1).
+enum CliError {
+    /// The manifest (or `MONDRIAN_FAULT`) failed to parse or validate.
+    InvalidManifest(String),
+    /// Any other failure.
+    Internal(String),
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError::Internal(message)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> CliError {
+        CliError::Internal(message.to_string())
+    }
+}
+
+/// Silences the default panic printer for cooperative [`Abort`] unwinds
+/// (limit trips flow through `panic_any` on their way to `catch_unwind`);
+/// genuine panics — including injected ones — still print normally.
+fn install_abort_quiet_hook() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if info.payload().downcast_ref::<mondrian_core::fault::Abort>().is_none() {
+            default_hook(info);
+        }
+    }));
+}
+
 fn main() -> ExitCode {
+    install_abort_quiet_hook();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
@@ -96,24 +141,37 @@ fn main() -> ExitCode {
         Some("list-systems") => cmd_list_systems(),
         Some("help") | Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
-            Ok(true)
+            Ok(0)
         }
-        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+        Some(other) => Err(CliError::Internal(format!("unknown command {other:?}\n\n{USAGE}"))),
     };
     match result {
-        Ok(true) => ExitCode::SUCCESS,
-        Ok(false) => ExitCode::FAILURE,
-        Err(message) => {
+        Ok(code) => ExitCode::from(code),
+        Err(CliError::InvalidManifest(message)) => {
             eprintln!("error: {message}");
-            ExitCode::FAILURE
+            ExitCode::from(ExitReason::InvalidManifest.code())
+        }
+        Err(CliError::Internal(message)) => {
+            eprintln!("error: {message}");
+            ExitCode::from(ExitReason::InternalError.code())
         }
     }
 }
 
-fn load_manifest(path: &str) -> Result<Manifest, String> {
-    let format = Format::from_path(path)?;
+fn load_manifest(path: &str) -> Result<Manifest, CliError> {
+    let format = Format::from_path(path).map_err(CliError::InvalidManifest)?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    Manifest::parse(&text, format).map_err(|e| format!("{path}: {e}"))
+    let mut manifest = Manifest::parse(&text, format)
+        .map_err(|e| CliError::InvalidManifest(format!("{path}: {e}")))?;
+    // The MONDRIAN_FAULT environment variable overrides the manifest's
+    // [faults] block — the CI fault-smoke matrix injects faults into
+    // stock example manifests without editing them.
+    if let Ok(spec) = std::env::var("MONDRIAN_FAULT") {
+        if !spec.is_empty() {
+            manifest.fault = Some(parse_fault_spec(&spec).map_err(CliError::InvalidManifest)?);
+        }
+    }
+    Ok(manifest)
 }
 
 /// `--progress jsonl`: one structured JSON line per execution event on
@@ -126,12 +184,13 @@ impl ProgressSink for JsonlSink {
     }
 }
 
-fn cmd_run(args: &[String]) -> Result<bool, String> {
+fn cmd_run(args: &[String]) -> Result<u8, CliError> {
     let mut manifest_path: Option<&str> = None;
     let mut out_path = "result.json".to_string();
     let mut quiet = false;
     let mut timings = false;
     let mut trace_path: Option<String> = None;
+    let mut junit_path: Option<String> = None;
     let mut progress_jsonl = false;
     let mut concurrency: Option<Concurrency> = None;
     let mut jobs_flag: Option<usize> = None;
@@ -146,6 +205,9 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
             "--timings" => timings = true,
             "--trace" => {
                 trace_path = Some(it.next().ok_or("--trace needs a path")?.clone());
+            }
+            "--junit" => {
+                junit_path = Some(it.next().ok_or("--junit needs a path")?.clone());
             }
             "--progress" => match it.next().map(String::as_str) {
                 Some("jsonl") => progress_jsonl = true,
@@ -176,7 +238,7 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
                     }
                 });
             }
-            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}").into()),
             path => {
                 if manifest_path.replace(path).is_some() {
                     return Err("exactly one manifest path expected".into());
@@ -187,7 +249,7 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     let path = manifest_path.ok_or(
         "usage: mondrian run <manifest> [--out <path>] [--quiet] \
          [--concurrency serial|branch|stream] [--jobs N] [--sim-threads N] \
-         [--timings] [--trace <path>] [--progress jsonl]",
+         [--timings] [--trace <path>] [--progress jsonl] [--junit <path>]",
     )?;
     let mut manifest = load_manifest(path)?;
     if let Some(c) = concurrency {
@@ -217,46 +279,69 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     });
     if !quiet {
         println!();
-        // Per-stage detail of the first run as a worked example.
-        if let Some(first) = campaign.runs.first() {
-            println!("{}", first.report.summary_table());
+        // Per-stage detail of the first completed run as a worked example.
+        if let Some(report) = campaign.runs.iter().find_map(|r| r.report.as_ref()) {
+            println!("{}", report.summary_table());
             if manifest.concurrency != Concurrency::Serial {
-                println!("{}", first.report.schedule_table());
+                println!("{}", report.schedule_table());
             }
         }
     }
+    // Graceful degradation: the artifact (and the JUnit report) is
+    // written even when the campaign tripped a limit or failed — a
+    // valid, byte-deterministic partial result — and only then does the
+    // process exit with the campaign's standardized code.
     let json = campaign.to_json_with(timings);
     std::fs::write(&out_path, &json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    let completed = campaign.runs.iter().filter(|run| run.report.is_some()).count();
     println!(
         "wrote {out_path} ({} runs, {})",
         campaign.runs.len(),
-        if campaign.verified() { "all verified" } else { "VERIFICATION FAILURES" },
+        if completed < campaign.runs.len() {
+            format!("{completed} completed")
+        } else if campaign.verified() {
+            "all verified".to_string()
+        } else {
+            "VERIFICATION FAILURES".to_string()
+        },
     );
+    if let Some(junit_out) = junit_path {
+        std::fs::write(&junit_out, junit_xml(&campaign))
+            .map_err(|e| format!("cannot write {junit_out}: {e}"))?;
+        println!("wrote {junit_out} (JUnit XML, simulated-seconds times)");
+    }
     if let Some(trace_out) = trace_path {
         // Replayed from the deterministic reports after the fact, so the
         // trace — like the artifact — is byte-identical for every --jobs
-        // value and costs nothing unless requested.
+        // value and costs nothing unless requested. Skipped runs have no
+        // report and therefore no process lane.
         let mut tracer = Tracer::new();
         for (pid, run) in campaign.runs.iter().enumerate() {
-            trace_run(&mut tracer, pid as u64, &run.spec.id(), &run.report);
+            if let Some(report) = &run.report {
+                trace_run(&mut tracer, pid as u64, &run.spec.id(), report);
+            }
         }
         std::fs::write(&trace_out, tracer.export())
             .map_err(|e| format!("cannot write {trace_out}: {e}"))?;
         println!("wrote {trace_out} (simulated-timeline trace, 1 µs = 1 simulated ps)");
     }
-    Ok(campaign.verified())
+    let exit = campaign.exit();
+    if exit.reason != ExitReason::Ok {
+        eprintln!("campaign exit: {} ({})", exit.reason.as_str(), exit.detail);
+    }
+    Ok(exit.reason.code())
 }
 
-fn cmd_profile(args: &[String]) -> Result<bool, String> {
+fn cmd_profile(args: &[String]) -> Result<u8, CliError> {
     let [path] = args else {
         return Err("usage: mondrian profile <result.json>".into());
     };
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     print!("{}", profile(&text)?);
-    Ok(true)
+    Ok(0)
 }
 
-fn cmd_bench(args: &[String]) -> Result<bool, String> {
+fn cmd_bench(args: &[String]) -> Result<u8, CliError> {
     let mut manifest_path: Option<&str> = None;
     let mut out_path = "BENCH_sweep.json".to_string();
     let mut history_path: Option<String> = Some("BENCH_history.jsonl".to_string());
@@ -301,10 +386,10 @@ fn cmd_bench(args: &[String]) -> Result<bool, String> {
                 let n = it.next().ok_or("--repeat needs a count")?;
                 repeat = match n.parse() {
                     Ok(n) if n >= 1 => n,
-                    _ => return Err(format!("--repeat must be a positive count, got {n:?}")),
+                    _ => return Err(format!("--repeat must be a positive count, got {n:?}").into()),
                 };
             }
-            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}").into()),
             path => {
                 if manifest_path.replace(path).is_some() {
                     return Err("exactly one manifest path expected".into());
@@ -341,7 +426,9 @@ fn cmd_bench(args: &[String]) -> Result<bool, String> {
             .map_err(|e| format!("cannot append to {history}: {e}"))?;
         println!("appended {history}");
     }
-    Ok(ok)
+    // A cross-worker artifact mismatch is a determinism bug, not a
+    // campaign failure mode: internal_error.
+    Ok(if ok { 0 } else { ExitReason::InternalError.code() })
 }
 
 /// The commit the benchmark ran on: `GITHUB_SHA` in CI, the local git
@@ -363,7 +450,7 @@ fn current_commit() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
-fn cmd_explain(args: &[String]) -> Result<bool, String> {
+fn cmd_explain(args: &[String]) -> Result<u8, CliError> {
     let path = match args {
         [path] => path,
         _ => return Err("usage: mondrian explain <manifest>".into()),
@@ -454,7 +541,7 @@ fn cmd_explain(args: &[String]) -> Result<bool, String> {
     for run in &runs {
         println!("  {}", run.label());
     }
-    Ok(true)
+    Ok(0)
 }
 
 fn describe_input(input: StageInput, i: usize) -> String {
@@ -466,7 +553,14 @@ fn describe_input(input: StageInput, i: usize) -> String {
     }
 }
 
-fn cmd_diff(args: &[String]) -> Result<bool, String> {
+/// `mondrian diff` exit codes, disjoint from the campaign taxonomy so
+/// CI gates can distinguish "regressed" from "broken": 0 compared (and
+/// within any `--fail-on-regression` gate), 1 error, 20 gate exceeded,
+/// 21 no matched runs.
+const DIFF_EXIT_REGRESSION: u8 = 20;
+const DIFF_EXIT_NO_MATCHES: u8 = 21;
+
+fn cmd_diff(args: &[String]) -> Result<u8, CliError> {
     let mut paths: Vec<&str> = Vec::new();
     let mut fail_on: Option<f64> = None;
     let mut it = args.iter();
@@ -477,7 +571,7 @@ fn cmd_diff(args: &[String]) -> Result<bool, String> {
                 let pct: f64 = pct.parse().map_err(|_| format!("bad percentage {pct:?}"))?;
                 fail_on = Some(pct);
             }
-            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}").into()),
             path => paths.push(path),
         }
     }
@@ -491,22 +585,23 @@ fn cmd_diff(args: &[String]) -> Result<bool, String> {
     let report = diff(&read(a)?, &read(b)?)?;
     print!("{}", report.render_with_host(host_cores()));
     if report.rows.is_empty() {
-        return Err("no matched runs between the two artifacts".into());
+        eprintln!("no matched runs between the two artifacts");
+        return Ok(DIFF_EXIT_NO_MATCHES);
     }
     if let Some(pct) = fail_on {
         let worst = report.max_regression_pct();
         if worst > pct {
             eprintln!("regression gate failed: {worst:+.2}% > {pct}% allowed");
-            return Ok(false);
+            return Ok(DIFF_EXIT_REGRESSION);
         }
     }
-    Ok(true)
+    Ok(0)
 }
 
-fn cmd_list_systems() -> Result<bool, String> {
+fn cmd_list_systems() -> Result<u8, CliError> {
     for kind in SystemKind::ALL {
         println!("{}", SystemConfig::scaled(kind).table3_sheet());
         println!();
     }
-    Ok(true)
+    Ok(0)
 }

@@ -28,10 +28,32 @@
 //! topology = ["tiny", "scaled"] # HMC/vault topology axis
 //! underprovision = [0.5, 1.0]   # §5.4 permutable-region sizing axis
 //!
+//! [limits]                      # optional cooperative resource limits
+//! wall_time_ms = 60000          # campaign wall-clock budget (host time)
+//! max_events = 1000000          # per-run non-tick event budget (sim state)
+//! max_sweep_points = 64         # cap on the resolved cross product
+//! max_memory_bytes = 16777216   # cap on the estimated peak relation bytes
+//!
+//! [assertions]                  # optional result assertions
+//! max_makespan_ps = 900000000   # per-run simulated-makespan ceiling
+//! matches_serial = true         # require every scheduled stage to verify
+//! stage_digests = ["0011223344556677"]  # expected per-stage output
+//!                               # digests (16 hex chars, one per stage)
+//!
+//! [faults]                      # optional deterministic fault plan
+//! run = 0                       # sweep position the plan targets
+//! panic_at_event = 100          # panic at the Nth non-tick event
+//! stall_at_event = 100          # stall instead (stall_ms per fire)
+//! stall_ms = 50
+//! corrupt_digest_stage = 1      # XOR-corrupt this stage's digest
+//! panic_in_vault_poll = true    # panic inside a vault poll
+//! times = 1                     # fires before disarming; default unlimited
+//!
 //! [[stage]]                     # one per pipeline stage, in order
 //! op = "filter"                 # stage name (see StageSpec)
 //! modulus = 10
 //! remainder = 0
+//! # name = "drop-odds"          # optional unique label (JUnit, traces)
 //! # input = "prev"              # "prev" (default) | "source" | stage index,
 //! #                             # or a list of edges for multi-input stages
 //! #                             # (union 2+, cogroup exactly 2): input = [0, 1]
@@ -39,7 +61,14 @@
 //!
 //! A JSON manifest is the same tree spelled as an object:
 //! `{"campaign": {...}, "sweep": {...}, "stage": [{...}, ...]}`.
+//!
+//! Parsing is strict: unknown keys in any section (and duplicate stage
+//! names) are rejected, and every parse error maps to the CLI's
+//! `invalid_manifest` exit code. The `MONDRIAN_FAULT` environment
+//! variable overrides `[faults]` with the same keys spelled as a
+//! `;`-separated list (`run=0;panic_at_event=100;times=1`).
 
+use mondrian_core::fault::FaultPlan;
 use mondrian_core::{KeyDist, SystemKind};
 use mondrian_pipeline::{
     BuildSide, Concurrency, Pipeline, PipelineConfig, Stage, StageInput, StageSpec,
@@ -119,6 +148,37 @@ impl RunSpec {
     }
 }
 
+/// Cooperative resource limits (`[limits]`). Every limit is enforced at
+/// deterministic checkpoints, so a tripped limit truncates the campaign
+/// at the same point for every `--jobs` / `--sim-threads` value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Limits {
+    /// Campaign wall-clock budget in milliseconds (host time; checked at
+    /// sweep, stage, and wave boundaries).
+    pub wall_time_ms: Option<u64>,
+    /// Per-run non-tick event budget (pure simulation state).
+    pub max_events: Option<u64>,
+    /// Cap on the resolved sweep cross product; runs past the cap are
+    /// skipped before execution.
+    pub max_sweep_points: Option<usize>,
+    /// Cap on a run's estimated peak relation footprint, derived from
+    /// the manifest's cardinalities before execution.
+    pub max_memory_bytes: Option<u64>,
+}
+
+/// Campaign-level result assertions (`[assertions]`), evaluated at
+/// artifact-assembly time against each completed run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Assertions {
+    /// Per-run simulated-makespan ceiling in picoseconds.
+    pub max_makespan_ps: Option<u64>,
+    /// Require every scheduled-concurrency stage to match the serial
+    /// reference.
+    pub matches_serial: bool,
+    /// Expected per-stage output digests (one per stage, in order).
+    pub stage_digests: Option<Vec<u64>>,
+}
+
 /// A parsed campaign manifest.
 #[derive(Debug, Clone)]
 pub struct Manifest {
@@ -154,6 +214,14 @@ pub struct Manifest {
     pub sim_threads: Option<usize>,
     /// The pipeline stages.
     pub stages: Vec<Stage>,
+    /// Optional per-stage labels (unique when present).
+    pub stage_names: Vec<Option<String>>,
+    /// Cooperative resource limits.
+    pub limits: Limits,
+    /// Result assertions.
+    pub assertions: Assertions,
+    /// Deterministic fault plan (`[faults]` or `MONDRIAN_FAULT`).
+    pub fault: Option<FaultPlan>,
 }
 
 impl Manifest {
@@ -176,7 +244,29 @@ impl Manifest {
     ///
     /// Returns a description of the first schema error.
     pub fn from_value(doc: &Value) -> Result<Manifest, String> {
+        check_keys(
+            doc,
+            "the manifest",
+            &["campaign", "sweep", "stage", "limits", "assertions", "faults"],
+        )?;
         let campaign = doc.get("campaign").ok_or("missing [campaign] section")?;
+        check_keys(
+            campaign,
+            "[campaign]",
+            &[
+                "name",
+                "systems",
+                "topology",
+                "tuples_per_vault",
+                "seed",
+                "key_dist",
+                "zipf_theta",
+                "key_bound",
+                "concurrency",
+                "jobs",
+                "sim_threads",
+            ],
+        )?;
         let name = campaign
             .get("name")
             .and_then(Value::as_str)
@@ -258,6 +348,11 @@ impl Manifest {
         let mut topologies = vec![tiny];
         let mut underprovision: Vec<Option<f64>> = vec![None];
         if let Some(sweep) = doc.get("sweep") {
+            check_keys(
+                sweep,
+                "[sweep]",
+                &["tuples_per_vault", "seeds", "zipf_theta", "topology", "underprovision"],
+            )?;
             if let Some(v) = sweep.get("tuples_per_vault") {
                 tuples_per_vault = int_list(v, "sweep.tuples_per_vault")?
                     .into_iter()
@@ -300,6 +395,19 @@ impl Manifest {
             }
         }
 
+        let limits = match doc.get("limits") {
+            None => Limits::default(),
+            Some(v) => parse_limits(v)?,
+        };
+        let assertions = match doc.get("assertions") {
+            None => Assertions::default(),
+            Some(v) => parse_assertions(v)?,
+        };
+        let fault = match doc.get("faults") {
+            None => None,
+            Some(v) => Some(parse_faults(v)?),
+        };
+
         let stage_list = doc
             .get("stage")
             .and_then(Value::as_array)
@@ -307,11 +415,31 @@ impl Manifest {
         if stage_list.is_empty() {
             return Err("at least one [[stage]] is required".into());
         }
-        let stages = stage_list
-            .iter()
-            .enumerate()
-            .map(|(i, s)| parse_stage(s).map_err(|e| format!("stage {i}: {e}")))
-            .collect::<Result<Vec<_>, _>>()?;
+        let mut stages = Vec::with_capacity(stage_list.len());
+        let mut stage_names: Vec<Option<String>> = Vec::with_capacity(stage_list.len());
+        for (i, s) in stage_list.iter().enumerate() {
+            let (stage, name) = parse_stage(s).map_err(|e| format!("stage {i}: {e}"))?;
+            if let Some(name) = &name {
+                if let Some(prev) =
+                    stage_names.iter().position(|n| n.as_deref() == Some(name.as_str()))
+                {
+                    return Err(format!(
+                        "stage {i}: duplicate stage name {name:?} (already used by stage {prev})"
+                    ));
+                }
+            }
+            stages.push(stage);
+            stage_names.push(name);
+        }
+        if let Some(digests) = &assertions.stage_digests {
+            if digests.len() != stages.len() {
+                return Err(format!(
+                    "assertions.stage_digests has {} entries but the pipeline has {} stages",
+                    digests.len(),
+                    stages.len()
+                ));
+            }
+        }
         let manifest = Manifest {
             name,
             systems,
@@ -327,6 +455,10 @@ impl Manifest {
             jobs,
             sim_threads,
             stages,
+            stage_names,
+            limits,
+            assertions,
+            fault,
         };
         manifest.pipeline().validate()?;
         Ok(manifest)
@@ -383,6 +515,145 @@ impl Manifest {
         cfg.sim_threads = self.sim_threads.unwrap_or(0);
         cfg
     }
+}
+
+/// Rejects unknown keys in a section — schema typos surface at parse
+/// time as `invalid_manifest` instead of silently changing behavior.
+fn check_keys(table: &Value, ctx: &str, allowed: &[&str]) -> Result<(), String> {
+    if let Value::Table(entries) = table {
+        for key in entries.keys() {
+            if !allowed.contains(&key.as_str()) {
+                let mut expected: Vec<&str> = allowed.to_vec();
+                expected.sort_unstable();
+                return Err(format!("unknown key {key:?} in {ctx}; expected one of {expected:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn get_bool(table: &Value, ctx: &str, key: &str) -> Result<Option<bool>, String> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(v) => match v.as_bool() {
+            Some(b) => Ok(Some(b)),
+            None => Err(format!("{ctx} must be a boolean")),
+        },
+    }
+}
+
+fn parse_limits(v: &Value) -> Result<Limits, String> {
+    check_keys(
+        v,
+        "[limits]",
+        &["wall_time_ms", "max_events", "max_sweep_points", "max_memory_bytes"],
+    )?;
+    Ok(Limits {
+        wall_time_ms: get_u64(v, "limits.wall_time_ms", "wall_time_ms")?,
+        max_events: get_u64(v, "limits.max_events", "max_events")?,
+        max_sweep_points: get_usize(v, "limits.max_sweep_points", "max_sweep_points")?,
+        max_memory_bytes: get_u64(v, "limits.max_memory_bytes", "max_memory_bytes")?,
+    })
+}
+
+fn parse_assertions(v: &Value) -> Result<Assertions, String> {
+    check_keys(v, "[assertions]", &["max_makespan_ps", "matches_serial", "stage_digests"])?;
+    let stage_digests = match v.get("stage_digests") {
+        None => None,
+        Some(list) => {
+            let items =
+                list.as_array().ok_or("assertions.stage_digests must be an array of strings")?;
+            let mut digests = Vec::with_capacity(items.len());
+            for item in items {
+                let hex =
+                    item.as_str().ok_or("assertions.stage_digests entries must be strings")?;
+                if hex.len() != 16 {
+                    return Err(format!(
+                        "assertions.stage_digests entry {hex:?} must be 16 hex characters"
+                    ));
+                }
+                let digest = u64::from_str_radix(hex, 16).map_err(|_| {
+                    format!("assertions.stage_digests entry {hex:?} must be 16 hex characters")
+                })?;
+                digests.push(digest);
+            }
+            Some(digests)
+        }
+    };
+    Ok(Assertions {
+        max_makespan_ps: get_u64(v, "assertions.max_makespan_ps", "max_makespan_ps")?,
+        matches_serial: get_bool(v, "assertions.matches_serial", "matches_serial")?
+            .unwrap_or(false),
+        stage_digests,
+    })
+}
+
+fn parse_faults(v: &Value) -> Result<FaultPlan, String> {
+    check_keys(
+        v,
+        "[faults]",
+        &[
+            "run",
+            "panic_at_event",
+            "stall_at_event",
+            "stall_ms",
+            "corrupt_digest_stage",
+            "panic_in_vault_poll",
+            "times",
+        ],
+    )?;
+    Ok(FaultPlan {
+        run: get_usize(v, "faults.run", "run")?.unwrap_or(0),
+        panic_at_event: get_u64(v, "faults.panic_at_event", "panic_at_event")?,
+        stall_at_event: get_u64(v, "faults.stall_at_event", "stall_at_event")?,
+        stall_ms: get_u64(v, "faults.stall_ms", "stall_ms")?.unwrap_or(50),
+        corrupt_digest_stage: get_usize(v, "faults.corrupt_digest_stage", "corrupt_digest_stage")?,
+        panic_in_vault_poll: get_bool(v, "faults.panic_in_vault_poll", "panic_in_vault_poll")?
+            .unwrap_or(false),
+        times: get_u64(v, "faults.times", "times")?,
+    })
+}
+
+/// Parses a `MONDRIAN_FAULT` specification: the `[faults]` keys as a
+/// `;`-separated `key=value` list, e.g. `run=0;panic_at_event=100;times=1`.
+///
+/// # Errors
+///
+/// Returns a description of the first unknown key or malformed value.
+pub fn parse_fault_spec(spec: &str) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan { stall_ms: 50, ..FaultPlan::default() };
+    for part in spec.split(';').map(str::trim).filter(|p| !p.is_empty()) {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("MONDRIAN_FAULT entry {part:?} is not key=value"))?;
+        let (key, value) = (key.trim(), value.trim());
+        let int = || -> Result<u64, String> {
+            value.parse::<u64>().map_err(|_| {
+                format!("MONDRIAN_FAULT {key}={value:?} must be a non-negative integer")
+            })
+        };
+        match key {
+            "run" => plan.run = int()? as usize,
+            "panic_at_event" => plan.panic_at_event = Some(int()?),
+            "stall_at_event" => plan.stall_at_event = Some(int()?),
+            "stall_ms" => plan.stall_ms = int()?,
+            "corrupt_digest_stage" => plan.corrupt_digest_stage = Some(int()? as usize),
+            "panic_in_vault_poll" => {
+                plan.panic_in_vault_poll = match value {
+                    "true" => true,
+                    "false" => false,
+                    _ => {
+                        return Err(format!(
+                            "MONDRIAN_FAULT panic_in_vault_poll={value:?} must be true or false"
+                        ))
+                    }
+                }
+            }
+            "times" => plan.times = Some(int()?),
+            other => return Err(format!("MONDRIAN_FAULT has unknown key {other:?}")),
+        }
+    }
+    Ok(plan)
 }
 
 fn parse_system(name: &str) -> Result<SystemKind, String> {
@@ -448,8 +719,30 @@ fn parse_input_edge(v: &Value) -> Result<StageInput, String> {
     }
 }
 
-fn parse_stage(s: &Value) -> Result<Stage, String> {
+fn parse_stage(s: &Value) -> Result<(Stage, Option<String>), String> {
     let op = s.get("op").and_then(Value::as_str).ok_or("missing op (string)")?;
+    let op_keys: &[&str] = match op {
+        "filter" => &["modulus", "remainder"],
+        "lookup_key" => &["key"],
+        "map" => &["key_mul", "key_add"],
+        "map_values" => &["mul", "add"],
+        "flat_map" => &["fanout"],
+        "join" => &["build"],
+        _ => &[],
+    };
+    let mut allowed = vec!["op", "input", "name"];
+    allowed.extend_from_slice(op_keys);
+    check_keys(s, &format!("[[stage]] op = {op:?}"), &allowed)?;
+    let name = match s.get("name") {
+        None => None,
+        Some(v) => {
+            let name = v.as_str().ok_or("stage name must be a string")?;
+            if name.is_empty() {
+                return Err("stage name must be non-empty".into());
+            }
+            Some(name.to_string())
+        }
+    };
     let u = |key: &str, default: u64| -> Result<u64, String> {
         get_u64(s, key, key).map(|v| v.unwrap_or(default))
     };
@@ -515,7 +808,7 @@ fn parse_stage(s: &Value) -> Result<Stage, String> {
             None => vec![parse_input_edge(v)?],
         },
     };
-    Ok(Stage { spec, inputs })
+    Ok((Stage { spec, inputs }, name))
 }
 
 #[cfg(test)]
@@ -735,6 +1028,127 @@ mod tests {
         assert!(Manifest::parse(forward_input, Format::Toml)
             .unwrap_err()
             .contains("not an earlier stage"));
+    }
+
+    #[test]
+    fn limits_assertions_and_faults_parse() {
+        let text = format!(
+            "{MINIMAL}\n\
+             [limits]\n\
+             wall_time_ms = 60000\n\
+             max_events = 1000\n\
+             max_sweep_points = 4\n\
+             max_memory_bytes = 1048576\n\
+             [assertions]\n\
+             max_makespan_ps = 900000000\n\
+             matches_serial = true\n\
+             stage_digests = [\"0011223344556677\", \"8899aabbccddeeff\", \"0000000000000001\"]\n\
+             [faults]\n\
+             run = 1\n\
+             panic_at_event = 100\n\
+             times = 1\n"
+        );
+        let m = Manifest::parse(&text, Format::Toml).unwrap();
+        assert_eq!(
+            m.limits,
+            Limits {
+                wall_time_ms: Some(60000),
+                max_events: Some(1000),
+                max_sweep_points: Some(4),
+                max_memory_bytes: Some(1_048_576),
+            }
+        );
+        assert_eq!(m.assertions.max_makespan_ps, Some(900_000_000));
+        assert!(m.assertions.matches_serial);
+        assert_eq!(
+            m.assertions.stage_digests,
+            Some(vec![0x0011_2233_4455_6677, 0x8899_aabb_ccdd_eeff, 1])
+        );
+        let fault = m.fault.unwrap();
+        assert_eq!((fault.run, fault.panic_at_event, fault.times), (1, Some(100), Some(1)));
+
+        // Absent sections give inert defaults.
+        let plain = Manifest::parse(MINIMAL, Format::Toml).unwrap();
+        assert_eq!(plain.limits, Limits::default());
+        assert_eq!(plain.assertions, Assertions::default());
+        assert!(plain.fault.is_none());
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_with_exact_messages() {
+        // Snapshot the messages: the CLI surfaces them verbatim under the
+        // invalid_manifest exit code, so they are part of the contract.
+        let top = format!("{MINIMAL}\n[limitz]\nmax_events = 1\n");
+        assert_eq!(
+            Manifest::parse(&top, Format::Toml).unwrap_err(),
+            "unknown key \"limitz\" in the manifest; expected one of \
+             [\"assertions\", \"campaign\", \"faults\", \"limits\", \"stage\", \"sweep\"]"
+        );
+        let campaign = MINIMAL.replace("name = \"t\"", "name = \"t\"\nretries = 3");
+        assert_eq!(
+            Manifest::parse(&campaign, Format::Toml).unwrap_err(),
+            "unknown key \"retries\" in [campaign]; expected one of \
+             [\"concurrency\", \"jobs\", \"key_bound\", \"key_dist\", \"name\", \"seed\", \
+             \"sim_threads\", \"systems\", \"topology\", \"tuples_per_vault\", \"zipf_theta\"]"
+        );
+        let stage = MINIMAL.replace("op = \"filter\"", "op = \"filter\"\nmodulos = 2");
+        assert_eq!(
+            Manifest::parse(&stage, Format::Toml).unwrap_err(),
+            "stage 0: unknown key \"modulos\" in [[stage]] op = \"filter\"; expected one of \
+             [\"input\", \"modulus\", \"name\", \"op\", \"remainder\"]"
+        );
+        // A key valid for another op is still unknown for this one.
+        let cross = MINIMAL.replace("op = \"filter\"", "op = \"filter\"\nfanout = 2");
+        assert!(Manifest::parse(&cross, Format::Toml)
+            .unwrap_err()
+            .contains("unknown key \"fanout\""));
+        let sweep = format!("{MINIMAL}\n[sweep]\nseed = [1, 2]\n");
+        assert!(Manifest::parse(&sweep, Format::Toml)
+            .unwrap_err()
+            .contains("unknown key \"seed\" in [sweep]"));
+        let limits = format!("{MINIMAL}\n[limits]\nwalltime = 5\n");
+        assert!(Manifest::parse(&limits, Format::Toml)
+            .unwrap_err()
+            .contains("unknown key \"walltime\" in [limits]"));
+    }
+
+    #[test]
+    fn duplicate_stage_names_are_rejected() {
+        let named = MINIMAL
+            .replace("op = \"filter\"", "op = \"filter\"\nname = \"a\"")
+            .replace("op = \"reduce_by_key\"", "op = \"reduce_by_key\"\nname = \"a\"");
+        assert_eq!(
+            Manifest::parse(&named, Format::Toml).unwrap_err(),
+            "stage 1: duplicate stage name \"a\" (already used by stage 0)"
+        );
+        let distinct = MINIMAL
+            .replace("op = \"filter\"", "op = \"filter\"\nname = \"a\"")
+            .replace("op = \"reduce_by_key\"", "op = \"reduce_by_key\"\nname = \"b\"");
+        let m = Manifest::parse(&distinct, Format::Toml).unwrap();
+        assert_eq!(m.stage_names, vec![Some("a".into()), Some("b".into()), None]);
+    }
+
+    #[test]
+    fn stage_digest_assertions_validate_shape() {
+        let short = format!("{MINIMAL}\n[assertions]\nstage_digests = [\"0011223344556677\"]\n");
+        assert!(Manifest::parse(&short, Format::Toml)
+            .unwrap_err()
+            .contains("1 entries but the pipeline has 3 stages"));
+        let bad_hex = format!("{MINIMAL}\n[assertions]\nstage_digests = [\"xyz\", \"a\", \"b\"]\n");
+        assert!(Manifest::parse(&bad_hex, Format::Toml)
+            .unwrap_err()
+            .contains("must be 16 hex characters"));
+    }
+
+    #[test]
+    fn fault_env_spec_parses() {
+        let plan = parse_fault_spec("run=2; panic_at_event=50; times=1").unwrap();
+        assert_eq!((plan.run, plan.panic_at_event, plan.times), (2, Some(50), Some(1)));
+        let poll = parse_fault_spec("panic_in_vault_poll=true").unwrap();
+        assert!(poll.panic_in_vault_poll);
+        assert!(parse_fault_spec("frob=1").unwrap_err().contains("unknown key \"frob\""));
+        assert!(parse_fault_spec("run").unwrap_err().contains("not key=value"));
+        assert!(parse_fault_spec("run=x").unwrap_err().contains("non-negative integer"));
     }
 
     #[test]

@@ -1,8 +1,14 @@
 //! The example manifests shipped under `examples/manifests/` must keep
 //! parsing and verifying: they are the CLI's documented entry points.
 
-use mondrian_cli::campaign::run_campaign;
+use mondrian_cli::campaign::{run_campaign, CampaignRun};
 use mondrian_cli::manifest::{Format, Manifest};
+use mondrian_pipeline::PipelineReport;
+
+/// Every example campaign completes, so each run carries a report.
+fn rep(run: &CampaignRun) -> &PipelineReport {
+    run.report.as_ref().expect("example runs complete")
+}
 
 fn example(name: &str) -> String {
     let path = format!("{}/../../examples/manifests/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -54,11 +60,11 @@ fn cogroup_union_manifest_runs_all_new_stage_kinds() {
     serial.concurrency = mondrian_pipeline::Concurrency::Serial;
     let s = run_campaign(&serial, |_| {});
     for (br, sr) in branch.runs.iter().zip(&s.runs) {
-        assert_eq!(br.report.output, sr.report.output);
-        for (bs, ss) in br.report.stages.iter().zip(&sr.report.stages) {
+        assert_eq!(rep(br).output, rep(sr).output);
+        for (bs, ss) in rep(br).stages.iter().zip(&rep(sr).stages) {
             assert_eq!(bs.output_digest, ss.output_digest, "{} diverged", bs.spec);
         }
-        assert!(br.report.makespan_ps() <= sr.report.makespan_ps());
+        assert!(rep(br).makespan_ps() <= rep(sr).makespan_ps());
     }
 }
 
@@ -83,7 +89,7 @@ fn stream_chain_campaign_beats_branch_with_identical_outputs() {
 
     let mut strictly_faster = Vec::new();
     for ((sr, br), ser) in st.runs.iter().zip(&br.runs).zip(&se.runs) {
-        for (ss, es) in sr.report.stages.iter().zip(&ser.report.stages) {
+        for (ss, es) in rep(sr).stages.iter().zip(&rep(ser).stages) {
             assert_eq!(
                 ss.output_digest,
                 es.output_digest,
@@ -92,12 +98,12 @@ fn stream_chain_campaign_beats_branch_with_identical_outputs() {
                 ss.spec
             );
         }
-        assert_eq!(sr.report.output, ser.report.output);
+        assert_eq!(rep(sr).output, rep(ser).output);
         // A linear chain: branch ≡ serial, and stream never slower.
-        assert_eq!(br.report.makespan_ps(), ser.report.makespan_ps());
-        assert!(sr.report.makespan_ps() <= br.report.makespan_ps());
-        if sr.report.makespan_ps() < br.report.makespan_ps() {
-            assert!(sr.report.schedule.any_streamed());
+        assert_eq!(rep(br).makespan_ps(), rep(ser).makespan_ps());
+        assert!(rep(sr).makespan_ps() <= rep(br).makespan_ps());
+        if rep(sr).makespan_ps() < rep(br).makespan_ps() {
+            assert!(rep(sr).schedule.any_streamed());
             strictly_faster.push(sr.spec.system);
         }
     }
@@ -127,7 +133,7 @@ fn branch_join_campaign_beats_serial_with_identical_outputs() {
     for (br, sr) in b.runs.iter().zip(&s.runs) {
         assert_eq!(br.spec, sr.spec);
         // Stage outputs byte-identical between the two modes.
-        for (bs, ss) in br.report.stages.iter().zip(&sr.report.stages) {
+        for (bs, ss) in rep(br).stages.iter().zip(&rep(sr).stages) {
             assert_eq!(
                 bs.output_digest,
                 ss.output_digest,
@@ -136,9 +142,9 @@ fn branch_join_campaign_beats_serial_with_identical_outputs() {
                 bs.spec
             );
         }
-        assert_eq!(br.report.output, sr.report.output);
-        assert!(br.report.makespan_ps() <= sr.report.makespan_ps());
-        if br.report.makespan_ps() < sr.report.makespan_ps() {
+        assert_eq!(rep(br).output, rep(sr).output);
+        assert!(rep(br).makespan_ps() <= rep(sr).makespan_ps());
+        if rep(br).makespan_ps() < rep(sr).makespan_ps() {
             strictly_faster += 1;
         }
     }

@@ -43,7 +43,7 @@ impl ProgressSink for CollectingSink {
 fn trace_of(campaign: &Campaign) -> String {
     let mut tracer = Tracer::new();
     for (pid, run) in campaign.runs.iter().enumerate() {
-        trace_run(&mut tracer, pid as u64, &run.spec.id(), &run.report);
+        trace_run(&mut tracer, pid as u64, &run.spec.id(), run.report.as_ref().unwrap());
     }
     tracer.export()
 }

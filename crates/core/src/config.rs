@@ -1,5 +1,8 @@
 //! System configurations: the six evaluated machines (§6, Table 3).
 
+use std::sync::Arc;
+
+use crate::fault::FaultHandle;
 use mondrian_cache::CacheConfig;
 use mondrian_cores::CoreConfig;
 use mondrian_mem::{AddressMap, PartitionView, VaultConfig};
@@ -190,6 +193,15 @@ pub struct SystemConfig {
     /// simulation-speed knob: results are byte-identical for every value.
     /// 1 = fully serial.
     pub sim_threads: usize,
+    /// Cooperative non-tick event budget over this machine's lifetime
+    /// (cumulative across phases). The event loop unwinds with a
+    /// structured [`crate::fault::Abort`] the moment the count would
+    /// exceed the budget — the same simulated instant for every
+    /// `sim_threads` value, because `VaultTick` events never count.
+    pub event_budget: Option<u64>,
+    /// Armed fault-injection plan for this run (no-op unless the
+    /// `fault-inject` feature is compiled in).
+    pub fault: Option<Arc<FaultHandle>>,
 }
 
 impl SystemConfig {
@@ -220,6 +232,8 @@ impl SystemConfig {
             seed: 0x6d6f6e64, // "mond"
             partition: None,
             sim_threads: 1,
+            event_budget: None,
+            fault: None,
         }
     }
 

@@ -14,7 +14,9 @@
 //!   parallel event loop (`sim_threads`): simultaneous vault ticks poll
 //!   concurrently, continuations merge in serial pop order,
 //! * [`experiment`] — the end-to-end driver running Scan/Sort/Group-by/Join
-//!   on any system and verifying results against reference implementations.
+//!   on any system and verifying results against reference implementations,
+//! * [`fault`] — structured aborts (cooperative limits, worker panics) and
+//!   deterministic fault injection behind the `fault-inject` feature.
 //!
 //! # Quickstart
 //!
@@ -34,6 +36,7 @@
 
 pub mod config;
 pub mod experiment;
+pub mod fault;
 pub mod layout;
 mod opexec;
 pub mod pool;
@@ -41,6 +44,7 @@ pub mod system;
 
 pub use config::{PartitionSpec, SystemConfig, SystemKind};
 pub use experiment::{ExperimentBuilder, KeyDist, Report, StageOutput, StreamInfo};
+pub use fault::{Abort, AbortReason, FaultHandle, FaultPlan};
 pub use layout::{Layout, Region};
 pub use mondrian_ops::OperatorKind;
 pub use system::{Machine, PhaseOutcome};

@@ -32,6 +32,9 @@ struct Job {
     vault: *mut VaultController,
     out: *mut Vec<DramCompletion>,
     time: Time,
+    /// Injected failure: the worker panics instead of polling. Exists so
+    /// the panic path is testable without the `fault-inject` feature.
+    boom: bool,
 }
 
 // SAFETY: a Job's pointers are only dereferenced by exactly one worker,
@@ -46,7 +49,7 @@ unsafe impl Send for Job {}
 #[derive(Debug)]
 pub struct TickPool {
     jobs: Option<Sender<Job>>,
-    done: Receiver<bool>,
+    done: Receiver<Result<(), String>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -54,7 +57,7 @@ impl TickPool {
     /// Spawns `threads` parked workers (at least one).
     pub fn new(threads: usize) -> Self {
         let (jobs_tx, jobs_rx) = channel::<Job>();
-        let (done_tx, done_rx) = channel::<bool>();
+        let (done_tx, done_rx) = channel::<Result<(), String>>();
         let jobs_rx = Arc::new(Mutex::new(jobs_rx));
         let workers = (0..threads.max(1))
             .map(|_| {
@@ -68,14 +71,17 @@ impl TickPool {
                         Err(_) => return,
                     };
                     let Ok(job) = job else { return };
-                    let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        if job.boom {
+                            panic!("injected vault-poll fault");
+                        }
                         // SAFETY: see the Send impl — this worker is the
                         // only dereferencer of these pointers, and they
                         // outlive the batch.
                         unsafe { (*job.vault).poll_into(job.time, &mut *job.out) }
                     }))
-                    .is_ok();
-                    let _ = done_tx.send(ok);
+                    .map_err(|payload| crate::fault::panic_message(payload.as_ref()));
+                    let _ = done_tx.send(result);
                 })
             })
             .collect();
@@ -86,16 +92,28 @@ impl TickPool {
     /// writing vault `batch[k].0`'s due completions into `outs[k]`
     /// (cleared first). Blocks until the whole batch has completed.
     ///
+    /// A panicking poll does **not** abort or wedge the pool: the worker
+    /// catches it, the batch still drains to completion (so job and done
+    /// channels stay in sync and the pool remains usable), and the first
+    /// panic's message comes back as `Err`. With `boom` set, the batch's
+    /// first job panics instead of polling — the deterministic injection
+    /// hook for that error path.
+    ///
+    /// # Errors
+    ///
+    /// The first panic message of the batch, verbatim.
+    ///
     /// # Panics
     ///
-    /// Panics when the batch names a vault twice, runs past either slice,
-    /// or a worker's poll panicked (the panic is surfaced here).
+    /// Panics when the batch names a vault twice or runs past either
+    /// slice.
     pub fn poll_batch(
         &self,
         vaults: &mut [VaultController],
         batch: &[(u32, Time)],
         outs: &mut [Vec<DramCompletion>],
-    ) {
+        boom: bool,
+    ) -> Result<(), String> {
         assert!(outs.len() >= batch.len(), "one output slot per batched tick");
         debug_assert!(
             {
@@ -111,12 +129,20 @@ impl TickPool {
                 vault: &mut vaults[v as usize] as *mut VaultController,
                 out: &mut outs[k] as *mut Vec<DramCompletion>,
                 time,
+                boom: boom && k == 0,
             };
             jobs.send(job).expect("a pool worker exited early");
         }
+        let mut first_err = None;
         for _ in 0..batch.len() {
-            let ok = self.done.recv().expect("a pool worker exited early");
-            assert!(ok, "a vault poll panicked on a pool worker");
+            let result = self.done.recv().expect("a pool worker exited early");
+            if let Err(msg) = result {
+                first_err.get_or_insert(msg);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(msg) => Err(msg),
         }
     }
 }
@@ -175,7 +201,7 @@ mod tests {
             }
             let serial_done: Vec<Vec<DramCompletion>> =
                 batch.iter().map(|&(v, t)| serial[v as usize].poll(t)).collect();
-            pool.poll_batch(&mut pooled, &batch, &mut outs);
+            pool.poll_batch(&mut pooled, &batch, &mut outs, false).expect("no injected fault");
             assert_eq!(&outs[..batch.len()], &serial_done[..]);
         }
         assert!(pooled.iter().all(|v| !v.busy()));
@@ -216,7 +242,7 @@ mod tests {
                     None => break,
                 }
             }
-            pool.poll_batch(&mut vaults, &batch, &mut outs);
+            pool.poll_batch(&mut vaults, &batch, &mut outs, false).expect("no injected fault");
             for (k, &(v, t)) in batch.iter().enumerate() {
                 for c in &outs[k] {
                     merged.push((v, c.id, t.max(c.finish)));
@@ -235,6 +261,40 @@ mod tests {
         let pool = TickPool::new(1);
         let mut vaults = vec![loaded_vault(0, 1)];
         let t = vaults[0].next_event_time().unwrap();
-        pool.poll_batch(&mut vaults, &[(0, t)], &mut []);
+        let _ = pool.poll_batch(&mut vaults, &[(0, t)], &mut [], false);
+    }
+
+    /// A panicking vault poll neither aborts the process nor deadlocks
+    /// the pool: the panic comes back as a structured `Err` carrying the
+    /// payload message, and the *same* pool then serves a clean batch.
+    #[test]
+    fn panicking_poll_is_reported_and_pool_survives() {
+        let cfg = VaultConfig::default();
+        let mut vaults: Vec<VaultController> =
+            (0..3).map(|v| loaded_vault(v * cfg.capacity, 4)).collect();
+        let pool = TickPool::new(2);
+        let mut outs: Vec<Vec<DramCompletion>> = vec![Vec::new(); 3];
+        let batch: Vec<(u32, Time)> = vaults
+            .iter()
+            .enumerate()
+            .filter_map(|(v, vault)| vault.next_event_time().map(|t| (v as u32, t)))
+            .collect();
+        assert_eq!(batch.len(), 3, "every vault is loaded");
+        let err = pool.poll_batch(&mut vaults, &batch, &mut outs, true).unwrap_err();
+        assert_eq!(err, "injected vault-poll fault", "payload message propagates verbatim");
+        // The pool drained the whole batch and stays usable: drive the
+        // surviving vaults to idle through the same pool instance.
+        loop {
+            let batch: Vec<(u32, Time)> = vaults
+                .iter()
+                .enumerate()
+                .filter_map(|(v, vault)| vault.next_event_time().map(|t| (v as u32, t)))
+                .collect();
+            if batch.is_empty() {
+                break;
+            }
+            pool.poll_batch(&mut vaults, &batch, &mut outs, false).expect("clean batch");
+        }
+        assert!(vaults.iter().all(|v| !v.busy()));
     }
 }

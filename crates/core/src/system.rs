@@ -19,6 +19,7 @@ use mondrian_noc::{Mesh, MeshStats, SerDesLink, SerDesStats};
 use mondrian_sim::{EventQueue, Stats, Time, PS_PER_NS};
 
 use crate::config::{PartitionSpec, SystemConfig};
+use crate::fault::{self, Abort, AbortReason};
 use crate::pool::TickPool;
 
 /// Smallest simultaneous-tick batch worth handing to the worker pool;
@@ -160,6 +161,10 @@ pub struct Machine {
     /// Lazily spawned worker pool for batched vault ticks; lives for the
     /// machine's lifetime once the first parallel batch appears.
     tick_pool: Option<TickPool>,
+    /// Cumulative non-tick events across every phase this machine has run
+    /// — the deterministic clock the cooperative event budget and the
+    /// `panic_at_event` fault point are measured against.
+    events_done: u64,
     stats: Stats,
 }
 
@@ -221,9 +226,15 @@ impl Machine {
             perm_arrivals: HashMap::new(),
             scratch: PhaseScratch::default(),
             tick_pool: None,
+            events_done: 0,
             stats: Stats::new(),
             cfg,
         }
+    }
+
+    /// Cumulative non-tick events processed over this machine's lifetime.
+    pub fn events_done(&self) -> u64 {
+        self.events_done
     }
 
     /// The configuration.
@@ -517,6 +528,20 @@ impl Machine {
             assert!(guard < 2_000_000_000, "event-loop runaway in phase {label}");
             if !matches!(ev, Ev::VaultTick(_)) {
                 events += 1;
+                self.events_done += 1;
+                // Cooperative checkpoints, measured against the cumulative
+                // non-tick event count: `VaultTick` events never count, so
+                // the trip point is the same simulated instant for every
+                // `sim_threads` value.
+                crate::faultpoint!(self.cfg.fault, fault::Site::Event(self.events_done));
+                if let Some(budget) = self.cfg.event_budget {
+                    if self.events_done > budget {
+                        Abort::throw(
+                            AbortReason::LimitEvents,
+                            format!("event budget {budget} exhausted in phase {label}"),
+                        );
+                    }
+                }
             }
             match ev {
                 Ev::Advance(i) => advance_core!(i),
@@ -548,14 +573,27 @@ impl Machine {
                             tick_batch.push((w, t));
                         }
                     }
+                    // One injection decision per batch, taken before the
+                    // serial/pooled split so the failure is identical for
+                    // every `sim_threads` value.
+                    let boom = fault::vault_poll_boom(self.cfg.fault.as_deref());
                     if self.cfg.sim_threads > 1 && tick_batch.len() >= MIN_PARALLEL_TICKS {
                         let pool = self
                             .tick_pool
                             .take()
                             .unwrap_or_else(|| TickPool::new(self.cfg.sim_threads));
-                        pool.poll_batch(&mut self.vaults, tick_batch, tick_done);
+                        let polled = pool.poll_batch(&mut self.vaults, tick_batch, tick_done, boom);
                         self.tick_pool = Some(pool);
+                        if let Err(msg) = polled {
+                            // The pool survives (the batch drained), but
+                            // this run's state is torn: unwind with the
+                            // worker's own panic message.
+                            Abort::throw(AbortReason::WorkerPanic, msg);
+                        }
                     } else {
+                        if boom {
+                            panic!("injected vault-poll fault");
+                        }
                         for (k, &(w, tw)) in tick_batch.iter().enumerate() {
                             self.vaults[w as usize].poll_into(tw, &mut tick_done[k]);
                         }

@@ -22,7 +22,7 @@ mod counters;
 mod progress;
 mod trace;
 
-pub use counters::{Counters, Metric};
+pub use counters::{exit_counter_key, Counters, Metric};
 pub use progress::{ProgressEvent, ProgressSink};
 pub use trace::{Arg, Tracer};
 

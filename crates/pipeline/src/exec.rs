@@ -28,7 +28,9 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
+use mondrian_core::fault::{Abort, AbortReason, FaultHandle};
 use mondrian_core::{ExperimentBuilder, KeyDist, PartitionSpec, Report, SystemConfig, SystemKind};
 use mondrian_noc::{MeshStats, SerDesStats};
 use mondrian_obs::{ProgressEvent, ProgressSink};
@@ -201,7 +203,24 @@ impl Pipeline {
         // only meet at the final comparison.
         let mut outputs: Vec<Rel> = Vec::new();
         let mut serial: Vec<StageRun> = Vec::new();
+        // Non-tick events consumed by completed stages: the run-wide
+        // `max_events` budget is metered here, at stage boundaries, and
+        // the in-flight stage's remainder is enforced inside its own
+        // event loop — both counts are `sim_threads`-invariant.
+        let mut events_used: u64 = 0;
         for (i, stage) in self.stages.iter().enumerate() {
+            check_deadline(cfg);
+            let mut sys = cfg.system_config();
+            if let Some(budget) = cfg.max_events {
+                let remaining = budget.saturating_sub(events_used);
+                if remaining == 0 {
+                    Abort::throw(
+                        AbortReason::LimitEvents,
+                        format!("event budget {budget} exhausted before stage {i}"),
+                    );
+                }
+                sys.event_budget = Some(remaining);
+            }
             sink.emit(
                 label,
                 &ProgressEvent::StageStarted { stage: i, op: stage.name().to_string() },
@@ -210,30 +229,30 @@ impl Pipeline {
             let build = resolve_build(&stage.spec, &outputs);
             let run = if cfg.threads > 1 {
                 std::thread::scope(|scope| {
+                    let sys = sys.clone();
                     let engine = scope.spawn(|| {
-                        run_stage_engine(
-                            cfg,
-                            cfg.system_config(),
-                            stage,
-                            inputs.clone(),
-                            build.clone(),
-                            None,
-                        )
+                        run_stage_engine(cfg, sys, stage, inputs.clone(), build.clone(), None)
                     });
                     let expected =
                         cache.reference_output(plan, cfg, i, stage, &inputs, build.as_deref());
-                    let mut run = engine.join().expect("engine thread panicked");
+                    // Propagate the engine thread's panic *payload* —
+                    // structured aborts (limits, injected faults) must
+                    // reach the campaign's catch_unwind intact.
+                    let mut run = match engine.join() {
+                        Ok(run) => run,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    };
                     run.reference_ok = run.projected[..] == expected[..];
                     run
                 })
             } else {
                 let expected =
                     cache.reference_output(plan, cfg, i, stage, &inputs, build.as_deref());
-                let mut run =
-                    run_stage_engine(cfg, cfg.system_config(), stage, inputs, build, None);
+                let mut run = run_stage_engine(cfg, sys, stage, inputs, build, None);
                 run.reference_ok = run.projected[..] == expected[..];
                 run
             };
+            events_used += run.report.phases.iter().map(|p| p.events).sum::<u64>();
             sink.emit(
                 label,
                 &ProgressEvent::StageFinished {
@@ -285,6 +304,8 @@ impl Pipeline {
             .map(|(i, (stage, run))| {
                 let serial_runtime = run.report.runtime_ps;
                 stage_outcome(
+                    cfg,
+                    i,
                     stage,
                     run,
                     StagePlacement {
@@ -336,6 +357,9 @@ impl Pipeline {
         let mut execs = Vec::with_capacity(dag.waves.len());
 
         for (w, wave_branches) in dag.waves.iter().enumerate() {
+            // Wave boundaries are the branch/stream schedulers'
+            // cooperative wall-time checkpoints.
+            check_deadline(cfg);
             let serial_sum: Time = wave_branches
                 .iter()
                 .flat_map(|&b| &dag.branches[b])
@@ -801,6 +825,8 @@ impl Pipeline {
                 None => run,
             };
             stages.push(stage_outcome(
+                cfg,
+                i,
                 stage,
                 run,
                 StagePlacement {
@@ -951,6 +977,16 @@ fn run_stage_engine(
     StageRun { input_rows, report, projected, reference_ok: false }
 }
 
+/// Cooperative wall-time checkpoint: unwinds with a structured
+/// `limit_wall_time` abort once the run's deadline has passed.
+fn check_deadline(cfg: &PipelineConfig) {
+    if let Some(deadline) = cfg.deadline {
+        if Instant::now() >= deadline {
+            Abort::throw(AbortReason::LimitWallTime, "wall-time budget exhausted");
+        }
+    }
+}
+
 /// Where the schedule placed a stage and how it executed there.
 struct StagePlacement {
     wave: usize,
@@ -960,6 +996,8 @@ struct StagePlacement {
 }
 
 fn stage_outcome(
+    cfg: &PipelineConfig,
+    index: usize,
     stage: &Stage,
     run: StageRun,
     placement: StagePlacement,
@@ -975,7 +1013,11 @@ fn stage_outcome(
         streamed: placement.streamed,
         serial_runtime_ps,
         matches_serial,
-        output_digest: relation_digest(&run.projected),
+        // The digest-corruption fault point: the artifact records a
+        // digest that no longer matches the (correct) relation, which an
+        // `assertions.stage_digests` block then catches at assembly.
+        output_digest: relation_digest(&run.projected)
+            ^ mondrian_core::fault::digest_xor(cfg.fault.as_deref(), index),
         input_rows: run.input_rows,
         output_rows: run.projected.len(),
         reference_ok: run.reference_ok,
@@ -1163,6 +1205,21 @@ pub struct PipelineConfig {
     /// thread count independently of the executor's. Execution-speed
     /// only — artifacts are byte-identical for every value.
     pub sim_threads: usize,
+    /// Cooperative non-tick event budget for the whole run, metered over
+    /// the serial reference pass (stage boundaries plus the in-flight
+    /// stage's own event loop). Exceeding it unwinds with a structured
+    /// `limit_events` abort at a `sim_threads`-invariant point. Branch
+    /// and stream re-executions are alternative timing models of work
+    /// the serial pass already paid for, so they are not re-budgeted.
+    pub max_events: Option<u64>,
+    /// Cooperative wall-time deadline, checked at stage and wave
+    /// boundaries; crossing it unwinds with a structured
+    /// `limit_wall_time` abort. Host-dependent by nature for nonzero
+    /// budgets — an already-expired deadline degrades deterministically.
+    pub deadline: Option<Instant>,
+    /// Armed fault-injection plan for this run (inert unless the
+    /// `fault-inject` feature is compiled into the engine).
+    pub fault: Option<Arc<FaultHandle>>,
 }
 
 impl PipelineConfig {
@@ -1179,6 +1236,9 @@ impl PipelineConfig {
             concurrency: Concurrency::Serial,
             threads: 1,
             sim_threads: 0,
+            max_events: None,
+            deadline: None,
+            fault: None,
         }
     }
 
@@ -1197,6 +1257,7 @@ impl PipelineConfig {
         cfg.tuples_per_vault = self.tuples_per_vault;
         cfg.seed = self.seed;
         cfg.sim_threads = if self.sim_threads > 0 { self.sim_threads } else { self.threads }.max(1);
+        cfg.fault = self.fault.clone();
         cfg
     }
 
