@@ -9,11 +9,13 @@
 //! the sweep, so a flat curve on a one-core container reads as expected
 //! rather than as a regression.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use crate::campaign::run_campaign_jobs;
+use crate::campaign::{run_campaign_jobs, run_campaign_store, store_salt};
 use crate::manifest::Manifest;
 use crate::value::Value;
+use mondrian_store::Store;
 
 /// One point of the jobs ladder.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +32,10 @@ pub struct BenchPoint {
     /// Engine events simulated per host wall-clock second at this point —
     /// the harness's throughput figure of merit.
     pub events_per_sec: f64,
+    /// Persistent-store hits at this point. Plain `bench` runs storeless
+    /// (so parallel ladder points never race warm entries) and records
+    /// `0`; `bench --cache` ladder points record real hit counts.
+    pub cache_hits: u64,
     /// Whether the artifact matched the single-worker baseline byte for
     /// byte.
     pub identical: bool,
@@ -85,6 +91,7 @@ impl BenchReport {
                         t.insert("speedup", Value::Float(round(p.speedup)));
                         t.insert("events", Value::Int(p.events as i64));
                         t.insert("events_per_sec", Value::Float(p.events_per_sec.round()));
+                        t.insert("cache_hits", Value::Int(p.cache_hits as i64));
                         t.insert("identical", Value::Bool(p.identical));
                         t.insert("verified", Value::Bool(p.verified));
                         t
@@ -109,8 +116,8 @@ impl BenchReport {
             .map(|p| {
                 format!(
                     "{{\"jobs\":{},\"wall_ms\":{:.3},\"speedup\":{:.3},\
-                     \"events_per_sec\":{:.0},\"identical\":{}}}",
-                    p.jobs, p.wall_ms, p.speedup, p.events_per_sec, p.identical,
+                     \"events_per_sec\":{:.0},\"cache_hits\":{},\"identical\":{}}}",
+                    p.jobs, p.wall_ms, p.speedup, p.events_per_sec, p.cache_hits, p.identical,
                 )
             })
             .collect();
@@ -205,6 +212,7 @@ pub fn bench(manifest: &Manifest, jobs_list: &[usize], repeat: usize) -> BenchRe
             speedup: base_wall / wall_ms.max(1e-9),
             events,
             events_per_sec: events as f64 * 1e3 / wall_ms.max(1e-9),
+            cache_hits: 0,
             identical: artifact == base_artifact,
             verified,
         });
@@ -452,6 +460,195 @@ pub fn bench_engine(
     }
 }
 
+/// One point of the cold/warm persistence ladder: a full campaign against
+/// the throwaway store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachePoint {
+    /// `"cold"` for the store-populating run, `"warm"` for each re-run.
+    pub label: String,
+    /// Wall-clock milliseconds for the whole campaign.
+    pub wall_ms: f64,
+    /// Cold wall time divided by this point's.
+    pub speedup: f64,
+    /// Persistent-store hits (run + stage + ref entries served).
+    pub cache_hits: u64,
+    /// Persistent-store misses.
+    pub cache_misses: u64,
+    /// Store bytes moved (read + written).
+    pub cache_bytes: u64,
+    /// Runs that actually entered the simulator (neither memoized in
+    /// process nor served whole from the persistent store). Warm points
+    /// must report `0` — that is the claim `bench --cache` exists to gate.
+    pub simulated: usize,
+    /// Whether the artifact matched the cold run byte for byte.
+    pub identical: bool,
+    /// Whether every stage of every run verified.
+    pub verified: bool,
+}
+
+/// Results of one cold/warm persistence sweep (`mondrian bench --cache`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheReport {
+    /// Campaign name.
+    pub campaign: String,
+    /// Runs in the sweep cross product.
+    pub runs: usize,
+    /// Host cores available when the benchmark ran.
+    pub host_cores: usize,
+    /// The cold/warm ladder: one cold point, then the warm repeats.
+    pub points: Vec<CachePoint>,
+}
+
+impl CacheReport {
+    /// Whether every point verified and byte-matched the cold artifact,
+    /// every warm point was served entirely from the store (zero
+    /// simulated runs), and every warm point actually hit it.
+    pub fn ok(&self) -> bool {
+        self.points.iter().all(|p| {
+            p.identical
+                && p.verified
+                && (p.label == "cold" || (p.simulated == 0 && p.cache_hits > 0))
+        })
+    }
+
+    /// The JSON document written to `BENCH_sweep.json` in cache mode.
+    pub fn to_json(&self) -> String {
+        let round = |x: f64| (x * 1000.0).round() / 1000.0;
+        let mut root = Value::table();
+        root.insert("campaign", Value::Str(self.campaign.clone()));
+        root.insert("runs", Value::Int(self.runs as i64));
+        root.insert("host_cores", Value::Int(self.host_cores as i64));
+        root.insert(
+            "cache_sweep",
+            Value::Array(
+                self.points
+                    .iter()
+                    .map(|p| {
+                        let mut t = Value::table();
+                        t.insert("label", Value::Str(p.label.clone()));
+                        t.insert("wall_ms", Value::Float(round(p.wall_ms)));
+                        t.insert("speedup", Value::Float(round(p.speedup)));
+                        t.insert("cache_hits", Value::Int(p.cache_hits as i64));
+                        t.insert("cache_misses", Value::Int(p.cache_misses as i64));
+                        t.insert("cache_bytes", Value::Int(p.cache_bytes as i64));
+                        t.insert("simulated", Value::Int(p.simulated as i64));
+                        t.insert("identical", Value::Bool(p.identical));
+                        t.insert("verified", Value::Bool(p.verified));
+                        t
+                    })
+                    .collect(),
+            ),
+        );
+        root.to_json()
+    }
+
+    /// One compact JSON line for `BENCH_history.jsonl` (cache mode).
+    pub fn history_line(&self, commit: &str) -> String {
+        let json_str = |s: &str| Value::Str(s.to_string()).to_json().trim().to_string();
+        let points: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"label\":{},\"wall_ms\":{:.3},\"speedup\":{:.3},\"cache_hits\":{},\
+                     \"simulated\":{},\"identical\":{}}}",
+                    json_str(&p.label),
+                    p.wall_ms,
+                    p.speedup,
+                    p.cache_hits,
+                    p.simulated,
+                    p.identical,
+                )
+            })
+            .collect();
+        format!(
+            "{{\"commit\":{},\"campaign\":{},\"host_cores\":{},\"runs\":{},\"cache\":[{}]}}",
+            json_str(commit),
+            json_str(&self.campaign),
+            self.host_cores,
+            self.runs,
+            points.join(","),
+        )
+    }
+
+    /// One line per ladder point for terminals.
+    pub fn human_summary(&self) -> String {
+        let mut out = format!(
+            "bench --cache {:?}: {} runs, {} host core(s), throwaway store\n",
+            self.campaign, self.runs, self.host_cores,
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "  {:<5} {:>10.3} ms  {:>6.2}x  {:>6} hits  {:>6} misses  {:>4} simulated  {}{}\n",
+                p.label,
+                p.wall_ms,
+                p.speedup,
+                p.cache_hits,
+                p.cache_misses,
+                p.simulated,
+                if p.identical { "byte-identical" } else { "ARTIFACT DIVERGED" },
+                if p.verified { "" } else { " VERIFICATION FAILED" },
+            ));
+        }
+        out
+    }
+}
+
+/// The cold/warm persistence ladder: one cold campaign populates a
+/// throwaway store under the system temp directory, then `repeat` warm
+/// campaigns re-run against it — each must byte-match the cold artifact
+/// while simulating nothing. A fresh [`Store`] instance per point keeps
+/// the hit/miss counters per-ladder-point. The throwaway root is removed
+/// before returning.
+pub fn bench_cache(manifest: &Manifest, repeat: usize) -> CacheReport {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let root = std::env::temp_dir().join(format!(
+        "mondrian-bench-cache-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed),
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let measure = |label: &str| {
+        let store = Store::open(&root, &store_salt()).ok().map(Arc::new);
+        let start = Instant::now();
+        let campaign = run_campaign_store(manifest, 1, store, &(), |_| {});
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let counters = campaign.cache.unwrap_or_default();
+        let simulated = campaign
+            .runs
+            .iter()
+            .filter(|run| run.report.is_some() && !run.memoized && !run.memoized_persistent)
+            .count();
+        let point = CachePoint {
+            label: label.to_string(),
+            wall_ms,
+            speedup: 1.0,
+            cache_hits: counters.hits(),
+            cache_misses: counters.misses(),
+            cache_bytes: counters.bytes(),
+            simulated,
+            identical: true,
+            verified: campaign.verified(),
+        };
+        (point, campaign.to_json(), campaign.runs.len())
+    };
+
+    let (mut cold, cold_artifact, runs) = measure("cold");
+    cold.speedup = 1.0;
+    let cold_wall = cold.wall_ms;
+    let mut points = vec![cold];
+    for _ in 0..repeat.max(1) {
+        let (mut warm, artifact, _) = measure("warm");
+        warm.speedup = cold_wall / warm.wall_ms.max(1e-9);
+        warm.identical = artifact == cold_artifact;
+        points.push(warm);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    CacheReport { campaign: manifest.name.clone(), runs, host_cores: host_cores(), points }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -551,6 +748,38 @@ mod tests {
         let auto = bench(&Manifest::parse(MANIFEST, Format::Toml).unwrap(), &[1], 1);
         assert_eq!(auto.sim_threads, 0);
         assert!(auto.human_summary().contains("sim_threads=auto"));
+    }
+
+    #[test]
+    fn cache_ladder_cold_populates_then_warm_simulates_nothing() {
+        let manifest = Manifest::parse(MANIFEST, Format::Toml).unwrap();
+        let report = bench_cache(&manifest, 2);
+        assert!(report.ok(), "warm points must byte-match cold and simulate nothing");
+        assert_eq!(report.points.len(), 3, "one cold point + --repeat warm points");
+        let cold = &report.points[0];
+        assert_eq!(cold.label, "cold");
+        assert!(cold.simulated > 0, "the cold run populates the store by simulating");
+        assert!(cold.cache_bytes > 0, "the cold run writes entries");
+        for warm in &report.points[1..] {
+            assert_eq!(warm.label, "warm");
+            assert_eq!(warm.simulated, 0);
+            assert!(warm.cache_hits > 0);
+            assert!(warm.identical);
+        }
+        let doc = crate::value::parse_json(&report.to_json()).unwrap();
+        assert_eq!(
+            doc.get("cache_sweep").and_then(crate::value::Value::as_array).map(<[_]>::len),
+            Some(3)
+        );
+        let line = report.history_line("abc123");
+        assert!(!line.contains('\n'), "jsonl: exactly one line");
+        let doc = crate::value::parse_json(&line).unwrap();
+        assert!(doc.get("cache").is_some());
+        assert!(report.human_summary().contains("byte-identical"));
+        // Plain bench stays storeless: its ladder records zero hits.
+        let plain = bench(&manifest, &[1], 1);
+        assert!(plain.to_json().contains("\"cache_hits\": 0"));
+        assert!(plain.history_line("abc").contains("\"cache_hits\":0"));
     }
 
     #[test]

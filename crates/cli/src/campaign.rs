@@ -9,9 +9,17 @@
 //!   permutable regions) share one simulation; the later run clones the
 //!   earlier report and is marked `memoized` in the artifact.
 //! * **Prefix memo** — the pure per-stage reference outputs are keyed by
-//!   `(plan, source, stage prefix)` in a [`ExecCache`] shared across the
-//!   whole campaign, so sweeping one pipeline over many systems computes
-//!   each shared stage-prefix's semantics once.
+//!   `(stage spec, source, input digests)` in a [`ExecCache`] shared
+//!   across the whole campaign, so sweeping one pipeline over many
+//!   systems computes each shared stage-prefix's semantics once.
+//!
+//! An optional persistent [`Store`] extends both layers across processes
+//! ([`run_campaign_store`]): full-run reports are keyed by the effective
+//! key extended with the plan digest, per-stage results and reference
+//! prefixes by the `ExecCache` digest chain. A run served whole from the
+//! store is marked `memoized_persistent`; faulted, retried, and skipped
+//! runs are never persisted (the same exclusion rule the in-memory memo
+//! applies to the faulted sweep position).
 
 use std::collections::{BTreeMap, HashMap};
 use std::panic::AssertUnwindSafe;
@@ -19,15 +27,30 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use mondrian_core::fault::{Abort, AbortReason, FaultHandle};
-use mondrian_core::SystemKind;
+use mondrian_core::{KeyDist, SystemKind};
 use mondrian_obs::{Counters, Metric, ProgressEvent, ProgressSink};
 use mondrian_pipeline::{
-    run_metrics, BuildSide, ExecCache, PipelineReport, Stage, StageInput, StageSpec, WaveReport,
+    run_metrics, BuildSide, ExecCache, ExecStore, PipelineReport, Stage, StageInput, StageSpec,
+    WaveReport,
 };
 use mondrian_sim::StealQueue;
+use mondrian_store::{CacheCounters, Store};
 
 use crate::manifest::{Manifest, RunSpec};
 use crate::value::Value;
+
+/// The result-artifact schema version. Doubles as the persistent
+/// store's salt ([`store_salt`]): entries written under one schema are
+/// invisible to every other, so a schema bump can never serve stale
+/// shapes.
+pub const SCHEMA_VERSION: i64 = 7;
+
+/// The [`Store::open`] salt binding persistent entries to the artifact
+/// schema (and, through the store's own fingerprint, to the engine
+/// version).
+pub fn store_salt() -> String {
+    format!("schema{SCHEMA_VERSION}")
+}
 
 /// The standardized exit taxonomy: every campaign (and the `mondrian`
 /// process itself) finishes with exactly one of these reasons, each
@@ -137,6 +160,12 @@ pub struct CampaignRun {
     /// Whether the run's first attempt panicked and the bounded retry
     /// ran (regardless of whether the retry then succeeded).
     pub retried: bool,
+    /// Whether the full report was served from the persistent store
+    /// instead of simulated. Like `sim_wall_ms` this is cache
+    /// provenance, not simulation output: it is only serialized under
+    /// `--timings` and `mondrian diff` ignores it, so warm artifacts
+    /// stay byte-identical to cold ones.
+    pub memoized_persistent: bool,
 }
 
 /// Results of a whole campaign.
@@ -155,6 +184,11 @@ pub struct Campaign {
     pub reference_hits: u64,
     /// Worker threads the campaign ran with.
     pub jobs: usize,
+    /// Persistent-store counters for this campaign, when one was
+    /// attached. Hit/miss totals can vary with worker scheduling (racing
+    /// workers may redundantly probe the same reference prefix), so like
+    /// `reference_hits` they are only serialized under `--timings`.
+    pub cache: Option<CacheCounters>,
 }
 
 /// Resolves the worker-thread count for a campaign, in precedence order:
@@ -246,11 +280,34 @@ pub fn run_campaign_sink<F: FnMut(&CampaignRun)>(
     manifest: &Manifest,
     jobs: usize,
     sink: &dyn ProgressSink,
+    progress: F,
+) -> Campaign {
+    run_campaign_store(manifest, jobs, None, sink, progress)
+}
+
+/// [`run_campaign_sink`] with an optional persistent [`Store`] attached.
+/// Owners probe the store before simulating: a full-run hit skips the
+/// simulation entirely (`memoized_persistent`), and on misses the
+/// engine's per-stage and reference-prefix results read through the
+/// store's [`ExecStore`] backing — so an edited manifest re-simulates
+/// only the DAG suffix whose digest chain changed. Runs that end
+/// faulted, retried, skipped, or otherwise non-`Ok` are never written
+/// back. The artifact stays byte-identical to a storeless campaign for
+/// every `jobs`/`sim_threads` value: cache provenance is only
+/// serialized under `--timings`.
+pub fn run_campaign_store<F: FnMut(&CampaignRun)>(
+    manifest: &Manifest,
+    jobs: usize,
+    store: Option<Arc<Store>>,
+    sink: &dyn ProgressSink,
     mut progress: F,
 ) -> Campaign {
     let jobs = jobs.max(1);
     let pipeline = manifest.pipeline();
-    let cache = ExecCache::default();
+    let cache = match &store {
+        Some(s) => ExecCache::with_backing(Arc::clone(s) as Arc<dyn ExecStore>),
+        None => ExecCache::default(),
+    };
     let specs = manifest.runs();
     let deadline =
         manifest.limits.wall_time_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
@@ -329,11 +386,52 @@ pub fn run_campaign_sink<F: FnMut(&CampaignRun)>(
     // since intra-run threading is result-invariant too.
     let threads_per_run = (jobs / unique.len().max(1)).max(1);
 
+    // What one executed sweep point yields: report, sim wall-clock ms,
+    // exit, whether the bounded retry ran, and whether the report came
+    // from the persistent store.
+    type RunResult = (Option<PipelineReport>, f64, RunExit, bool, bool);
+
+    // The persistent full-run key: the effective key's components plus
+    // everything else that shapes the report — the plan digest, the
+    // source distribution and bound, the schedule mode, and the event
+    // budget (a budget can abort a run mid-stage, so entries saved under
+    // one budget must not serve another). Thread counts and the wall
+    // deadline are absent: the former are result-invariant, and
+    // deadline-tripped runs are never persisted.
+    let plan_digest = pipeline.plan_key();
+    let run_key = |i: usize| -> String {
+        let cfg = manifest.config_for(specs[i]);
+        let theta = match cfg.dist {
+            KeyDist::Uniform => None,
+            KeyDist::Zipf(t) => Some(t.to_bits()),
+        };
+        let underprovision = cfg
+            .system
+            .uses_permutability()
+            .then_some(cfg.underprovision)
+            .flatten()
+            .map(f64::to_bits);
+        format!(
+            "run1|plan={plan_digest:016x}|sys={}|tiny={}|tpv={}|seed={}|theta={theta:?}|\
+             bound={:?}|up={underprovision:?}|conc={}|max_events={:?}",
+            cfg.system.name(),
+            cfg.tiny,
+            cfg.tuples_per_vault,
+            cfg.seed,
+            cfg.key_bound,
+            cfg.concurrency.name(),
+            manifest.limits.max_events,
+        )
+    };
+
     // Runs one sweep point, converting panics into a structured exit:
     // tripped limits pass through unchanged; anything else (an injected
     // fault, a pool-worker panic, a bug) gets exactly one retry before
     // it becomes a `worker_panic` failure of this sweep point alone.
-    let run_one = |i: usize| -> (Option<PipelineReport>, f64, RunExit, bool) {
+    // With a store attached, a full-run hit short-circuits everything —
+    // including the fault machinery, which is safe because the faulted
+    // sweep position never probes (or writes) the store.
+    let run_one = |i: usize| -> RunResult {
         let mut cfg = manifest.config_for(specs[i]);
         cfg.threads = threads_per_run;
         cfg.max_events = manifest.limits.max_events;
@@ -342,6 +440,18 @@ pub fn run_campaign_sink<F: FnMut(&CampaignRun)>(
             cfg.fault = fault_handle.clone();
         }
         let start = Instant::now();
+        // Past the wall deadline the probe is skipped, so the run falls
+        // through to the simulator and trips `limit_wall_time` exactly as
+        // a cold run would — warmth never changes the exit contract.
+        let before_deadline = deadline.is_none_or(|d| Instant::now() < d);
+        if Some(i) != fault_run && before_deadline {
+            if let Some(store) = &store {
+                if let Some(report) = store.load_run(&run_key(i)) {
+                    let ms = start.elapsed().as_secs_f64() * 1e3;
+                    return (Some(report), ms, RunExit::ok(), false, true);
+                }
+            }
+        }
         let attempt = || {
             std::panic::catch_unwind(AssertUnwindSafe(|| {
                 pipeline.run_observed(&cfg, &cache, &specs[i].id(), sink)
@@ -361,7 +471,7 @@ pub fn run_campaign_sink<F: FnMut(&CampaignRun)>(
                 }
             }
         };
-        (report, start.elapsed().as_secs_f64() * 1e3, exit, retried)
+        (report, start.elapsed().as_secs_f64() * 1e3, exit, retried, false)
     };
 
     // Parallel pre-pass over the owners; with one job the owners simulate
@@ -371,7 +481,6 @@ pub fn run_campaign_sink<F: FnMut(&CampaignRun)>(
     // cannot strand the rest of the ladder behind it. Scheduling is
     // nondeterministic; results are collected by sweep position, so the
     // artifact is not.
-    type RunResult = (Option<PipelineReport>, f64, RunExit, bool);
     let mut results: Vec<Option<RunResult>> = (0..specs.len()).map(|_| None).collect();
     if jobs > 1 && unique.len() > 1 {
         let workers = jobs.min(unique.len());
@@ -402,20 +511,20 @@ pub fn run_campaign_sink<F: FnMut(&CampaignRun)>(
     let mut runs: Vec<CampaignRun> = Vec::with_capacity(specs.len());
     for (i, &spec) in specs.iter().enumerate() {
         let planned_exit = planned[i].clone();
-        let (report, sim_wall_ms, exit, retried) = if let Some(cut) = &truncated {
+        let (report, sim_wall_ms, exit, retried, persistent) = if let Some(cut) = &truncated {
             let detail = if cut.detail.is_empty() {
                 "campaign truncated".to_string()
             } else {
                 format!("campaign truncated: {}", cut.detail)
             };
-            (None, 0.0, RunExit { reason: cut.reason, detail }, false)
+            (None, 0.0, RunExit { reason: cut.reason, detail }, false, false)
         } else if let Some(exit) = planned_exit {
-            (None, 0.0, exit, false)
+            (None, 0.0, exit, false, false)
         } else if owner[i] != i {
             let source = &runs[owner[i]];
-            (source.report.clone(), 0.0, source.exit.clone(), false)
+            (source.report.clone(), 0.0, source.exit.clone(), false, false)
         } else {
-            let (report, sim_wall_ms, mut exit, retried) =
+            let (report, sim_wall_ms, mut exit, retried, persistent) =
                 results[i].take().unwrap_or_else(|| run_one(i));
             if exit.reason == ExitReason::Ok {
                 if let Some(report) = &report {
@@ -424,12 +533,33 @@ pub fn run_campaign_sink<F: FnMut(&CampaignRun)>(
                     }
                 }
             }
-            (report, sim_wall_ms, exit, retried)
+            // Persist only a clean first-attempt simulation: never a
+            // store hit (already there), a faulted position, a retried
+            // run, or anything that exited non-`Ok` — including
+            // assertion failures, so assertions are always re-evaluated
+            // against a live simulation.
+            if let Some(store) = &store {
+                if !persistent && !retried && exit.reason == ExitReason::Ok && Some(i) != fault_run
+                {
+                    if let Some(report) = &report {
+                        store.save_run(&run_key(i), report);
+                    }
+                }
+            }
+            (report, sim_wall_ms, exit, retried, persistent)
         };
         if truncated.is_none() && exit.reason.is_limit() {
             truncated = Some(exit.clone());
         }
-        let run = CampaignRun { spec, report, memoized: owner[i] != i, sim_wall_ms, exit, retried };
+        let run = CampaignRun {
+            spec,
+            report,
+            memoized: owner[i] != i,
+            sim_wall_ms,
+            exit,
+            retried,
+            memoized_persistent: persistent,
+        };
         sink.emit(
             &run.spec.id(),
             &ProgressEvent::SweepPointDone {
@@ -447,6 +577,10 @@ pub fn run_campaign_sink<F: FnMut(&CampaignRun)>(
         memo_hits,
         reference_hits: cache.reference_hits(),
         jobs,
+        cache: store.map(|s| {
+            s.flush_journal();
+            s.counters()
+        }),
     }
 }
 
@@ -581,14 +715,14 @@ impl Campaign {
     pub fn to_json_with(&self, timings: bool) -> String {
         let mut root = Value::table();
         root.insert("campaign", Value::Str(self.manifest.name.clone()));
-        // Schema 6: schema 5's unified `metrics` block (a per-run and
-        // top-level counter tree; host measurements exclusively under
-        // the digest-excluded `metrics.host.*` subtree) plus the
-        // robustness layer — a top-level and per-run `exit: {reason,
-        // detail}`, `engine.exits.*` rollup counters, and skipped runs
-        // serialized as axes + exit so a limit-tripped campaign still
-        // emits a valid, byte-deterministic partial artifact.
-        root.insert("schema_version", Value::Int(6));
+        // Schema 7: schema 6 (unified `metrics` block, robustness layer:
+        // `exit`, `engine.exits.*`, skipped runs as axes + exit) plus the
+        // persistent-store provenance — a per-run `memoized_persistent`
+        // flag and `engine.cache.*` rollup counters. Both are cache
+        // provenance, not simulation output, so like `metrics.host.*`
+        // they are only serialized under `--timings`: the default
+        // artifact stays byte-identical between cold and warm runs.
+        root.insert("schema_version", Value::Int(SCHEMA_VERSION));
         root.insert("exit", exit_json(&self.exit()));
         root.insert(
             "systems",
@@ -617,6 +751,18 @@ impl Campaign {
             // may race to compute the same prefix), so like wall time
             // they only exist under the host subtree.
             rollup.add_count("host.reference_prefix_hits", self.reference_hits);
+            // Persistent-store traffic: warm-only by definition, and the
+            // reference-entry component is scheduling-dependent like the
+            // prefix memo, so it rides the same `--timings` gate.
+            if let Some(cache) = &self.cache {
+                rollup.add_count("engine.cache.hits", cache.hits());
+                rollup.add_count("engine.cache.misses", cache.misses());
+                rollup.add_count("engine.cache.bytes", cache.bytes());
+                rollup.add_count("engine.cache.run_hits", cache.run_hits);
+                rollup.add_count("engine.cache.run_misses", cache.run_misses);
+                rollup.add_count("engine.cache.stage_hits", cache.stage_hits);
+                rollup.add_count("engine.cache.stage_misses", cache.stage_misses);
+            }
         }
         root.insert("metrics", metrics_json(&rollup));
         root.insert("runs", Value::Array(self.runs.iter().map(|r| run_json(r, timings)).collect()));
@@ -646,6 +792,14 @@ impl Campaign {
                 self.memo_hits, self.reference_hits,
             ));
         }
+        if let Some(cache) = &self.cache {
+            out.push_str(&format!(
+                " [cache: {} hits, {} misses, {} B]",
+                cache.hits(),
+                cache.misses(),
+                cache.bytes(),
+            ));
+        }
         out.push_str(&format!(" [{} job(s), {:.1} ms sim wall]", self.jobs, self.sim_wall_ms()));
         out.push('\n');
         out
@@ -668,7 +822,7 @@ pub fn run_line(run: &CampaignRun) -> String {
         );
     };
     format!(
-        "{} {:>12.3} µs {:>12.3} µJ  {} → {} rows  {}{}{}",
+        "{} {:>12.3} µs {:>12.3} µJ  {} → {} rows  {}{}{}{}",
         run.spec.label(),
         report.makespan_ps() as f64 / 1e6,
         report.energy_j() * 1e6,
@@ -679,6 +833,7 @@ pub fn run_line(run: &CampaignRun) -> String {
             reason => format!("FAILED ({})", reason.as_str()),
         },
         if run.memoized { " (memo)" } else { "" },
+        if run.memoized_persistent { " (cached)" } else { "" },
         if run.retried { " (retried)" } else { "" },
     )
 }
@@ -808,6 +963,13 @@ fn run_json(run: &CampaignRun, timings: bool) -> Value {
     table.insert("exit", exit_json(&run.exit));
     table.insert("retried", Value::Bool(run.retried));
     table.insert("memoized", Value::Bool(run.memoized));
+    if timings {
+        // Cache provenance, not simulation output (see the schema-7
+        // comment): present only when the artifact already carries host
+        // measurements, so cold and warm default artifacts stay
+        // byte-identical.
+        table.insert("memoized_persistent", Value::Bool(run.memoized_persistent));
+    }
     // A skipped or lost run keeps its sweep axes and exit — a valid
     // partial artifact — but has no simulation output to serialize.
     let Some(report) = &run.report else {

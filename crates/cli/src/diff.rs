@@ -110,7 +110,10 @@ impl DiffReport {
 
 /// The identifying key of one run object. `topology` defaults to `tiny`
 /// when absent so schema-1 artifacts (which omitted it) still match
-/// schema-2 runs of the same campaign.
+/// schema-2 runs of the same campaign. Only the sweep axes participate:
+/// provenance fields — `memoized`, the schema-7 `memoized_persistent`
+/// cache flag, `metrics.host.*` — never affect matching or comparison,
+/// so a warm `--timings` artifact diffs clean against a cold one.
 fn run_key(run: &Value) -> String {
     let mut key = String::new();
     for field in ["system", "topology", "tuples_per_vault", "seed", "zipf_theta", "underprovision"]
@@ -253,6 +256,21 @@ mod tests {
         assert!(report.rows.is_empty(), "skipped runs never match");
         assert!(report.only_a.is_empty(), "nor are they reported as unmatched");
         assert_eq!(report.only_b.len(), 1);
+    }
+
+    #[test]
+    fn cache_provenance_flags_are_ignored_like_host_metrics() {
+        // A schema-7 `--timings` artifact from a warm store marks runs
+        // `memoized_persistent`; diffing it against a cold artifact of
+        // the same campaign must match every run and report no drift.
+        let warm = r#"{"runs": [{"system": "CPU", "topology": "tiny",
+            "tuples_per_vault": 64, "seed": 1, "makespan_ps": 2000000,
+            "energy_j": 1e-6, "memoized": false, "memoized_persistent": true,
+            "metrics": {"host": {"sim_wall_ms": 0.01}}}]}"#;
+        let report = diff(&artifact(2_000_000, 1), warm).unwrap();
+        assert_eq!(report.rows.len(), 1, "provenance flags must not affect matching");
+        assert!((report.rows[0].speedup() - 1.0).abs() < 1e-9);
+        assert_eq!(report.max_regression_pct(), 0.0);
     }
 
     #[test]

@@ -4,10 +4,12 @@
 //! mondrian run <manifest.(toml|json)> [--out result.json] [--quiet]
 //!              [--concurrency serial|branch|stream] [--jobs N]
 //!              [--sim-threads N] [--timings]
+//!              [--cache-dir <path>] [--no-cache]
 //! mondrian bench <manifest.(toml|json)> [--out BENCH_sweep.json]
 //!                [--history BENCH_history.jsonl|none]
 //!                [--jobs-list 1,2,4] [--repeat N]
-//!                [--engine] [--sim-threads-list 1,2,4]
+//!                [--engine] [--sim-threads-list 1,2,4] [--cache]
+//! mondrian cache <stats|clear|prune --max-bytes N> [--cache-dir <path>]
 //! mondrian explain <manifest.(toml|json)>
 //! mondrian diff <a/result.json> <b/result.json> [--fail-on-regression <pct>]
 //! mondrian list-systems
@@ -21,9 +23,10 @@
 //! and the README's exit-code table).
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use mondrian_cli::bench::{bench, bench_engine, host_cores};
-use mondrian_cli::campaign::{resolve_jobs, run_campaign_sink, run_line, ExitReason};
+use mondrian_cli::bench::{bench, bench_cache, bench_engine, host_cores};
+use mondrian_cli::campaign::{resolve_jobs, run_campaign_store, run_line, store_salt, ExitReason};
 use mondrian_cli::diff::diff;
 use mondrian_cli::junit::junit_xml;
 use mondrian_cli::manifest::{parse_fault_spec, Format, Manifest};
@@ -31,6 +34,7 @@ use mondrian_cli::profile::profile;
 use mondrian_core::{SystemConfig, SystemKind};
 use mondrian_obs::{ProgressEvent, ProgressSink, Tracer};
 use mondrian_pipeline::{trace_run, Concurrency, StageInput};
+use mondrian_store::{resolve_root, Store};
 
 const USAGE: &str = "\
 the Mondrian Data Engine campaign runner
@@ -40,6 +44,7 @@ usage:
                [--concurrency serial|branch|stream] [--jobs N]
                [--sim-threads N] [--timings] [--trace <path>]
                [--progress jsonl] [--junit <path>]
+               [--cache-dir <path>] [--no-cache]
       run every (system x sweep) combination of the manifest's pipeline,
       print a summary, and write the result artifact (default: result.json);
       --concurrency overrides the manifest's scheduling knob; --jobs sets
@@ -51,18 +56,26 @@ usage:
       only, the artifact stays byte-identical;
       --timings adds metrics.host.sim_wall_ms to each run (the one
       nondeterministic subtree, excluded from digests and ignored by
-      mondrian diff); --trace writes a Chrome trace-event JSON timeline
-      (simulated picoseconds; load in Perfetto) that is byte-identical
-      for every --jobs value; --progress jsonl streams one JSON line per
-      stage/wave/sweep-point event to stderr; --junit writes a JUnit XML
-      report (one testcase per sweep point, simulated-seconds times)
+      mondrian diff) plus the engine.cache.* counters and per-run
+      memoized_persistent cache-provenance flags; --trace writes a
+      Chrome trace-event JSON timeline (simulated picoseconds; load in
+      Perfetto) that is byte-identical for every --jobs value — tracing
+      disables the persistent cache so every stage replays live;
+      --progress jsonl streams one JSON line per stage/wave/sweep-point
+      event to stderr; --junit writes a JUnit XML report (one testcase
+      per sweep point, simulated-seconds times);
+      results persist to a cross-campaign cache (--cache-dir, else
+      MONDRIAN_CACHE, else ~/.cache/mondrian): a repeated campaign
+      simulates nothing and an edited manifest re-simulates only the
+      affected DAG suffix, with the artifact byte-identical to a cold
+      run; --no-cache disables it
   mondrian profile <result.json>
       render a result artifact's metrics block (schema 5+): top phases
       by simulated time, memory/NoC/cache traffic, and the FR-FCFS
       scheduler-queue depth histogram
   mondrian bench <manifest.(toml|json)> [--out <path>] [--history <path>|none]
                  [--jobs-list 1,2,4] [--repeat N]
-                 [--engine] [--sim-threads-list 1,2,4]
+                 [--engine] [--sim-threads-list 1,2,4] [--cache]
       run the campaign once per jobs value, check every artifact is
       byte-identical to the single-worker baseline, write the wall-clock
       sweep (default: BENCH_sweep.json), and append one JSONL trend line
@@ -72,14 +85,25 @@ usage:
       (sim_threads x jobs) point from --sim-threads-list x --jobs-list,
       reporting events/sec per point and a determinism fingerprint
       (digest of every point's artifact digest) that must be a single
-      value across the whole ladder
+      value across the whole ladder;
+      --cache instead runs a cold/warm ladder against a throwaway
+      persistent store: one cold campaign populates it, then --repeat
+      warm campaigns must byte-match the cold artifact while simulating
+      nothing, with cache_hits recorded per ladder point
+  mondrian cache <stats|clear|prune --max-bytes N> [--cache-dir <path>]
+      inspect or maintain the persistent result store (--cache-dir, else
+      MONDRIAN_CACHE, else ~/.cache/mondrian): stats prints per-kind
+      entry counts and sizes; clear deletes every versioned store under
+      the cache root; prune evicts least-recently-used entries (by
+      journaled campaign recency, file name as the deterministic
+      tiebreak) until at most --max-bytes remain
   mondrian explain <manifest.(toml|json)>
       show the parsed campaign, the Table 1 lowering of every stage, the
       branch-wave schedule of the plan DAG, and the full sweep cross
       product — without simulating anything
   mondrian diff <a/result.json> <b/result.json> [--fail-on-regression <pct>]
       compare two result artifacts run by run (makespan speedup, energy
-      ratio); skipped runs (schema 6 partial artifacts) are ignored.
+      ratio); skipped runs (schema 6+ partial artifacts) are ignored.
       exit codes: 0 compared (and within the regression gate), 1 error,
       20 regression gate exceeded, 21 no matched runs
   mondrian list-systems
@@ -135,6 +159,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("cache") => cmd_cache(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
@@ -195,6 +220,8 @@ fn cmd_run(args: &[String]) -> Result<u8, CliError> {
     let mut concurrency: Option<Concurrency> = None;
     let mut jobs_flag: Option<usize> = None;
     let mut sim_threads_flag: Option<usize> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut no_cache = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -203,6 +230,10 @@ fn cmd_run(args: &[String]) -> Result<u8, CliError> {
             }
             "--quiet" => quiet = true,
             "--timings" => timings = true,
+            "--cache-dir" => {
+                cache_dir = Some(it.next().ok_or("--cache-dir needs a path")?.clone());
+            }
+            "--no-cache" => no_cache = true,
             "--trace" => {
                 trace_path = Some(it.next().ok_or("--trace needs a path")?.clone());
             }
@@ -249,7 +280,8 @@ fn cmd_run(args: &[String]) -> Result<u8, CliError> {
     let path = manifest_path.ok_or(
         "usage: mondrian run <manifest> [--out <path>] [--quiet] \
          [--concurrency serial|branch|stream] [--jobs N] [--sim-threads N] \
-         [--timings] [--trace <path>] [--progress jsonl] [--junit <path>]",
+         [--timings] [--trace <path>] [--progress jsonl] [--junit <path>] \
+         [--cache-dir <path>] [--no-cache]",
     )?;
     let mut manifest = load_manifest(path)?;
     if let Some(c) = concurrency {
@@ -271,8 +303,24 @@ fn cmd_run(args: &[String]) -> Result<u8, CliError> {
             jobs,
         );
     }
+    // Tracing replays stage events from live reports, so warm full-run
+    // hits (which skip simulation entirely) would leave empty lanes —
+    // the trace path runs cold instead of lying about the timeline.
+    let store = if no_cache || trace_path.is_some() {
+        None
+    } else if let Some(root) = resolve_root(cache_dir.as_deref()) {
+        match Store::open(&root, &store_salt()) {
+            Ok(store) => Some(Arc::new(store)),
+            Err(e) => {
+                eprintln!("warning: persistent cache disabled: {}: {e}", root.display());
+                None
+            }
+        }
+    } else {
+        None
+    };
     let sink: &dyn ProgressSink = if progress_jsonl { &JsonlSink } else { &() };
-    let campaign = run_campaign_sink(&manifest, jobs, sink, |run| {
+    let campaign = run_campaign_store(&manifest, jobs, store, sink, |run| {
         if !quiet {
             println!("{}", run_line(run));
         }
@@ -348,6 +396,7 @@ fn cmd_bench(args: &[String]) -> Result<u8, CliError> {
     let mut jobs_list: Vec<usize> = vec![1, 2, 4];
     let mut sim_threads_list: Vec<usize> = vec![1, 2, 4];
     let mut engine = false;
+    let mut cache = false;
     let mut repeat = 1usize;
     let parse_list = |flag: &str, list: &str| -> Result<Vec<usize>, String> {
         let out: Vec<usize> = list
@@ -374,6 +423,7 @@ fn cmd_bench(args: &[String]) -> Result<u8, CliError> {
                 history_path = if path == "none" { None } else { Some(path) };
             }
             "--engine" => engine = true,
+            "--cache" => cache = true,
             "--jobs-list" => {
                 let list = it.next().ok_or("--jobs-list needs e.g. 1,2,4")?;
                 jobs_list = parse_list("--jobs-list", list)?;
@@ -399,10 +449,18 @@ fn cmd_bench(args: &[String]) -> Result<u8, CliError> {
     }
     let path = manifest_path.ok_or(
         "usage: mondrian bench <manifest> [--out <path>] [--history <path>|none] \
-         [--jobs-list 1,2,4] [--repeat N] [--engine] [--sim-threads-list 1,2,4]",
+         [--jobs-list 1,2,4] [--repeat N] [--engine] [--sim-threads-list 1,2,4] \
+         [--cache]",
     )?;
+    if engine && cache {
+        return Err("--engine and --cache are mutually exclusive".into());
+    }
     let manifest = load_manifest(path)?;
-    let (summary, json, history_line, ok) = if engine {
+    let (summary, json, history_line, ok) = if cache {
+        let report = bench_cache(&manifest, repeat);
+        let line = report.history_line(&current_commit());
+        (report.human_summary(), report.to_json(), line, report.ok())
+    } else if engine {
         let report = bench_engine(&manifest, &sim_threads_list, &jobs_list, repeat);
         let line = report.history_line(&current_commit());
         (report.human_summary(), report.to_json(), line, report.ok())
@@ -448,6 +506,98 @@ fn current_commit() -> String {
         .map(|s| s.trim().to_string())
         .filter(|s| !s.is_empty())
         .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn cmd_cache(args: &[String]) -> Result<u8, CliError> {
+    let mut action: Option<&str> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut max_bytes: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cache-dir" => {
+                cache_dir = Some(it.next().ok_or("--cache-dir needs a path")?.clone());
+            }
+            "--max-bytes" => {
+                let n = it.next().ok_or("--max-bytes needs a byte count")?;
+                max_bytes = Some(n.parse().map_err(|_| format!("bad byte count {n:?}"))?);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}").into()),
+            verb => {
+                if action.replace(verb).is_some() {
+                    return Err("exactly one cache action expected".into());
+                }
+            }
+        }
+    }
+    const CACHE_USAGE: &str =
+        "usage: mondrian cache <stats|clear|prune --max-bytes N> [--cache-dir <path>]";
+    let action = action.ok_or(CACHE_USAGE)?;
+    let root = resolve_root(cache_dir.as_deref())
+        .ok_or("no cache root: pass --cache-dir, or set MONDRIAN_CACHE or HOME")?;
+    let open = || {
+        Store::open(&root, &store_salt())
+            .map_err(|e| format!("cannot open store under {}: {e}", root.display()))
+    };
+    match action {
+        "stats" => {
+            let store = open()?;
+            let stats = store.stats().map_err(|e| format!("cannot walk store: {e}"))?;
+            println!("store {}", store.dir().display());
+            for (kind, entries, bytes) in &stats.kinds {
+                println!("  {kind:>5}: {entries:>6} entries, {bytes:>12} B");
+            }
+            println!("  total: {:>6} entries, {:>12} B", stats.total_entries, stats.total_bytes);
+        }
+        "clear" => {
+            // Clear every versioned store under the root — including ones
+            // written by older engine fingerprints this binary can no
+            // longer open — but nothing else, in case the root is shared.
+            let mut removed = 0u64;
+            if let Ok(entries) = std::fs::read_dir(&root) {
+                for entry in entries.flatten() {
+                    let name = entry.file_name().to_string_lossy().into_owned();
+                    if is_versioned_store_dir(&name) {
+                        std::fs::remove_dir_all(entry.path())
+                            .map_err(|e| format!("cannot remove {name}: {e}"))?;
+                        removed += 1;
+                    }
+                }
+            }
+            println!("cleared {removed} store(s) under {}", root.display());
+        }
+        "prune" => {
+            let max_bytes = max_bytes.ok_or("prune needs --max-bytes <N>")?;
+            let store = open()?;
+            let report = store.prune(max_bytes).map_err(|e| format!("cannot prune store: {e}"))?;
+            println!(
+                "pruned {}: examined {}, evicted {} ({} B freed), {} entries ({} B) remain",
+                store.dir().display(),
+                report.examined,
+                report.evicted,
+                report.freed_bytes,
+                report.remaining_entries,
+                report.remaining_bytes,
+            );
+        }
+        other => return Err(format!("unknown cache action {other:?}\n\n{CACHE_USAGE}").into()),
+    }
+    Ok(0)
+}
+
+/// Whether a directory name is one of the store's versioned layouts
+/// (`v<digits>-<16 hex>`), from any format version or engine fingerprint.
+fn is_versioned_store_dir(name: &str) -> bool {
+    let Some(rest) = name.strip_prefix('v') else {
+        return false;
+    };
+    let Some((version, hash)) = rest.split_once('-') else {
+        return false;
+    };
+    !version.is_empty()
+        && version.bytes().all(|b| b.is_ascii_digit())
+        && hash.len() == 16
+        && hash.bytes().all(|b| b.is_ascii_hexdigit())
 }
 
 fn cmd_explain(args: &[String]) -> Result<u8, CliError> {

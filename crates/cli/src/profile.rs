@@ -205,6 +205,26 @@ mod tests {
     }
 
     #[test]
+    fn persistent_cache_counters_render_as_engine_rows() {
+        // Schema 7 `--timings` artifacts roll the persistent-store
+        // counters up under `engine.cache.*`; the engine section must
+        // render them like any other counter.
+        let artifact = ARTIFACT.replace(
+            r#""engine": {"events": 1200, "instructions": 5000}"#,
+            r#""engine": {"events": 1200, "instructions": 5000,
+                         "cache.hits": 9, "cache.misses": 3,
+                         "cache.bytes": 4096}"#,
+        );
+        let text = profile(&artifact).unwrap();
+        assert!(text.contains("cache.hits"));
+        assert!(text.contains("cache.misses"));
+        assert!(text.contains("cache.bytes"));
+        let doc = parse_json(&artifact).unwrap();
+        let flat = flatten_metrics(doc.get("metrics").unwrap());
+        assert_eq!(flat.get("engine.cache.hits"), Some(&9.0));
+    }
+
+    #[test]
     fn pre_schema5_artifacts_are_rejected() {
         assert!(profile(r#"{"campaign": "old", "runs": []}"#).is_err());
         assert!(profile("not json").is_err());

@@ -9,9 +9,13 @@ use std::process::{Command, Output};
 fn mondrian() -> Command {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_mondrian"));
     // A hermetic environment: tests control fault injection and worker
-    // counts explicitly, never inherit them from the harness.
+    // counts explicitly, never inherit them from the harness — and with
+    // neither MONDRIAN_CACHE nor HOME set, the persistent store stays
+    // off, so exit codes cannot depend on what earlier tests simulated.
     cmd.env_remove("MONDRIAN_FAULT");
     cmd.env_remove("MONDRIAN_JOBS");
+    cmd.env_remove("MONDRIAN_CACHE");
+    cmd.env_remove("HOME");
     cmd
 }
 
@@ -85,7 +89,7 @@ fn run_campaign_binary(tag: &str, extra: &str, fault_env: Option<&str>) -> (i32,
 fn clean_campaign_exits_zero() {
     let (exit, artifact) = run_campaign_binary("ok", "", None);
     assert_eq!(exit, 0);
-    assert!(artifact.contains("\"schema_version\": 6"));
+    assert!(artifact.contains("\"schema_version\": 7"));
     assert!(artifact.contains("\"reason\": \"ok\""));
 }
 

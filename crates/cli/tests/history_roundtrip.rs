@@ -45,6 +45,7 @@ fn report(
             speedup: (wall as f64 / 8.0 + 1.0).recip(),
             events: wall * 3,
             events_per_sec: wall as f64 * 3.0 * 1e3 / (wall as f64 / 8.0).max(1e-9),
+            cache_hits: wall % 7,
             identical,
             verified: true,
         })
@@ -104,6 +105,10 @@ proptest! {
                 .and_then(|v| v.as_float().or_else(|| v.as_int().map(|n| n as f64)))
                 .expect("events_per_sec");
             prop_assert!((eps - point.events_per_sec).abs() <= 0.5, "events_per_sec drifted");
+            prop_assert_eq!(
+                entry.get("cache_hits").and_then(Value::as_int),
+                Some(point.cache_hits as i64)
+            );
         }
     }
 }

@@ -146,8 +146,11 @@ impl Pipeline {
         Ok(())
     }
 
-    /// A fingerprint of the plan, namespacing cache entries per pipeline.
-    fn plan_key(&self) -> u64 {
+    /// A fingerprint of the plan: the digest of every stage's
+    /// specification and input wiring, in order. Campaign runners fold it
+    /// into persistent full-run cache keys so a manifest edit that
+    /// changes the plan invalidates exactly the runs it affects.
+    pub fn plan_key(&self) -> u64 {
         crate::report::fnv1a(format!("{:?}", self.stages).bytes())
     }
 
@@ -193,7 +196,6 @@ impl Pipeline {
         self.validate().expect("invalid pipeline");
         let dag = self.dag();
         let source: Rel = cfg.source_relation().into();
-        let plan = self.plan_key();
 
         // Serial reference pass: every stage on the whole machine, in
         // stage order. The branch schedule is verified against (and its
@@ -210,7 +212,7 @@ impl Pipeline {
         let mut events_used: u64 = 0;
         for (i, stage) in self.stages.iter().enumerate() {
             check_deadline(cfg);
-            let mut sys = cfg.system_config();
+            let mut remaining_budget = None;
             if let Some(budget) = cfg.max_events {
                 let remaining = budget.saturating_sub(events_used);
                 if remaining == 0 {
@@ -219,7 +221,7 @@ impl Pipeline {
                         format!("event budget {budget} exhausted before stage {i}"),
                     );
                 }
-                sys.event_budget = Some(remaining);
+                remaining_budget = Some(remaining);
             }
             sink.emit(
                 label,
@@ -227,29 +229,49 @@ impl Pipeline {
             );
             let inputs = resolve_inputs(stage, i, &source, &outputs);
             let build = resolve_build(&stage.spec, &outputs);
-            let run = if cfg.threads > 1 {
-                std::thread::scope(|scope| {
-                    let sys = sys.clone();
-                    let engine = scope.spawn(|| {
-                        run_stage_engine(cfg, sys, stage, inputs.clone(), build.clone(), None)
-                    });
-                    let expected =
-                        cache.reference_output(plan, cfg, i, stage, &inputs, build.as_deref());
-                    // Propagate the engine thread's panic *payload* —
-                    // structured aborts (limits, injected faults) must
-                    // reach the campaign's catch_unwind intact.
-                    let mut run = match engine.join() {
-                        Ok(run) => run,
-                        Err(payload) => std::panic::resume_unwind(payload),
-                    };
+            // Persistent-store fast path: a stage whose digest chain
+            // (spec, source, input digests, build digest) is unchanged is
+            // served from disk — its engine simulation *and* reference
+            // execution are both skipped, and the loop's event metering
+            // and progress events proceed from the stored report exactly
+            // as they would from a live one. An edited manifest therefore
+            // re-simulates only the affected DAG suffix: the first
+            // changed stage misses (new spec or new input digest), and
+            // the divergent digests cascade downstream.
+            let stage_key = cache.stage_key(cfg, stage, &inputs, build.as_deref());
+            let stored = stage_key.as_deref().and_then(|key| cache.load_stage_run(key));
+            let run = if let Some(run) = stored {
+                run
+            } else {
+                let mut sys = cfg.system_config();
+                sys.event_budget = remaining_budget;
+                let run = if cfg.threads > 1 {
+                    std::thread::scope(|scope| {
+                        let sys = sys.clone();
+                        let engine = scope.spawn(|| {
+                            run_stage_engine(cfg, sys, stage, inputs.clone(), build.clone(), None)
+                        });
+                        let expected =
+                            cache.reference_output(cfg, stage, &inputs, build.as_deref());
+                        // Propagate the engine thread's panic *payload* —
+                        // structured aborts (limits, injected faults) must
+                        // reach the campaign's catch_unwind intact.
+                        let mut run = match engine.join() {
+                            Ok(run) => run,
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        };
+                        run.reference_ok = run.projected[..] == expected[..];
+                        run
+                    })
+                } else {
+                    let expected = cache.reference_output(cfg, stage, &inputs, build.as_deref());
+                    let mut run = run_stage_engine(cfg, sys, stage, inputs.clone(), build, None);
                     run.reference_ok = run.projected[..] == expected[..];
                     run
-                })
-            } else {
-                let expected =
-                    cache.reference_output(plan, cfg, i, stage, &inputs, build.as_deref());
-                let mut run = run_stage_engine(cfg, sys, stage, inputs, build, None);
-                run.reference_ok = run.projected[..] == expected[..];
+                };
+                if let Some(key) = &stage_key {
+                    cache.save_stage_run(key, &run);
+                }
                 run
             };
             events_used += run.report.phases.iter().map(|p| p.events).sum::<u64>();
@@ -1107,16 +1129,55 @@ fn resolve_build(spec: &StageSpec, outputs: &[Rel]) -> Option<Rel> {
 /// generated tuples, independent of the evaluated system.
 type SourceKey = (bool, usize, u64, Option<u64>, Option<u64>);
 
+/// One persisted serial-pass stage result: exactly the state the serial
+/// reference pass produces for a stage, so a backed [`ExecCache`] can
+/// serve the stage without running either the engine or the reference
+/// executor.
+#[derive(Debug, Clone)]
+pub struct StageEntry {
+    /// Rows consumed across every input edge.
+    pub input_rows: usize,
+    /// Whether the engine output matched the pure reference executor.
+    pub reference_ok: bool,
+    /// The engine's full stage report.
+    pub report: Report,
+    /// The stage's projected output relation.
+    pub projected: Rel,
+}
+
+/// A persistent backing for [`ExecCache`]: per-stage serial results and
+/// pure reference-prefix relations, addressed by opaque key bytes the
+/// cache derives from each entry's digest chain. Implementations must
+/// treat corruption as a miss and tolerate concurrent use — the cache
+/// calls them from every campaign worker.
+pub trait ExecStore: Send + Sync + std::fmt::Debug {
+    /// Loads a reference-prefix relation; `None` is a miss.
+    fn load_ref(&self, key: &[u8]) -> Option<Rel>;
+    /// Persists a reference-prefix relation (best-effort).
+    fn save_ref(&self, key: &[u8], rel: &[Tuple]);
+    /// Loads a serial-pass stage result; `None` is a miss.
+    fn load_stage(&self, key: &[u8]) -> Option<StageEntry>;
+    /// Persists a serial-pass stage result (best-effort).
+    fn save_stage(&self, key: &[u8], entry: &StageEntry);
+}
+
 /// Cross-run cache of pure per-stage reference outputs, keyed by
-/// `(plan, source identity, stage index, input-edge digests, build
-/// digest)` — multi-input stages fold every edge's relation digest into
-/// one key component.
-/// Campaigns sweeping one plan over many systems share identical
-/// stage-prefix semantics; the cache computes each prefix's reference
-/// output once. The digests guard against poisoning: should a run's
-/// engine output diverge from the reference chain, its downstream inputs
-/// differ and miss the cache instead of overwriting another system's
-/// expected values.
+/// `(stage spec, source identity, input-edge digests, build digest)` —
+/// multi-input stages fold every edge's relation digest into one key
+/// component. Campaigns sweeping one plan over many systems share
+/// identical stage-prefix semantics; the cache computes each prefix's
+/// reference output once. The digests guard against poisoning: should a
+/// run's engine output diverge from the reference chain, its downstream
+/// inputs differ and miss the cache instead of overwriting another
+/// system's expected values. The stage index and plan identity are *not*
+/// part of the key — the input-digest chain already pins the prefix
+/// semantics, so two plans sharing a prefix share its entries.
+///
+/// An optional persistent backing ([`ExecCache::with_backing`]) extends
+/// both layers across processes: reference relations and whole
+/// serial-pass stage results (engine report included) are written
+/// through to the store and consulted on memory misses. Runs with an
+/// armed fault plan never touch the backing, in either direction.
 ///
 /// The cache is thread-safe — campaign workers running sweep points on
 /// separate OS threads share one instance. Cached *values* are identical
@@ -1127,27 +1188,45 @@ type SourceKey = (bool, usize, u64, Option<u64>, Option<u64>);
 #[derive(Debug, Default)]
 pub struct ExecCache {
     #[allow(clippy::type_complexity)]
-    reference: Mutex<HashMap<(u64, SourceKey, usize, u64, Option<u64>), Rel>>,
+    reference: Mutex<HashMap<(u64, SourceKey, u64, Option<u64>), Rel>>,
     reference_hits: AtomicU64,
     reference_misses: AtomicU64,
+    backing: Option<Arc<dyn ExecStore>>,
 }
 
 impl ExecCache {
+    /// A cache that extends both memo layers through `store`.
+    pub fn with_backing(store: Arc<dyn ExecStore>) -> Self {
+        Self { backing: Some(store), ..Self::default() }
+    }
+
     fn reference_output(
         &self,
-        plan: u64,
         cfg: &PipelineConfig,
-        i: usize,
         stage: &Stage,
         inputs: &[Rel],
         build: Option<&[Tuple]>,
     ) -> Rel {
         let inputs_digest =
             crate::report::fnv1a(inputs.iter().flat_map(|rel| relation_digest(rel).to_le_bytes()));
-        let key = (plan, cfg.source_key(), i, inputs_digest, build.map(relation_digest));
+        let spec_digest = crate::report::fnv1a(format!("{:?}", stage.spec).bytes());
+        let build_digest = build.map(relation_digest);
+        let key = (spec_digest, cfg.source_key(), inputs_digest, build_digest);
         if let Some(v) = self.reference.lock().expect("cache poisoned").get(&key) {
             self.reference_hits.fetch_add(1, Ordering::Relaxed);
             return v.clone();
+        }
+        // The reference output is system-independent pure semantics, so
+        // the persistent key carries no system, underprovisioning, or
+        // budget component — only the digest chain.
+        let store_key = (cfg.fault.is_none() && self.backing.is_some())
+            .then(|| format!("ref1|{:?}", key).into_bytes());
+        if let (Some(store), Some(store_key)) = (&self.backing, &store_key) {
+            if let Some(v) = store.load_ref(store_key) {
+                self.reference_hits.fetch_add(1, Ordering::Relaxed);
+                self.reference.lock().expect("cache poisoned").insert(key, v.clone());
+                return v;
+            }
         }
         // Compute outside the lock: a long reference computation must not
         // serialize unrelated cache lookups from other workers.
@@ -1155,10 +1234,76 @@ impl ExecCache {
         let v: Rel = stage.spec.reference_output(&input_refs, build, cfg.seed).into();
         self.reference_misses.fetch_add(1, Ordering::Relaxed);
         self.reference.lock().expect("cache poisoned").insert(key, v.clone());
+        if let (Some(store), Some(store_key)) = (&self.backing, &store_key) {
+            store.save_ref(store_key, &v);
+        }
         v
     }
 
-    /// Reference outputs served from the cache.
+    /// The persistent key of a serial-pass stage result, or `None` when
+    /// the result must not be persisted (no backing, or a fault plan is
+    /// armed — an injected fault may corrupt anything downstream of its
+    /// site, and PR 8's exclusion rule keeps such state out of every
+    /// memo layer). Unlike reference entries the key carries the system,
+    /// the (permutability-normalized) underprovisioning factor, and the
+    /// event budget: the stored engine report depends on all three.
+    /// Thread counts and the concurrency mode are deliberately absent —
+    /// the serial pass is byte-identical across them.
+    fn stage_key(
+        &self,
+        cfg: &PipelineConfig,
+        stage: &Stage,
+        inputs: &[Rel],
+        build: Option<&[Tuple]>,
+    ) -> Option<Vec<u8>> {
+        if self.backing.is_none() || cfg.fault.is_some() {
+            return None;
+        }
+        let inputs_digest =
+            crate::report::fnv1a(inputs.iter().flat_map(|rel| relation_digest(rel).to_le_bytes()));
+        let underprovision = cfg
+            .system
+            .uses_permutability()
+            .then_some(cfg.underprovision)
+            .flatten()
+            .map(f64::to_bits);
+        let key = (
+            cfg.system,
+            cfg.source_key(),
+            underprovision,
+            cfg.max_events,
+            format!("{:?}", stage.spec),
+            inputs_digest,
+            build.map(relation_digest),
+        );
+        Some(format!("stage1|{:?}", key).into_bytes())
+    }
+
+    fn load_stage_run(&self, key: &[u8]) -> Option<StageRun> {
+        let entry = self.backing.as_ref()?.load_stage(key)?;
+        Some(StageRun {
+            input_rows: entry.input_rows,
+            report: entry.report,
+            projected: entry.projected,
+            reference_ok: entry.reference_ok,
+        })
+    }
+
+    fn save_stage_run(&self, key: &[u8], run: &StageRun) {
+        if let Some(store) = &self.backing {
+            store.save_stage(
+                key,
+                &StageEntry {
+                    input_rows: run.input_rows,
+                    reference_ok: run.reference_ok,
+                    report: run.report.clone(),
+                    projected: run.projected.clone(),
+                },
+            );
+        }
+    }
+
+    /// Reference outputs served from the cache (memory or backing).
     pub fn reference_hits(&self) -> u64 {
         self.reference_hits.load(Ordering::Relaxed)
     }

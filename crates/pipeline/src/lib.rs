@@ -61,7 +61,7 @@ mod report;
 mod schedule;
 mod stage;
 
-pub use exec::{ExecCache, Pipeline, PipelineConfig};
+pub use exec::{ExecCache, ExecStore, Pipeline, PipelineConfig, StageEntry};
 pub use observe::{run_metrics, trace_run};
 pub use report::{
     relation_digest, BranchSchedule, FusedEdge, PipelineReport, ScheduleReport, StageOutcome,
