@@ -43,7 +43,7 @@ use crate::value::Value;
 /// store's salt ([`store_salt`]): entries written under one schema are
 /// invisible to every other, so a schema bump can never serve stale
 /// shapes.
-pub const SCHEMA_VERSION: i64 = 7;
+pub const SCHEMA_VERSION: i64 = 8;
 
 /// The [`Store::open`] salt binding persistent entries to the artifact
 /// schema (and, through the store's own fingerprint, to the engine
@@ -715,13 +715,14 @@ impl Campaign {
     pub fn to_json_with(&self, timings: bool) -> String {
         let mut root = Value::table();
         root.insert("campaign", Value::Str(self.manifest.name.clone()));
-        // Schema 7: schema 6 (unified `metrics` block, robustness layer:
-        // `exit`, `engine.exits.*`, skipped runs as axes + exit) plus the
-        // persistent-store provenance — a per-run `memoized_persistent`
-        // flag and `engine.cache.*` rollup counters. Both are cache
-        // provenance, not simulation output, so like `metrics.host.*`
-        // they are only serialized under `--timings`: the default
-        // artifact stays byte-identical between cold and warm runs.
+        // Schema 8: schema 7 (persistent-store provenance under
+        // `--timings`, on top of schema 6's unified `metrics` block and
+        // robustness layer) plus the adaptive planner: `concurrency` may
+        // be "auto", and each auto run carries a `planned` block — the
+        // cost model's per-stage predictions, the predicted makespan,
+        // whether the planned schedule beat the default one, and the
+        // weighted-lease / chunk-count deviations it proposed — so
+        // `mondrian diff` and bench ladders can attribute wins.
         root.insert("schema_version", Value::Int(SCHEMA_VERSION));
         root.insert("exit", exit_json(&self.exit()));
         root.insert(
@@ -1012,6 +1013,69 @@ fn run_json(run: &CampaignRun, timings: bool) -> Value {
                 .collect(),
         ),
     );
+    // Schema 8: the planner's decisions for `concurrency = "auto"` runs
+    // — predictions plus the schedule deviations it proposed, and
+    // whether the planned schedule actually won the race.
+    if let Some(planned) = &report.planned {
+        let mut block = Value::table();
+        block.insert(
+            "stage_predicted_ps",
+            Value::Array(
+                planned.stage_predicted_ps.iter().map(|&t| Value::Int(t as i64)).collect(),
+            ),
+        );
+        block.insert("predicted_makespan_ps", Value::Int(planned.predicted_makespan_ps as i64));
+        block.insert("planner_won", Value::Bool(planned.planner_won));
+        block.insert(
+            "waves",
+            Value::Array(
+                planned
+                    .waves
+                    .iter()
+                    .map(|w| {
+                        let mut wave = Value::table();
+                        wave.insert("wave", Value::Int(w.wave as i64));
+                        wave.insert(
+                            "leases",
+                            Value::Array(
+                                w.leases
+                                    .iter()
+                                    .map(|l| {
+                                        let mut lease = Value::table();
+                                        lease.insert("branch", Value::Int(l.branch as i64));
+                                        lease.insert(
+                                            "first_vault",
+                                            Value::Int(i64::from(l.first_vault)),
+                                        );
+                                        lease.insert("vaults", Value::Int(i64::from(l.vaults)));
+                                        lease
+                                    })
+                                    .collect(),
+                            ),
+                        );
+                        wave
+                    })
+                    .collect(),
+            ),
+        );
+        block.insert(
+            "edges",
+            Value::Array(
+                planned
+                    .edges
+                    .iter()
+                    .map(|e| {
+                        let mut edge = Value::table();
+                        edge.insert("producer", Value::Int(e.producer as i64));
+                        edge.insert("consumer", Value::Int(e.consumer as i64));
+                        edge.insert("chunks", Value::Int(e.chunks as i64));
+                        edge
+                    })
+                    .collect(),
+            ),
+        );
+        table.insert("planned", block);
+    }
     table.insert(
         "stages",
         Value::Array(

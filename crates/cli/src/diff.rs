@@ -23,6 +23,10 @@ pub struct DiffRow {
     pub energy_a: f64,
     /// Energy in B, joules.
     pub energy_b: f64,
+    /// Whether B's run carries a schema-8 `planned` block whose planner
+    /// schedule won the race (`None` for non-auto runs and older
+    /// schemas) — lets the table attribute B's win to the planner.
+    pub planner_won_b: Option<bool>,
 }
 
 impl DiffRow {
@@ -77,7 +81,13 @@ impl DiffReport {
         ));
         for row in &self.rows {
             let energy_ratio = if row.energy_a > 0.0 { row.energy_b / row.energy_a } else { 1.0 };
-            let marker = if row.regression_pct() > 0.0 { " <- slower" } else { "" };
+            let marker = if row.regression_pct() > 0.0 {
+                " <- slower"
+            } else if row.planner_won_b == Some(true) {
+                " <- planner win"
+            } else {
+                ""
+            };
             out.push_str(&format!(
                 "{:<56} {:>14.3} {:>14.3} {:>7.3}x {:>7.3}x{}\n",
                 row.key,
@@ -183,6 +193,10 @@ pub fn diff(a_text: &str, b_text: &str) -> Result<DiffReport, String> {
             makespan_b: mb,
             energy_a: energy(a),
             energy_b: energy(b),
+            planner_won_b: b
+                .get("planned")
+                .and_then(|p| p.get("planner_won"))
+                .and_then(Value::as_bool),
         });
     }
     let only_b = b_index.into_iter().map(|(k, _)| k).collect();
@@ -271,6 +285,28 @@ mod tests {
         assert_eq!(report.rows.len(), 1, "provenance flags must not affect matching");
         assert!((report.rows[0].speedup() - 1.0).abs() < 1e-9);
         assert_eq!(report.max_regression_pct(), 0.0);
+    }
+
+    #[test]
+    fn planner_wins_are_attributed() {
+        // A schema-8 auto run whose planned schedule won the race: the
+        // faster B side carries the attribution marker.
+        let auto = r#"{"runs": [{"system": "CPU", "topology": "tiny",
+            "tuples_per_vault": 64, "seed": 1, "makespan_ps": 1000000,
+            "energy_j": 1e-6,
+            "planned": {"planner_won": true, "predicted_makespan_ps": 990000}}]}"#;
+        let report = diff(&artifact(2_000_000, 1), auto).unwrap();
+        assert_eq!(report.rows[0].planner_won_b, Some(true));
+        assert!(report.render().contains("planner win"));
+        // Without a planned block (older schema or fixed schedule) no
+        // attribution appears.
+        let report = diff(&artifact(2_000_000, 1), &artifact(1_000_000, 1)).unwrap();
+        assert_eq!(report.rows[0].planner_won_b, None);
+        assert!(!report.render().contains("planner win"));
+        // A regression outranks the attribution marker.
+        let slow_auto = auto.replace("1000000", "3000000");
+        let report = diff(&artifact(2_000_000, 1), &slow_auto).unwrap();
+        assert!(report.render().contains("slower"));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! mondrian run <manifest.(toml|json)> [--out result.json] [--quiet]
-//!              [--concurrency serial|branch|stream] [--jobs N]
+//!              [--concurrency serial|branch|stream|auto] [--jobs N]
 //!              [--sim-threads N] [--timings]
 //!              [--cache-dir <path>] [--no-cache]
 //! mondrian bench <manifest.(toml|json)> [--out BENCH_sweep.json]
@@ -10,7 +10,7 @@
 //!                [--jobs-list 1,2,4] [--repeat N]
 //!                [--engine] [--sim-threads-list 1,2,4] [--cache]
 //! mondrian cache <stats|clear|prune --max-bytes N> [--cache-dir <path>]
-//! mondrian explain <manifest.(toml|json)>
+//! mondrian explain <manifest.(toml|json)> [result.json]
 //! mondrian diff <a/result.json> <b/result.json> [--fail-on-regression <pct>]
 //! mondrian list-systems
 //! ```
@@ -22,6 +22,7 @@
 //! standardized code of the campaign's exit reason (see `ExitReason`
 //! and the README's exit-code table).
 
+use std::fs;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -31,9 +32,10 @@ use mondrian_cli::diff::diff;
 use mondrian_cli::junit::junit_xml;
 use mondrian_cli::manifest::{parse_fault_spec, Format, Manifest};
 use mondrian_cli::profile::profile;
+use mondrian_cli::value::{parse_json, Value};
 use mondrian_core::{SystemConfig, SystemKind};
 use mondrian_obs::{ProgressEvent, ProgressSink, Tracer};
-use mondrian_pipeline::{trace_run, Concurrency, StageInput};
+use mondrian_pipeline::{plan, trace_run, Concurrency, StageInput};
 use mondrian_store::{resolve_root, Store};
 
 const USAGE: &str = "\
@@ -41,7 +43,7 @@ the Mondrian Data Engine campaign runner
 
 usage:
   mondrian run <manifest.(toml|json)> [--out <path>] [--quiet]
-               [--concurrency serial|branch|stream] [--jobs N]
+               [--concurrency serial|branch|stream|auto] [--jobs N]
                [--sim-threads N] [--timings] [--trace <path>]
                [--progress jsonl] [--junit <path>]
                [--cache-dir <path>] [--no-cache]
@@ -97,10 +99,12 @@ usage:
       the cache root; prune evicts least-recently-used entries (by
       journaled campaign recency, file name as the deterministic
       tiebreak) until at most --max-bytes remain
-  mondrian explain <manifest.(toml|json)>
+  mondrian explain <manifest.(toml|json)> [result.json]
       show the parsed campaign, the Table 1 lowering of every stage, the
-      branch-wave schedule of the plan DAG, and the full sweep cross
-      product — without simulating anything
+      branch-wave schedule of the plan DAG, the adaptive planner's
+      predicted per-stage makespans, and the full sweep cross product —
+      without simulating anything; pass a result artifact to render
+      predicted-vs-actual per stage
   mondrian diff <a/result.json> <b/result.json> [--fail-on-regression <pct>]
       compare two result artifacts run by run (makespan speedup, energy
       ratio); skipped runs (schema 6+ partial artifacts) are ignored.
@@ -262,10 +266,11 @@ fn cmd_run(args: &[String]) -> Result<u8, CliError> {
                     Some("serial") => Concurrency::Serial,
                     Some("branch") => Concurrency::Branch,
                     Some("stream") => Concurrency::Stream,
+                    Some("auto") => Concurrency::Auto,
                     _ => {
-                        return Err(
-                            "--concurrency needs \"serial\", \"branch\" or \"stream\"".into()
-                        )
+                        return Err("--concurrency needs \"serial\", \"branch\", \"stream\" \
+                             or \"auto\""
+                            .into())
                     }
                 });
             }
@@ -279,7 +284,7 @@ fn cmd_run(args: &[String]) -> Result<u8, CliError> {
     }
     let path = manifest_path.ok_or(
         "usage: mondrian run <manifest> [--out <path>] [--quiet] \
-         [--concurrency serial|branch|stream] [--jobs N] [--sim-threads N] \
+         [--concurrency serial|branch|stream|auto] [--jobs N] [--sim-threads N] \
          [--timings] [--trace <path>] [--progress jsonl] [--junit <path>] \
          [--cache-dir <path>] [--no-cache]",
     )?;
@@ -601,9 +606,10 @@ fn is_versioned_store_dir(name: &str) -> bool {
 }
 
 fn cmd_explain(args: &[String]) -> Result<u8, CliError> {
-    let path = match args {
-        [path] => path,
-        _ => return Err("usage: mondrian explain <manifest>".into()),
+    let (path, artifact) = match args {
+        [path] => (path, None),
+        [path, artifact] => (path, Some(artifact)),
+        _ => return Err("usage: mondrian explain <manifest> [result.json]".into()),
     };
     let manifest = load_manifest(path)?;
     println!("campaign {:?}", manifest.name);
@@ -686,12 +692,81 @@ fn cmd_explain(args: &[String]) -> Result<u8, CliError> {
         }
     }
 
+    // The adaptive planner's cost-model view of the first sweep point:
+    // predicted per-stage makespans per system (what `concurrency =
+    // "auto"` feeds its schedule proposals), joined with the measured
+    // runtimes when a result artifact is passed alongside the manifest.
+    let actuals = match artifact {
+        Some(p) => {
+            let text = fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+            Some(parse_json(&text).map_err(|e| format!("{p}: {e}"))?)
+        }
+        None => None,
+    };
+    let tiny = *manifest.topologies.first().unwrap_or(&true);
+    let tpv = *manifest.tuples_per_vault.first().unwrap_or(&256);
+    println!(
+        "\nplanner predictions (first sweep point; proposals charged only when \
+         concurrency = \"auto\" measures them faster):"
+    );
+    for &system in &manifest.systems {
+        let mut sys = if tiny { SystemConfig::tiny(system) } else { SystemConfig::scaled(system) };
+        sys.tuples_per_vault = tpv;
+        let source_rows = tpv * sys.total_vaults() as usize;
+        let key_bound = manifest.key_bound.unwrap_or_else(|| (source_rows as u64 / 4).max(1));
+        let shapes = plan::estimate_shapes(pipeline.stages(), source_rows, key_bound);
+        let actual =
+            actuals.as_ref().and_then(|doc| artifact_stage_actuals(doc, system.name(), tiny, tpv));
+        println!("  {}:", system.name());
+        let mut serial_sum: u64 = 0;
+        for (i, (stage, shape)) in pipeline.stages().iter().zip(&shapes).enumerate() {
+            let predicted = plan::predict_stage(stage, shape, &sys);
+            serial_sum += predicted;
+            let predicted_us = predicted as f64 / 1e6;
+            match actual.as_ref().and_then(|a| a.get(i)) {
+                Some(&actual_ps) => {
+                    let actual_us = actual_ps as f64 / 1e6;
+                    let delta =
+                        if actual_ps > 0 { (predicted_us / actual_us - 1.0) * 100.0 } else { 0.0 };
+                    println!(
+                        "    {i}: {:<18} predicted {predicted_us:>10.3} µs, \
+                         actual {actual_us:>10.3} µs ({delta:+.1}%)",
+                        stage.name(),
+                    );
+                }
+                None => {
+                    println!("    {i}: {:<18} predicted {predicted_us:>10.3} µs", stage.name());
+                }
+            }
+        }
+        println!("    predicted serial sum: {:.3} µs", serial_sum as f64 / 1e6);
+    }
+
     let runs = manifest.runs();
     println!("\nsweep cross product ({} runs):", runs.len());
     for run in &runs {
         println!("  {}", run.label());
     }
     Ok(0)
+}
+
+/// The per-stage measured runtimes of the artifact run matching
+/// `(system, topology, tuples_per_vault)` — the explain command's
+/// "actual" column. `None` when no run matches (different sweep, a
+/// skipped run, or an older schema).
+fn artifact_stage_actuals(doc: &Value, system: &str, tiny: bool, tpv: usize) -> Option<Vec<i64>> {
+    let topology = if tiny { "tiny" } else { "scaled" };
+    let run = doc.get("runs")?.as_array()?.iter().find(|run| {
+        run.get("system").and_then(|v| v.as_str()) == Some(system)
+            && run.get("topology").and_then(|v| v.as_str()) == Some(topology)
+            && run.get("tuples_per_vault").and_then(Value::as_int) == Some(tpv as i64)
+            && run.get("skipped").is_none()
+    })?;
+    run.get("stages")?
+        .as_array()?
+        .iter()
+        .map(|s| s.get("runtime_ps").and_then(Value::as_int))
+        .collect()
 }
 
 fn describe_input(input: StageInput, i: usize) -> String {

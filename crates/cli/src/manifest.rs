@@ -14,7 +14,7 @@
 //! key_dist = "uniform"          # "uniform" | "zipf"; default uniform
 //! zipf_theta = 0.9              # only with key_dist = "zipf"
 //! key_bound = 4096              # optional source key upper bound
-//! concurrency = "serial"        # "serial" | "branch" | "stream"; default serial
+//! concurrency = "serial"        # "serial" | "branch" | "stream" | "auto"; default serial
 //! jobs = 4                      # worker threads; default all host cores
 //!                               # (overridden by MONDRIAN_JOBS / --jobs)
 //! sim_threads = 2               # engine event-loop threads per run;
@@ -303,16 +303,17 @@ impl Manifest {
             Some(v) => parse_topology(v)?,
         };
 
-        let concurrency = match campaign.get("concurrency").map(|v| v.as_str()) {
-            None | Some(Some("serial")) => Concurrency::Serial,
-            Some(Some("branch")) => Concurrency::Branch,
-            Some(Some("stream")) => Concurrency::Stream,
-            _ => {
-                return Err(
-                    "campaign.concurrency must be \"serial\", \"branch\" or \"stream\"".into()
-                )
-            }
-        };
+        let concurrency =
+            match campaign.get("concurrency").map(|v| v.as_str()) {
+                None | Some(Some("serial")) => Concurrency::Serial,
+                Some(Some("branch")) => Concurrency::Branch,
+                Some(Some("stream")) => Concurrency::Stream,
+                Some(Some("auto")) => Concurrency::Auto,
+                _ => return Err(
+                    "campaign.concurrency must be \"serial\", \"branch\", \"stream\" or \"auto\""
+                        .into(),
+                ),
+            };
 
         let tpv_scalar =
             get_usize(campaign, "campaign.tuples_per_vault", "tuples_per_vault")?.unwrap_or(256);
@@ -950,6 +951,17 @@ mod tests {
         let m = Manifest::parse(&text, Format::Toml).unwrap();
         assert_eq!(m.concurrency, Concurrency::Stream);
         assert_eq!(m.config_for(m.runs()[0]).concurrency, Concurrency::Stream);
+    }
+
+    #[test]
+    fn auto_concurrency_parses() {
+        let text = MINIMAL.replace(
+            "systems = [\"mondrian\"]",
+            "systems = [\"mondrian\"]\nconcurrency = \"auto\"",
+        );
+        let m = Manifest::parse(&text, Format::Toml).unwrap();
+        assert_eq!(m.concurrency, Concurrency::Auto);
+        assert_eq!(m.config_for(m.runs()[0]).concurrency, Concurrency::Auto);
     }
 
     #[test]

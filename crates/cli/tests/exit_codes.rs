@@ -89,7 +89,7 @@ fn run_campaign_binary(tag: &str, extra: &str, fault_env: Option<&str>) -> (i32,
 fn clean_campaign_exits_zero() {
     let (exit, artifact) = run_campaign_binary("ok", "", None);
     assert_eq!(exit, 0);
-    assert!(artifact.contains("\"schema_version\": 7"));
+    assert!(artifact.contains("\"schema_version\": 8"));
     assert!(artifact.contains("\"reason\": \"ok\""));
 }
 

@@ -143,6 +143,63 @@ impl PartitionSpec {
     pub fn is_whole(&self) -> bool {
         self.first_vault == 0 && self.vaults == self.total_vaults
     }
+
+    /// Splits `total_vaults` into one lease per weight, sized roughly
+    /// proportionally to the weights (the planner's predicted branch
+    /// costs): every lease starts at one vault, then the lease with the
+    /// highest remaining weight-per-vault ratio is repeatedly doubled
+    /// until no lease fits in the unassigned vaults. Sizes stay powers of
+    /// two and leases are laid out largest-first, so every lease satisfies
+    /// [`SystemConfig::restrict`]'s alignment rules; the returned vector is
+    /// in input order with `index = i`. Deterministic (ratio ties break
+    /// toward the lowest index); returns `None` exactly when
+    /// [`PartitionSpec::split`] would (machine cannot seat that many
+    /// tenants). Equal weights degenerate to the equal split, with any
+    /// spare vaults going to the lowest-indexed branches.
+    pub fn split_weighted(total_vaults: u32, weights: &[u64]) -> Option<Vec<PartitionSpec>> {
+        let shares = u32::try_from(weights.len()).expect("weight count fits u32");
+        assert!(shares > 0, "cannot split into zero shares");
+        let per = (total_vaults / shares.next_power_of_two()).max(1);
+        if per * shares > total_vaults {
+            return None;
+        }
+        // Zero predicted cost (an empty branch) still deserves a vault of
+        // progress per doubling round; clamping keeps the greedy loop from
+        // starving it at a single vault forever.
+        let weights: Vec<u64> = weights.iter().map(|&w| w.max(1)).collect();
+        let mut sizes = vec![1u32; weights.len()];
+        let mut used = shares;
+        // Greedy doubling: grow the lease whose predicted cost per leased
+        // vault is largest. Cross-multiplied comparison keeps this exact
+        // in integers; doubling lease i consumes sizes[i] spare vaults.
+        loop {
+            let candidate =
+                (0..weights.len()).filter(|&i| sizes[i] <= total_vaults - used).max_by(|&a, &b| {
+                    let ra = weights[a] as u128 * sizes[b] as u128;
+                    let rb = weights[b] as u128 * sizes[a] as u128;
+                    ra.cmp(&rb).then(b.cmp(&a))
+                });
+            let Some(i) = candidate else { break };
+            used += sizes[i];
+            sizes[i] *= 2;
+        }
+        // Largest-first layout: offsets accumulate descending powers of
+        // two, so every first_vault is a multiple of its lease size.
+        let mut order: Vec<usize> = (0..sizes.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(sizes[i]), i));
+        let mut leases = vec![PartitionSpec::whole(total_vaults); sizes.len()];
+        let mut at = 0;
+        for &i in &order {
+            leases[i] = PartitionSpec {
+                index: u32::try_from(i).expect("lease index fits u32"),
+                first_vault: at,
+                vaults: sizes[i],
+                total_vaults,
+            };
+            at += sizes[i];
+        }
+        Some(leases)
+    }
 }
 
 /// Full machine + workload-scale configuration.
@@ -467,6 +524,35 @@ mod tests {
         assert!(PartitionSpec::split(2, 3).is_none());
         assert!(PartitionSpec::whole(64).is_whole());
         assert!(!leases[1].is_whole());
+    }
+
+    #[test]
+    fn split_weighted_favors_heavy_branches_and_stays_aligned() {
+        // Three tenants on 64 vaults: the equal split would leave 16
+        // vaults idle; the weighted split hands the heavy branch a double
+        // share and fills the machine.
+        let three = PartitionSpec::split_weighted(64, &[1, 1, 10]).unwrap();
+        assert_eq!(three[2].vaults, 32, "heavy branch gets the double share");
+        assert_eq!(three.iter().map(|l| l.vaults).sum::<u32>(), 64, "spare vaults are used");
+        let cfg = SystemConfig::scaled(SystemKind::Mondrian);
+        for lease in &three {
+            assert_eq!(cfg.restrict(*lease).total_vaults(), lease.vaults); // validates alignment
+        }
+        // Leases are disjoint.
+        let mut spans: Vec<_> =
+            three.iter().map(|l| (l.first_vault, l.first_vault + l.vaults)).collect();
+        spans.sort_unstable();
+        assert!(spans.windows(2).all(|w| w[0].1 <= w[1].0));
+
+        // Equal weights degenerate to the equal split.
+        let eq = PartitionSpec::split_weighted(64, &[5, 5]).unwrap();
+        assert_eq!((eq[0].vaults, eq[1].vaults), (32, 32));
+
+        // Same None condition as the equal split.
+        assert!(PartitionSpec::split_weighted(2, &[1, 1, 1]).is_none());
+        // All-zero weights behave like equal weights.
+        let zero = PartitionSpec::split_weighted(8, &[0, 0]).unwrap();
+        assert_eq!((zero[0].vaults, zero[1].vaults), (4, 4));
     }
 
     #[test]

@@ -54,7 +54,7 @@ mod opqueue;
 
 pub use agg::Aggregates;
 pub use hash::{mix64, PartitionScheme};
-pub use operator::{operator, OpInvocation, OpOutput, OpProfile, OpSpec, Operator};
+pub use operator::{operator, CostHints, OpInvocation, OpOutput, OpProfile, OpSpec, Operator};
 pub use opqueue::ChainKernel;
 pub use phases::{OperatorKind, PhaseInfo};
 pub use scan::ScanPredicate;

@@ -31,6 +31,28 @@ use crate::reference::{self, JoinRow};
 use crate::scan::{scan_filter, ScanPredicate};
 use crate::sort::{bitonic_runs, merge_pass, BITONIC_RUN};
 
+/// Relative per-tuple work hints for the planner's cost model
+/// ([`mondrian_pipeline::plan`]): abstract cycles per tuple for each
+/// phase slot of the Table 2 plan. These are coarse algorithm-family
+/// weights (a sort's local pass costs more per tuple than a scan's
+/// predicate test), not calibrated hardware numbers — the planner only
+/// needs the *ratios* to rank candidate schedules, and the executor's
+/// measured makespans always win over the prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostHints {
+    /// Cycles per input tuple of one partitioning round (histogram +
+    /// scatter); charged twice (0 when the plan has no partition phase).
+    pub partition_cycles: u32,
+    /// Cycles per build-side tuple of the hash-table build phase (0 when
+    /// the plan has none).
+    pub build_cycles: u32,
+    /// Cycles per input tuple of the operation phase (the local
+    /// sort/probe/aggregate work).
+    pub op_cycles: u32,
+    /// Cycles per *output* tuple of materializing the result.
+    pub output_cycles: u32,
+}
+
 /// Static descriptor of one operator: everything the execution layers
 /// need to know about it without matching on its kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +85,8 @@ pub struct OpProfile {
     /// pipelining (the partition-phase family: histogram + scatter rounds
     /// are incremental over arrival chunks).
     pub streams_input: bool,
+    /// Relative per-tuple phase costs for the planner's cost model.
+    pub cost: CostHints,
 }
 
 /// Parameters of one concrete operator invocation — the descriptor the
@@ -219,6 +243,12 @@ impl Operator for ScanOp {
             group_key_divisor: 1,
             streams_output: true,
             streams_input: false,
+            cost: CostHints {
+                partition_cycles: 0,
+                build_cycles: 0,
+                op_cycles: 2,
+                output_cycles: 1,
+            },
         }
     }
 
@@ -253,6 +283,12 @@ impl Operator for SortOp {
             group_key_divisor: 1,
             streams_output: false,
             streams_input: true,
+            cost: CostHints {
+                partition_cycles: 3,
+                build_cycles: 0,
+                op_cycles: 12,
+                output_cycles: 1,
+            },
         }
     }
 
@@ -294,6 +330,12 @@ impl Operator for GroupByOp {
             group_key_divisor: 4,
             streams_output: false,
             streams_input: true,
+            cost: CostHints {
+                partition_cycles: 3,
+                build_cycles: 6,
+                op_cycles: 4,
+                output_cycles: 1,
+            },
         }
     }
 
@@ -340,6 +382,12 @@ impl Operator for JoinOp {
             group_key_divisor: 1,
             streams_output: false,
             streams_input: true,
+            cost: CostHints {
+                partition_cycles: 3,
+                build_cycles: 8,
+                op_cycles: 6,
+                output_cycles: 2,
+            },
         }
     }
 
@@ -389,6 +437,12 @@ impl Operator for UnionOp {
             group_key_divisor: 1,
             streams_output: true,
             streams_input: false,
+            cost: CostHints {
+                partition_cycles: 0,
+                build_cycles: 0,
+                op_cycles: 1,
+                output_cycles: 1,
+            },
         }
     }
 
@@ -426,6 +480,12 @@ impl Operator for CogroupOp {
             group_key_divisor: 4,
             streams_output: false,
             streams_input: true,
+            cost: CostHints {
+                partition_cycles: 3,
+                build_cycles: 8,
+                op_cycles: 5,
+                output_cycles: 1,
+            },
         }
     }
 
@@ -468,6 +528,12 @@ impl Operator for FlatMapOp {
             group_key_divisor: 1,
             streams_output: true,
             streams_input: false,
+            cost: CostHints {
+                partition_cycles: 0,
+                build_cycles: 0,
+                op_cycles: 2,
+                output_cycles: 1,
+            },
         }
     }
 
@@ -567,6 +633,30 @@ mod tests {
             .filter(|&k| operator(k).profile().streams_output)
             .collect();
         assert_eq!(producers, vec![OperatorKind::Scan, OperatorKind::Union, OperatorKind::FlatMap],);
+    }
+
+    #[test]
+    fn cost_hints_follow_the_phase_plans() {
+        // The planner charges partition/build cycles only when the Table 2
+        // plan has those phases; every operator does *some* per-tuple work.
+        for kind in OperatorKind::ALL {
+            let p = operator(kind).profile();
+            assert_eq!(
+                p.cost.partition_cycles > 0,
+                p.phases.has_partitioning,
+                "{kind:?}: partition cost iff a partition phase exists"
+            );
+            assert_eq!(
+                p.cost.build_cycles > 0,
+                p.phases.hash_table_build.is_some(),
+                "{kind:?}: build cost iff a build phase exists"
+            );
+            assert!(p.cost.op_cycles > 0 && p.cost.output_cycles > 0);
+        }
+        // Ratios the model leans on: a sort's local pass outweighs a scan.
+        let sort = operator(OperatorKind::Sort).profile().cost;
+        let scan = operator(OperatorKind::Scan).profile().cost;
+        assert!(sort.op_cycles > scan.op_cycles);
     }
 
     #[test]

@@ -24,6 +24,13 @@
 //!   charges more than its materialized slot, and a wave never charges
 //!   more than the branch schedule — so `stream ≤ branch ≤ serial`
 //!   holds by construction.
+//! * **Auto** — the cost-model planner ([`crate::plan`]) predicts
+//!   per-stage makespans from the serial pass's actual cardinalities and
+//!   proposes weighted vault leases per wave plus tuned chunk counts per
+//!   fused edge. The executor races the default stream schedule against
+//!   the planned one and charges whichever measured faster, so
+//!   `auto ≤ min(serial, branch, stream)` holds by construction and a
+//!   wrong prediction can never regress a run.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -37,9 +44,10 @@ use mondrian_obs::{ProgressEvent, ProgressSink};
 use mondrian_sim::Time;
 use mondrian_workloads::{uniform_relation, zipfian_relation, Tuple};
 
+use crate::plan::{Plan, StageShape};
 use crate::report::{
-    relation_digest, BranchSchedule, FusedEdge, PipelineReport, ScheduleReport, StageOutcome,
-    WaveReport,
+    relation_digest, BranchSchedule, FusedEdge, PipelineReport, PlanReport, PlannedEdgeReport,
+    PlannedLease, PlannedWaveReport, ScheduleReport, StageOutcome, WaveReport,
 };
 use crate::schedule::{Concurrency, Dag};
 use crate::stage::{BuildSide, Stage, StageInput, StageSpec};
@@ -297,6 +305,9 @@ impl Pipeline {
             Concurrency::Stream => {
                 self.run_stream(cfg, &dag, source.len(), &source, serial, outputs, obs)
             }
+            Concurrency::Auto => {
+                self.run_auto(cfg, &dag, source.len(), &source, serial, outputs, obs)
+            }
         }
     }
 
@@ -351,6 +362,7 @@ impl Pipeline {
                 fused: Vec::new(),
                 makespan_ps: makespan,
             },
+            planned: None,
             output: outputs.into_iter().next_back().expect("validated non-empty").to_vec(),
         }
     }
@@ -361,7 +373,8 @@ impl Pipeline {
     /// is verified byte-identical to the serial pass (`matches`), its
     /// run parked in `chosen` when the wave charges the concurrent
     /// layout, and a wave falls back to the serial schedule when
-    /// concurrency does not pay.
+    /// concurrency does not pay. A plan may override a wave's equal
+    /// lease split with its weighted proposal.
     #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
     fn exec_waves(
         &self,
@@ -373,6 +386,7 @@ impl Pipeline {
         chosen: &mut [Option<StageRun>],
         matches: &mut [bool],
         obs: Observer<'_>,
+        plan: Option<&Plan>,
     ) -> Vec<WaveExec> {
         let base = cfg.system_config();
         let total_vaults = base.total_vaults();
@@ -388,7 +402,9 @@ impl Pipeline {
                 .map(|&i| serial[i].report.runtime_ps)
                 .sum();
             let leases = if wave_branches.len() >= 2 {
-                PartitionSpec::split(total_vaults, wave_branches.len() as u32)
+                plan.and_then(|p| p.wave_leases(w))
+                    .filter(|leases| leases.len() == wave_branches.len())
+                    .or_else(|| PartitionSpec::split(total_vaults, wave_branches.len() as u32))
             } else {
                 None
             };
@@ -558,8 +574,17 @@ impl Pipeline {
         let n = self.stages.len();
         let mut chosen: Vec<Option<StageRun>> = (0..n).map(|_| None).collect();
         let mut matches = vec![true; n];
-        let execs =
-            self.exec_waves(cfg, dag, source, &serial, &outputs, &mut chosen, &mut matches, obs);
+        let execs = self.exec_waves(
+            cfg,
+            dag,
+            source,
+            &serial,
+            &outputs,
+            &mut chosen,
+            &mut matches,
+            obs,
+            None,
+        );
         let concurrent: Vec<bool> = chosen.iter().map(Option::is_some).collect();
         let assembly = Assembly {
             mode: Concurrency::Branch,
@@ -572,6 +597,7 @@ impl Pipeline {
             streamed: vec![false; n],
             waves: execs.into_iter().map(|we| we.report).collect(),
             fused: Vec::new(),
+            planned: None,
         };
         self.assemble_scheduled(cfg, dag, assembly)
     }
@@ -600,11 +626,165 @@ impl Pipeline {
         outputs: Vec<Rel>,
         obs: Observer<'_>,
     ) -> PipelineReport {
+        let sched = self.exec_stream_schedule(cfg, dag, source, &serial, &outputs, obs, None);
+        let assembly = Assembly {
+            mode: Concurrency::Stream,
+            source_rows,
+            serial,
+            outputs,
+            chosen: sched.chosen,
+            matches: sched.matches,
+            concurrent: sched.concurrent,
+            streamed: sched.streamed,
+            waves: sched.waves,
+            fused: sched.fused,
+            planned: None,
+        };
+        self.assemble_scheduled(cfg, dag, assembly)
+    }
+
+    /// The adaptive scheduler: builds a cost-model plan from the serial
+    /// pass's actual cardinalities ([`crate::plan::plan_pipeline`]), then
+    /// races the default stream schedule against the planned one (weighted
+    /// leases, tuned chunk counts) and charges whichever measured faster.
+    /// The default candidate is byte-for-byte the `Concurrency::Stream`
+    /// execution, so `auto ≤ min(serial, branch, stream)` holds by
+    /// construction; the `planned` block records the predictions and who
+    /// won so artifacts can attribute the outcome.
+    #[allow(clippy::too_many_arguments)]
+    fn run_auto(
+        &self,
+        cfg: &PipelineConfig,
+        dag: &Dag,
+        source_rows: usize,
+        source: &Rel,
+        serial: Vec<StageRun>,
+        outputs: Vec<Rel>,
+        obs: Observer<'_>,
+    ) -> PipelineReport {
+        let sys = cfg.system_config();
+        let shapes: Vec<StageShape> = self
+            .stages
+            .iter()
+            .enumerate()
+            .map(|(i, stage)| StageShape {
+                rows_in: serial[i].input_rows,
+                rows_build: resolve_build(&stage.spec, &outputs).map_or(0, |r| r.len()),
+                rows_out: outputs[i].len(),
+            })
+            .collect();
+        let plan = crate::plan::plan_pipeline(&self.stages, dag, &shapes, &sys, STREAM_CHUNKS);
+
+        // Candidate D: the default stream schedule (emits the progress
+        // events). Candidate P: the planned schedule, raced silently —
+        // observation must not depend on which candidate wins.
+        let default = self.exec_stream_schedule(cfg, dag, source, &serial, &outputs, obs, None);
+        let silent = ();
+        let planned_exec = plan.proposes_changes().then(|| {
+            self.exec_stream_schedule(
+                cfg,
+                dag,
+                source,
+                &serial,
+                &outputs,
+                Observer { label: obs.label, sink: &silent },
+                Some(&plan),
+            )
+        });
+        let planner_won =
+            planned_exec.as_ref().is_some_and(|p| p.makespan_ps() < default.makespan_ps());
+        let (winner, loser) = if planner_won {
+            (planned_exec.expect("planner_won implies a planned candidate"), Some(default))
+        } else {
+            (default, planned_exec)
+        };
+        // Every candidate run was verified against the serial outputs;
+        // a mismatch in either candidate fails the run, charged or not.
+        let mut matches = winner.matches;
+        if let Some(loser) = &loser {
+            for (m, &lm) in matches.iter_mut().zip(&loser.matches) {
+                *m &= lm;
+            }
+        }
+        let planned = PlanReport {
+            stage_predicted_ps: plan.stage_predicted_ps.clone(),
+            predicted_makespan_ps: plan.predicted_makespan_ps,
+            planner_won,
+            waves: plan
+                .waves
+                .iter()
+                .map(|w| PlannedWaveReport {
+                    wave: w.wave,
+                    leases: w
+                        .leases
+                        .iter()
+                        .enumerate()
+                        .map(|(slot, l)| PlannedLease {
+                            branch: dag.waves[w.wave][slot],
+                            first_vault: l.first_vault,
+                            vaults: l.vaults,
+                        })
+                        .collect(),
+                })
+                .collect(),
+            edges: plan
+                .edges
+                .iter()
+                .map(|e| PlannedEdgeReport {
+                    producer: e.producer,
+                    consumer: e.consumer,
+                    chunks: e.chunks,
+                })
+                .collect(),
+        };
+        let assembly = Assembly {
+            mode: Concurrency::Auto,
+            source_rows,
+            serial,
+            outputs,
+            chosen: winner.chosen,
+            matches,
+            concurrent: winner.concurrent,
+            streamed: winner.streamed,
+            waves: winner.waves,
+            fused: winner.fused,
+            planned: Some(planned),
+        };
+        self.assemble_scheduled(cfg, dag, assembly)
+    }
+
+    /// One complete stream-schedule execution — the shared engine behind
+    /// `Concurrency::Stream` (no plan) and both `Concurrency::Auto`
+    /// candidates (the planned one overrides leases and chunk counts).
+    /// Runs branch-mode waves, re-executes fused consumers with chunked
+    /// input, and walks the wave timeline; every fallback of the ladder
+    /// applies per candidate, so each candidate is never-worse than the
+    /// branch schedule on its own.
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+    fn exec_stream_schedule(
+        &self,
+        cfg: &PipelineConfig,
+        dag: &Dag,
+        source: &Rel,
+        serial: &[StageRun],
+        outputs: &[Rel],
+        obs: Observer<'_>,
+        plan: Option<&Plan>,
+    ) -> SchedExec {
         let n = self.stages.len();
         let mut chosen: Vec<Option<StageRun>> = (0..n).map(|_| None).collect();
         let mut matches = vec![true; n];
-        let execs =
-            self.exec_waves(cfg, dag, source, &serial, &outputs, &mut chosen, &mut matches, obs);
+        let execs = self.exec_waves(
+            cfg,
+            dag,
+            source,
+            serial,
+            outputs,
+            &mut chosen,
+            &mut matches,
+            obs,
+            plan,
+        );
         let concurrent: Vec<bool> = chosen.iter().map(Option::is_some).collect();
         let base = cfg.system_config();
 
@@ -615,7 +795,19 @@ impl Pipeline {
         // partitioned runs: projected output byte-identical to serial.
         let mut pairs: Vec<PairExec> = Vec::new();
         for (producer, consumer) in dag.fused_pairs(&self.stages) {
-            let chunks = chunk_stream(&outputs[producer]);
+            let unfused_ps = chosen[consumer]
+                .as_ref()
+                .map_or(serial[consumer].report.runtime_ps, |r| r.report.runtime_ps);
+            // An empty producer output has no partition rounds to overlap:
+            // fusing it would charge the consumer a round for zero tuples.
+            // Skip the fusion and keep the materialized slot.
+            if outputs[producer].is_empty() {
+                pairs.push(PairExec::fallback(producer, consumer, unfused_ps));
+                continue;
+            }
+            let chunk_count =
+                plan.and_then(|p| p.edge_chunks(producer, consumer)).unwrap_or(STREAM_CHUNKS);
+            let chunks = chunk_stream(&outputs[producer], chunk_count);
             let wave = &execs[dag.wave_of(consumer)];
             let sys = match &wave.leases {
                 Some(leases) => {
@@ -632,20 +824,24 @@ impl Pipeline {
                 None => cfg.system_config(),
             };
             let stage = &self.stages[consumer];
-            let inputs = resolve_inputs(stage, consumer, source, &outputs);
-            let build = resolve_build(&stage.spec, &outputs);
+            let inputs = resolve_inputs(stage, consumer, source, outputs);
+            let build = resolve_build(&stage.spec, outputs);
             let run = run_stage_engine(cfg, sys, stage, inputs, build, Some(chunks));
             matches[consumer] &= run.projected[..] == outputs[consumer][..];
-            let info = run.report.stream.clone().expect("streamed run records chunk rounds");
-            let rest = run.report.runtime_ps - info.chunk_partition_ps.iter().sum::<Time>();
-            let unfused_ps = chosen[consumer]
-                .as_ref()
-                .map_or(serial[consumer].report.runtime_ps, |r| r.report.runtime_ps);
+            // An engine path that records no per-chunk rounds cannot be
+            // overlapped in the timeline walk — fall back to the
+            // materialized slot instead of panicking (the run is still
+            // held to the differential contract above).
+            let Some((spans, rest)) = stream_rounds(&run) else {
+                pairs.push(PairExec::fallback(producer, consumer, unfused_ps));
+                continue;
+            };
             pairs.push(PairExec {
                 producer,
                 consumer,
+                active: true,
                 avail: Vec::new(),
-                spans: info.chunk_partition_ps,
+                spans,
                 rest,
                 fused_ps: unfused_ps,
                 unfused_ps,
@@ -679,7 +875,7 @@ impl Pipeline {
                         .as_ref()
                         .map_or(serial[i].report.runtime_ps, |r| r.report.runtime_ps);
                     let mut duration = unfused;
-                    if let Some(pair) = pairs.iter_mut().find(|p| p.consumer == i) {
+                    if let Some(pair) = pairs.iter_mut().find(|p| p.active && p.consumer == i) {
                         // Pipelined completion: each chunk partitions as
                         // soon as it arrives and the previous round is
                         // done; the probe tail follows the last round.
@@ -693,7 +889,7 @@ impl Pipeline {
                             duration = pair.fused_ps;
                         }
                     }
-                    if let Some(pi) = pairs.iter().position(|p| p.producer == i) {
+                    if let Some(pi) = pairs.iter().position(|p| p.active && p.producer == i) {
                         let report = chosen[i].as_ref().map_or(&serial[i].report, |r| &r.report);
                         let out_ps = report.probe_time();
                         let pre = report.runtime_ps - out_ps;
@@ -771,6 +967,10 @@ impl Pipeline {
         // per-pair verdict) in the schedule report.
         let mut fused = Vec::with_capacity(pairs.len());
         for pair in &mut pairs {
+            debug_assert!(
+                pair.active || pair.fused_ps == pair.unfused_ps,
+                "a fallback pair must charge its materialized slot"
+            );
             if streamed[pair.consumer] {
                 chosen[pair.consumer] = pair.run.take();
             }
@@ -806,19 +1006,7 @@ impl Pipeline {
             wave.serdes = serdes;
         }
 
-        let assembly = Assembly {
-            mode: Concurrency::Stream,
-            source_rows,
-            serial,
-            outputs,
-            chosen,
-            matches,
-            concurrent,
-            streamed,
-            waves,
-            fused,
-        };
-        self.assemble_scheduled(cfg, dag, assembly)
+        SchedExec { chosen, matches, concurrent, streamed, waves, fused }
     }
 
     /// Assembles the report of a scheduled (branch or stream) run from
@@ -871,6 +1059,7 @@ impl Pipeline {
                 fused: assembly.fused,
                 makespan_ps: makespan,
             },
+            planned: assembly.planned,
             output: assembly.outputs.into_iter().next_back().expect("validated non-empty").to_vec(),
         }
     }
@@ -902,6 +1091,11 @@ struct WaveExec {
 struct PairExec {
     producer: usize,
     consumer: usize,
+    /// Whether the timeline walk may stream this pair. A fallback pair
+    /// (empty producer output, or an engine path without per-chunk
+    /// rounds) stays in the report but always charges its materialized
+    /// slot.
+    active: bool,
     /// Absolute availability time of each chunk, recorded when the
     /// timeline walk passes the producer.
     avail: Vec<Time>,
@@ -917,6 +1111,42 @@ struct PairExec {
     run: Option<StageRun>,
 }
 
+impl PairExec {
+    /// A pair the walk skips: it records the edge (zero chunks) and
+    /// keeps the consumer's materialized slot charged.
+    fn fallback(producer: usize, consumer: usize, unfused_ps: Time) -> Self {
+        PairExec {
+            producer,
+            consumer,
+            active: false,
+            avail: Vec::new(),
+            spans: Vec::new(),
+            rest: 0,
+            fused_ps: unfused_ps,
+            unfused_ps,
+            run: None,
+        }
+    }
+}
+
+/// One complete stream-schedule execution, before report assembly.
+/// `run_stream` charges its only execution; `run_auto` races two and
+/// charges the faster.
+struct SchedExec {
+    chosen: Vec<Option<StageRun>>,
+    matches: Vec<bool>,
+    concurrent: Vec<bool>,
+    streamed: Vec<bool>,
+    waves: Vec<WaveReport>,
+    fused: Vec<FusedEdge>,
+}
+
+impl SchedExec {
+    fn makespan_ps(&self) -> Time {
+        self.waves.iter().map(|w| w.runtime_ps).sum()
+    }
+}
+
 /// Inputs of the scheduled-report assembly beyond the stages themselves.
 struct Assembly {
     mode: Concurrency,
@@ -929,23 +1159,33 @@ struct Assembly {
     streamed: Vec<bool>,
     waves: Vec<WaveReport>,
     fused: Vec<FusedEdge>,
+    planned: Option<PlanReport>,
 }
 
-/// How many arrival chunks a fused edge streams through: the bounded
-/// channel between a producer's output phase and its consumer's
+/// How many arrival chunks a fused edge streams through by default: the
+/// bounded channel between a producer's output phase and its consumer's
 /// partition phase. Deterministic — the chunking is part of the
-/// schedule's identity.
+/// schedule's identity; the planner may override it per edge.
 const STREAM_CHUNKS: usize = 8;
 
 /// Splits a producer's output relation into its bounded-channel arrival
-/// chunks: up to [`STREAM_CHUNKS`] equal slices, at least one tuple each
-/// (a single empty chunk for an empty relation).
-fn chunk_stream(rel: &Rel) -> Vec<Rel> {
-    if rel.is_empty() {
-        return vec![rel.clone()];
-    }
-    let per = rel.len().div_ceil(STREAM_CHUNKS.min(rel.len()));
+/// chunks: up to `chunks` equal slices, at least one tuple each. Empty
+/// relations never stream — their fused edges fall back to the
+/// materialized slot before chunking.
+fn chunk_stream(rel: &Rel, chunks: usize) -> Vec<Rel> {
+    assert!(!rel.is_empty(), "empty producer outputs skip fusion");
+    let per = rel.len().div_ceil(chunks.clamp(1, rel.len()));
     rel.chunks(per).map(Arc::from).collect()
+}
+
+/// Extracts a streamed run's per-chunk partition rounds and its time
+/// past the last round. `None` when the engine path recorded no stream
+/// info — the caller falls back to the materialized slot.
+fn stream_rounds(run: &StageRun) -> Option<(Vec<Time>, Time)> {
+    let info = run.report.stream.as_ref()?;
+    let spans = info.chunk_partition_ps.clone();
+    let rest = run.report.runtime_ps.saturating_sub(spans.iter().sum::<Time>());
+    Some((spans, rest))
 }
 
 /// One executed stage (on the whole machine or on a lease).
@@ -1500,6 +1740,110 @@ mod tests {
             StageSpec::Join { build: BuildSide::Stage(0) },
         ]);
         assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_producer_edges_fall_back_to_materialized() {
+        // Filter{2,0} keeps odd payloads, Filter{2,1} keeps even ones:
+        // their composition is empty, so the fusable edge into the
+        // group-by has an empty producer output. The schedule must skip
+        // the fusion (no partition round charged for zero tuples)
+        // instead of streaming a single empty chunk.
+        let pipeline = Pipeline::from_stages(vec![
+            Stage::chained(StageSpec::Filter { modulus: 2, remainder: 0 }),
+            Stage::chained(StageSpec::Filter { modulus: 2, remainder: 1 }),
+            Stage::chained(StageSpec::GroupByKey),
+        ]);
+        let mut cfg = PipelineConfig::tiny(SystemKind::Mondrian);
+        cfg.concurrency = Concurrency::Serial;
+        let serial = pipeline.run(&cfg);
+        assert!(serial.verified());
+        assert!(serial.output.is_empty(), "the filters cancel out");
+        for mode in [Concurrency::Stream, Concurrency::Auto] {
+            cfg.concurrency = mode;
+            let report = pipeline.run(&cfg);
+            assert!(report.verified(), "{mode:?} run failed");
+            assert_eq!(report.output, serial.output);
+            let edge = report
+                .schedule
+                .fused
+                .iter()
+                .find(|f| f.consumer == 2)
+                .expect("the group-by edge is fusable");
+            assert!(!edge.streamed, "an empty stream must not charge");
+            assert_eq!(edge.chunks, 0, "no chunks were formed");
+            assert_eq!(edge.streamed_ps, edge.unfused_ps, "materialized slot kept");
+            assert!(report.makespan_ps() <= serial.makespan_ps());
+        }
+    }
+
+    #[test]
+    fn runs_without_chunk_accounting_fall_back_not_panic() {
+        // An engine path that records no per-chunk rounds yields `None`
+        // from `stream_rounds`, which the scheduler treats as a per-pair
+        // fallback to the materialized slot (it used to panic).
+        let cfg = PipelineConfig::tiny(SystemKind::Mondrian);
+        let stage = Stage::chained(StageSpec::GroupByKey);
+        let source: Rel = Arc::from(cfg.source_relation());
+        let materialized =
+            run_stage_engine(&cfg, cfg.system_config(), &stage, vec![source.clone()], None, None);
+        assert!(
+            stream_rounds(&materialized).is_none(),
+            "a run without stream info has no rounds to overlap"
+        );
+        let chunks = chunk_stream(&source, 4);
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks.iter().map(|c| c.len()).sum::<usize>(), source.len());
+        let streamed =
+            run_stage_engine(&cfg, cfg.system_config(), &stage, vec![source], None, Some(chunks));
+        let (spans, rest) = stream_rounds(&streamed).expect("streamed run records rounds");
+        assert_eq!(spans.len(), 4);
+        assert_eq!(rest + spans.iter().sum::<Time>(), streamed.report.runtime_ps);
+    }
+
+    #[test]
+    fn chunk_stream_respects_requested_counts() {
+        let rel: Rel =
+            Arc::from(PipelineConfig::tiny(SystemKind::Mondrian).source_relation()[..10].to_vec());
+        assert_eq!(chunk_stream(&rel, 4).len(), 4);
+        assert_eq!(chunk_stream(&rel, 1).len(), 1);
+        assert_eq!(chunk_stream(&rel, 0).len(), 1, "zero clamps to one chunk");
+        assert_eq!(chunk_stream(&rel, 100).len(), 10, "never more chunks than tuples");
+    }
+
+    #[test]
+    fn auto_mode_records_a_plan_and_never_loses() {
+        let pipeline = Pipeline::from_stages(vec![
+            Stage::chained(StageSpec::Filter { modulus: 10, remainder: 0 }),
+            Stage::chained(StageSpec::GroupByKey),
+            Stage::with_input(StageSpec::Map { key_mul: 1, key_add: 3 }, StageInput::Source),
+            Stage::chained(StageSpec::SortByKey),
+            Stage::with_input(StageSpec::Join { build: BuildSide::Stage(3) }, StageInput::Stage(1)),
+        ]);
+        for system in [SystemKind::Mondrian, SystemKind::Cpu] {
+            let mut cfg = PipelineConfig::tiny(system);
+            cfg.concurrency = Concurrency::Serial;
+            let serial = pipeline.run(&cfg);
+            cfg.concurrency = Concurrency::Branch;
+            let branch = pipeline.run(&cfg);
+            cfg.concurrency = Concurrency::Stream;
+            let stream = pipeline.run(&cfg);
+            cfg.concurrency = Concurrency::Auto;
+            let auto = pipeline.run(&cfg);
+            assert!(auto.verified(), "auto run failed on {system}");
+            assert_eq!(auto.output, serial.output, "auto must stay byte-identical to serial");
+            let planned = auto.planned.as_ref().expect("auto records its plan");
+            assert_eq!(planned.stage_predicted_ps.len(), pipeline.stages().len());
+            assert!(planned.predicted_makespan_ps > 0);
+            let best = serial.makespan_ps().min(branch.makespan_ps()).min(stream.makespan_ps());
+            assert!(
+                auto.makespan_ps() <= best,
+                "auto lost on {system}: {} > {} ps",
+                auto.makespan_ps(),
+                best
+            );
+            assert!(serial.planned.is_none() && stream.planned.is_none());
+        }
     }
 
     #[test]

@@ -1,0 +1,367 @@
+//! The cost-model planner behind `Concurrency::Auto`.
+//!
+//! The engine already knows everything a planner needs: every operator
+//! publishes relative per-tuple phase costs ([`mondrian_ops::CostHints`]),
+//! the serial reference pass produces exact per-stage cardinalities, and
+//! [`mondrian_core::SystemConfig`] carries the timing parameters (compute
+//! units, core clock, phase-barrier cost). From those facts the planner
+//! predicts a whole-machine runtime per stage and derives two schedule
+//! decisions the executor previously left to global hand-knobs:
+//!
+//! * **Vault-lease split per wave** — instead of equal
+//!   [`PartitionSpec::split`] shares, the predicted-slower branch gets
+//!   more vaults ([`PartitionSpec::split_weighted`]), re-leased per wave.
+//! * **Chunk count per fused edge** — instead of the fixed default, the
+//!   planner balances the per-chunk partition round against the per-round
+//!   overhead (`k* ≈ √(partition_time / barrier)`), so tiny relations
+//!   stop paying for rounds they cannot fill and huge ones overlap at a
+//!   finer grain.
+//!
+//! Predictions *rank* candidate schedules; they never bind the result.
+//! The adaptive executor runs the default stream schedule and (when the
+//! plan proposes changes) the planned one, then charges whichever
+//! measured faster — so a wrong prediction costs nothing but simulation
+//! time, and `auto` stays never-worse than the best hand-tuned mode by
+//! construction. `mondrian explain` renders the same predictions next to
+//! the measured makespans so the model's error is always visible.
+
+use mondrian_core::{PartitionSpec, SystemConfig};
+use mondrian_sim::Time;
+
+use crate::schedule::Dag;
+use crate::stage::{BuildSide, Stage, StageInput, StageSpec};
+
+/// The cardinalities one stage's cost prediction is computed from. At
+/// execution time these are the serial pass's *actual* row counts; for
+/// pre-simulation prediction (`mondrian explain`) they come from the
+/// structural estimator ([`estimate_shapes`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageShape {
+    /// Rows consumed across every input edge.
+    pub rows_in: usize,
+    /// Rows of the join build side (0 for non-join stages).
+    pub rows_build: usize,
+    /// Rows the stage produces.
+    pub rows_out: usize,
+}
+
+/// The planner's lease proposal for one multi-branch wave, kept only
+/// when it differs from the equal split the executor would use anyway.
+#[derive(Debug, Clone)]
+pub struct PlannedWave {
+    /// Wave index.
+    pub wave: usize,
+    /// Proposed leases, in branch-slot order (matching `dag.waves[wave]`).
+    pub leases: Vec<PartitionSpec>,
+}
+
+/// The planner's chunk-count proposal for one fused edge, kept only when
+/// it differs from the default chunking.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannedEdge {
+    /// Producer stage index.
+    pub producer: usize,
+    /// Consumer stage index.
+    pub consumer: usize,
+    /// Proposed arrival-chunk count.
+    pub chunks: usize,
+}
+
+/// A complete schedule proposal for one pipeline run.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Predicted whole-machine runtime per stage, in stage-index order.
+    pub stage_predicted_ps: Vec<Time>,
+    /// Predicted end-to-end makespan of the planned schedule.
+    pub predicted_makespan_ps: Time,
+    /// Lease proposals that differ from the equal split.
+    pub waves: Vec<PlannedWave>,
+    /// Chunk-count proposals that differ from the default chunking.
+    pub edges: Vec<PlannedEdge>,
+}
+
+impl Plan {
+    /// Whether the plan proposes any deviation from the default stream
+    /// schedule (if not, the adaptive executor skips the second
+    /// candidate entirely — the default run *is* the planned run).
+    pub fn proposes_changes(&self) -> bool {
+        !self.waves.is_empty() || !self.edges.is_empty()
+    }
+
+    /// The proposed leases of a wave, if the plan re-split it.
+    pub fn wave_leases(&self, wave: usize) -> Option<Vec<PartitionSpec>> {
+        self.waves.iter().find(|w| w.wave == wave).map(|w| w.leases.clone())
+    }
+
+    /// The proposed chunk count of a fused edge, if the plan retuned it.
+    pub fn edge_chunks(&self, producer: usize, consumer: usize) -> Option<usize> {
+        self.edges
+            .iter()
+            .find(|e| e.producer == producer && e.consumer == consumer)
+            .map(|e| e.chunks)
+    }
+}
+
+/// Picoseconds per core cycle on `sys` (the Table 3 clocks are 1 or
+/// 2 GHz, so this is exact).
+fn ps_per_cycle(sys: &SystemConfig) -> u64 {
+    (1000.0 / sys.kind.core_config().clock.ghz()).round() as u64
+}
+
+/// Abstract work of one stage: total cycles across all compute units,
+/// plus the number of phase barriers its plan crosses.
+fn stage_cycles(stage: &Stage, shape: &StageShape) -> (u64, u64) {
+    let profile = mondrian_ops::operator(stage.basic_operator()).profile();
+    let cost = profile.cost;
+    let rows_in = shape.rows_in as u64;
+    let mut cycles =
+        rows_in * cost.op_cycles as u64 + shape.rows_out as u64 * cost.output_cycles as u64;
+    let mut phases = 1u64;
+    if profile.phases.has_partitioning {
+        // Histogram + scatter each touch every input tuple.
+        cycles += 2 * rows_in * cost.partition_cycles as u64;
+        phases += 2;
+    }
+    if profile.phases.hash_table_build.is_some() {
+        cycles += shape.rows_build as u64 * cost.build_cycles as u64;
+        phases += 1;
+    }
+    (cycles, phases)
+}
+
+/// Predicted runtime of one stage on a `vaults`-sized lease of `sys`:
+/// cycles spread over the lease's proportional share of the compute
+/// units, plus the fixed barrier cost per phase boundary.
+pub fn predict_stage_on(
+    stage: &Stage,
+    shape: &StageShape,
+    sys: &SystemConfig,
+    vaults: u32,
+) -> Time {
+    let (cycles, phases) = stage_cycles(stage, shape);
+    let total = sys.total_vaults().max(1) as u64;
+    let units = (sys.compute_units() as u64 * vaults as u64 / total).max(1);
+    cycles.div_ceil(units) * ps_per_cycle(sys) + phases * sys.barrier
+}
+
+/// Predicted whole-machine runtime of one stage.
+pub fn predict_stage(stage: &Stage, shape: &StageShape, sys: &SystemConfig) -> Time {
+    predict_stage_on(stage, shape, sys, sys.total_vaults())
+}
+
+/// Candidate chunk counts for a fused edge. Power-of-two ladder around
+/// the old fixed default — the engine's chunk rounds are cheap to vary,
+/// but an unbounded count would just re-derive the relation tuple by
+/// tuple.
+const CHUNK_CANDIDATES: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// The chunk count minimizing the predicted streamed-slot cost of a
+/// fused edge: the final partition round (`partition_ps / k`) shrinks
+/// with more chunks while the per-round overhead (`k · barrier`) grows,
+/// so the optimum sits near `√(partition_ps / barrier)`. Clamped to the
+/// producer's output rows — a chunk must carry at least one tuple.
+fn pick_chunks(partition_ps: Time, barrier: Time, rows: usize) -> usize {
+    let cost = |k: usize| partition_ps / k as u64 + k as u64 * barrier.max(1);
+    let best = CHUNK_CANDIDATES
+        .iter()
+        .copied()
+        .min_by_key(|&k| (cost(k), k))
+        .expect("candidate ladder is non-empty");
+    best.min(rows.max(1))
+}
+
+/// Builds the schedule proposal for one pipeline run.
+///
+/// `shapes` supplies per-stage cardinalities (actual or estimated);
+/// `default_chunks` is the executor's default chunk cap, so the plan
+/// records only genuine deviations. Waves whose weighted split equals
+/// the equal split and edges whose tuned chunk count equals the default
+/// are omitted — an empty proposal means the default schedule already is
+/// the planned one.
+pub fn plan_pipeline(
+    stages: &[Stage],
+    dag: &Dag,
+    shapes: &[StageShape],
+    sys: &SystemConfig,
+    default_chunks: usize,
+) -> Plan {
+    let preds: Vec<Time> =
+        stages.iter().zip(shapes).map(|(s, sh)| predict_stage(s, sh, sys)).collect();
+    let total = sys.total_vaults();
+
+    let mut waves = Vec::new();
+    let mut predicted_makespan: Time = 0;
+    for (w, wave_branches) in dag.waves.iter().enumerate() {
+        let serial_sum: Time =
+            wave_branches.iter().flat_map(|&b| &dag.branches[b]).map(|&i| preds[i]).sum();
+        if wave_branches.len() < 2 {
+            predicted_makespan += serial_sum;
+            continue;
+        }
+        let weights: Vec<u64> = wave_branches
+            .iter()
+            .map(|&b| dag.branches[b].iter().map(|&i| preds[i]).sum())
+            .collect();
+        let equal = PartitionSpec::split(total, wave_branches.len() as u32);
+        let weighted = PartitionSpec::split_weighted(total, &weights);
+        let (Some(equal), Some(weighted)) = (equal, weighted) else {
+            // More tenants than vaults: serial is the only schedule.
+            predicted_makespan += serial_sum;
+            continue;
+        };
+        let concurrent: Time = wave_branches
+            .iter()
+            .enumerate()
+            .map(|(slot, &b)| {
+                dag.branches[b]
+                    .iter()
+                    .map(|&i| predict_stage_on(&stages[i], &shapes[i], sys, weighted[slot].vaults))
+                    .sum()
+            })
+            .max()
+            .unwrap_or(0);
+        // The executor's per-wave fallback charges the serial layout when
+        // concurrency does not pay; predict the same way.
+        predicted_makespan += concurrent.min(serial_sum);
+        if weighted != equal {
+            waves.push(PlannedWave { wave: w, leases: weighted });
+        }
+    }
+
+    let mut edges = Vec::new();
+    for (producer, consumer) in dag.fused_pairs(stages) {
+        let rows = shapes[producer].rows_out;
+        if rows == 0 {
+            // Empty producer output: the executor skips fusion on its own
+            // (no partition rounds to overlap), so there is nothing to
+            // propose.
+            continue;
+        }
+        let cost = mondrian_ops::operator(stages[consumer].basic_operator()).profile().cost;
+        let partition_cycles = 2 * rows as u64 * cost.partition_cycles as u64;
+        let partition_ps =
+            partition_cycles.div_ceil(sys.compute_units().max(1) as u64) * ps_per_cycle(sys);
+        let chunks = pick_chunks(partition_ps, sys.barrier, rows);
+        if chunks != default_chunks.min(rows) {
+            edges.push(PlannedEdge { producer, consumer, chunks });
+        }
+    }
+
+    Plan { stage_predicted_ps: preds, predicted_makespan_ps: predicted_makespan, waves, edges }
+}
+
+/// Structural per-stage cardinality estimates for a plan that has not
+/// executed: edge counts resolve through the DAG the same way the
+/// executor resolves relations, and each stage's output estimate comes
+/// from [`StageSpec::estimate_output_rows`]. `key_bound` is the source
+/// relation's key-space bound (the default mirrors
+/// `PipelineConfig::source_relation`: a quarter of the source rows).
+pub fn estimate_shapes(stages: &[Stage], source_rows: usize, key_bound: u64) -> Vec<StageShape> {
+    let mut shapes: Vec<StageShape> = Vec::with_capacity(stages.len());
+    let mut outs: Vec<usize> = Vec::with_capacity(stages.len());
+    for (i, stage) in stages.iter().enumerate() {
+        let edge_rows = |input: StageInput| match input {
+            StageInput::Source => source_rows,
+            StageInput::Prev => {
+                if i == 0 {
+                    source_rows
+                } else {
+                    outs[i - 1]
+                }
+            }
+            StageInput::Stage(j) => outs[j],
+        };
+        let inputs: Vec<usize> = stage.inputs.iter().map(|&input| edge_rows(input)).collect();
+        let rows_in: usize = inputs.iter().sum();
+        let rows_build = match stage.spec {
+            StageSpec::Join { build: BuildSide::Stage(j) } => outs[j],
+            // A derived dimension carries one tuple per distinct probe key.
+            StageSpec::Join { build: BuildSide::Dimension } => {
+                rows_in.min(usize::try_from(key_bound.max(1)).unwrap_or(usize::MAX))
+            }
+            _ => 0,
+        };
+        let rows_out = stage.spec.estimate_output_rows(&inputs, key_bound);
+        shapes.push(StageShape { rows_in, rows_build, rows_out });
+        outs.push(rows_out);
+    }
+    shapes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mondrian_core::SystemKind;
+
+    fn sys() -> SystemConfig {
+        SystemConfig::scaled(SystemKind::Mondrian)
+    }
+
+    #[test]
+    fn predictions_scale_with_rows_and_vaults() {
+        let stage = Stage::chained(StageSpec::SortByKey);
+        let small = StageShape { rows_in: 1_000, rows_build: 0, rows_out: 1_000 };
+        let big = StageShape { rows_in: 100_000, rows_build: 0, rows_out: 100_000 };
+        let sys = sys();
+        assert!(predict_stage(&stage, &big, &sys) > predict_stage(&stage, &small, &sys));
+        // Half the vaults, roughly double the compute time (barriers fixed).
+        let whole = predict_stage(&stage, &big, &sys);
+        let half = predict_stage_on(&stage, &big, &sys, sys.total_vaults() / 2);
+        assert!(half > whole);
+        // A partitioning stage predicts costlier than a scan of equal shape.
+        let scan = Stage::chained(StageSpec::Filter { modulus: 10, remainder: 0 });
+        assert!(predict_stage(&stage, &big, &sys) > predict_stage(&scan, &big, &sys));
+    }
+
+    #[test]
+    fn chunk_tuning_grows_with_partition_work() {
+        let barrier = 200_000; // 200 ns in ps
+        assert_eq!(pick_chunks(0, barrier, 1_000_000), 1, "no partition work, no rounds");
+        let small = pick_chunks(8 * barrier, barrier, 1_000_000);
+        let large = pick_chunks(4096 * barrier, barrier, 1_000_000);
+        assert!(small < large, "more partition work wants finer chunking ({small} vs {large})");
+        assert_eq!(pick_chunks(4096 * barrier, barrier, 3), 3, "chunks never outnumber rows");
+    }
+
+    #[test]
+    fn plan_proposes_weighted_leases_for_skewed_waves() {
+        // Three mutually independent branches with very different
+        // predicted costs share wave 0; the plan re-splits their leases.
+        let stages = vec![
+            Stage::with_input(StageSpec::Filter { modulus: 10, remainder: 0 }, StageInput::Source),
+            Stage::with_input(StageSpec::Filter { modulus: 3, remainder: 1 }, StageInput::Source),
+            Stage::with_input(StageSpec::SortByKey, StageInput::Source),
+        ];
+        let dag = Dag::build(&stages);
+        assert_eq!(dag.waves.len(), 1);
+        let shapes = vec![
+            StageShape { rows_in: 1_000, rows_build: 0, rows_out: 900 },
+            StageShape { rows_in: 1_000, rows_build: 0, rows_out: 667 },
+            StageShape { rows_in: 500_000, rows_build: 0, rows_out: 500_000 },
+        ];
+        let plan = plan_pipeline(&stages, &dag, &shapes, &sys(), 8);
+        assert!(plan.proposes_changes());
+        let leases = plan.wave_leases(0).expect("skewed wave is re-split");
+        assert!(leases[2].vaults > leases[0].vaults, "the sort branch gets more vaults");
+        assert!(plan.predicted_makespan_ps > 0);
+        assert_eq!(plan.stage_predicted_ps.len(), 3);
+    }
+
+    #[test]
+    fn estimated_shapes_walk_the_dag() {
+        let stages = vec![
+            Stage::chained(StageSpec::Filter { modulus: 10, remainder: 0 }),
+            Stage::chained(StageSpec::GroupByKey),
+            Stage::with_input(StageSpec::Filter { modulus: 3, remainder: 1 }, StageInput::Source),
+            Stage::with_inputs(StageSpec::Union, vec![StageInput::Stage(1), StageInput::Stage(2)]),
+        ];
+        let shapes = estimate_shapes(&stages, 1000, 64);
+        assert_eq!(shapes[0].rows_in, 1000);
+        assert_eq!(shapes[0].rows_out, 900);
+        assert_eq!(shapes[1].rows_in, 900);
+        assert_eq!(shapes[1].rows_out, 64, "grouping caps at the key bound");
+        assert_eq!(shapes[2].rows_in, 1000);
+        assert_eq!(shapes[3].rows_in, shapes[1].rows_out + shapes[2].rows_out);
+        assert_eq!(shapes[3].rows_out, shapes[3].rows_in, "union concatenates");
+    }
+}

@@ -147,6 +147,57 @@ pub struct FusedEdge {
     pub unfused_ps: Time,
 }
 
+/// One vault lease the planner proposed for a branch of a wave.
+#[derive(Debug, Clone)]
+pub struct PlannedLease {
+    /// Branch id within the pipeline DAG.
+    pub branch: usize,
+    /// First global vault of the proposed lease.
+    pub first_vault: u32,
+    /// Vaults the planner would lease to the branch.
+    pub vaults: u32,
+}
+
+/// The planner's lease proposal for one multi-branch wave.
+#[derive(Debug, Clone)]
+pub struct PlannedWaveReport {
+    /// Wave index (topological level).
+    pub wave: usize,
+    /// Proposed leases, one per branch of the wave, in branch-slot order.
+    pub leases: Vec<PlannedLease>,
+}
+
+/// The planner's chunk-count proposal for one fused edge.
+#[derive(Debug, Clone)]
+pub struct PlannedEdgeReport {
+    /// Producer stage index.
+    pub producer: usize,
+    /// Consumer stage index.
+    pub consumer: usize,
+    /// Proposed arrival-chunk count (0 = skip fusing this edge).
+    pub chunks: usize,
+}
+
+/// What the cost-model planner ([`crate::plan`]) predicted and decided
+/// for an adaptive (`Concurrency::Auto`) run, recorded in the artifact so
+/// `mondrian explain` can render predicted-vs-actual makespans and
+/// `mondrian diff` can attribute wins to planner decisions.
+#[derive(Debug, Clone)]
+pub struct PlanReport {
+    /// Predicted whole-machine runtime per stage, in stage-index order.
+    pub stage_predicted_ps: Vec<Time>,
+    /// Predicted end-to-end makespan of the planned schedule.
+    pub predicted_makespan_ps: Time,
+    /// Whether the planned schedule beat the default stream schedule and
+    /// was charged (false = the executor's candidate race kept the
+    /// default, so `auto` still ties the best hand-tuned mode).
+    pub planner_won: bool,
+    /// Lease proposals for the multi-branch waves the planner re-split.
+    pub waves: Vec<PlannedWaveReport>,
+    /// Chunk-count proposals for the fused edges.
+    pub edges: Vec<PlannedEdgeReport>,
+}
+
 /// The executed schedule of one pipeline run.
 #[derive(Debug, Clone)]
 pub struct ScheduleReport {
@@ -184,6 +235,9 @@ pub struct PipelineReport {
     pub stages: Vec<StageOutcome>,
     /// The executed schedule (waves, branches, makespan).
     pub schedule: ScheduleReport,
+    /// The cost-model planner's predictions and decisions
+    /// (`Concurrency::Auto` runs only).
+    pub planned: Option<PlanReport>,
     /// The final output relation.
     pub output: Vec<Tuple>,
 }
@@ -323,6 +377,17 @@ impl PipelineReport {
                 f.streamed_ps as f64 / 1e6,
                 f.unfused_ps as f64 / 1e6,
                 if f.streamed { "" } else { " <- fallback" },
+            ));
+        }
+        if let Some(plan) = &self.planned {
+            out.push_str(&format!(
+                "  planner: predicted {:.3} µs makespan, {}\n",
+                plan.predicted_makespan_ps as f64 / 1e6,
+                if plan.planner_won {
+                    "planned schedule charged"
+                } else {
+                    "default schedule kept (never-worse fallback)"
+                },
             ));
         }
         out

@@ -36,6 +36,15 @@ pub enum Concurrency {
     /// byte-identical to the serial reference, and a per-pair fallback
     /// keeps the schedule never slower than the branch one.
     Stream,
+    /// Cost-model-driven planning ([`crate::plan`]): the planner predicts
+    /// per-stage makespans from `OpProfile` cost hints, the serial pass's
+    /// cardinalities and the system's timing parameters, then picks the
+    /// vault-lease split per wave and the chunk count per fused edge. The
+    /// executor runs the default stream schedule *and* the planned one and
+    /// charges whichever is faster, so `auto` is never slower than the
+    /// best of serial/branch/stream while staying byte-identical to the
+    /// serial reference.
+    Auto,
 }
 
 impl Concurrency {
@@ -45,6 +54,7 @@ impl Concurrency {
             Concurrency::Serial => "serial",
             Concurrency::Branch => "branch",
             Concurrency::Stream => "stream",
+            Concurrency::Auto => "auto",
         }
     }
 }

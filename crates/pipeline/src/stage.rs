@@ -303,6 +303,42 @@ impl StageSpec {
         }
     }
 
+    /// Structural output-cardinality estimate for the planner's cost model
+    /// ([`crate::plan`]) when no executed run is available (`mondrian
+    /// explain` predicts a manifest before simulating it): per-edge input
+    /// rows in, estimated output rows out. `key_bound` is the source
+    /// relation's key-space bound — the cap on distinct keys the grouping
+    /// family can emit. Estimates only; at execution time the planner uses
+    /// the serial pass's *actual* cardinalities instead.
+    pub fn estimate_output_rows(&self, inputs: &[usize], key_bound: u64) -> usize {
+        let rows = inputs.first().copied().unwrap_or(0);
+        let distinct = |n: usize| n.min(usize::try_from(key_bound.max(1)).unwrap_or(usize::MAX));
+        match *self {
+            // Filter keeps every payload class but one.
+            StageSpec::Filter { modulus, .. } => {
+                let m = usize::try_from(modulus.max(1)).unwrap_or(usize::MAX);
+                rows - rows / m
+            }
+            // A searched-value scan keeps roughly one key's worth of rows.
+            StageSpec::LookupKey { .. } => {
+                rows / usize::try_from(key_bound.max(1)).unwrap_or(usize::MAX).max(1)
+            }
+            StageSpec::Map { .. } | StageSpec::MapValues { .. } | StageSpec::SortByKey => rows,
+            StageSpec::Union => inputs.iter().sum(),
+            StageSpec::FlatMap { fanout } => {
+                rows.saturating_mul(usize::try_from(fanout.max(1)).unwrap_or(usize::MAX))
+            }
+            // Grouping emits one tuple per distinct key.
+            StageSpec::Cogroup => distinct(inputs.iter().sum()),
+            StageSpec::GroupByKey
+            | StageSpec::ReduceByKey
+            | StageSpec::CountByKey
+            | StageSpec::AggregateByKey => distinct(rows),
+            // A primary-key dimension matches each probe row about once.
+            StageSpec::Join { .. } => rows,
+        }
+    }
+
     /// The stage's pure functional semantics: the expected output relation
     /// for `inputs` (and `build` for joins), computed entirely with the
     /// naive reference executors — no simulation machinery involved.
@@ -446,6 +482,25 @@ mod tests {
         assert_eq!(cg.len(), 2);
         assert_eq!(cg[0], Tuple::new(1, (1 << 32) + 1), "one tuple each side");
         assert_eq!(cg[1], Tuple::new(2, 1 << 32), "key 2 only on side A");
+    }
+
+    #[test]
+    fn cardinality_estimates_track_the_semantics() {
+        assert_eq!(
+            StageSpec::Filter { modulus: 10, remainder: 0 }.estimate_output_rows(&[1000], 64),
+            900
+        );
+        assert_eq!(StageSpec::FlatMap { fanout: 3 }.estimate_output_rows(&[100], 64), 300);
+        assert_eq!(StageSpec::Union.estimate_output_rows(&[100, 50], 64), 150);
+        assert_eq!(StageSpec::GroupByKey.estimate_output_rows(&[1000], 64), 64);
+        assert_eq!(StageSpec::GroupByKey.estimate_output_rows(&[40], 64), 40);
+        assert_eq!(StageSpec::Cogroup.estimate_output_rows(&[100, 100], 64), 64);
+        assert_eq!(StageSpec::SortByKey.estimate_output_rows(&[123], 64), 123);
+        assert_eq!(
+            StageSpec::Join { build: BuildSide::Dimension }.estimate_output_rows(&[77], 64),
+            77
+        );
+        assert_eq!(StageSpec::LookupKey { key: 1 }.estimate_output_rows(&[640], 64), 10);
     }
 
     #[test]

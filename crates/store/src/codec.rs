@@ -20,8 +20,9 @@ use mondrian_noc::{MeshStats, SerDesStats};
 use mondrian_ops::reference::JoinRow;
 use mondrian_ops::{Aggregates, OpOutput};
 use mondrian_pipeline::{
-    BranchSchedule, BuildSide, Concurrency, FusedEdge, PipelineReport, ScheduleReport, StageEntry,
-    StageInput, StageOutcome, StageSpec, WaveReport,
+    BranchSchedule, BuildSide, Concurrency, FusedEdge, PipelineReport, PlanReport,
+    PlannedEdgeReport, PlannedLease, PlannedWaveReport, ScheduleReport, StageEntry, StageInput,
+    StageOutcome, StageSpec, WaveReport,
 };
 use mondrian_sim::{Stat, Stats};
 use mondrian_workloads::Tuple;
@@ -229,6 +230,7 @@ fn w_concurrency(e: &mut Enc, c: Concurrency) {
         Concurrency::Serial => 0,
         Concurrency::Branch => 1,
         Concurrency::Stream => 2,
+        Concurrency::Auto => 3,
     });
 }
 
@@ -237,6 +239,7 @@ fn r_concurrency(d: &mut Dec) -> Option<Concurrency> {
         0 => Concurrency::Serial,
         1 => Concurrency::Branch,
         2 => Concurrency::Stream,
+        3 => Concurrency::Auto,
         _ => return None,
     })
 }
@@ -755,6 +758,66 @@ fn r_fused(d: &mut Dec) -> Option<FusedEdge> {
     })
 }
 
+fn w_planned(e: &mut Enc, p: &PlanReport) {
+    e.usize(p.stage_predicted_ps.len());
+    for &t in &p.stage_predicted_ps {
+        e.u64(t);
+    }
+    e.u64(p.predicted_makespan_ps);
+    e.bool(p.planner_won);
+    e.usize(p.waves.len());
+    for w in &p.waves {
+        e.usize(w.wave);
+        e.usize(w.leases.len());
+        for l in &w.leases {
+            e.usize(l.branch);
+            e.u32(l.first_vault);
+            e.u32(l.vaults);
+        }
+    }
+    e.usize(p.edges.len());
+    for edge in &p.edges {
+        e.usize(edge.producer);
+        e.usize(edge.consumer);
+        e.usize(edge.chunks);
+    }
+}
+
+fn r_planned(d: &mut Dec) -> Option<PlanReport> {
+    let n = d.len(8)?;
+    let mut stage_predicted_ps = Vec::with_capacity(n);
+    for _ in 0..n {
+        stage_predicted_ps.push(d.u64()?);
+    }
+    let predicted_makespan_ps = d.u64()?;
+    let planner_won = d.bool()?;
+    let n = d.len(1)?;
+    let mut waves = Vec::with_capacity(n);
+    for _ in 0..n {
+        let wave = d.usize()?;
+        let k = d.len(8)?;
+        let mut leases = Vec::with_capacity(k);
+        for _ in 0..k {
+            leases.push(PlannedLease {
+                branch: d.usize()?,
+                first_vault: d.u32()?,
+                vaults: d.u32()?,
+            });
+        }
+        waves.push(PlannedWaveReport { wave, leases });
+    }
+    let n = d.len(8)?;
+    let mut edges = Vec::with_capacity(n);
+    for _ in 0..n {
+        edges.push(PlannedEdgeReport {
+            producer: d.usize()?,
+            consumer: d.usize()?,
+            chunks: d.usize()?,
+        });
+    }
+    Some(PlanReport { stage_predicted_ps, predicted_makespan_ps, planner_won, waves, edges })
+}
+
 fn w_schedule(e: &mut Enc, s: &ScheduleReport) {
     w_concurrency(e, s.mode);
     e.usize(s.waves.len());
@@ -793,6 +856,13 @@ pub(crate) fn encode_pipeline_report(r: &PipelineReport) -> Vec<u8> {
         w_stage_outcome(&mut e, s);
     }
     w_schedule(&mut e, &r.schedule);
+    match &r.planned {
+        Some(p) => {
+            e.bool(true);
+            w_planned(&mut e, p);
+        }
+        None => e.bool(false),
+    }
     w_tuples(&mut e, &r.output);
     e.into_bytes()
 }
@@ -808,11 +878,12 @@ pub(crate) fn decode_pipeline_report(buf: &[u8]) -> Option<PipelineReport> {
         stages.push(r_stage_outcome(&mut d)?);
     }
     let schedule = r_schedule(&mut d)?;
+    let planned = if d.bool()? { Some(r_planned(&mut d)?) } else { None };
     let output = r_tuples(&mut d)?;
     if !d.done() {
         return None;
     }
-    Some(PipelineReport { system, source_rows, stages, schedule, output })
+    Some(PipelineReport { system, source_rows, stages, schedule, planned, output })
 }
 
 /// Serializes a per-stage [`StageEntry`].

@@ -39,7 +39,7 @@ use mondrian_pipeline::{ExecStore, PipelineReport, StageEntry};
 use mondrian_workloads::Tuple;
 
 /// On-disk layout version: bump on any codec or entry-format change.
-pub const STORE_FORMAT_VERSION: u32 = 1;
+pub const STORE_FORMAT_VERSION: u32 = 2;
 
 /// Entry-file magic.
 const MAGIC: [u8; 4] = *b"MNDS";
@@ -344,9 +344,14 @@ impl Store {
             remaining_bytes: entries.iter().map(|(_, s)| s).sum(),
             ..PruneReport::default()
         };
+        // An entry absent from the journal belongs to a writer that has
+        // not flushed yet (a concurrent session racing this prune):
+        // treat it as newest, never as oldest — evicting it would delete
+        // an entry younger than every generation this prune read. Its
+        // writer journals it at the true generation on its own flush.
         let mut order: Vec<(u64, &String, u64)> = entries
             .iter()
-            .map(|(name, size)| (generations.get(name).copied().unwrap_or(0), name, *size))
+            .map(|(name, size)| (generations.get(name).copied().unwrap_or(u64::MAX), name, *size))
             .collect();
         order.sort();
         let mut evicted: BTreeSet<&String> = BTreeSet::new();
@@ -363,10 +368,11 @@ impl Store {
         }
         if report.evicted > 0 {
             // Rewrite the journal for the survivors so it never regrows
-            // stale names; keep (generation, name) order.
+            // stale names; keep (generation, name) order. Unjournaled
+            // survivors stay out — their writer owns their first entry.
             let mut out = String::new();
             for &(generation, name, _) in &order {
-                if !evicted.contains(name) {
+                if !evicted.contains(name) && generations.contains_key(name) {
                     out.push_str(&format!("{generation} {name}\n"));
                 }
             }
@@ -546,6 +552,26 @@ mod tests {
     }
 
     #[test]
+    fn planned_blocks_roundtrip() {
+        use mondrian_pipeline::Concurrency;
+        let root = tmp_root("planned");
+        let store = Store::open(&root, "test").unwrap();
+        let pipeline = Pipeline::new(vec![
+            StageSpec::Filter { modulus: 10, remainder: 0 },
+            StageSpec::CountByKey,
+        ]);
+        let mut cfg = PipelineConfig::tiny(SystemKind::Mondrian);
+        cfg.tuples_per_vault = 32;
+        cfg.concurrency = Concurrency::Auto;
+        let report = pipeline.run(&cfg);
+        assert!(report.planned.is_some(), "auto runs record their plan");
+        store.save_run("auto", &report);
+        let loaded = store.load_run("auto").expect("saved entry loads");
+        assert_eq!(format!("{loaded:?}"), format!("{report:?}"));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
     fn corrupt_entries_are_misses() {
         let root = tmp_root("corrupt");
         let store = Store::open(&root, "test").unwrap();
@@ -604,6 +630,61 @@ mod tests {
         // Prune with room is a no-op.
         let idle = store.prune(u64::MAX).unwrap();
         assert_eq!(idle.evicted, 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn prune_never_evicts_a_concurrent_writers_fresh_entries() {
+        let root = tmp_root("prune-race");
+        let report = sample_report();
+        // Session 1 journals k1 and k2 at generation 1.
+        {
+            let store = Store::open(&root, "test").unwrap();
+            store.save_run("k1", &report);
+            store.save_run("k2", &report);
+        }
+        // Session 2: a pruner and a concurrent writer share the store.
+        // The writer saves k3 but has not flushed its journal when the
+        // prune walks the directory — the entry is younger than every
+        // generation the pruner read, so it must never be the victim.
+        let pruner = Store::open(&root, "test").unwrap();
+        let writer = Store::open(&root, "test").unwrap();
+        writer.save_run("k3", &report);
+        let stats = pruner.stats().unwrap();
+        assert_eq!(stats.total_entries, 3);
+        let entry_bytes = stats.total_bytes / 3;
+        let pruned = pruner.prune(2 * entry_bytes).unwrap();
+        assert_eq!(pruned.evicted, 1, "budget for two of three entries");
+        assert!(writer.load_run("k3").is_some(), "the in-flight entry survives");
+        // The victim came from the journaled generation-1 pair, and the
+        // rewritten journal does not adopt the writer's unflushed entry
+        // — the writer journals it at its own generation on flush.
+        let survivors = fs::read_to_string(pruner.dir().join("journal.log")).unwrap();
+        assert!(!survivors.contains(&Store::file_name("run", b"k3")));
+        writer.flush_journal();
+        let journaled = read_journal(&pruner.dir().join("journal.log"));
+        assert_eq!(
+            journaled.get(&Store::file_name("run", b"k3")).copied(),
+            Some(writer.generation),
+            "the writer's flush records the true generation"
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn losing_an_eviction_race_is_a_miss_not_corruption() {
+        let root = tmp_root("lost-race");
+        let store = Store::open(&root, "test").unwrap();
+        let report = sample_report();
+        store.save_run("k1", &report);
+        // Another process prunes the entry away between this session's
+        // save and its next load: the read must degrade to a clean miss.
+        fs::remove_file(store.dir().join(Store::file_name("run", b"k1"))).unwrap();
+        assert!(store.load_run("k1").is_none(), "a lost race reads as a miss");
+        assert_eq!(store.counters().run_misses, 1);
+        // The miss path re-simulates and overwrites; the store recovers.
+        store.save_run("k1", &report);
+        assert!(store.load_run("k1").is_some());
         let _ = fs::remove_dir_all(&root);
     }
 
